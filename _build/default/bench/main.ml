@@ -1,0 +1,773 @@
+(* Reproduction harness: regenerates every table and figure of the
+   paper's evaluation (§5) on the nine synthetic workloads, plus an
+   ablation (bidirectional streams vs Sequitur) and Bechamel
+   micro-benchmarks of the kernel behind each table.
+
+     dune exec bench/main.exe              -- everything
+     dune exec bench/main.exe table1 fig8  -- a subset
+     dune exec bench/main.exe -- --quick   -- quarter-scale sizes
+
+   Absolute numbers differ from the paper (its substrate was Trimaran +
+   SPEC on 2004 hardware); the shapes are the reproduction target. See
+   EXPERIMENTS.md. *)
+
+module Spec = Wet_workloads.Spec
+module Interp = Wet_interp.Interp
+module T = Wet_interp.Trace
+module W = Wet_core.Wet
+module Builder = Wet_core.Builder
+module Query = Wet_core.Query
+module Slice = Wet_core.Slice
+module Sizes = Wet_core.Sizes
+module AP = Wet_arch.Arch_profile
+module Table = Wet_report.Table
+module Chart = Wet_report.Chart
+module Instr = Wet_ir.Instr
+
+let quick = ref false
+
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)
+
+let progress fmt =
+  Printf.ksprintf (fun s -> Printf.eprintf "[bench] %s\n%!" s) fmt
+
+let scale_of w =
+  let s = w.Spec.default_scale in
+  if !quick then max 1 (s / 4) else s
+
+let mb = Sizes.mb
+
+(* ------------------------------------------------------------------ *)
+(* Shared full-scale evaluation (Tables 1-4, Figure 8)                 *)
+(* ------------------------------------------------------------------ *)
+
+type size_row = {
+  name : string;
+  stmts : int;
+  orig : Sizes.breakdown;
+  tier1 : Sizes.breakdown;
+  tier2 : Sizes.breakdown;
+  arch : AP.result;
+  construction_s : float;
+}
+
+let size_rows : size_row list Lazy.t =
+  lazy
+    (List.map
+       (fun w ->
+         progress "measuring %s (scale %d)" w.Spec.name (scale_of w);
+         let res = Spec.run ~scale:(scale_of w) w in
+         let arch = AP.of_trace res.Interp.trace in
+         let w1, construction_s = time (fun () -> Builder.build res.Interp.trace) in
+         let orig = Sizes.original w1 in
+         let tier1 = Sizes.current w1 in
+         let w2 = Builder.pack w1 in
+         let tier2 = Sizes.current w2 in
+         {
+           name = w.Spec.name;
+           stmts = res.Interp.stmts_executed;
+           orig;
+           tier1;
+           tier2;
+           arch;
+           construction_s;
+         })
+       Spec.all)
+
+let avg f rows =
+  List.fold_left (fun acc r -> acc +. f r) 0. rows
+  /. float_of_int (List.length rows)
+
+let table1 () =
+  let rows = Lazy.force size_rows in
+  let data =
+    List.map
+      (fun r ->
+        [
+          r.name;
+          Table.millions r.stmts;
+          Table.f2 (mb r.orig.Sizes.total_bytes);
+          Table.f2 (mb r.tier2.Sizes.total_bytes);
+          Table.f2 (r.orig.Sizes.total_bytes /. r.tier2.Sizes.total_bytes);
+        ])
+      rows
+    @ [
+        [
+          "Avg.";
+          Table.f2 (avg (fun r -> float_of_int r.stmts /. 1e6) rows);
+          Table.f2 (avg (fun r -> mb r.orig.Sizes.total_bytes) rows);
+          Table.f2 (avg (fun r -> mb r.tier2.Sizes.total_bytes) rows);
+          Table.f2
+            (avg
+               (fun r -> r.orig.Sizes.total_bytes /. r.tier2.Sizes.total_bytes)
+               rows);
+        ];
+      ]
+  in
+  Table.print ~title:"Table 1. WET sizes."
+    ~header:
+      [ "Benchmark"; "Stmts Executed (Millions)"; "Orig. WET (MB)";
+        "Comp. WET (MB)"; "Orig./Comp." ]
+    data
+
+let table2 () =
+  let rows = Lazy.force size_rows in
+  let data =
+    List.map
+      (fun r ->
+        [
+          r.name;
+          Table.f2 (mb r.orig.Sizes.ts_bytes);
+          Table.f2 (r.orig.Sizes.ts_bytes /. r.tier1.Sizes.ts_bytes);
+          Table.f2 (r.orig.Sizes.ts_bytes /. r.tier2.Sizes.ts_bytes);
+          Table.f2 (mb r.orig.Sizes.vals_bytes);
+          Table.f2 (r.orig.Sizes.vals_bytes /. r.tier1.Sizes.vals_bytes);
+          Table.f2 (r.orig.Sizes.vals_bytes /. r.tier2.Sizes.vals_bytes);
+        ])
+      rows
+    @ [
+        [
+          "Avg.";
+          Table.f2 (avg (fun r -> mb r.orig.Sizes.ts_bytes) rows);
+          Table.f2
+            (avg (fun r -> r.orig.Sizes.ts_bytes /. r.tier1.Sizes.ts_bytes) rows);
+          Table.f2
+            (avg (fun r -> r.orig.Sizes.ts_bytes /. r.tier2.Sizes.ts_bytes) rows);
+          Table.f2 (avg (fun r -> mb r.orig.Sizes.vals_bytes) rows);
+          Table.f2
+            (avg
+               (fun r -> r.orig.Sizes.vals_bytes /. r.tier1.Sizes.vals_bytes)
+               rows);
+          Table.f2
+            (avg
+               (fun r -> r.orig.Sizes.vals_bytes /. r.tier2.Sizes.vals_bytes)
+               rows);
+        ];
+      ]
+  in
+  Table.print ~title:"Table 2. Effect of compression on node labels."
+    ~header:
+      [ "Benchmark"; "ts Orig. (MB)"; "ts Orig./Tier-1"; "ts Orig./Tier-2";
+        "vals Orig. (MB)"; "vals Orig./Tier-1"; "vals Orig./Tier-2" ]
+    data
+
+let table3 () =
+  let rows = Lazy.force size_rows in
+  let data =
+    List.map
+      (fun r ->
+        [
+          r.name;
+          Table.f2 (mb r.orig.Sizes.edge_bytes);
+          Table.f2 (r.orig.Sizes.edge_bytes /. r.tier1.Sizes.edge_bytes);
+          Table.f2 (r.orig.Sizes.edge_bytes /. r.tier2.Sizes.edge_bytes);
+        ])
+      rows
+    @ [
+        [
+          "Avg.";
+          Table.f2 (avg (fun r -> mb r.orig.Sizes.edge_bytes) rows);
+          Table.f2
+            (avg
+               (fun r -> r.orig.Sizes.edge_bytes /. r.tier1.Sizes.edge_bytes)
+               rows);
+          Table.f2
+            (avg
+               (fun r -> r.orig.Sizes.edge_bytes /. r.tier2.Sizes.edge_bytes)
+               rows);
+        ];
+      ]
+  in
+  Table.print ~title:"Table 3. Effect of compression on edge labels."
+    ~header:
+      [ "Benchmark"; "Edge labels Orig. (MB)"; "Orig./Tier-1"; "Orig./Tier-2" ]
+    data
+
+let table4 () =
+  let rows = Lazy.force size_rows in
+  let data =
+    List.map
+      (fun r ->
+        let b, l, s = AP.history_bytes r.arch in
+        [ r.name; Table.f2 (mb b); Table.f2 (mb l); Table.f2 (mb s) ])
+      rows
+    @ [
+        (let sum f =
+           avg (fun r -> let b, l, s = AP.history_bytes r.arch in f (b, l, s)) rows
+         in
+         [
+           "Avg.";
+           Table.f2 (mb (sum (fun (b, _, _) -> b)));
+           Table.f2 (mb (sum (fun (_, l, _) -> l)));
+           Table.f2 (mb (sum (fun (_, _, s) -> s)));
+         ]);
+      ]
+  in
+  Table.print
+    ~title:
+      "Table 4. Architecture specific information (uncompressed 1-bit \
+       histories)."
+    ~header:[ "Benchmark"; "Branch (MB)"; "Load (MB)"; "Store (MB)" ]
+    data
+
+let fig8 () =
+  let rows = Lazy.force size_rows in
+  let bars =
+    List.concat_map
+      (fun r ->
+        [
+          ( r.name ^ " orig",
+            [ r.orig.Sizes.ts_bytes; r.orig.Sizes.vals_bytes; r.orig.Sizes.edge_bytes ] );
+          ( r.name ^ " tier1",
+            [ r.tier1.Sizes.ts_bytes; r.tier1.Sizes.vals_bytes; r.tier1.Sizes.edge_bytes ] );
+          ( r.name ^ " tier2",
+            [ r.tier2.Sizes.ts_bytes; r.tier2.Sizes.vals_bytes; r.tier2.Sizes.edge_bytes ] );
+        ])
+      rows
+  in
+  print_string
+    (Chart.stacked
+       ~title:
+         "Figure 8. Relative sizes of WET components (ts / vals / edge \
+          labels) before and after each tier."
+       ~width:50
+       ~legend:[ ('t', "ts-nodes"); ('v', "vals-nodes"); ('#', "ts pairs-edges") ]
+       bars);
+  print_newline ()
+
+let fig9 () =
+  print_endline
+    "Figure 9. Scalability of compression ratio (ratio vs execution length).";
+  List.iter
+    (fun w ->
+      let base = scale_of w in
+      let points =
+        List.map
+          (fun q ->
+            let scale = max 1 (base * q / 4) in
+            let res = Spec.run ~scale w in
+            let w1 = Builder.build res.Interp.trace in
+            let orig = Sizes.original w1 in
+            let w2 = Builder.pack w1 in
+            let t2 = Sizes.current w2 in
+            progress "fig9 %s scale %d: %d stmts" w.Spec.name scale
+              res.Interp.stmts_executed;
+            ( Printf.sprintf "%5.2fM stmts"
+                (float_of_int res.Interp.stmts_executed /. 1e6),
+              orig.Sizes.total_bytes /. t2.Sizes.total_bytes ))
+          [ 1; 2; 3; 4 ]
+      in
+      print_string
+        (Chart.series ~title:("  " ^ w.Spec.name) ~ylabel:"x" points))
+    Spec.all;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Timing experiments (Tables 5-9)                                     *)
+(* ------------------------------------------------------------------ *)
+
+type timing_ctx = {
+  tw : Spec.t;
+  tstmts : int;
+  w1 : W.t;
+  w2 : W.t;
+  build_s : float;
+}
+
+let timing_rows : timing_ctx list Lazy.t =
+  lazy
+    (List.map
+       (fun w ->
+         progress "timing build %s" w.Spec.name;
+         let res = Spec.run ~scale:w.Spec.timing_scale w in
+         let w1, build_s = time (fun () -> Builder.build res.Interp.trace) in
+         let w2 = Builder.pack w1 in
+         { tw = w; tstmts = res.Interp.stmts_executed; w1; w2; build_s })
+       Spec.all)
+
+let table5 () =
+  let rows = Lazy.force timing_rows in
+  let data =
+    List.map
+      (fun r ->
+        [ r.tw.Spec.name; Table.millions r.tstmts; Table.f2 r.build_s ])
+      rows
+    @ [
+        [
+          "Avg.";
+          Table.f2 (avg (fun r -> float_of_int r.tstmts /. 1e6) rows);
+          Table.f2 (avg (fun r -> r.build_s) rows);
+        ];
+      ]
+  in
+  Table.print ~title:"Table 5. WET construction times."
+    ~header:[ "Benchmark"; "Stmts Executed (Millions)"; "Construction (sec)" ]
+    data
+
+(* Control-flow trace extraction, forward then backward (Table 6). The
+   extracted trace is one 4-byte block id per block execution. *)
+let cf_extract wet dir =
+  let count = ref 0 in
+  let _ = Query.control_flow wet dir ~f:(fun _ _ -> incr count) in
+  !count
+
+let table6 () =
+  let rows = Lazy.force timing_rows in
+  let data =
+    List.map
+      (fun r ->
+        progress "table6 %s" r.tw.Spec.name;
+        Query.park r.w1 Query.Forward;
+        Query.park r.w2 Query.Forward;
+        let blocks = r.w1.W.stats.W.block_execs in
+        let trace_mb = mb (4. *. float_of_int blocks) in
+        let measure wet dir =
+          let n, s = time (fun () -> cf_extract wet dir) in
+          assert (n = blocks);
+          (Printf.sprintf "%.3f" s, trace_mb /. Float.max 1e-9 s)
+        in
+        (* forward passes leave cursors at the end, ready for backward *)
+        let f1s, f1r = measure r.w1 Query.Forward in
+        let b1s, b1r = measure r.w1 Query.Backward in
+        let f2s, f2r = measure r.w2 Query.Forward in
+        let b2s, b2r = measure r.w2 Query.Backward in
+        [
+          r.tw.Spec.name;
+          Table.f2 trace_mb;
+          f1s; Table.f1 f1r;
+          f2s; Table.f1 f2r;
+          b1s; Table.f1 b1r;
+          b2s; Table.f1 b2r;
+        ])
+      rows
+  in
+  Table.print
+    ~title:
+      "Table 6. Response times for control flow traces (forward and \
+       backward, tier-1 vs tier-2)."
+    ~header:
+      [ "Benchmark"; "CF trace (MB)";
+        "Fwd T1 (s)"; "MB/s"; "Fwd T2 (s)"; "MB/s";
+        "Bwd T1 (s)"; "MB/s"; "Bwd T2 (s)"; "MB/s" ]
+    data
+
+let table7 () =
+  let rows = Lazy.force timing_rows in
+  let data =
+    List.map
+      (fun r ->
+        progress "table7 %s" r.tw.Spec.name;
+        let measure wet =
+          let n, s = time (fun () -> Query.load_values wet ~f:(fun _ _ -> ())) in
+          (mb (4. *. float_of_int n), s)
+        in
+        let sz, t1 = measure r.w1 in
+        let _, t2 = measure r.w2 in
+        [
+          r.tw.Spec.name; Table.f2 sz;
+          Printf.sprintf "%.3f" t1; Table.f1 (sz /. Float.max 1e-9 t1);
+          Printf.sprintf "%.3f" t2; Table.f1 (sz /. Float.max 1e-9 t2);
+        ])
+      rows
+  in
+  Table.print
+    ~title:"Table 7. Response times for per-instruction load value traces."
+    ~header:
+      [ "Benchmark"; "Ld value trace (MB)"; "Tier-1 (s)"; "MB/s";
+        "Tier-2 (s)"; "MB/s" ]
+    data
+
+let table8 () =
+  let rows = Lazy.force timing_rows in
+  let data =
+    List.map
+      (fun r ->
+        progress "table8 %s" r.tw.Spec.name;
+        let measure wet =
+          let n, s = time (fun () -> Query.addresses wet ~f:(fun _ _ -> ())) in
+          (mb (4. *. float_of_int n), s)
+        in
+        let sz, t1 = measure r.w1 in
+        let _, t2 = measure r.w2 in
+        [
+          r.tw.Spec.name; Table.f2 sz;
+          Printf.sprintf "%.3f" t1; Table.f1 (sz /. Float.max 1e-9 t1);
+          Printf.sprintf "%.3f" t2; Table.f1 (sz /. Float.max 1e-9 t2);
+        ])
+      rows
+  in
+  Table.print
+    ~title:
+      "Table 8. Response times for per-instruction load/store address \
+       traces."
+    ~header:
+      [ "Benchmark"; "Address trace (MB)"; "Tier-1 (s)"; "MB/s";
+        "Tier-2 (s)"; "MB/s" ]
+    data
+
+(* 25 slice criteria per benchmark: value-producing copies picked by a
+   seeded PRNG, sliced at their last execution instance (Table 9). *)
+let slice_criteria wet n =
+  let defs =
+    Array.of_list
+      (Query.copies_matching wet (fun i -> Instr.has_def i))
+  in
+  let rng = Wet_util.Prng.create 20040101 in
+  List.init n (fun _ ->
+      let c = defs.(Wet_util.Prng.int rng (Array.length defs)) in
+      (c, (W.node_of_copy wet c).W.n_nexec - 1))
+
+let table9 () =
+  let rows = Lazy.force timing_rows in
+  let data =
+    List.map
+      (fun r ->
+        progress "table9 %s" r.tw.Spec.name;
+        let criteria = slice_criteria r.w1 25 in
+        let run wet =
+          let _, s =
+            time (fun () ->
+                List.iter
+                  (fun (c, i) -> ignore (Slice.backward wet c i))
+                  criteria)
+          in
+          s /. float_of_int (List.length criteria)
+        in
+        let t1 = run r.w1 in
+        let t2 = run r.w2 in
+        [
+          r.tw.Spec.name;
+          Printf.sprintf "%.4f" t1;
+          Printf.sprintf "%.4f" t2;
+          Table.f2 (t2 /. Float.max 1e-9 t1);
+        ])
+      rows
+  in
+  Table.print ~title:"Table 9. WET slices (avg over 25 slices)."
+    ~header:[ "Benchmark"; "Tier-1 (sec)"; "Tier-2 (sec)"; "Tier-2/Tier-1" ]
+    data
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: bidirectional predictor streams vs Sequitur (§4's claim)  *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  print_endline
+    "Ablation. Generic stream compressors on real WET label streams\n\
+     (gcc timing run): bits per value, lower is better. The paper argues\n\
+     Sequitur is traversable but weaker than predictor-based compression\n\
+     on value streams.";
+  let r = List.nth (Lazy.force timing_rows) 1 (* 126.gcc *) in
+  let wet = r.w1 in
+  (* representative streams *)
+  let node =
+    Array.to_list wet.W.nodes
+    |> List.sort (fun a b -> compare b.W.n_nexec a.W.n_nexec)
+    |> List.hd
+  in
+  let ts_stream = W.Stream.to_array node.W.n_ts in
+  let pattern_stream =
+    match
+      Array.to_list node.W.n_groups
+      |> List.filter_map (fun g -> g.W.g_pattern)
+    with
+    | p :: _ -> W.Stream.to_array p
+    | [] -> [||]
+  in
+  let uvals_stream =
+    let best = ref [||] in
+    Array.iter
+      (fun u ->
+        match u with
+        | Some s ->
+          let a = W.Stream.to_array s in
+          if Array.length a > Array.length !best then best := a
+        | None -> ())
+      wet.W.copy_uvals;
+    !best
+  in
+  let streams =
+    [
+      ("node timestamps", ts_stream);
+      ("group pattern", pattern_stream);
+      ("largest UVals", uvals_stream);
+    ]
+  in
+  (* a unidirectional VPC-style coding: 1 bit per hit, 33 per miss, no
+     stored tables (they are rebuilt while decompressing) — the paper's
+     [3]; its weakness is that it only decompresses front to back *)
+  let unidir_bits arr =
+    let best = ref (32. *. float_of_int (Array.length arr)) in
+    List.iter
+      (fun p ->
+        let acc = Wet_predict.Predictor.accuracy p arr in
+        let n = float_of_int (Array.length arr) in
+        let bits = (acc *. n) +. (33. *. (1. -. acc) *. n) in
+        if bits < !best then best := bits)
+      [
+        Wet_predict.Predictor.fcm ~ctx:2 ();
+        Wet_predict.Predictor.dfcm ~ctx:2 ();
+        Wet_predict.Predictor.last_n ~n:4;
+        Wet_predict.Predictor.stride ();
+      ];
+    !best
+  in
+  let rows =
+    List.filter_map
+      (fun (name, arr) ->
+        if Array.length arr < 4 then None
+        else begin
+          let n = float_of_int (Array.length arr) in
+          let bidir =
+            let s = Wet_bistream.Stream.compress arr in
+            (Wet_bistream.Stream.method_name s, float_of_int (Wet_bistream.Stream.bits s) /. n)
+          in
+          let seq =
+            float_of_int (Wet_sequitur.Sequitur.bits (Wet_sequitur.Sequitur.build arr)) /. n
+          in
+          Some
+            [
+              name;
+              Table.i (Array.length arr);
+              fst bidir;
+              Table.f2 (snd bidir);
+              Table.f2 (unidir_bits arr /. n);
+              Table.f2 seq;
+              Table.f2 32.;
+            ]
+        end)
+      streams
+  in
+  Table.print
+    ~title:
+      "Bidirectional predictor streams vs unidirectional VPC coding vs \
+       Sequitur."
+    ~header:
+      [ "Stream"; "Length"; "Best method"; "Bidir bits/val";
+        "Unidir bits/val"; "Sequitur bits/val"; "Raw bits/val" ]
+    rows
+
+(* Method x context-size sensitivity of the bidirectional compressors,
+   on a real timestamp stream: the data behind the paper's choice to try
+   "three versions with differing context size" per method. *)
+let ctx_ablation () =
+  print_endline
+    "Ablation. Compression (x over raw) of every (method, context) pair\n\
+     on the hottest node's timestamp stream and largest UVals stream\n\
+     (126.gcc timing run).";
+  let r = List.nth (Lazy.force timing_rows) 1 in
+  let wet = r.w1 in
+  let hottest =
+    Array.fold_left
+      (fun best (n : W.node) -> if n.W.n_nexec > best.W.n_nexec then n else best)
+      wet.W.nodes.(0) wet.W.nodes
+  in
+  let uvals =
+    let best = ref [||] in
+    Array.iter
+      (function
+        | Some s ->
+          let a = W.Stream.to_array s in
+          if Array.length a > Array.length !best then best := a
+        | None -> ())
+      wet.W.copy_uvals;
+    !best
+  in
+  let streams =
+    [ ("timestamps", W.Stream.to_array hottest.W.n_ts); ("uvals", uvals) ]
+  in
+  List.iter
+    (fun (sname, arr) ->
+      if Array.length arr >= 4 then begin
+        let rows =
+          List.map
+            (fun m ->
+              [ Wet_bistream.Bidir.meth_name m ]
+              @ List.map
+                  (fun ctx ->
+                    let b = Wet_bistream.Bidir.compress m ~ctx arr in
+                    Table.f2
+                      (float_of_int (32 * Array.length arr)
+                       /. float_of_int (Wet_bistream.Bidir.compressed_bits b)))
+                  [ 1; 2; 4; 8 ])
+            Wet_bistream.Bidir.all_meths
+        in
+        Table.print
+          ~title:(Printf.sprintf "%s stream (%d values)." sname (Array.length arr))
+          ~header:[ "Method"; "ctx=1"; "ctx=2"; "ctx=4"; "ctx=8" ]
+          rows
+      end)
+    streams
+
+(* Optimised vs unoptimised code: how scalar optimisation changes what
+   the WET sees. Trimaran profiles optimised intermediate code; this
+   quantifies the difference on our side. *)
+let opt_ablation () =
+  print_endline
+    "Ablation. WET metrics on unoptimised (-O0) vs optimised (-O1) code.";
+  let rows =
+    List.concat_map
+      (fun name ->
+        let w = Spec.find name in
+        let scale = w.Spec.timing_scale in
+        List.map
+          (fun (tag, level) ->
+            let prog = Wet_opt.Driver.optimize ~level (Spec.compile w) in
+            let res =
+              Interp.run prog ~input:(Spec.input w ~scale)
+            in
+            let w1 = Builder.build res.Interp.trace in
+            let orig = Sizes.original w1 in
+            let w2 = Builder.pack w1 in
+            let t2 = Sizes.current w2 in
+            [
+              w.Spec.name ^ " " ^ tag;
+              Table.millions res.Interp.stmts_executed;
+              Table.f2 (mb orig.Sizes.total_bytes);
+              Table.f2 (mb t2.Sizes.total_bytes);
+              Table.f2 (orig.Sizes.total_bytes /. t2.Sizes.total_bytes);
+            ])
+          [ ("-O0", 0); ("-O1", 1) ])
+      [ "126.gcc"; "181.mcf"; "300.twolf" ]
+  in
+  Table.print ~title:"Optimisation ablation."
+    ~header:
+      [ "Benchmark"; "Stmts (M)"; "Orig. WET (MB)"; "Comp. WET (MB)";
+        "Ratio" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the kernel behind each table             *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  print_endline
+    "Bechamel micro-benchmarks (one kernel per table/figure; ns per run).";
+  let w = Spec.find "parser" in
+  let res = Spec.run ~scale:60 w in
+  let trace = res.Interp.trace in
+  let w1 = Builder.build trace in
+  let w2 = Builder.pack w1 in
+  let hottest =
+    Array.fold_left
+      (fun best (n : W.node) ->
+        if n.W.n_nexec > best.W.n_nexec then n else best)
+      w1.W.nodes.(0) w1.W.nodes
+  in
+  let ts = W.Stream.to_array hottest.W.n_ts in
+  let packed = Wet_bistream.Stream.compress ts in
+  let tests =
+    [
+      (* Table 1/5: construction *)
+      Test.make ~name:"table1+5: build tier-1 WET"
+        (Staged.stage (fun () -> ignore (Builder.build trace)));
+      (* Tables 1-3: tier-2 packing *)
+      Test.make ~name:"tables1-3: pack to tier-2"
+        (Staged.stage (fun () -> ignore (Builder.pack w1)));
+      (* Table 4: architectural replay *)
+      Test.make ~name:"table4: arch replay"
+        (Staged.stage (fun () -> ignore (AP.of_trace trace)));
+      (* Table 6: control-flow extraction *)
+      Test.make ~name:"table6: cf trace (tier-2)"
+        (Staged.stage (fun () ->
+             Query.park w2 Query.Forward;
+             ignore (Query.control_flow w2 Query.Forward ~f:(fun _ _ -> ()))));
+      (* Table 7 *)
+      Test.make ~name:"table7: load values (tier-2)"
+        (Staged.stage (fun () ->
+             ignore (Query.load_values w2 ~f:(fun _ _ -> ()))));
+      (* Table 8 *)
+      Test.make ~name:"table8: addresses (tier-2)"
+        (Staged.stage (fun () ->
+             ignore (Query.addresses w2 ~f:(fun _ _ -> ()))));
+      (* Table 9 *)
+      Test.make ~name:"table9: one backward slice (tier-2)"
+        (Staged.stage
+           (let c, i = List.hd (slice_criteria w2 1) in
+            fun () -> ignore (Slice.backward w2 c i)));
+      (* Figures 8/9 reduce to stream compression *)
+      Test.make ~name:"fig8+9: compress a ts stream"
+        (Staged.stage (fun () ->
+             ignore (Wet_bistream.Stream.compress ts)));
+      Test.make ~name:"fig8+9: step a packed stream"
+        (Staged.stage (fun () ->
+             Wet_bistream.Stream.seek packed 0;
+             for _ = 1 to min 256 (Array.length ts) do
+               ignore (Wet_bistream.Stream.step_forward packed)
+             done));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"wet" ~fmt:"%s %s" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (x :: _) -> Printf.sprintf "%.0f" x
+        | Some [] | None -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  Table.print ~title:"Micro-benchmarks."
+    ~header:[ "Kernel"; "ns/run" ]
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let all_targets =
+  [
+    ("table1", table1); ("table2", table2); ("table3", table3);
+    ("table4", table4); ("table5", table5); ("table6", table6);
+    ("table7", table7); ("table8", table8); ("table9", table9);
+    ("fig8", fig8); ("fig9", fig9); ("ablation", ablation);
+    ("optablation", opt_ablation); ("ctxablation", ctx_ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let args =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a ->
+           if a = "--quick" then begin
+             quick := true;
+             false
+           end
+           else a <> "--")
+  in
+  let targets =
+    match args with
+    | [] -> all_targets
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n all_targets with
+          | Some f -> (n, f)
+          | None ->
+            Printf.eprintf "unknown target %s (have: %s)\n" n
+              (String.concat ", " (List.map fst all_targets));
+            exit 1)
+        names
+  in
+  List.iter
+    (fun (_, f) ->
+      f ();
+      print_newline ())
+    targets

@@ -1,0 +1,448 @@
+(* wet — command-line driver for the WET library.
+
+   PROGRAM arguments accept either a path to a MiniC source file or the
+   name of a bundled benchmark (e.g. "126.gcc" or just "gcc"). *)
+
+open Cmdliner
+
+module Spec = Wet_workloads.Spec
+module Store = Wet_core.Store
+module Interp = Wet_interp.Interp
+module W = Wet_core.Wet
+module Builder = Wet_core.Builder
+module Query = Wet_core.Query
+module Slice = Wet_core.Slice
+module Sizes = Wet_core.Sizes
+module Table = Wet_report.Table
+
+let is_wet_file name =
+  Filename.check_suffix name ".wet"
+
+let load_program name ~scale =
+  match Spec.find name with
+  | w ->
+    let scale = Option.value scale ~default:w.Spec.default_scale in
+    Ok (Spec.compile w, Spec.input w ~scale, w.Spec.name)
+  | exception Not_found ->
+    if Sys.file_exists name then begin
+      let ic = open_in_bin name in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Wet_minic.Frontend.compile src with
+      | Ok p -> Ok (p, [||], Filename.basename name)
+      | Error m -> Error (`Msg m)
+    end
+    else
+      Error
+        (`Msg
+           (Printf.sprintf
+              "%s is neither a bundled benchmark nor a readable file" name))
+
+let with_program ?(optimize = 0) name scale input f =
+  match load_program name ~scale with
+  | Error (`Msg m) -> `Error (false, m)
+  | Ok (prog, winput, label) ->
+    let prog = Wet_opt.Driver.optimize ~level:optimize prog in
+    let input = if input = [] then winput else Array.of_list input in
+    (match f prog input label with
+     | () -> `Ok ()
+     | exception Interp.Runtime_error m -> `Error (false, "runtime error: " ^ m))
+
+(* Commands operating on a WET accept either a saved [.wet] container or
+   anything [load_program] accepts (built on the fly). *)
+let with_wet ?(optimize = 0) ?(tier2 = false) name scale input f =
+  if is_wet_file name then begin
+    match Store.load name with
+    | wet -> (
+      match f wet (Filename.basename name) with
+      | () -> `Ok ()
+      | exception Interp.Runtime_error m ->
+        `Error (false, "runtime error: " ^ m))
+    | exception (Invalid_argument m | Sys_error m) -> `Error (false, m)
+  end
+  else
+    with_program ~optimize name scale input (fun p input label ->
+        let res = Interp.run p ~input in
+        let wet = Builder.build res.Interp.trace in
+        let wet = if tier2 then Builder.pack wet else wet in
+        f wet label)
+
+(* ---------------- arguments ---------------- *)
+
+let program_arg =
+  let doc = "MiniC source file or bundled benchmark name." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let scale_arg =
+  let doc = "Workload scale (bundled benchmarks only)." in
+  Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N" ~doc)
+
+let input_arg =
+  let doc = "Input stream for the program (overrides workload inputs)." in
+  Arg.(value & opt (list int) [] & info [ "input" ] ~docv:"INTS" ~doc)
+
+let tier2_arg =
+  let doc = "Also apply tier-2 (bidirectional stream) compression." in
+  Arg.(value & flag & info [ "tier2" ] ~doc)
+
+let optimize_arg =
+  let doc = "Optimisation level applied before running (0 or 1)." in
+  Arg.(value & opt int 0 & info [ "O"; "optimize" ] ~docv:"LEVEL" ~doc)
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let action prog scale input optimize =
+    with_program ~optimize prog scale input (fun p input _ ->
+        let out = Interp.outputs_only p ~input in
+        Array.iter (Printf.printf "%d\n") out)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a program and print its outputs.")
+    Term.(ret (const action $ program_arg $ scale_arg $ input_arg $ optimize_arg))
+
+(* ---------------- stats ---------------- *)
+
+let stats_cmd =
+  let action prog scale input tier2 =
+    with_wet ~tier2 prog scale input (fun wet label ->
+        let s = wet.W.stats in
+        Printf.printf "program: %s\n" label;
+        Printf.printf "statements executed: %d\n" s.W.stmts_executed;
+        Printf.printf "basic block executions: %d\n" s.W.block_execs;
+        Printf.printf "Ball-Larus path executions: %d\n" s.W.path_execs;
+        Printf.printf "distinct executed paths (WET nodes): %d\n"
+          (Array.length wet.W.nodes);
+        Printf.printf "statement copies: %d\n" (W.num_copies wet);
+        Printf.printf "dependence instances: %d (data) + %d (control)\n"
+          s.W.dep_instances s.W.cd_instances;
+        Printf.printf "  inferable from node labels (no edge stored): %d\n"
+          s.W.local_dep_instances;
+        Printf.printf "  label values shared across identical edges: %d\n"
+          s.W.shared_label_values;
+        let o = Sizes.original wet and c = Sizes.current wet in
+        Printf.printf "original WET: %.2f MB (ts %.2f, vals %.2f, edges %.2f)\n"
+          (Sizes.mb o.Sizes.total_bytes) (Sizes.mb o.Sizes.ts_bytes)
+          (Sizes.mb o.Sizes.vals_bytes) (Sizes.mb o.Sizes.edge_bytes);
+        Printf.printf "%s WET: %.2f MB (ts %.2f, vals %.2f, edges %.2f)\n"
+          (match wet.W.tier with `Tier2 -> "tier-2" | `Tier1 -> "tier-1")
+          (Sizes.mb c.Sizes.total_bytes) (Sizes.mb c.Sizes.ts_bytes)
+          (Sizes.mb c.Sizes.vals_bytes) (Sizes.mb c.Sizes.edge_bytes);
+        Printf.printf "compression ratio: %.2f\n"
+          (o.Sizes.total_bytes /. c.Sizes.total_bytes))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Build the WET and report sizes and compression statistics.")
+    Term.(ret (const action $ program_arg $ scale_arg $ input_arg $ tier2_arg))
+
+(* ---------------- trace ---------------- *)
+
+let trace_kind =
+  let kinds =
+    [ ("cf", `Cf); ("values", `Values); ("addresses", `Addresses) ]
+  in
+  let doc = "Trace to extract: cf, values or addresses." in
+  Arg.(value & opt (enum kinds) `Cf & info [ "kind" ] ~docv:"KIND" ~doc)
+
+let limit_arg =
+  let doc = "Print at most N entries." in
+  Arg.(value & opt int 50 & info [ "limit" ] ~docv:"N" ~doc)
+
+let trace_cmd =
+  let action prog scale input kind limit =
+    with_wet prog scale input (fun wet _ ->
+        let printed = ref 0 in
+        let emit fmt =
+          Printf.ksprintf
+            (fun s -> if !printed < limit then begin print_endline s; incr printed end)
+            fmt
+        in
+        match kind with
+        | `Cf ->
+          Query.park wet Query.Forward;
+          let n = Query.control_flow wet Query.Forward ~f:(fun f b -> emit "f%d:B%d" f b) in
+          Printf.printf "... (%d block executions total)\n" n
+        | `Values ->
+          let n =
+            Query.load_values wet ~f:(fun c v ->
+                emit "load copy %d (stmt %d): %d" c wet.W.copy_stmt.(c) v)
+          in
+          Printf.printf "... (%d load values total)\n" n
+        | `Addresses ->
+          let n =
+            Query.addresses wet ~f:(fun c a ->
+                emit "mem copy %d (stmt %d): @%d" c wet.W.copy_stmt.(c) a)
+          in
+          Printf.printf "... (%d addresses total)\n" n)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Extract a control-flow, load-value or address trace from the WET.")
+    Term.(
+      ret (const action $ program_arg $ scale_arg $ input_arg $ trace_kind
+           $ limit_arg))
+
+(* ---------------- slice ---------------- *)
+
+let slice_cmd =
+  let output_arg =
+    let doc =
+      "Slice criterion: the K-th output statement execution (0-based, \
+       default: the last output)."
+    in
+    Arg.(value & opt (some int) None & info [ "output" ] ~docv:"K" ~doc)
+  in
+  let action prog scale input k =
+    with_wet prog scale input (fun wet _ ->
+        (* enumerate output instances in execution order *)
+        let outs =
+          Query.copies_matching wet (function
+            | Wet_ir.Instr.Output _ -> true
+            | _ -> false)
+        in
+        let instances =
+          List.concat_map
+            (fun c ->
+              List.init (W.node_of_copy wet c).W.n_nexec (fun i ->
+                  (W.timestamp wet c i, c, i)))
+            outs
+          |> List.sort compare
+        in
+        if instances = [] then print_endline "program has no outputs to slice"
+        else begin
+          let total = List.length instances in
+          let k = Option.value k ~default:(total - 1) in
+          if k < 0 || k >= total then
+            Printf.printf "output index %d out of range [0,%d)\n" k total
+          else begin
+            let _, c, i = List.nth instances k in
+            Printf.printf
+              "backward WET slice of output #%d (copy %d, instance %d):\n" k c i;
+            let shown = ref 0 in
+            let r =
+              Slice.backward wet c i ~f:(fun c' i' ->
+                  if !shown < 40 then begin
+                    Printf.printf "  (%s) instance %d\n"
+                      (Fmt.str "%a" Wet_ir.Instr.pp (W.instr_of_copy wet c'))
+                      i';
+                    incr shown
+                  end)
+            in
+            Printf.printf
+              "slice: %d statement instances, %d copies, %d static statements\n"
+              r.Slice.instances r.Slice.copies r.Slice.stmts
+          end
+        end)
+  in
+  Cmd.v
+    (Cmd.info "slice" ~doc:"Compute a backward WET slice of an output value.")
+    Term.(ret (const action $ program_arg $ scale_arg $ input_arg $ output_arg))
+
+(* ---------------- paths ---------------- *)
+
+let paths_cmd =
+  let top_arg =
+    let doc = "Show the N hottest paths." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let action prog scale input top =
+    with_wet prog scale input (fun wet _ ->
+        let nodes = Array.copy wet.W.nodes in
+        Array.sort (fun a b -> compare b.W.n_nexec a.W.n_nexec) nodes;
+        let rows = ref [] in
+        Array.iteri
+          (fun i (n : W.node) ->
+            if i < top then
+              rows :=
+                [
+                  Printf.sprintf "f%d/path%d" n.W.n_func n.W.n_path;
+                  string_of_int n.W.n_nexec;
+                  string_of_int (Array.length n.W.n_stmts);
+                  String.concat " "
+                    (Array.to_list (Array.map (Printf.sprintf "B%d") n.W.n_blocks));
+                ]
+                :: !rows)
+          nodes;
+        Table.print ~title:"Hottest Ball-Larus paths."
+          ~align:Table.[ Left; Right; Right; Left ]
+          ~header:[ "Path"; "Executions"; "Stmts"; "Blocks" ]
+          (List.rev !rows))
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Profile Ball-Larus paths (hot path mining).")
+    Term.(ret (const action $ program_arg $ scale_arg $ input_arg $ top_arg))
+
+(* ---------------- build (persist a WET) ---------------- *)
+
+let build_cmd =
+  let out_arg =
+    let doc = "Output path for the WET container." in
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let action prog scale input tier2 optimize out =
+    with_program ~optimize prog scale input (fun p input label ->
+        let res = Interp.run p ~input in
+        let wet = Builder.build res.Interp.trace in
+        let wet = if tier2 then Builder.pack wet else wet in
+        Store.save wet out;
+        Printf.printf "%s: %d statements -> %s (%s, %.2f MB on disk)\n" label
+          res.Interp.stmts_executed out
+          (match wet.W.tier with `Tier2 -> "tier-2" | `Tier1 -> "tier-1")
+          (float_of_int (Unix.stat out).Unix.st_size /. 1024. /. 1024.))
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:"Build a WET and save it to disk for later queries.")
+    Term.(
+      ret (const action $ program_arg $ scale_arg $ input_arg $ tier2_arg
+           $ optimize_arg $ out_arg))
+
+(* ---------------- verify ---------------- *)
+
+let verify_cmd =
+  let action prog scale input tier2 =
+    with_program prog scale input (fun p input label ->
+        let res = Interp.run p ~input in
+        let tr = res.Interp.trace in
+        let wet = Builder.build tr in
+        let wet = if tier2 then Builder.pack wet else wet in
+        (* the WET must regenerate the exact control-flow trace *)
+        Query.park wet Query.Forward;
+        let i = ref 0 in
+        let ok = ref true in
+        let blocks = tr.Wet_interp.Trace.blocks in
+        let n =
+          Query.control_flow wet Query.Forward ~f:(fun f b ->
+              if !i < Array.length blocks
+                 && blocks.(!i) <> Wet_interp.Trace.encode_block f b
+              then ok := false;
+              incr i)
+        in
+        if n <> Array.length blocks then ok := false;
+        (* and every load value *)
+        let load_count = ref 0 in
+        let sum = ref 0 in
+        let _ = Query.load_values wet ~f:(fun _ v -> incr load_count; sum := !sum + v) in
+        Printf.printf
+          "%s: control-flow trace %s (%d block executions); %d load values            extracted\n"
+          label
+          (if !ok then "EXACT" else "MISMATCH")
+          n !load_count;
+        if not !ok then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+        "Self-check: rebuild the WET and verify it regenerates the raw          trace exactly.")
+    Term.(ret (const action $ program_arg $ scale_arg $ input_arg $ tier2_arg))
+
+(* ---------------- at (execution-point inspection) ---------------- *)
+
+let at_cmd =
+  let ts_arg =
+    let doc = "Global timestamp to inspect (default: the midpoint)." in
+    Arg.(value & opt (some int) None & info [ "ts" ] ~docv:"T" ~doc)
+  in
+  let action prog scale input ts =
+    with_wet prog scale input (fun wet _ ->
+        let total = wet.W.stats.W.path_execs in
+        let ts = Option.value ts ~default:(max 1 (total / 2)) in
+        match Query.locate_time wet ts with
+        | None ->
+          Printf.printf "timestamp %d out of range [1,%d]\n" ts total
+        | Some (nid, i) ->
+          let n = wet.W.nodes.(nid) in
+          Printf.printf "t=%d of %d: execution %d of f%d/path%d (blocks %s)\n"
+            ts total i n.W.n_func n.W.n_path
+            (String.concat " "
+               (Array.to_list (Array.map (Printf.sprintf "B%d") n.W.n_blocks)));
+          (* a window of control flow around the point *)
+          let start_ts = max 1 (ts - 2) in
+          Printf.printf "control flow from t=%d:\n" start_ts;
+          let shown = ref 0 in
+          ignore
+            (Query.control_flow_from wet ~start_ts ~steps:4 ~f:(fun f b ->
+                 if !shown < 24 then begin
+                   Printf.printf "  f%d:B%d\n" f b;
+                   incr shown
+                 end));
+          (* global scalar state at that moment *)
+          let state = Wet_analyses.State_reconstruct.at wet ~ts in
+          let scalars =
+            List.filter (fun (_, _, size) -> size = 1) wet.W.program.Wet_ir.Program.globals
+          in
+          if scalars <> [] then begin
+            Printf.printf "global scalars at t=%d:\n" ts;
+            List.iter
+              (fun (name, base, _) ->
+                Printf.printf "  %s = %d\n" name
+                  (Wet_analyses.State_reconstruct.read state base))
+              scalars
+          end)
+  in
+  Cmd.v
+    (Cmd.info "at"
+       ~doc:"Inspect an arbitrary execution point: location, control flow \
+             and reconstructed global state.")
+    Term.(ret (const action $ program_arg $ scale_arg $ input_arg $ ts_arg))
+
+(* ---------------- dot ---------------- *)
+
+let dot_cmd =
+  let what_arg =
+    let doc = "What to export: 'nodes' (the path-node graph) or 'slice' \
+               (the last output's backward slice subgraph)." in
+    Arg.(value & opt (enum [ ("nodes", `Nodes); ("slice", `Slice) ]) `Nodes
+         & info [ "what" ] ~docv:"KIND" ~doc)
+  in
+  let action prog scale input what =
+    with_wet prog scale input (fun wet _ ->
+        match what with
+        | `Nodes -> print_string (Wet_analyses.Dot_export.nodes wet)
+        | `Slice -> (
+          match
+            Query.copies_matching wet (function
+              | Wet_ir.Instr.Output _ -> true
+              | _ -> false)
+          with
+          | [] -> prerr_endline "program has no outputs to slice"
+          | c :: _ ->
+            print_string (Wet_analyses.Dot_export.slice wet c 0)))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export WET structure as Graphviz.")
+    Term.(ret (const action $ program_arg $ scale_arg $ input_arg $ what_arg))
+
+(* ---------------- benchmarks ---------------- *)
+
+let benchmarks_cmd =
+  let action () =
+    Table.print ~title:"Bundled benchmarks."
+      ~align:Table.[ Left; Right; Right; Left ]
+      ~header:[ "Name"; "Default scale"; "Timing scale"; "Description" ]
+      (List.map
+         (fun w ->
+           [
+             w.Spec.name;
+             string_of_int w.Spec.default_scale;
+             string_of_int w.Spec.timing_scale;
+             w.Spec.description;
+           ])
+         Spec.all);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "benchmarks" ~doc:"List the bundled benchmark programs.")
+    Term.(ret (const action $ const ()))
+
+let () =
+  let doc = "whole execution traces: build, compress and query WETs" in
+  let info = Cmd.info "wet" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd; stats_cmd; trace_cmd; slice_cmd; paths_cmd; at_cmd;
+            build_cmd; verify_cmd; dot_cmd; benchmarks_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/cache_study.ml: Array Fmt Hashtbl List Printf Sys Wet_arch Wet_core Wet_interp Wet_ir Wet_report Wet_workloads

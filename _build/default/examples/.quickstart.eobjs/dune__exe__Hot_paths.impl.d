@@ -1,0 +1,1 @@
+examples/hot_paths.ml: Array Fmt List Printf Sys Wet_core Wet_interp Wet_ir Wet_report Wet_workloads

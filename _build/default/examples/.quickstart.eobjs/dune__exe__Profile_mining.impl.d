@@ -1,0 +1,1 @@
+examples/profile_mining.ml: Array Filename Fmt List Printf String Sys Wet_analyses Wet_core Wet_interp Wet_ir Wet_report Wet_workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Wet_core Wet_interp Wet_ir Wet_minic

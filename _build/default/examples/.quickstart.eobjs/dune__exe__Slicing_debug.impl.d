@@ -1,0 +1,1 @@
+examples/slicing_debug.ml: Array Fmt Hashtbl List Printf Wet_core Wet_interp Wet_ir Wet_minic

@@ -1,0 +1,1 @@
+examples/slicing_debug.mli:

@@ -1,0 +1,1 @@
+examples/time_travel.ml: Array List Printf Wet_analyses Wet_core Wet_interp Wet_ir Wet_minic

@@ -1,0 +1,1 @@
+examples/value_prediction.ml: Array Hashtbl List Option Printf Sys Wet_core Wet_interp Wet_predict Wet_report Wet_workloads

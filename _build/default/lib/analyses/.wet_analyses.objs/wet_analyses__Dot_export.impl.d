@@ -1,0 +1,1 @@
+lib/analyses/dot_export.ml: Array Buffer Fmt Hashtbl List Printf String Wet_core Wet_ir

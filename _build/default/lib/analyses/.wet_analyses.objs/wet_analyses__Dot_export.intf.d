@@ -1,0 +1,1 @@
+lib/analyses/dot_export.mli: Wet_core

@@ -1,0 +1,1 @@
+lib/analyses/hot_streams.ml: Array List Wet_interp Wet_sequitur

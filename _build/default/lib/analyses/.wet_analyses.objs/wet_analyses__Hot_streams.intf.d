@@ -1,0 +1,1 @@
+lib/analyses/hot_streams.mli: Wet_interp

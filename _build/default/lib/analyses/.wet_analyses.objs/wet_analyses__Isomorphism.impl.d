@@ -1,0 +1,1 @@
+lib/analyses/isomorphism.ml: Array Hashtbl List Option Wet_bistream Wet_core Wet_util

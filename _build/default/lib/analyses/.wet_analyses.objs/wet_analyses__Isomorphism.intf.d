@@ -1,0 +1,1 @@
+lib/analyses/isomorphism.mli: Wet_core

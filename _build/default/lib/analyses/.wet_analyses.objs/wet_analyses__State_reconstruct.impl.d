@@ -1,0 +1,1 @@
+lib/analyses/state_reconstruct.ml: Hashtbl List Wet_core Wet_ir

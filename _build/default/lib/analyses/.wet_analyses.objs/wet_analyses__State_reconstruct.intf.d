@@ -1,0 +1,1 @@
+lib/analyses/state_reconstruct.mli: Wet_core

@@ -1,0 +1,1 @@
+lib/analyses/value_locality.ml: Hashtbl List Option Wet_core

@@ -1,0 +1,1 @@
+lib/analyses/value_locality.mli: Wet_core

@@ -1,0 +1,47 @@
+module Sequitur = Wet_sequitur.Sequitur
+module T = Wet_interp.Trace
+
+type stream = {
+  addresses : int array;
+  uses : int;
+  heat : int;
+}
+
+let mine ?(min_length = 4) ?(min_uses = 2) addresses =
+  let g = Sequitur.build addresses in
+  Sequitur.rule_stats g
+  |> List.filter_map (fun (expansion, uses) ->
+         if Array.length expansion >= min_length && uses >= min_uses then
+           Some
+             {
+               addresses = expansion;
+               uses;
+               heat = Array.length expansion * uses;
+             }
+         else None)
+  |> List.sort (fun a b -> compare b.heat a.heat)
+
+let address_trace (tr : T.t) = Array.map (fun op -> op lsr 1) tr.T.mem_ops
+
+let coverage streams addresses =
+  let n = Array.length addresses in
+  if n = 0 then 0.
+  else begin
+    let covered = ref 0 in
+    let i = ref 0 in
+    let matches (s : stream) at =
+      let k = Array.length s.addresses in
+      at + k <= n
+      &&
+      let rec go j = j >= k || (addresses.(at + j) = s.addresses.(j) && go (j + 1)) in
+      go 0
+    in
+    while !i < n do
+      match List.find_opt (fun s -> matches s !i) streams with
+      | Some s ->
+        covered := !covered + Array.length s.addresses;
+        i := !i + Array.length s.addresses
+      | None -> incr i
+    done;
+    float_of_int !covered /. float_of_int n
+  end

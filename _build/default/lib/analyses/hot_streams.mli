@@ -1,0 +1,27 @@
+(** Hot data stream mining (the paper cites Chilimbi's PLDI'01/'02 work
+    as the consumer of address profiles).
+
+    A {e hot data stream} is a sequence of addresses that recurs often
+    enough that prefetching or data relocation pays off. Chilimbi's
+    method is exactly grammar inference: run Sequitur over the address
+    trace and read the hot streams off the rules — a rule's expansion is
+    the repeated subsequence, its use count the repetition count. *)
+
+type stream = {
+  addresses : int array;  (** the repeated address subsequence *)
+  uses : int;  (** static occurrences in the grammar *)
+  heat : int;  (** [length * uses] — Chilimbi's heat metric *)
+}
+
+(** [mine ?min_length ?min_uses addresses] infers the grammar and
+    returns streams of at least [min_length] (default 4) addresses used
+    at least [min_uses] (default 2) times, hottest first. *)
+val mine : ?min_length:int -> ?min_uses:int -> int array -> stream list
+
+(** The merged (program-order) address trace of a run, from the raw
+    trace's memory operations. *)
+val address_trace : Wet_interp.Trace.t -> int array
+
+(** [coverage streams addresses] is the fraction of the trace covered by
+    the given streams (greedy, non-overlapping). *)
+val coverage : stream list -> int array -> float

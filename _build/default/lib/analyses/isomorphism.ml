@@ -1,0 +1,75 @@
+module W = Wet_core.Wet
+module Stream = Wet_bistream.Stream
+module H = Wet_util.Hashing
+
+type klass = {
+  members : W.copy_id list;
+  executions : int;
+  distinct_values : int;
+}
+
+let classes (t : W.t) =
+  let out = ref [] in
+  Array.iter
+    (fun (n : W.node) ->
+      Array.iter
+        (fun (g : W.group) ->
+          if Array.length g.W.g_members > 1 then begin
+            (* partition members of the group by UVals content *)
+            let buckets = Hashtbl.create 8 in
+            Array.iter
+              (fun c ->
+                match t.W.copy_uvals.(c) with
+                | None -> ()
+                | Some s ->
+                  let a = Stream.to_array s in
+                  let key = (Array.length a, H.hash_window a 0 (Array.length a)) in
+                  let l =
+                    match Hashtbl.find_opt buckets key with
+                    | Some l -> l
+                    | None ->
+                      let l = ref [] in
+                      Hashtbl.replace buckets key l;
+                      l
+                  in
+                  (* verify on collision: compare against the first *)
+                  (match !l with
+                   | c0 :: _ ->
+                     let a0 =
+                       Stream.to_array (Option.get t.W.copy_uvals.(c0))
+                     in
+                     if a0 = a then l := c :: !l
+                   | [] -> l := c :: !l))
+              g.W.g_members;
+            Hashtbl.iter
+              (fun (len, _) l ->
+                match !l with
+                | _ :: _ :: _ ->
+                  out :=
+                    {
+                      members = List.rev !l;
+                      executions = n.W.n_nexec;
+                      distinct_values = len;
+                    }
+                    :: !out
+                | _ -> ())
+              buckets
+          end)
+        n.W.n_groups)
+    t.W.nodes;
+  !out
+
+let summary (t : W.t) =
+  let total_defs =
+    Array.fold_left
+      (fun acc uv -> match uv with Some _ -> acc + 1 | None -> acc)
+      0 t.W.copy_uvals
+  in
+  let ks = classes t in
+  let iso = List.fold_left (fun acc k -> acc + List.length k.members) 0 ks in
+  let redundant =
+    List.fold_left
+      (fun acc k -> acc + ((List.length k.members - 1) * k.executions))
+      0 ks
+  in
+  (iso, total_defs, redundant)

@@ -1,0 +1,48 @@
+module W = Wet_core.Wet
+module Query = Wet_core.Query
+module Instr = Wet_ir.Instr
+
+type t = { cells : (int, int * int) Hashtbl.t (* addr -> (ts, value) *) }
+
+let at (wet : W.t) ~ts =
+  if ts < 1 || ts > wet.W.stats.W.path_execs then
+    invalid_arg "State_reconstruct.at: timestamp out of range";
+  let cells = Hashtbl.create 1024 in
+  let stores =
+    Query.copies_matching wet (function Instr.Store _ -> true | _ -> false)
+  in
+  List.iter
+    (fun c ->
+      let node = W.node_of_copy wet c in
+      for i = 0 to node.W.n_nexec - 1 do
+        let when_ = W.timestamp wet c i in
+        if when_ <= ts then begin
+          (* slot 0 is the address operand, slot 1 the stored value *)
+          let addr =
+            match W.resolve_dep wet c i 0 with
+            | Some (pc, pi) -> W.value_of_copy wet pc pi
+            | None -> 0
+          in
+          let value =
+            match W.resolve_dep wet c i 1 with
+            | Some (pc, pi) -> W.value_of_copy wet pc pi
+            | None -> 0
+          in
+          match Hashtbl.find_opt cells addr with
+          | Some (prev_ts, _) when prev_ts >= when_ -> ()
+          | Some _ | None -> Hashtbl.replace cells addr (when_, value)
+        end
+      done)
+    stores;
+  { cells }
+
+let read t addr =
+  match Hashtbl.find_opt t.cells addr with
+  | Some (_, v) -> v
+  | None -> 0
+
+let written t =
+  List.sort compare (Hashtbl.fold (fun a _ acc -> a :: acc) t.cells [])
+
+let global (wet : W.t) t name =
+  read t (Wet_ir.Program.global_base wet.W.program name)

@@ -1,0 +1,17 @@
+(** Frequent value locality (the paper cites Yang & Gupta's "Frequent
+    Value Locality and its Applications" as a client of value profiles).
+
+    A small set of values typically accounts for a large share of all
+    values flowing through loads; exploiting that enables value-centric
+    cache compression and value encoding. Both measures below read the
+    WET's per-instruction load value traces (the paper's Table 7
+    query). *)
+
+(** [frequent ?top wet] is the [top] (default 8) most frequent load
+    values with their occurrence counts, descending. *)
+val frequent : ?top:int -> Wet_core.Wet.t -> (int * int) list
+
+(** [coverage wet ~top] is the fraction of all load value occurrences
+    covered by the [top] most frequent values (0 when there are no
+    loads). *)
+val coverage : Wet_core.Wet.t -> top:int -> float

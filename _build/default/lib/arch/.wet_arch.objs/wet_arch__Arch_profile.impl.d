@@ -1,0 +1,1 @@
+lib/arch/arch_profile.ml: Array Branch_predictor Cache Wet_interp Wet_ir

@@ -1,0 +1,1 @@
+lib/arch/arch_profile.mli: Branch_predictor Cache Wet_interp

@@ -1,0 +1,1 @@
+lib/arch/branch_predictor.mli:

@@ -1,0 +1,44 @@
+module T = Wet_interp.Trace
+module Instr = Wet_ir.Instr
+module Program = Wet_ir.Program
+
+type result = {
+  branches : int;
+  mispredicts : int;
+  loads : int;
+  load_misses : int;
+  stores : int;
+  store_misses : int;
+}
+
+let of_trace ?predictor ?cache (trace : T.t) =
+  let bp =
+    match predictor with Some p -> p | None -> Branch_predictor.create ()
+  in
+  let c = match cache with Some c -> c | None -> Cache.create () in
+  let prog = T.program trace in
+  let nblocks = Array.length trace.T.blocks in
+  for k = 0 to nblocks - 1 do
+    let f, b = T.decode_block trace.T.blocks.(k) in
+    let fn = prog.Program.funcs.(f) in
+    match Wet_ir.Func.terminator fn b with
+    | Instr.Branch (_, b1, _) when k + 1 < nblocks ->
+      (* A branch transfers directly, so the next block event is its
+         target within the same function. *)
+      let _, nb = T.decode_block trace.T.blocks.(k + 1) in
+      let ninstrs = Array.length fn.Wet_ir.Func.blocks.(b).Wet_ir.Func.instrs in
+      let pc = Program.stmt_id prog f b (ninstrs - 1) in
+      ignore (Branch_predictor.record bp ~pc ~taken:(nb = b1))
+    | _ -> ()
+  done;
+  Array.iter
+    (fun op ->
+      ignore (Cache.access c ~addr:(op lsr 1) ~is_store:(op land 1 = 1)))
+    trace.T.mem_ops;
+  let branches, mispredicts = Branch_predictor.stats bp in
+  let loads, load_misses, stores, store_misses = Cache.stats c in
+  { branches; mispredicts; loads; load_misses; stores; store_misses }
+
+let history_bytes r =
+  let bits n = float_of_int n /. 8. in
+  (bits r.branches, bits r.loads, bits r.stores)

@@ -1,0 +1,25 @@
+(** Architecture-specific augmentation of a trace (paper Table 4).
+
+    Replays a recorded trace through a gshare branch predictor and a
+    direct-mapped data cache, yielding the per-event one-bit histories
+    (mispredict / load miss / store miss) whose storage Table 4 sizes. *)
+
+type result = {
+  branches : int;
+  mispredicts : int;
+  loads : int;
+  load_misses : int;
+  stores : int;
+  store_misses : int;
+}
+
+(** Replay with the given (or default) structures. *)
+val of_trace :
+  ?predictor:Branch_predictor.t ->
+  ?cache:Cache.t ->
+  Wet_interp.Trace.t ->
+  result
+
+(** Uncompressed one-bit-per-event storage in bytes:
+    [(branch, load, store)]. *)
+val history_bytes : result -> float * float * float

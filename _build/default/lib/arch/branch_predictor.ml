@@ -1,0 +1,35 @@
+type t = {
+  counters : Bytes.t;  (* 2-bit saturating counters, one byte each *)
+  mask : int;
+  mutable history : int;
+  mutable executed : int;
+  mutable mispredicted : int;
+}
+
+let create ?(history_bits = 12) () =
+  if history_bits < 1 || history_bits > 24 then
+    invalid_arg "Branch_predictor.create: history_bits in [1,24]";
+  {
+    counters = Bytes.make (1 lsl history_bits) '\001';  (* weakly not-taken *)
+    mask = (1 lsl history_bits) - 1;
+    history = 0;
+    executed = 0;
+    mispredicted = 0;
+  }
+
+let index t ~pc = (pc lxor t.history) land t.mask
+
+let predict t ~pc = Char.code (Bytes.get t.counters (index t ~pc)) >= 2
+
+let record t ~pc ~taken =
+  let ix = index t ~pc in
+  let c = Char.code (Bytes.get t.counters ix) in
+  let correct = c >= 2 = taken in
+  let c' = if taken then min 3 (c + 1) else max 0 (c - 1) in
+  Bytes.set t.counters ix (Char.chr c');
+  t.history <- ((t.history lsl 1) lor Bool.to_int taken) land t.mask;
+  t.executed <- t.executed + 1;
+  if not correct then t.mispredicted <- t.mispredicted + 1;
+  correct
+
+let stats t = (t.executed, t.mispredicted)

@@ -1,0 +1,21 @@
+(** A gshare branch predictor.
+
+    The paper's Table 4 augments the WET with one bit of misprediction
+    history per branch execution; this predictor supplies those bits.
+    [2^history_bits] two-bit saturating counters are indexed by the
+    branch address XORed with the global history register. *)
+
+type t
+
+(** [create ~history_bits ()] — default 12 bits (4096 counters). *)
+val create : ?history_bits:int -> unit -> t
+
+(** [predict t ~pc] is the predicted direction for the branch at [pc]. *)
+val predict : t -> pc:int -> bool
+
+(** [record t ~pc ~taken] updates the counter and history; returns
+    [true] if the prediction was correct. *)
+val record : t -> pc:int -> taken:bool -> bool
+
+(** Executions seen and mispredictions so far. *)
+val stats : t -> int * int

@@ -1,0 +1,48 @@
+type t = {
+  tags : int array;  (* -1 = invalid *)
+  line_shift : int;
+  index_mask : int;
+  mutable loads : int;
+  mutable load_misses : int;
+  mutable stores : int;
+  mutable store_misses : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc v = if v = 1 then acc else go (acc + 1) (v / 2) in
+  go 0 n
+
+let create ?(size_words = 4096) ?(line_words = 4) () =
+  if not (is_pow2 size_words && is_pow2 line_words) then
+    invalid_arg "Cache.create: sizes must be powers of two";
+  if line_words > size_words then
+    invalid_arg "Cache.create: line larger than cache";
+  let nlines = size_words / line_words in
+  {
+    tags = Array.make nlines (-1);
+    line_shift = log2 line_words;
+    index_mask = nlines - 1;
+    loads = 0;
+    load_misses = 0;
+    stores = 0;
+    store_misses = 0;
+  }
+
+let access t ~addr ~is_store =
+  let line = addr asr t.line_shift in
+  let ix = line land t.index_mask in
+  let hit = t.tags.(ix) = line in
+  if not hit then t.tags.(ix) <- line;  (* allocate on both read and write *)
+  if is_store then begin
+    t.stores <- t.stores + 1;
+    if not hit then t.store_misses <- t.store_misses + 1
+  end
+  else begin
+    t.loads <- t.loads + 1;
+    if not hit then t.load_misses <- t.load_misses + 1
+  end;
+  hit
+
+let stats t = (t.loads, t.load_misses, t.stores, t.store_misses)

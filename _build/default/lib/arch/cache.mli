@@ -1,0 +1,17 @@
+(** A direct-mapped data cache.
+
+    Supplies the per-access hit/miss bits of the paper's Table 4. Sizes
+    are in words (the IR's memory unit). *)
+
+type t
+
+(** [create ~size_words ~line_words ()] — defaults: 4096-word cache
+    (32 KiB of 8-byte words), 4-word lines. Both must be powers of two.
+    @raise Invalid_argument otherwise. *)
+val create : ?size_words:int -> ?line_words:int -> unit -> t
+
+(** [access t ~addr ~is_store] simulates one access; [true] = hit. *)
+val access : t -> addr:int -> is_store:bool -> bool
+
+(** [(load accesses, load misses, store accesses, store misses)]. *)
+val stats : t -> int * int * int * int

@@ -1,0 +1,1 @@
+lib/bistream/bidir.ml: Array Wet_util

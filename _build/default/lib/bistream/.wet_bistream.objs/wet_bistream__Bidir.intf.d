@@ -1,0 +1,1 @@
+lib/bistream/bidir.mli:

@@ -1,0 +1,1 @@
+lib/bistream/stream.ml: Array Bidir List Printf

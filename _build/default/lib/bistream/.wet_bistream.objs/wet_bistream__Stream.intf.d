@@ -1,0 +1,1 @@
+lib/bistream/stream.mli: Bidir

@@ -1,0 +1,307 @@
+module Hashing = Wet_util.Hashing
+module Bitvec = Wet_util.Bitvec
+
+type meth = Fcm | Dfcm | Last_n | Last_stride
+
+let meth_name = function
+  | Fcm -> "fcm"
+  | Dfcm -> "dfcm"
+  | Last_n -> "last-n"
+  | Last_stride -> "last-stride"
+
+let all_meths = [ Fcm; Dfcm; Last_n; Last_stride ]
+
+type t = {
+  meth : meth;
+  ctx : int;
+  m : int;  (* real stream length *)
+  p : int array;  (* padded storage: raw value in window, payload elsewhere *)
+  hit : Bitvec.t;
+  frtb : int array;  (* FCM family only; [||] otherwise *)
+  bltb : int array;
+  table_bits : int;
+  mutable w : int;  (* window start: FR = [0,w), window = [w,w+ctx), BL after *)
+}
+
+let ceil_log2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+(* Payload bits of a hit entry (the flag bit is counted separately). *)
+let hit_bits t =
+  match t.meth with
+  | Fcm | Dfcm -> 0
+  | Last_n | Last_stride -> ceil_log2 t.ctx
+
+let key_fcm t q =
+  Hashing.index_of_hash (Hashing.hash_window t.p q t.ctx) t.table_bits
+
+let key_dfcm t q =
+  let acc = ref Hashing.fnv_init in
+  for i = q to q + t.ctx - 2 do
+    acc := Hashing.fnv_fold !acc (t.p.(i + 1) - t.p.(i))
+  done;
+  Hashing.index_of_hash !acc t.table_bits
+
+(* The [pop_*]/[push_*] pairs below are exact inverses: a miss entry's
+   payload is the table value it displaced, so popping restores the
+   table to its pre-push state (paper Fig. 5). The Last-n family uses
+   the window itself as its table (paper Fig. 7) and needs no undo. *)
+
+(* Pop the BL entry at padded position [pos]; its left context is the
+   current window [pos-ctx .. pos-1]. Returns the revealed value. *)
+let pop_bl t pos =
+  let n = t.ctx in
+  let hit = Bitvec.get t.hit pos in
+  match t.meth with
+  | Fcm ->
+    let idx = key_fcm t (pos - n) in
+    let x = t.bltb.(idx) in
+    if not hit then t.bltb.(idx) <- t.p.(pos);
+    x
+  | Dfcm ->
+    let idx = key_dfcm t (pos - n) in
+    let s = t.bltb.(idx) in
+    let x = t.p.(pos - 1) + s in
+    if not hit then t.bltb.(idx) <- t.p.(pos);
+    x
+  | Last_n -> if hit then t.p.(pos - n + t.p.(pos)) else t.p.(pos)
+  | Last_stride ->
+    if hit then begin
+      let k = t.p.(pos) in
+      let s = if k = 0 then 0 else t.p.(pos - n + k) - t.p.(pos - n + k - 1) in
+      t.p.(pos - 1) + s
+    end
+    else t.p.(pos)
+
+(* Push value [x] (currently at window position [pos]) into BL; its left
+   context is [pos-ctx .. pos-1]. Stores the entry payload at [pos]. *)
+let push_bl t pos x =
+  let n = t.ctx in
+  let set hit payload =
+    Bitvec.set t.hit pos hit;
+    t.p.(pos) <- payload
+  in
+  match t.meth with
+  | Fcm ->
+    let idx = key_fcm t (pos - n) in
+    if t.bltb.(idx) = x then set true 0
+    else begin
+      set false t.bltb.(idx);
+      t.bltb.(idx) <- x
+    end
+  | Dfcm ->
+    let idx = key_dfcm t (pos - n) in
+    let s = x - t.p.(pos - 1) in
+    if t.bltb.(idx) = s then set true 0
+    else begin
+      set false t.bltb.(idx);
+      t.bltb.(idx) <- s
+    end
+  | Last_n ->
+    let rec find k =
+      if k >= n then set false x
+      else if t.p.(pos - n + k) = x then set true k
+      else find (k + 1)
+    in
+    find 0
+  | Last_stride ->
+    let s = x - t.p.(pos - 1) in
+    if s = 0 then set true 0
+    else begin
+      let rec find k =
+        if k >= n then set false x
+        else if t.p.(pos - n + k) - t.p.(pos - n + k - 1) = s then set true k
+        else find (k + 1)
+      in
+      find 1
+    end
+
+(* Pop the FR entry at padded position [pos]; its right context is the
+   window [pos+1 .. pos+ctx]. *)
+let pop_fr t pos =
+  let hit = Bitvec.get t.hit pos in
+  match t.meth with
+  | Fcm ->
+    let idx = key_fcm t (pos + 1) in
+    let x = t.frtb.(idx) in
+    if not hit then t.frtb.(idx) <- t.p.(pos);
+    x
+  | Dfcm ->
+    let idx = key_dfcm t (pos + 1) in
+    let s = t.frtb.(idx) in
+    let x = t.p.(pos + 1) + s in
+    if not hit then t.frtb.(idx) <- t.p.(pos);
+    x
+  | Last_n -> if hit then t.p.(pos + 1 + t.p.(pos)) else t.p.(pos)
+  | Last_stride ->
+    if hit then begin
+      let k = t.p.(pos) in
+      let s = if k = 0 then 0 else t.p.(pos + k) - t.p.(pos + k + 1) in
+      t.p.(pos + 1) + s
+    end
+    else t.p.(pos)
+
+(* Push value [x] (currently at window position [pos]) into FR; its
+   right context is [pos+1 .. pos+ctx]. *)
+let push_fr t pos x =
+  let n = t.ctx in
+  let set hit payload =
+    Bitvec.set t.hit pos hit;
+    t.p.(pos) <- payload
+  in
+  match t.meth with
+  | Fcm ->
+    let idx = key_fcm t (pos + 1) in
+    if t.frtb.(idx) = x then set true 0
+    else begin
+      set false t.frtb.(idx);
+      t.frtb.(idx) <- x
+    end
+  | Dfcm ->
+    let idx = key_dfcm t (pos + 1) in
+    let s = x - t.p.(pos + 1) in
+    if t.frtb.(idx) = s then set true 0
+    else begin
+      set false t.frtb.(idx);
+      t.frtb.(idx) <- s
+    end
+  | Last_n ->
+    let rec find k =
+      if k >= n then set false x
+      else if t.p.(pos + 1 + k) = x then set true k
+      else find (k + 1)
+    in
+    find 0
+  | Last_stride ->
+    let s = x - t.p.(pos + 1) in
+    if s = 0 then set true 0
+    else begin
+      let rec find k =
+        if k >= n then set false x
+        else if t.p.(pos + k) - t.p.(pos + k + 1) = s then set true k
+        else find (k + 1)
+      in
+      find 1
+    end
+
+let internal_step_forward t =
+  let reveal = t.w + t.ctx in
+  let x = pop_bl t reveal in
+  let leaving = t.p.(t.w) in
+  t.p.(reveal) <- x;
+  push_fr t t.w leaving;
+  t.w <- t.w + 1;
+  x
+
+(* A backward step reveals the value at index [w-1], which is already the
+   rightmost window slot: it leaves the window into BL while the FR entry
+   at [w-1] is popped to refill the window from the left. *)
+let internal_step_backward t =
+  let refill = t.w - 1 in
+  let x = pop_fr t refill in
+  let leaving = t.p.(t.w + t.ctx - 1) in
+  (* The refill value must be in place before [push_bl] reads the new
+     window as the left context of the leaving value. *)
+  t.p.(refill) <- x;
+  push_bl t (t.w + t.ctx - 1) leaving;
+  t.w <- t.w - 1;
+  leaving
+
+let compress meth ~ctx values =
+  if ctx < 1 || ctx > 16 then invalid_arg "Bidir.compress: ctx must be in [1,16]";
+  let m = Array.length values in
+  let p = Array.make (m + (2 * ctx)) 0 in
+  Array.blit values 0 p ctx m;
+  (* Tables are counted as part of the compressed size, so they are
+     sized well below the stream itself; larger tables would raise hit
+     rates slightly but cost more than they save on these streams. *)
+  let table_bits =
+    match meth with
+    | Fcm | Dfcm -> min 12 (max 2 (ceil_log2 (max 2 m) - 5))
+    | Last_n | Last_stride -> 0
+  in
+  let tb () =
+    match meth with
+    | Fcm | Dfcm -> Array.make (1 lsl table_bits) 0
+    | Last_n | Last_stride -> [||]
+  in
+  let t =
+    {
+      meth; ctx; m; p;
+      hit = Bitvec.create (m + (2 * ctx));
+      frtb = tb (); bltb = tb (); table_bits;
+      w = m + ctx;
+    }
+  in
+  (* Build the all-FR state left to right (each value compressed with
+     its still-raw right context), then walk the cursor back to the left
+     end, which moves everything into BL with consistent tables. *)
+  for j = 0 to m + ctx - 1 do
+    push_fr t j t.p.(j)
+  done;
+  for _ = 1 to m + ctx do
+    ignore (internal_step_backward t)
+  done;
+  t
+
+let length t = t.m
+
+let cursor t = t.w
+
+let step_forward t =
+  if t.w >= t.m then invalid_arg "Bidir.step_forward: at right end";
+  internal_step_forward t
+
+let step_backward t =
+  if t.w <= 0 then invalid_arg "Bidir.step_backward: at left end";
+  internal_step_backward t
+
+let peek_forward t =
+  let x = step_forward t in
+  ignore (internal_step_backward t);
+  x
+
+let peek_backward t =
+  let x = step_backward t in
+  ignore (internal_step_forward t);
+  x
+
+let seek t k =
+  if k < 0 || k > t.m then invalid_arg "Bidir.seek";
+  while t.w < k do
+    ignore (internal_step_forward t)
+  done;
+  while t.w > k do
+    ignore (internal_step_backward t)
+  done
+
+let read_at t k =
+  if k < 0 || k >= t.m then invalid_arg "Bidir.read_at";
+  seek t k;
+  step_forward t
+
+let compressed_bits t =
+  let hb = hit_bits t in
+  let entry_bits pos =
+    1 + (if Bitvec.get t.hit pos then hb else 32)
+  in
+  let total = ref (t.ctx * 32) in
+  for pos = 0 to t.w - 1 do
+    total := !total + entry_bits pos
+  done;
+  for pos = t.w + t.ctx to t.m + (2 * t.ctx) - 1 do
+    total := !total + entry_bits pos
+  done;
+  (match t.meth with
+   | Fcm | Dfcm -> total := !total + (2 * (1 lsl t.table_bits) * 32)
+   | Last_n | Last_stride -> ());
+  !total
+
+let to_array t =
+  seek t 0;
+  Array.init t.m (fun _ -> step_forward t)
+
+let meth t = t.meth
+
+let ctx t = t.ctx

@@ -1,0 +1,75 @@
+(** Bidirectional compressed value streams (paper §4).
+
+    A compressed stream of length [m] with context size [n] is kept as
+    three parts: [FR] (values left of the cursor, forward-compressed
+    using each value's {e right} context), an uncompressed window of [n]
+    values, and [BL] (values right of the cursor, backward-compressed
+    using each value's {e left} context). The stream is padded with [n]
+    zero sentinels at each end so the window always exists.
+
+    Stepping the cursor forward uncompresses the first [BL] entry into
+    the window and compresses the value leaving the window into [FR];
+    stepping backward is the mirror image. Both [FR] and [BL] behave as
+    stacks, and a miss entry stores the table value it displaced, so
+    every step restores the lookup tables exactly — this is what makes
+    the traversal bidirectional (paper Fig. 5).
+
+    Four predictors are provided. [Fcm] and [Dfcm] use two hashed lookup
+    tables (one per direction), sized to the stream. [Last_n] and
+    [Last_stride] use the window itself as the lookup table (the paper's
+    single-table design, Fig. 7), so they carry no table state at all. *)
+
+type meth = Fcm | Dfcm | Last_n | Last_stride
+
+val meth_name : meth -> string
+val all_meths : meth list
+
+type t
+
+(** [compress meth ~ctx values] builds the compressed stream with the
+    cursor parked at the left end (everything in [BL]).
+    @raise Invalid_argument if [ctx < 1] or [ctx > 16]. *)
+val compress : meth -> ctx:int -> int array -> t
+
+(** Number of (real) values in the stream. *)
+val length : t -> int
+
+(** Cursor position in [\[0, length\]]: the number of values already
+    revealed by forward steps. *)
+val cursor : t -> int
+
+(** Reveal the value at index [cursor] and advance.
+    @raise Invalid_argument at the right end. *)
+val step_forward : t -> int
+
+(** Reveal the value at index [cursor - 1] and retreat.
+    @raise Invalid_argument at the left end. *)
+val step_backward : t -> int
+
+(** Value a forward step would reveal, leaving the stream state
+    untouched (implemented as a step and its inverse). *)
+val peek_forward : t -> int
+
+val peek_backward : t -> int
+
+(** Move the cursor to [k] by stepping. *)
+val seek : t -> int -> unit
+
+(** [read_at t k] is the value at index [k]; the cursor ends at [k+1]. *)
+val read_at : t -> int -> int
+
+(** Analytic size in bits of the compressed representation: one flag bit
+    per entry, plus payload bits per miss (32) or per [Last_n]-family hit
+    (log2 of the candidate count), plus the 32-bit window values and, for
+    the FCM family, the two lookup tables. The in-memory working
+    representation is word-aligned and larger; all reported sizes use
+    this analytic measure. *)
+val compressed_bits : t -> int
+
+(** Decompress the whole stream (for tests; moves the cursor). *)
+val to_array : t -> int array
+
+val meth : t -> meth
+
+(** Context size the stream was compressed with. *)
+val ctx : t -> int

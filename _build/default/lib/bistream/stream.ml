@@ -1,0 +1,149 @@
+type repr = Raw of { data : int array; mutable pos : int } | Packed of Bidir.t
+
+type t = repr
+
+let candidates =
+  List.concat_map
+    (fun meth -> List.map (fun ctx -> (meth, ctx)) [ 1; 2; 4 ])
+    Bidir.all_meths
+
+(* Streams shorter than this are kept raw outright; the trial prefix is
+   capped at [trial_len] values. *)
+let raw_cutoff = 16
+
+let trial_len = 4096
+
+let compress_with spec values =
+  match spec with
+  | `Raw -> Raw { data = Array.copy values; pos = 0 }
+  | `Bidir (meth, ctx) -> Packed (Bidir.compress meth ~ctx values)
+
+let compress values =
+  let m = Array.length values in
+  if m < raw_cutoff then compress_with `Raw values
+  else begin
+    let prefix =
+      if m <= trial_len then values else Array.sub values 0 trial_len
+    in
+    let best = ref (`Raw, 32 * Array.length prefix) in
+    List.iter
+      (fun (meth, ctx) ->
+        let bits = Bidir.compressed_bits (Bidir.compress meth ~ctx prefix) in
+        if bits < snd !best then best := (`Bidir (meth, ctx), bits))
+      candidates;
+    compress_with (fst !best) values
+  end
+
+let length = function
+  | Raw { data; _ } -> Array.length data
+  | Packed b -> Bidir.length b
+
+let cursor = function Raw { pos; _ } -> pos | Packed b -> Bidir.cursor b
+
+let step_forward = function
+  | Raw r ->
+    if r.pos >= Array.length r.data then
+      invalid_arg "Stream.step_forward: at right end";
+    let x = r.data.(r.pos) in
+    r.pos <- r.pos + 1;
+    x
+  | Packed b -> Bidir.step_forward b
+
+let step_backward = function
+  | Raw r ->
+    if r.pos <= 0 then invalid_arg "Stream.step_backward: at left end";
+    r.pos <- r.pos - 1;
+    r.data.(r.pos)
+  | Packed b -> Bidir.step_backward b
+
+let peek_forward = function
+  | Raw r ->
+    if r.pos >= Array.length r.data then
+      invalid_arg "Stream.peek_forward: at right end";
+    r.data.(r.pos)
+  | Packed b -> Bidir.peek_forward b
+
+let peek_backward = function
+  | Raw r ->
+    if r.pos <= 0 then invalid_arg "Stream.peek_backward: at left end";
+    r.data.(r.pos - 1)
+  | Packed b -> Bidir.peek_backward b
+
+let seek t k =
+  match t with
+  | Raw r ->
+    if k < 0 || k > Array.length r.data then invalid_arg "Stream.seek";
+    r.pos <- k
+  | Packed b -> Bidir.seek b k
+
+let read_at t k =
+  match t with
+  | Raw r ->
+    if k < 0 || k >= Array.length r.data then invalid_arg "Stream.read_at";
+    r.pos <- k + 1;
+    r.data.(k)
+  | Packed b -> Bidir.read_at b k
+
+let bits = function
+  | Raw { data; _ } -> 32 * Array.length data
+  | Packed b -> Bidir.compressed_bits b
+
+let method_name = function
+  | Raw _ -> "raw"
+  | Packed b ->
+    Printf.sprintf "%s/%d" (Bidir.meth_name (Bidir.meth b)) (Bidir.ctx b)
+
+let to_array = function
+  | Raw r ->
+    r.pos <- Array.length r.data;
+    Array.copy r.data
+  | Packed b -> Bidir.to_array b
+
+let lower_bound t v =
+  match t with
+  | Raw r ->
+    let lo = ref 0 and hi = ref (Array.length r.data) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if r.data.(mid) < v then lo := mid + 1 else hi := mid
+    done;
+    r.pos <- !lo;
+    !lo
+  | Packed b ->
+    let m = Bidir.length b in
+    while Bidir.cursor b > 0 && Bidir.peek_backward b >= v do
+      ignore (Bidir.step_backward b)
+    done;
+    while Bidir.cursor b < m && Bidir.peek_forward b < v do
+      ignore (Bidir.step_forward b)
+    done;
+    Bidir.cursor b
+
+let find_ascending t v =
+  match t with
+  | Raw r ->
+    let lo = ref 0 and hi = ref (Array.length r.data - 1) in
+    let found = ref None in
+    while !found = None && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let x = r.data.(mid) in
+      if x = v then found := Some mid
+      else if x < v then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  | Packed b ->
+    let m = Bidir.length b in
+    if m = 0 then None
+    else begin
+      (* Walk until the value just right of the cursor is >= v. *)
+      while Bidir.cursor b > 0 && Bidir.peek_backward b >= v do
+        ignore (Bidir.step_backward b)
+      done;
+      while Bidir.cursor b < m && Bidir.peek_forward b < v do
+        ignore (Bidir.step_forward b)
+      done;
+      if Bidir.cursor b < m && Bidir.peek_forward b = v then
+        Some (Bidir.cursor b)
+      else None
+    end

@@ -1,0 +1,54 @@
+(** Tier-2 compressed streams with per-stream method selection.
+
+    Following the paper's "Selection" paragraph (§5), each stream is
+    trial-compressed with every bidirectional method — FCM, differential
+    FCM, last-n and last-n-stride, each at three context sizes — over a
+    bounded prefix, and the smallest result wins. A raw (uncompressed)
+    representation competes too, so compression never loses more than
+    the trial cost; tiny streams usually stay raw. *)
+
+type t
+
+(** All candidate (method, context) pairs, in trial order. *)
+val candidates : (Bidir.meth * int) list
+
+(** [compress values] picks the best method for this stream and builds
+    the compressed representation, cursor at the left end. *)
+val compress : int array -> t
+
+(** Force a specific representation (for ablations and tests). *)
+val compress_with : [ `Raw | `Bidir of Bidir.meth * int ] -> int array -> t
+
+val length : t -> int
+
+(** Values revealed so far by forward steps (cursor position). *)
+val cursor : t -> int
+
+val step_forward : t -> int
+val step_backward : t -> int
+val peek_forward : t -> int
+val peek_backward : t -> int
+val seek : t -> int -> unit
+
+(** [read_at t k] is the value at index [k] (moves the cursor). *)
+val read_at : t -> int -> int
+
+(** Analytic compressed size in bits (32 bits per value when raw). *)
+val bits : t -> int
+
+(** Human-readable method name, e.g. ["dfcm/4"] or ["raw"]. *)
+val method_name : t -> string
+
+(** Decompress everything (moves the cursor). *)
+val to_array : t -> int array
+
+(** [find_ascending t v] is the index of [v] in a stream whose values are
+    strictly ascending, or [None]. Raw streams binary-search; packed
+    streams step their cursor from its current position, so repeated
+    nearby lookups are cheap — this is what makes tier-1 queries faster
+    than tier-2 queries in the paper's Tables 6–9. *)
+val find_ascending : t -> int -> int option
+
+(** [lower_bound t v] is the index of the first value [>= v] in an
+    ascending stream ([length t] if none); the cursor finishes there. *)
+val lower_bound : t -> int -> int

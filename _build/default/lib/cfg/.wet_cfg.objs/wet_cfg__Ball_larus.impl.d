@@ -1,0 +1,1 @@
+lib/cfg/ball_larus.ml: Array Fun Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/cfg/ball_larus.mli: Graph

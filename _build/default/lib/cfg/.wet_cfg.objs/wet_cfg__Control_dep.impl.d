@@ -1,0 +1,1 @@
+lib/cfg/control_dep.ml: Array Dominance Graph List

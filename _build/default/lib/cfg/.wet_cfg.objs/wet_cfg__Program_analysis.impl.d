@@ -1,0 +1,1 @@
+lib/cfg/program_analysis.ml: Array Ball_larus Control_dep Graph Wet_ir

@@ -1,0 +1,1 @@
+lib/cfg/program_analysis.mli: Ball_larus Graph Wet_ir

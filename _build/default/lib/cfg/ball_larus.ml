@@ -1,0 +1,178 @@
+let path_limit = 1 lsl 40
+
+type t = {
+  g : Graph.t;
+  break_ : bool array array;
+  edge_vals : int array array;
+  exit_vals : int array;
+  starts : (int * int) array;  (* (base id, node), sorted by base *)
+  npaths : int array;
+  total : int;
+}
+
+(* Initial break edges: loop back edges (an edge to a node on the DFS
+   stack; structured front ends produce reducible graphs, for which this
+   matches the natural loop back edges) plus every call block's out-edge,
+   so a path never spans a call. *)
+let back_edges (g : Graph.t) =
+  let break_ =
+    Array.mapi
+      (fun b s -> Array.make (Array.length s) g.is_call_block.(b))
+      g.succs
+  in
+  let colour = Array.make g.nblocks `White in
+  let rec dfs u =
+    colour.(u) <- `Grey;
+    Array.iteri
+      (fun i v ->
+        match colour.(v) with
+        | `Grey -> break_.(u).(i) <- true
+        | `White -> dfs v
+        | `Black -> ())
+      g.succs.(u);
+    colour.(u) <- `Black
+  in
+  dfs g.entry;
+  break_
+
+(* Postorder over all edges. Every cycle closes through a break edge, so
+   along non-break edges this is still a reverse topological order, and
+   traversing break edges too keeps break targets (call continuations,
+   loop headers) in the sweep. *)
+let dag_postorder (g : Graph.t) =
+  let seen = Array.make g.nblocks false in
+  let acc = ref [] in
+  let rec dfs u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      Array.iter dfs g.succs.(u);
+      acc := u :: !acc
+    end
+  in
+  dfs g.entry;
+  List.rev !acc
+
+let compute (g : Graph.t) =
+  let break_ = back_edges g in
+  let order = dag_postorder g in
+  let npaths = Array.make g.nblocks 0 in
+  let exit_vals = Array.make g.nblocks (-1) in
+  let edge_vals = Array.map (fun s -> Array.make (Array.length s) 0) g.succs in
+  List.iter
+    (fun u ->
+      let has_break () = Array.exists Fun.id break_.(u) in
+      let sum () =
+        let s = ref 0 in
+        Array.iteri
+          (fun i v -> if not break_.(u).(i) then s := !s + npaths.(v))
+          g.succs.(u);
+        if Array.length g.succs.(u) = 0 || has_break () then incr s;
+        !s
+      in
+      let n = sum () in
+      let n =
+        if n <= path_limit then n
+        else begin
+          (* Too many paths through [u]: break all of its out-edges so
+             every path ends here (standard Ball–Larus overflow cure). *)
+          Array.iteri (fun i _ -> break_.(u).(i) <- true) g.succs.(u);
+          1
+        end
+      in
+      npaths.(u) <- n;
+      (* Assign cumulative values: real DAG out-edges in successor order,
+         then the exit edge (real for returns, pseudo for break sources). *)
+      let running = ref 0 in
+      Array.iteri
+        (fun i v ->
+          if not break_.(u).(i) then begin
+            edge_vals.(u).(i) <- !running;
+            running := !running + npaths.(v)
+          end)
+        g.succs.(u);
+      if Array.length g.succs.(u) = 0 || has_break () then
+        exit_vals.(u) <- !running)
+    order;
+  (* Base ids: paths from the entry occupy [0, npaths(entry)); paths from
+     each break target occupy the next disjoint range. *)
+  let targets = Hashtbl.create 8 in
+  Array.iteri
+    (fun u row ->
+      Array.iteri
+        (fun i is_b ->
+          let v = g.succs.(u).(i) in
+          if is_b && v <> g.entry then Hashtbl.replace targets v ())
+        row)
+    break_;
+  let targets = List.sort compare (Hashtbl.fold (fun v () l -> v :: l) targets []) in
+  let starts = ref [ (0, g.entry) ] in
+  let running = ref npaths.(g.entry) in
+  List.iter
+    (fun v ->
+      starts := (!running, v) :: !starts;
+      running := !running + npaths.(v))
+    targets;
+  let starts = Array.of_list (List.rev !starts) in
+  Array.sort compare starts;
+  { g; break_; edge_vals; exit_vals; starts; npaths; total = !running }
+
+let num_paths t = t.total
+
+let is_break t ~src ~succ_ix = t.break_.(src).(succ_ix)
+
+let edge_value t ~src ~succ_ix =
+  if t.break_.(src).(succ_ix) then
+    invalid_arg "Ball_larus.edge_value: break edge";
+  t.edge_vals.(src).(succ_ix)
+
+let finish_value t ~src =
+  if t.exit_vals.(src) = -1 then
+    invalid_arg "Ball_larus.finish_value: block has no exit edge";
+  t.exit_vals.(src)
+
+let start_value t ~node =
+  let rec find i =
+    if i >= Array.length t.starts then
+      invalid_arg "Ball_larus.start_value: not a path start node"
+    else
+      let _, n = t.starts.(i) in
+      if n = node then fst t.starts.(i) else find (i + 1)
+  in
+  find 0
+
+let blocks_of_path t id =
+  if id < 0 || id >= t.total then invalid_arg "Ball_larus.blocks_of_path";
+  (* Binary search for the start node whose range contains [id]. *)
+  let lo = ref 0 and hi = ref (Array.length t.starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if fst t.starts.(mid) <= id then lo := mid else hi := mid - 1
+  done;
+  let base, start = t.starts.(!lo) in
+  let rec walk u r acc =
+    let acc = u :: acc in
+    (* Choose the numbering edge with the largest value <= r. *)
+    let best = ref None in
+    Array.iteri
+      (fun i v ->
+        if not t.break_.(u).(i) then begin
+          let value = t.edge_vals.(u).(i) in
+          if value <= r then
+            match !best with
+            | Some (bv, _) when bv >= value -> ()
+            | _ -> best := Some (value, Some v)
+        end)
+      t.g.succs.(u);
+    if t.exit_vals.(u) <> -1 && t.exit_vals.(u) <= r then begin
+      match !best with
+      | Some (bv, _) when bv >= t.exit_vals.(u) -> ()
+      | _ -> best := Some (t.exit_vals.(u), None)
+    end;
+    match !best with
+    | None -> invalid_arg "Ball_larus.blocks_of_path: corrupt id"
+    | Some (value, None) ->
+      if r <> value then invalid_arg "Ball_larus.blocks_of_path: corrupt id";
+      List.rev acc
+    | Some (value, Some v) -> walk v (r - value) acc
+  in
+  walk start (id - base) []

@@ -1,0 +1,51 @@
+(** Ball–Larus path numbering (paper §3.1).
+
+    The CFG minus its {e break edges} (loop back edges, plus any edges
+    broken to keep path counts bounded) is a DAG; every source-to-sink
+    walk of that DAG gets a unique integer id. A WET node is one such
+    path: all basic blocks of one path execution share a timestamp.
+
+    Following Ball–Larus, a break edge [(u, v)] is modelled by pseudo
+    edges [u -> Exit] and [Entry -> v]: a path finishing at [u] emits its
+    id, and the next path starts at [v] with that node's base id.
+
+    The interpreter drives this incrementally:
+    {ul
+    {- entering a function: [path_sum = start_value t ~node:entry]}
+    {- taking successor [i] of block [u]:
+       if [is_break t ~src:u ~succ_ix:i] then the path
+       [path_sum + finish_value t ~src:u] is complete and the next path
+       begins with [start_value t ~node:v];
+       otherwise [path_sum <- path_sum + edge_value t ~src:u ~succ_ix:i]}
+    {- leaving the function from block [u]:
+       the path [path_sum + finish_value t ~src:u] is complete.}} *)
+
+type t
+
+(** [compute g] numbers the paths of [g]. Path counts are kept below
+    [2^40] by breaking additional edges where necessary. *)
+val compute : Graph.t -> t
+
+(** Total number of distinct path ids (paths actually executed are
+    usually a small subset). *)
+val num_paths : t -> int
+
+(** Is the [succ_ix]-th out-edge of [src] a break edge? *)
+val is_break : t -> src:int -> succ_ix:int -> bool
+
+(** Ball–Larus value of a non-break edge.
+    @raise Invalid_argument on a break edge. *)
+val edge_value : t -> src:int -> succ_ix:int -> int
+
+(** Value of the (real or pseudo) edge from [src] to the exit.
+    @raise Invalid_argument if [src] neither exits the function nor
+    sources a break edge. *)
+val finish_value : t -> src:int -> int
+
+(** Base id for paths beginning at [node] (the function entry or a break
+    target). @raise Invalid_argument otherwise. *)
+val start_value : t -> node:int -> int
+
+(** The block sequence of path [id], in execution order.
+    @raise Invalid_argument if [id] is outside [\[0, num_paths)]. *)
+val blocks_of_path : t -> int -> int list

@@ -1,0 +1,22 @@
+let parents (g : Graph.t) =
+  let pdom = Dominance.postdominators g in
+  let deps = Array.make g.nblocks [] in
+  (* For each edge (u, v) where v does not postdominate u, every node on
+     the postdominator-tree path from v up to, but excluding, ipdom(u) is
+     control dependent on u. *)
+  for u = 0 to g.nblocks - 1 do
+    if Array.length g.succs.(u) > 1 then begin
+      let stop = Dominance.idom pdom u in
+      Array.iter
+        (fun v ->
+          let rec walk w =
+            if w <> stop && w <> -1 && w <> Dominance.root pdom then begin
+              if not (List.mem u deps.(w)) then deps.(w) <- u :: deps.(w);
+              walk (Dominance.idom pdom w)
+            end
+          in
+          if not (Dominance.dominates pdom v u) then walk v)
+        g.succs.(u)
+    end
+  done;
+  Array.map (fun l -> List.sort compare l) deps

@@ -1,0 +1,12 @@
+(** Static control dependence (Ferrante–Ottenstein–Warren).
+
+    Block [b] is control dependent on branch block [p] when one successor
+    of [p] always leads to [b] (i.e. [b] postdominates that successor)
+    while [p] itself is not postdominated by [b]. These are the static CD
+    edges of the WET (paper §2); the interpreter instantiates them with
+    timestamp pairs at run time. *)
+
+(** [parents g] maps each block to the branch blocks it is directly
+    control dependent on (deduplicated, ascending). The entry of a
+    function typically has no parents. *)
+val parents : Graph.t -> int list array

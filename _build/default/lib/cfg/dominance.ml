@@ -1,0 +1,73 @@
+type t = { idoms : int array; tree_root : int }
+
+(* Cooper, Harvey, Kennedy: "A Simple, Fast Dominance Algorithm".
+   [succs]/[preds] describe the graph in the direction of dominance;
+   nodes unreachable from [root] keep idom = -1. *)
+let compute ~nnodes ~root ~succs ~preds =
+  let seen = Array.make nnodes false in
+  let post = ref [] in
+  let rec dfs n =
+    if not seen.(n) then begin
+      seen.(n) <- true;
+      Array.iter dfs (succs n);
+      post := n :: !post
+    end
+  in
+  dfs root;
+  let rpo = Array.of_list !post in
+  let rpo_index = Array.make nnodes (-1) in
+  Array.iteri (fun i n -> rpo_index.(n) <- i) rpo;
+  let idoms = Array.make nnodes (-1) in
+  idoms.(root) <- root;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idoms.(a) b
+    else intersect a idoms.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun n ->
+        if n <> root then begin
+          let new_idom = ref (-1) in
+          Array.iter
+            (fun p ->
+              if idoms.(p) <> -1 then
+                new_idom := if !new_idom = -1 then p else intersect p !new_idom)
+            (preds n);
+          if !new_idom <> -1 && idoms.(n) <> !new_idom then begin
+            idoms.(n) <- !new_idom;
+            changed := true
+          end
+        end)
+      rpo
+  done;
+  idoms.(root) <- -1;
+  { idoms; tree_root = root }
+
+let dominators (g : Graph.t) =
+  compute ~nnodes:g.nblocks ~root:g.entry
+    ~succs:(fun n -> g.succs.(n))
+    ~preds:(fun n -> g.preds.(n))
+
+let postdominators (g : Graph.t) =
+  let exit = g.nblocks in
+  let nnodes = g.nblocks + 1 in
+  let exits = Array.of_list (Graph.exit_blocks g) in
+  (* Reverse graph: edges flow from exit towards the entry. *)
+  let succs n = if n = exit then exits else g.preds.(n) in
+  let preds n =
+    if n = exit then [||]
+    else if Array.length g.succs.(n) = 0 then [| exit |]
+    else g.succs.(n)
+  in
+  compute ~nnodes ~root:exit ~succs ~preds
+
+let root t = t.tree_root
+
+let idom t n = t.idoms.(n)
+
+let dominates t a b =
+  let rec walk n = n = a || (t.idoms.(n) <> -1 && walk t.idoms.(n)) in
+  walk b

@@ -1,0 +1,24 @@
+(** Dominator and postdominator trees (Cooper–Harvey–Kennedy).
+
+    Postdominance is computed on the reverse CFG augmented with a virtual
+    exit node (label [nblocks]) that every [Ret]/[Halt] block reaches, so
+    functions with several returns still have a tree. *)
+
+type t
+
+(** Dominator tree rooted at the entry. *)
+val dominators : Graph.t -> t
+
+(** Postdominator tree rooted at the virtual exit node [g.nblocks]. *)
+val postdominators : Graph.t -> t
+
+(** Root node of the tree. *)
+val root : t -> int
+
+(** Immediate dominator, or [-1] for the root and for nodes the root does
+    not reach (e.g. blocks that cannot reach any exit). *)
+val idom : t -> int -> int
+
+(** [dominates t a b]: does [a] (post)dominate [b]? Reflexive. Nodes not
+    in the tree dominate nothing and are dominated only by themselves. *)
+val dominates : t -> int -> int -> bool

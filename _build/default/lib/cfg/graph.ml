@@ -1,0 +1,57 @@
+type t = {
+  nblocks : int;
+  entry : int;
+  succs : int array array;
+  preds : int array array;
+  is_call_block : bool array;
+}
+
+let of_func (f : Wet_ir.Func.t) =
+  let nblocks = Wet_ir.Func.num_blocks f in
+  let succs =
+    Array.init nblocks (fun b ->
+        Array.of_list (Wet_ir.Func.successors f b))
+  in
+  let pred_lists = Array.make nblocks [] in
+  for b = nblocks - 1 downto 0 do
+    Array.iter (fun s -> pred_lists.(s) <- b :: pred_lists.(s)) succs.(b)
+  done;
+  let preds = Array.map Array.of_list pred_lists in
+  let is_call_block =
+    Array.init nblocks (fun b ->
+        match Wet_ir.Func.terminator f b with
+        | Wet_ir.Instr.Call _ -> true
+        | _ -> false)
+  in
+  { nblocks; entry = f.Wet_ir.Func.entry; succs; preds; is_call_block }
+
+let reachable g =
+  let seen = Array.make g.nblocks false in
+  let rec go b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      Array.iter go g.succs.(b)
+    end
+  in
+  go g.entry;
+  seen
+
+let reverse_postorder g =
+  let seen = Array.make g.nblocks false in
+  let post = ref [] in
+  let rec go b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      Array.iter go g.succs.(b);
+      post := b :: !post
+    end
+  in
+  go g.entry;
+  Array.of_list !post
+
+let exit_blocks g =
+  let acc = ref [] in
+  for b = g.nblocks - 1 downto 0 do
+    if Array.length g.succs.(b) = 0 then acc := b :: !acc
+  done;
+  !acc

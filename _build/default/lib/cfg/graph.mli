@@ -1,0 +1,28 @@
+(** Per-function control-flow graphs.
+
+    Nodes are basic-block labels [0 .. nblocks-1]; edges come from block
+    terminators. The graph is the substrate for dominance, control
+    dependence and Ball–Larus path numbering. *)
+
+type t = {
+  nblocks : int;
+  entry : int;
+  succs : int array array;  (** [succs.(b)] in terminator order *)
+  preds : int array array;
+  is_call_block : bool array;
+      (** blocks terminated by a [Call]; their out-edge is always a
+          Ball–Larus break edge so paths never span a call *)
+}
+
+(** Build the CFG of a function. *)
+val of_func : Wet_ir.Func.t -> t
+
+(** Blocks reachable from the entry. *)
+val reachable : t -> bool array
+
+(** Reverse postorder of the reachable blocks, starting at the entry.
+    Every block appears before all of its unvisited successors. *)
+val reverse_postorder : t -> int array
+
+(** [exit_blocks g] are the blocks with no successors ([Ret]/[Halt]). *)
+val exit_blocks : t -> int list

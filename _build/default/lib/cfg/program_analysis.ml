@@ -1,0 +1,16 @@
+type fn_info = {
+  graph : Graph.t;
+  bl : Ball_larus.t;
+  cd_parents : int list array;
+}
+
+type t = { program : Wet_ir.Program.t; fns : fn_info array }
+
+let of_program (p : Wet_ir.Program.t) =
+  let analyse f =
+    let graph = Graph.of_func f in
+    { graph; bl = Ball_larus.compute graph; cd_parents = Control_dep.parents graph }
+  in
+  { program = p; fns = Array.map analyse p.Wet_ir.Program.funcs }
+
+let fn t f = t.fns.(f)

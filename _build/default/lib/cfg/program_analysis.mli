@@ -1,0 +1,19 @@
+(** Per-function static analyses, bundled for the whole program.
+
+    The interpreter uses these to drive Ball–Larus path tracking and
+    dynamic control-dependence shadowing; the WET builder uses the same
+    instance so both sides agree on path numbering. *)
+
+type fn_info = {
+  graph : Graph.t;
+  bl : Ball_larus.t;
+  cd_parents : int list array;  (** static CD parents per block *)
+}
+
+type t = { program : Wet_ir.Program.t; fns : fn_info array }
+
+(** Analyse every function of a validated program. *)
+val of_program : Wet_ir.Program.t -> t
+
+(** Info for function [f]. *)
+val fn : t -> Wet_ir.Instr.func_id -> fn_info

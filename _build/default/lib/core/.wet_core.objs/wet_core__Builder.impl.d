@@ -1,0 +1,1 @@
+lib/core/builder.ml: Array Bytes Fun Hashtbl Int List Option Set Wet Wet_bistream Wet_cfg Wet_interp Wet_ir Wet_util

@@ -1,0 +1,1 @@
+lib/core/builder.mli: Wet Wet_interp Wet_ir

@@ -1,0 +1,1 @@
+lib/core/query.ml: Array List Wet Wet_bistream Wet_ir

@@ -1,0 +1,1 @@
+lib/core/sizes.ml: Array Hashtbl List Wet Wet_bistream

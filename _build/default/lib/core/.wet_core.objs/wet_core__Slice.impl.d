@@ -1,0 +1,1 @@
+lib/core/slice.ml: Array Hashtbl List Wet Wet_bistream Wet_ir

@@ -1,0 +1,1 @@
+lib/core/store.ml: Fun Marshal Printf String Wet

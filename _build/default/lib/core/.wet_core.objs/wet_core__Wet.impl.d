@@ -1,0 +1,1 @@
+lib/core/wet.ml: Array Wet_bistream Wet_cfg Wet_ir

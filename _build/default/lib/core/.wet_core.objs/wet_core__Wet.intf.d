@@ -1,0 +1,1 @@
+lib/core/wet.mli: Wet_bistream Wet_cfg Wet_ir

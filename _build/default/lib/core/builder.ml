@@ -1,0 +1,731 @@
+module Dyn = Wet_util.Dynarray_int
+module Stream = Wet_bistream.Stream
+module T = Wet_interp.Trace
+module PA = Wet_cfg.Program_analysis
+module BL = Wet_cfg.Ball_larus
+module Instr = Wet_ir.Instr
+module Program = Wet_ir.Program
+
+(* ------------------------------------------------------------------ *)
+(* Static structure of a node (one per executed Ball–Larus path).     *)
+(* ------------------------------------------------------------------ *)
+
+type source =
+  | Src_slot of int * int  (* external operand: (offset, slot) *)
+  | Src_input of int  (* an Input statement at this offset *)
+
+type proto_group = {
+  pg_sources : source array;
+  pg_members : int array;  (* offsets with def ports, ascending *)
+  pg_pattern : Dyn.t;
+  pg_tuples : (int list, int) Hashtbl.t;
+}
+
+type proto = {
+  p_id : int;
+  p_func : int;
+  p_path : int;
+  p_blocks : int array;
+  p_stmts : int array;  (* static statement ids, path order *)
+  p_instrs : Instr.t array;
+  p_block_start : int array;
+  p_copy_base : int;
+  p_slot_count : int array;  (* dyn_use_count per offset *)
+  p_slot_base : int array;  (* global slot id of each offset's slot 0 *)
+  p_cd_slot : int array;  (* global slot id per block position *)
+  p_internal : int array array;
+      (* per offset, per register slot: producing offset or -1 *)
+  p_groups : proto_group array;
+  p_offset_group : int array;  (* group index per offset, -1 for no def *)
+  p_ts : Dyn.t;
+  p_uvals : Dyn.t array;  (* per offset; unused when no def *)
+  p_succs : (int, unit) Hashtbl.t;
+  p_preds : (int, unit) Hashtbl.t;
+  mutable p_nexec : int;
+  (* scratch, reused across executions *)
+  p_exec_pos : int array;  (* dynamic position per offset this exec *)
+  p_exec_prod : int array array;  (* producer position per offset/slot *)
+}
+
+module IntSet = Set.Make (Int)
+
+(* Analyse the statically known structure of a path: which register
+   slots are fed from inside the path, and the input groups (§3.2). *)
+let make_proto ~next_slot ~analysis ~id ~copy_base func path =
+  let prog = analysis.PA.program in
+  let fn = prog.Program.funcs.(func) in
+  let info = PA.fn analysis func in
+  let blocks = Array.of_list (BL.blocks_of_path info.PA.bl path) in
+  let stmts = Dyn.create () in
+  let block_start = Array.make (Array.length blocks) 0 in
+  Array.iteri
+    (fun bp b ->
+      block_start.(bp) <- Dyn.length stmts;
+      Array.iteri
+        (fun i _ -> Dyn.push stmts (Program.stmt_id prog func b i))
+        fn.Wet_ir.Func.blocks.(b).Wet_ir.Func.instrs)
+    blocks;
+  let p_stmts = Dyn.to_array stmts in
+  let instrs = Array.map (Program.instr prog) p_stmts in
+  let n = Array.length instrs in
+  let slot_count = Array.map Instr.dyn_use_count instrs in
+  let slot_base = Array.make n 0 in
+  for o = 0 to n - 1 do
+    slot_base.(o) <- !next_slot;
+    next_slot := !next_slot + slot_count.(o)
+  done;
+  let cd_slot =
+    Array.map
+      (fun _ ->
+        let s = !next_slot in
+        incr next_slot;
+        s)
+      blocks
+  in
+  (* Register slots resolved to their unique in-path reaching def. *)
+  let last_def = Array.make fn.Wet_ir.Func.nregs (-1) in
+  let internal =
+    Array.mapi
+      (fun o ins ->
+        let regs = Instr.uses ins in
+        let resolved =
+          Array.make slot_count.(o) (-1)
+          (* extra slots (memory, return link) stay external *)
+        in
+        List.iteri (fun s r -> resolved.(s) <- last_def.(r)) regs;
+        (match Instr.def ins with
+         | Some r -> last_def.(r) <- o
+         | None -> ());
+        resolved)
+      instrs
+  in
+  (* Transitive input sources per offset. *)
+  let src_ids = Hashtbl.create 16 in
+  let src_list = Dyn.create () in
+  let src_descr = ref [] in
+  let intern src =
+    match Hashtbl.find_opt src_ids src with
+    | Some i -> i
+    | None ->
+      let i = Dyn.length src_list in
+      Hashtbl.replace src_ids src i;
+      Dyn.push src_list i;
+      src_descr := src :: !src_descr;
+      i
+  in
+  let srcs = Array.make n IntSet.empty in
+  for o = 0 to n - 1 do
+    let s = ref IntSet.empty in
+    Array.iteri
+      (fun slot producer ->
+        if producer >= 0 then s := IntSet.union !s srcs.(producer)
+        else s := IntSet.add (intern (Src_slot (o, slot))) !s)
+      internal.(o);
+    (match instrs.(o) with
+     | Instr.Input _ -> s := IntSet.add (intern (Src_input o)) !s
+     | _ -> ());
+    srcs.(o) <- !s
+  done;
+  let descr = Array.of_list (List.rev !src_descr) in
+  (* Group def-bearing offsets by source set, then merge proper subsets
+     into their (first) superset. Constant groups (no sources) stay
+     separate: merging them would only add pattern storage. *)
+  let by_set = Hashtbl.create 16 in
+  let groups = ref [] in
+  let order = ref [] in
+  for o = 0 to n - 1 do
+    if Instr.has_def instrs.(o) then begin
+      let key = IntSet.elements srcs.(o) in
+      match Hashtbl.find_opt by_set key with
+      | Some members -> members := o :: !members
+      | None ->
+        let members = ref [ o ] in
+        Hashtbl.replace by_set key members;
+        order := (key, members) :: !order
+    end
+  done;
+  let initial = List.rev !order in
+  let alive =
+    Array.of_list
+      (List.map (fun (k, m) -> (IntSet.of_list k, m, ref true)) initial)
+  in
+  let card (s, _, _) = IntSet.cardinal s in
+  let idx = Array.init (Array.length alive) Fun.id in
+  Array.sort (fun a b -> compare (card alive.(a)) (card alive.(b))) idx;
+  Array.iter
+    (fun i ->
+      let set_i, members_i, alive_i = alive.(i) in
+      if !alive_i && not (IntSet.is_empty set_i) then begin
+        (* find any strict superset group and merge into it *)
+        let merged = ref false in
+        Array.iter
+          (fun j ->
+            if (not !merged) && j <> i then begin
+              let set_j, members_j, alive_j = alive.(j) in
+              if !alive_j
+                 && IntSet.cardinal set_j > IntSet.cardinal set_i
+                 && IntSet.subset set_i set_j
+              then begin
+                members_j := !members_i @ !members_j;
+                alive_i := false;
+                merged := true
+              end
+            end)
+          idx
+      end)
+    idx;
+  Array.iter
+    (fun (set, members, alive) ->
+      if !alive then
+        groups :=
+          {
+            pg_sources =
+              Array.of_list (List.map (fun i -> descr.(i)) (IntSet.elements set));
+            pg_members = Array.of_list (List.sort compare !members);
+            pg_pattern = Dyn.create ();
+            pg_tuples = Hashtbl.create 64;
+          }
+          :: !groups)
+    alive;
+  let p_groups = Array.of_list (List.rev !groups) in
+  let offset_group = Array.make n (-1) in
+  Array.iteri
+    (fun g pg -> Array.iter (fun o -> offset_group.(o) <- g) pg.pg_members)
+    p_groups;
+  {
+    p_id = id;
+    p_func = func;
+    p_path = path;
+    p_blocks = blocks;
+    p_stmts;
+    p_instrs = instrs;
+    p_block_start = block_start;
+    p_copy_base = copy_base;
+    p_slot_count = slot_count;
+    p_slot_base = slot_base;
+    p_cd_slot = cd_slot;
+    p_internal = internal;
+    p_groups;
+    p_offset_group = offset_group;
+    p_ts = Dyn.create ();
+    p_uvals = Array.map (fun _ -> Dyn.create ()) instrs;
+    p_succs = Hashtbl.create 4;
+    p_preds = Hashtbl.create 4;
+    p_nexec = 0;
+    p_exec_pos = Array.make n (-1);
+    p_exec_prod = Array.map (fun c -> Array.make (max 1 c) (-1)) slot_count;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Dependence slot state machine (shared by data and control slots).  *)
+(* ------------------------------------------------------------------ *)
+
+(* st_kind: -2 all events so far are same-node same-instance from
+   [st_prod] starting at instance 0 (or unseen when st_count = 0);
+   -1 tabled: events stored as labeled edges. *)
+
+type label_builder = { lb_dst : Dyn.t; lb_src : Dyn.t }
+
+type slot_tables = {
+  mutable st_kind : Bytes.t;  (* 0 = consecutive-local/unseen, 1 = tabled *)
+  mutable st_prod : int array;  (* producer copy while consecutive-local *)
+  mutable st_count : int array;
+  edges : (int * int, label_builder) Hashtbl.t;  (* (slot gid, producer copy) *)
+  slot_producers : (int, int list ref) Hashtbl.t;  (* slot gid -> producers *)
+}
+
+let ensure_slots st n =
+  let cap = Bytes.length st.st_kind in
+  if n > cap then begin
+    let cap' = max n (2 * cap) in
+    let kind = Bytes.make cap' '\000' in
+    Bytes.blit st.st_kind 0 kind 0 cap;
+    let prod = Array.make cap' (-1) in
+    Array.blit st.st_prod 0 prod 0 cap;
+    let count = Array.make cap' 0 in
+    Array.blit st.st_count 0 count 0 cap;
+    st.st_kind <- kind;
+    st.st_prod <- prod;
+    st.st_count <- count
+  end
+
+let add_edge_event st gid producer dst_inst src_inst =
+  let key = (gid, producer) in
+  let lb =
+    match Hashtbl.find_opt st.edges key with
+    | Some lb -> lb
+    | None ->
+      let lb = { lb_dst = Dyn.create (); lb_src = Dyn.create () } in
+      Hashtbl.replace st.edges key lb;
+      (match Hashtbl.find_opt st.slot_producers gid with
+       | Some l -> l := producer :: !l
+       | None -> Hashtbl.replace st.slot_producers gid (ref [ producer ]));
+      lb
+  in
+  Dyn.push lb.lb_dst dst_inst;
+  Dyn.push lb.lb_src src_inst
+
+(* The slot stops being uniformly local: materialise the pairs the
+   Local representation was standing for. *)
+let spill_local st gid =
+  let producer = st.st_prod.(gid) in
+  for k = 0 to st.st_count.(gid) - 1 do
+    add_edge_event st gid producer k k
+  done;
+  Bytes.set st.st_kind gid '\001'
+
+(* Record one dependence event: instance [inst] of the consumer slot
+   [gid] consumed the producer instance [(pcopy, pinst)]; [local] means
+   same node, same instance. [pcopy = -1] is a hole (no producer). *)
+let slot_event st gid ~inst ~pcopy ~pinst ~local =
+  if Bytes.get st.st_kind gid = '\001' then begin
+    if pcopy >= 0 then add_edge_event st gid pcopy inst pinst
+  end
+  else if local && st.st_count.(gid) = inst
+          && (st.st_count.(gid) = 0 || st.st_prod.(gid) = pcopy)
+  then begin
+    st.st_prod.(gid) <- pcopy;
+    st.st_count.(gid) <- st.st_count.(gid) + 1
+  end
+  else begin
+    if st.st_count.(gid) > 0 then spill_local st gid
+    else Bytes.set st.st_kind gid '\001';
+    if pcopy >= 0 then add_edge_event st gid pcopy inst pinst
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The main replay.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let raw arr = Stream.compress_with `Raw arr
+
+let build (trace : T.t) : Wet.t =
+  let analysis = trace.T.analysis in
+  let prog = analysis.PA.program in
+  let proto_list = ref [] in
+  let nprotos = ref 0 in
+  let proto_of = Hashtbl.create 256 in
+  let next_slot = ref 0 in
+  let next_copy = ref 0 in
+  let get_proto key =
+    match Hashtbl.find_opt proto_of key with
+    | Some p -> p
+    | None ->
+      let func, path = T.decode_path key in
+      let p =
+        make_proto ~next_slot ~analysis ~id:!nprotos ~copy_base:!next_copy
+          func path
+      in
+      next_copy := !next_copy + Array.length p.p_stmts;
+      Hashtbl.replace proto_of key p;
+      proto_list := p :: !proto_list;
+      incr nprotos;
+      p
+  in
+  let st =
+    {
+      st_kind = Bytes.make 1024 '\000';
+      st_prod = Array.make 1024 (-1);
+      st_count = Array.make 1024 0;
+      edges = Hashtbl.create 4096;
+      slot_producers = Hashtbl.create 4096;
+    }
+  in
+  (* Dynamic position -> (copy, instance). *)
+  let pos_copy = Array.make (max 1 trace.T.nstmts) (-1) in
+  let pos_inst = Array.make (max 1 trace.T.nstmts) (-1) in
+  let def_execs = ref 0 in
+  let dep_instances = ref 0 in
+  let cd_instances = ref 0 in
+  let pos = ref 0 in
+  let dep_cursor = ref 0 in
+  let block_cursor = ref 0 in
+  let prev_proto = ref (-1) in
+  (* Return-value links point forward in the dynamic stream (the callee's
+     Ret executes after the Call), so their events are deferred until the
+     position maps are complete. A deferred producer is never in the
+     consumer's node (callee paths are distinct from the caller's call
+     path), so these events are never Local. *)
+  let pend_gid = Dyn.create () in
+  let pend_inst = Dyn.create () in
+  let pend_prod = Dyn.create () in
+  let first_node = ref (-1) in
+  let last_node = ref (-1) in
+  Array.iteri
+    (fun path_index pkey ->
+      let p = get_proto pkey in
+      ensure_slots st !next_slot;
+      if !first_node < 0 then first_node := p.p_id;
+      last_node := p.p_id;
+      ignore !prev_proto;
+      Dyn.push p.p_ts (path_index + 1);
+      let inst = p.p_nexec in
+      let n = Array.length p.p_instrs in
+      let bp = ref 0 in
+      for o = 0 to n - 1 do
+        (* advance block position *)
+        if !bp + 1 < Array.length p.p_block_start
+           && p.p_block_start.(!bp + 1) = o
+        then incr bp;
+        if p.p_block_start.(!bp) = o then begin
+          (* block entry: consume the control-dependence event *)
+          let cd_pos = trace.T.cd_producer.(!block_cursor) in
+          incr block_cursor;
+          let gid = p.p_cd_slot.(!bp) in
+          let nstmts_in_block =
+            (if !bp + 1 < Array.length p.p_block_start then
+               p.p_block_start.(!bp + 1)
+             else n)
+            - p.p_block_start.(!bp)
+          in
+          if cd_pos >= 0 then begin
+            cd_instances := !cd_instances + nstmts_in_block;
+            let pc = pos_copy.(cd_pos) and pi = pos_inst.(cd_pos) in
+            let local =
+              pc >= p.p_copy_base
+              && pc < p.p_copy_base + n
+              && pi = inst
+            in
+            slot_event st gid ~inst ~pcopy:pc ~pinst:pi ~local
+          end
+          else slot_event st gid ~inst ~pcopy:(-1) ~pinst:(-1) ~local:false
+        end;
+        let copy = p.p_copy_base + o in
+        pos_copy.(!pos) <- copy;
+        pos_inst.(!pos) <- inst;
+        p.p_exec_pos.(o) <- !pos;
+        let nslots = p.p_slot_count.(o) in
+        for s = 0 to nslots - 1 do
+          let producer = trace.T.deps.(!dep_cursor) in
+          incr dep_cursor;
+          p.p_exec_prod.(o).(s) <- producer;
+          let gid = p.p_slot_base.(o) + s in
+          if producer >= 0 then begin
+            incr dep_instances;
+            if pos_copy.(producer) = -1 then begin
+              (* forward reference: the producer has not been replayed *)
+              Dyn.push pend_gid gid;
+              Dyn.push pend_inst inst;
+              Dyn.push pend_prod producer
+            end
+            else begin
+              let pc = pos_copy.(producer) and pi = pos_inst.(producer) in
+              let local =
+                pc >= p.p_copy_base && pc < p.p_copy_base + n && pi = inst
+              in
+              slot_event st gid ~inst ~pcopy:pc ~pinst:pi ~local
+            end
+          end
+          else slot_event st gid ~inst ~pcopy:(-1) ~pinst:(-1) ~local:false
+        done;
+        if Instr.has_def p.p_instrs.(o) then incr def_execs;
+        incr pos
+      done;
+      (* value groups: one tuple per group for this execution *)
+      Array.iter
+        (fun g ->
+          let tuple =
+            Array.fold_right
+              (fun src acc ->
+                match src with
+                | Src_slot (o, s) ->
+                  let producer = p.p_exec_prod.(o).(s) in
+                  (if producer >= 0 then trace.T.values.(producer) else 0)
+                  :: acc
+                | Src_input o -> trace.T.values.(p.p_exec_pos.(o)) :: acc)
+              g.pg_sources []
+          in
+          if Array.length g.pg_sources = 0 then begin
+            (* constant group: record unique values once *)
+            if p.p_nexec = 0 then
+              Array.iter
+                (fun o ->
+                  Dyn.push p.p_uvals.(o) trace.T.values.(p.p_exec_pos.(o)))
+                g.pg_members
+          end
+          else begin
+            match Hashtbl.find_opt g.pg_tuples tuple with
+            | Some ix -> Dyn.push g.pg_pattern ix
+            | None ->
+              let ix = Hashtbl.length g.pg_tuples in
+              Hashtbl.replace g.pg_tuples tuple ix;
+              Dyn.push g.pg_pattern ix;
+              Array.iter
+                (fun o ->
+                  Dyn.push p.p_uvals.(o) trace.T.values.(p.p_exec_pos.(o)))
+                g.pg_members
+          end)
+        p.p_groups;
+      prev_proto := p.p_id;
+      p.p_nexec <- p.p_nexec + 1)
+    trace.T.paths;
+  for i = 0 to Dyn.length pend_gid - 1 do
+    let producer = Dyn.get pend_prod i in
+    slot_event st (Dyn.get pend_gid i) ~inst:(Dyn.get pend_inst i)
+      ~pcopy:pos_copy.(producer) ~pinst:pos_inst.(producer) ~local:false
+  done;
+  (* ---------------- finalisation ---------------- *)
+  let protos =
+    let arr = Array.of_list (List.rev !proto_list) in
+    Array.sort (fun a b -> compare a.p_id b.p_id) arr;
+    arr
+  in
+  (* dynamic control-flow edges between nodes (consecutive timestamps) *)
+  let prev = ref (-1) in
+  Array.iter
+    (fun pkey ->
+      let p = Hashtbl.find proto_of pkey in
+      if !prev >= 0 then begin
+        Hashtbl.replace protos.(!prev).p_succs p.p_id ();
+        Hashtbl.replace p.p_preds !prev ()
+      end;
+      prev := p.p_id)
+    trace.T.paths;
+  let ncopies = !next_copy in
+  let copy_node = Array.make ncopies 0 in
+  let copy_stmt = Array.make ncopies 0 in
+  let copy_uvals = Array.make ncopies None in
+  let copy_group = Array.make ncopies (-1) in
+  let copy_deps = Array.make ncopies [||] in
+  let copy_local_out = Array.make ncopies [] in
+  let copy_remote_out = Array.make ncopies [] in
+  let stmt_copies = Array.make (Program.num_stmts prog) [] in
+  (* shared label records *)
+  let next_label = ref 0 in
+  (* Sharing identical label sequences between the same node pair
+     (paper Â§3.3). Keyed by a strong content hash; the candidate list
+     resolves collisions by structural comparison. *)
+  let label_cache = Hashtbl.create 1024 in
+  let shared_label_values = ref 0 in
+  let local_dep_instances = ref 0 in
+  let mk_labels src_node dst_node (lb : label_builder) =
+    let dst = Dyn.to_array lb.lb_dst and src = Dyn.to_array lb.lb_src in
+    let module H = Wet_util.Hashing in
+    let h = H.hash_window dst 0 (Array.length dst) in
+    let h = H.fnv_fold (H.hash_window src 0 (Array.length src)) h in
+    let key = (src_node, dst_node, Array.length dst, h) in
+    let candidates =
+      Option.value (Hashtbl.find_opt label_cache key) ~default:[]
+    in
+    match
+      List.find_opt (fun (d, s, _) -> d = dst && s = src) candidates
+    with
+    | Some (_, _, labels) ->
+      shared_label_values := !shared_label_values + Array.length dst;
+      labels
+    | None ->
+      let labels =
+        {
+          Wet.l_id = !next_label;
+          l_dst = raw dst;
+          l_src = raw src;
+          l_len = Array.length dst;
+        }
+      in
+      incr next_label;
+      Hashtbl.replace label_cache key ((dst, src, labels) :: candidates);
+      labels
+  in
+  let finalize_slot p gid ~dst_copy ~slot =
+    if Bytes.get st.st_kind gid = '\001' then begin
+      let producers =
+        match Hashtbl.find_opt st.slot_producers gid with
+        | Some l -> List.rev !l
+        | None -> []
+      in
+      match producers with
+      | [] -> Wet.No_dep
+      | _ ->
+        let edges =
+          List.map
+            (fun pc ->
+              let lb = Hashtbl.find st.edges (gid, pc) in
+              let labels = mk_labels copy_node.(pc) p.p_id lb in
+              { Wet.e_src = pc; e_dst = dst_copy; e_slot = slot;
+                e_labels = labels })
+            producers
+        in
+        List.iter
+          (fun e ->
+            copy_remote_out.(e.Wet.e_src) <- e :: copy_remote_out.(e.Wet.e_src))
+          edges;
+        Wet.Remote edges
+    end
+    else if st.st_count.(gid) = 0 then Wet.No_dep
+    else begin
+      let producer = st.st_prod.(gid) in
+      local_dep_instances := !local_dep_instances + st.st_count.(gid);
+      copy_local_out.(producer) <- dst_copy :: copy_local_out.(producer);
+      Wet.Local producer
+    end
+  in
+  (* copy-level tables must exist before finalize_slot reads
+     [copy_node] for producers, so fill them first *)
+  Array.iter
+    (fun p ->
+      Array.iteri
+        (fun o stmt ->
+          let c = p.p_copy_base + o in
+          copy_node.(c) <- p.p_id;
+          copy_stmt.(c) <- stmt;
+          copy_group.(c) <- p.p_offset_group.(o);
+          stmt_copies.(stmt) <- c :: stmt_copies.(stmt);
+          if Instr.has_def p.p_instrs.(o) then
+            copy_uvals.(c) <- Some (raw (Dyn.to_array p.p_uvals.(o))))
+        p.p_stmts)
+    protos;
+  let nodes =
+    Array.map
+      (fun p ->
+        let groups =
+          Array.map
+            (fun g ->
+              {
+                Wet.g_members =
+                  Array.map (fun o -> p.p_copy_base + o) g.pg_members;
+                g_nsources = Array.length g.pg_sources;
+                g_pattern =
+                  (if Array.length g.pg_sources = 0 then None
+                   else Some (raw (Dyn.to_array g.pg_pattern)));
+                g_nuniq =
+                  (if Array.length g.pg_sources = 0 then 1
+                   else Hashtbl.length g.pg_tuples);
+              })
+            p.p_groups
+        in
+        let cd =
+          Array.mapi
+            (fun bp _ ->
+              finalize_slot p p.p_cd_slot.(bp)
+                ~dst_copy:(p.p_copy_base + p.p_block_start.(bp))
+                ~slot:(-1))
+            p.p_blocks
+        in
+        {
+          Wet.n_id = p.p_id;
+          n_func = p.p_func;
+          n_path = p.p_path;
+          n_blocks = p.p_blocks;
+          n_stmts = p.p_stmts;
+          n_block_start = p.p_block_start;
+          n_copy_base = p.p_copy_base;
+          n_nexec = p.p_nexec;
+          n_ts = raw (Dyn.to_array p.p_ts);
+          n_succs =
+            Array.of_list
+              (List.sort compare
+                 (Hashtbl.fold (fun k () acc -> k :: acc) p.p_succs []));
+          n_preds =
+            Array.of_list
+              (List.sort compare
+                 (Hashtbl.fold (fun k () acc -> k :: acc) p.p_preds []));
+          n_groups = groups;
+          n_cd = cd;
+        })
+      protos
+  in
+  Array.iter
+    (fun p ->
+      Array.iteri
+        (fun o _ ->
+          let c = p.p_copy_base + o in
+          copy_deps.(c) <-
+            Array.init p.p_slot_count.(o) (fun s ->
+                finalize_slot p (p.p_slot_base.(o) + s) ~dst_copy:c ~slot:s))
+        p.p_stmts)
+    protos;
+  let stats =
+    {
+      Wet.stmts_executed = trace.T.nstmts;
+      block_execs = Array.length trace.T.blocks;
+      path_execs = Array.length trace.T.paths;
+      def_execs = !def_execs;
+      dep_instances = !dep_instances;
+      cd_instances = !cd_instances;
+      local_dep_instances = !local_dep_instances;
+      shared_label_values = !shared_label_values;
+    }
+  in
+  {
+    Wet.program = prog;
+    analysis;
+    nodes;
+    copy_node;
+    copy_stmt;
+    copy_uvals;
+    copy_group;
+    copy_deps;
+    copy_local_out;
+    copy_remote_out;
+    stmt_copies;
+    first_node = (if !first_node < 0 then 0 else !first_node);
+    last_node = (if !last_node < 0 then 0 else !last_node);
+    stats;
+    tier = `Tier1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tier 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pack (w : Wet.t) : Wet.t =
+  if w.Wet.tier = `Tier2 then invalid_arg "Builder.pack: already packed";
+  let pack_seq s = Stream.compress (Stream.to_array s) in
+  let label_memo = Hashtbl.create 1024 in
+  let pack_labels (l : Wet.labels) =
+    match Hashtbl.find_opt label_memo l.Wet.l_id with
+    | Some l' -> l'
+    | None ->
+      let l' =
+        {
+          Wet.l_id = l.Wet.l_id;
+          l_dst = pack_seq l.Wet.l_dst;
+          l_src = pack_seq l.Wet.l_src;
+          l_len = l.Wet.l_len;
+        }
+      in
+      Hashtbl.replace label_memo l.Wet.l_id l';
+      l'
+  in
+  let edge_memo = Hashtbl.create 1024 in
+  let pack_edge (e : Wet.edge) =
+    let key = (e.Wet.e_src, e.Wet.e_dst, e.Wet.e_slot) in
+    match Hashtbl.find_opt edge_memo key with
+    | Some e' -> e'
+    | None ->
+      let e' = { e with Wet.e_labels = pack_labels e.Wet.e_labels } in
+      Hashtbl.replace edge_memo key e';
+      e'
+  in
+  let pack_source = function
+    | Wet.No_dep -> Wet.No_dep
+    | Wet.Local c -> Wet.Local c
+    | Wet.Remote edges -> Wet.Remote (List.map pack_edge edges)
+  in
+  let nodes =
+    Array.map
+      (fun n ->
+        {
+          n with
+          Wet.n_ts = pack_seq n.Wet.n_ts;
+          n_groups =
+            Array.map
+              (fun g ->
+                { g with Wet.g_pattern = Option.map pack_seq g.Wet.g_pattern })
+              n.Wet.n_groups;
+          n_cd = Array.map pack_source n.Wet.n_cd;
+        })
+      w.Wet.nodes
+  in
+  {
+    w with
+    Wet.nodes;
+    copy_uvals = Array.map (Option.map pack_seq) w.Wet.copy_uvals;
+    copy_deps = Array.map (Array.map pack_source) w.Wet.copy_deps;
+    copy_remote_out = Array.map (List.map pack_edge) w.Wet.copy_remote_out;
+    tier = `Tier2;
+  }
+
+let of_program prog ~input =
+  let res = Wet_interp.Interp.run prog ~input in
+  build res.Wet_interp.Interp.trace

@@ -1,0 +1,28 @@
+(** WET construction (tier-1) and stream packing (tier-2).
+
+    {!build} performs the paper's tier-1 customized compression while
+    replaying a raw trace:
+    {ul
+    {- nodes are interned per executed Ball–Larus path, so one timestamp
+       is recorded per path execution rather than per block (§3.1);}
+    {- value sequences are split into input groups with shared patterns
+       and per-copy unique values (§3.2);}
+    {- dependence slots whose producer always lies in the same node
+       execution become label-free {!Wet.Local} links, and labeled edges
+       between the same node pair with identical sequences share one
+       label record (§3.3).}}
+
+    All label sequences are raw after {!build}; {!pack} rewrites each of
+    them as a bidirectionally compressed stream with per-stream method
+    selection (§4), leaving the graph structure untouched. *)
+
+(** Build a tier-1 WET from a recorded trace. *)
+val build : Wet_interp.Trace.t -> Wet.t
+
+(** Tier-2: compress every label stream of a tier-1 WET. The input WET
+    remains usable. @raise Invalid_argument if already packed. *)
+val pack : Wet.t -> Wet.t
+
+(** [of_program p ~input] is the full pipeline: run the interpreter and
+    build the tier-1 WET. *)
+val of_program : Wet_ir.Program.t -> input:int array -> Wet.t

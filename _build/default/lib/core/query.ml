@@ -1,0 +1,177 @@
+module Stream = Wet_bistream.Stream
+module Instr = Wet_ir.Instr
+
+type direction = Forward | Backward
+
+let park (t : Wet.t) dir =
+  Array.iter
+    (fun (n : Wet.node) ->
+      match dir with
+      | Forward -> Stream.seek n.Wet.n_ts 0
+      | Backward -> Stream.seek n.Wet.n_ts n.Wet.n_nexec)
+    t.Wet.nodes
+
+let emit_blocks f (n : Wet.node) =
+  Array.iter (fun b -> f n.Wet.n_func b) n.Wet.n_blocks
+
+let emit_blocks_rev f (n : Wet.node) =
+  for i = Array.length n.Wet.n_blocks - 1 downto 0 do
+    f n.Wet.n_func n.Wet.n_blocks.(i)
+  done
+
+let control_flow (t : Wet.t) dir ~f =
+  let total = t.Wet.stats.Wet.path_execs in
+  let blocks = ref 0 in
+  if total > 0 then begin
+    match dir with
+    | Forward ->
+      let cur = ref t.Wet.nodes.(t.Wet.first_node) in
+      ignore (Stream.step_forward !cur.Wet.n_ts);
+      emit_blocks f !cur;
+      blocks := Array.length !cur.Wet.n_blocks;
+      for ts = 2 to total do
+        (* exactly one successor holds the next timestamp *)
+        let next = ref None in
+        Array.iter
+          (fun s ->
+            if !next = None then begin
+              let n = t.Wet.nodes.(s) in
+              let st = n.Wet.n_ts in
+              if Stream.cursor st < n.Wet.n_nexec
+                 && Stream.peek_forward st = ts
+              then next := Some n
+            end)
+          !cur.Wet.n_succs;
+        match !next with
+        | None ->
+          invalid_arg
+            "Query.control_flow: timestamp chain broken (cursors parked?)"
+        | Some n ->
+          ignore (Stream.step_forward n.Wet.n_ts);
+          emit_blocks f n;
+          blocks := !blocks + Array.length n.Wet.n_blocks;
+          cur := n
+      done
+    | Backward ->
+      let cur = ref t.Wet.nodes.(t.Wet.last_node) in
+      ignore (Stream.step_backward !cur.Wet.n_ts);
+      emit_blocks_rev f !cur;
+      blocks := Array.length !cur.Wet.n_blocks;
+      for ts = total - 1 downto 1 do
+        let next = ref None in
+        Array.iter
+          (fun pr ->
+            if !next = None then begin
+              let n = t.Wet.nodes.(pr) in
+              let st = n.Wet.n_ts in
+              if Stream.cursor st > 0 && Stream.peek_backward st = ts then
+                next := Some n
+            end)
+          !cur.Wet.n_preds;
+        match !next with
+        | None ->
+          invalid_arg
+            "Query.control_flow: timestamp chain broken (cursors parked?)"
+        | Some n ->
+          ignore (Stream.step_backward n.Wet.n_ts);
+          emit_blocks_rev f n;
+          blocks := !blocks + Array.length n.Wet.n_blocks;
+          cur := n
+      done
+  end;
+  !blocks
+
+let values_of_copy (t : Wet.t) c ~f =
+  let node = Wet.node_of_copy t c in
+  for i = 0 to node.Wet.n_nexec - 1 do
+    f (Wet.value_of_copy t c i)
+  done
+
+let copies_matching (t : Wet.t) pred =
+  let acc = ref [] in
+  for c = Wet.num_copies t - 1 downto 0 do
+    if pred (Wet.instr_of_copy t c) then acc := c :: !acc
+  done;
+  !acc
+
+let locate_time (t : Wet.t) ts =
+  if ts < 1 || ts > t.Wet.stats.Wet.path_execs then None
+  else begin
+    let found = ref None in
+    Array.iter
+      (fun (n : Wet.node) ->
+        if !found = None then
+          match Stream.find_ascending n.Wet.n_ts ts with
+          | Some i -> found := Some (n.Wet.n_id, i)
+          | None -> ())
+      t.Wet.nodes;
+    !found
+  end
+
+let control_flow_from (t : Wet.t) ~start_ts ~steps ~f =
+  match locate_time t start_ts with
+  | None -> invalid_arg "Query.control_flow_from: timestamp out of range"
+  | Some (nid, i) ->
+    let total = t.Wet.stats.Wet.path_execs in
+    let blocks = ref 0 in
+    let cur = ref t.Wet.nodes.(nid) in
+    (* position the start node's cursor just past its matching ts *)
+    Stream.seek !cur.Wet.n_ts (i + 1);
+    emit_blocks f !cur;
+    blocks := Array.length !cur.Wet.n_blocks;
+    let last = min total (start_ts + steps) in
+    for ts = start_ts + 1 to last do
+      let next = ref None in
+      Array.iter
+        (fun s ->
+          if !next = None then begin
+            let n = t.Wet.nodes.(s) in
+            let st = n.Wet.n_ts in
+            (* neighbours may be parked anywhere: locate ts directly *)
+            match Stream.find_ascending st ts with
+            | Some j ->
+              Stream.seek st (j + 1);
+              next := Some n
+            | None -> ()
+          end)
+        !cur.Wet.n_succs;
+      match !next with
+      | None -> invalid_arg "Query.control_flow_from: timestamp chain broken"
+      | Some n ->
+        emit_blocks f n;
+        blocks := !blocks + Array.length n.Wet.n_blocks;
+        cur := n
+    done;
+    !blocks
+
+let load_values (t : Wet.t) ~f =
+  let loads =
+    copies_matching t (function Instr.Load _ -> true | _ -> false)
+  in
+  let count = ref 0 in
+  List.iter
+    (fun c ->
+      let node = Wet.node_of_copy t c in
+      for i = 0 to node.Wet.n_nexec - 1 do
+        f c (Wet.value_of_copy t c i);
+        incr count
+      done)
+    loads;
+  !count
+
+let addresses (t : Wet.t) ~f =
+  let mems = copies_matching t Instr.is_memory in
+  let count = ref 0 in
+  List.iter
+    (fun c ->
+      let node = Wet.node_of_copy t c in
+      for i = 0 to node.Wet.n_nexec - 1 do
+        (* The address is the value of the producer of operand slot 0
+           (paper: "addresses are simply part of values"). *)
+        (match Wet.resolve_dep t c i 0 with
+         | Some (pc, pi) -> f c (Wet.value_of_copy t pc pi)
+         | None -> f c 0);
+        incr count
+      done)
+    mems;
+  !count

@@ -1,0 +1,59 @@
+(** Profile-subset queries over a (compressed) WET (paper §2 and §5.2).
+
+    All queries work by moving stream cursors; none of them decompress a
+    stream wholesale. On a tier-1 WET the streams are raw arrays, on a
+    tier-2 WET they are bidirectional compressed streams — the query code
+    is identical, which is exactly the property the paper's two-tier
+    design is after. *)
+
+type direction = Forward | Backward
+
+(** Park every node timestamp cursor at the start (before a forward
+    control-flow extraction) or at the end (before a backward one). A
+    freshly built or packed WET is already parked at the start. *)
+val park : Wet.t -> direction -> unit
+
+(** [control_flow t dir ~f] regenerates the complete dynamic control-flow
+    trace by following dynamic node successors and timestamp sequences
+    (paper: "Control flow path"). Calls [f func block] for every block
+    execution, in execution order ([Forward]) or reverse ([Backward]).
+    Returns the number of block executions visited.
+
+    The timestamp cursors must be parked at the matching end; the
+    opposite end is where they finish, so a forward pass followed by a
+    backward pass needs no re-parking. *)
+val control_flow : Wet.t -> direction -> f:(int -> int -> unit) -> int
+
+(** [values_of_copy t c ~f] iterates the full value sequence of copy [c]
+    (instances in order). @raise Invalid_argument if [c] has no def. *)
+val values_of_copy : Wet.t -> Wet.copy_id -> f:(int -> unit) -> unit
+
+(** Per-instruction load value trace (paper Table 7): iterates every
+    [Load] copy's value sequence; [f copy value] per instance. Returns
+    the total number of values extracted. *)
+val load_values : Wet.t -> f:(Wet.copy_id -> int -> unit) -> int
+
+(** Per-instruction load/store address trace (paper Table 8): for every
+    memory-access copy, resolves the address operand's producer and
+    reconstructs its value for each instance. Returns the total number
+    of addresses extracted. *)
+val addresses : Wet.t -> f:(Wet.copy_id -> int -> unit) -> int
+
+(** All copies whose statement satisfies the predicate. *)
+val copies_matching : Wet.t -> (Wet_ir.Instr.t -> bool) -> Wet.copy_id list
+
+(** [locate_time t ts] finds the node execution holding global timestamp
+    [ts]: [(node id, execution index)]. [None] if [ts] is outside
+    [\[1, path_execs\]]. Timestamps are unique, so at most one node
+    matches. *)
+val locate_time : Wet.t -> int -> (Wet.node_id * int) option
+
+(** [control_flow_from t ~start_ts ~steps ~f] regenerates the partial
+    control-flow trace beginning at the node execution with timestamp
+    [start_ts] and following [steps] further path executions (fewer at
+    the end of the trace) — the paper's "generate part of the program
+    path starting at any execution point". Returns the number of block
+    executions emitted. Uses and leaves the timestamp cursors wherever
+    the walk needs them. *)
+val control_flow_from :
+  Wet.t -> start_ts:int -> steps:int -> f:(int -> int -> unit) -> int

@@ -1,0 +1,59 @@
+module Stream = Wet_bistream.Stream
+
+type breakdown = {
+  ts_bytes : float;
+  vals_bytes : float;
+  edge_bytes : float;
+  total_bytes : float;
+}
+
+let make ts vals edges =
+  { ts_bytes = ts; vals_bytes = vals; edge_bytes = edges;
+    total_bytes = ts +. vals +. edges }
+
+let original (t : Wet.t) =
+  let s = t.Wet.stats in
+  (* Per the WET definition (paper §2) every statement instance carries a
+     timestamp and, if it has a def port, a value; the paper's Table 2
+     arithmetic (~4 bytes of ts per executed statement) confirms the
+     per-statement accounting. *)
+  make
+    (4. *. float_of_int s.Wet.stmts_executed)
+    (4. *. float_of_int s.Wet.def_execs)
+    (8. *. float_of_int (s.Wet.dep_instances + s.Wet.cd_instances))
+
+let current (t : Wet.t) =
+  let bits_to_bytes b = float_of_int b /. 8. in
+  let ts = ref 0 in
+  let vals = ref 0 in
+  Array.iter
+    (fun (n : Wet.node) ->
+      ts := !ts + Stream.bits n.Wet.n_ts;
+      Array.iter
+        (fun (g : Wet.group) ->
+          match g.Wet.g_pattern with
+          | Some p -> vals := !vals + Stream.bits p
+          | None -> ())
+        n.Wet.n_groups)
+    t.Wet.nodes;
+  Array.iter
+    (fun uv -> match uv with Some s -> vals := !vals + Stream.bits s | None -> ())
+    t.Wet.copy_uvals;
+  (* Dependence labels, shared sequences counted once. *)
+  let seen = Hashtbl.create 1024 in
+  let edges = ref 0 in
+  let add_labels (l : Wet.labels) =
+    if not (Hashtbl.mem seen l.Wet.l_id) then begin
+      Hashtbl.replace seen l.Wet.l_id ();
+      edges := !edges + Stream.bits l.Wet.l_dst + Stream.bits l.Wet.l_src
+    end
+  in
+  let add_source = function
+    | Wet.No_dep | Wet.Local _ -> ()
+    | Wet.Remote es -> List.iter (fun e -> add_labels e.Wet.e_labels) es
+  in
+  Array.iter (Array.iter add_source) t.Wet.copy_deps;
+  Array.iter (fun (n : Wet.node) -> Array.iter add_source n.Wet.n_cd) t.Wet.nodes;
+  make (bits_to_bytes !ts) (bits_to_bytes !vals) (bits_to_bytes !edges)
+
+let mb bytes = bytes /. (1024. *. 1024.)

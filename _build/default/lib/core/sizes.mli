@@ -1,0 +1,28 @@
+(** Size accounting for the paper's Tables 1–3 and Figure 8.
+
+    "Original" sizes follow the paper's uncompressed model: a 4-byte
+    timestamp per {e statement} execution (each statement instance is
+    labeled [<ts, val>] in §2; Table 2's arithmetic is ~4 bytes of
+    timestamp per executed statement), a 4-byte value per def-port
+    statement execution, and an 8-byte timestamp pair per dynamic
+    dependence (data, per operand; control, per statement). "Current" sizes measure
+    the WET as it stands — tier-1 when label streams are raw, tier-2
+    after {!Builder.pack} — using the analytic bit counts of
+    {!Wet_bistream.Stream.bits}, with shared label sequences counted
+    once. *)
+
+type breakdown = {
+  ts_bytes : float;  (** node timestamp labels *)
+  vals_bytes : float;  (** node value labels (UVals + patterns) *)
+  edge_bytes : float;  (** dependence edge labels *)
+  total_bytes : float;
+}
+
+(** Uncompressed WET size (paper's "Orig."). *)
+val original : Wet.t -> breakdown
+
+(** Size of the representation as currently stored. *)
+val current : Wet.t -> breakdown
+
+(** [mb b] converts bytes to the paper's megabyte unit. *)
+val mb : float -> float

@@ -1,0 +1,99 @@
+module Stream = Wet_bistream.Stream
+module Instr = Wet_ir.Instr
+
+type result = {
+  instances : int;
+  copies : int;
+  stmts : int;
+  truncated : bool;
+}
+
+let walk ~max_instances ~f (t : Wet.t) c0 i0 ~expand =
+  let visited = Hashtbl.create 1024 in
+  let copies = Hashtbl.create 256 in
+  let stmts = Hashtbl.create 256 in
+  let work = ref [ (c0, i0) ] in
+  let count = ref 0 in
+  let truncated = ref false in
+  let push c i =
+    if not (Hashtbl.mem visited (c, i)) then begin
+      Hashtbl.replace visited (c, i) ();
+      work := (c, i) :: !work
+    end
+  in
+  Hashtbl.replace visited (c0, i0) ();
+  let continue_ = ref true in
+  while !continue_ do
+    match !work with
+    | [] -> continue_ := false
+    | (c, i) :: rest ->
+      work := rest;
+      incr count;
+      (match f with Some f -> f c i | None -> ());
+      Hashtbl.replace copies c ();
+      Hashtbl.replace stmts t.Wet.copy_stmt.(c) ();
+      (match max_instances with
+       | Some m when !count >= m ->
+         truncated := true;
+         continue_ := false
+       | Some _ | None -> expand c i push)
+  done;
+  {
+    instances = !count;
+    copies = Hashtbl.length copies;
+    stmts = Hashtbl.length stmts;
+    truncated = !truncated;
+  }
+
+let backward ?max_instances ?f (t : Wet.t) c0 i0 =
+  let expand c i push =
+    let nslots = Array.length t.Wet.copy_deps.(c) in
+    for s = 0 to nslots - 1 do
+      match Wet.resolve_dep t c i s with
+      | Some (pc, pi) -> push pc pi
+      | None -> ()
+    done;
+    match Wet.resolve_cd t c i with
+    | Some (pc, pi) -> push pc pi
+    | None -> ()
+  in
+  walk ~max_instances ~f t c0 i0 ~expand
+
+let forward ?max_instances ?f (t : Wet.t) c0 i0 =
+  let expand c i push =
+    List.iter (fun cc -> push cc i) t.Wet.copy_local_out.(c);
+    List.iter
+      (fun (e : Wet.edge) ->
+        (* producer-instance streams are not sorted, so scan them *)
+        let src = e.Wet.e_labels.Wet.l_src in
+        let dst = e.Wet.e_labels.Wet.l_dst in
+        Stream.seek src 0;
+        for j = 0 to e.Wet.e_labels.Wet.l_len - 1 do
+          if Stream.step_forward src = i then push e.Wet.e_dst (Stream.read_at dst j)
+        done)
+      t.Wet.copy_remote_out.(c)
+  in
+  walk ~max_instances ~f t c0 i0 ~expand
+
+let chop ?max_instances ?f (t : Wet.t) ~source ~sink =
+  let sc, si = source and kc, ki = sink in
+  let fwd = Hashtbl.create 256 in
+  ignore (forward ?max_instances t sc si ~f:(fun c i -> Hashtbl.replace fwd (c, i) ()));
+  let count = ref 0 in
+  let copies = Hashtbl.create 64 in
+  let stmts = Hashtbl.create 64 in
+  let back =
+    backward ?max_instances t kc ki ~f:(fun c i ->
+        if Hashtbl.mem fwd (c, i) then begin
+          incr count;
+          (match f with Some f -> f c i | None -> ());
+          Hashtbl.replace copies c ();
+          Hashtbl.replace stmts t.Wet.copy_stmt.(c) ()
+        end)
+  in
+  {
+    instances = !count;
+    copies = Hashtbl.length copies;
+    stmts = Hashtbl.length stmts;
+    truncated = back.truncated;
+  }

@@ -1,0 +1,51 @@
+(** WET slices (paper §2 "WET slices" and Table 9).
+
+    A backward WET slice of a statement instance is the set of statement
+    instances that directly or indirectly influenced it through data and
+    control dependences — a superset of a traditional dynamic slice,
+    resolved entirely by traversing the compressed representation. *)
+
+type result = {
+  instances : int;  (** statement instances in the slice *)
+  copies : int;  (** distinct statement copies *)
+  stmts : int;  (** distinct static statements *)
+  truncated : bool;  (** [true] if [max_instances] stopped the walk *)
+}
+
+(** [backward t c i] slices backward from instance [i] of copy [c],
+    following every dependence slot and the control-dependence edge of
+    each visited instance.
+    @param max_instances stop after this many instances (default: no
+      limit).
+    @param f called on every visited [(copy, instance)]. *)
+val backward :
+  ?max_instances:int ->
+  ?f:(Wet.copy_id -> int -> unit) ->
+  Wet.t ->
+  Wet.copy_id ->
+  int ->
+  result
+
+(** [forward t c i] is the forward WET slice: the instances whose
+    computation instance [i] of copy [c] influenced. Control dependence
+    is followed at block granularity (the block's first statement copy
+    stands for the block). *)
+val forward :
+  ?max_instances:int ->
+  ?f:(Wet.copy_id -> int -> unit) ->
+  Wet.t ->
+  Wet.copy_id ->
+  int ->
+  result
+
+(** [chop t ~source ~sink] is the {e chop}: the statement instances
+    lying on some dependence path from [source] to [sink] — the
+    intersection of [source]'s forward slice with [sink]'s backward
+    slice. Empty when [sink] does not depend on [source]. *)
+val chop :
+  ?max_instances:int ->
+  ?f:(Wet.copy_id -> int -> unit) ->
+  Wet.t ->
+  source:Wet.copy_id * int ->
+  sink:Wet.copy_id * int ->
+  result

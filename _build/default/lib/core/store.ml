@@ -1,0 +1,37 @@
+(* Versioned container around the runtime representation. Everything in
+   a [Wet.t] is plain data (arrays, bytes, records), so the OCaml
+   marshaller round-trips it exactly; [Closures] is not passed, keeping
+   the format closed under data. Cursor positions are part of the state
+   and therefore of the file; [Query.park] resets them after load if a
+   caller wants a canonical starting point. *)
+
+let magic = "WETOCaml"
+
+let version = 1
+
+let save (w : Wet.t) path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_binary_int oc version;
+      Marshal.to_channel oc w [])
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let tag =
+        try really_input_string ic (String.length magic)
+        with End_of_file -> ""
+      in
+      if not (String.equal tag magic) then
+        invalid_arg (path ^ ": not a WET container");
+      let v = input_binary_int ic in
+      if v <> version then
+        invalid_arg
+          (Printf.sprintf "%s: WET container version %d, expected %d" path v
+             version);
+      (Marshal.from_channel ic : Wet.t))

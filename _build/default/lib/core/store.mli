@@ -1,0 +1,15 @@
+(** Saving WETs to disk and loading them back.
+
+    The paper's premise is a tool for the {e collection and maintenance}
+    of whole execution traces; persistence makes the collected WETs
+    reusable across analysis sessions. The on-disk form is a versioned,
+    magic-tagged container of the in-memory representation, so a load
+    costs no recompression and cursors resume at the left end. *)
+
+(** [save wet path] writes the WET (either tier). Overwrites [path]. *)
+val save : Wet.t -> string -> unit
+
+(** [load path] reads a WET saved by {!save}.
+    @raise Invalid_argument if the file is not a WET container or the
+    format version does not match. *)
+val load : string -> Wet.t

@@ -1,0 +1,138 @@
+module Stream = Wet_bistream.Stream
+
+type seq = Stream.t
+
+type copy_id = int
+
+type node_id = int
+
+type dep_source =
+  | No_dep
+  | Local of copy_id
+  | Remote of edge list
+
+and edge = {
+  e_src : copy_id;
+  e_dst : copy_id;
+  e_slot : int;
+  e_labels : labels;
+}
+
+and labels = {
+  l_id : int;
+  l_dst : seq;
+  l_src : seq;
+  l_len : int;
+}
+
+type group = {
+  g_members : copy_id array;
+  g_nsources : int;
+  g_pattern : seq option;
+  g_nuniq : int;
+}
+
+type node = {
+  n_id : node_id;
+  n_func : int;
+  n_path : int;
+  n_blocks : int array;
+  n_stmts : int array;
+  n_block_start : int array;
+  n_copy_base : copy_id;
+  n_nexec : int;
+  n_ts : seq;
+  n_succs : node_id array;
+  n_preds : node_id array;
+  n_groups : group array;
+  n_cd : dep_source array;
+}
+
+type stats = {
+  stmts_executed : int;
+  block_execs : int;
+  path_execs : int;
+  def_execs : int;
+  dep_instances : int;
+  cd_instances : int;
+  local_dep_instances : int;
+  shared_label_values : int;
+}
+
+type t = {
+  program : Wet_ir.Program.t;
+  analysis : Wet_cfg.Program_analysis.t;
+  nodes : node array;
+  copy_node : node_id array;
+  copy_stmt : int array;
+  copy_uvals : seq option array;
+  copy_group : int array;
+  copy_deps : dep_source array array;
+  copy_local_out : copy_id list array;
+  copy_remote_out : edge list array;
+  stmt_copies : copy_id list array;
+  first_node : node_id;
+  last_node : node_id;
+  stats : stats;
+  tier : [ `Tier1 | `Tier2 ];
+}
+
+let num_copies t = Array.length t.copy_node
+
+let node_of_copy t c = t.nodes.(t.copy_node.(c))
+
+let copy_offset t c = c - (node_of_copy t c).n_copy_base
+
+let instr_of_copy t c = Wet_ir.Program.instr t.program t.copy_stmt.(c)
+
+let find_in_ascending = Stream.find_ascending
+
+let value_of_copy t c i =
+  match t.copy_uvals.(c) with
+  | None -> invalid_arg "Wet.value_of_copy: copy has no def port"
+  | Some uvals -> (
+    let node = node_of_copy t c in
+    match node.n_groups.(t.copy_group.(c)).g_pattern with
+    | None -> Stream.read_at uvals 0
+    | Some pattern -> Stream.read_at uvals (Stream.read_at pattern i))
+
+let resolve_dep t c i slot =
+  match t.copy_deps.(c).(slot) with
+  | No_dep -> None
+  | Local p -> Some (p, i)
+  | Remote edges ->
+    let rec search = function
+      | [] -> None
+      | e :: rest -> (
+        match find_in_ascending e.e_labels.l_dst i with
+        | Some j -> Some (e.e_src, Stream.read_at e.e_labels.l_src j)
+        | None -> search rest)
+    in
+    search edges
+
+let resolve_cd t c i =
+  let node = node_of_copy t c in
+  let off = copy_offset t c in
+  (* Find the block position owning this statement offset. *)
+  let rec block_pos p =
+    if p + 1 < Array.length node.n_block_start
+       && node.n_block_start.(p + 1) <= off
+    then block_pos (p + 1)
+    else p
+  in
+  match node.n_cd.(block_pos 0) with
+  | No_dep -> None
+  | Local p -> Some (p, i)
+  | Remote edges ->
+    let rec search = function
+      | [] -> None
+      | e :: rest -> (
+        match find_in_ascending e.e_labels.l_dst i with
+        | Some j -> Some (e.e_src, Stream.read_at e.e_labels.l_src j)
+        | None -> search rest)
+    in
+    search edges
+
+let copies_of_stmt t s = t.stmt_copies.(s)
+
+let timestamp t c i = Stream.read_at (node_of_copy t c).n_ts i

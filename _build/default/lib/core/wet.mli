@@ -1,0 +1,161 @@
+(** The Whole Execution Trace: a labeled graph over Ball–Larus path nodes
+    (paper §2, after the §3 customized compression).
+
+    {b Nodes} are executed Ball–Larus paths. A node owns one {e statement
+    copy} per statement occurrence along its path (paper §3.1: a basic
+    block belonging to several paths is duplicated per path). Each node
+    execution gives every copy in it exactly one execution instance, so a
+    copy's local instance index equals the node execution index, and the
+    node's timestamp sequence maps instances to global time.
+
+    {b Node labels} (paper §3.2): the timestamp sequence, and the value
+    sequences of def-bearing copies stored as per-copy unique-value
+    arrays ([UVals]) plus one shared index [Pattern] per input group —
+    [Values(c)(i) = UVals(c)(Pattern(group c)(i))].
+
+    {b Edge labels} (paper §3.3): data/control dependence edges carry
+    [(consumer instance, producer instance)] pair sequences in {e local}
+    timestamps. Edges whose producer always lies in the same node
+    execution carry no label at all ({!Local}); labeled edges between the
+    same pair of nodes with identical sequences share one copy.
+
+    Every label sequence is a {!Wet_bistream.Stream.t}: raw arrays after
+    tier-1, bidirectionally compressed streams after tier-2
+    ({!Builder.pack}). Queries work identically on both. *)
+
+module Stream = Wet_bistream.Stream
+
+type seq = Stream.t
+
+type copy_id = int
+(** Global dense id of a statement copy. *)
+
+type node_id = int
+
+(** Where a dependence slot's producer comes from. *)
+type dep_source =
+  | No_dep  (** the operand was never written (initial zeros) *)
+  | Local of copy_id
+      (** producer is this copy, in the same node and the same execution
+          instance; no label is stored (paper §3.3, local edges) *)
+  | Remote of edge list
+      (** labeled dependence edges; a given consumer instance appears in
+          exactly one of them *)
+
+and edge = {
+  e_src : copy_id;
+  e_dst : copy_id;
+  e_slot : int;
+  e_labels : labels;
+}
+
+and labels = {
+  l_id : int;  (** unique id; shared edges share the same [labels] *)
+  l_dst : seq;  (** consumer instances, strictly ascending *)
+  l_src : seq;  (** producer instances, aligned with [l_dst] *)
+  l_len : int;
+}
+
+(** A group of copies depending on the same inputs (paper §3.2). *)
+type group = {
+  g_members : copy_id array;  (** def-bearing copies, in path order *)
+  g_nsources : int;  (** distinct external inputs feeding the group *)
+  g_pattern : seq option;
+      (** [None] for constant groups (no sources): every instance reads
+          [UVals(c)(0)] *)
+  g_nuniq : int;  (** number of distinct input tuples observed *)
+}
+
+type node = {
+  n_id : node_id;
+  n_func : int;
+  n_path : int;  (** Ball–Larus path id within the function *)
+  n_blocks : int array;  (** block labels along the path *)
+  n_stmts : int array;  (** static statement ids, in path order *)
+  n_block_start : int array;
+      (** index in [n_stmts] of each block's first statement *)
+  n_copy_base : copy_id;  (** copies are [n_copy_base + offset] *)
+  n_nexec : int;  (** number of executions of this path *)
+  n_ts : seq;  (** global timestamps, one per execution *)
+  n_succs : node_id array;  (** dynamic control-flow successor nodes *)
+  n_preds : node_id array;
+  n_groups : group array;
+  n_cd : dep_source array;
+      (** control-dependence source per block position *)
+}
+
+(** Build-time statistics used for the "original" (uncompressed,
+    per-basic-block) size accounting of §5. *)
+type stats = {
+  stmts_executed : int;
+  block_execs : int;
+  path_execs : int;
+  def_execs : int;  (** executions of statements with a def port *)
+  dep_instances : int;  (** dynamic dependences with a real producer *)
+  cd_instances : int;  (** per-statement control-dependence instances *)
+  local_dep_instances : int;  (** dependences inferable from node labels *)
+  shared_label_values : int;
+      (** label-sequence values eliminated by cross-edge sharing *)
+}
+
+type t = {
+  program : Wet_ir.Program.t;
+  analysis : Wet_cfg.Program_analysis.t;
+  nodes : node array;
+  copy_node : node_id array;
+  copy_stmt : int array;  (** static statement id per copy *)
+  copy_uvals : seq option array;  (** unique values of def-bearing copies *)
+  copy_group : int array;  (** group index within the node, or -1 *)
+  copy_deps : dep_source array array;
+      (** per copy, per dependence slot (register uses first, then the
+          memory / return-value slot; see
+          {!Wet_ir.Instr.dyn_use_count}) *)
+  copy_local_out : copy_id list array;
+      (** copies consuming this copy through [Local] slots *)
+  copy_remote_out : edge list array;  (** out-edges (forward traversal) *)
+  stmt_copies : copy_id list array;
+      (** copies of each static statement, across nodes *)
+  first_node : node_id;  (** node holding timestamp 1 *)
+  last_node : node_id;
+  stats : stats;
+  tier : [ `Tier1 | `Tier2 ];
+}
+
+(** Number of statement copies. *)
+val num_copies : t -> int
+
+(** The node owning a copy. *)
+val node_of_copy : t -> copy_id -> node
+
+(** Offset of a copy inside its node's [n_stmts]. *)
+val copy_offset : t -> copy_id -> int
+
+(** The static statement of a copy. *)
+val instr_of_copy : t -> copy_id -> Wet_ir.Instr.t
+
+(** [value_of_copy t c i] reconstructs the value produced by instance [i]
+    of copy [c] through the group pattern and unique values (moves the
+    underlying stream cursors). @raise Invalid_argument if [c] has no
+    def. *)
+val value_of_copy : t -> copy_id -> int -> int
+
+(** [resolve_dep t c i slot] is the producer instance [(copy, instance)]
+    feeding slot [slot] of instance [i] of copy [c], or [None] for
+    [No_dep] or an instance the slot has no event for. *)
+val resolve_dep : t -> copy_id -> int -> int -> (copy_id * int) option
+
+(** [resolve_cd t c i] is the branch instance instance [i] of copy [c] is
+    control dependent on, if any. *)
+val resolve_cd : t -> copy_id -> int -> (copy_id * int) option
+
+(** Copies of a given static statement, across all nodes. *)
+val copies_of_stmt : t -> int -> copy_id list
+
+(** [timestamp t c i] is the global timestamp of instance [i] of copy
+    [c]'s node execution (moves the node's timestamp cursor). *)
+val timestamp : t -> copy_id -> int -> int
+
+(** Find the position of [target] in an ascending stream by cursor
+    stepping from the current position; [None] if absent. Exposed for
+    query implementations and tests. *)
+val find_in_ascending : seq -> int -> int option

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Fmt Func Instr List Program Trace Wet_cfg Wet_ir Wet_util

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Trace Wet_cfg Wet_ir

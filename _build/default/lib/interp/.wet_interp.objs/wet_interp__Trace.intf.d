@@ -1,0 +1,1 @@
+lib/interp/trace.mli: Wet_cfg Wet_ir

@@ -1,0 +1,275 @@
+open Wet_ir
+module Dyn = Wet_util.Dynarray_int
+module PA = Wet_cfg.Program_analysis
+module BL = Wet_cfg.Ball_larus
+
+exception Runtime_error of string
+
+exception Halted
+
+type result = {
+  trace : Trace.t;
+  outputs : int array;
+  stmts_executed : int;
+}
+
+let fail fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+
+let eval_binop op a b =
+  match Wet_ir.Eval.binop op a b with
+  | Some v -> v
+  | None ->
+    fail "%s by zero" (match op with Instr.Div -> "division" | _ -> "remainder")
+
+let eval_cmp = Wet_ir.Eval.cmp
+
+let eval_unop = Wet_ir.Eval.unop
+
+(* One shared implementation; [record] selects whether trace streams are
+   accumulated. The recording branches are statically dead in the
+   outputs-only path after inlining the flag test. *)
+let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
+  let memory = Array.make prog.mem_words 0 in
+  let mem_shadow = if record then Array.make prog.mem_words (-1) else [||] in
+  let paths = Dyn.create () in
+  let blocks = Dyn.create () in
+  let cd_producer = Dyn.create () in
+  let values = Dyn.create () in
+  let deps = Dyn.create () in
+  let mem_ops = Dyn.create () in
+  let outputs = Dyn.create () in
+  let pos = ref 0 in
+  let input_ix = ref 0 in
+  let next_input () =
+    if !input_ix >= Array.length input then fail "input stream exhausted"
+    else begin
+      let v = input.(!input_ix) in
+      incr input_ix;
+      v
+    end
+  in
+  let check_addr a =
+    if a < 0 || a >= prog.mem_words then
+      fail "memory access out of bounds: address %d (memory has %d words)" a
+        prog.mem_words
+  in
+  (* [ctx_pos]: dynamic position of the calling statement, -1 for main;
+     with [inter_cd] it becomes the control-dependence producer of blocks
+     that have no intraprocedural parent. *)
+  let rec exec_func f ~ctx_pos (args : (int * int) list) =
+    let fn = prog.funcs.(f) in
+    let info = PA.fn analysis f in
+    let bl = info.PA.bl in
+    let regs = Array.make fn.Func.nregs 0 in
+    let shadow = if record then Array.make fn.Func.nregs (-1) else [||] in
+    List.iteri
+      (fun i (v, s) ->
+        regs.(i) <- v;
+        if record then shadow.(i) <- s)
+      args;
+    let last_branch =
+      if record then Array.make info.PA.graph.Wet_cfg.Graph.nblocks (-1)
+      else [||]
+    in
+    let pathsum = ref 0 in
+    let finish_path b =
+      if record then
+        Dyn.push paths (Trace.encode_path f (!pathsum + BL.finish_value bl ~src:b))
+    in
+    let rec block_loop b =
+      if record then begin
+        Dyn.push blocks (Trace.encode_block f b);
+        let cd =
+          List.fold_left
+            (fun acc p -> max acc last_branch.(p))
+            (-1) info.PA.cd_parents.(b)
+        in
+        let cd = if cd = -1 && inter_cd then ctx_pos else cd in
+        Dyn.push cd_producer cd
+      end;
+      let instrs = fn.Func.blocks.(b).Func.instrs in
+      let n = Array.length instrs in
+      let begin_stmt ins =
+        if !pos >= max_stmts then fail "statement budget exceeded (%d)" max_stmts;
+        if record then
+          List.iter (fun r -> Dyn.push deps shadow.(r)) (Instr.uses ins)
+      in
+      let end_stmt value =
+        if record then Dyn.push values value;
+        incr pos
+      in
+      for i = 0 to n - 2 do
+        let ins = instrs.(i) in
+        begin_stmt ins;
+        match ins with
+        | Instr.Const (r, v) ->
+          regs.(r) <- v;
+          if record then shadow.(r) <- !pos;
+          end_stmt v
+        | Instr.Move (r, a) ->
+          let v = regs.(a) in
+          regs.(r) <- v;
+          if record then shadow.(r) <- !pos;
+          end_stmt v
+        | Instr.Binop (op, r, a, b') ->
+          let v = eval_binop op regs.(a) regs.(b') in
+          regs.(r) <- v;
+          if record then shadow.(r) <- !pos;
+          end_stmt v
+        | Instr.Cmp (op, r, a, b') ->
+          let v = eval_cmp op regs.(a) regs.(b') in
+          regs.(r) <- v;
+          if record then shadow.(r) <- !pos;
+          end_stmt v
+        | Instr.Unop (op, r, a) ->
+          let v = eval_unop op regs.(a) in
+          regs.(r) <- v;
+          if record then shadow.(r) <- !pos;
+          end_stmt v
+        | Instr.Load (r, a) ->
+          let addr = regs.(a) in
+          check_addr addr;
+          let v = memory.(addr) in
+          regs.(r) <- v;
+          if record then begin
+            Dyn.push deps mem_shadow.(addr);
+            Dyn.push mem_ops (addr lsl 1);
+            shadow.(r) <- !pos
+          end;
+          end_stmt v
+        | Instr.Store (a, vr) ->
+          let addr = regs.(a) in
+          check_addr addr;
+          let v = regs.(vr) in
+          memory.(addr) <- v;
+          if record then begin
+            Dyn.push mem_ops ((addr lsl 1) lor 1);
+            mem_shadow.(addr) <- !pos
+          end;
+          (* A store has no def port, but its position must resolve to
+             the stored value so that loads can recover their operand. *)
+          end_stmt v
+        | Instr.Input r ->
+          let v = next_input () in
+          regs.(r) <- v;
+          if record then shadow.(r) <- !pos;
+          end_stmt v
+        | Instr.Output r ->
+          Dyn.push outputs regs.(r);
+          end_stmt 0
+        | Instr.Call _ | Instr.Branch _ | Instr.Jump _ | Instr.Ret _
+        | Instr.Halt ->
+          assert false (* terminators are in last position (validated) *)
+      done;
+      let term = instrs.(n - 1) in
+      begin_stmt term;
+      let term_pos = !pos in
+      match term with
+      | Instr.Branch (r, b1, b2) ->
+        let taken = regs.(r) <> 0 in
+        if record then last_branch.(b) <- term_pos;
+        end_stmt 0;
+        let succ_ix = if taken then 0 else 1 in
+        let target = if taken then b1 else b2 in
+        goto b succ_ix target
+      | Instr.Jump target ->
+        end_stmt 0;
+        goto b 0 target
+      | Instr.Call (dst, callee, arg_regs, cont) ->
+        let args =
+          List.map
+            (fun r -> (regs.(r), if record then shadow.(r) else -1))
+            arg_regs
+        in
+        let ret_slot =
+          if record && dst <> None then begin
+            Dyn.push deps (-1);
+            Dyn.length deps - 1
+          end
+          else -1
+        in
+        end_stmt 0;
+        finish_path b;
+        let ret = exec_func callee ~ctx_pos:term_pos args in
+        (match (dst, ret) with
+         | Some r, Some (v, s) ->
+           regs.(r) <- v;
+           if record then begin
+             shadow.(r) <- term_pos;
+             Dyn.set values term_pos v;
+             Dyn.set deps ret_slot s
+           end
+         | Some _, None ->
+           fail "function %s returned no value but one was expected"
+             prog.funcs.(callee).Func.name
+         | None, _ -> ());
+        pathsum := BL.start_value bl ~node:cont;
+        block_loop cont
+      | Instr.Ret r -> (
+        match r with
+        | Some r ->
+          (* Like a store, a return has no def port but acts as the
+             producer of the caller's return-value link; its position
+             resolves to the returned value, and its own use slot links
+             on to the value's producer. *)
+          let v = regs.(r) in
+          end_stmt v;
+          finish_path b;
+          Some (v, term_pos)
+        | None ->
+          end_stmt 0;
+          finish_path b;
+          None)
+      | Instr.Halt ->
+        end_stmt 0;
+        finish_path b;
+        raise Halted
+      | Instr.Const _ | Instr.Move _ | Instr.Binop _ | Instr.Cmp _
+      | Instr.Unop _ | Instr.Load _ | Instr.Store _ | Instr.Input _
+      | Instr.Output _ ->
+        assert false
+    and goto src succ_ix target =
+      let bl = (PA.fn analysis f).PA.bl in
+      if BL.is_break bl ~src ~succ_ix then begin
+        finish_path src;
+        pathsum := BL.start_value bl ~node:target
+      end
+      else pathsum := !pathsum + BL.edge_value bl ~src ~succ_ix;
+      block_loop target
+    in
+    block_loop fn.Func.entry
+  in
+  (try ignore (exec_func prog.main ~ctx_pos:(-1) []) with Halted -> ());
+  let out = Dyn.to_array outputs in
+  let trace =
+    {
+      Trace.analysis;
+      paths = Dyn.to_array paths;
+      blocks = Dyn.to_array blocks;
+      cd_producer = Dyn.to_array cd_producer;
+      values = Dyn.to_array values;
+      deps = Dyn.to_array deps;
+      mem_ops = Dyn.to_array mem_ops;
+      outputs = out;
+      nstmts = !pos;
+    }
+  in
+  (trace, out, !pos)
+
+let run ?(max_stmts = 2_000_000_000) ?(interprocedural_cd = false) ?analysis
+    prog ~input =
+  let analysis =
+    match analysis with Some a -> a | None -> PA.of_program prog
+  in
+  let trace, outputs, stmts_executed =
+    execute ~record:true ~inter_cd:interprocedural_cd ~max_stmts ~analysis
+      prog ~input
+  in
+  { trace; outputs; stmts_executed }
+
+let outputs_only ?(max_stmts = 2_000_000_000) prog ~input =
+  let analysis = PA.of_program prog in
+  let _, outputs, _ =
+    execute ~record:false ~inter_cd:false ~max_stmts ~analysis prog ~input
+  in
+  outputs

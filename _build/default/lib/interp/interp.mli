@@ -1,0 +1,46 @@
+(** The IR interpreter — the repository's stand-in for the paper's
+    simulator-based profiler. It executes a program on a given input
+    stream and records the raw whole-execution trace the WET builder
+    consumes ({!Trace.t}): block/path events, produced values, dynamic
+    data/control dependences and memory accesses, with no instrumentation
+    of the program itself.
+
+    Semantics notes: registers and memory words start at 0; arithmetic is
+    63-bit OCaml [int] arithmetic; shift amounts are masked to 6 bits (63 saturates);
+    [Shr] is arithmetic; division or remainder by zero, out-of-bounds
+    memory accesses, exhausted input and exceeded statement budgets all
+    raise {!Runtime_error}. *)
+
+exception Runtime_error of string
+
+type result = {
+  trace : Trace.t;
+  outputs : int array;  (** values passed to [Output], in order *)
+  stmts_executed : int;
+}
+
+(** [run program ~input] executes [program] from [main].
+
+    @param max_stmts statement budget (default [2_000_000_000]).
+    @param interprocedural_cd record the calling statement's instance as
+      the control-dependence producer of blocks with no intraprocedural
+      parent (function entries and unconditional prologue blocks).
+      Default [false], matching the paper's intraprocedural control
+      dependence; turning it on makes backward slices pull in the full
+      calling context.
+    @param analysis reuse a precomputed {!Wet_cfg.Program_analysis.t}
+      instead of analysing [program] again.
+    @raise Runtime_error on any dynamic error. *)
+val run :
+  ?max_stmts:int ->
+  ?interprocedural_cd:bool ->
+  ?analysis:Wet_cfg.Program_analysis.t ->
+  Wet_ir.Program.t ->
+  input:int array ->
+  result
+
+(** [outputs_only program ~input] runs without recording a trace — a
+    fast path for program-correctness tests and native-speed baselines.
+    @raise Runtime_error as {!run}. *)
+val outputs_only :
+  ?max_stmts:int -> Wet_ir.Program.t -> input:int array -> int array

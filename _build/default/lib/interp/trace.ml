@@ -1,0 +1,28 @@
+type t = {
+  analysis : Wet_cfg.Program_analysis.t;
+  paths : int array;
+  blocks : int array;
+  cd_producer : int array;
+  values : int array;
+  deps : int array;
+  mem_ops : int array;
+  outputs : int array;
+  nstmts : int;
+}
+
+(* 20 bits of function id, 41 bits of path/block id. *)
+let shift = 41
+
+let encode_path f id = (f lsl shift) lor id
+
+let decode_path e = (e lsr shift, e land ((1 lsl shift) - 1))
+
+let encode_block = encode_path
+
+let decode_block = decode_path
+
+let num_block_execs t = Array.length t.blocks
+
+let num_path_execs t = Array.length t.paths
+
+let program t = t.analysis.Wet_cfg.Program_analysis.program

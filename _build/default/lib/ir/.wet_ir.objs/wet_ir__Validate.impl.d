@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Fmt Func Instr List Option Program

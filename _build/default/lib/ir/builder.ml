@@ -1,0 +1,76 @@
+type open_block = { mutable rev_instrs : Instr.t list; mutable closed : bool }
+
+type t = {
+  name : string;
+  params : Instr.reg list;
+  mutable next_reg : int;
+  mutable blocks : open_block list;  (* reversed: head = newest *)
+  mutable nblocks : int;
+  mutable cur : Instr.blabel;
+}
+
+let block_of t label =
+  if label < 0 || label >= t.nblocks then
+    invalid_arg "Builder: unknown block label";
+  List.nth t.blocks (t.nblocks - 1 - label)
+
+let create ~name ~nparams =
+  let params = List.init nparams Fun.id in
+  {
+    name;
+    params;
+    next_reg = nparams;
+    blocks = [ { rev_instrs = []; closed = false } ];
+    nblocks = 1;
+    cur = 0;
+  }
+
+let fresh_reg t =
+  let r = t.next_reg in
+  t.next_reg <- r + 1;
+  r
+
+let new_block t =
+  let label = t.nblocks in
+  t.blocks <- { rev_instrs = []; closed = false } :: t.blocks;
+  t.nblocks <- label + 1;
+  label
+
+let switch_to t label =
+  if (block_of t label).closed then
+    invalid_arg "Builder.switch_to: block already terminated";
+  t.cur <- label
+
+let emit t i =
+  if Instr.is_terminator i then
+    invalid_arg "Builder.emit: use terminate for terminators";
+  let b = block_of t t.cur in
+  if b.closed then invalid_arg "Builder.emit: current block terminated";
+  b.rev_instrs <- i :: b.rev_instrs
+
+let terminate t i =
+  if not (Instr.is_terminator i) then
+    invalid_arg "Builder.terminate: not a terminator";
+  let b = block_of t t.cur in
+  if b.closed then invalid_arg "Builder.terminate: already terminated";
+  b.rev_instrs <- i :: b.rev_instrs;
+  b.closed <- true
+
+let current t = t.cur
+
+let is_terminated t label = (block_of t label).closed
+
+let finish t =
+  let blocks = Array.make t.nblocks { Func.instrs = [||] } in
+  List.iteri
+    (fun i b ->
+      let label = t.nblocks - 1 - i in
+      if not b.closed then
+        invalid_arg
+          (Printf.sprintf "Builder.finish: block B%d of %s not terminated"
+             label t.name);
+      blocks.(label) <-
+        { Func.instrs = Array.of_list (List.rev b.rev_instrs) })
+    t.blocks;
+  { Func.name = t.name; params = t.params; nregs = t.next_reg; blocks;
+    entry = 0 }

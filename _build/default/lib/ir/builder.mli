@@ -1,0 +1,43 @@
+(** Imperative construction of IR functions.
+
+    The MiniC code generator and the hand-written workloads build
+    functions through this interface: open blocks, emit statements, and
+    terminate. {!finish} checks that every created block was terminated. *)
+
+type t
+(** A function under construction. *)
+
+(** [create ~name ~nparams] starts a function whose parameters occupy
+    registers [0 .. nparams-1]. The entry block (label 0) is created and
+    selected. *)
+val create : name:string -> nparams:int -> t
+
+(** Allocate a fresh virtual register. *)
+val fresh_reg : t -> Instr.reg
+
+(** Create a new, empty, unterminated block and return its label. The
+    current block selection is unchanged. *)
+val new_block : t -> Instr.blabel
+
+(** Select the block that subsequent {!emit}/{!terminate} target.
+    @raise Invalid_argument if the block is already terminated. *)
+val switch_to : t -> Instr.blabel -> unit
+
+(** Append an ordinary statement to the current block.
+    @raise Invalid_argument if given a terminator or if the current block
+    is terminated. *)
+val emit : t -> Instr.t -> unit
+
+(** Append the terminator and close the current block.
+    @raise Invalid_argument if not a terminator or already terminated. *)
+val terminate : t -> Instr.t -> unit
+
+(** Label of the currently selected block. *)
+val current : t -> Instr.blabel
+
+(** [true] if the given block has been terminated. *)
+val is_terminated : t -> Instr.blabel -> bool
+
+(** Seal the function. @raise Invalid_argument if any block lacks a
+    terminator. *)
+val finish : t -> Func.t

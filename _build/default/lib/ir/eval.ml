@@ -1,0 +1,33 @@
+let binop op a b =
+  match (op : Instr.binop) with
+  | Instr.Add -> Some (a + b)
+  | Instr.Sub -> Some (a - b)
+  | Instr.Mul -> Some (a * b)
+  | Instr.Div -> if b = 0 then None else Some (a / b)
+  | Instr.Rem -> if b = 0 then None else Some (a mod b)
+  | Instr.And -> Some (a land b)
+  | Instr.Or -> Some (a lor b)
+  | Instr.Xor -> Some (a lxor b)
+  | Instr.Shl ->
+    let s = b land 63 in
+    Some (if s >= 63 then 0 else a lsl s)
+  | Instr.Shr ->
+    let s = b land 63 in
+    Some (if s >= 63 then (if a < 0 then -1 else 0) else a asr s)
+
+let cmp op a b =
+  let r =
+    match (op : Instr.cmpop) with
+    | Instr.Eq -> a = b
+    | Instr.Ne -> a <> b
+    | Instr.Lt -> a < b
+    | Instr.Le -> a <= b
+    | Instr.Gt -> a > b
+    | Instr.Ge -> a >= b
+  in
+  if r then 1 else 0
+
+let unop op a =
+  match (op : Instr.unop) with
+  | Instr.Neg -> -a
+  | Instr.Not -> if a = 0 then 1 else 0

@@ -1,0 +1,14 @@
+(** The arithmetic of the IR, shared by the interpreter and the
+    optimiser so folding can never disagree with execution.
+
+    Semantics: 63-bit OCaml [int] arithmetic; shift amounts are masked
+    to 6 bits and a (masked) amount of 63 saturates (shifting out every
+    bit) since OCaml leaves it unspecified at the native word size;
+    [Shr] is arithmetic; comparisons yield 0/1. *)
+
+(** [binop op a b] is [None] exactly for division/remainder by zero. *)
+val binop : Instr.binop -> int -> int -> int option
+
+val cmp : Instr.cmpop -> int -> int -> int
+
+val unop : Instr.unop -> int -> int

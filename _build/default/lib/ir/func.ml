@@ -1,0 +1,26 @@
+type block = { instrs : Instr.t array }
+
+type t = {
+  name : string;
+  params : Instr.reg list;
+  nregs : int;
+  blocks : block array;
+  entry : Instr.blabel;
+}
+
+let terminator f b =
+  let instrs = f.blocks.(b).instrs in
+  instrs.(Array.length instrs - 1)
+
+let successors f b =
+  match terminator f b with
+  | Instr.Branch (_, b1, b2) -> [ b1; b2 ]
+  | Instr.Jump b' -> [ b' ]
+  | Instr.Call (_, _, _, cont) -> [ cont ]
+  | Instr.Ret _ | Instr.Halt -> []
+  | i -> Fmt.invalid_arg "Func.successors: non-terminator %a" Instr.pp i
+
+let num_blocks f = Array.length f.blocks
+
+let num_stmts f =
+  Array.fold_left (fun acc b -> acc + Array.length b.instrs) 0 f.blocks

@@ -1,0 +1,28 @@
+(** Functions: arrays of basic blocks over a private register file. *)
+
+type block = { instrs : Instr.t array }
+(** A basic block. The last element of [instrs] is the block's unique
+    terminator; no other element is a terminator. Blocks may otherwise be
+    empty of ordinary statements (a lone [Jump] is a valid block). *)
+
+type t = {
+  name : string;
+  params : Instr.reg list;  (** registers receiving the arguments *)
+  nregs : int;  (** size of the register file; all registers < nregs *)
+  blocks : block array;
+  entry : Instr.blabel;  (** index of the entry block *)
+}
+
+(** Terminator of block [b]. *)
+val terminator : t -> Instr.blabel -> Instr.t
+
+(** Intraprocedural successor labels of block [b] in terminator order
+    ([Branch] yields the taken target first; [Call] yields its
+    continuation). [Ret]/[Halt] have no successors. *)
+val successors : t -> Instr.blabel -> Instr.blabel list
+
+(** Number of blocks. *)
+val num_blocks : t -> int
+
+(** Total number of statements (terminators included). *)
+val num_stmts : t -> int

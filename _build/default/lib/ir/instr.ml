@@ -1,0 +1,103 @@
+type reg = int
+type blabel = int
+type func_id = int
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type unop = Neg | Not
+
+type t =
+  | Const of reg * int
+  | Move of reg * reg
+  | Binop of binop * reg * reg * reg
+  | Cmp of cmpop * reg * reg * reg
+  | Unop of unop * reg * reg
+  | Load of reg * reg
+  | Store of reg * reg
+  | Input of reg
+  | Output of reg
+  | Call of reg option * func_id * reg list * blabel
+  | Branch of reg * blabel * blabel
+  | Jump of blabel
+  | Ret of reg option
+  | Halt
+
+let is_terminator = function
+  | Call _ | Branch _ | Jump _ | Ret _ | Halt -> true
+  | Const _ | Move _ | Binop _ | Cmp _ | Unop _ | Load _ | Store _
+  | Input _ | Output _ -> false
+
+let def = function
+  | Const (r, _) | Move (r, _) | Binop (_, r, _, _) | Cmp (_, r, _, _)
+  | Unop (_, r, _) | Load (r, _) | Input r | Call (Some r, _, _, _) -> Some r
+  | Store _ | Output _ | Call (None, _, _, _) | Branch _ | Jump _ | Ret _
+  | Halt -> None
+
+let has_def i = def i <> None
+
+let uses = function
+  | Const _ | Input _ | Jump _ | Ret None | Halt -> []
+  | Move (_, a) | Unop (_, _, a) | Load (_, a) | Output a | Branch (a, _, _)
+  | Ret (Some a) -> [ a ]
+  | Binop (_, _, a, b) | Cmp (_, _, a, b) | Store (a, b) -> [ a; b ]
+  | Call (_, _, args, _) -> args
+
+let is_memory = function
+  | Load _ | Store _ -> true
+  | Const _ | Move _ | Binop _ | Cmp _ | Unop _ | Input _ | Output _
+  | Call _ | Branch _ | Jump _ | Ret _ | Halt -> false
+
+let addr_reg = function
+  | Load (_, a) | Store (a, _) -> Some a
+  | Const _ | Move _ | Binop _ | Cmp _ | Unop _ | Input _ | Output _
+  | Call _ | Branch _ | Jump _ | Ret _ | Halt -> None
+
+let is_branch = function
+  | Branch _ -> true
+  | Const _ | Move _ | Binop _ | Cmp _ | Unop _ | Load _ | Store _
+  | Input _ | Output _ | Call _ | Jump _ | Ret _ | Halt -> false
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+
+let cmpop_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let unop_name = function Neg -> "neg" | Not -> "not"
+
+let pp ppf = function
+  | Const (r, v) -> Fmt.pf ppf "r%d := %d" r v
+  | Move (r, a) -> Fmt.pf ppf "r%d := r%d" r a
+  | Binop (op, r, a, b) ->
+    Fmt.pf ppf "r%d := %s r%d r%d" r (binop_name op) a b
+  | Cmp (op, r, a, b) -> Fmt.pf ppf "r%d := %s r%d r%d" r (cmpop_name op) a b
+  | Unop (op, r, a) -> Fmt.pf ppf "r%d := %s r%d" r (unop_name op) a
+  | Load (r, a) -> Fmt.pf ppf "r%d := load [r%d]" r a
+  | Store (a, v) -> Fmt.pf ppf "store [r%d] := r%d" a v
+  | Input r -> Fmt.pf ppf "r%d := input" r
+  | Output r -> Fmt.pf ppf "output r%d" r
+  | Call (dst, f, args, cont) ->
+    let pp_args = Fmt.(list ~sep:(any ", ") (fmt "r%d")) in
+    (match dst with
+     | Some r ->
+       Fmt.pf ppf "r%d := call f%d(%a) then B%d" r f pp_args args cont
+     | None -> Fmt.pf ppf "call f%d(%a) then B%d" f pp_args args cont)
+  | Branch (r, b1, b2) -> Fmt.pf ppf "br r%d ? B%d : B%d" r b1 b2
+  | Jump b -> Fmt.pf ppf "jmp B%d" b
+  | Ret (Some r) -> Fmt.pf ppf "ret r%d" r
+  | Ret None -> Fmt.pf ppf "ret"
+  | Halt -> Fmt.pf ppf "halt"
+
+let dyn_use_count i =
+  let base = List.length (uses i) in
+  match i with
+  | Load _ -> base + 1
+  | Call (Some _, _, _, _) -> base + 1
+  | Const _ | Move _ | Binop _ | Cmp _ | Unop _ | Store _ | Input _
+  | Output _ | Call (None, _, _, _) | Branch _ | Jump _ | Ret _ | Halt ->
+    base

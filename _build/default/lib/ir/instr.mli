@@ -1,0 +1,82 @@
+(** Intermediate-representation statements.
+
+    The WET is defined over "intermediate level statements" (paper §2);
+    this register-based IR plays the role Trimaran's intermediate code
+    plays in the paper. Registers are virtual and per-function; memory is
+    a flat word-addressed array shared by the whole program.
+
+    A basic block is an array of statements whose last element is the
+    unique {{!is_terminator}terminator}. [Call] is a terminator carrying
+    the label of its continuation block: a call always ends a basic
+    block, so Ball–Larus paths never span a call and the whole-program
+    block trace is exactly the concatenation of path blocks in timestamp
+    order (see {!Wet_cfg.Ball_larus}). *)
+
+type reg = int
+(** Virtual register index, local to a function. *)
+
+type blabel = int
+(** Basic-block index, local to a function. *)
+
+type func_id = int
+(** Function index within a {!Program.t}. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type unop = Neg | Not
+
+type t =
+  | Const of reg * int  (** [r := imm] *)
+  | Move of reg * reg  (** [r := r'] *)
+  | Binop of binop * reg * reg * reg  (** [r := a op b] *)
+  | Cmp of cmpop * reg * reg * reg  (** [r := a cmp b] (0 or 1) *)
+  | Unop of unop * reg * reg  (** [r := op a] *)
+  | Load of reg * reg  (** [r := mem\[addr\]] *)
+  | Store of reg * reg  (** [mem\[addr\] := v]; no def port *)
+  | Input of reg  (** [r := next external input] *)
+  | Output of reg  (** append [r] to program output; no def port *)
+  | Call of reg option * func_id * reg list * blabel
+      (** [r := f(args)], then continue at the continuation block.
+          Terminates its basic block. *)
+  | Branch of reg * blabel * blabel  (** [if r <> 0 goto b1 else b2] *)
+  | Jump of blabel
+  | Ret of reg option
+  | Halt  (** stop the program (valid only in [main]) *)
+
+(** [true] on [Call], [Branch], [Jump], [Ret] and [Halt]. *)
+val is_terminator : t -> bool
+
+(** [true] iff the statement produces a result value (paper: "has a def
+    port"). Stores, outputs, branches, jumps, returns without a value and
+    halt do not. *)
+val has_def : t -> bool
+
+(** Destination register, if any. *)
+val def : t -> reg option
+
+(** Registers read by the statement, in operand order. [Call] uses are
+    its arguments; [Ret (Some r)] uses [r]. *)
+val uses : t -> reg list
+
+(** [true] on [Load] and [Store]: the statement references memory, and
+    its first operand register holds the address. *)
+val is_memory : t -> bool
+
+(** Address register of a [Load]/[Store]. *)
+val addr_reg : t -> reg option
+
+(** [true] on [Branch]. *)
+val is_branch : t -> bool
+
+(** Number of dynamic dependence slots of a statement: its register uses,
+    plus one memory input for a [Load], plus one return-value link for a
+    [Call] with a destination. The interpreter records exactly this many
+    producer references per execution, and the WET builder consumes them
+    in the same order (register uses first, then the extra slot). *)
+val dyn_use_count : t -> int
+
+val pp : t Fmt.t

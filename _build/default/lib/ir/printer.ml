@@ -1,0 +1,26 @@
+let pp_func ppf (f : Func.t) =
+  Fmt.pf ppf "func %s(%a) nregs=%d@," f.name
+    Fmt.(list ~sep:(any ", ") (fmt "r%d"))
+    f.params f.nregs;
+  Array.iteri
+    (fun bi (blk : Func.block) ->
+      Fmt.pf ppf "B%d:@," bi;
+      Array.iter (fun i -> Fmt.pf ppf "  %a@," Instr.pp i) blk.Func.instrs)
+    f.blocks
+
+let pp_program ppf (p : Program.t) =
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "memory: %d words@," p.mem_words;
+  List.iter
+    (fun (name, base, size) ->
+      Fmt.pf ppf "global %s @@ %d (%d words)@," name base size)
+    p.globals;
+  Array.iteri
+    (fun fi f ->
+      Fmt.pf ppf "; f%d%s@,%a" fi
+        (if fi = p.main then " (main)" else "")
+        pp_func f)
+    p.funcs;
+  Fmt.pf ppf "@]"
+
+let program_to_string p = Fmt.str "%a" pp_program p

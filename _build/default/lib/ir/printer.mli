@@ -1,0 +1,7 @@
+(** Human-readable rendering of functions and programs. *)
+
+val pp_func : Func.t Fmt.t
+val pp_program : Program.t Fmt.t
+
+(** Rendered with {!pp_program}. *)
+val program_to_string : Program.t -> string

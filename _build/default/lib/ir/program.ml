@@ -1,0 +1,67 @@
+type stmt_id = int
+
+type t = {
+  funcs : Func.t array;
+  main : Instr.func_id;
+  mem_words : int;
+  globals : (string * int * int) list;
+  stmt_base : int array array;
+  stmt_count : int;
+}
+
+let make ~funcs ~main ~mem_words ~globals =
+  if main < 0 || main >= Array.length funcs then
+    invalid_arg "Program.make: main function index out of range";
+  let next = ref 0 in
+  let base_of_func f =
+    Array.map
+      (fun (b : Func.block) ->
+        let base = !next in
+        next := base + Array.length b.instrs;
+        base)
+      f.Func.blocks
+  in
+  let stmt_base = Array.map base_of_func funcs in
+  { funcs; main; mem_words; globals; stmt_base; stmt_count = !next }
+
+let num_stmts p = p.stmt_count
+
+let stmt_id p f b i = p.stmt_base.(f).(b) + i
+
+let locate p id =
+  if id < 0 || id >= p.stmt_count then invalid_arg "Program.locate";
+  (* Functions and blocks are numbered in increasing base order, so a
+     linear scan per function followed by one over blocks suffices; this
+     is only used on query/diagnostic paths, never per-event. *)
+  let rec find_func f =
+    if f + 1 < Array.length p.funcs
+       && Array.length p.stmt_base.(f + 1) > 0
+       && p.stmt_base.(f + 1).(0) <= id
+    then find_func (f + 1)
+    else f
+  in
+  let f = find_func 0 in
+  let bases = p.stmt_base.(f) in
+  let rec find_block b =
+    if b + 1 < Array.length bases && bases.(b + 1) <= id then find_block (b + 1)
+    else b
+  in
+  let b = find_block 0 in
+  (f, b, id - bases.(b))
+
+let instr p id =
+  let f, b, i = locate p id in
+  p.funcs.(f).Func.blocks.(b).Func.instrs.(i)
+
+let iter_stmts p f =
+  Array.iteri
+    (fun fi (fn : Func.t) ->
+      Array.iteri
+        (fun bi (blk : Func.block) ->
+          Array.iteri (fun i ins -> f (stmt_id p fi bi i) ins) blk.Func.instrs)
+        fn.Func.blocks)
+    p.funcs
+
+let global_base p name =
+  let _, base, _ = List.find (fun (n, _, _) -> String.equal n name) p.globals in
+  base

@@ -1,0 +1,46 @@
+(** Whole programs, with a global numbering of statements.
+
+    Every statement of every function gets a dense global [stmt_id]; the
+    WET's node/edge tables are indexed by these ids. *)
+
+type stmt_id = int
+
+type t = private {
+  funcs : Func.t array;
+  main : Instr.func_id;
+  mem_words : int;  (** size of the flat data memory, in words *)
+  globals : (string * int * int) list;
+      (** named global regions: (name, base address, size in words) *)
+  stmt_base : int array array;
+      (** [stmt_base.(f).(b)] = global id of the first statement of block
+          [b] of function [f] *)
+  stmt_count : int;
+}
+
+(** [make ~funcs ~main ~mem_words ~globals] computes the statement
+    numbering. @raise Invalid_argument if [main] is out of range. *)
+val make :
+  funcs:Func.t array ->
+  main:Instr.func_id ->
+  mem_words:int ->
+  globals:(string * int * int) list ->
+  t
+
+(** Total number of statements in the program. *)
+val num_stmts : t -> int
+
+(** [stmt_id p f b i] is the global id of statement [i] of block [b] of
+    function [f]. *)
+val stmt_id : t -> Instr.func_id -> Instr.blabel -> int -> stmt_id
+
+(** Inverse of {!stmt_id}: [(func, block, index)] of a global id. *)
+val locate : t -> stmt_id -> Instr.func_id * Instr.blabel * int
+
+(** The statement with the given global id. *)
+val instr : t -> stmt_id -> Instr.t
+
+(** [iter_stmts p f] applies [f id instr] to every statement. *)
+val iter_stmts : t -> (stmt_id -> Instr.t -> unit) -> unit
+
+(** Base address of a named global region. @raise Not_found. *)
+val global_base : t -> string -> int

@@ -1,0 +1,87 @@
+type error = {
+  func : Instr.func_id;
+  block : Instr.blabel option;
+  message : string;
+}
+
+let pp_error ppf e =
+  match e.block with
+  | Some b -> Fmt.pf ppf "f%d/B%d: %s" e.func b e.message
+  | None -> Fmt.pf ppf "f%d: %s" e.func e.message
+
+let errors (p : Program.t) =
+  let errs = ref [] in
+  let err func block fmt =
+    Fmt.kstr (fun message -> errs := { func; block; message } :: !errs) fmt
+  in
+  let nfuncs = Array.length p.funcs in
+  Array.iteri
+    (fun fi (fn : Func.t) ->
+      let nblocks = Array.length fn.blocks in
+      if nblocks = 0 then err fi None "function has no blocks";
+      if fn.entry <> 0 then err fi None "entry block must be block 0";
+      List.iter
+        (fun r ->
+          if r < 0 || r >= fn.nregs then
+            err fi None "parameter register r%d out of range" r)
+        fn.params;
+      let check_reg bi r =
+        if r < 0 || r >= fn.nregs then
+          err fi (Some bi) "register r%d out of range (nregs=%d)" r fn.nregs
+      in
+      let check_label bi l =
+        if l < 0 || l >= nblocks then
+          err fi (Some bi) "block label B%d out of range" l
+      in
+      Array.iteri
+        (fun bi (blk : Func.block) ->
+          let n = Array.length blk.instrs in
+          if n = 0 then err fi (Some bi) "empty block"
+          else begin
+            Array.iteri
+              (fun ii ins ->
+                let is_last = ii = n - 1 in
+                if Instr.is_terminator ins && not is_last then
+                  err fi (Some bi) "terminator %a not in last position"
+                    Instr.pp ins;
+                if is_last && not (Instr.is_terminator ins) then
+                  err fi (Some bi) "block does not end in a terminator";
+                Option.iter (check_reg bi) (Instr.def ins);
+                List.iter (check_reg bi) (Instr.uses ins);
+                match ins with
+                | Instr.Branch (_, b1, b2) ->
+                  check_label bi b1;
+                  check_label bi b2
+                | Instr.Jump b -> check_label bi b
+                | Instr.Call (_, callee, args, cont) ->
+                  check_label bi cont;
+                  if callee < 0 || callee >= nfuncs then
+                    err fi (Some bi) "call to unknown function f%d" callee
+                  else begin
+                    let expected =
+                      List.length p.funcs.(callee).Func.params
+                    in
+                    if List.length args <> expected then
+                      err fi (Some bi)
+                        "call to f%d passes %d args, expected %d" callee
+                        (List.length args) expected
+                  end
+                | Instr.Halt ->
+                  if fi <> p.main then
+                    err fi (Some bi) "halt outside of main"
+                | Instr.Const _ | Instr.Move _ | Instr.Binop _ | Instr.Cmp _
+                | Instr.Unop _ | Instr.Load _ | Instr.Store _ | Instr.Input _
+                | Instr.Output _ | Instr.Ret _ -> ())
+              blk.instrs
+          end)
+        fn.blocks)
+    p.funcs;
+  List.rev !errs
+
+let check_exn p =
+  match errors p with
+  | [] -> ()
+  | errs ->
+    Fmt.invalid_arg "invalid program:@,%a"
+      Fmt.(list ~sep:(any "@,") pp_error)
+      errs

@@ -1,0 +1,21 @@
+(** Structural validation of programs.
+
+    Run after construction and before analysis: the CFG, interpreter and
+    WET builder all assume the invariants checked here. *)
+
+type error = {
+  func : Instr.func_id;
+  block : Instr.blabel option;
+  message : string;
+}
+
+val pp_error : error Fmt.t
+
+(** All structural problems found: empty blocks, misplaced or missing
+    terminators, out-of-range registers, jump targets, call targets and
+    arities, [Halt] outside [main], entry labels out of range. *)
+val errors : Program.t -> error list
+
+(** @raise Invalid_argument with a rendered report if {!errors} is
+    non-empty. *)
+val check_exn : Program.t -> unit

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Ast Builder Fmt Hashtbl Instr List Option Program Validate Wet_ir

@@ -1,0 +1,1 @@
+lib/minic/frontend.ml: Ast Codegen Parser Printf

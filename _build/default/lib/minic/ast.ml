@@ -1,0 +1,40 @@
+type pos = { line : int; col : int }
+
+type unary_op = Neg | Not
+
+type binary_op =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Land | Lor
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Int of int
+  | Var of string
+  | Index of string * expr
+  | Call of string * expr list
+  | Input
+  | Unary of unary_op * expr
+  | Binary of binary_op * expr * expr
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Decl of string * expr option
+  | Assign of string * expr
+  | Index_assign of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Print of expr
+  | Expr of expr
+  | Break
+  | Continue
+
+type func = { fname : string; params : string list; body : stmt list }
+
+type global = { gname : string; gsize : int }
+
+type program = { globals : global list; funcs : func list }

@@ -1,0 +1,49 @@
+(** Abstract syntax of MiniC.
+
+    MiniC is the small imperative language the workloads are written in:
+    integer scalars and global arrays, functions with recursion, [if] /
+    [while] / [for], [input()] / [print()] for deterministic I/O. It
+    exists so workloads are real structured programs (the role SpecInt
+    sources play in the paper) rather than hand-assembled graphs. *)
+
+type pos = { line : int; col : int }
+
+type unary_op = Neg | Not
+
+type binary_op =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Land | Lor  (** logical; both operands evaluated, result 0/1 *)
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Int of int
+  | Var of string
+  | Index of string * expr  (** [g\[e\]]: global array read *)
+  | Call of string * expr list
+  | Input  (** [input()]: next value of the external input stream *)
+  | Unary of unary_op * expr
+  | Binary of binary_op * expr * expr
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Decl of string * expr option  (** [var x = e;] *)
+  | Assign of string * expr
+  | Index_assign of string * expr * expr  (** [g\[e1\] = e2;] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Print of expr
+  | Expr of expr  (** expression statement, e.g. a call for effect *)
+  | Break
+  | Continue
+
+type func = { fname : string; params : string list; body : stmt list }
+
+type global = { gname : string; gsize : int }
+(** [gsize] is the region size in words; a scalar global has size 1. *)
+
+type program = { globals : global list; funcs : func list }

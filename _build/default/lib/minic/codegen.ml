@@ -1,0 +1,289 @@
+open Wet_ir
+
+exception Error of string * Ast.pos
+
+let err pos fmt = Fmt.kstr (fun m -> raise (Error (m, pos))) fmt
+
+type fctx = {
+  fb : Builder.t;
+  funcs : (string, int * int) Hashtbl.t;  (* name -> (id, arity) *)
+  globals : (string, int * int) Hashtbl.t;  (* name -> (base, size) *)
+  vars : (string, Instr.reg) Hashtbl.t;
+  mutable loops : (Instr.blabel * Instr.blabel) list;
+      (* innermost first: (continue target, break target) *)
+  is_main : bool;
+}
+
+let binop_instr op dst a b : Instr.t =
+  match (op : Ast.binary_op) with
+  | Ast.Add -> Instr.Binop (Instr.Add, dst, a, b)
+  | Ast.Sub -> Instr.Binop (Instr.Sub, dst, a, b)
+  | Ast.Mul -> Instr.Binop (Instr.Mul, dst, a, b)
+  | Ast.Div -> Instr.Binop (Instr.Div, dst, a, b)
+  | Ast.Rem -> Instr.Binop (Instr.Rem, dst, a, b)
+  | Ast.Band -> Instr.Binop (Instr.And, dst, a, b)
+  | Ast.Bor -> Instr.Binop (Instr.Or, dst, a, b)
+  | Ast.Bxor -> Instr.Binop (Instr.Xor, dst, a, b)
+  | Ast.Shl -> Instr.Binop (Instr.Shl, dst, a, b)
+  | Ast.Shr -> Instr.Binop (Instr.Shr, dst, a, b)
+  | Ast.Eq -> Instr.Cmp (Instr.Eq, dst, a, b)
+  | Ast.Ne -> Instr.Cmp (Instr.Ne, dst, a, b)
+  | Ast.Lt -> Instr.Cmp (Instr.Lt, dst, a, b)
+  | Ast.Le -> Instr.Cmp (Instr.Le, dst, a, b)
+  | Ast.Gt -> Instr.Cmp (Instr.Gt, dst, a, b)
+  | Ast.Ge -> Instr.Cmp (Instr.Ge, dst, a, b)
+  | Ast.Land | Ast.Lor -> assert false (* handled in gen_expr *)
+
+(* Address of element [ix_reg] of the global region at [base]. *)
+let gen_address ctx base ix_reg =
+  let base_reg = Builder.fresh_reg ctx.fb in
+  Builder.emit ctx.fb (Instr.Const (base_reg, base));
+  let addr = Builder.fresh_reg ctx.fb in
+  Builder.emit ctx.fb (Instr.Binop (Instr.Add, addr, base_reg, ix_reg));
+  addr
+
+let rec gen_expr ctx (e : Ast.expr) : Instr.reg =
+  match e.Ast.desc with
+  | Ast.Int n ->
+    let r = Builder.fresh_reg ctx.fb in
+    Builder.emit ctx.fb (Instr.Const (r, n));
+    r
+  | Ast.Var x -> (
+    match Hashtbl.find_opt ctx.vars x with
+    | Some r -> r
+    | None -> (
+      match Hashtbl.find_opt ctx.globals x with
+      | Some (base, _) ->
+        let addr = Builder.fresh_reg ctx.fb in
+        Builder.emit ctx.fb (Instr.Const (addr, base));
+        let r = Builder.fresh_reg ctx.fb in
+        Builder.emit ctx.fb (Instr.Load (r, addr));
+        r
+      | None -> err e.Ast.pos "unknown variable %s" x))
+  | Ast.Index (g, ix) -> (
+    match Hashtbl.find_opt ctx.globals g with
+    | None -> err e.Ast.pos "unknown global array %s" g
+    | Some (base, _) ->
+      let ix_reg = gen_expr ctx ix in
+      let addr = gen_address ctx base ix_reg in
+      let r = Builder.fresh_reg ctx.fb in
+      Builder.emit ctx.fb (Instr.Load (r, addr));
+      r)
+  | Ast.Call (f, args) -> (
+    match Hashtbl.find_opt ctx.funcs f with
+    | None -> err e.Ast.pos "call to unknown function %s" f
+    | Some (id, arity) ->
+      if List.length args <> arity then
+        err e.Ast.pos "%s expects %d argument(s), got %d" f arity
+          (List.length args);
+      let arg_regs = List.map (gen_expr ctx) args in
+      let dst = Builder.fresh_reg ctx.fb in
+      let cont = Builder.new_block ctx.fb in
+      Builder.terminate ctx.fb (Instr.Call (Some dst, id, arg_regs, cont));
+      Builder.switch_to ctx.fb cont;
+      dst)
+  | Ast.Input ->
+    let r = Builder.fresh_reg ctx.fb in
+    Builder.emit ctx.fb (Instr.Input r);
+    r
+  | Ast.Unary (op, a) ->
+    let ra = gen_expr ctx a in
+    let dst = Builder.fresh_reg ctx.fb in
+    let instr =
+      match op with
+      | Ast.Neg -> Instr.Unop (Instr.Neg, dst, ra)
+      | Ast.Not -> Instr.Unop (Instr.Not, dst, ra)
+    in
+    Builder.emit ctx.fb instr;
+    dst
+  | Ast.Binary ((Ast.Land | Ast.Lor) as op, a, b) ->
+    (* Non-short-circuit logical operators: both sides are evaluated and
+       normalised to 0/1 before the bitwise combine. *)
+    let ra = gen_expr ctx a in
+    let rb = gen_expr ctx b in
+    let zero = Builder.fresh_reg ctx.fb in
+    Builder.emit ctx.fb (Instr.Const (zero, 0));
+    let na = Builder.fresh_reg ctx.fb in
+    Builder.emit ctx.fb (Instr.Cmp (Instr.Ne, na, ra, zero));
+    let nb = Builder.fresh_reg ctx.fb in
+    Builder.emit ctx.fb (Instr.Cmp (Instr.Ne, nb, rb, zero));
+    let dst = Builder.fresh_reg ctx.fb in
+    let bop = if op = Ast.Land then Instr.And else Instr.Or in
+    Builder.emit ctx.fb (Instr.Binop (bop, dst, na, nb));
+    dst
+  | Ast.Binary (op, a, b) ->
+    let ra = gen_expr ctx a in
+    let rb = gen_expr ctx b in
+    let dst = Builder.fresh_reg ctx.fb in
+    Builder.emit ctx.fb (binop_instr op dst ra rb);
+    dst
+
+(* Ensure subsequent statements have an open block to land in: code
+   following [return]/[break]/[continue] is unreachable but still
+   generated into a fresh block. *)
+let ensure_open ctx =
+  if Builder.is_terminated ctx.fb (Builder.current ctx.fb) then begin
+    let b = Builder.new_block ctx.fb in
+    Builder.switch_to ctx.fb b
+  end
+
+let rec gen_stmt ctx (s : Ast.stmt) =
+  ensure_open ctx;
+  match s.Ast.sdesc with
+  | Ast.Decl (x, init) ->
+    if Hashtbl.mem ctx.vars x then err s.Ast.spos "variable %s redeclared" x;
+    let value =
+      match init with
+      | Some e -> gen_expr ctx e
+      | None ->
+        let r = Builder.fresh_reg ctx.fb in
+        Builder.emit ctx.fb (Instr.Const (r, 0));
+        r
+    in
+    let r = Builder.fresh_reg ctx.fb in
+    Builder.emit ctx.fb (Instr.Move (r, value));
+    Hashtbl.replace ctx.vars x r
+  | Ast.Assign (x, e) -> (
+    match Hashtbl.find_opt ctx.vars x with
+    | Some r ->
+      let v = gen_expr ctx e in
+      Builder.emit ctx.fb (Instr.Move (r, v))
+    | None -> (
+      match Hashtbl.find_opt ctx.globals x with
+      | Some (base, _) ->
+        let v = gen_expr ctx e in
+        let addr = Builder.fresh_reg ctx.fb in
+        Builder.emit ctx.fb (Instr.Const (addr, base));
+        Builder.emit ctx.fb (Instr.Store (addr, v))
+      | None -> err s.Ast.spos "assignment to unknown variable %s" x))
+  | Ast.Index_assign (g, ix, e) -> (
+    match Hashtbl.find_opt ctx.globals g with
+    | None -> err s.Ast.spos "unknown global array %s" g
+    | Some (base, _) ->
+      let ix_reg = gen_expr ctx ix in
+      let v = gen_expr ctx e in
+      let addr = gen_address ctx base ix_reg in
+      Builder.emit ctx.fb (Instr.Store (addr, v)))
+  | Ast.If (cond, then_, else_) ->
+    let c = gen_expr ctx cond in
+    let then_b = Builder.new_block ctx.fb in
+    let join_b = Builder.new_block ctx.fb in
+    let else_b = if else_ = [] then join_b else Builder.new_block ctx.fb in
+    Builder.terminate ctx.fb (Instr.Branch (c, then_b, else_b));
+    Builder.switch_to ctx.fb then_b;
+    gen_stmts ctx then_;
+    if not (Builder.is_terminated ctx.fb (Builder.current ctx.fb)) then
+      Builder.terminate ctx.fb (Instr.Jump join_b);
+    if else_ <> [] then begin
+      Builder.switch_to ctx.fb else_b;
+      gen_stmts ctx else_;
+      if not (Builder.is_terminated ctx.fb (Builder.current ctx.fb)) then
+        Builder.terminate ctx.fb (Instr.Jump join_b)
+    end;
+    Builder.switch_to ctx.fb join_b
+  | Ast.While (cond, body) ->
+    let header = Builder.new_block ctx.fb in
+    Builder.terminate ctx.fb (Instr.Jump header);
+    Builder.switch_to ctx.fb header;
+    let c = gen_expr ctx cond in
+    let body_b = Builder.new_block ctx.fb in
+    let exit_b = Builder.new_block ctx.fb in
+    Builder.terminate ctx.fb (Instr.Branch (c, body_b, exit_b));
+    Builder.switch_to ctx.fb body_b;
+    ctx.loops <- (header, exit_b) :: ctx.loops;
+    gen_stmts ctx body;
+    ctx.loops <- List.tl ctx.loops;
+    if not (Builder.is_terminated ctx.fb (Builder.current ctx.fb)) then
+      Builder.terminate ctx.fb (Instr.Jump header);
+    Builder.switch_to ctx.fb exit_b
+  | Ast.Return v ->
+    let value = Option.map (gen_expr ctx) v in
+    if ctx.is_main then Builder.terminate ctx.fb Instr.Halt
+    else Builder.terminate ctx.fb (Instr.Ret value)
+  | Ast.Print e ->
+    let r = gen_expr ctx e in
+    Builder.emit ctx.fb (Instr.Output r)
+  | Ast.Expr ({ Ast.desc = Ast.Call (f, args); _ } as e) -> (
+    (* A call for effect has no def port, matching the paper's statement
+       classification. *)
+    match Hashtbl.find_opt ctx.funcs f with
+    | None -> err e.Ast.pos "call to unknown function %s" f
+    | Some (id, arity) ->
+      if List.length args <> arity then
+        err e.Ast.pos "%s expects %d argument(s), got %d" f arity
+          (List.length args);
+      let arg_regs = List.map (gen_expr ctx) args in
+      let cont = Builder.new_block ctx.fb in
+      Builder.terminate ctx.fb (Instr.Call (None, id, arg_regs, cont));
+      Builder.switch_to ctx.fb cont)
+  | Ast.Expr e -> ignore (gen_expr ctx e)
+  | Ast.Break -> (
+    match ctx.loops with
+    | (_, exit_b) :: _ -> Builder.terminate ctx.fb (Instr.Jump exit_b)
+    | [] -> err s.Ast.spos "break outside of a loop")
+  | Ast.Continue -> (
+    match ctx.loops with
+    | (header, _) :: _ -> Builder.terminate ctx.fb (Instr.Jump header)
+    | [] -> err s.Ast.spos "continue outside of a loop")
+
+and gen_stmts ctx stmts = List.iter (gen_stmt ctx) stmts
+
+let gen_func funcs globals is_main (f : Ast.func) =
+  let fb = Builder.create ~name:f.Ast.fname ~nparams:(List.length f.Ast.params) in
+  let ctx = { fb; funcs; globals; vars = Hashtbl.create 16; loops = []; is_main } in
+  List.iteri (fun i p ->
+      if Hashtbl.mem ctx.vars p then
+        err { Ast.line = 0; col = 0 } "duplicate parameter %s in %s" p f.Ast.fname;
+      Hashtbl.replace ctx.vars p i)
+    f.Ast.params;
+  gen_stmts ctx f.Ast.body;
+  if not (Builder.is_terminated fb (Builder.current fb)) then
+    Builder.terminate fb (if is_main then Instr.Halt else Instr.Ret None);
+  Builder.finish fb
+
+let program (p : Ast.program) =
+  let globals = Hashtbl.create 16 in
+  let glist =
+    List.fold_left
+      (fun base (g : Ast.global) ->
+        if Hashtbl.mem globals g.Ast.gname then
+          err { Ast.line = 0; col = 0 } "global %s redeclared" g.Ast.gname;
+        Hashtbl.replace globals g.Ast.gname (base, g.Ast.gsize);
+        base + g.Ast.gsize)
+      0
+      p.Ast.globals
+    |> fun total ->
+    ( List.map
+        (fun (g : Ast.global) ->
+          let base, size = Hashtbl.find globals g.Ast.gname in
+          (g.Ast.gname, base, size))
+        p.Ast.globals,
+      total )
+  in
+  let global_list, mem_words = glist in
+  let funcs = Hashtbl.create 16 in
+  List.iteri
+    (fun i (f : Ast.func) ->
+      if Hashtbl.mem funcs f.Ast.fname then
+        err { Ast.line = 0; col = 0 } "function %s redeclared" f.Ast.fname;
+      Hashtbl.replace funcs f.Ast.fname (i, List.length f.Ast.params))
+    p.Ast.funcs;
+  let main_id =
+    match Hashtbl.find_opt funcs "main" with
+    | Some (id, 0) -> id
+    | Some (_, n) ->
+      err { Ast.line = 0; col = 0 } "main must take no parameters (has %d)" n
+    | None -> err { Ast.line = 0; col = 0 } "program has no main function"
+  in
+  let ir_funcs =
+    Array.of_list
+      (List.mapi
+         (fun i f -> gen_func funcs globals (i = main_id) f)
+         p.Ast.funcs)
+  in
+  let prog =
+    Program.make ~funcs:ir_funcs ~main:main_id
+      ~mem_words:(max 1 mem_words) ~globals:global_list
+  in
+  Validate.check_exn prog;
+  prog

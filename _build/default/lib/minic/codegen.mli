@@ -1,0 +1,14 @@
+(** MiniC → IR translation.
+
+    Globals are laid out contiguously from address 0 in declaration
+    order; a scalar global is a 1-word region. Local variables and
+    parameters live in virtual registers. Every array or global-scalar
+    access materialises its address ([Const] base + [Add]), so the value
+    stream of those statements is the program's address profile. *)
+
+exception Error of string * Ast.pos
+
+(** Translate a checked AST. Requires a zero-parameter [main] function.
+    @raise Error on semantic problems (unknown names, arity mismatches,
+    redeclarations, [break] outside loops, ...). *)
+val program : Ast.program -> Wet_ir.Program.t

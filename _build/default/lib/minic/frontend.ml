@@ -1,0 +1,13 @@
+let render (m : string) (p : Ast.pos) =
+  Printf.sprintf "line %d, column %d: %s" p.Ast.line p.Ast.col m
+
+let compile src =
+  match Codegen.program (Parser.parse src) with
+  | prog -> Ok prog
+  | exception Parser.Error (m, p) -> Error (render m p)
+  | exception Codegen.Error (m, p) -> Error (render m p)
+
+let compile_exn src =
+  match compile src with
+  | Ok p -> p
+  | Error m -> invalid_arg ("MiniC: " ^ m)

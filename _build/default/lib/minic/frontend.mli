@@ -1,0 +1,9 @@
+(** One-call MiniC front end. *)
+
+(** [compile src] lexes, parses and translates a MiniC source string.
+    Errors are rendered as ["line L, column C: message"]. *)
+val compile : string -> (Wet_ir.Program.t, string) result
+
+(** Like {!compile} but raises [Invalid_argument] with the rendered
+    message. Convenient for workloads that are known-good sources. *)
+val compile_exn : string -> Wet_ir.Program.t

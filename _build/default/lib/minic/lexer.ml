@@ -1,0 +1,163 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_FN | KW_VAR | KW_GLOBAL | KW_IF | KW_ELSE | KW_WHILE | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE | KW_PRINT | KW_INPUT
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR
+  | AMPAMP | PIPEPIPE | BANG
+  | EQ | NE | LT | LE | GT | GE
+  | EOF
+
+type located = { tok : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+let keyword = function
+  | "fn" -> Some KW_FN
+  | "var" -> Some KW_VAR
+  | "global" -> Some KW_GLOBAL
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "print" -> Some KW_PRINT
+  | "input" -> Some KW_INPUT
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek s i =
+  if s.off + i < String.length s.src then Some s.src.[s.off + i] else None
+
+let advance s =
+  (match peek s 0 with
+   | Some '\n' ->
+     s.line <- s.line + 1;
+     s.col <- 1
+   | Some _ -> s.col <- s.col + 1
+   | None -> ());
+  s.off <- s.off + 1
+
+let pos s = { Ast.line = s.line; col = s.col }
+
+let rec skip_ws s =
+  match peek s 0 with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance s;
+    skip_ws s
+  | Some '/' when peek s 1 = Some '/' ->
+    while peek s 0 <> None && peek s 0 <> Some '\n' do advance s done;
+    skip_ws s
+  | Some '/' when peek s 1 = Some '*' ->
+    let start = pos s in
+    advance s;
+    advance s;
+    let rec loop () =
+      match (peek s 0, peek s 1) with
+      | Some '*', Some '/' ->
+        advance s;
+        advance s
+      | Some _, _ ->
+        advance s;
+        loop ()
+      | None, _ -> raise (Error ("unterminated block comment", start))
+    in
+    loop ();
+    skip_ws s
+  | Some _ | None -> ()
+
+let lex_one s =
+  let p = pos s in
+  let simple tok n =
+    for _ = 1 to n do advance s done;
+    { tok; pos = p }
+  in
+  match peek s 0 with
+  | None -> { tok = EOF; pos = p }
+  | Some c when is_digit c ->
+    let start = s.off in
+    while (match peek s 0 with Some c -> is_digit c | None -> false) do
+      advance s
+    done;
+    let text = String.sub s.src start (s.off - start) in
+    (match int_of_string_opt text with
+     | Some n -> { tok = INT n; pos = p }
+     | None -> raise (Error ("integer literal out of range: " ^ text, p)))
+  | Some c when is_ident_start c ->
+    let start = s.off in
+    while (match peek s 0 with Some c -> is_ident_char c | None -> false) do
+      advance s
+    done;
+    let text = String.sub s.src start (s.off - start) in
+    (match keyword text with
+     | Some kw -> { tok = kw; pos = p }
+     | None -> { tok = IDENT text; pos = p })
+  | Some '(' -> simple LPAREN 1
+  | Some ')' -> simple RPAREN 1
+  | Some '{' -> simple LBRACE 1
+  | Some '}' -> simple RBRACE 1
+  | Some '[' -> simple LBRACKET 1
+  | Some ']' -> simple RBRACKET 1
+  | Some ',' -> simple COMMA 1
+  | Some ';' -> simple SEMI 1
+  | Some '+' -> simple PLUS 1
+  | Some '-' -> simple MINUS 1
+  | Some '*' -> simple STAR 1
+  | Some '/' -> simple SLASH 1
+  | Some '%' -> simple PERCENT 1
+  | Some '^' -> simple CARET 1
+  | Some '&' -> if peek s 1 = Some '&' then simple AMPAMP 2 else simple AMP 1
+  | Some '|' -> if peek s 1 = Some '|' then simple PIPEPIPE 2 else simple PIPE 1
+  | Some '<' ->
+    (match peek s 1 with
+     | Some '<' -> simple SHL 2
+     | Some '=' -> simple LE 2
+     | _ -> simple LT 1)
+  | Some '>' ->
+    (match peek s 1 with
+     | Some '>' -> simple SHR 2
+     | Some '=' -> simple GE 2
+     | _ -> simple GT 1)
+  | Some '=' -> if peek s 1 = Some '=' then simple EQ 2 else simple ASSIGN 1
+  | Some '!' -> if peek s 1 = Some '=' then simple NE 2 else simple BANG 1
+  | Some c -> raise (Error (Printf.sprintf "unexpected character %C" c, p))
+
+let tokens src =
+  let s = { src; off = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    skip_ws s;
+    let t = lex_one s in
+    if t.tok = EOF then List.rev (t :: acc) else loop (t :: acc)
+  in
+  loop []
+
+let token_name = function
+  | INT n -> string_of_int n
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW_FN -> "'fn'" | KW_VAR -> "'var'" | KW_GLOBAL -> "'global'"
+  | KW_IF -> "'if'" | KW_ELSE -> "'else'" | KW_WHILE -> "'while'"
+  | KW_FOR -> "'for'" | KW_RETURN -> "'return'" | KW_BREAK -> "'break'"
+  | KW_CONTINUE -> "'continue'" | KW_PRINT -> "'print'" | KW_INPUT -> "'input'"
+  | LPAREN -> "'('" | RPAREN -> "')'" | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'" | COMMA -> "','" | SEMI -> "';'"
+  | ASSIGN -> "'='" | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'"
+  | SLASH -> "'/'" | PERCENT -> "'%'" | AMP -> "'&'" | PIPE -> "'|'"
+  | CARET -> "'^'" | SHL -> "'<<'" | SHR -> "'>>'" | AMPAMP -> "'&&'"
+  | PIPEPIPE -> "'||'" | BANG -> "'!'" | EQ -> "'=='" | NE -> "'!='"
+  | LT -> "'<'" | LE -> "'<='" | GT -> "'>'" | GE -> "'>='" | EOF -> "end of input"

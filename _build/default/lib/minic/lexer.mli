@@ -1,0 +1,25 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_FN | KW_VAR | KW_GLOBAL | KW_IF | KW_ELSE | KW_WHILE | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE | KW_PRINT | KW_INPUT
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | ASSIGN  (** [=] *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR
+  | AMPAMP | PIPEPIPE | BANG
+  | EQ | NE | LT | LE | GT | GE
+  | EOF
+
+type located = { tok : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+(** [tokens src] lexes the whole source. Supports [//] line comments and
+    [/* */] block comments. @raise Error on an unexpected character. *)
+val tokens : string -> located list
+
+val token_name : token -> string

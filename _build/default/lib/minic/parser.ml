@@ -1,0 +1,360 @@
+exception Error of string * Ast.pos
+
+type state = { mutable toks : Lexer.located list }
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> assert false (* the token list always ends with EOF *)
+
+let advance st =
+  match st.toks with
+  | _ :: rest when rest <> [] -> st.toks <- rest
+  | _ -> ()
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let t = peek st in
+  if t.Lexer.tok = tok then advance st
+  else
+    raise
+      (Error
+         ( Printf.sprintf "expected %s but found %s" (Lexer.token_name tok)
+             (Lexer.token_name t.Lexer.tok),
+           t.Lexer.pos ))
+
+let expect_ident st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.IDENT s -> (s, t.Lexer.pos)
+  | other ->
+    raise
+      (Error
+         ( "expected an identifier but found " ^ Lexer.token_name other,
+           t.Lexer.pos ))
+
+(* Binary operator precedence: higher binds tighter. *)
+let binop_of_token = function
+  | Lexer.PIPEPIPE -> Some (Ast.Lor, 1)
+  | Lexer.AMPAMP -> Some (Ast.Land, 2)
+  | Lexer.PIPE -> Some (Ast.Bor, 3)
+  | Lexer.CARET -> Some (Ast.Bxor, 4)
+  | Lexer.AMP -> Some (Ast.Band, 5)
+  | Lexer.EQ -> Some (Ast.Eq, 6)
+  | Lexer.NE -> Some (Ast.Ne, 6)
+  | Lexer.LT -> Some (Ast.Lt, 7)
+  | Lexer.LE -> Some (Ast.Le, 7)
+  | Lexer.GT -> Some (Ast.Gt, 7)
+  | Lexer.GE -> Some (Ast.Ge, 7)
+  | Lexer.SHL -> Some (Ast.Shl, 8)
+  | Lexer.SHR -> Some (Ast.Shr, 8)
+  | Lexer.PLUS -> Some (Ast.Add, 9)
+  | Lexer.MINUS -> Some (Ast.Sub, 9)
+  | Lexer.STAR -> Some (Ast.Mul, 10)
+  | Lexer.SLASH -> Some (Ast.Div, 10)
+  | Lexer.PERCENT -> Some (Ast.Rem, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    let t = peek st in
+    match binop_of_token t.Lexer.tok with
+    | Some (op, prec) when prec >= min_prec ->
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      loop { Ast.desc = Ast.Binary (op, lhs, rhs); pos = t.Lexer.pos }
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.MINUS ->
+    advance st;
+    let e = parse_unary st in
+    { Ast.desc = Ast.Unary (Ast.Neg, e); pos = t.Lexer.pos }
+  | Lexer.BANG ->
+    advance st;
+    let e = parse_unary st in
+    { Ast.desc = Ast.Unary (Ast.Not, e); pos = t.Lexer.pos }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = next st in
+  let pos = t.Lexer.pos in
+  match t.Lexer.tok with
+  | Lexer.INT n -> { Ast.desc = Ast.Int n; pos }
+  | Lexer.KW_INPUT ->
+    expect st Lexer.LPAREN;
+    expect st Lexer.RPAREN;
+    { Ast.desc = Ast.Input; pos }
+  | Lexer.LPAREN ->
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT name -> (
+    match (peek st).Lexer.tok with
+    | Lexer.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      { Ast.desc = Ast.Call (name, args); pos }
+    | Lexer.LBRACKET ->
+      advance st;
+      let ix = parse_expr st in
+      expect st Lexer.RBRACKET;
+      { Ast.desc = Ast.Index (name, ix); pos }
+    | _ -> { Ast.desc = Ast.Var name; pos })
+  | other ->
+    raise (Error ("expected an expression, found " ^ Lexer.token_name other, pos))
+
+and parse_args st =
+  if (peek st).Lexer.tok = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec loop acc =
+      let e = parse_expr st in
+      match (next st).Lexer.tok with
+      | Lexer.COMMA -> loop (e :: acc)
+      | Lexer.RPAREN -> List.rev (e :: acc)
+      | other ->
+        raise
+          (Error
+             ( "expected ',' or ')' in argument list, found "
+               ^ Lexer.token_name other,
+               (peek st).Lexer.pos ))
+    in
+    loop []
+
+(* [parse_stmt] yields a list because [for] desugars into its
+   initialiser followed by a [while]. *)
+let rec parse_stmt st : Ast.stmt list =
+  let t = peek st in
+  let pos = t.Lexer.pos in
+  let mk sdesc = [ { Ast.sdesc; spos = pos } ] in
+  match t.Lexer.tok with
+  | Lexer.KW_VAR ->
+    advance st;
+    let name, _ = expect_ident st in
+    let init =
+      if (peek st).Lexer.tok = Lexer.ASSIGN then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    expect st Lexer.SEMI;
+    mk (Ast.Decl (name, init))
+  | Lexer.KW_IF ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    let then_ = parse_block st in
+    let else_ =
+      if (peek st).Lexer.tok = Lexer.KW_ELSE then begin
+        advance st;
+        if (peek st).Lexer.tok = Lexer.KW_IF then parse_stmt st
+        else parse_block st
+      end
+      else []
+    in
+    mk (Ast.If (cond, then_, else_))
+  | Lexer.KW_WHILE ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    let body = parse_block st in
+    mk (Ast.While (cond, body))
+  | Lexer.KW_FOR ->
+    (* for (init; cond; step) body  desugars to
+       init; while (cond) { body; step; } — note that [continue] inside a
+       desugared [for] skips the step, which is documented MiniC
+       behaviour (closer to a while loop than to C). *)
+    advance st;
+    expect st Lexer.LPAREN;
+    let init =
+      match (peek st).Lexer.tok with
+      | Lexer.SEMI ->
+        advance st;
+        []
+      | Lexer.KW_VAR ->
+        advance st;
+        let name, vpos = expect_ident st in
+        expect st Lexer.ASSIGN;
+        let e = parse_expr st in
+        expect st Lexer.SEMI;
+        [ { Ast.sdesc = Ast.Decl (name, Some e); spos = vpos } ]
+      | _ -> [ parse_simple_stmt st ]
+    in
+    let cond =
+      if (peek st).Lexer.tok = Lexer.SEMI then
+        { Ast.desc = Ast.Int 1; pos }
+      else parse_expr st
+    in
+    expect st Lexer.SEMI;
+    let step =
+      if (peek st).Lexer.tok = Lexer.RPAREN then []
+      else [ parse_simple_stmt_no_semi st ]
+    in
+    expect st Lexer.RPAREN;
+    let body = parse_block st in
+    let while_ = { Ast.sdesc = Ast.While (cond, body @ step); spos = pos } in
+    init @ [ while_ ]
+  | Lexer.KW_RETURN ->
+    advance st;
+    let v =
+      if (peek st).Lexer.tok = Lexer.SEMI then None else Some (parse_expr st)
+    in
+    expect st Lexer.SEMI;
+    mk (Ast.Return v)
+  | Lexer.KW_PRINT ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    mk (Ast.Print e)
+  | Lexer.KW_BREAK ->
+    advance st;
+    expect st Lexer.SEMI;
+    mk Ast.Break
+  | Lexer.KW_CONTINUE ->
+    advance st;
+    expect st Lexer.SEMI;
+    mk Ast.Continue
+  | _ -> [ parse_simple_stmt st ]
+
+(* Assignment, array store or expression statement, consuming ';'. *)
+and parse_simple_stmt st =
+  let s = parse_simple_stmt_no_semi st in
+  expect st Lexer.SEMI;
+  s
+
+and parse_simple_stmt_no_semi st =
+  let t = peek st in
+  let pos = t.Lexer.pos in
+  match t.Lexer.tok with
+  | Lexer.IDENT name -> (
+    advance st;
+    match (peek st).Lexer.tok with
+    | Lexer.ASSIGN ->
+      advance st;
+      let e = parse_expr st in
+      { Ast.sdesc = Ast.Assign (name, e); spos = pos }
+    | Lexer.LBRACKET ->
+      advance st;
+      let ix = parse_expr st in
+      expect st Lexer.RBRACKET;
+      (match (peek st).Lexer.tok with
+       | Lexer.ASSIGN ->
+         advance st;
+         let e = parse_expr st in
+         { Ast.sdesc = Ast.Index_assign (name, ix, e); spos = pos }
+       | _ ->
+         raise (Error ("expected '=' after array index", pos)))
+    | Lexer.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      { Ast.sdesc = Ast.Expr { Ast.desc = Ast.Call (name, args); pos };
+        spos = pos }
+    | other ->
+      raise
+        (Error
+           ( "expected '=', '[' or '(' after identifier, found "
+             ^ Lexer.token_name other,
+             pos )))
+  | other ->
+    raise (Error ("expected a statement, found " ^ Lexer.token_name other, pos))
+
+and parse_block st =
+  expect st Lexer.LBRACE;
+  let rec loop acc =
+    if (peek st).Lexer.tok = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (List.rev_append (parse_stmt st) acc)
+  in
+  loop []
+
+let parse_global st : Ast.global =
+  (* 'global' consumed by caller *)
+  let name, pos = expect_ident st in
+  let size =
+    if (peek st).Lexer.tok = Lexer.LBRACKET then begin
+      advance st;
+      let t = next st in
+      match t.Lexer.tok with
+      | Lexer.INT n ->
+        expect st Lexer.RBRACKET;
+        if n <= 0 then raise (Error ("array size must be positive", pos));
+        n
+      | other ->
+        raise
+          (Error
+             ( "expected an integer array size, found " ^ Lexer.token_name other,
+               t.Lexer.pos ))
+    end
+    else 1
+  in
+  expect st Lexer.SEMI;
+  { Ast.gname = name; gsize = size }
+
+let parse_func st : Ast.func =
+  (* 'fn' consumed by caller *)
+  let name, _ = expect_ident st in
+  expect st Lexer.LPAREN;
+  let params =
+    if (peek st).Lexer.tok = Lexer.RPAREN then begin
+      advance st;
+      []
+    end
+    else
+      let rec loop acc =
+        let p, _ = expect_ident st in
+        match (next st).Lexer.tok with
+        | Lexer.COMMA -> loop (p :: acc)
+        | Lexer.RPAREN -> List.rev (p :: acc)
+        | other ->
+          raise
+            (Error
+               ( "expected ',' or ')' in parameter list, found "
+                 ^ Lexer.token_name other,
+                 (peek st).Lexer.pos ))
+      in
+      loop []
+  in
+  let body = parse_block st in
+  { Ast.fname = name; params; body }
+
+let parse src =
+  let toks =
+    try Lexer.tokens src with Lexer.Error (m, p) -> raise (Error (m, p))
+  in
+  let st = { toks } in
+  let rec loop globals funcs =
+    let t = next st in
+    match t.Lexer.tok with
+    | Lexer.EOF ->
+      { Ast.globals = List.rev globals; funcs = List.rev funcs }
+    | Lexer.KW_GLOBAL -> loop (parse_global st :: globals) funcs
+    | Lexer.KW_FN -> loop globals (parse_func st :: funcs)
+    | other ->
+      raise
+        (Error
+           ( "expected 'global' or 'fn' at top level, found "
+             ^ Lexer.token_name other,
+             t.Lexer.pos ))
+  in
+  loop [] []

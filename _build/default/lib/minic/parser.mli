@@ -1,0 +1,7 @@
+(** Recursive-descent parser for MiniC. *)
+
+exception Error of string * Ast.pos
+
+(** Parse a whole source file. @raise Error (with position) on syntax
+    errors; lexer errors are re-raised as [Error] too. *)
+val parse : string -> Ast.program

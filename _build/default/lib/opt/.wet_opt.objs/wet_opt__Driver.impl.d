@@ -1,0 +1,1 @@
+lib/opt/driver.ml: Array Global List Local Wet_ir

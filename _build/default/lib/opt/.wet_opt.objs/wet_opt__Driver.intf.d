@@ -1,0 +1,1 @@
+lib/opt/driver.mli: Wet_ir

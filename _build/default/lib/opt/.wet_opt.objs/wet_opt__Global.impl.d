@@ -1,0 +1,1 @@
+lib/opt/global.ml: Array List Wet_ir

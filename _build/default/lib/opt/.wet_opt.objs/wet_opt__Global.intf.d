@@ -1,0 +1,1 @@
+lib/opt/global.mli: Wet_ir

@@ -1,0 +1,1 @@
+lib/opt/local.ml: Array Hashtbl List Option Wet_ir

@@ -1,0 +1,1 @@
+lib/opt/local.mli: Wet_ir

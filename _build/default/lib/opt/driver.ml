@@ -1,0 +1,38 @@
+module Func = Wet_ir.Func
+module Program = Wet_ir.Program
+
+let round fn =
+  fn
+  |> Local.copy_propagate
+  |> Local.constant_fold
+  |> Local.local_cse
+  |> Global.dead_code
+  |> Global.simplify_cfg
+
+let max_rounds = 4
+
+let optimize ?(level = 1) (p : Program.t) =
+  if level <= 0 then p
+  else begin
+    let optimize_fn fn =
+      let rec go n fn =
+        if n = 0 then fn
+        else
+          let fn' = round fn in
+          if fn' = fn then fn else go (n - 1) fn'
+      in
+      go max_rounds fn
+    in
+    let funcs = Array.map optimize_fn p.Program.funcs in
+    let p' =
+      Program.make ~funcs ~main:p.Program.main ~mem_words:p.Program.mem_words
+        ~globals:p.Program.globals
+    in
+    Wet_ir.Validate.check_exn p';
+    p'
+  end
+
+let shrinkage before after =
+  List.init (Array.length before.Program.funcs) (fun i ->
+      ( Func.num_stmts before.Program.funcs.(i),
+        Func.num_stmts after.Program.funcs.(i) ))

@@ -1,0 +1,15 @@
+(** The optimisation pipeline.
+
+    Level 0 returns the program unchanged; level 1 runs, per function,
+    rounds of (copy propagation → constant folding → local CSE → dead
+    code → CFG simplification) until a fixpoint or the round limit, then
+    revalidates the whole program. Optimisation is semantics-preserving:
+    identical outputs, inputs consumed and traps (property-tested against
+    the interpreter on every bundled workload). *)
+
+(** @raise Invalid_argument if the optimised program fails validation
+    (which would indicate a pass bug; always a defect, never expected). *)
+val optimize : ?level:int -> Wet_ir.Program.t -> Wet_ir.Program.t
+
+(** Per-function statement counts [(before, after)], for reporting. *)
+val shrinkage : Wet_ir.Program.t -> Wet_ir.Program.t -> (int * int) list

@@ -1,0 +1,113 @@
+module Instr = Wet_ir.Instr
+module Func = Wet_ir.Func
+
+(* A statement is removable if it only defines a register and evaluating
+   it can have no observable effect. *)
+let removable (ins : Instr.t) =
+  match ins with
+  | Instr.Const _ | Instr.Move _ | Instr.Cmp _ | Instr.Unop _ -> true
+  | Instr.Binop ((Instr.Div | Instr.Rem), _, _, _) -> false (* may trap *)
+  | Instr.Binop _ -> true
+  | Instr.Load _ (* may trap on a bad address *)
+  | Instr.Store _ | Instr.Input _ | Instr.Output _ | Instr.Call _
+  | Instr.Branch _ | Instr.Jump _ | Instr.Ret _ | Instr.Halt -> false
+
+let dead_code (fn : Func.t) =
+  let changed = ref true in
+  let blocks = ref fn.Func.blocks in
+  while !changed do
+    changed := false;
+    let used = Array.make fn.Func.nregs false in
+    Array.iter
+      (fun (b : Func.block) ->
+        Array.iter
+          (fun ins -> List.iter (fun r -> used.(r) <- true) (Instr.uses ins))
+          b.Func.instrs)
+      !blocks;
+    blocks :=
+      Array.map
+        (fun (b : Func.block) ->
+          let keep ins =
+            match Instr.def ins with
+            | Some r when removable ins && not used.(r) ->
+              changed := true;
+              false
+            | Some _ | None -> true
+          in
+          let instrs = Array.of_list (List.filter keep (Array.to_list b.Func.instrs)) in
+          { Func.instrs })
+        !blocks
+  done;
+  { fn with Func.blocks = !blocks }
+
+(* Follow chains of blocks containing only a [Jump]. *)
+let thread_target (blocks : Func.block array) start =
+  let rec follow seen b =
+    if List.mem b seen then b
+    else
+      match blocks.(b).Func.instrs with
+      | [| Instr.Jump next |] -> follow (b :: seen) next
+      | _ -> b
+  in
+  follow [] start
+
+let retarget f (ins : Instr.t) : Instr.t =
+  match ins with
+  | Instr.Branch (r, b1, b2) ->
+    let b1 = f b1 and b2 = f b2 in
+    if b1 = b2 then Instr.Jump b1 else Instr.Branch (r, b1, b2)
+  | Instr.Jump b -> Instr.Jump (f b)
+  | Instr.Call (dst, callee, args, cont) -> Instr.Call (dst, callee, args, f cont)
+  | _ -> ins
+
+let simplify_cfg (fn : Func.t) =
+  (* 1. jump threading *)
+  let blocks =
+    Array.map
+      (fun (b : Func.block) ->
+        let n = Array.length b.Func.instrs in
+        let instrs = Array.copy b.Func.instrs in
+        instrs.(n - 1) <- retarget (thread_target fn.Func.blocks) instrs.(n - 1);
+        { Func.instrs })
+      fn.Func.blocks
+  in
+  (* 2. drop unreachable blocks, compacting labels (entry stays 0) *)
+  let nblocks = Array.length blocks in
+  let reachable = Array.make nblocks false in
+  let rec mark b =
+    if not reachable.(b) then begin
+      reachable.(b) <- true;
+      match blocks.(b).Func.instrs.(Array.length blocks.(b).Func.instrs - 1) with
+      | Instr.Branch (_, b1, b2) ->
+        mark b1;
+        mark b2
+      | Instr.Jump b' -> mark b'
+      | Instr.Call (_, _, _, cont) -> mark cont
+      | _ -> ()
+    end
+  in
+  mark fn.Func.entry;
+  let remap = Array.make nblocks (-1) in
+  let next = ref 0 in
+  for b = 0 to nblocks - 1 do
+    if reachable.(b) then begin
+      remap.(b) <- !next;
+      incr next
+    end
+  done;
+  let survivors =
+    Array.of_list
+      (List.filteri
+         (fun b _ -> reachable.(b))
+         (Array.to_list blocks))
+  in
+  let survivors =
+    Array.map
+      (fun (b : Func.block) ->
+        let n = Array.length b.Func.instrs in
+        let instrs = Array.copy b.Func.instrs in
+        instrs.(n - 1) <- retarget (fun l -> remap.(l)) instrs.(n - 1);
+        { Func.instrs })
+      survivors
+  in
+  { fn with Func.blocks = survivors; entry = remap.(fn.Func.entry) }

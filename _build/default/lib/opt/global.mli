@@ -1,0 +1,12 @@
+(** Whole-function cleanups: dead code elimination and control-flow
+    graph simplification. *)
+
+(** Remove pure statements whose result no register ever reads.
+    Loads, stores, calls, inputs, outputs and possibly-trapping
+    divisions are never removed. Iterates to a fixpoint. *)
+val dead_code : Wet_ir.Func.t -> Wet_ir.Func.t
+
+(** Thread jumps through empty forwarding blocks, turn constant
+    branches' leftovers into direct jumps, and drop unreachable blocks
+    (relabeling the survivors). The entry block keeps label 0. *)
+val simplify_cfg : Wet_ir.Func.t -> Wet_ir.Func.t

@@ -1,0 +1,194 @@
+module Instr = Wet_ir.Instr
+module Func = Wet_ir.Func
+module Eval = Wet_ir.Eval
+
+(* Rewrite every use register of a statement. *)
+let map_uses f (ins : Instr.t) : Instr.t =
+  match ins with
+  | Instr.Const _ | Instr.Input _ | Instr.Jump _ | Instr.Ret None
+  | Instr.Halt -> ins
+  | Instr.Move (r, a) -> Instr.Move (r, f a)
+  | Instr.Binop (op, r, a, b) -> Instr.Binop (op, r, f a, f b)
+  | Instr.Cmp (op, r, a, b) -> Instr.Cmp (op, r, f a, f b)
+  | Instr.Unop (op, r, a) -> Instr.Unop (op, r, f a)
+  | Instr.Load (r, a) -> Instr.Load (r, f a)
+  | Instr.Store (a, v) -> Instr.Store (f a, f v)
+  | Instr.Output a -> Instr.Output (f a)
+  | Instr.Call (dst, callee, args, cont) ->
+    Instr.Call (dst, callee, List.map f args, cont)
+  | Instr.Branch (a, b1, b2) -> Instr.Branch (f a, b1, b2)
+  | Instr.Ret (Some a) -> Instr.Ret (Some (f a))
+
+let map_blocks f (fn : Func.t) =
+  { fn with Func.blocks = Array.map (fun b -> { Func.instrs = f b.Func.instrs }) fn.Func.blocks }
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding + algebraic simplification                         *)
+(* ------------------------------------------------------------------ *)
+
+let constant_fold fn =
+  let fold_block instrs =
+    let consts : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let lookup r = Hashtbl.find_opt consts r in
+    let define r value =
+      match value with
+      | Some v -> Hashtbl.replace consts r v
+      | None -> Hashtbl.remove consts r
+    in
+    Array.map
+      (fun ins ->
+        let ins' =
+          match ins with
+          | Instr.Move (r, a) -> (
+            match lookup a with
+            | Some v -> Instr.Const (r, v)
+            | None -> ins)
+          | Instr.Binop (op, r, a, b) -> (
+            match (lookup a, lookup b) with
+            | Some va, Some vb -> (
+              match Eval.binop op va vb with
+              | Some v -> Instr.Const (r, v)
+              | None -> ins (* folding a trap would change semantics *))
+            | ca, cb -> (
+              (* algebraic identities that cannot trap *)
+              match (op, ca, cb) with
+              | Instr.Add, Some 0, _ -> Instr.Move (r, b)
+              | Instr.Add, _, Some 0 -> Instr.Move (r, a)
+              | Instr.Sub, _, Some 0 -> Instr.Move (r, a)
+              | Instr.Sub, _, _ when a = b -> Instr.Const (r, 0)
+              | Instr.Mul, Some 1, _ -> Instr.Move (r, b)
+              | Instr.Mul, _, Some 1 -> Instr.Move (r, a)
+              | Instr.Mul, Some 0, _ | Instr.Mul, _, Some 0 ->
+                Instr.Const (r, 0)
+              | Instr.Div, _, Some 1 -> Instr.Move (r, a)
+              | Instr.Xor, _, _ when a = b -> Instr.Const (r, 0)
+              | (Instr.And | Instr.Or), _, _ when a = b -> Instr.Move (r, a)
+              | Instr.Or, Some 0, _ -> Instr.Move (r, b)
+              | Instr.Or, _, Some 0 -> Instr.Move (r, a)
+              | Instr.And, Some 0, _ | Instr.And, _, Some 0 ->
+                Instr.Const (r, 0)
+              | (Instr.Shl | Instr.Shr), _, Some 0 -> Instr.Move (r, a)
+              | _ -> ins))
+          | Instr.Cmp (op, r, a, b) -> (
+            match (lookup a, lookup b) with
+            | Some va, Some vb -> Instr.Const (r, Eval.cmp op va vb)
+            | _ when a = b -> (
+              match op with
+              | Instr.Eq | Instr.Le | Instr.Ge -> Instr.Const (r, 1)
+              | Instr.Ne | Instr.Lt | Instr.Gt -> Instr.Const (r, 0))
+            | _ -> ins)
+          | Instr.Unop (op, r, a) -> (
+            match lookup a with
+            | Some v -> Instr.Const (r, Eval.unop op v)
+            | None -> ins)
+          | Instr.Branch (r, b1, b2) -> (
+            match lookup r with
+            | Some v -> Instr.Jump (if v <> 0 then b1 else b2)
+            | None -> if b1 = b2 then Instr.Jump b1 else ins)
+          | _ -> ins
+        in
+        (* update the constant environment from the rewritten statement *)
+        (match ins' with
+         | Instr.Const (r, v) -> define r (Some v)
+         | Instr.Move (r, a) -> define r (lookup a)
+         | _ -> Option.iter (fun r -> define r None) (Instr.def ins'));
+        ins')
+      instrs
+  in
+  map_blocks fold_block fn
+
+(* ------------------------------------------------------------------ *)
+(* Copy propagation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let copy_propagate fn =
+  let prop_block instrs =
+    let copies : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let invalidate r =
+      Hashtbl.remove copies r;
+      let stale =
+        Hashtbl.fold (fun k v acc -> if v = r then k :: acc else acc) copies []
+      in
+      List.iter (Hashtbl.remove copies) stale
+    in
+    let subst r = Option.value (Hashtbl.find_opt copies r) ~default:r in
+    Array.map
+      (fun ins ->
+        let ins' = map_uses subst ins in
+        (match Instr.def ins' with
+         | Some r -> invalidate r
+         | None -> ());
+        (match ins' with
+         | Instr.Move (r, a) when r <> a -> Hashtbl.replace copies r a
+         | _ -> ());
+        ins')
+      instrs
+  in
+  map_blocks prop_block fn
+
+(* ------------------------------------------------------------------ *)
+(* Local common-subexpression elimination                              *)
+(* ------------------------------------------------------------------ *)
+
+type expr =
+  | Ebin of Instr.binop * int * int
+  | Ecmp of Instr.cmpop * int * int
+  | Eun of Instr.unop * int
+  | Econst of int
+
+let commutative (op : Instr.binop) =
+  match op with
+  | Instr.Add | Instr.Mul | Instr.And | Instr.Or | Instr.Xor -> true
+  | Instr.Sub | Instr.Div | Instr.Rem | Instr.Shl | Instr.Shr -> false
+
+let expr_of (ins : Instr.t) =
+  match ins with
+  | Instr.Binop ((Instr.Div | Instr.Rem), _, _, _) ->
+    None (* may trap: keep every occurrence *)
+  | Instr.Binop (op, _, a, b) ->
+    let a, b = if commutative op && b < a then (b, a) else (a, b) in
+    Some (Ebin (op, a, b))
+  | Instr.Cmp (op, _, a, b) -> Some (Ecmp (op, a, b))
+  | Instr.Unop (op, _, a) -> Some (Eun (op, a))
+  | Instr.Const (_, v) -> Some (Econst v)
+  | _ -> None
+
+let expr_regs = function
+  | Ebin (_, a, b) | Ecmp (_, a, b) -> [ a; b ]
+  | Eun (_, a) -> [ a ]
+  | Econst _ -> []
+
+let local_cse fn =
+  let cse_block instrs =
+    let table : (expr, int) Hashtbl.t = Hashtbl.create 16 in
+    let invalidate r =
+      let stale =
+        Hashtbl.fold
+          (fun e dst acc ->
+            if dst = r || List.mem r (expr_regs e) then e :: acc else acc)
+          table []
+      in
+      List.iter (Hashtbl.remove table) stale
+    in
+    Array.map
+      (fun ins ->
+        match (expr_of ins, Instr.def ins) with
+        | Some e, Some r -> (
+          match Hashtbl.find_opt table e with
+          | Some prev when prev <> r ->
+            invalidate r;
+            Instr.Move (r, prev)
+          | Some _ ->
+            invalidate r;
+            Hashtbl.replace table e r;
+            ins
+          | None ->
+            invalidate r;
+            Hashtbl.replace table e r;
+            ins)
+        | _ ->
+          Option.iter invalidate (Instr.def ins);
+          ins)
+      instrs
+  in
+  map_blocks cse_block fn

@@ -1,0 +1,25 @@
+(** Block-local optimisations: constant folding, algebraic
+    simplification, copy propagation and local common-subexpression
+    elimination.
+
+    These model the scalar optimisations Trimaran's front end applies
+    before profiling; running them before tracing changes the statement
+    mix the WET sees (fewer trivially-redundant value sequences), which
+    the bench harness measures as an ablation.
+
+    All passes are semantics-preserving, including for traps: folding a
+    division only happens when the divisor is a non-zero constant, and
+    loads/stores are never removed or reordered. *)
+
+(** Fold constants and simplify algebra within each block. Replaces
+    foldable [Binop]/[Cmp]/[Unop]/[Move] statements with [Const] (or a
+    cheaper equivalent); never removes statements. *)
+val constant_fold : Wet_ir.Func.t -> Wet_ir.Func.t
+
+(** Rewrite uses of registers holding copies ([Move]) to their source
+    within each block. *)
+val copy_propagate : Wet_ir.Func.t -> Wet_ir.Func.t
+
+(** Replace repeated pure computations of the same expression within a
+    block by a [Move] from the first result. *)
+val local_cse : Wet_ir.Func.t -> Wet_ir.Func.t

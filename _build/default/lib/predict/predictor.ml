@@ -1,0 +1,98 @@
+module Hashing = Wet_util.Hashing
+
+type kind =
+  | Fcm of { table : int array; bits : int; ctx : int array; mutable fill : int }
+  | Dfcm of {
+      table : int array;
+      bits : int;
+      ctx : int array;  (* last strides *)
+      mutable last : int;
+      mutable fill : int;
+    }
+  | Last_n of { history : int array; mutable fill : int }
+  | Stride of { mutable last : int; mutable stride : int; mutable fill : int }
+
+type t = { kind : kind; label : string }
+
+let fcm ?(table_bits = 16) ~ctx () =
+  if ctx < 1 then invalid_arg "Predictor.fcm: ctx >= 1";
+  {
+    kind =
+      Fcm { table = Array.make (1 lsl table_bits) 0; bits = table_bits;
+            ctx = Array.make ctx 0; fill = 0 };
+    label = Printf.sprintf "fcm/%d" ctx;
+  }
+
+let dfcm ?(table_bits = 16) ~ctx () =
+  if ctx < 1 then invalid_arg "Predictor.dfcm: ctx >= 1";
+  {
+    kind =
+      Dfcm { table = Array.make (1 lsl table_bits) 0; bits = table_bits;
+             ctx = Array.make ctx 0; last = 0; fill = 0 };
+    label = Printf.sprintf "dfcm/%d" ctx;
+  }
+
+let last_n ~n =
+  if n < 1 then invalid_arg "Predictor.last_n: n >= 1";
+  { kind = Last_n { history = Array.make n 0; fill = 0 };
+    label = Printf.sprintf "last-%d" n }
+
+let stride () =
+  { kind = Stride { last = 0; stride = 0; fill = 0 }; label = "stride" }
+
+let name t = t.label
+
+let shift_in a v =
+  let n = Array.length a in
+  Array.blit a 1 a 0 (n - 1);
+  a.(n - 1) <- v
+
+let feed t v =
+  match t.kind with
+  | Fcm s ->
+    let ix =
+      Hashing.index_of_hash
+        (Hashing.hash_window s.ctx 0 (Array.length s.ctx))
+        s.bits
+    in
+    let warm = s.fill >= Array.length s.ctx in
+    let correct = warm && s.table.(ix) = v in
+    s.table.(ix) <- v;
+    shift_in s.ctx v;
+    s.fill <- s.fill + 1;
+    correct
+  | Dfcm s ->
+    let ix =
+      Hashing.index_of_hash
+        (Hashing.hash_window s.ctx 0 (Array.length s.ctx))
+        s.bits
+    in
+    let warm = s.fill >= Array.length s.ctx + 1 in
+    let predicted = s.last + s.table.(ix) in
+    let correct = warm && predicted = v in
+    let actual_stride = v - s.last in
+    s.table.(ix) <- actual_stride;
+    shift_in s.ctx actual_stride;
+    s.last <- v;
+    s.fill <- s.fill + 1;
+    correct
+  | Last_n s ->
+    let correct = s.fill > 0 && Array.exists (fun x -> x = v) s.history in
+    shift_in s.history v;
+    s.fill <- s.fill + 1;
+    correct
+  | Stride s ->
+    let correct = s.fill >= 2 && s.last + s.stride = v in
+    s.stride <- v - s.last;
+    s.last <- v;
+    s.fill <- s.fill + 1;
+    correct
+
+let accuracy t values =
+  let n = Array.length values in
+  if n = 0 then 0.
+  else begin
+    let hits = ref 0 in
+    Array.iter (fun v -> if feed t v then incr hits) values;
+    float_of_int !hits /. float_of_int n
+  end

@@ -1,0 +1,32 @@
+(** Unidirectional value predictors.
+
+    These are the classical predictors the paper's compression scheme is
+    derived from (FCM, differential FCM, last-n, stride). The library
+    exists for profile-analysis clients — e.g. using a WET's
+    per-instruction load value traces to evaluate value predictability,
+    one of the motivating uses in the paper's introduction — and as a
+    reference point for the bidirectional compressors. *)
+
+type t
+
+(** Finite context method: predicts the value that followed the hash of
+    the last [ctx] values last time. *)
+val fcm : ?table_bits:int -> ctx:int -> unit -> t
+
+(** Differential FCM: predicts strides instead of values. *)
+val dfcm : ?table_bits:int -> ctx:int -> unit -> t
+
+(** Last-n: predicts a repeat of one of the last [n] values. *)
+val last_n : n:int -> t
+
+(** Stride: predicts last value + last stride. *)
+val stride : unit -> t
+
+val name : t -> string
+
+(** [feed t v] — was [v] predicted correctly? Updates the predictor. *)
+val feed : t -> int -> bool
+
+(** Fraction of correctly predicted values over a whole stream (the
+    predictor keeps its state; use a fresh predictor per experiment). *)
+val accuracy : t -> int array -> float

@@ -1,0 +1,59 @@
+let stacked ~title ~width ~legend rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "  legend: ";
+  Buffer.add_string buf
+    (String.concat "  "
+       (List.map (fun (c, name) -> Printf.sprintf "%c = %s" c name) legend));
+  Buffer.add_char buf '\n';
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  List.iter
+    (fun (label, segments) ->
+      let total = List.fold_left ( +. ) 0. segments in
+      let total = if total <= 0. then 1. else total in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s |" label_width label);
+      let drawn = ref 0 in
+      List.iteri
+        (fun i v ->
+          let c = fst (List.nth legend (min i (List.length legend - 1))) in
+          let cells =
+            if i = List.length segments - 1 then width - !drawn
+            else int_of_float (Float.round (v /. total *. float_of_int width))
+          in
+          let cells = max 0 (min cells (width - !drawn)) in
+          Buffer.add_string buf (String.make cells c);
+          drawn := !drawn + cells)
+        segments;
+      Buffer.add_string buf "|";
+      List.iteri
+        (fun i v ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%.1f%%"
+               (if i = 0 then " " else " / ")
+               (v /. total *. 100.)))
+        segments;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let series ~title ~ylabel rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  let vmax = List.fold_left (fun acc (_, v) -> Float.max acc v) 1e-9 rows in
+  List.iter
+    (fun (label, v) ->
+      let cells = int_of_float (v /. vmax *. 50.) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s |%s %.1f %s\n" label_width label
+           (String.make (max 0 cells) '#')
+           v ylabel))
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** ASCII charts for the paper's figures. *)
+
+(** [stacked ~title ~width ~legend rows] renders one horizontal
+    100%-stacked bar per row (paper Fig. 8). Each row is
+    [(label, segments)]; segments are scaled to percentages of their sum
+    and drawn with the legend's fill characters. *)
+val stacked :
+  title:string ->
+  width:int ->
+  legend:(char * string) list ->
+  (string * float list) list ->
+  string
+
+(** [series ~title ~ylabel rows] renders one line per row label with a
+    bar proportional to the value and the value itself (paper Fig. 9:
+    compression ratio as the run length grows). *)
+val series :
+  title:string -> ylabel:string -> (string * float) list -> string

@@ -1,0 +1,57 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~title ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | Some _ | None -> Left :: List.init (ncols - 1) (fun _ -> Right)
+  in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun c cell ->
+          if c < ncols then widths.(c) <- max widths.(c) (String.length cell))
+        row)
+    rows;
+  let line row =
+    String.concat "  "
+      (List.mapi (fun c cell -> pad (List.nth aligns c) widths.(c) cell) row)
+  in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?align ~title ~header rows =
+  print_string (render ?align ~title ~header rows);
+  print_newline ()
+
+let f1 x = Printf.sprintf "%.1f" x
+
+let f2 x = Printf.sprintf "%.2f" x
+
+let i = string_of_int
+
+let millions n = Printf.sprintf "%.2f" (float_of_int n /. 1_000_000.)

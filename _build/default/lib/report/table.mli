@@ -1,0 +1,26 @@
+(** Column-aligned plain-text tables, in the visual style of the paper's
+    Tables 1–9. *)
+
+type align = Left | Right
+
+(** [render ~title ~header ?align rows] lays the table out with
+    per-column widths; numeric columns usually read best right-aligned
+    (the default for every column but the first). *)
+val render :
+  ?align:align list -> title:string -> header:string list ->
+  string list list -> string
+
+(** [render] followed by [print_string]. *)
+val print :
+  ?align:align list -> title:string -> header:string list ->
+  string list list -> unit
+
+(** Formatting helpers used by the benches. *)
+val f1 : float -> string  (** one decimal, e.g. [41.3] *)
+
+val f2 : float -> string  (** two decimals *)
+
+val i : int -> string
+
+(** Millions with two decimals, e.g. statement counts. *)
+val millions : int -> string

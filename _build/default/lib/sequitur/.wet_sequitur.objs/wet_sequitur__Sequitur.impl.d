@@ -1,0 +1,1 @@
+lib/sequitur/sequitur.ml: Array Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/util/dynarray_int.ml: Array Printf

@@ -1,0 +1,32 @@
+type t = { bits : Bytes.t; n : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitvec.create";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; n }
+
+let length v = v.n
+
+let check v i =
+  if i < 0 || i >= v.n then invalid_arg "Bitvec: index out of bounds"
+
+let get v i =
+  check v i;
+  Char.code (Bytes.unsafe_get v.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set v i b =
+  check v i;
+  let byte = Char.code (Bytes.unsafe_get v.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if b then byte lor mask else byte land lnot mask in
+  Bytes.unsafe_set v.bits (i lsr 3) (Char.chr byte)
+
+let popcount v =
+  let count = ref 0 in
+  for i = 0 to Bytes.length v.bits - 1 do
+    let b = ref (Char.code (Bytes.unsafe_get v.bits i)) in
+    while !b <> 0 do
+      count := !count + (!b land 1);
+      b := !b lsr 1
+    done
+  done;
+  !count

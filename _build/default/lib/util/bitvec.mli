@@ -1,0 +1,21 @@
+(** Fixed-length mutable bit vectors.
+
+    Used for the hit/miss flags of compressed stream entries and the
+    one-bit architectural histories of Table 4. *)
+
+type t
+
+(** [create n] is a vector of [n] bits, all clear. *)
+val create : int -> t
+
+(** Number of bits. *)
+val length : t -> int
+
+(** [get v i] is bit [i]. @raise Invalid_argument if out of bounds. *)
+val get : t -> int -> bool
+
+(** [set v i b] writes bit [i]. @raise Invalid_argument if out of bounds. *)
+val set : t -> int -> bool -> unit
+
+(** Number of set bits. *)
+val popcount : t -> int

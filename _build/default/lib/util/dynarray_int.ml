@@ -1,0 +1,58 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create () = { data = Array.make 8 0; len = 0 }
+
+let with_capacity n = { data = Array.make (max 1 n) 0; len = 0 }
+
+let length a = a.len
+
+let check a i =
+  if i < 0 || i >= a.len then
+    invalid_arg (Printf.sprintf "Dynarray_int: index %d out of [0,%d)" i a.len)
+
+let get a i = check a i; Array.unsafe_get a.data i
+
+let set a i v = check a i; Array.unsafe_set a.data i v
+
+let grow a =
+  let cap = Array.length a.data in
+  let data = Array.make (2 * cap) 0 in
+  Array.blit a.data 0 data 0 a.len;
+  a.data <- data
+
+let push a v =
+  if a.len = Array.length a.data then grow a;
+  Array.unsafe_set a.data a.len v;
+  a.len <- a.len + 1
+
+let last a =
+  if a.len = 0 then invalid_arg "Dynarray_int.last: empty";
+  Array.unsafe_get a.data (a.len - 1)
+
+let pop a =
+  if a.len = 0 then invalid_arg "Dynarray_int.pop: empty";
+  a.len <- a.len - 1;
+  Array.unsafe_get a.data a.len
+
+let clear a = a.len <- 0
+
+let to_array a = Array.sub a.data 0 a.len
+
+let of_array src = { data = Array.copy src; len = Array.length src }
+
+let iter f a =
+  for i = 0 to a.len - 1 do
+    f (Array.unsafe_get a.data i)
+  done
+
+let fold f init a =
+  let acc = ref init in
+  for i = 0 to a.len - 1 do
+    acc := f !acc (Array.unsafe_get a.data i)
+  done;
+  !acc
+
+let sub a pos len =
+  if pos < 0 || len < 0 || pos + len > a.len then
+    invalid_arg "Dynarray_int.sub";
+  Array.sub a.data pos len

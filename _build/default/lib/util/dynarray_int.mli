@@ -1,0 +1,52 @@
+(** Growable arrays of unboxed [int]s.
+
+    Every dynamic label sequence in a WET (timestamps, values, pattern
+    indices, edge timestamp pairs) is accumulated in one of these while the
+    interpreter runs, then frozen with {!to_array} before compression. *)
+
+type t
+
+(** [create ()] is an empty array with a small initial capacity. *)
+val create : unit -> t
+
+(** [with_capacity n] is an empty array that will not reallocate before
+    [n] elements have been appended. *)
+val with_capacity : int -> t
+
+(** Number of elements currently stored. *)
+val length : t -> int
+
+(** [get a i] is the [i]th element. @raise Invalid_argument if out of
+    bounds. *)
+val get : t -> int -> int
+
+(** [set a i v] overwrites the [i]th element. @raise Invalid_argument if
+    out of bounds. *)
+val set : t -> int -> int -> unit
+
+(** Append one element, growing the backing store if needed. *)
+val push : t -> int -> unit
+
+(** Last element. @raise Invalid_argument on an empty array. *)
+val last : t -> int
+
+(** Remove and return the last element. @raise Invalid_argument if empty. *)
+val pop : t -> int
+
+(** Drop all elements, keeping the backing store. *)
+val clear : t -> unit
+
+(** Fresh [int array] copy of the contents. *)
+val to_array : t -> int array
+
+(** [of_array a] copies [a] into a fresh growable array. *)
+val of_array : int array -> t
+
+(** [iter f a] applies [f] to every element in index order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f init a] folds [f] over elements in index order. *)
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** [sub a pos len] is a fresh array of [len] elements starting at [pos]. *)
+val sub : t -> int -> int -> int array

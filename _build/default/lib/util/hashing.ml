@@ -1,0 +1,25 @@
+(* 64-bit FNV-1a, truncated to OCaml's 63-bit int. *)
+
+let fnv_prime = 0x100000001b3
+
+let fnv_init = 0x4bf29ce484222325 (* FNV offset basis, truncated to 63 bits *)
+
+let fnv_fold acc x =
+  (* Mix all eight bytes of [x] so nearby values do not collide. *)
+  let acc = ref acc and x = ref x in
+  for _ = 0 to 7 do
+    acc := ((!acc lxor (!x land 0xff)) * fnv_prime) land max_int;
+    x := !x lsr 8
+  done;
+  !acc
+
+let hash_window a pos len =
+  let acc = ref fnv_init in
+  for i = pos to pos + len - 1 do
+    acc := fnv_fold !acc (Array.unsafe_get a i)
+  done;
+  !acc
+
+let hash_list xs = List.fold_left fnv_fold fnv_init xs
+
+let index_of_hash h bits = (h lxor (h lsr 31)) land ((1 lsl bits) - 1)

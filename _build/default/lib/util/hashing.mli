@@ -1,0 +1,21 @@
+(** FNV-1a hashing over small integer windows.
+
+    The bidirectional FCM family indexes its lookup tables by a hash of
+    the context window; the tier-1 value compressor hashes input tuples
+    to detect repeated group inputs. Both use these helpers so the hash
+    is deterministic across runs. *)
+
+(** [fnv_fold acc x] folds one int into an FNV-1a accumulator. *)
+val fnv_fold : int -> int -> int
+
+(** FNV-1a offset basis (use as the initial accumulator). *)
+val fnv_init : int
+
+(** [hash_window a pos len] hashes [len] ints of [a] starting at [pos]. *)
+val hash_window : int array -> int -> int -> int
+
+(** [hash_list xs] hashes a list of ints. *)
+val hash_list : int list -> int
+
+(** [index_of_hash h bits] reduces a hash to a [2^bits]-entry table index. *)
+val index_of_hash : int -> int -> int

@@ -1,0 +1,20 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Workload inputs and slice-criterion sampling must be reproducible
+    across runs and platforms, so nothing in this repository uses the
+    stdlib's seeded-from-entropy generator. *)
+
+type t
+
+(** [create seed] is a generator whose stream depends only on [seed]. *)
+val create : int -> t
+
+(** Next raw 62-bit non-negative value. *)
+val next : t -> int
+
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [bool t] is a uniform coin flip. *)
+val bool : t -> bool

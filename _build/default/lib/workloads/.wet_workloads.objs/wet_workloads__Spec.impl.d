@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: List Option Sources String Wet_interp Wet_minic

@@ -1,0 +1,1 @@
+lib/workloads/spec.mli: Wet_interp Wet_ir

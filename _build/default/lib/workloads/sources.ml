@@ -1,0 +1,637 @@
+(* The nine benchmark programs, named after the paper's SpecInt suite.
+   Each echoes the control-flow and value-locality character of its
+   namesake at laptop scale. Every program first reads a scale parameter
+   and a PRNG seed from the input stream; all further "randomness" comes
+   from an in-language linear congruential generator so runs are
+   deterministic and scale linearly. *)
+
+(* Shared PRNG: seed' = (seed * 1103515245 + 12345) mod 2^31. *)
+let prng =
+  {|
+global rng_state;
+
+fn rng_next(bound) {
+  rng_state = ((rng_state * 1103515245) + 12345) & 2147483647;
+  return rng_state % bound;
+}
+|}
+
+(* 099.go — board-game evaluation: a 19x19 board, stone placement and
+   liberty counting. Complex, data-dependent control flow. *)
+let go =
+  prng
+  ^ {|
+global board[361];
+
+fn liberties(p) {
+  var libs = 0;
+  var row = p / 19;
+  var col = p % 19;
+  if (row > 0) { if (board[p - 19] == 0) { libs = libs + 1; } }
+  if (row < 18) { if (board[p + 19] == 0) { libs = libs + 1; } }
+  if (col > 0) { if (board[p - 1] == 0) { libs = libs + 1; } }
+  if (col < 18) { if (board[p + 1] == 0) { libs = libs + 1; } }
+  return libs;
+}
+
+fn evaluate() {
+  var score = 0;
+  var p = 0;
+  while (p < 361) {
+    var s = board[p];
+    if (s != 0) {
+      var l = liberties(p);
+      if (l == 0) {
+        board[p] = 0;          // capture
+        if (s == 1) { score = score - 10; } else { score = score + 10; }
+      } else {
+        if (s == 1) { score = score + l; } else { score = score - l; }
+      }
+    }
+    p = p + 1;
+  }
+  return score;
+}
+
+fn main() {
+  var moves = input();
+  rng_state = input();
+  var side = 1;
+  var m = 0;
+  var total = 0;
+  while (m < moves) {
+    var p = rng_next(361);
+    if (board[p] == 0) {
+      board[p] = side;
+      side = 3 - side;
+    }
+    total = total + evaluate();
+    m = m + 1;
+  }
+  print(total);
+}
+|}
+
+(* 126.gcc — compiler-like: tokenise a pseudo-random expression stream
+   and evaluate it with an operator-precedence stack machine. Many small
+   functions and dispatch-style branching. *)
+let gcc =
+  prng
+  ^ {|
+global val_stack[128];
+global op_stack[128];
+global vsp;
+global osp;
+
+fn prec(op) {
+  if (op == 1) { return 1; }      // +
+  if (op == 2) { return 1; }      // -
+  if (op == 3) { return 2; }      // *
+  if (op == 4) { return 2; }      // /
+  return 0;
+}
+
+fn apply(op, a, b) {
+  if (op == 1) { return a + b; }
+  if (op == 2) { return a - b; }
+  if (op == 3) { return a * b; }
+  if (b == 0) { return a; }
+  return a / b;
+}
+
+fn reduce() {
+  var op = op_stack[osp - 1];
+  var b = val_stack[vsp - 1];
+  var a = val_stack[vsp - 2];
+  osp = osp - 1;
+  vsp = vsp - 2;
+  val_stack[vsp] = apply(op, a, b);
+  vsp = vsp + 1;
+  return 0;
+}
+
+fn push_op(op) {
+  while (osp > 0 && prec(op_stack[osp - 1]) >= prec(op)) {
+    reduce();
+  }
+  op_stack[osp] = op;
+  osp = osp + 1;
+  return 0;
+}
+
+fn eval_expr(len) {
+  vsp = 0;
+  osp = 0;
+  val_stack[vsp] = rng_next(1000);
+  vsp = vsp + 1;
+  var i = 0;
+  while (i < len) {
+    push_op(1 + rng_next(4));
+    val_stack[vsp] = rng_next(1000);
+    vsp = vsp + 1;
+    i = i + 1;
+  }
+  while (osp > 0) { reduce(); }
+  return val_stack[0];
+}
+
+fn main() {
+  var exprs = input();
+  rng_state = input();
+  var total = 0;
+  var e = 0;
+  while (e < exprs) {
+    total = total + eval_expr(3 + rng_next(12));
+    e = e + 1;
+  }
+  print(total);
+}
+|}
+
+(* 130.li — a tiny lisp: cons cells in a global heap, recursive list
+   construction and reduction. Recursion-heavy, pointer-chasing. *)
+let li =
+  prng
+  ^ {|
+global car_[65536];
+global cdr_[65536];
+global hp;
+
+fn cons(a, d) {
+  var c = hp;
+  car_[c] = a;
+  cdr_[c] = d;
+  hp = hp + 1;
+  if (hp >= 65536) { hp = 1; }   // wrap: primitive heap reuse
+  return c;
+}
+
+fn build_list(n) {
+  if (n == 0) { return 0; }
+  return cons(rng_next(100), build_list(n - 1));
+}
+
+fn sum_list(l) {
+  if (l == 0) { return 0; }
+  return car_[l] + sum_list(cdr_[l]);
+}
+
+fn map_double(l) {
+  if (l == 0) { return 0; }
+  return cons(car_[l] * 2, map_double(cdr_[l]));
+}
+
+fn rev_append(l, acc) {
+  if (l == 0) { return acc; }
+  return rev_append(cdr_[l], cons(car_[l], acc));
+}
+
+fn main() {
+  var iters = input();
+  rng_state = input();
+  hp = 1;
+  var total = 0;
+  var i = 0;
+  while (i < iters) {
+    var l = build_list(8 + rng_next(24));
+    var d = map_double(l);
+    var r = rev_append(d, 0);
+    total = total + sum_list(r);
+    i = i + 1;
+  }
+  print(total);
+}
+|}
+
+(* 164.gzip — LZ77-style sliding-window match search over a synthetic
+   buffer with high repetition; emits (distance, length) pairs. *)
+let gzip =
+  prng
+  ^ {|
+global buf[16384];
+global outdist[16384];
+global outlen[16384];
+
+fn fill(n) {
+  var i = 0;
+  while (i < n) {
+    if (rng_next(4) == 0) {
+      buf[i] = rng_next(32);
+      i = i + 1;
+    } else {
+      // copy an earlier run to create matches
+      var len = 4 + rng_next(12);
+      var back = 1 + rng_next(64);
+      var j = 0;
+      while (j < len && i < n) {
+        if (i >= back) { buf[i] = buf[i - back]; } else { buf[i] = 7; }
+        i = i + 1;
+        j = j + 1;
+      }
+    }
+  }
+  return 0;
+}
+
+fn best_match(pos, n) {
+  var best_len = 0;
+  var best_dist = 0;
+  var dist = 1;
+  while (dist <= 64 && dist <= pos) {
+    var len = 0;
+    while (len < 16 && pos + len < n && buf[pos + len] == buf[pos - dist + len]) {
+      len = len + 1;
+    }
+    if (len > best_len) {
+      best_len = len;
+      best_dist = dist;
+    }
+    dist = dist + 1;
+  }
+  return best_dist * 256 + best_len;
+}
+
+fn main() {
+  var blocks = input();
+  rng_state = input();
+  var n = 2048;
+  var total = 0;
+  var b = 0;
+  while (b < blocks) {
+    fill(n);
+    var pos = 0;
+    var emitted = 0;
+    while (pos < n) {
+      var m = best_match(pos, n);
+      var len = m % 256;
+      if (len >= 3) {
+        outdist[emitted] = m / 256;
+        outlen[emitted] = len;
+        pos = pos + len;
+      } else {
+        outdist[emitted] = 0;
+        outlen[emitted] = buf[pos];
+        pos = pos + 1;
+      }
+      emitted = emitted + 1;
+    }
+    total = total + emitted;
+    b = b + 1;
+  }
+  print(total);
+}
+|}
+
+(* 181.mcf — network simplex stand-in: Bellman-Ford relaxations over a
+   synthetic sparse flow network. Array indirection, numeric. *)
+let mcf =
+  prng
+  ^ {|
+global arc_src[8192];
+global arc_dst[8192];
+global arc_cost[8192];
+global dist[1024];
+
+fn relax_all(narcs) {
+  var changed = 0;
+  var a = 0;
+  while (a < narcs) {
+    var u = arc_src[a];
+    var v = arc_dst[a];
+    var du = dist[u];
+    if (du < 1000000000) {
+      var nd = du + arc_cost[a];
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        changed = changed + 1;
+      }
+    }
+    a = a + 1;
+  }
+  return changed;
+}
+
+fn main() {
+  var rounds = input();
+  rng_state = input();
+  var nodes = 1024;
+  var narcs = 2048;
+  var a = 0;
+  while (a < narcs) {
+    arc_src[a] = rng_next(nodes);
+    arc_dst[a] = rng_next(nodes);
+    arc_cost[a] = 1 + rng_next(100);
+    a = a + 1;
+  }
+  var total = 0;
+  var r = 0;
+  while (r < rounds) {
+    var i = 0;
+    while (i < nodes) { dist[i] = 1000000000; i = i + 1; }
+    dist[rng_next(nodes)] = 0;
+    var pass = 0;
+    var changed = 1;
+    while (pass < 8 && changed > 0) {
+      changed = relax_all(narcs);
+      pass = pass + 1;
+    }
+    total = total + dist[rng_next(nodes)] % 1000;
+    // perturb a few arcs so rounds differ
+    var k = 0;
+    while (k < 32) {
+      arc_cost[rng_next(narcs)] = 1 + rng_next(100);
+      k = k + 1;
+    }
+    r = r + 1;
+  }
+  print(total);
+}
+|}
+
+(* 197.parser — table-driven tokeniser plus recursive-descent parsing of
+   a synthetic sentence grammar. State-machine control flow. *)
+let parser =
+  prng
+  ^ {|
+global toks[4096];
+global ntoks;
+global cur;
+
+// token kinds: 0 noun, 1 verb, 2 adj, 3 det, 4 conj, 5 end
+fn gen_sentence(depth) {
+  if (ntoks >= 4000) { return 0; }
+  toks[ntoks] = 3;  ntoks = ntoks + 1;          // det
+  var adjs = rng_next(3);
+  var a = 0;
+  while (a < adjs) { toks[ntoks] = 2; ntoks = ntoks + 1; a = a + 1; }
+  toks[ntoks] = 0;  ntoks = ntoks + 1;          // noun
+  toks[ntoks] = 1;  ntoks = ntoks + 1;          // verb
+  if (depth > 0 && rng_next(3) == 0) {
+    toks[ntoks] = 4; ntoks = ntoks + 1;         // conj
+    gen_sentence(depth - 1);
+    return 0;
+  }
+  toks[ntoks] = 5;  ntoks = ntoks + 1;          // end
+  return 0;
+}
+
+fn accept(kind) {
+  if (cur < ntoks && toks[cur] == kind) {
+    cur = cur + 1;
+    return 1;
+  }
+  return 0;
+}
+
+fn parse_np() {
+  var score = 0;
+  if (accept(3)) { score = 1; }
+  while (accept(2)) { score = score + 1; }
+  if (accept(0)) { score = score + 2; }
+  return score;
+}
+
+fn parse_sentence() {
+  var score = parse_np();
+  if (accept(1)) { score = score + 3; }
+  if (accept(4)) { return score + parse_sentence(); }
+  if (accept(5)) { return score; }
+  return score - 5;   // parse error
+}
+
+fn main() {
+  var sentences = input();
+  rng_state = input();
+  var total = 0;
+  var s = 0;
+  while (s < sentences) {
+    ntoks = 0;
+    cur = 0;
+    gen_sentence(4);
+    total = total + parse_sentence();
+    s = s + 1;
+  }
+  print(total);
+}
+|}
+
+(* 255.vortex — object store: open-hash table with chained insert,
+   lookup and delete of records. Call-heavy. *)
+let vortex =
+  prng
+  ^ {|
+global hash_head[1024];
+global rec_key[16384];
+global rec_val[16384];
+global rec_next[16384];
+global free_head;
+
+fn hash(k) { return ((k * 2654435761) & 2147483647) % 1024; }
+
+fn insert(k, v) {
+  var slot = free_head;
+  if (slot == 0) { return 0; }
+  free_head = rec_next[slot];
+  var h = hash(k);
+  rec_key[slot] = k;
+  rec_val[slot] = v;
+  rec_next[slot] = hash_head[h];
+  hash_head[h] = slot;
+  return slot;
+}
+
+fn lookup(k) {
+  var p = hash_head[hash(k)];
+  while (p != 0) {
+    if (rec_key[p] == k) { return rec_val[p]; }
+    p = rec_next[p];
+  }
+  return -1;
+}
+
+fn remove(k) {
+  var h = hash(k);
+  var p = hash_head[h];
+  var prev = 0;
+  while (p != 0) {
+    if (rec_key[p] == k) {
+      if (prev == 0) { hash_head[h] = rec_next[p]; }
+      else { rec_next[prev] = rec_next[p]; }
+      rec_next[p] = free_head;
+      free_head = p;
+      return 1;
+    }
+    prev = p;
+    p = rec_next[p];
+  }
+  return 0;
+}
+
+fn main() {
+  var ops = input();
+  rng_state = input();
+  // free list over records 1..16383 (0 is the null sentinel)
+  var i = 1;
+  while (i < 16383) { rec_next[i] = i + 1; i = i + 1; }
+  rec_next[16383] = 0;
+  free_head = 1;
+  var total = 0;
+  var o = 0;
+  while (o < ops) {
+    var k = rng_next(5000);
+    var action = rng_next(10);
+    if (action < 5) { insert(k, o); }
+    else if (action < 9) { total = total + lookup(k); }
+    else { total = total + remove(k); }
+    o = o + 1;
+  }
+  print(total);
+}
+|}
+
+(* 256.bzip2 — block transform: counting sort, move-to-front and
+   run-length encoding over repetitive blocks. Tight regular loops. *)
+let bzip2 =
+  prng
+  ^ {|
+global block[8192];
+global sorted[8192];
+global counts[256];
+global mtf[256];
+
+fn counting_sort(n) {
+  var i = 0;
+  while (i < 256) { counts[i] = 0; i = i + 1; }
+  i = 0;
+  while (i < n) { counts[block[i]] = counts[block[i]] + 1; i = i + 1; }
+  var c = 1;
+  while (c < 256) { counts[c] = counts[c] + counts[c - 1]; c = c + 1; }
+  i = n - 1;
+  while (i >= 0) {
+    var v = block[i];
+    counts[v] = counts[v] - 1;
+    sorted[counts[v]] = v;
+    i = i - 1;
+  }
+  return 0;
+}
+
+fn mtf_encode(n) {
+  var i = 0;
+  while (i < 256) { mtf[i] = i; i = i + 1; }
+  var sum = 0;
+  i = 0;
+  while (i < n) {
+    var v = sorted[i];
+    var j = 0;
+    while (mtf[j] != v) { j = j + 1; }
+    sum = sum + j;
+    while (j > 0) { mtf[j] = mtf[j - 1]; j = j - 1; }
+    mtf[0] = v;
+    i = i + 1;
+  }
+  return sum;
+}
+
+fn rle(n) {
+  var runs = 0;
+  var i = 0;
+  while (i < n) {
+    var v = sorted[i];
+    var j = i;
+    while (j < n && sorted[j] == v) { j = j + 1; }
+    runs = runs + 1;
+    i = j;
+  }
+  return runs;
+}
+
+fn main() {
+  var blocks = input();
+  rng_state = input();
+  var n = 2048;
+  var total = 0;
+  var b = 0;
+  while (b < blocks) {
+    var i = 0;
+    var sym = rng_next(200);
+    while (i < n) {
+      // runs of repeated symbols from a small alphabet
+      if (rng_next(5) == 0) { sym = rng_next(200); }
+      block[i] = sym;
+      i = i + 1;
+    }
+    counting_sort(n);
+    total = total + mtf_encode(n) + rle(n);
+    b = b + 1;
+  }
+  print(total);
+}
+|}
+
+(* 300.twolf — placement by simulated annealing: random cell swaps on a
+   grid, incremental wire-length cost, probabilistic accept. *)
+let twolf =
+  prng
+  ^ {|
+global cell_x[512];
+global cell_y[512];
+global net_a[1024];
+global net_b[1024];
+
+fn net_cost(n) {
+  var a = net_a[n];
+  var b = net_b[n];
+  var dx = cell_x[a] - cell_x[b];
+  var dy = cell_y[a] - cell_y[b];
+  if (dx < 0) { dx = -dx; }
+  if (dy < 0) { dy = -dy; }
+  return dx + dy;
+}
+
+fn total_cost() {
+  var c = 0;
+  var n = 0;
+  while (n < 1024) { c = c + net_cost(n); n = n + 1; }
+  return c;
+}
+
+fn main() {
+  var moves = input();
+  rng_state = input();
+  var i = 0;
+  while (i < 512) {
+    cell_x[i] = rng_next(64);
+    cell_y[i] = rng_next(64);
+    i = i + 1;
+  }
+  i = 0;
+  while (i < 1024) {
+    net_a[i] = rng_next(512);
+    net_b[i] = rng_next(512);
+    i = i + 1;
+  }
+  var cost = total_cost();
+  var temp = 1000;
+  var m = 0;
+  while (m < moves) {
+    var c = rng_next(512);
+    var ox = cell_x[c];
+    var oy = cell_y[c];
+    cell_x[c] = rng_next(64);
+    cell_y[c] = rng_next(64);
+    var nc = total_cost();
+    var accept = 0;
+    if (nc <= cost) { accept = 1; }
+    else if (rng_next(1000) < temp) { accept = 1; }
+    if (accept == 1) { cost = nc; }
+    else {
+      cell_x[c] = ox;
+      cell_y[c] = oy;
+    }
+    if (temp > 1) { temp = temp - 1; }
+    m = m + 1;
+  }
+  print(cost);
+}
+|}

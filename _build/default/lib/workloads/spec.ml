@@ -1,0 +1,52 @@
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  default_scale : int;
+  timing_scale : int;
+  seed : int;
+}
+
+let mk name description source default_scale timing_scale seed =
+  { name; description; source; default_scale; timing_scale; seed }
+
+let all =
+  [
+    mk "099.go" "board-game evaluation; branchy, irregular control flow"
+      Sources.go 175 45 11;
+    mk "126.gcc" "expression compilation with an operator-precedence stack"
+      Sources.gcc 1300 330 23;
+    mk "130.li" "lisp interpreter: cons cells, deep recursion"
+      Sources.li 600 150 37;
+    mk "164.gzip" "LZ77 sliding-window compression; high value repetition"
+      Sources.gzip 4 1 41;
+    mk "181.mcf" "shortest-path relaxations over a sparse flow network"
+      Sources.mcf 4 1 53;
+    mk "197.parser" "tokeniser and recursive-descent sentence parser"
+      Sources.parser 3600 900 67;
+    mk "255.vortex" "object store: hash-table insert/lookup/delete"
+      Sources.vortex 14000 3500 71;
+    mk "256.bzip2" "block sort, move-to-front and run-length coding"
+      Sources.bzip2 4 1 83;
+    mk "300.twolf" "placement by simulated annealing on a grid"
+      Sources.twolf 36 9 97;
+  ]
+
+let find name =
+  let matches w =
+    String.equal w.name name
+    || String.length name < String.length w.name
+       && String.equal name
+            (String.sub w.name
+               (String.length w.name - String.length name)
+               (String.length name))
+  in
+  List.find matches all
+
+let compile w = Wet_minic.Frontend.compile_exn w.source
+
+let input w ~scale = [| scale; w.seed |]
+
+let run ?scale w =
+  let scale = Option.value scale ~default:w.default_scale in
+  Wet_interp.Interp.run (compile w) ~input:(input w ~scale)

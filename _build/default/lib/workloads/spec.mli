@@ -1,0 +1,35 @@
+(** The benchmark registry: nine deterministic MiniC programs named
+    after the paper's SpecInt 95/2000 benchmarks (Table 1), each echoing
+    the control-flow and value-locality character of its namesake.
+
+    Every program consumes exactly two input values — a scale parameter
+    (iterations / moves / blocks) and a PRNG seed — and derives all
+    further data from an in-language linear congruential generator, so a
+    run is a pure function of [(scale, seed)] and statement counts grow
+    linearly with [scale]. *)
+
+type t = {
+  name : string;  (** the paper's benchmark name, e.g. ["099.go"] *)
+  description : string;
+  source : string;  (** MiniC source text *)
+  default_scale : int;
+      (** scale producing roughly the default evaluation length *)
+  timing_scale : int;  (** smaller scale for the timing tables (§5.2) *)
+  seed : int;
+}
+
+(** All nine, in the paper's order. *)
+val all : t list
+
+(** Look up by name ("099.go") or suffix ("go"). @raise Not_found. *)
+val find : string -> t
+
+(** Compile the MiniC source. *)
+val compile : t -> Wet_ir.Program.t
+
+(** The two-element input stream for a given scale. *)
+val input : t -> scale:int -> int array
+
+(** Compile and run, recording a trace. [scale] defaults to
+    [default_scale]. *)
+val run : ?scale:int -> t -> Wet_interp.Interp.result

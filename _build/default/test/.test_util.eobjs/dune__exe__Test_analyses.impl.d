@@ -1,0 +1,1 @@
+test/test_analyses.ml: Alcotest Array Hashtbl List Printf String Wet_analyses Wet_cfg Wet_core Wet_interp Wet_ir Wet_minic Wet_util Wet_workloads

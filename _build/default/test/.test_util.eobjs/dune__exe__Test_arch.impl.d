@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Printf Wet_arch Wet_interp Wet_minic Wet_util

@@ -1,0 +1,1 @@
+test/test_bistream.ml: Alcotest Array List Printf QCheck QCheck_alcotest Wet_bistream Wet_util

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array List Printf QCheck QCheck_alcotest String Wet_cfg Wet_interp Wet_ir Wet_minic Wet_util

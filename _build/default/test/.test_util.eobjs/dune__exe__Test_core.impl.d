@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Filename Fun Hashtbl Lazy List Option Printf QCheck QCheck_alcotest String Sys Wet_cfg Wet_core Wet_interp Wet_ir Wet_minic Wet_util

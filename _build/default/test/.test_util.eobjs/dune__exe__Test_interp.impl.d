@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array List String Wet_cfg Wet_core Wet_interp Wet_ir Wet_minic

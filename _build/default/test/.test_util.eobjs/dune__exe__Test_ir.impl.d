@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Fmt List String Wet_ir

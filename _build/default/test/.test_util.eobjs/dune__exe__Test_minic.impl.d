@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest String Wet_interp Wet_ir Wet_minic Wet_util

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array List Printf QCheck QCheck_alcotest String Wet_interp Wet_ir Wet_minic Wet_opt Wet_util Wet_workloads

@@ -1,0 +1,1 @@
+test/test_predict.ml: Alcotest Array List Printf QCheck QCheck_alcotest Wet_predict Wet_util

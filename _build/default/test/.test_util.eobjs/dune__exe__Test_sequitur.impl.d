@@ -1,0 +1,1 @@
+test/test_sequitur.ml: Alcotest Array List QCheck QCheck_alcotest Wet_sequitur Wet_util

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array List Printf Wet_core Wet_interp Wet_ir Wet_workloads

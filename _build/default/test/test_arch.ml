@@ -1,0 +1,122 @@
+module BP = Wet_arch.Branch_predictor
+module Cache = Wet_arch.Cache
+module AP = Wet_arch.Arch_profile
+
+let test_bp_learns_bias () =
+  let bp = BP.create () in
+  for _ = 1 to 1000 do
+    ignore (BP.record bp ~pc:42 ~taken:true)
+  done;
+  let execs, miss = BP.stats bp in
+  Alcotest.(check int) "executed" 1000 execs;
+  Alcotest.(check bool) (Printf.sprintf "few misses (%d)" miss) true (miss < 20)
+
+let test_bp_learns_alternation () =
+  (* with history, a strict alternation becomes predictable *)
+  let bp = BP.create ~history_bits:8 () in
+  for i = 1 to 2000 do
+    ignore (BP.record bp ~pc:7 ~taken:(i mod 2 = 0))
+  done;
+  let _, miss = BP.stats bp in
+  Alcotest.(check bool) (Printf.sprintf "alternation learned (%d)" miss) true
+    (miss < 100)
+
+let test_bp_random_floor () =
+  let rng = Wet_util.Prng.create 9 in
+  let bp = BP.create () in
+  for _ = 1 to 4000 do
+    ignore (BP.record bp ~pc:(Wet_util.Prng.int rng 64) ~taken:(Wet_util.Prng.bool rng))
+  done;
+  let _, miss = BP.stats bp in
+  Alcotest.(check bool) (Printf.sprintf "random is hard (%d)" miss) true
+    (miss > 1200)
+
+let test_cache_basics () =
+  let c = Cache.create ~size_words:64 ~line_words:4 () in
+  (* sequential sweep: one miss per line *)
+  for a = 0 to 63 do
+    ignore (Cache.access c ~addr:a ~is_store:false)
+  done;
+  let loads, misses, _, _ = Cache.stats c in
+  Alcotest.(check int) "loads" 64 loads;
+  Alcotest.(check int) "one miss per line" 16 misses;
+  (* the sweep fits: a second pass hits everywhere *)
+  for a = 0 to 63 do
+    ignore (Cache.access c ~addr:a ~is_store:false)
+  done;
+  let _, misses2, _, _ = Cache.stats c in
+  Alcotest.(check int) "second pass all hits" 16 misses2
+
+let test_cache_conflicts () =
+  let c = Cache.create ~size_words:64 ~line_words:4 () in
+  (* two addresses 64 words apart map to the same line: always conflict *)
+  for _ = 1 to 10 do
+    ignore (Cache.access c ~addr:0 ~is_store:true);
+    ignore (Cache.access c ~addr:64 ~is_store:true)
+  done;
+  let _, _, stores, misses = Cache.stats c in
+  Alcotest.(check int) "stores" 20 stores;
+  Alcotest.(check int) "all conflict" 20 misses
+
+let test_cache_validation () =
+  Alcotest.check_raises "not a power of two"
+    (Invalid_argument "Cache.create: sizes must be powers of two") (fun () ->
+      ignore (Cache.create ~size_words:100 ~line_words:4 ()));
+  Alcotest.check_raises "line too large"
+    (Invalid_argument "Cache.create: line larger than cache") (fun () ->
+      ignore (Cache.create ~size_words:4 ~line_words:8 ()))
+
+let test_profile_counts () =
+  let src =
+    {|
+global a[64];
+fn main() {
+  var i = 0;
+  while (i < 64) {
+    a[i] = i;
+    i = i + 1;
+  }
+  var s = 0;
+  var j = 0;
+  while (j < 64) {
+    s = s + a[j];
+    j = j + 1;
+  }
+  print(s);
+}
+|}
+  in
+  let prog = Wet_minic.Frontend.compile_exn src in
+  let res = Wet_interp.Interp.run prog ~input:[||] in
+  let r = AP.of_trace res.Wet_interp.Interp.trace in
+  Alcotest.(check int) "loads" 64 r.AP.loads;
+  Alcotest.(check int) "stores" 64 r.AP.stores;
+  (* two loop headers, 65 executions each *)
+  Alcotest.(check int) "branches" 130 r.AP.branches;
+  (* loop branches are almost always taken; the residue is gshare's
+     cold-start on fresh history patterns *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mispredicts low (%d)" r.AP.mispredicts)
+    true
+    (r.AP.mispredicts < 45);
+  let b, l, s = AP.history_bytes r in
+  Alcotest.(check bool) "bit accounting" true
+    (b = 130. /. 8. && l = 8. && s = 8.)
+
+let () =
+  Alcotest.run "arch"
+    [
+      ( "branch-predictor",
+        [
+          Alcotest.test_case "bias" `Quick test_bp_learns_bias;
+          Alcotest.test_case "alternation" `Quick test_bp_learns_alternation;
+          Alcotest.test_case "random floor" `Quick test_bp_random_floor;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "basics" `Quick test_cache_basics;
+          Alcotest.test_case "conflicts" `Quick test_cache_conflicts;
+          Alcotest.test_case "validation" `Quick test_cache_validation;
+        ] );
+      ("profile", [ Alcotest.test_case "counts" `Quick test_profile_counts ]);
+    ]

@@ -1,0 +1,208 @@
+module Bidir = Wet_bistream.Bidir
+module Stream = Wet_bistream.Stream
+
+let all_variants =
+  List.concat_map (fun m -> [ (m, 1); (m, 2); (m, 4) ]) Bidir.all_meths
+
+let variant_name (m, c) = Printf.sprintf "%s/%d" (Bidir.meth_name m) c
+
+(* Reference streams covering the behaviours each method targets. *)
+let fixtures rng =
+  [
+    ("constant", Array.make 2000 42);
+    ("stride", Array.init 2000 (fun i -> (5 * i) - 300));
+    ("periodic", Array.init 2000 (fun i -> [| 3; 1; 4; 1; 5; 9 |].(i mod 6)));
+    ("random", Array.init 2000 (fun _ -> Wet_util.Prng.int rng 1_000_000 - 500_000));
+    ("mixed", Array.init 2000 (fun i -> if i mod 13 < 10 then i / 13 else Wet_util.Prng.int rng 50));
+    ("tiny", [| 7; -3; 7 |]);
+    ("single", [| 123 |]);
+    ("empty", [||]);
+  ]
+
+let test_round_trip () =
+  let rng = Wet_util.Prng.create 99 in
+  List.iter
+    (fun (name, arr) ->
+      List.iter
+        (fun (m, c) ->
+          let b = Bidir.compress m ~ctx:c arr in
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s %s forward" name (variant_name (m, c)))
+            arr (Bidir.to_array b);
+          (* backward read from the right end *)
+          Bidir.seek b (Array.length arr);
+          let back = Array.init (Array.length arr) (fun _ -> Bidir.step_backward b) in
+          let fwd = Array.init (Array.length arr) (fun i -> back.(Array.length arr - 1 - i)) in
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s %s backward" name (variant_name (m, c)))
+            arr fwd)
+        all_variants)
+    (fixtures rng)
+
+let test_peek_is_pure () =
+  let arr = Array.init 500 (fun i -> i * i mod 97) in
+  List.iter
+    (fun (m, c) ->
+      let b = Bidir.compress m ~ctx:c arr in
+      Bidir.seek b 250;
+      let p1 = Bidir.peek_forward b in
+      let p2 = Bidir.peek_forward b in
+      Alcotest.(check int) "peek stable" p1 p2;
+      Alcotest.(check int) "peek = value" arr.(250) p1;
+      Alcotest.(check int) "peek backward" arr.(249) (Bidir.peek_backward b);
+      Alcotest.(check int) "cursor unchanged" 250 (Bidir.cursor b))
+    all_variants
+
+let prop_random_walk =
+  QCheck.Test.make ~name:"random cursor walks read the right values" ~count:40
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      n = 0
+      ||
+      let rng = Wet_util.Prng.create seed in
+      List.for_all
+        (fun (m, c) ->
+          let b = Bidir.compress m ~ctx:c arr in
+          let ok = ref true in
+          for _ = 1 to 60 do
+            let k = Wet_util.Prng.int rng n in
+            if Bidir.read_at b k <> arr.(k) then ok := false
+          done;
+          !ok)
+        [ (Bidir.Fcm, 2); (Bidir.Dfcm, 2); (Bidir.Last_n, 4); (Bidir.Last_stride, 1) ])
+
+let prop_states_position_determined =
+  (* Bidirectionality: arriving at a cursor position by any route leaves
+     identical observable state (same reads thereafter). *)
+  QCheck.Test.make ~name:"state depends only on cursor position" ~count:25
+    QCheck.(list small_int)
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      n < 4
+      ||
+      List.for_all
+        (fun (m, c) ->
+          let b = Bidir.compress m ~ctx:c arr in
+          Bidir.seek b (n / 2);
+          let direct = Bidir.peek_forward b in
+          (* wander: to end, to start, back to the middle *)
+          Bidir.seek b n;
+          Bidir.seek b 0;
+          Bidir.seek b (n / 2);
+          let wandered = Bidir.peek_forward b in
+          direct = wandered)
+        all_variants)
+
+let test_compression_effectiveness () =
+  let check name arr expected_min_ratio meths =
+    List.iter
+      (fun (m, c) ->
+        let b = Bidir.compress m ~ctx:c arr in
+        let ratio =
+          float_of_int (32 * Array.length arr)
+          /. float_of_int (Bidir.compressed_bits b)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s %s ratio %.2f >= %.2f" name (variant_name (m, c))
+             ratio expected_min_ratio)
+          true
+          (ratio >= expected_min_ratio))
+      meths
+  in
+  (* a constant stream is near-free for the last-n family *)
+  check "constant" (Array.make 10000 5) 20. [ (Bidir.Last_n, 1) ];
+  (* arithmetic progressions are near-free for stride methods *)
+  check "stride" (Array.init 10000 (fun i -> 7 * i)) 12.
+    [ (Bidir.Last_stride, 2) ];
+  (* the FCM family pays for its lookup tables, capping its ratio *)
+  check "stride" (Array.init 10000 (fun i -> 7 * i)) 6. [ (Bidir.Dfcm, 2) ];
+  (* periodic patterns suit FCM once the context disambiguates the
+     period (context 2 is genuinely ambiguous here: (8,2) is followed by
+     both 8 and 7) *)
+  check "periodic"
+    (Array.init 10000 (fun i -> [| 2; 7; 1; 8; 2; 8 |].(i mod 6)))
+    6. [ (Bidir.Fcm, 4) ];
+  check "periodic-ambiguous"
+    (Array.init 10000 (fun i -> [| 2; 7; 1; 8; 2; 8 |].(i mod 6)))
+    1.5 [ (Bidir.Fcm, 2) ]
+
+let test_selection () =
+  (* the facade picks something at least as small as raw *)
+  let rng = Wet_util.Prng.create 5 in
+  List.iter
+    (fun (name, arr) ->
+      let s = Stream.compress arr in
+      Alcotest.(check (array int)) (name ^ " roundtrip") arr (Stream.to_array s);
+      Alcotest.(check bool) (name ^ " not worse than raw") true
+        (Stream.bits s <= (32 * Array.length arr) + 1))
+    (fixtures rng)
+
+let test_selection_picks_sensibly () =
+  let s = Stream.compress (Array.make 5000 9) in
+  Alcotest.(check bool) "constant stream is packed" true
+    (Stream.method_name s <> "raw");
+  let rng = Wet_util.Prng.create 17 in
+  let s = Stream.compress (Array.init 5000 (fun _ -> Wet_util.Prng.next rng)) in
+  Alcotest.(check string) "random stream stays raw" "raw" (Stream.method_name s)
+
+let test_find_ascending () =
+  let arr = Array.init 1000 (fun i -> 3 * i) in
+  List.iter
+    (fun spec ->
+      let s = Stream.compress_with spec arr in
+      Alcotest.(check (option int)) "present" (Some 100) (Stream.find_ascending s 300);
+      Alcotest.(check (option int)) "absent" None (Stream.find_ascending s 301);
+      Alcotest.(check (option int)) "first" (Some 0) (Stream.find_ascending s 0);
+      Alcotest.(check (option int)) "last" (Some 999) (Stream.find_ascending s 2997);
+      Alcotest.(check (option int)) "beyond" None (Stream.find_ascending s 5000))
+    [ `Raw; `Bidir (Bidir.Dfcm, 2); `Bidir (Bidir.Last_stride, 1) ]
+
+let test_lower_bound () =
+  let arr = Array.init 100 (fun i -> 2 * i) in
+  List.iter
+    (fun spec ->
+      let s = Stream.compress_with spec arr in
+      Alcotest.(check int) "exact" 5 (Stream.lower_bound s 10);
+      Alcotest.(check int) "between" 6 (Stream.lower_bound s 11);
+      Alcotest.(check int) "before" 0 (Stream.lower_bound s (-5));
+      Alcotest.(check int) "after" 100 (Stream.lower_bound s 1000))
+    [ `Raw; `Bidir (Bidir.Dfcm, 2); `Bidir (Bidir.Last_n, 1) ]
+
+let test_cursor_bounds () =
+  let b = Bidir.compress Bidir.Fcm ~ctx:2 [| 1; 2; 3 |] in
+  Alcotest.check_raises "backward at start"
+    (Invalid_argument "Bidir.step_backward: at left end") (fun () ->
+      ignore (Bidir.step_backward b));
+  Bidir.seek b 3;
+  Alcotest.check_raises "forward at end"
+    (Invalid_argument "Bidir.step_forward: at right end") (fun () ->
+      ignore (Bidir.step_forward b));
+  Alcotest.check_raises "bad ctx" (Invalid_argument "Bidir.compress: ctx must be in [1,16]")
+    (fun () -> ignore (Bidir.compress Bidir.Fcm ~ctx:0 [| 1 |]))
+
+let () =
+  Alcotest.run "bistream"
+    [
+      ( "bidir",
+        [
+          Alcotest.test_case "round trips" `Quick test_round_trip;
+          Alcotest.test_case "peek purity" `Quick test_peek_is_pure;
+          Alcotest.test_case "cursor bounds" `Quick test_cursor_bounds;
+          QCheck_alcotest.to_alcotest prop_random_walk;
+          QCheck_alcotest.to_alcotest prop_states_position_determined;
+        ] );
+      ( "compression",
+        [
+          Alcotest.test_case "effectiveness" `Quick test_compression_effectiveness;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "never worse than raw" `Quick test_selection;
+          Alcotest.test_case "sensible picks" `Quick test_selection_picks_sensibly;
+          Alcotest.test_case "find_ascending" `Quick test_find_ascending;
+          Alcotest.test_case "lower_bound" `Quick test_lower_bound;
+        ] );
+    ]

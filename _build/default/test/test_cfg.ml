@@ -1,0 +1,322 @@
+module Instr = Wet_ir.Instr
+module Func = Wet_ir.Func
+module Graph = Wet_cfg.Graph
+module Dominance = Wet_cfg.Dominance
+module Control_dep = Wet_cfg.Control_dep
+module BL = Wet_cfg.Ball_larus
+
+(* Handmade CFG skeletons: blocks carry only their terminator (plus a
+   constant filler so blocks are non-trivial). *)
+let func_of_terminators terms =
+  let blocks =
+    Array.map
+      (fun t -> { Func.instrs = [| Instr.Const (0, 0); t |] })
+      (Array.of_list terms)
+  in
+  { Func.name = "t"; params = []; nregs = 1; blocks; entry = 0 }
+
+(* 0 -> (1 | 2) -> 3 -> ret : the diamond *)
+let diamond () =
+  func_of_terminators
+    [ Instr.Branch (0, 1, 2); Instr.Jump 3; Instr.Jump 3; Instr.Ret None ]
+
+(* 0 -> 1; 1 -> (2 | 3); 2 -> 1 (back edge); 3 -> ret : a while loop *)
+let loop () =
+  func_of_terminators
+    [ Instr.Jump 1; Instr.Branch (0, 2, 3); Instr.Jump 1; Instr.Ret None ]
+
+let test_graph () =
+  let g = Graph.of_func (diamond ()) in
+  Alcotest.(check int) "nblocks" 4 g.Graph.nblocks;
+  Alcotest.(check (array int)) "succs 0" [| 1; 2 |] g.Graph.succs.(0);
+  Alcotest.(check (array int)) "preds 3" [| 1; 2 |] g.Graph.preds.(3);
+  Alcotest.(check (list int)) "exits" [ 3 ] (Graph.exit_blocks g);
+  Alcotest.(check (array bool)) "reachable" [| true; true; true; true |]
+    (Graph.reachable g);
+  let rpo = Graph.reverse_postorder g in
+  Alcotest.(check int) "rpo starts at entry" 0 rpo.(0);
+  Alcotest.(check int) "rpo length" 4 (Array.length rpo)
+
+let test_dominators_diamond () =
+  let g = Graph.of_func (diamond ()) in
+  let d = Dominance.dominators g in
+  Alcotest.(check int) "idom 1" 0 (Dominance.idom d 1);
+  Alcotest.(check int) "idom 2" 0 (Dominance.idom d 2);
+  Alcotest.(check int) "idom 3" 0 (Dominance.idom d 3);
+  Alcotest.(check int) "root" (-1) (Dominance.idom d 0);
+  Alcotest.(check bool) "0 dom 3" true (Dominance.dominates d 0 3);
+  Alcotest.(check bool) "1 !dom 3" false (Dominance.dominates d 1 3);
+  Alcotest.(check bool) "reflexive" true (Dominance.dominates d 2 2)
+
+let test_postdominators_diamond () =
+  let g = Graph.of_func (diamond ()) in
+  let pd = Dominance.postdominators g in
+  (* virtual exit is node 4 *)
+  Alcotest.(check int) "ipdom 0" 3 (Dominance.idom pd 0);
+  Alcotest.(check int) "ipdom 1" 3 (Dominance.idom pd 1);
+  Alcotest.(check int) "ipdom 3" 4 (Dominance.idom pd 3);
+  Alcotest.(check bool) "3 pdom 0" true (Dominance.dominates pd 3 0)
+
+let test_control_dep () =
+  let g = Graph.of_func (diamond ()) in
+  let cd = Control_dep.parents g in
+  Alcotest.(check (list int)) "branch arm 1" [ 0 ] cd.(1);
+  Alcotest.(check (list int)) "branch arm 2" [ 0 ] cd.(2);
+  Alcotest.(check (list int)) "join" [] cd.(3);
+  Alcotest.(check (list int)) "entry" [] cd.(0);
+  let g = Graph.of_func (loop ()) in
+  let cd = Control_dep.parents g in
+  Alcotest.(check (list int)) "loop body" [ 1 ] cd.(2);
+  (* the header re-executes under its own control *)
+  Alcotest.(check (list int)) "loop header" [ 1 ] cd.(1);
+  Alcotest.(check (list int)) "loop exit" [] cd.(3)
+
+let test_bl_diamond () =
+  let g = Graph.of_func (diamond ()) in
+  let bl = BL.compute g in
+  Alcotest.(check int) "two paths" 2 (BL.num_paths bl);
+  let p0 = BL.blocks_of_path bl 0 and p1 = BL.blocks_of_path bl 1 in
+  Alcotest.(check bool) "distinct" true (p0 <> p1);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "starts at entry" 0 (List.hd p);
+      Alcotest.(check int) "ends at exit" 3 (List.nth p (List.length p - 1)))
+    [ p0; p1 ]
+
+(* Simulate the interpreter's protocol over an explicit block walk and
+   check the emitted path ids expand to exactly the blocks walked. *)
+let simulate_walk bl walk =
+  (* walk: (src, succ_ix, dst) list, starting at entry, ending at exit *)
+  let emitted = ref [] in
+  let sum = ref (BL.start_value bl ~node:0) in
+  List.iter
+    (fun (src, succ_ix, dst) ->
+      if BL.is_break bl ~src ~succ_ix then begin
+        emitted := (!sum + BL.finish_value bl ~src) :: !emitted;
+        sum := BL.start_value bl ~node:dst
+      end
+      else sum := !sum + BL.edge_value bl ~src ~succ_ix)
+    walk;
+  let last_src = match List.rev walk with (_, _, d) :: _ -> d | [] -> 0 in
+  emitted := (!sum + BL.finish_value bl ~src:last_src) :: !emitted;
+  List.rev !emitted
+
+let test_bl_loop_protocol () =
+  let g = Graph.of_func (loop ()) in
+  let bl = BL.compute g in
+  (* execute: 0 ->1 ->2 ->1 ->2 ->1 ->3 (two loop iterations) *)
+  let walk = [ (0, 0, 1); (1, 0, 2); (2, 0, 1); (1, 0, 2); (2, 0, 1); (1, 1, 3) ] in
+  let ids = simulate_walk bl walk in
+  let expanded = List.concat_map (BL.blocks_of_path bl) ids in
+  Alcotest.(check (list int)) "expansion equals block trace"
+    [ 0; 1; 2; 1; 2; 1; 3 ] expanded
+
+let test_bl_call_breaks () =
+  (* block 0 ends in a call, continuing at block 1 which returns *)
+  let f =
+    func_of_terminators [ Instr.Call (None, 0, [], 1); Instr.Ret None ]
+  in
+  let g = Graph.of_func f in
+  Alcotest.(check (array bool)) "call block flag" [| true; false |]
+    g.Graph.is_call_block;
+  let bl = BL.compute g in
+  Alcotest.(check bool) "call edge is a break" true
+    (BL.is_break bl ~src:0 ~succ_ix:0);
+  (* path ending at the call, then path from the continuation *)
+  let ids = simulate_walk bl [ (0, 0, 1) ] in
+  Alcotest.(check (list (list int))) "paths" [ [ 0 ]; [ 1 ] ]
+    (List.map (BL.blocks_of_path bl) ids)
+
+(* Property: over random structured programs, replaying the trace's path
+   stream through blocks_of_path reproduces the exact block stream. This
+   exercises back edges, call breaks and nesting together. *)
+let random_minic_src rng =
+  let depth_stmts = ref [] in
+  let n = 2 + Wet_util.Prng.int rng 4 in
+  for i = 0 to n - 1 do
+    let body =
+      match Wet_util.Prng.int rng 3 with
+      | 0 -> Printf.sprintf "x = x + %d;" i
+      | 1 -> Printf.sprintf "if (x %% 3 == %d) { x = x * 2; } else { x = x + 1; }" (i mod 3)
+      | _ -> Printf.sprintf "var k%d = 0; while (k%d < %d) { x = x + k%d; k%d = k%d + 1; }" i i (2 + i) i i i
+    in
+    depth_stmts := body :: !depth_stmts
+  done;
+  Printf.sprintf
+    {|
+fn helper(a) {
+  if (a <= 0) { return 1; }
+  return a + helper(a - 2);
+}
+fn main() {
+  var x = %d;
+  %s
+  x = x + helper(x %% 7);
+  print(x);
+}
+|}
+    (Wet_util.Prng.int rng 10)
+    (String.concat "\n  " !depth_stmts)
+
+let prop_paths_expand =
+  QCheck.Test.make ~name:"path stream expands to block stream" ~count:30
+    QCheck.small_int (fun seed ->
+      let rng = Wet_util.Prng.create seed in
+      let src = random_minic_src rng in
+      let prog = Wet_minic.Frontend.compile_exn src in
+      let res = Wet_interp.Interp.run prog ~input:[||] in
+      let tr = res.Wet_interp.Interp.trace in
+      let module T = Wet_interp.Trace in
+      let module PA = Wet_cfg.Program_analysis in
+      let expanded = ref [] in
+      Array.iter
+        (fun e ->
+          let f, pid = T.decode_path e in
+          let bl = (PA.fn tr.T.analysis f).PA.bl in
+          List.iter
+            (fun b -> expanded := T.encode_block f b :: !expanded)
+            (BL.blocks_of_path bl pid))
+        tr.T.paths;
+      Array.of_list (List.rev !expanded) = tr.T.blocks)
+
+
+(* A function of [n] sequential diamonds has 2^n Ball-Larus paths; with
+   enough of them the numbering must overflow its limit and break extra
+   edges rather than produce absurd ids. The walk protocol must keep
+   round-tripping. *)
+let sequential_diamonds n =
+  (* blocks: for diamond i: head=3i branch-> (3i+1 | 3i+2) -> head of
+     i+1; last joins to a final ret block *)
+  let nblocks = (3 * n) + 1 in
+  let terms =
+    List.init nblocks (fun b ->
+        if b = nblocks - 1 then Instr.Ret None
+        else
+          match b mod 3 with
+          | 0 -> Instr.Branch (0, b + 1, b + 2)
+          | 1 -> Instr.Jump (b + 2)
+          | _ -> Instr.Jump (b + 1))
+  in
+  func_of_terminators terms
+
+let test_bl_small_diamonds () =
+  let g = Graph.of_func (sequential_diamonds 10) in
+  let bl = BL.compute g in
+  Alcotest.(check int) "2^10 paths" 1024 (BL.num_paths bl);
+  (* walk: always take the first arm *)
+  let rec walk b acc =
+    match g.Graph.succs.(b) with
+    | [||] -> List.rev acc
+    | succs -> walk succs.(0) ((b, 0, succs.(0)) :: acc)
+  in
+  let ids = simulate_walk bl (walk 0 []) in
+  let expanded = List.concat_map (BL.blocks_of_path bl) ids in
+  let expected = List.init (Array.length g.Graph.succs) (fun i -> i)
+                 |> List.filter (fun b -> b mod 3 <> 2 || b = 3 * 10) in
+  ignore expected;
+  (* ground truth: the blocks actually walked *)
+  let walked = 0 :: List.map (fun (_, _, d) -> d) (walk 0 []) in
+  Alcotest.(check (list int)) "expansion equals walk" walked expanded
+
+let test_bl_overflow_guard () =
+  (* 60 diamonds would give 2^60 paths; the limit must kick in *)
+  let g = Graph.of_func (sequential_diamonds 60) in
+  let bl = BL.compute g in
+  (* each start node's range is capped at the limit; the total over all
+     break targets may be a small multiple of it, never 2^60 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "paths bounded (%d)" (BL.num_paths bl))
+    true
+    (BL.num_paths bl <= 1 lsl 43);
+  (* the protocol still reproduces an execution exactly *)
+  let rec walk b acc =
+    match g.Graph.succs.(b) with
+    | [||] -> List.rev acc
+    | succs ->
+      let pick = if b mod 2 = 0 then 0 else Array.length succs - 1 in
+      walk succs.(pick) ((b, pick, succs.(pick)) :: acc)
+  in
+  let moves = walk 0 [] in
+  let ids = simulate_walk bl moves in
+  let expanded = List.concat_map (BL.blocks_of_path bl) ids in
+  let walked = 0 :: List.map (fun (_, _, d) -> d) moves in
+  Alcotest.(check (list int)) "overflowed numbering still round-trips"
+    walked expanded
+
+(* Brute-force dominance on random graphs: a dominates b iff removing a
+   makes b unreachable from the entry. *)
+let brute_dominates (g : Graph.t) a b =
+  if a = b then true
+  else begin
+    let seen = Array.make g.Graph.nblocks false in
+    let rec go n =
+      if n <> a && not seen.(n) then begin
+        seen.(n) <- true;
+        Array.iter go g.Graph.succs.(n)
+      end
+    in
+    go g.Graph.entry;
+    (not seen.(b)) && b <> g.Graph.entry
+    || (b = g.Graph.entry && a = g.Graph.entry)
+  end
+
+let random_graph rng nblocks =
+  (* every block i jumps/branches forward-ish so everything stays
+     reachable; occasional back edges *)
+  let terms =
+    List.init nblocks (fun b ->
+        if b = nblocks - 1 then Instr.Ret None
+        else
+          let t1 = b + 1 in
+          match Wet_util.Prng.int rng 3 with
+          | 0 -> Instr.Jump t1
+          | 1 ->
+            let t2 = Wet_util.Prng.int rng nblocks in
+            Instr.Branch (0, t1, t2)
+          | _ ->
+            let t2 = min (nblocks - 1) (b + 1 + Wet_util.Prng.int rng 3) in
+            Instr.Branch (0, t1, t2))
+  in
+  Graph.of_func (func_of_terminators terms)
+
+let prop_dominance_matches_brute_force =
+  QCheck.Test.make ~name:"dominators match reachability definition" ~count:50
+    QCheck.small_int (fun seed ->
+      let rng = Wet_util.Prng.create (seed + 77) in
+      let g = random_graph rng (4 + Wet_util.Prng.int rng 8) in
+      let d = Dominance.dominators g in
+      let reachable = Graph.reachable g in
+      let ok = ref true in
+      for a = 0 to g.Graph.nblocks - 1 do
+        for b = 0 to g.Graph.nblocks - 1 do
+          if reachable.(a) && reachable.(b) then begin
+            let brute =
+              if b = g.Graph.entry then a = b else brute_dominates g a b
+            in
+            if Dominance.dominates d a b <> brute then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "cfg"
+    [
+      ("graph", [ Alcotest.test_case "diamond" `Quick test_graph ]);
+      ( "dominance",
+        [
+          Alcotest.test_case "dominators" `Quick test_dominators_diamond;
+          Alcotest.test_case "postdominators" `Quick test_postdominators_diamond;
+          QCheck_alcotest.to_alcotest prop_dominance_matches_brute_force;
+        ] );
+      ("control-dep", [ Alcotest.test_case "diamond+loop" `Quick test_control_dep ]);
+      ( "ball-larus",
+        [
+          Alcotest.test_case "diamond" `Quick test_bl_diamond;
+          Alcotest.test_case "loop protocol" `Quick test_bl_loop_protocol;
+          Alcotest.test_case "call breaks" `Quick test_bl_call_breaks;
+          Alcotest.test_case "sequential diamonds" `Quick test_bl_small_diamonds;
+          Alcotest.test_case "overflow guard" `Quick test_bl_overflow_guard;
+          QCheck_alcotest.to_alcotest prop_paths_expand;
+        ] );
+    ]

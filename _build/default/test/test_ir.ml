@@ -1,0 +1,196 @@
+module Instr = Wet_ir.Instr
+module Func = Wet_ir.Func
+module Builder = Wet_ir.Builder
+module Program = Wet_ir.Program
+module Validate = Wet_ir.Validate
+
+let all_instrs : Instr.t list =
+  [
+    Const (0, 7);
+    Move (1, 0);
+    Binop (Add, 2, 0, 1);
+    Cmp (Lt, 3, 0, 1);
+    Unop (Neg, 4, 0);
+    Load (5, 0);
+    Store (0, 1);
+    Input 6;
+    Output 0;
+    Call (Some 7, 0, [ 0; 1 ], 1);
+    Call (None, 0, [], 1);
+    Branch (0, 0, 1);
+    Jump 0;
+    Ret (Some 0);
+    Ret None;
+    Halt;
+  ]
+
+let test_classification () =
+  let check ins ~term ~def ~uses ~dyn =
+    Alcotest.(check bool)
+      (Fmt.str "term %a" Instr.pp ins)
+      term (Instr.is_terminator ins);
+    Alcotest.(check (option int)) (Fmt.str "def %a" Instr.pp ins) def (Instr.def ins);
+    Alcotest.(check (list int)) (Fmt.str "uses %a" Instr.pp ins) uses (Instr.uses ins);
+    Alcotest.(check int) (Fmt.str "dyn %a" Instr.pp ins) dyn (Instr.dyn_use_count ins)
+  in
+  check (Const (0, 7)) ~term:false ~def:(Some 0) ~uses:[] ~dyn:0;
+  check (Move (1, 0)) ~term:false ~def:(Some 1) ~uses:[ 0 ] ~dyn:1;
+  check (Binop (Add, 2, 0, 1)) ~term:false ~def:(Some 2) ~uses:[ 0; 1 ] ~dyn:2;
+  check (Cmp (Lt, 3, 0, 1)) ~term:false ~def:(Some 3) ~uses:[ 0; 1 ] ~dyn:2;
+  check (Unop (Neg, 4, 0)) ~term:false ~def:(Some 4) ~uses:[ 0 ] ~dyn:1;
+  (* loads carry an extra memory slot, calls with results a return link *)
+  check (Load (5, 0)) ~term:false ~def:(Some 5) ~uses:[ 0 ] ~dyn:2;
+  check (Store (0, 1)) ~term:false ~def:None ~uses:[ 0; 1 ] ~dyn:2;
+  check (Input 6) ~term:false ~def:(Some 6) ~uses:[] ~dyn:0;
+  check (Output 0) ~term:false ~def:None ~uses:[ 0 ] ~dyn:1;
+  check (Call (Some 7, 0, [ 0; 1 ], 1)) ~term:true ~def:(Some 7) ~uses:[ 0; 1 ] ~dyn:3;
+  check (Call (None, 0, [], 1)) ~term:true ~def:None ~uses:[] ~dyn:0;
+  check (Branch (0, 0, 1)) ~term:true ~def:None ~uses:[ 0 ] ~dyn:1;
+  check (Jump 0) ~term:true ~def:None ~uses:[] ~dyn:0;
+  check (Ret (Some 0)) ~term:true ~def:None ~uses:[ 0 ] ~dyn:1;
+  check Halt ~term:true ~def:None ~uses:[] ~dyn:0
+
+let test_memory_classification () =
+  Alcotest.(check bool) "load" true (Instr.is_memory (Load (0, 1)));
+  Alcotest.(check bool) "store" true (Instr.is_memory (Store (0, 1)));
+  Alcotest.(check (option int)) "addr load" (Some 1) (Instr.addr_reg (Load (0, 1)));
+  Alcotest.(check (option int)) "addr store" (Some 0) (Instr.addr_reg (Store (0, 1)));
+  List.iter
+    (fun i ->
+      if not (Instr.is_memory i) then
+        Alcotest.(check (option int)) "no addr" None (Instr.addr_reg i))
+    all_instrs
+
+(* A two-block function: entry computes, then jumps to an exit block. *)
+let sample_func () =
+  let b = Builder.create ~name:"f" ~nparams:1 in
+  let r = Builder.fresh_reg b in
+  Builder.emit b (Instr.Const (r, 5));
+  let exit_b = Builder.new_block b in
+  Builder.terminate b (Instr.Jump exit_b);
+  Builder.switch_to b exit_b;
+  Builder.terminate b (Instr.Ret (Some r));
+  Builder.finish b
+
+let test_builder () =
+  let f = sample_func () in
+  Alcotest.(check int) "blocks" 2 (Func.num_blocks f);
+  Alcotest.(check int) "stmts" 3 (Func.num_stmts f);
+  Alcotest.(check (list int)) "succs entry" [ 1 ] (Func.successors f 0);
+  Alcotest.(check (list int)) "succs exit" [] (Func.successors f 1);
+  Alcotest.(check int) "nregs" 2 f.Func.nregs
+
+let test_builder_discipline () =
+  let b = Builder.create ~name:"g" ~nparams:0 in
+  Alcotest.check_raises "terminator via emit"
+    (Invalid_argument "Builder.emit: use terminate for terminators")
+    (fun () -> Builder.emit b (Instr.Jump 0));
+  Alcotest.check_raises "non-terminator via terminate"
+    (Invalid_argument "Builder.terminate: not a terminator")
+    (fun () -> Builder.terminate b (Instr.Const (0, 1)));
+  Builder.terminate b Instr.Halt;
+  Alcotest.check_raises "emit after terminate"
+    (Invalid_argument "Builder.emit: current block terminated")
+    (fun () -> Builder.emit b (Instr.Const (0, 1)));
+  let unfinished = Builder.create ~name:"h" ~nparams:0 in
+  ignore (Builder.new_block unfinished);
+  Builder.terminate unfinished Instr.Halt;
+  Alcotest.check_raises "unterminated block"
+    (Invalid_argument "Builder.finish: block B1 of h not terminated")
+    (fun () -> ignore (Builder.finish unfinished))
+
+let main_func () =
+  let b = Builder.create ~name:"main" ~nparams:0 in
+  Builder.terminate b Instr.Halt;
+  Builder.finish b
+
+let test_program_numbering () =
+  let f = sample_func () in
+  let m = main_func () in
+  let p = Program.make ~funcs:[| m; f |] ~main:0 ~mem_words:4 ~globals:[ ("g", 0, 4) ] in
+  Alcotest.(check int) "num stmts" 4 (Program.num_stmts p);
+  (* statement ids are dense and invertible *)
+  for id = 0 to 3 do
+    let fi, bi, i = Program.locate p id in
+    Alcotest.(check int) "roundtrip" id (Program.stmt_id p fi bi i)
+  done;
+  Alcotest.(check int) "global base" 0 (Program.global_base p "g");
+  let count = ref 0 in
+  Program.iter_stmts p (fun _ _ -> incr count);
+  Alcotest.(check int) "iter" 4 !count
+
+let test_validate_ok () =
+  let p = Program.make ~funcs:[| main_func (); sample_func () |] ~main:0
+      ~mem_words:1 ~globals:[] in
+  Alcotest.(check int) "no errors" 0 (List.length (Validate.errors p))
+
+let make_invalid instrs =
+  let f = { Func.name = "bad"; params = []; nregs = 2;
+            blocks = [| { Func.instrs } |]; entry = 0 } in
+  Program.make ~funcs:[| f |] ~main:0 ~mem_words:1 ~globals:[]
+
+let expect_error name instrs =
+  let p = make_invalid instrs in
+  Alcotest.(check bool) name true (Validate.errors p <> [])
+
+let test_validate_errors () =
+  expect_error "empty block" [||];
+  expect_error "no terminator" [| Instr.Const (0, 1) |];
+  expect_error "terminator not last" [| Instr.Jump 0; Instr.Const (0, 1); Instr.Halt |];
+  expect_error "register out of range" [| Instr.Const (9, 1); Instr.Halt |];
+  expect_error "bad jump target" [| Instr.Jump 5 |];
+  expect_error "bad branch target" [| Instr.Branch (0, 0, 9) |];
+  expect_error "bad call target" [| Instr.Call (None, 7, [], 0) |];
+  expect_error "bad call cont" [| Instr.Call (None, 0, [], 9) |];
+  (* halt outside main *)
+  let m = main_func () in
+  let bad = { Func.name = "f"; params = []; nregs = 1;
+              blocks = [| { Func.instrs = [| Instr.Halt |] } |]; entry = 0 } in
+  let p = Program.make ~funcs:[| m; bad |] ~main:0 ~mem_words:1 ~globals:[] in
+  Alcotest.(check bool) "halt outside main" true (Validate.errors p <> []);
+  (* call arity mismatch *)
+  let f = sample_func () in
+  let caller =
+    { Func.name = "c"; params = []; nregs = 1;
+      blocks = [| { Func.instrs = [| Instr.Call (None, 1, [], 0) |] } |];
+      entry = 0 }
+  in
+  let p = Program.make ~funcs:[| caller; f |] ~main:0 ~mem_words:1 ~globals:[] in
+  Alcotest.(check bool) "arity" true (Validate.errors p <> [])
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_printer () =
+  let p = Program.make ~funcs:[| main_func (); sample_func () |] ~main:0
+      ~mem_words:4 ~globals:[ ("g", 0, 4) ] in
+  let s = Wet_ir.Printer.program_to_string p in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains s needle))
+    [ "main"; "halt"; "ret"; "global g" ]
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "instr",
+        [
+          Alcotest.test_case "classification" `Quick test_classification;
+          Alcotest.test_case "memory" `Quick test_memory_classification;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "build" `Quick test_builder;
+          Alcotest.test_case "discipline" `Quick test_builder_discipline;
+        ] );
+      ( "program",
+        [ Alcotest.test_case "numbering" `Quick test_program_numbering ] );
+      ( "validate",
+        [
+          Alcotest.test_case "accepts valid" `Quick test_validate_ok;
+          Alcotest.test_case "rejects invalid" `Quick test_validate_errors;
+        ] );
+      ("printer", [ Alcotest.test_case "renders" `Quick test_printer ]);
+    ]

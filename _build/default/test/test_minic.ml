@@ -1,0 +1,328 @@
+module Frontend = Wet_minic.Frontend
+module Interp = Wet_interp.Interp
+
+let run_outputs ?(input = [||]) src =
+  match Frontend.compile src with
+  | Error m -> Alcotest.failf "compilation failed: %s" m
+  | Ok prog -> Array.to_list (Interp.outputs_only prog ~input)
+
+let check_program name ?input src expected =
+  Alcotest.(check (list int)) name expected (run_outputs ?input src)
+
+let test_arith () =
+  check_program "arithmetic"
+    "fn main() { print(1 + 2 * 3); print((1 + 2) * 3); print(7 / 2); print(7 % 3); print(-5); }"
+    [ 7; 9; 3; 1; -5 ];
+  check_program "bitwise"
+    "fn main() { print(12 & 10); print(12 | 10); print(12 ^ 10); print(1 << 4); print(37 >> 2); }"
+    [ 8; 14; 6; 16; 9 ]
+
+let test_comparisons () =
+  check_program "comparisons"
+    "fn main() { print(1 < 2); print(2 < 1); print(2 <= 2); print(3 > 1); print(3 >= 4); print(5 == 5); print(5 != 5); }"
+    [ 1; 0; 1; 1; 0; 1; 0 ];
+  check_program "logical"
+    "fn main() { print(1 && 2); print(1 && 0); print(0 || 3); print(0 || 0); print(!0); print(!7); }"
+    [ 1; 0; 1; 0; 1; 0 ]
+
+let test_precedence () =
+  check_program "precedence mix"
+    "fn main() { print(1 + 2 < 4 && 3 * 2 == 6); print(2 + 3 << 1); print(1 | 2 ^ 2 & 3); }"
+    [ 1; 10; 1 ]
+
+let test_control_flow () =
+  check_program "if-else"
+    "fn main() { var x = 5; if (x > 3) { print(1); } else { print(2); } if (x > 9) { print(3); } print(4); }"
+    [ 1; 4 ];
+  check_program "else-if chain"
+    {|fn classify(x) {
+        if (x < 0) { return -1; }
+        else if (x == 0) { return 0; }
+        else if (x < 10) { return 1; }
+        else { return 2; }
+      }
+      fn main() { print(classify(-5)); print(classify(0)); print(classify(7)); print(classify(99)); }|}
+    [ -1; 0; 1; 2 ];
+  check_program "while"
+    "fn main() { var i = 0; var s = 0; while (i < 5) { s = s + i; i = i + 1; } print(s); }"
+    [ 10 ];
+  check_program "for"
+    "fn main() { var s = 0; for (var i = 0; i < 4; i = i + 1) { s = s + i * i; } print(s); }"
+    [ 14 ];
+  check_program "break-continue"
+    {|fn main() {
+        var i = 0; var s = 0;
+        while (1) {
+          i = i + 1;
+          if (i > 10) { break; }
+          if (i % 2 == 0) { continue; }
+          s = s + i;
+        }
+        print(s);
+      }|}
+    [ 25 ]
+
+let test_functions () =
+  check_program "recursion (fib)"
+    {|fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+      fn main() { print(fib(10)); }|}
+    [ 55 ];
+  check_program "mutual calls"
+    {|fn is_even(n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+      fn is_odd(n) { if (n == 0) { return 0; } return is_even(n - 1); }
+      fn main() { print(is_even(10)); print(is_odd(7)); }|}
+    [ 1; 1 ];
+  check_program "ackermann"
+    {|fn ack(m, n) {
+        if (m == 0) { return n + 1; }
+        if (n == 0) { return ack(m - 1, 1); }
+        return ack(m - 1, ack(m, n - 1));
+      }
+      fn main() { print(ack(2, 3)); }|}
+    [ 9 ];
+  check_program "call for effect"
+    {|global g;
+      fn bump() { g = g + 1; return g; }
+      fn main() { bump(); bump(); print(bump()); }|}
+    [ 3 ]
+
+let test_globals_arrays () =
+  check_program "global scalar"
+    "global g; fn main() { g = 42; print(g); g = g + 1; print(g); }"
+    [ 42; 43 ];
+  check_program "array"
+    {|global a[5];
+      fn main() {
+        for (var i = 0; i < 5; i = i + 1) { a[i] = i * i; }
+        var s = 0;
+        for (var j = 0; j < 5; j = j + 1) { s = s + a[j]; }
+        print(s);
+        print(a[3]);
+      }|}
+    [ 30; 9 ];
+  check_program "shadowing"
+    "global x; fn main() { x = 1; var x = 2; print(x); }"
+    [ 2 ]
+
+let test_input () =
+  check_program "input stream" ~input:[| 10; 20; 12 |]
+    "fn main() { var a = input(); var b = input(); print(a + b); print(input()); }"
+    [ 30; 12 ]
+
+let test_comments () =
+  check_program "comments"
+    {|// leading comment
+      fn main() {
+        /* block
+           comment */
+        print(1); // trailing
+      }|}
+    [ 1 ]
+
+
+let test_negative_arithmetic () =
+  (* OCaml division truncates toward zero; MiniC inherits that *)
+  check_program "negative div/rem"
+    "fn main() { var a = -7; var b = 2; print(a / b); print(a % b); print(7 / -2); print(7 % -2); }"
+    [ -3; -1; -3; 1 ];
+  check_program "negation chains"
+    "fn main() { var x = 5; print(-x); print(- -x); print(!(x - 5)); }"
+    [ -5; 5; 1 ]
+
+let test_shift_edges () =
+  check_program "large shift saturates"
+    "fn main() { var one = 1; var big = 100; print(one << big); print(one << 36); }"
+    [ 1 lsl (100 land 63); 1 lsl 36 ];
+  check_program "shift by 63 is zero"
+    "fn main() { var one = 1; var s = 63; print(one << s); print((-8) >> s); print(8 >> s); }"
+    [ 0; -1; 0 ]
+
+let test_deep_nesting () =
+  (* parser recursion depth and codegen join-block stacking *)
+  let opens = String.concat "" (List.init 40 (fun i ->
+      Printf.sprintf "if (x >= %d) { " i)) in
+  let closes = String.concat "" (List.init 40 (fun _ -> "}")) in
+  let src =
+    Printf.sprintf "fn main() { var x = 20; %s x = x + 1000; %s print(x); }"
+      opens closes
+  in
+  (* the innermost body runs only if every guard x >= i (i < 40) holds,
+     i.e. never for x = 20, so x stays 20 *)
+  check_program "40-deep nested ifs" src [ 20 ]
+
+let test_error_positions () =
+  (match Frontend.compile "fn main() {\n  var x = ;\n}" with
+   | Ok _ -> Alcotest.fail "expected error"
+   | Error m ->
+     Alcotest.(check bool) ("line number in: " ^ m) true
+       (String.length m >= 6 && String.sub m 0 6 = "line 2"))
+
+let expect_compile_error name src fragment =
+  match Frontend.compile src with
+  | Ok _ -> Alcotest.failf "%s: expected a compile error" name
+  | Error m ->
+    let contains =
+      let nh = String.length m and nn = String.length fragment in
+      let rec go i = i + nn <= nh && (String.sub m i nn = fragment || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) (name ^ ": " ^ m) true contains
+
+let test_syntax_errors () =
+  expect_compile_error "missing semicolon" "fn main() { var x = 1 }" "expected";
+  expect_compile_error "unbalanced paren" "fn main() { print((1); }" "expected";
+  expect_compile_error "bad toplevel" "var x = 1;" "expected 'global' or 'fn'";
+  expect_compile_error "unterminated comment" "fn main() { /* }" "unterminated";
+  expect_compile_error "bad char" "fn main() { print(1 ? 2); }" "unexpected character"
+
+let test_semantic_errors () =
+  expect_compile_error "no main" "fn f() { return 1; }" "no main";
+  expect_compile_error "main with params" "fn main(x) { }" "main must take no parameters";
+  expect_compile_error "unknown variable" "fn main() { print(y); }" "unknown variable";
+  expect_compile_error "unknown function" "fn main() { print(f(1)); }" "unknown function";
+  expect_compile_error "arity" "fn f(a, b) { return a; } fn main() { print(f(1)); }" "argument";
+  expect_compile_error "redeclared var" "fn main() { var x = 1; var x = 2; }" "redeclared";
+  expect_compile_error "redeclared fn" "fn f() {} fn f() {} fn main() { }" "redeclared";
+  expect_compile_error "break outside loop" "fn main() { break; }" "break outside";
+  expect_compile_error "continue outside loop" "fn main() { continue; }" "continue outside";
+  expect_compile_error "unknown array" "fn main() { a[0] = 1; }" "unknown global";
+  expect_compile_error "redeclared global" "global g; global g; fn main() { }" "redeclared"
+
+(* Compiled programs always pass the IR validator. *)
+let prop_codegen_validates =
+  QCheck.Test.make ~name:"codegen emits valid IR" ~count:25 QCheck.small_int
+    (fun seed ->
+      let rng = Wet_util.Prng.create (seed + 1000) in
+      let stmts =
+        List.init 4 (fun i ->
+            match Wet_util.Prng.int rng 4 with
+            | 0 -> Printf.sprintf "x = x + %d;" i
+            | 1 -> Printf.sprintf "if (x > %d) { x = x - 1; }" i
+            | 2 -> Printf.sprintf "var y%d = x * 2; x = y%d - 1;" i i
+            | _ -> Printf.sprintf "while (x > %d) { x = x - 3; }" (i * 2))
+      in
+      let src =
+        Printf.sprintf "fn main() { var x = 9; %s print(x); }"
+          (String.concat " " stmts)
+      in
+      match Frontend.compile src with
+      | Ok p ->
+        Wet_ir.Validate.errors p = []
+      | Error _ -> false)
+
+
+(* Differential semantics fuzz: random expression trees are rendered to
+   MiniC and independently evaluated in OCaml with the IR's own
+   arithmetic; parser precedence, codegen and interpreter must agree
+   with the direct evaluation. *)
+type exp =
+  | Lit of int
+  | Bin of Wet_ir.Instr.binop * exp * exp
+  | Cmp of Wet_ir.Instr.cmpop * exp * exp
+  | Neg of exp
+  | Not of exp
+
+let rec render = function
+  | Lit n -> if n < 0 then Printf.sprintf "(0 - %d)" (-n) else string_of_int n
+  | Bin (op, a, b) ->
+    let sym =
+      match op with
+      | Wet_ir.Instr.Add -> "+" | Wet_ir.Instr.Sub -> "-"
+      | Wet_ir.Instr.Mul -> "*" | Wet_ir.Instr.Div -> "/"
+      | Wet_ir.Instr.Rem -> "%" | Wet_ir.Instr.And -> "&"
+      | Wet_ir.Instr.Or -> "|" | Wet_ir.Instr.Xor -> "^"
+      | Wet_ir.Instr.Shl -> "<<" | Wet_ir.Instr.Shr -> ">>"
+    in
+    Printf.sprintf "(%s %s %s)" (render a) sym (render b)
+  | Cmp (op, a, b) ->
+    let sym =
+      match op with
+      | Wet_ir.Instr.Eq -> "==" | Wet_ir.Instr.Ne -> "!="
+      | Wet_ir.Instr.Lt -> "<" | Wet_ir.Instr.Le -> "<="
+      | Wet_ir.Instr.Gt -> ">" | Wet_ir.Instr.Ge -> ">="
+    in
+    Printf.sprintf "(%s %s %s)" (render a) sym (render b)
+  | Neg a -> Printf.sprintf "(-%s)" (render a)
+  | Not a -> Printf.sprintf "(!%s)" (render a)
+
+(* None = the expression traps (division by zero) *)
+let rec eval = function
+  | Lit n -> Some n
+  | Bin (op, a, b) -> (
+    match (eval a, eval b) with
+    | Some va, Some vb -> Wet_ir.Eval.binop op va vb
+    | _ -> None)
+  | Cmp (op, a, b) -> (
+    match (eval a, eval b) with
+    | Some va, Some vb -> Some (Wet_ir.Eval.cmp op va vb)
+    | _ -> None)
+  | Neg a -> Option.map (Wet_ir.Eval.unop Wet_ir.Instr.Neg) (eval a)
+  | Not a -> Option.map (Wet_ir.Eval.unop Wet_ir.Instr.Not) (eval a)
+
+let rec gen_exp rng depth =
+  if depth = 0 || Wet_util.Prng.int rng 4 = 0 then
+    Lit (Wet_util.Prng.int rng 41 - 20)
+  else
+    match Wet_util.Prng.int rng 8 with
+    | 0 -> Neg (gen_exp rng (depth - 1))
+    | 1 -> Not (gen_exp rng (depth - 1))
+    | 2 | 3 ->
+      let ops =
+        Wet_ir.Instr.[ Eq; Ne; Lt; Le; Gt; Ge ]
+      in
+      Cmp (List.nth ops (Wet_util.Prng.int rng 6),
+           gen_exp rng (depth - 1), gen_exp rng (depth - 1))
+    | _ ->
+      let ops =
+        Wet_ir.Instr.[ Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr ]
+      in
+      Bin (List.nth ops (Wet_util.Prng.int rng 10),
+           gen_exp rng (depth - 1), gen_exp rng (depth - 1))
+
+let prop_expression_semantics =
+  QCheck.Test.make ~name:"expression semantics match direct evaluation"
+    ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Wet_util.Prng.create (seed * 31 + 5) in
+      let e = gen_exp rng 4 in
+      let src = Printf.sprintf "fn main() { print(%s); }" (render e) in
+      match eval e with
+      | Some expected -> run_outputs src = [ expected ]
+      | None -> (
+        (* the program must trap, not produce a value *)
+        match Frontend.compile src with
+        | Error _ -> false
+        | Ok prog -> (
+          match Interp.outputs_only prog ~input:[||] with
+          | _ -> false
+          | exception Interp.Runtime_error _ -> true)))
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "control flow" `Quick test_control_flow;
+          Alcotest.test_case "functions" `Quick test_functions;
+          Alcotest.test_case "globals and arrays" `Quick test_globals_arrays;
+          Alcotest.test_case "input" `Quick test_input;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "negative arithmetic" `Quick test_negative_arithmetic;
+          Alcotest.test_case "shift edges" `Quick test_shift_edges;
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "syntax" `Quick test_syntax_errors;
+          Alcotest.test_case "semantic" `Quick test_semantic_errors;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_codegen_validates;
+          QCheck_alcotest.to_alcotest prop_expression_semantics;
+        ] );
+    ]

@@ -1,0 +1,158 @@
+module Frontend = Wet_minic.Frontend
+module Interp = Wet_interp.Interp
+module Driver = Wet_opt.Driver
+module Spec = Wet_workloads.Spec
+module Program = Wet_ir.Program
+module Instr = Wet_ir.Instr
+
+let count_stmts p =
+  Array.fold_left (fun acc f -> acc + Wet_ir.Func.num_stmts f) 0
+    p.Program.funcs
+
+let count_matching p pred =
+  let n = ref 0 in
+  Program.iter_stmts p (fun _ i -> if pred i then incr n);
+  !n
+
+let test_folds_constants () =
+  let p =
+    Frontend.compile_exn
+      "fn main() { var a = 2 + 3 * 4; var b = a - a; print(a + b); }"
+  in
+  let o = Driver.optimize p in
+  (* after folding, no arithmetic remains *)
+  Alcotest.(check int) "no binops left" 0
+    (count_matching o (function Instr.Binop _ -> true | _ -> false));
+  Alcotest.(check (array int)) "same output"
+    (Interp.outputs_only p ~input:[||])
+    (Interp.outputs_only o ~input:[||])
+
+let test_dce_removes_unused () =
+  let p =
+    Frontend.compile_exn
+      "fn main() { var unused = 1 + 2; var x = 5; print(x); }"
+  in
+  let o = Driver.optimize p in
+  Alcotest.(check bool) "smaller" true (count_stmts o < count_stmts p);
+  Alcotest.(check (array int)) "same output"
+    (Interp.outputs_only p ~input:[||])
+    (Interp.outputs_only o ~input:[||])
+
+let test_branch_folding_prunes_cfg () =
+  let p =
+    Frontend.compile_exn
+      {|fn main() {
+          var debug = 0;
+          if (debug) { print(111); print(222); }
+          print(1);
+        }|}
+  in
+  let o = Driver.optimize p in
+  (* the constant branch folds and the dead arm disappears *)
+  Alcotest.(check int) "no branches left" 0
+    (count_matching o (function Instr.Branch _ -> true | _ -> false));
+  Alcotest.(check bool) "fewer blocks" true
+    (Array.length o.Program.funcs.(0).Wet_ir.Func.blocks
+     < Array.length p.Program.funcs.(0).Wet_ir.Func.blocks);
+  Alcotest.(check (array int)) "same output" [| 1 |]
+    (Interp.outputs_only o ~input:[||])
+
+let test_cse () =
+  let p =
+    Frontend.compile_exn
+      "fn main() { var a = input(); var x = a * a + a * a; print(x); }"
+  in
+  let o = Driver.optimize p in
+  let muls p =
+    count_matching p (function Instr.Binop (Instr.Mul, _, _, _) -> true | _ -> false)
+  in
+  Alcotest.(check int) "one multiply" 1 (muls o);
+  Alcotest.(check (array int)) "same output"
+    (Interp.outputs_only p ~input:[| 7 |])
+    (Interp.outputs_only o ~input:[| 7 |])
+
+let test_traps_preserved () =
+  (* an unused division by zero must not be folded or removed *)
+  let p =
+    Frontend.compile_exn
+      "fn main() { var z = 0; var boom = 1 / z; print(9); }"
+  in
+  let o = Driver.optimize p in
+  let trap prog =
+    match Interp.outputs_only prog ~input:[||] with
+    | _ -> false
+    | exception Interp.Runtime_error _ -> true
+  in
+  Alcotest.(check bool) "original traps" true (trap p);
+  Alcotest.(check bool) "optimised still traps" true (trap o)
+
+let test_level_zero_identity () =
+  let p = Spec.compile (Spec.find "go") in
+  Alcotest.(check bool) "level 0 is identity" true (Driver.optimize ~level:0 p == p)
+
+(* The heavyweight property: on every bundled workload, the optimised
+   program produces identical outputs and strictly fewer executed
+   statements. *)
+let test_workloads_preserved () =
+  List.iter
+    (fun w ->
+      let scale = max 1 (w.Spec.timing_scale / 8) in
+      let p = Spec.compile w in
+      let o = Driver.optimize p in
+      let input = Spec.input w ~scale in
+      let r1 = Interp.run p ~input in
+      let r2 = Interp.run o ~input in
+      Alcotest.(check (array int)) (w.Spec.name ^ " outputs")
+        r1.Interp.outputs r2.Interp.outputs;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s executes fewer stmts (%d -> %d)" w.Spec.name
+           r1.Interp.stmts_executed r2.Interp.stmts_executed)
+        true
+        (r2.Interp.stmts_executed <= r1.Interp.stmts_executed))
+    Spec.all
+
+let prop_optimization_preserves_semantics =
+  QCheck.Test.make ~name:"optimised random programs agree with originals"
+    ~count:40 QCheck.small_int
+    (fun seed ->
+      let rng = Wet_util.Prng.create (seed * 7 + 1) in
+      let stmts =
+        List.init 6 (fun i ->
+            match Wet_util.Prng.int rng 6 with
+            | 0 -> Printf.sprintf "x = x * %d + y;" (Wet_util.Prng.int rng 5)
+            | 1 -> Printf.sprintf "y = y - x / 3;"
+            | 2 -> Printf.sprintf "if (x > y) { x = x - %d; } else { y = y + 1; }" (1 + i)
+            | 3 -> Printf.sprintf "var t%d = x + y; x = t%d * 2;" i i
+            | 4 -> Printf.sprintf "while (x > %d) { x = x - 7; }" (10 + (i * 3))
+            | _ -> Printf.sprintf "g[%d] = x; y = g[%d] + y;" (i mod 4) ((i + 1) mod 4)
+            )
+      in
+      let src =
+        Printf.sprintf
+          "global g[4]; fn main() { var x = %d; var y = %d; %s print(x); print(y); }"
+          (Wet_util.Prng.int rng 20)
+          (Wet_util.Prng.int rng 20)
+          (String.concat " " stmts)
+      in
+      let p = Frontend.compile_exn src in
+      let o = Driver.optimize p in
+      Interp.outputs_only p ~input:[||] = Interp.outputs_only o ~input:[||])
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "passes",
+        [
+          Alcotest.test_case "constant folding" `Quick test_folds_constants;
+          Alcotest.test_case "dead code" `Quick test_dce_removes_unused;
+          Alcotest.test_case "branch folding + cfg" `Quick test_branch_folding_prunes_cfg;
+          Alcotest.test_case "local cse" `Quick test_cse;
+          Alcotest.test_case "traps preserved" `Quick test_traps_preserved;
+          Alcotest.test_case "level 0" `Quick test_level_zero_identity;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "workloads preserved" `Quick test_workloads_preserved;
+          QCheck_alcotest.to_alcotest prop_optimization_preserves_semantics;
+        ] );
+    ]

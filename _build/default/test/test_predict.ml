@@ -1,0 +1,62 @@
+module P = Wet_predict.Predictor
+
+let test_fcm_periodic () =
+  let arr = Array.init 3000 (fun i -> [| 10; 20; 30; 40 |].(i mod 4)) in
+  let acc = P.accuracy (P.fcm ~ctx:2 ()) arr in
+  Alcotest.(check bool) (Printf.sprintf "fcm periodic %.2f" acc) true (acc > 0.95)
+
+let test_stride_arithmetic () =
+  let arr = Array.init 3000 (fun i -> 7 * i) in
+  let acc = P.accuracy (P.stride ()) arr in
+  Alcotest.(check bool) (Printf.sprintf "stride %.2f" acc) true (acc > 0.99);
+  let acc_dfcm = P.accuracy (P.dfcm ~ctx:2 ()) arr in
+  Alcotest.(check bool) (Printf.sprintf "dfcm %.2f" acc_dfcm) true (acc_dfcm > 0.95)
+
+let test_last_n () =
+  let arr = Array.init 3000 (fun i -> i mod 3) in
+  let acc = P.accuracy (P.last_n ~n:4) arr in
+  Alcotest.(check bool) (Printf.sprintf "last-4 %.2f" acc) true (acc > 0.99);
+  let acc1 = P.accuracy (P.last_n ~n:1) (Array.make 1000 5) in
+  Alcotest.(check bool) "last-1 constant" true (acc1 > 0.99)
+
+let test_random_unpredictable () =
+  let rng = Wet_util.Prng.create 12 in
+  let arr = Array.init 3000 (fun _ -> Wet_util.Prng.next rng) in
+  List.iter
+    (fun p ->
+      let acc = P.accuracy p arr in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s on random: %.3f" (P.name p) acc)
+        true (acc < 0.05))
+    [ P.fcm ~ctx:2 (); P.dfcm ~ctx:2 (); P.last_n ~n:4; P.stride () ]
+
+let test_names () =
+  Alcotest.(check string) "fcm" "fcm/3" (P.name (P.fcm ~ctx:3 ()));
+  Alcotest.(check string) "dfcm" "dfcm/1" (P.name (P.dfcm ~ctx:1 ()));
+  Alcotest.(check string) "last" "last-2" (P.name (P.last_n ~n:2));
+  Alcotest.(check string) "stride" "stride" (P.name (P.stride ()))
+
+let prop_accuracy_bounded =
+  QCheck.Test.make ~name:"accuracy in [0,1]" ~count:50
+    QCheck.(list small_int)
+    (fun xs ->
+      let arr = Array.of_list xs in
+      List.for_all
+        (fun p ->
+          let a = P.accuracy p arr in
+          a >= 0. && a <= 1.)
+        [ P.fcm ~ctx:1 (); P.dfcm ~ctx:2 (); P.last_n ~n:2; P.stride () ])
+
+let () =
+  Alcotest.run "predict"
+    [
+      ( "predictors",
+        [
+          Alcotest.test_case "fcm periodic" `Quick test_fcm_periodic;
+          Alcotest.test_case "stride arithmetic" `Quick test_stride_arithmetic;
+          Alcotest.test_case "last-n" `Quick test_last_n;
+          Alcotest.test_case "random floor" `Quick test_random_unpredictable;
+          Alcotest.test_case "names" `Quick test_names;
+          QCheck_alcotest.to_alcotest prop_accuracy_bounded;
+        ] );
+    ]

@@ -1,0 +1,102 @@
+module Table = Wet_report.Table
+module Chart = Wet_report.Chart
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_table_layout () =
+  let s =
+    Table.render ~title:"T" ~header:[ "name"; "value" ]
+      [ [ "a"; "1" ]; [ "long-name"; "12345" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "has title" true (contains s "T");
+  Alcotest.(check bool) "has header" true (contains s "name");
+  (* all non-empty lines are equally wide (aligned columns) *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" || l = "T" then None else Some (String.length l))
+      lines
+  in
+  (match widths with
+   | w :: rest ->
+     List.iter (fun w' -> Alcotest.(check int) "aligned" w w') rest
+   | [] -> Alcotest.fail "no lines");
+  (* numeric column is right-aligned: the short value is padded left *)
+  Alcotest.(check bool) "right aligned" true (contains s "      1")
+
+let test_table_align_override () =
+  let s =
+    Table.render ~align:Table.[ Left; Left ] ~title:"x"
+      ~header:[ "a"; "b" ]
+      [ [ "1"; "2" ] ]
+  in
+  Alcotest.(check bool) "left aligned value" true (contains s "1  2")
+
+let test_formatters () =
+  Alcotest.(check string) "f1" "3.1" (Table.f1 3.14159);
+  Alcotest.(check string) "f2" "3.14" (Table.f2 3.14159);
+  Alcotest.(check string) "millions" "2.50" (Table.millions 2_500_000);
+  Alcotest.(check string) "i" "42" (Table.i 42)
+
+let test_stacked_chart () =
+  let s =
+    Chart.stacked ~title:"F" ~width:40
+      ~legend:[ ('a', "first"); ('b', "second") ]
+      [ ("row", [ 1.; 3. ]) ]
+  in
+  Alcotest.(check bool) "legend" true (contains s "a = first");
+  Alcotest.(check bool) "percentages" true (contains s "25.0%");
+  Alcotest.(check bool) "bar chars" true (contains s "ab");
+  (* segments fill the width exactly *)
+  let bar_line =
+    List.find (fun l -> contains l "|") (String.split_on_char '\n' s)
+  in
+  let between =
+    let i1 = String.index bar_line '|' in
+    let i2 = String.index_from bar_line (i1 + 1) '|' in
+    i2 - i1 - 1
+  in
+  Alcotest.(check int) "full width" 40 between
+
+let test_stacked_degenerate () =
+  (* all-zero rows must not crash or divide by zero *)
+  let s =
+    Chart.stacked ~title:"F" ~width:10 ~legend:[ ('x', "only") ]
+      [ ("zero", [ 0.; 0. ]) ]
+  in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_series_chart () =
+  let s =
+    Chart.series ~title:"S" ~ylabel:"x"
+      [ ("p1", 10.); ("p2", 20.); ("p3", 5.) ]
+  in
+  Alcotest.(check bool) "contains values" true (contains s "20.0");
+  (* the largest value gets the longest bar *)
+  let bar l =
+    String.fold_left (fun acc c -> if c = '#' then acc + 1 else acc) 0 l
+  in
+  let lines = String.split_on_char '\n' s in
+  let get p = bar (List.find (fun l -> contains l p) lines) in
+  Alcotest.(check bool) "p2 longest" true (get "p2" > get "p1");
+  Alcotest.(check bool) "p3 shortest" true (get "p3" < get "p1")
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "layout" `Quick test_table_layout;
+          Alcotest.test_case "alignment override" `Quick test_table_align_override;
+          Alcotest.test_case "formatters" `Quick test_formatters;
+        ] );
+      ( "chart",
+        [
+          Alcotest.test_case "stacked" `Quick test_stacked_chart;
+          Alcotest.test_case "stacked degenerate" `Quick test_stacked_degenerate;
+          Alcotest.test_case "series" `Quick test_series_chart;
+        ] );
+    ]

@@ -1,0 +1,68 @@
+module Sequitur = Wet_sequitur.Sequitur
+
+let test_round_trip_fixtures () =
+  let rng = Wet_util.Prng.create 3 in
+  let cases =
+    [
+      ("abab", Array.init 1000 (fun i -> i mod 2));
+      ("abcabc", Array.init 999 (fun i -> i mod 3));
+      ("constant", Array.make 777 9);
+      ("random", Array.init 400 (fun _ -> Wet_util.Prng.int rng 5));
+      ("negatives", Array.init 600 (fun i -> -(i mod 4)));
+      ("single", [| 42 |]);
+      ("empty", [||]);
+    ]
+  in
+  List.iter
+    (fun (name, arr) ->
+      let g = Sequitur.build arr in
+      Alcotest.(check (array int)) (name ^ " expands") arr (Sequitur.expand g);
+      (match Sequitur.check_invariants g with
+       | Ok () -> ()
+       | Error m -> Alcotest.failf "%s: invariant: %s" name m))
+    cases
+
+let test_compresses_repetition () =
+  let arr = Array.init 4096 (fun i -> i mod 8) in
+  let g = Sequitur.build arr in
+  Alcotest.(check bool) "far fewer symbols than input" true
+    (Sequitur.grammar_symbols g < 200);
+  Alcotest.(check bool) "bits smaller" true
+    (Sequitur.bits g < 32 * Array.length arr / 10)
+
+let test_random_incompressible () =
+  let rng = Wet_util.Prng.create 4 in
+  let arr = Array.init 1000 (fun _ -> Wet_util.Prng.next rng) in
+  let g = Sequitur.build arr in
+  (* distinct values everywhere: grammar must stay close to the input *)
+  Alcotest.(check bool) "no spurious rules" true (Sequitur.num_rules g <= 2);
+  Alcotest.(check int) "all symbols kept" 1000 (Sequitur.grammar_symbols g)
+
+let prop_round_trip =
+  QCheck.Test.make ~name:"expand (build xs) = xs" ~count:100
+    QCheck.(list (int_bound 6))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      Sequitur.expand (Sequitur.build arr) = arr)
+
+let prop_invariants =
+  QCheck.Test.make ~name:"digram uniqueness and rule utility" ~count:100
+    QCheck.(list (int_bound 4))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      match Sequitur.check_invariants (Sequitur.build arr) with
+      | Ok () -> true
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "sequitur"
+    [
+      ( "grammar",
+        [
+          Alcotest.test_case "round trips" `Quick test_round_trip_fixtures;
+          Alcotest.test_case "compresses repetition" `Quick test_compresses_repetition;
+          Alcotest.test_case "random stays flat" `Quick test_random_incompressible;
+          QCheck_alcotest.to_alcotest prop_round_trip;
+          QCheck_alcotest.to_alcotest prop_invariants;
+        ] );
+    ]
