@@ -26,15 +26,13 @@ module Instr = Wet_ir.Instr
 
 let quick = ref false
 
-let now () = Unix.gettimeofday ()
+(* Timing and narration come from wet_obs, so the bench harness and the
+   CLI report from the same clock and the same progress channel. With a
+   sink enabled (e.g. under [wet_cli profile]) each [time] also leaves a
+   span behind. *)
+let time name f = Wet_obs.Span.timed name f
 
-let time f =
-  let t0 = now () in
-  let x = f () in
-  (x, now () -. t0)
-
-let progress fmt =
-  Printf.ksprintf (fun s -> Printf.eprintf "[bench] %s\n%!" s) fmt
+let progress fmt = Wet_obs.Log.progress fmt
 
 let scale_of w =
   let s = w.Spec.default_scale in
@@ -63,7 +61,9 @@ let size_rows : size_row list Lazy.t =
          progress "measuring %s (scale %d)" w.Spec.name (scale_of w);
          let res = Spec.run ~scale:(scale_of w) w in
          let arch = AP.of_trace res.Interp.trace in
-         let w1, construction_s = time (fun () -> Builder.build res.Interp.trace) in
+         let w1, construction_s =
+           time "bench.build.tier1" (fun () -> Builder.build res.Interp.trace)
+         in
          let orig = Sizes.original w1 in
          let tier1 = Sizes.current w1 in
          let w2 = Builder.pack w1 in
@@ -285,7 +285,9 @@ let timing_rows : timing_ctx list Lazy.t =
        (fun w ->
          progress "timing build %s" w.Spec.name;
          let res = Spec.run ~scale:w.Spec.timing_scale w in
-         let w1, build_s = time (fun () -> Builder.build res.Interp.trace) in
+         let w1, build_s =
+           time "bench.build.tier1" (fun () -> Builder.build res.Interp.trace)
+         in
          let w2 = Builder.pack w1 in
          { tw = w; tstmts = res.Interp.stmts_executed; w1; w2; build_s })
        Spec.all)
@@ -327,7 +329,7 @@ let table6 () =
         let blocks = r.w1.W.stats.W.block_execs in
         let trace_mb = mb (4. *. float_of_int blocks) in
         let measure wet dir =
-          let n, s = time (fun () -> cf_extract wet dir) in
+          let n, s = time "bench.query.cf" (fun () -> cf_extract wet dir) in
           assert (n = blocks);
           (Printf.sprintf "%.3f" s, trace_mb /. Float.max 1e-9 s)
         in
@@ -363,7 +365,10 @@ let table7 () =
       (fun r ->
         progress "table7 %s" r.tw.Spec.name;
         let measure wet =
-          let n, s = time (fun () -> Query.load_values wet ~f:(fun _ _ -> ())) in
+          let n, s =
+            time "bench.query.load_values" (fun () ->
+                Query.load_values wet ~f:(fun _ _ -> ()))
+          in
           (mb (4. *. float_of_int n), s)
         in
         let sz, t1 = measure r.w1 in
@@ -389,7 +394,10 @@ let table8 () =
       (fun r ->
         progress "table8 %s" r.tw.Spec.name;
         let measure wet =
-          let n, s = time (fun () -> Query.addresses wet ~f:(fun _ _ -> ())) in
+          let n, s =
+            time "bench.query.addresses" (fun () ->
+                Query.addresses wet ~f:(fun _ _ -> ()))
+          in
           (mb (4. *. float_of_int n), s)
         in
         let sz, t1 = measure r.w1 in
@@ -431,7 +439,7 @@ let table9 () =
         let criteria = slice_criteria r.w1 25 in
         let run wet =
           let _, s =
-            time (fun () ->
+            time "bench.slice.backward" (fun () ->
                 List.iter
                   (fun (c, i) -> ignore (Slice.backward wet c i))
                   criteria)

@@ -67,6 +67,36 @@ let with_wet ?(optimize = 0) ?(tier2 = false) name scale input f =
         let wet = if tier2 then Builder.pack wet else wet in
         f wet label)
 
+(* ---------------- observability flags ---------------- *)
+
+(* Every pipeline subcommand accepts [--metrics-out] and [--trace-out];
+   giving either arms the observation sink for the whole command, and
+   the files are written when the action finishes (even on error). *)
+
+let metrics_out_arg =
+  let doc = "Write a JSONL dump of all pipeline metrics to $(docv)." in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write phase spans as a Chrome trace-event file to $(docv) (open in \
+     chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let obs_term = Term.(const (fun m t -> (m, t)) $ metrics_out_arg $ trace_out_arg)
+
+let with_obs (metrics_out, trace_out) f =
+  if metrics_out <> None || trace_out <> None then begin
+    Wet_obs.Sink.enable ();
+    Wet_obs.Metrics.reset ()
+  end;
+  let r = f () in
+  Option.iter Wet_obs.Export.write_metrics_jsonl metrics_out;
+  Option.iter Wet_obs.Export.write_chrome_trace trace_out;
+  r
+
 (* ---------------- arguments ---------------- *)
 
 let program_arg =
@@ -92,19 +122,23 @@ let optimize_arg =
 (* ---------------- run ---------------- *)
 
 let run_cmd =
-  let action prog scale input optimize =
+  let action obs prog scale input optimize =
+    with_obs obs @@ fun () ->
     with_program ~optimize prog scale input (fun p input _ ->
         let out = Interp.outputs_only p ~input in
         Array.iter (Printf.printf "%d\n") out)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a program and print its outputs.")
-    Term.(ret (const action $ program_arg $ scale_arg $ input_arg $ optimize_arg))
+    Term.(
+      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
+           $ optimize_arg))
 
 (* ---------------- stats ---------------- *)
 
 let stats_cmd =
-  let action prog scale input tier2 =
+  let action obs prog scale input tier2 =
+    with_obs obs @@ fun () ->
     with_wet ~tier2 prog scale input (fun wet label ->
         let s = wet.W.stats in
         Printf.printf "program: %s\n" label;
@@ -134,7 +168,9 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Build the WET and report sizes and compression statistics.")
-    Term.(ret (const action $ program_arg $ scale_arg $ input_arg $ tier2_arg))
+    Term.(
+      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
+           $ tier2_arg))
 
 (* ---------------- trace ---------------- *)
 
@@ -150,7 +186,8 @@ let limit_arg =
   Arg.(value & opt int 50 & info [ "limit" ] ~docv:"N" ~doc)
 
 let trace_cmd =
-  let action prog scale input kind limit =
+  let action obs prog scale input kind limit =
+    with_obs obs @@ fun () ->
     with_wet prog scale input (fun wet _ ->
         let printed = ref 0 in
         let emit fmt =
@@ -180,8 +217,8 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"Extract a control-flow, load-value or address trace from the WET.")
     Term.(
-      ret (const action $ program_arg $ scale_arg $ input_arg $ trace_kind
-           $ limit_arg))
+      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
+           $ trace_kind $ limit_arg))
 
 (* ---------------- slice ---------------- *)
 
@@ -193,7 +230,8 @@ let slice_cmd =
     in
     Arg.(value & opt (some int) None & info [ "output" ] ~docv:"K" ~doc)
   in
-  let action prog scale input k =
+  let action obs prog scale input k =
+    with_obs obs @@ fun () ->
     with_wet prog scale input (fun wet _ ->
         (* enumerate output instances in execution order *)
         let outs =
@@ -237,7 +275,9 @@ let slice_cmd =
   in
   Cmd.v
     (Cmd.info "slice" ~doc:"Compute a backward WET slice of an output value.")
-    Term.(ret (const action $ program_arg $ scale_arg $ input_arg $ output_arg))
+    Term.(
+      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
+           $ output_arg))
 
 (* ---------------- paths ---------------- *)
 
@@ -246,7 +286,8 @@ let paths_cmd =
     let doc = "Show the N hottest paths." in
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
   in
-  let action prog scale input top =
+  let action obs prog scale input top =
+    with_obs obs @@ fun () ->
     with_wet prog scale input (fun wet _ ->
         let nodes = Array.copy wet.W.nodes in
         Array.sort (fun a b -> compare b.W.n_nexec a.W.n_nexec) nodes;
@@ -271,7 +312,9 @@ let paths_cmd =
   in
   Cmd.v
     (Cmd.info "paths" ~doc:"Profile Ball-Larus paths (hot path mining).")
-    Term.(ret (const action $ program_arg $ scale_arg $ input_arg $ top_arg))
+    Term.(
+      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
+           $ top_arg))
 
 (* ---------------- build (persist a WET) ---------------- *)
 
@@ -280,7 +323,8 @@ let build_cmd =
     let doc = "Output path for the WET container." in
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let action prog scale input tier2 optimize out =
+  let action obs prog scale input tier2 optimize out =
+    with_obs obs @@ fun () ->
     with_program ~optimize prog scale input (fun p input label ->
         let res = Interp.run p ~input in
         let wet = Builder.build res.Interp.trace in
@@ -295,13 +339,14 @@ let build_cmd =
     (Cmd.info "build"
        ~doc:"Build a WET and save it to disk for later queries.")
     Term.(
-      ret (const action $ program_arg $ scale_arg $ input_arg $ tier2_arg
-           $ optimize_arg $ out_arg))
+      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
+           $ tier2_arg $ optimize_arg $ out_arg))
 
 (* ---------------- verify ---------------- *)
 
 let verify_cmd =
-  let action prog scale input tier2 =
+  let action obs prog scale input tier2 =
+    with_obs obs @@ fun () ->
     with_program prog scale input (fun p input label ->
         let res = Interp.run p ~input in
         let tr = res.Interp.trace in
@@ -335,7 +380,9 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:
         "Self-check: rebuild the WET and verify it regenerates the raw          trace exactly.")
-    Term.(ret (const action $ program_arg $ scale_arg $ input_arg $ tier2_arg))
+    Term.(
+      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
+           $ tier2_arg))
 
 (* ---------------- at (execution-point inspection) ---------------- *)
 
@@ -344,7 +391,8 @@ let at_cmd =
     let doc = "Global timestamp to inspect (default: the midpoint)." in
     Arg.(value & opt (some int) None & info [ "ts" ] ~docv:"T" ~doc)
   in
-  let action prog scale input ts =
+  let action obs prog scale input ts =
+    with_obs obs @@ fun () ->
     with_wet prog scale input (fun wet _ ->
         let total = wet.W.stats.W.path_execs in
         let ts = Option.value ts ~default:(max 1 (total / 2)) in
@@ -385,7 +433,9 @@ let at_cmd =
     (Cmd.info "at"
        ~doc:"Inspect an arbitrary execution point: location, control flow \
              and reconstructed global state.")
-    Term.(ret (const action $ program_arg $ scale_arg $ input_arg $ ts_arg))
+    Term.(
+      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
+           $ ts_arg))
 
 (* ---------------- dot ---------------- *)
 
@@ -396,7 +446,8 @@ let dot_cmd =
     Arg.(value & opt (enum [ ("nodes", `Nodes); ("slice", `Slice) ]) `Nodes
          & info [ "what" ] ~docv:"KIND" ~doc)
   in
-  let action prog scale input what =
+  let action obs prog scale input what =
+    with_obs obs @@ fun () ->
     with_wet prog scale input (fun wet _ ->
         match what with
         | `Nodes -> print_string (Wet_analyses.Dot_export.nodes wet)
@@ -412,7 +463,144 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Export WET structure as Graphviz.")
-    Term.(ret (const action $ program_arg $ scale_arg $ input_arg $ what_arg))
+    Term.(
+      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
+           $ what_arg))
+
+(* ---------------- profile ---------------- *)
+
+(* Run the whole pipeline under the observation sink — interpret, build
+   tier-1, pack tier-2, save/load a container, one query of every kind —
+   then print a phase/metric summary. [--metrics-out] / [--trace-out]
+   dump the raw data the summary is derived from. *)
+
+let profile_cmd =
+  let heartbeat_arg =
+    let doc =
+      "Emit a progress heartbeat (trace instant + stderr line) every \
+       $(docv) executed statements (0 = off)."
+    in
+    Arg.(value & opt int 0 & info [ "heartbeat" ] ~docv:"N" ~doc)
+  in
+  let phase_row name =
+    let evs = Wet_obs.Sink.events () in
+    match
+      List.find_opt
+        (fun (e : Wet_obs.Sink.event) ->
+          e.Wet_obs.Sink.ev_name = name && e.Wet_obs.Sink.ev_dur_ns <> None)
+        evs
+    with
+    | None -> None
+    | Some e ->
+      let dur_ms =
+        match e.Wet_obs.Sink.ev_dur_ns with
+        | Some d -> float_of_int d /. 1e6
+        | None -> 0.
+      in
+      let alloc_mw =
+        match List.assoc_opt "alloc_minor_words" e.Wet_obs.Sink.ev_attrs with
+        | Some (Wet_obs.Sink.Float w) -> w /. 1e6
+        | _ -> 0.
+      in
+      Some [ name; Printf.sprintf "%.2f" dur_ms; Printf.sprintf "%.2f" alloc_mw ]
+  in
+  let action obs prog scale input optimize heartbeat =
+    with_obs obs @@ fun () ->
+    Wet_obs.Sink.enable ();
+    Wet_obs.Metrics.reset ();
+    Wet_obs.Sink.heartbeat_every := heartbeat;
+    with_program ~optimize prog scale input (fun p input label ->
+        Wet_obs.Span.with_ "profile"
+          ~attrs:[ ("program", Wet_obs.Span.Str label) ]
+          (fun () ->
+            let res = Interp.run p ~input in
+            let w1 = Builder.build res.Interp.trace in
+            let w2 = Builder.pack w1 in
+            let tmp = Filename.temp_file "wet_profile" ".wet" in
+            Fun.protect
+              ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+              (fun () ->
+                Store.save w2 tmp;
+                ignore (Store.load tmp));
+            Wet_obs.Span.with_ "profile.queries" (fun () ->
+                Query.park w2 Query.Forward;
+                ignore (Query.control_flow w2 Query.Forward ~f:(fun _ _ -> ()));
+                ignore (Query.load_values w2 ~f:(fun _ _ -> ()));
+                ignore (Query.addresses w2 ~f:(fun _ _ -> ()));
+                match
+                  Query.copies_matching w2 (fun i -> Wet_ir.Instr.has_def i)
+                with
+                | c :: _ ->
+                  ignore
+                    (Slice.backward w2 c ((W.node_of_copy w2 c).W.n_nexec - 1))
+                | [] -> ()));
+        (* phase summary, derived from the recorded spans *)
+        let rows =
+          List.filter_map phase_row
+            [
+              "interp.run"; "build.tier1"; "build.tier2"; "store.save";
+              "store.load"; "profile.queries"; "profile";
+            ]
+        in
+        Table.print
+          ~title:(Printf.sprintf "Pipeline phases (%s)." label)
+          ~align:Table.[ Left; Right; Right ]
+          ~header:[ "Phase"; "Wall (ms)"; "Minor alloc (Mwords)" ]
+          rows;
+        (* tier-2 method selection, derived from the metrics registry *)
+        let snapshot = Wet_obs.Metrics.snapshot () in
+        let counter_value name =
+          match List.assoc_opt name snapshot with
+          | Some (Wet_obs.Metrics.Counter v) -> v
+          | _ -> 0
+        in
+        let method_rows =
+          List.filter_map
+            (fun (name, reading) ->
+              match reading with
+              | Wet_obs.Metrics.Counter streams
+                when String.length name > 12
+                     && String.sub name 0 12 = "pack.method."
+                     && Filename.check_suffix name ".streams" ->
+                let meth =
+                  String.sub name 12 (String.length name - 12 - 8)
+                in
+                let saved =
+                  counter_value ("pack.method." ^ meth ^ ".bits_saved")
+                in
+                Some
+                  [
+                    meth;
+                    string_of_int streams;
+                    Printf.sprintf "%.3f" (float_of_int saved /. 8. /. 1024. /. 1024.);
+                  ]
+              | _ -> None)
+            snapshot
+        in
+        if method_rows <> [] then
+          Table.print
+            ~title:
+              "Tier-2 per-stream method selection (streams won, MB saved vs \
+               raw)."
+            ~align:Table.[ Left; Right; Right ]
+            ~header:[ "Method"; "Streams"; "MB saved" ]
+            method_rows;
+        Printf.printf
+          "%s: %d statements, %d path nodes, %d/%d streams left raw by \
+           tier-2 selection\n"
+          label (counter_value "interp.stmts")
+          (counter_value "build.intern.misses")
+          (counter_value "pack.method.raw.streams")
+          (counter_value "pack.streams"))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the full pipeline under the observability sink and report \
+          per-phase wall/allocation numbers and pipeline metrics.")
+    Term.(
+      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
+           $ optimize_arg $ heartbeat_arg))
 
 (* ---------------- benchmarks ---------------- *)
 
@@ -444,5 +632,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; stats_cmd; trace_cmd; slice_cmd; paths_cmd; at_cmd;
-            build_cmd; verify_cmd; dot_cmd; benchmarks_cmd;
+            build_cmd; verify_cmd; dot_cmd; profile_cmd; benchmarks_cmd;
           ]))

@@ -49,6 +49,55 @@ type proto = {
 
 module IntSet = Set.Make (Int)
 
+(* ------------------------------------------------------------------ *)
+(* Observability: tier-1 construction and tier-2 packing counters.    *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Wet_obs.Metrics
+
+let c_intern_misses = Obs.counter "build.intern.misses"
+
+let c_intern_hits = Obs.counter "build.intern.hits"
+
+let c_label_records = Obs.counter "build.labels.records"
+
+let c_label_dedup_hits = Obs.counter "build.labels.dedup_hits"
+
+let c_label_shared_values = Obs.counter "build.labels.shared_values"
+
+let c_groups = Obs.counter "build.groups.count"
+
+let c_group_members = Obs.counter "build.groups.members"
+
+let c_group_uniq = Obs.counter "build.groups.unique_tuples"
+
+let c_group_pattern = Obs.counter "build.groups.pattern_entries"
+
+let c_pack_streams = Obs.counter "pack.streams"
+
+let c_pack_bits_raw = Obs.counter "pack.bits_raw"
+
+let c_pack_bits_packed = Obs.counter "pack.bits_packed"
+
+let h_pack_stream_len = Obs.histogram "pack.stream_values"
+
+(* Per-stream method selection — the data behind the paper's tier-2
+   "Selection" evaluation: one streams/bits_saved counter pair per
+   (method, ctx) the selector actually picked. *)
+let note_packed_stream raw_len s =
+  if Obs.enabled () then begin
+    let m = Wet_bistream.Stream.method_name s in
+    let raw_bits = 32 * raw_len in
+    Obs.incr c_pack_streams;
+    Obs.add c_pack_bits_raw raw_bits;
+    Obs.add c_pack_bits_packed (Wet_bistream.Stream.bits s);
+    Obs.observe h_pack_stream_len raw_len;
+    Obs.incr (Obs.counter ("pack.method." ^ m ^ ".streams"));
+    Obs.add
+      (Obs.counter ("pack.method." ^ m ^ ".bits_saved"))
+      (max 0 (raw_bits - Wet_bistream.Stream.bits s))
+  end
+
 (* Analyse the statically known structure of a path: which register
    slots are fed from inside the path, and the input groups (§3.2). *)
 let make_proto ~next_slot ~analysis ~id ~copy_base func path =
@@ -299,7 +348,7 @@ let slot_event st gid ~inst ~pcopy ~pinst ~local =
 
 let raw arr = Stream.compress_with `Raw arr
 
-let build (trace : T.t) : Wet.t =
+let build_tier1 (trace : T.t) : Wet.t =
   let analysis = trace.T.analysis in
   let prog = analysis.PA.program in
   let proto_list = ref [] in
@@ -512,6 +561,7 @@ let build (trace : T.t) : Wet.t =
     with
     | Some (_, _, labels) ->
       shared_label_values := !shared_label_values + Array.length dst;
+      Obs.incr c_label_dedup_hits;
       labels
     | None ->
       let labels =
@@ -634,6 +684,26 @@ let build (trace : T.t) : Wet.t =
                 finalize_slot p (p.p_slot_base.(o) + s) ~dst_copy:c ~slot:s))
         p.p_stmts)
     protos;
+  if Obs.enabled () then begin
+    Obs.add c_intern_misses !nprotos;
+    Obs.add c_intern_hits (Array.length trace.T.paths - !nprotos);
+    Obs.add c_label_records !next_label;
+    Obs.add c_label_shared_values !shared_label_values;
+    Array.iter
+      (fun p ->
+        Array.iter
+          (fun g ->
+            Obs.incr c_groups;
+            Obs.add c_group_members (Array.length g.pg_members);
+            Obs.add c_group_uniq
+              (if Array.length g.pg_sources = 0 then 1
+               else Hashtbl.length g.pg_tuples);
+            Obs.add c_group_pattern (Dyn.length g.pg_pattern))
+          p.p_groups)
+      protos;
+    Wet_obs.Span.set_attr "stmts" (Wet_obs.Span.Int trace.T.nstmts);
+    Wet_obs.Span.set_attr "nodes" (Wet_obs.Span.Int !nprotos)
+  end;
   let stats =
     {
       Wet.stmts_executed = trace.T.nstmts;
@@ -664,13 +734,20 @@ let build (trace : T.t) : Wet.t =
     tier = `Tier1;
   }
 
+let build trace = Wet_obs.Span.with_ "build.tier1" (fun () -> build_tier1 trace)
+
 (* ------------------------------------------------------------------ *)
 (* Tier 2                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let pack (w : Wet.t) : Wet.t =
+let pack_tier2 (w : Wet.t) : Wet.t =
   if w.Wet.tier = `Tier2 then invalid_arg "Builder.pack: already packed";
-  let pack_seq s = Stream.compress (Stream.to_array s) in
+  let pack_seq s =
+    let arr = Stream.to_array s in
+    let s' = Stream.compress arr in
+    note_packed_stream (Array.length arr) s';
+    s'
+  in
   let label_memo = Hashtbl.create 1024 in
   let pack_labels (l : Wet.labels) =
     match Hashtbl.find_opt label_memo l.Wet.l_id with
@@ -725,6 +802,8 @@ let pack (w : Wet.t) : Wet.t =
     copy_remote_out = Array.map (List.map pack_edge) w.Wet.copy_remote_out;
     tier = `Tier2;
   }
+
+let pack w = Wet_obs.Span.with_ "build.tier2" (fun () -> pack_tier2 w)
 
 let of_program prog ~input =
   let res = Wet_interp.Interp.run prog ~input in

@@ -1,6 +1,13 @@
 module Stream = Wet_bistream.Stream
 module Instr = Wet_ir.Instr
 
+(* Query latency histograms (log-scale nanoseconds). *)
+let h_control_flow = Wet_obs.Metrics.histogram "query.control_flow_ns"
+
+let h_load_values = Wet_obs.Metrics.histogram "query.load_values_ns"
+
+let h_addresses = Wet_obs.Metrics.histogram "query.addresses_ns"
+
 type direction = Forward | Backward
 
 let park (t : Wet.t) dir =
@@ -20,6 +27,7 @@ let emit_blocks_rev f (n : Wet.node) =
   done
 
 let control_flow (t : Wet.t) dir ~f =
+  Wet_obs.Metrics.time h_control_flow @@ fun () ->
   let total = t.Wet.stats.Wet.path_execs in
   let blocks = ref 0 in
   if total > 0 then begin
@@ -145,6 +153,7 @@ let control_flow_from (t : Wet.t) ~start_ts ~steps ~f =
     !blocks
 
 let load_values (t : Wet.t) ~f =
+  Wet_obs.Metrics.time h_load_values @@ fun () ->
   let loads =
     copies_matching t (function Instr.Load _ -> true | _ -> false)
   in
@@ -160,6 +169,7 @@ let load_values (t : Wet.t) ~f =
   !count
 
 let addresses (t : Wet.t) ~f =
+  Wet_obs.Metrics.time h_addresses @@ fun () ->
   let mems = copies_matching t Instr.is_memory in
   let count = ref 0 in
   List.iter

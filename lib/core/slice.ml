@@ -1,6 +1,13 @@
 module Stream = Wet_bistream.Stream
 module Instr = Wet_ir.Instr
 
+(* Slice latency histograms (log-scale nanoseconds). *)
+let h_backward = Wet_obs.Metrics.histogram "slice.backward_ns"
+
+let h_forward = Wet_obs.Metrics.histogram "slice.forward_ns"
+
+let h_chop = Wet_obs.Metrics.histogram "slice.chop_ns"
+
 type result = {
   instances : int;
   copies : int;
@@ -46,6 +53,7 @@ let walk ~max_instances ~f (t : Wet.t) c0 i0 ~expand =
   }
 
 let backward ?max_instances ?f (t : Wet.t) c0 i0 =
+  Wet_obs.Metrics.time h_backward @@ fun () ->
   let expand c i push =
     let nslots = Array.length t.Wet.copy_deps.(c) in
     for s = 0 to nslots - 1 do
@@ -60,6 +68,7 @@ let backward ?max_instances ?f (t : Wet.t) c0 i0 =
   walk ~max_instances ~f t c0 i0 ~expand
 
 let forward ?max_instances ?f (t : Wet.t) c0 i0 =
+  Wet_obs.Metrics.time h_forward @@ fun () ->
   let expand c i push =
     List.iter (fun cc -> push cc i) t.Wet.copy_local_out.(c);
     List.iter
@@ -76,6 +85,7 @@ let forward ?max_instances ?f (t : Wet.t) c0 i0 =
   walk ~max_instances ~f t c0 i0 ~expand
 
 let chop ?max_instances ?f (t : Wet.t) ~source ~sink =
+  Wet_obs.Metrics.time h_chop @@ fun () ->
   let sc, si = source and kc, ki = sink in
   let fwd = Hashtbl.create 256 in
   ignore (forward ?max_instances t sc si ~f:(fun c i -> Hashtbl.replace fwd (c, i) ()));

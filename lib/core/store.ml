@@ -9,29 +9,45 @@ let magic = "WETOCaml"
 
 let version = 1
 
+let c_bytes_written = Wet_obs.Metrics.counter "store.bytes_written"
+
+let c_bytes_read = Wet_obs.Metrics.counter "store.bytes_read"
+
 let save (w : Wet.t) path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
+  Wet_obs.Span.with_ "store.save"
+    ~attrs:[ ("path", Wet_obs.Span.Str path) ]
     (fun () ->
-      output_string oc magic;
-      output_binary_int oc version;
-      Marshal.to_channel oc w [])
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc magic;
+          output_binary_int oc version;
+          Marshal.to_channel oc w [];
+          let bytes = pos_out oc in
+          Wet_obs.Metrics.add c_bytes_written bytes;
+          Wet_obs.Span.set_attr "bytes" (Wet_obs.Span.Int bytes)))
 
 let load path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
+  Wet_obs.Span.with_ "store.load"
+    ~attrs:[ ("path", Wet_obs.Span.Str path) ]
     (fun () ->
-      let tag =
-        try really_input_string ic (String.length magic)
-        with End_of_file -> ""
-      in
-      if not (String.equal tag magic) then
-        invalid_arg (path ^ ": not a WET container");
-      let v = input_binary_int ic in
-      if v <> version then
-        invalid_arg
-          (Printf.sprintf "%s: WET container version %d, expected %d" path v
-             version);
-      (Marshal.from_channel ic : Wet.t))
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let bytes = in_channel_length ic in
+          Wet_obs.Metrics.add c_bytes_read bytes;
+          Wet_obs.Span.set_attr "bytes" (Wet_obs.Span.Int bytes);
+          let tag =
+            try really_input_string ic (String.length magic)
+            with End_of_file -> ""
+          in
+          if not (String.equal tag magic) then
+            invalid_arg (path ^ ": not a WET container");
+          let v = input_binary_int ic in
+          if v <> version then
+            invalid_arg
+              (Printf.sprintf "%s: WET container version %d, expected %d" path
+                 v version);
+          (Marshal.from_channel ic : Wet.t)))

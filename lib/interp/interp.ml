@@ -7,6 +7,28 @@ exception Runtime_error of string
 
 exception Halted
 
+(* Observability: whole-run counters (filled once per run from the
+   recorded streams, so the hot loop pays nothing) and an optional
+   heartbeat every [Wet_obs.Sink.heartbeat_every] statements. *)
+let c_stmts = Wet_obs.Metrics.counter "interp.stmts"
+
+let c_blocks = Wet_obs.Metrics.counter "interp.block_execs"
+
+let c_paths = Wet_obs.Metrics.counter "interp.path_execs"
+
+let c_deps = Wet_obs.Metrics.counter "interp.dep_events"
+
+let c_outputs = Wet_obs.Metrics.counter "interp.outputs"
+
+(* Last heartbeat position: a live progress gauge for long runs. *)
+let g_heartbeat = Wet_obs.Metrics.gauge "interp.heartbeat_stmts"
+
+let heartbeat pos =
+  Wet_obs.Metrics.set g_heartbeat pos;
+  Wet_obs.Span.instant "interp.heartbeat"
+    ~attrs:[ ("stmts", Wet_obs.Span.Int pos) ];
+  Wet_obs.Log.progress "interp: %d statements" pos
+
 type result = {
   trace : Trace.t;
   outputs : int array;
@@ -39,6 +61,7 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
   let mem_ops = Dyn.create () in
   let outputs = Dyn.create () in
   let pos = ref 0 in
+  let hb = !Wet_obs.Sink.heartbeat_every in
   let input_ix = ref 0 in
   let next_input () =
     if !input_ix >= Array.length input then fail "input stream exhausted"
@@ -91,6 +114,7 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
       let n = Array.length instrs in
       let begin_stmt ins =
         if !pos >= max_stmts then fail "statement budget exceeded (%d)" max_stmts;
+        if hb > 0 && !pos > 0 && !pos mod hb = 0 then heartbeat !pos;
         if record then
           List.iter (fun r -> Dyn.push deps shadow.(r)) (Instr.uses ins)
       in
@@ -261,11 +285,21 @@ let run ?(max_stmts = 2_000_000_000) ?(interprocedural_cd = false) ?analysis
   let analysis =
     match analysis with Some a -> a | None -> PA.of_program prog
   in
-  let trace, outputs, stmts_executed =
-    execute ~record:true ~inter_cd:interprocedural_cd ~max_stmts ~analysis
-      prog ~input
-  in
-  { trace; outputs; stmts_executed }
+  Wet_obs.Span.with_ "interp.run" (fun () ->
+      let trace, outputs, stmts_executed =
+        execute ~record:true ~inter_cd:interprocedural_cd ~max_stmts ~analysis
+          prog ~input
+      in
+      let open Wet_obs.Metrics in
+      add c_stmts stmts_executed;
+      add c_blocks (Array.length trace.Trace.blocks);
+      add c_paths (Array.length trace.Trace.paths);
+      add c_deps (Array.length trace.Trace.deps);
+      add c_outputs (Array.length outputs);
+      Wet_obs.Span.set_attr "stmts" (Wet_obs.Span.Int stmts_executed);
+      Wet_obs.Span.set_attr "paths"
+        (Wet_obs.Span.Int (Array.length trace.Trace.paths));
+      { trace; outputs; stmts_executed })
 
 let outputs_only ?(max_stmts = 2_000_000_000) prog ~input =
   let analysis = PA.of_program prog in

@@ -10,10 +10,19 @@ type t = {
   nstmts : int;
 }
 
-(* 20 bits of function id, 41 bits of path/block id. *)
+(* 22 bits of function id, 41 bits of path/block id (OCaml ints are
+   63-bit here). Encoding an id outside its field would silently corrupt
+   neighbouring bits, so both are bounds-checked. *)
 let shift = 41
 
-let encode_path f id = (f lsl shift) lor id
+let max_func = (1 lsl (63 - shift)) - 1
+
+let max_id = (1 lsl shift) - 1
+
+let encode_path f id =
+  assert (f >= 0 && f <= max_func);
+  assert (id >= 0 && id <= max_id);
+  (f lsl shift) lor id
 
 let decode_path e = (e lsr shift, e land ((1 lsl shift) - 1))
 

@@ -1,0 +1,5 @@
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let to_s ns = float_of_int ns /. 1e9
+
+let to_us ns = float_of_int ns /. 1e3

@@ -1,0 +1,14 @@
+(** Monotonic time base for all observability hooks.
+
+    Backed by [CLOCK_MONOTONIC] (the tiny C stub shipped with bechamel),
+    so span durations are immune to wall-clock adjustments. All times in
+    this library are integer nanoseconds from an arbitrary origin. *)
+
+(** Current monotonic time in nanoseconds. *)
+val now_ns : unit -> int
+
+(** Nanoseconds to seconds. *)
+val to_s : int -> float
+
+(** Nanoseconds to microseconds (Chrome trace events use microseconds). *)
+val to_us : int -> float

@@ -1,0 +1,21 @@
+(** Serialising the sink's state: a JSONL metrics dump and a Chrome
+    trace-event file.
+
+    The Chrome format is the JSON object form ([{"traceEvents": [...]}])
+    with complete events ([ph = "X"]) for spans and instant events
+    ([ph = "i"]) for heartbeats, loadable in [chrome://tracing] and
+    Perfetto. Timestamps are microseconds relative to the last
+    {!Sink.enable}. *)
+
+(** One JSON object per registered instrument, one per line, sorted by
+    name: [{"type":"counter","name":...,"value":...}],
+    [{"type":"gauge",...}] and [{"type":"histogram","name":...,"count":
+    ...,"sum":...,"min":...,"max":...,"buckets":[{"lo":..,"hi":..,
+    "count":..},...]}]. *)
+val metrics_jsonl : unit -> string
+
+(** The full trace-event JSON document for {!Sink.events}. *)
+val chrome_trace : unit -> string
+
+val write_metrics_jsonl : string -> unit
+val write_chrome_trace : string -> unit

@@ -1,0 +1,6 @@
+let quiet = ref false
+
+let progress fmt =
+  Printf.ksprintf
+    (fun s -> if not !quiet then Printf.eprintf "[wet] %s\n%!" s)
+    fmt

@@ -1,0 +1,9 @@
+(** Progress lines on stderr — the one place the pipeline and the bench
+    harness narrate from, replacing ad-hoc [eprintf] helpers. *)
+
+(** Suppress all progress output (default [false]). *)
+val quiet : bool ref
+
+(** [progress "measuring %s" name] prints "[wet] measuring ..." on
+    stderr and flushes. *)
+val progress : ('a, unit, string, unit) format4 -> 'a

@@ -1,0 +1,161 @@
+type counter = { mutable c_value : int }
+
+type gauge = { mutable g_value : int }
+
+type histogram = {
+  buckets : int array;  (* 64 log2 buckets *)
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let enabled () = !Sink.enabled
+
+let kind_name = function
+  | C _ -> "counter"
+  | G _ -> "gauge"
+  | H _ -> "histogram"
+
+let intern name make check =
+  match Hashtbl.find_opt registry name with
+  | Some i -> (
+    match check i with
+    | Some x -> x
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Wet_obs.Metrics: %s already registered as a %s" name
+           (kind_name i)))
+  | None ->
+    let x, i = make () in
+    Hashtbl.replace registry name i;
+    x
+
+let counter name =
+  intern name
+    (fun () ->
+      let c = { c_value = 0 } in
+      (c, C c))
+    (function C c -> Some c | _ -> None)
+
+let add c n = if !Sink.enabled then c.c_value <- c.c_value + n
+
+let incr c = add c 1
+
+let value c = c.c_value
+
+let gauge name =
+  intern name
+    (fun () ->
+      let g = { g_value = 0 } in
+      (g, G g))
+    (function G g -> Some g | _ -> None)
+
+let set g v = if !Sink.enabled then g.g_value <- v
+
+let gauge_value g = g.g_value
+
+let histogram name =
+  intern name
+    (fun () ->
+      let h =
+        {
+          buckets = Array.make 64 0;
+          count = 0;
+          sum = 0;
+          min_v = max_int;
+          max_v = min_int;
+        }
+      in
+      (h, H h))
+    (function H h -> Some h | _ -> None)
+
+(* Bucket 0: v <= 0; bucket b >= 1: 2^(b-1) <= v < 2^b. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and x = ref v in
+    while !x > 0 do
+      b := !b + 1;
+      x := !x lsr 1
+    done;
+    !b
+  end
+
+let observe h v =
+  if !Sink.enabled then begin
+    h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum + v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v
+  end
+
+let time h f =
+  if !Sink.enabled then begin
+    let t0 = Clock.now_ns () in
+    match f () with
+    | x ->
+      observe h (Clock.now_ns () - t0);
+      x
+    | exception e ->
+      observe h (Clock.now_ns () - t0);
+      raise e
+  end
+  else f ()
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;
+  h_max : int;
+  h_buckets : (int * int) list;
+}
+
+type reading =
+  | Counter of int
+  | Gauge of int
+  | Histogram of hist_snapshot
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name i acc ->
+      let reading =
+        match i with
+        | C c -> Counter c.c_value
+        | G g -> Gauge g.g_value
+        | H h ->
+          let bs = ref [] in
+          for b = 63 downto 0 do
+            if h.buckets.(b) > 0 then bs := (b, h.buckets.(b)) :: !bs
+          done;
+          Histogram
+            {
+              h_count = h.count;
+              h_sum = h.sum;
+              h_min = h.min_v;
+              h_max = h.max_v;
+              h_buckets = !bs;
+            }
+      in
+      (name, reading) :: acc)
+    registry []
+  |> List.sort compare
+
+let reset () =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | C c -> c.c_value <- 0
+      | G g -> g.g_value <- 0
+      | H h ->
+        Array.fill h.buckets 0 64 0;
+        h.count <- 0;
+        h.sum <- 0;
+        h.min_v <- max_int;
+        h.max_v <- min_int)
+    registry

@@ -1,0 +1,30 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  ev_name : string;
+  ev_ts_ns : int;
+  ev_dur_ns : int option;
+  ev_depth : int;
+  ev_attrs : (string * value) list;
+}
+
+let enabled = ref false
+
+let epoch = ref 0
+
+let buffer : event list ref = ref []
+
+let enable () =
+  buffer := [];
+  epoch := Clock.now_ns ();
+  enabled := true
+
+let disable () = enabled := false
+
+let epoch_ns () = !epoch
+
+let record ev = buffer := ev :: !buffer
+
+let events () = List.rev !buffer
+
+let heartbeat_every = ref 0

@@ -1,0 +1,46 @@
+(** The global observation sink.
+
+    Every instrumentation hook in the pipeline is guarded by the single
+    {!enabled} flag: with no sink installed a hook costs one load and a
+    conditional branch, so instrumented code paths run at full speed.
+    {!enable} arms the whole library — metric mutations start taking
+    effect and spans start accumulating trace events in an in-memory
+    buffer that {!Export} serialises. *)
+
+(** Attribute values attached to spans and events. *)
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  ev_name : string;
+  ev_ts_ns : int;  (** monotonic start time *)
+  ev_dur_ns : int option;  (** [Some] for spans, [None] for instants *)
+  ev_depth : int;  (** span-stack depth at emission (0 = root) *)
+  ev_attrs : (string * value) list;
+}
+
+(** Master switch, read directly by the hooks. Prefer {!enable} /
+    {!disable} over writing it, so the event buffer stays consistent. *)
+val enabled : bool ref
+
+(** Arm the sink: clears the event buffer, stamps a fresh time origin
+    and sets {!enabled}. Metric values are left untouched (use
+    {!Metrics.reset} for a clean slate). *)
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+(** Monotonic time at the last {!enable} — the origin Chrome-trace
+    timestamps are made relative to. *)
+val epoch_ns : unit -> int
+
+(** Append an event (no-op when disabled; the hooks check first). *)
+val record : event -> unit
+
+(** All events recorded since {!enable}, in emission order. Spans are
+    emitted when they close, so a parent appears after its children. *)
+val events : unit -> event list
+
+(** Emit a heartbeat every N statement executions inside
+    {!Wet_interp.Interp.run} (0, the default, turns the heartbeat off).
+    Read once per run, so set it before calling the interpreter. *)
+val heartbeat_every : int ref

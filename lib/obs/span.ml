@@ -1,0 +1,72 @@
+type value = Sink.value = Int of int | Float of float | Str of string | Bool of bool
+
+type frame = { fr_name : string; mutable fr_attrs : (string * value) list }
+
+let stack : frame list ref = ref []
+
+let depth () = List.length !stack
+
+let set_attr key v =
+  if !Sink.enabled then
+    match !stack with
+    | fr :: _ -> fr.fr_attrs <- (key, v) :: fr.fr_attrs
+    | [] -> ()
+
+(* [Gc.minor_words ()] reads the allocation pointer, so it is exact even
+   between collections; [quick_stat]'s major/promoted counters only
+   advance at GC slices, which is accurate enough for phase-sized
+   spans. *)
+let gc_attrs mw0 (g0 : Gc.stat) mw1 (g1 : Gc.stat) =
+  [
+    ("alloc_minor_words", Float (mw1 -. mw0));
+    ("alloc_major_words", Float (g1.Gc.major_words -. g0.Gc.major_words));
+    ("promoted_words", Float (g1.Gc.promoted_words -. g0.Gc.promoted_words));
+  ]
+
+let with_ ?(attrs = []) name f =
+  if not !Sink.enabled then f ()
+  else begin
+    let d = depth () in
+    let fr = { fr_name = name; fr_attrs = attrs } in
+    stack := fr :: !stack;
+    let mw0 = Gc.minor_words () in
+    let g0 = Gc.quick_stat () in
+    let t0 = Clock.now_ns () in
+    let close () =
+      let t1 = Clock.now_ns () in
+      let mw1 = Gc.minor_words () in
+      let g1 = Gc.quick_stat () in
+      (match !stack with _ :: rest -> stack := rest | [] -> ());
+      Sink.record
+        {
+          Sink.ev_name = fr.fr_name;
+          ev_ts_ns = t0;
+          ev_dur_ns = Some (t1 - t0);
+          ev_depth = d;
+          ev_attrs = List.rev fr.fr_attrs @ gc_attrs mw0 g0 mw1 g1;
+        }
+    in
+    match f () with
+    | x ->
+      close ();
+      x
+    | exception e ->
+      close ();
+      raise e
+  end
+
+let timed name f =
+  let t0 = Clock.now_ns () in
+  let x = with_ name f in
+  (x, Clock.to_s (Clock.now_ns () - t0))
+
+let instant ?(attrs = []) name =
+  if !Sink.enabled then
+    Sink.record
+      {
+        Sink.ev_name = name;
+        ev_ts_ns = Clock.now_ns ();
+        ev_dur_ns = None;
+        ev_depth = depth ();
+        ev_attrs = attrs;
+      }

@@ -1,0 +1,33 @@
+(** Monotonic-clock spans over pipeline phases.
+
+    A span measures one phase ([Span.with_ "build.tier1" f]); spans nest
+    through a thread of dynamic extent (a global stack), and each closed
+    span records a {!Sink.event} carrying wall time, minor/major
+    allocation deltas ([Gc.minor_words] for exact minor allocation,
+    [Gc.quick_stat] for major/promoted), and any attributes attached
+    by the caller or by {!set_attr} while the span was open.
+
+    When no sink is installed, [with_] is one flag check followed by a
+    direct call of [f] — safe to leave in hot paths. *)
+
+type value = Sink.value = Int of int | Float of float | Str of string | Bool of bool
+
+(** [with_ name f] runs [f] inside a span. The span closes (and its
+    event is recorded) whether [f] returns or raises. *)
+val with_ : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+
+(** [timed name f] is [with_ name f] plus the span's wall-clock seconds,
+    measured whether or not a sink is installed — the bench harness's
+    replacement for hand-rolled [Unix.gettimeofday] pairs. *)
+val timed : string -> (unit -> 'a) -> 'a * float
+
+(** Attach an attribute to the innermost open span (ignored when
+    disabled or outside any span). *)
+val set_attr : string -> value -> unit
+
+(** A zero-duration point event at the current span depth (heartbeats,
+    milestones). *)
+val instant : ?attrs:(string * value) list -> string -> unit
+
+(** Current nesting depth (0 outside all spans). *)
+val depth : unit -> int
