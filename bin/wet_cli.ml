@@ -93,9 +93,87 @@ let with_obs (metrics_out, trace_out) f =
     Wet_obs.Metrics.reset ()
   end;
   let r = f () in
-  Option.iter Wet_obs.Export.write_metrics_jsonl metrics_out;
-  Option.iter Wet_obs.Export.write_chrome_trace trace_out;
-  r
+  (* An unwritable output path is a user error, not a crash. *)
+  try
+    Option.iter Wet_obs.Export.write_metrics_jsonl metrics_out;
+    Option.iter Wet_obs.Export.write_chrome_trace trace_out;
+    r
+  with Sys_error m ->
+    `Error (false, "cannot write observability output: " ^ m)
+
+(* ---------------- query explain ---------------- *)
+
+module Explain = Wet_watch.Explain
+
+let explain_arg =
+  let doc =
+    "Arm query-explain: after the command's queries run, report which \
+     compressed label streams they touched, in which directions, and how \
+     many decompression steps each cost."
+  in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
+let print_explain () =
+  let r = Explain.report () in
+  if r.Explain.r_streams = [] then
+    print_endline "explain: no compressed streams touched"
+  else begin
+    let queries =
+      List.fold_left
+        (fun acc q -> if List.mem q acc then acc else q :: acc)
+        [] r.Explain.r_queries
+      |> List.rev
+    in
+    let kind_rows =
+      List.map
+        (fun (kind, (streams, fwd, bwd, seeks, switches)) ->
+          [
+            kind; string_of_int streams; string_of_int fwd;
+            string_of_int bwd; string_of_int seeks; string_of_int switches;
+          ])
+        (Explain.by_kind r)
+    in
+    Table.print
+      ~title:
+        (Printf.sprintf "Query explain: %s (%d streams, %d steps)."
+           (String.concat ", " queries)
+           (List.length r.Explain.r_streams)
+           (Explain.total_steps r))
+      ~align:Table.[ Left; Right; Right; Right; Right; Right ]
+      ~header:
+        [ "Stream kind"; "Streams"; "Fwd"; "Bwd"; "Seeks"; "Dir switches" ]
+      kind_rows;
+    let busiest =
+      List.sort
+        (fun a b -> compare (Explain.steps b) (Explain.steps a))
+        r.Explain.r_streams
+    in
+    let rows =
+      List.filteri (fun i _ -> i < 5) busiest
+      |> List.map (fun (s : Explain.stream_stats) ->
+             [
+               Explain.stream_name s.Explain.e_stream;
+               string_of_int (Explain.steps s);
+               string_of_int s.Explain.e_fwd;
+               string_of_int s.Explain.e_bwd;
+               string_of_int s.Explain.e_seeks;
+               string_of_int s.Explain.e_switches;
+             ])
+    in
+    Table.print ~title:"Busiest streams."
+      ~align:Table.[ Left; Right; Right; Right; Right; Right ]
+      ~header:[ "Stream"; "Steps"; "Fwd"; "Bwd"; "Seeks"; "Dir switches" ]
+      rows
+  end
+
+let with_explain explain f =
+  if not explain then f ()
+  else begin
+    Explain.arm ();
+    let r = Fun.protect ~finally:Explain.disarm f in
+    print_explain ();
+    r
+  end
 
 (* ---------------- arguments ---------------- *)
 
@@ -186,8 +264,9 @@ let limit_arg =
   Arg.(value & opt int 50 & info [ "limit" ] ~docv:"N" ~doc)
 
 let trace_cmd =
-  let action obs prog scale input kind limit =
+  let action obs explain prog scale input kind limit =
     with_obs obs @@ fun () ->
+    with_explain explain @@ fun () ->
     with_wet prog scale input (fun wet _ ->
         let printed = ref 0 in
         let emit fmt =
@@ -217,8 +296,8 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"Extract a control-flow, load-value or address trace from the WET.")
     Term.(
-      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
-           $ trace_kind $ limit_arg))
+      ret (const action $ obs_term $ explain_arg $ program_arg $ scale_arg
+           $ input_arg $ trace_kind $ limit_arg))
 
 (* ---------------- slice ---------------- *)
 
@@ -230,8 +309,9 @@ let slice_cmd =
     in
     Arg.(value & opt (some int) None & info [ "output" ] ~docv:"K" ~doc)
   in
-  let action obs prog scale input k =
+  let action obs explain prog scale input k =
     with_obs obs @@ fun () ->
+    with_explain explain @@ fun () ->
     with_wet prog scale input (fun wet _ ->
         (* enumerate output instances in execution order *)
         let outs =
@@ -276,8 +356,8 @@ let slice_cmd =
   Cmd.v
     (Cmd.info "slice" ~doc:"Compute a backward WET slice of an output value.")
     Term.(
-      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
-           $ output_arg))
+      ret (const action $ obs_term $ explain_arg $ program_arg $ scale_arg
+           $ input_arg $ output_arg))
 
 (* ---------------- paths ---------------- *)
 
@@ -391,8 +471,9 @@ let at_cmd =
     let doc = "Global timestamp to inspect (default: the midpoint)." in
     Arg.(value & opt (some int) None & info [ "ts" ] ~docv:"T" ~doc)
   in
-  let action obs prog scale input ts =
+  let action obs explain prog scale input ts =
     with_obs obs @@ fun () ->
+    with_explain explain @@ fun () ->
     with_wet prog scale input (fun wet _ ->
         let total = wet.W.stats.W.path_execs in
         let ts = Option.value ts ~default:(max 1 (total / 2)) in
@@ -434,8 +515,8 @@ let at_cmd =
        ~doc:"Inspect an arbitrary execution point: location, control flow \
              and reconstructed global state.")
     Term.(
-      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
-           $ ts_arg))
+      ret (const action $ obs_term $ explain_arg $ program_arg $ scale_arg
+           $ input_arg $ ts_arg))
 
 (* ---------------- dot ---------------- *)
 
@@ -602,10 +683,175 @@ let profile_cmd =
       ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
            $ optimize_arg $ heartbeat_arg))
 
+(* ---------------- watch ---------------- *)
+
+let watch_cmd =
+  let module Watch = Wet_watch.Watch in
+  let module Event = Wet_watch.Event in
+  let module Ring = Wet_watch.Ring in
+  let filter_arg =
+    let doc =
+      "Filter specification, e.g. 'store & fn=main & addr in \
+       [0x100,0x1ff]'. Kinds: entry def use load store call; atoms: \
+       fn=NAME, block=N, val=N, val in [a,b], addr=N, addr in [a,b]; \
+       combinators: '&' '|' '!' parentheses and 'any'."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "filter" ] ~docv:"SPEC" ~doc)
+  in
+  let ring_arg =
+    let doc =
+      "Flight-recorder capacity: retain the last $(docv) recorded matches."
+    in
+    Arg.(value & opt int 16 & info [ "ring" ] ~docv:"N" ~doc)
+  in
+  let sample_arg =
+    let doc = "Record only one in $(docv) matches." in
+    Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"N" ~doc)
+  in
+  let stop_arg =
+    let doc =
+      "Watchpoint: remember the $(docv)-th match's global timestamp and \
+       locate it in the built WET."
+    in
+    Arg.(value & opt (some int) None & info [ "stop-at" ] ~docv:"K" ~doc)
+  in
+  let count_arg =
+    let doc = "Count matches only (no flight recorder)." in
+    Arg.(value & flag & info [ "count-only" ] ~doc)
+  in
+  let jsonl_arg =
+    let doc = "Export the retained matching events as JSON lines to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc)
+  in
+  let action obs prog scale input optimize fspec ring sample stop count_only
+      jsonl =
+    with_obs obs @@ fun () ->
+    match Wet_watch.Spec.parse fspec with
+    | Error m -> `Error (false, "bad --filter: " ^ m)
+    | Ok filter -> (
+      let act =
+        match (count_only, stop, sample) with
+        | true, None, None -> Ok Watch.Count
+        | false, Some k, None -> Ok (Watch.Stop_at k)
+        | false, None, Some n -> Ok (Watch.Sample n)
+        | false, None, None -> Ok Watch.Capture
+        | _ ->
+          Error "--count-only, --sample and --stop-at are mutually exclusive"
+      in
+      match act with
+      | Error m -> `Error (false, m)
+      | Ok act -> (
+        try
+          with_program ~optimize prog scale input (fun p input label ->
+              let probe = Watch.probe ~ring p filter act in
+              let t0 = Wet_obs.Clock.now_ns () in
+              let res =
+                Watch.with_armed [ probe ] (fun () -> Interp.run p ~input)
+              in
+              let matched = Watch.matches probe in
+              Printf.printf "%s: %d statements executed, %d events matched '%s'\n"
+                label res.Interp.stmts_executed matched
+                (Wet_watch.Spec.print filter);
+              let fn_name f = p.Wet_ir.Program.funcs.(f).Wet_ir.Func.name in
+              (match Watch.ring probe with
+               | None -> ()
+               | Some r when Ring.length r = 0 ->
+                 print_endline "flight recorder: no matches recorded"
+               | Some r ->
+                 let rows =
+                   List.map
+                     (fun ((e : Event.t), wall) ->
+                       [
+                         string_of_int e.Event.e_ts;
+                         Table.ms (wall - t0);
+                         Event.kind_name e.Event.e_kind;
+                         Printf.sprintf "%s:B%d" (fn_name e.Event.e_func)
+                           e.Event.e_block;
+                         string_of_int e.Event.e_pos;
+                         (if Event.has_value e.Event.e_kind then
+                            string_of_int e.Event.e_value
+                          else "-");
+                         (if Event.has_addr e.Event.e_kind then
+                            Table.hex e.Event.e_addr
+                          else "-");
+                       ])
+                     (Ring.to_list r)
+                 in
+                 Table.print
+                   ~title:
+                     (Printf.sprintf
+                        "Flight recorder: last %d of %d recorded matches."
+                        (Ring.length r) (Ring.total r))
+                   ~align:Table.[ Right; Right; Left; Left; Right; Right; Right ]
+                   ~header:[ "t"; "+ms"; "Kind"; "Site"; "Pos"; "Value"; "Addr" ]
+                   rows);
+              (match jsonl with
+               | None -> ()
+               | Some path -> (
+                 match Watch.ring probe with
+                 | None ->
+                   prerr_endline "--jsonl ignored: --count-only retains no events"
+                 | Some r ->
+                   let oc = open_out_bin path in
+                   Fun.protect
+                     ~finally:(fun () -> close_out oc)
+                     (fun () ->
+                       List.iter
+                         (fun ((e : Event.t), wall) ->
+                           Printf.fprintf oc
+                             "{\"ts\":%d,\"wall_ns\":%d,\"kind\":%S,\"fn\":%S,\"block\":%d,\"pos\":%d,\"value\":%d,\"addr\":%d}\n"
+                             e.Event.e_ts (wall - t0)
+                             (Event.kind_name e.Event.e_kind)
+                             (fn_name e.Event.e_func) e.Event.e_block
+                             e.Event.e_pos e.Event.e_value e.Event.e_addr)
+                         (Ring.to_list r));
+                   Printf.printf "wrote %d events to %s\n" (Ring.length r) path));
+              match act with
+              | Watch.Stop_at k -> (
+                match Watch.stopped probe with
+                | None ->
+                  Printf.printf "watchpoint: fewer than %d matches (%d total)\n"
+                    k matched
+                | Some ts -> (
+                  let wet = Builder.build res.Interp.trace in
+                  match Query.locate_time wet ts with
+                  | None -> Printf.printf "watchpoint t=%d: not locatable\n" ts
+                  | Some (nid, i) ->
+                    let n = wet.W.nodes.(nid) in
+                    Printf.printf
+                      "watchpoint: match #%d at t=%d -> execution %d of \
+                       f%d/path%d (blocks %s)\n"
+                      k ts i n.W.n_func n.W.n_path
+                      (String.concat " "
+                         (Array.to_list
+                            (Array.map (Printf.sprintf "B%d") n.W.n_blocks)));
+                    Printf.printf "  inspect it with: wet at %s --ts %d\n" prog
+                      ts))
+              | _ -> ())
+        with
+        | Wet_watch.Filter.Unknown_function fn ->
+          `Error
+            (false, Printf.sprintf "filter: no function named %S in program" fn)
+        | Invalid_argument m -> `Error (false, m)
+        | Sys_error m -> `Error (false, m)))
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Run a program under the tracer driver: count, sample or \
+          flight-record the events matching a declarative filter, with an \
+          optional watchpoint located in the built WET.")
+    Term.(
+      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
+           $ optimize_arg $ filter_arg $ ring_arg $ sample_arg $ stop_arg
+           $ count_arg $ jsonl_arg))
+
 (* ---------------- benchmarks ---------------- *)
 
 let benchmarks_cmd =
-  let action () =
+  let action obs =
+    with_obs obs @@ fun () ->
     Table.print ~title:"Bundled benchmarks."
       ~align:Table.[ Left; Right; Right; Left ]
       ~header:[ "Name"; "Default scale"; "Timing scale"; "Description" ]
@@ -622,7 +868,7 @@ let benchmarks_cmd =
   in
   Cmd.v
     (Cmd.info "benchmarks" ~doc:"List the bundled benchmark programs.")
-    Term.(ret (const action $ const ()))
+    Term.(ret (const action $ obs_term))
 
 let () =
   let doc = "whole execution traces: build, compress and query WETs" in
@@ -632,5 +878,6 @@ let () =
        (Cmd.group info
           [
             run_cmd; stats_cmd; trace_cmd; slice_cmd; paths_cmd; at_cmd;
-            build_cmd; verify_cmd; dot_cmd; profile_cmd; benchmarks_cmd;
+            watch_cmd; build_cmd; verify_cmd; dot_cmd; profile_cmd;
+            benchmarks_cmd;
           ]))

@@ -1,5 +1,6 @@
 module Stream = Wet_bistream.Stream
 module Instr = Wet_ir.Instr
+module Ex = Wet_watch.Explain
 
 (* Query latency histograms (log-scale nanoseconds). *)
 let h_control_flow = Wet_obs.Metrics.histogram "query.control_flow_ns"
@@ -8,14 +9,41 @@ let h_load_values = Wet_obs.Metrics.histogram "query.load_values_ns"
 
 let h_addresses = Wet_obs.Metrics.histogram "query.addresses_ns"
 
+(* Query-explain hooks: one flag read when disarmed. Timestamp cursor
+   movements are attributed to the owning node's [Ts] stream; peeks
+   (which move no cursor) are not counted. *)
+let ex_step (n : Wet.node) dir =
+  if !Ex.armed then
+    Ex.touch (Ex.Ts n.Wet.n_id) (match dir with `F -> Ex.Fwd | `B -> Ex.Bwd) 1
+
+let ex_seek (n : Wet.node) k =
+  if !Ex.armed then
+    Ex.touch (Ex.Ts n.Wet.n_id) Ex.Seek (abs (k - Stream.cursor n.Wet.n_ts))
+
+let ex_find (n : Wet.node) v =
+  if !Ex.armed then begin
+    let st = n.Wet.n_ts in
+    let c0 = Stream.cursor st in
+    let r = Stream.find_ascending st v in
+    let d = Stream.cursor st - c0 in
+    if d >= 0 then Ex.touch (Ex.Ts n.Wet.n_id) Ex.Fwd d
+    else Ex.touch (Ex.Ts n.Wet.n_id) Ex.Bwd (-d);
+    r
+  end
+  else Stream.find_ascending n.Wet.n_ts v
+
 type direction = Forward | Backward
 
 let park (t : Wet.t) dir =
   Array.iter
     (fun (n : Wet.node) ->
       match dir with
-      | Forward -> Stream.seek n.Wet.n_ts 0
-      | Backward -> Stream.seek n.Wet.n_ts n.Wet.n_nexec)
+      | Forward ->
+        ex_seek n 0;
+        Stream.seek n.Wet.n_ts 0
+      | Backward ->
+        ex_seek n n.Wet.n_nexec;
+        Stream.seek n.Wet.n_ts n.Wet.n_nexec)
     t.Wet.nodes
 
 let emit_blocks f (n : Wet.node) =
@@ -28,12 +56,14 @@ let emit_blocks_rev f (n : Wet.node) =
 
 let control_flow (t : Wet.t) dir ~f =
   Wet_obs.Metrics.time h_control_flow @@ fun () ->
+  Ex.query "query.control_flow";
   let total = t.Wet.stats.Wet.path_execs in
   let blocks = ref 0 in
   if total > 0 then begin
     match dir with
     | Forward ->
       let cur = ref t.Wet.nodes.(t.Wet.first_node) in
+      ex_step !cur `F;
       ignore (Stream.step_forward !cur.Wet.n_ts);
       emit_blocks f !cur;
       blocks := Array.length !cur.Wet.n_blocks;
@@ -55,6 +85,7 @@ let control_flow (t : Wet.t) dir ~f =
           invalid_arg
             "Query.control_flow: timestamp chain broken (cursors parked?)"
         | Some n ->
+          ex_step n `F;
           ignore (Stream.step_forward n.Wet.n_ts);
           emit_blocks f n;
           blocks := !blocks + Array.length n.Wet.n_blocks;
@@ -62,6 +93,7 @@ let control_flow (t : Wet.t) dir ~f =
       done
     | Backward ->
       let cur = ref t.Wet.nodes.(t.Wet.last_node) in
+      ex_step !cur `B;
       ignore (Stream.step_backward !cur.Wet.n_ts);
       emit_blocks_rev f !cur;
       blocks := Array.length !cur.Wet.n_blocks;
@@ -81,6 +113,7 @@ let control_flow (t : Wet.t) dir ~f =
           invalid_arg
             "Query.control_flow: timestamp chain broken (cursors parked?)"
         | Some n ->
+          ex_step n `B;
           ignore (Stream.step_backward n.Wet.n_ts);
           emit_blocks_rev f n;
           blocks := !blocks + Array.length n.Wet.n_blocks;
@@ -105,11 +138,12 @@ let copies_matching (t : Wet.t) pred =
 let locate_time (t : Wet.t) ts =
   if ts < 1 || ts > t.Wet.stats.Wet.path_execs then None
   else begin
+    Ex.query "query.locate_time";
     let found = ref None in
     Array.iter
       (fun (n : Wet.node) ->
         if !found = None then
-          match Stream.find_ascending n.Wet.n_ts ts with
+          match ex_find n ts with
           | Some i -> found := Some (n.Wet.n_id, i)
           | None -> ())
       t.Wet.nodes;
@@ -120,10 +154,12 @@ let control_flow_from (t : Wet.t) ~start_ts ~steps ~f =
   match locate_time t start_ts with
   | None -> invalid_arg "Query.control_flow_from: timestamp out of range"
   | Some (nid, i) ->
+    Ex.query "query.control_flow_from";
     let total = t.Wet.stats.Wet.path_execs in
     let blocks = ref 0 in
     let cur = ref t.Wet.nodes.(nid) in
     (* position the start node's cursor just past its matching ts *)
+    ex_seek !cur (i + 1);
     Stream.seek !cur.Wet.n_ts (i + 1);
     emit_blocks f !cur;
     blocks := Array.length !cur.Wet.n_blocks;
@@ -136,8 +172,9 @@ let control_flow_from (t : Wet.t) ~start_ts ~steps ~f =
             let n = t.Wet.nodes.(s) in
             let st = n.Wet.n_ts in
             (* neighbours may be parked anywhere: locate ts directly *)
-            match Stream.find_ascending st ts with
+            match ex_find n ts with
             | Some j ->
+              ex_seek n (j + 1);
               Stream.seek st (j + 1);
               next := Some n
             | None -> ()
@@ -154,6 +191,7 @@ let control_flow_from (t : Wet.t) ~start_ts ~steps ~f =
 
 let load_values (t : Wet.t) ~f =
   Wet_obs.Metrics.time h_load_values @@ fun () ->
+  Ex.query "query.load_values";
   let loads =
     copies_matching t (function Instr.Load _ -> true | _ -> false)
   in
@@ -170,6 +208,7 @@ let load_values (t : Wet.t) ~f =
 
 let addresses (t : Wet.t) ~f =
   Wet_obs.Metrics.time h_addresses @@ fun () ->
+  Ex.query "query.addresses";
   let mems = copies_matching t Instr.is_memory in
   let count = ref 0 in
   List.iter

@@ -1,5 +1,6 @@
 module Stream = Wet_bistream.Stream
 module Instr = Wet_ir.Instr
+module Ex = Wet_watch.Explain
 
 (* Slice latency histograms (log-scale nanoseconds). *)
 let h_backward = Wet_obs.Metrics.histogram "slice.backward_ns"
@@ -54,6 +55,7 @@ let walk ~max_instances ~f (t : Wet.t) c0 i0 ~expand =
 
 let backward ?max_instances ?f (t : Wet.t) c0 i0 =
   Wet_obs.Metrics.time h_backward @@ fun () ->
+  Ex.query "slice.backward";
   let expand c i push =
     let nslots = Array.length t.Wet.copy_deps.(c) in
     for s = 0 to nslots - 1 do
@@ -69,16 +71,25 @@ let backward ?max_instances ?f (t : Wet.t) c0 i0 =
 
 let forward ?max_instances ?f (t : Wet.t) c0 i0 =
   Wet_obs.Metrics.time h_forward @@ fun () ->
+  Ex.query "slice.forward";
   let expand c i push =
     List.iter (fun cc -> push cc i) t.Wet.copy_local_out.(c);
     List.iter
       (fun (e : Wet.edge) ->
         (* producer-instance streams are not sorted, so scan them *)
+        let l = e.Wet.e_labels.Wet.l_id in
         let src = e.Wet.e_labels.Wet.l_src in
         let dst = e.Wet.e_labels.Wet.l_dst in
+        if !Ex.armed then Ex.touch (Ex.Label_src l) Ex.Seek (Stream.cursor src);
         Stream.seek src 0;
         for j = 0 to e.Wet.e_labels.Wet.l_len - 1 do
-          if Stream.step_forward src = i then push e.Wet.e_dst (Stream.read_at dst j)
+          if !Ex.armed then Ex.touch (Ex.Label_src l) Ex.Fwd 1;
+          if Stream.step_forward src = i then begin
+            if !Ex.armed then
+              Ex.touch (Ex.Label_dst l) Ex.Seek
+                (max 1 (abs (j - Stream.cursor dst)));
+            push e.Wet.e_dst (Stream.read_at dst j)
+          end
         done)
       t.Wet.copy_remote_out.(c)
   in
@@ -86,6 +97,7 @@ let forward ?max_instances ?f (t : Wet.t) c0 i0 =
 
 let chop ?max_instances ?f (t : Wet.t) ~source ~sink =
   Wet_obs.Metrics.time h_chop @@ fun () ->
+  Ex.query "slice.chop";
   let sc, si = source and kc, ki = sink in
   let fwd = Hashtbl.create 256 in
   ignore (forward ?max_instances t sc si ~f:(fun c i -> Hashtbl.replace fwd (c, i) ()));

@@ -85,6 +85,31 @@ let copy_offset t c = c - (node_of_copy t c).n_copy_base
 
 let instr_of_copy t c = Wet_ir.Program.instr t.program t.copy_stmt.(c)
 
+(* Query-explain instrumentation: every cursor movement through these
+   helpers reports to [Wet_watch.Explain] when it is armed; disarmed
+   cost is one flag read. A [read_at] is reported as a seek of the
+   cursor's travel distance — the stream's decompression cost proxy. *)
+module Ex = Wet_watch.Explain
+
+let ex_read_at sid s k =
+  if !Ex.armed then begin
+    let d = abs (k - Stream.cursor s) in
+    let v = Stream.read_at s k in
+    Ex.touch sid Ex.Seek (max 1 d);
+    v
+  end
+  else Stream.read_at s k
+
+let ex_find_ascending sid s v =
+  if !Ex.armed then begin
+    let c0 = Stream.cursor s in
+    let r = Stream.find_ascending s v in
+    let d = Stream.cursor s - c0 in
+    if d >= 0 then Ex.touch sid Ex.Fwd d else Ex.touch sid Ex.Bwd (-d);
+    r
+  end
+  else Stream.find_ascending s v
+
 let find_in_ascending = Stream.find_ascending
 
 let value_of_copy t c i =
@@ -92,23 +117,34 @@ let value_of_copy t c i =
   | None -> invalid_arg "Wet.value_of_copy: copy has no def port"
   | Some uvals -> (
     let node = node_of_copy t c in
-    match node.n_groups.(t.copy_group.(c)).g_pattern with
-    | None -> Stream.read_at uvals 0
-    | Some pattern -> Stream.read_at uvals (Stream.read_at pattern i))
+    let g = t.copy_group.(c) in
+    match node.n_groups.(g).g_pattern with
+    | None -> ex_read_at (Ex.Uvals c) uvals 0
+    | Some pattern ->
+      ex_read_at (Ex.Uvals c) uvals
+        (ex_read_at (Ex.Pattern (node.n_id, g)) pattern i))
+
+(* Shared by data and control slots: locate the consumer instance on
+   each candidate edge's dst label, then read the aligned producer
+   instance off the src label. *)
+let search_edges edges i =
+  let rec search = function
+    | [] -> None
+    | e :: rest -> (
+      match
+        ex_find_ascending (Ex.Label_dst e.e_labels.l_id) e.e_labels.l_dst i
+      with
+      | Some j ->
+        Some (e.e_src, ex_read_at (Ex.Label_src e.e_labels.l_id) e.e_labels.l_src j)
+      | None -> search rest)
+  in
+  search edges
 
 let resolve_dep t c i slot =
   match t.copy_deps.(c).(slot) with
   | No_dep -> None
   | Local p -> Some (p, i)
-  | Remote edges ->
-    let rec search = function
-      | [] -> None
-      | e :: rest -> (
-        match find_in_ascending e.e_labels.l_dst i with
-        | Some j -> Some (e.e_src, Stream.read_at e.e_labels.l_src j)
-        | None -> search rest)
-    in
-    search edges
+  | Remote edges -> search_edges edges i
 
 let resolve_cd t c i =
   let node = node_of_copy t c in
@@ -123,16 +159,10 @@ let resolve_cd t c i =
   match node.n_cd.(block_pos 0) with
   | No_dep -> None
   | Local p -> Some (p, i)
-  | Remote edges ->
-    let rec search = function
-      | [] -> None
-      | e :: rest -> (
-        match find_in_ascending e.e_labels.l_dst i with
-        | Some j -> Some (e.e_src, Stream.read_at e.e_labels.l_src j)
-        | None -> search rest)
-    in
-    search edges
+  | Remote edges -> search_edges edges i
 
 let copies_of_stmt t s = t.stmt_copies.(s)
 
-let timestamp t c i = Stream.read_at (node_of_copy t c).n_ts i
+let timestamp t c i =
+  let node = node_of_copy t c in
+  ex_read_at (Ex.Ts node.n_id) node.n_ts i

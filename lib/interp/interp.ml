@@ -29,6 +29,19 @@ let heartbeat pos =
     ~attrs:[ ("stmts", Wet_obs.Span.Int pos) ];
   Wet_obs.Log.progress "interp: %d statements" pos
 
+(* Tracer-driver event kinds (dense indices, fixed at module init). *)
+let k_entry = Wet_watch.Event.kind_index Wet_watch.Event.Block_entry
+
+let k_def = Wet_watch.Event.kind_index Wet_watch.Event.Value_def
+
+let k_use = Wet_watch.Event.kind_index Wet_watch.Event.Use
+
+let k_load = Wet_watch.Event.kind_index Wet_watch.Event.Load
+
+let k_store = Wet_watch.Event.kind_index Wet_watch.Event.Store
+
+let k_call = Wet_watch.Event.kind_index Wet_watch.Event.Call
+
 type result = {
   trace : Trace.t;
   outputs : int array;
@@ -61,7 +74,19 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
   let mem_ops = Dyn.create () in
   let outputs = Dyn.create () in
   let pos = ref 0 in
+  (* Statement budget and heartbeat share one per-statement comparison:
+     [limit] is whichever threshold comes first, and the slow path
+     disentangles budget exhaustion from a due heartbeat. A heartbeat
+     becomes due after every [hb]-th completed statement (observed at
+     the next statement boundary, or at run end for the last one), so a
+     run of S statements heartbeats exactly floor(S/hb) times. *)
   let hb = !Wet_obs.Sink.heartbeat_every in
+  let hb_next = ref (if hb > 0 then hb else max_int) in
+  let limit = ref (min max_stmts !hb_next) in
+  (* The tracer driver is consulted only on recording runs; [watching]
+     is fixed for the whole run, so disarmed event sites are a dead
+     conditional on an immutable bool. *)
+  let watching = record && Wet_watch.Watch.armed () in
   let input_ix = ref 0 in
   let next_input () =
     if !input_ix >= Array.length input then fail "input stream exhausted"
@@ -75,6 +100,15 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
     if a < 0 || a >= prog.mem_words then
       fail "memory access out of bounds: address %d (memory has %d words)" a
         prog.mem_words
+  in
+  let past_limit () =
+    if !pos >= max_stmts then
+      fail "statement budget exceeded (%d)" max_stmts;
+    while !pos >= !hb_next do
+      heartbeat !pos;
+      hb_next := !hb_next + hb
+    done;
+    limit := min max_stmts !hb_next
   in
   (* [ctx_pos]: dynamic position of the calling statement, -1 for main;
      with [inter_cd] it becomes the control-dependence producer of blocks
@@ -99,6 +133,31 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
       if record then
         Dyn.push paths (Trace.encode_path f (!pathsum + BL.finish_value bl ~src:b))
     in
+    (* [begin_stmt]/[end_stmt] take the block as an argument so the
+       closures are built once per function activation, not once per
+       executed block — the non-recording path stays allocation-free. *)
+    let begin_stmt b ins =
+      if !pos >= !limit then past_limit ();
+      if record then
+        List.iter (fun r -> Dyn.push deps shadow.(r)) (Instr.uses ins);
+      if watching then begin
+        let ts = Dyn.length paths + 1 in
+        List.iter
+          (fun r -> Wet_watch.Watch.emit k_use f b !pos regs.(r) (-1) ts)
+          (Instr.uses ins)
+      end
+    in
+    let end_stmt b ins value =
+      (* Defs of loads surface as [load] events (value and address
+         together); call return values surface as [call] events. *)
+      if watching && Instr.has_def ins
+         && not (Instr.is_memory ins)
+         && not (Instr.is_terminator ins)
+      then
+        Wet_watch.Watch.emit k_def f b !pos value (-1) (Dyn.length paths + 1);
+      if record then Dyn.push values value;
+      incr pos
+    in
     let rec block_loop b =
       if record then begin
         Dyn.push blocks (Trace.encode_block f b);
@@ -110,46 +169,38 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
         let cd = if cd = -1 && inter_cd then ctx_pos else cd in
         Dyn.push cd_producer cd
       end;
+      if watching then
+        Wet_watch.Watch.emit k_entry f b !pos 0 (-1) (Dyn.length paths + 1);
       let instrs = fn.Func.blocks.(b).Func.instrs in
       let n = Array.length instrs in
-      let begin_stmt ins =
-        if !pos >= max_stmts then fail "statement budget exceeded (%d)" max_stmts;
-        if hb > 0 && !pos > 0 && !pos mod hb = 0 then heartbeat !pos;
-        if record then
-          List.iter (fun r -> Dyn.push deps shadow.(r)) (Instr.uses ins)
-      in
-      let end_stmt value =
-        if record then Dyn.push values value;
-        incr pos
-      in
       for i = 0 to n - 2 do
         let ins = instrs.(i) in
-        begin_stmt ins;
+        begin_stmt b ins;
         match ins with
         | Instr.Const (r, v) ->
           regs.(r) <- v;
           if record then shadow.(r) <- !pos;
-          end_stmt v
+          end_stmt b ins v
         | Instr.Move (r, a) ->
           let v = regs.(a) in
           regs.(r) <- v;
           if record then shadow.(r) <- !pos;
-          end_stmt v
+          end_stmt b ins v
         | Instr.Binop (op, r, a, b') ->
           let v = eval_binop op regs.(a) regs.(b') in
           regs.(r) <- v;
           if record then shadow.(r) <- !pos;
-          end_stmt v
+          end_stmt b ins v
         | Instr.Cmp (op, r, a, b') ->
           let v = eval_cmp op regs.(a) regs.(b') in
           regs.(r) <- v;
           if record then shadow.(r) <- !pos;
-          end_stmt v
+          end_stmt b ins v
         | Instr.Unop (op, r, a) ->
           let v = eval_unop op regs.(a) in
           regs.(r) <- v;
           if record then shadow.(r) <- !pos;
-          end_stmt v
+          end_stmt b ins v
         | Instr.Load (r, a) ->
           let addr = regs.(a) in
           check_addr addr;
@@ -160,7 +211,9 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
             Dyn.push mem_ops (addr lsl 1);
             shadow.(r) <- !pos
           end;
-          end_stmt v
+          if watching then
+            Wet_watch.Watch.emit k_load f b !pos v addr (Dyn.length paths + 1);
+          end_stmt b ins v
         | Instr.Store (a, vr) ->
           let addr = regs.(a) in
           check_addr addr;
@@ -170,34 +223,36 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
             Dyn.push mem_ops ((addr lsl 1) lor 1);
             mem_shadow.(addr) <- !pos
           end;
+          if watching then
+            Wet_watch.Watch.emit k_store f b !pos v addr (Dyn.length paths + 1);
           (* A store has no def port, but its position must resolve to
              the stored value so that loads can recover their operand. *)
-          end_stmt v
+          end_stmt b ins v
         | Instr.Input r ->
           let v = next_input () in
           regs.(r) <- v;
           if record then shadow.(r) <- !pos;
-          end_stmt v
+          end_stmt b ins v
         | Instr.Output r ->
           Dyn.push outputs regs.(r);
-          end_stmt 0
+          end_stmt b ins 0
         | Instr.Call _ | Instr.Branch _ | Instr.Jump _ | Instr.Ret _
         | Instr.Halt ->
           assert false (* terminators are in last position (validated) *)
       done;
       let term = instrs.(n - 1) in
-      begin_stmt term;
+      begin_stmt b term;
       let term_pos = !pos in
       match term with
       | Instr.Branch (r, b1, b2) ->
         let taken = regs.(r) <> 0 in
         if record then last_branch.(b) <- term_pos;
-        end_stmt 0;
+        end_stmt b term 0;
         let succ_ix = if taken then 0 else 1 in
         let target = if taken then b1 else b2 in
         goto b succ_ix target
       | Instr.Jump target ->
-        end_stmt 0;
+        end_stmt b term 0;
         goto b 0 target
       | Instr.Call (dst, callee, arg_regs, cont) ->
         let args =
@@ -212,7 +267,11 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
           end
           else -1
         in
-        end_stmt 0;
+        if watching then
+          Wet_watch.Watch.emit k_call callee
+            prog.funcs.(callee).Func.entry term_pos 0 (-1)
+            (Dyn.length paths + 1);
+        end_stmt b term 0;
         finish_path b;
         let ret = exec_func callee ~ctx_pos:term_pos args in
         (match (dst, ret) with
@@ -237,15 +296,15 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
              resolves to the returned value, and its own use slot links
              on to the value's producer. *)
           let v = regs.(r) in
-          end_stmt v;
+          end_stmt b term v;
           finish_path b;
           Some (v, term_pos)
         | None ->
-          end_stmt 0;
+          end_stmt b term 0;
           finish_path b;
           None)
       | Instr.Halt ->
-        end_stmt 0;
+        end_stmt b term 0;
         finish_path b;
         raise Halted
       | Instr.Const _ | Instr.Move _ | Instr.Binop _ | Instr.Cmp _
@@ -264,6 +323,9 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
     block_loop fn.Func.entry
   in
   (try ignore (exec_func prog.main ~ctx_pos:(-1) []) with Halted -> ());
+  (* a heartbeat due exactly at the last statement has no next statement
+     boundary to surface at *)
+  if !pos >= !hb_next then heartbeat !pos;
   let out = Dyn.to_array outputs in
   let trace =
     {

@@ -51,8 +51,14 @@ let with_ ?(attrs = []) name f =
       close ();
       x
     | exception e ->
+      (* Exception safety: still pop the frame and record the event (so
+         a raise cannot leak an open span or lose its duration), mark
+         the span as aborted for the phase tables, and re-raise with the
+         original backtrace intact. *)
+      let bt = Printexc.get_raw_backtrace () in
+      fr.fr_attrs <- ("raised", Bool true) :: fr.fr_attrs;
       close ();
-      raise e
+      Printexc.raise_with_backtrace e bt
   end
 
 let timed name f =

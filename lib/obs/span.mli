@@ -13,7 +13,9 @@
 type value = Sink.value = Int of int | Float of float | Str of string | Bool of bool
 
 (** [with_ name f] runs [f] inside a span. The span closes (and its
-    event is recorded) whether [f] returns or raises. *)
+    event is recorded, duration included) whether [f] returns or raises;
+    a raise re-propagates with its original backtrace and the recorded
+    event carries a [("raised", Bool true)] attribute. *)
 val with_ : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
 
 (** [timed name f] is [with_ name f] plus the span's wall-clock seconds,

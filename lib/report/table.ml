@@ -55,3 +55,7 @@ let f2 x = Printf.sprintf "%.2f" x
 let i = string_of_int
 
 let millions n = Printf.sprintf "%.2f" (float_of_int n /. 1_000_000.)
+
+let hex n = if n < 0 then string_of_int n else Printf.sprintf "0x%x" n
+
+let ms ns = Printf.sprintf "%.2f" (float_of_int ns /. 1e6)

@@ -24,3 +24,9 @@ val i : int -> string
 
 (** Millions with two decimals, e.g. statement counts. *)
 val millions : int -> string
+
+(** Hexadecimal, e.g. memory addresses: [0x1ff] (negatives unchanged). *)
+val hex : int -> string
+
+(** Nanoseconds as milliseconds with two decimals. *)
+val ms : int -> string

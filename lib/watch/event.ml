@@ -1,0 +1,69 @@
+type kind = Block_entry | Value_def | Use | Load | Store | Call
+
+let num_kinds = 6
+
+let kind_index = function
+  | Block_entry -> 0
+  | Value_def -> 1
+  | Use -> 2
+  | Load -> 3
+  | Store -> 4
+  | Call -> 5
+
+let kind_of_index = function
+  | 0 -> Block_entry
+  | 1 -> Value_def
+  | 2 -> Use
+  | 3 -> Load
+  | 4 -> Store
+  | 5 -> Call
+  | i -> invalid_arg (Printf.sprintf "Event.kind_of_index: %d" i)
+
+let kind_name = function
+  | Block_entry -> "entry"
+  | Value_def -> "def"
+  | Use -> "use"
+  | Load -> "load"
+  | Store -> "store"
+  | Call -> "call"
+
+let kind_of_name = function
+  | "entry" -> Some Block_entry
+  | "def" -> Some Value_def
+  | "use" -> Some Use
+  | "load" -> Some Load
+  | "store" -> Some Store
+  | "call" -> Some Call
+  | _ -> None
+
+let kind_bit k = 1 lsl kind_index k
+
+let all_kinds_mask = (1 lsl num_kinds) - 1
+
+(* Which kinds carry a meaningful value / address payload. Block entries
+   and calls have no value port; only memory events have an address. *)
+let value_mask =
+  kind_bit Value_def lor kind_bit Use lor kind_bit Load lor kind_bit Store
+
+let addr_mask = kind_bit Load lor kind_bit Store
+
+let has_value k = value_mask land kind_bit k <> 0
+
+let has_addr k = addr_mask land kind_bit k <> 0
+
+type t = {
+  e_kind : kind;
+  e_func : int;  (** function executing (callee for [Call] events) *)
+  e_block : int;  (** basic block within [e_func] *)
+  e_pos : int;  (** dynamic statement position *)
+  e_value : int;  (** value payload; 0 when the kind carries none *)
+  e_addr : int;  (** memory address; -1 when the kind carries none *)
+  e_ts : int;  (** WET global timestamp of the enclosing path execution *)
+}
+
+let pp ppf e =
+  Fmt.pf ppf "%s f%d:B%d pos=%d" (kind_name e.e_kind) e.e_func e.e_block
+    e.e_pos;
+  if has_value e.e_kind then Fmt.pf ppf " val=%d" e.e_value;
+  if has_addr e.e_kind then Fmt.pf ppf " @%d" e.e_addr;
+  Fmt.pf ppf " t=%d" e.e_ts

@@ -1,0 +1,50 @@
+(** Trace events the interpreter reports to the tracer driver.
+
+    Event kinds follow the interpreter's dynamic actions: a basic-block
+    entry, a value-producing statement ([def]), an operand read ([use]),
+    a memory access ([load]/[store]) and a call (reported against the
+    callee). The hot emission path passes the fields as unboxed [int]
+    arguments; this record form is only materialised on the cold side
+    (flight-recorder decoding, reports, tests). *)
+
+type kind = Block_entry | Value_def | Use | Load | Store | Call
+
+val num_kinds : int
+
+(** Dense index in [\[0, num_kinds)]. *)
+val kind_index : kind -> int
+
+(** Inverse of {!kind_index}. @raise Invalid_argument out of range. *)
+val kind_of_index : int -> kind
+
+(** Keyword used by the filter language: ["entry"], ["def"], ["use"],
+    ["load"], ["store"], ["call"]. *)
+val kind_name : kind -> string
+
+val kind_of_name : string -> kind option
+
+(** [1 lsl kind_index k] — kind-set masks for the fast-reject test. *)
+val kind_bit : kind -> int
+
+val all_kinds_mask : int
+
+(** Kinds carrying a value payload ([def], [use], [load], [store]). *)
+val value_mask : int
+
+(** Kinds carrying an address payload ([load], [store]). *)
+val addr_mask : int
+
+val has_value : kind -> bool
+val has_addr : kind -> bool
+
+type t = {
+  e_kind : kind;
+  e_func : int;  (** function executing (callee for [Call] events) *)
+  e_block : int;  (** basic block within [e_func] *)
+  e_pos : int;  (** dynamic statement position *)
+  e_value : int;  (** value payload; 0 when the kind carries none *)
+  e_addr : int;  (** memory address; -1 when the kind carries none *)
+  e_ts : int;  (** WET global timestamp of the enclosing path execution *)
+}
+
+val pp : t Fmt.t

@@ -1,0 +1,143 @@
+type stream =
+  | Ts of int
+  | Uvals of int
+  | Pattern of int * int
+  | Label_src of int
+  | Label_dst of int
+
+type op = Fwd | Bwd | Seek
+
+type stats = {
+  st_stream : stream;
+  mutable st_fwd : int;
+  mutable st_bwd : int;
+  mutable st_seeks : int;
+  mutable st_seek_dist : int;
+  mutable st_switches : int;
+  mutable st_last : int;  (* 0 none, 1 forward, 2 backward *)
+}
+
+let armed = ref false
+
+let tbl : (stream, stats) Hashtbl.t = Hashtbl.create 256
+
+let queries : string list ref = ref []
+
+let reset () =
+  Hashtbl.reset tbl;
+  queries := []
+
+let arm () =
+  reset ();
+  armed := true
+
+let disarm () = armed := false
+
+let query name = if !armed then queries := name :: !queries
+
+let stats_of s =
+  match Hashtbl.find_opt tbl s with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        st_stream = s;
+        st_fwd = 0;
+        st_bwd = 0;
+        st_seeks = 0;
+        st_seek_dist = 0;
+        st_switches = 0;
+        st_last = 0;
+      }
+    in
+    Hashtbl.replace tbl s st;
+    st
+
+let touch s op n =
+  if !armed && n >= 0 then begin
+    let st = stats_of s in
+    match op with
+    | Fwd ->
+      st.st_fwd <- st.st_fwd + n;
+      if st.st_last = 2 then st.st_switches <- st.st_switches + 1;
+      st.st_last <- 1
+    | Bwd ->
+      st.st_bwd <- st.st_bwd + n;
+      if st.st_last = 1 then st.st_switches <- st.st_switches + 1;
+      st.st_last <- 2
+    | Seek ->
+      st.st_seeks <- st.st_seeks + 1;
+      st.st_seek_dist <- st.st_seek_dist + n;
+      (* a seek reestablishes the cursor; the next step is not a
+         direction switch *)
+      st.st_last <- 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type stream_stats = {
+  e_stream : stream;
+  e_fwd : int;
+  e_bwd : int;
+  e_seeks : int;
+  e_seek_dist : int;
+  e_switches : int;
+}
+
+type report = { r_queries : string list; r_streams : stream_stats list }
+
+let stream_kind = function
+  | Ts _ -> "ts"
+  | Uvals _ -> "uvals"
+  | Pattern _ -> "pattern"
+  | Label_src _ -> "label.src"
+  | Label_dst _ -> "label.dst"
+
+let stream_name = function
+  | Ts n -> Printf.sprintf "ts(node %d)" n
+  | Uvals c -> Printf.sprintf "uvals(copy %d)" c
+  | Pattern (n, g) -> Printf.sprintf "pattern(node %d, group %d)" n g
+  | Label_src l -> Printf.sprintf "label %d src" l
+  | Label_dst l -> Printf.sprintf "label %d dst" l
+
+let report () =
+  let streams =
+    Hashtbl.fold
+      (fun _ st acc ->
+        {
+          e_stream = st.st_stream;
+          e_fwd = st.st_fwd;
+          e_bwd = st.st_bwd;
+          e_seeks = st.st_seeks;
+          e_seek_dist = st.st_seek_dist;
+          e_switches = st.st_switches;
+        }
+        :: acc)
+      tbl []
+    |> List.sort compare
+  in
+  { r_queries = List.rev !queries; r_streams = streams }
+
+let steps s = s.e_fwd + s.e_bwd + s.e_seek_dist
+
+let total_steps r = List.fold_left (fun a s -> a + steps s) 0 r.r_streams
+
+(* Aggregate per stream category — the shape CLI tables want. *)
+let by_kind r =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let k = stream_kind s.e_stream in
+      let streams, fwd, bwd, seeks, switches =
+        Option.value (Hashtbl.find_opt tbl k) ~default:(0, 0, 0, 0, 0)
+      in
+      Hashtbl.replace tbl k
+        ( streams + 1,
+          fwd + s.e_fwd,
+          bwd + s.e_bwd,
+          seeks + s.e_seeks,
+          switches + s.e_switches ))
+    r.r_streams;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare

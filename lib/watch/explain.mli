@@ -1,0 +1,65 @@
+(** Query-explain: which compressed streams a query touched, and how.
+
+    When armed, the query and slice code reports every cursor movement
+    here; the resulting report shows which label streams a query walked,
+    in which directions, and how many decompression steps it paid — the
+    observable cost model behind the paper's tier-1 vs tier-2 query
+    timing tables. Disarmed cost is one flag read per cursor operation.
+
+    State is process-global like the [wet_obs] sink: arm, run queries,
+    take the {!report}. *)
+
+(** Identity of a WET label stream. *)
+type stream =
+  | Ts of int  (** timestamp sequence of a node *)
+  | Uvals of int  (** unique-value sequence of a copy *)
+  | Pattern of int * int  (** shared value pattern of (node, group) *)
+  | Label_src of int  (** producer side of edge-label [l_id] *)
+  | Label_dst of int  (** consumer side of edge-label [l_id] *)
+
+type op =
+  | Fwd  (** forward cursor steps *)
+  | Bwd  (** backward cursor steps *)
+  | Seek  (** one repositioning; the count is the seek distance *)
+
+(** Guard for instrumentation sites: [if !armed then touch ...]. *)
+val armed : bool ref
+
+(** Clear recorded state and start recording. *)
+val arm : unit -> unit
+
+val disarm : unit -> unit
+val reset : unit -> unit
+
+(** Record [n] cursor steps (or one seek of distance [n]) on a stream.
+    No-op when disarmed or [n < 0]. *)
+val touch : stream -> op -> int -> unit
+
+(** Note a query entry point (e.g. ["query.control_flow"]). *)
+val query : string -> unit
+
+type stream_stats = {
+  e_stream : stream;
+  e_fwd : int;
+  e_bwd : int;
+  e_seeks : int;
+  e_seek_dist : int;  (** summed seek distances *)
+  e_switches : int;  (** forward/backward direction reversals *)
+}
+
+type report = { r_queries : string list; r_streams : stream_stats list }
+
+(** Snapshot of everything recorded since {!arm} (streams sorted). *)
+val report : unit -> report
+
+val stream_kind : stream -> string
+val stream_name : stream -> string
+
+(** Steps paid on one stream: forward + backward + seek distance. *)
+val steps : stream_stats -> int
+
+val total_steps : report -> int
+
+(** Aggregated per {!stream_kind}:
+    [(kind, (streams, fwd, bwd, seeks, switches))], sorted. *)
+val by_kind : report -> (string * (int * int * int * int * int)) list

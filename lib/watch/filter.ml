@@ -1,0 +1,76 @@
+type t =
+  | True
+  | Kind of Event.kind
+  | Fn of string
+  | Block of int
+  | Value of int * int
+  | Addr of int * int
+  | Not of t
+  | All of t list
+  | Any of t list
+
+let equal = ( = )
+
+(* The set of kinds a filter can possibly accept, as a bitmask over
+   [Event.kind_index]. Field predicates over payloads a kind does not
+   carry can never hold, so [Value]/[Addr] narrow the mask; [Not] is kept
+   conservative (complementing "possible" is not "impossible"), which
+   only costs fast-reject precision, never correctness. *)
+let rec kind_mask = function
+  | True | Fn _ | Block _ | Not _ -> Event.all_kinds_mask
+  | Kind k -> Event.kind_bit k
+  | Value _ -> Event.value_mask
+  | Addr _ -> Event.addr_mask
+  | All fs ->
+    List.fold_left (fun m f -> m land kind_mask f) Event.all_kinds_mask fs
+  | Any fs -> List.fold_left (fun m f -> m lor kind_mask f) 0 fs
+
+exception Unknown_function of string
+
+let func_id (prog : Wet_ir.Program.t) name =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i (f : Wet_ir.Func.t) ->
+      if !found < 0 && f.Wet_ir.Func.name = name then found := i)
+    prog.Wet_ir.Program.funcs;
+  if !found < 0 then raise (Unknown_function name) else !found
+
+type compiled = {
+  c_mask : int;
+  c_pred : int -> int -> int -> int -> int -> bool;
+      (** [pred kindbit func block value addr] *)
+}
+
+(* Compile to a closure tree evaluated once per candidate event. Every
+   name is resolved against [prog] here, so the hot path does only
+   integer comparisons. *)
+let compile prog filter =
+  let rec comp = function
+    | True -> fun _ _ _ _ _ -> true
+    | Kind k ->
+      let bit = Event.kind_bit k in
+      fun kb _ _ _ _ -> kb = bit
+    | Fn name ->
+      let id = func_id prog name in
+      fun _ f _ _ _ -> f = id
+    | Block b -> fun _ _ blk _ _ -> blk = b
+    | Value (lo, hi) ->
+      fun kb _ _ v _ -> kb land Event.value_mask <> 0 && lo <= v && v <= hi
+    | Addr (lo, hi) ->
+      fun kb _ _ _ a -> kb land Event.addr_mask <> 0 && lo <= a && a <= hi
+    | Not f ->
+      let p = comp f in
+      fun kb fn blk v a -> not (p kb fn blk v a)
+    | All fs ->
+      let ps = List.map comp fs in
+      fun kb fn blk v a -> List.for_all (fun p -> p kb fn blk v a) ps
+    | Any fs ->
+      let ps = List.map comp fs in
+      fun kb fn blk v a -> List.exists (fun p -> p kb fn blk v a) ps
+  in
+  { c_mask = kind_mask filter; c_pred = comp filter }
+
+let matches c (e : Event.t) =
+  let kb = Event.kind_bit e.Event.e_kind in
+  c.c_mask land kb <> 0
+  && c.c_pred kb e.Event.e_func e.Event.e_block e.Event.e_value e.Event.e_addr

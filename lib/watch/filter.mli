@@ -1,0 +1,51 @@
+(** Declarative observation filters over trace events.
+
+    A filter is a predicate combinator tree in the tracer-driver style
+    (Deransart; Ducassé et al. — see PAPERS.md): the request is stated
+    declaratively, compiled once, and evaluated {e at the source} so only
+    matching events are ever materialised.
+
+    Payload semantics: [Value] only holds on kinds carrying a value
+    payload ([def]/[use]/[load]/[store]) and [Addr] only on memory kinds
+    ([load]/[store]); on other kinds they are false, so [Not (Addr _)]
+    holds for, say, block entries. *)
+
+type t =
+  | True  (** matches every event *)
+  | Kind of Event.kind
+  | Fn of string  (** executing function, by source name *)
+  | Block of int  (** basic-block id within its function *)
+  | Value of int * int  (** value payload within an inclusive range *)
+  | Addr of int * int  (** address payload within an inclusive range *)
+  | Not of t
+  | All of t list  (** conjunction; [All \[\]] is [True] *)
+  | Any of t list  (** disjunction; [Any \[\]] is false *)
+
+val equal : t -> t -> bool
+
+(** Bitmask (over {!Event.kind_bit}) of kinds the filter can possibly
+    accept — the fast-reject test of the hot path. Conservative
+    (never excludes a matching kind). *)
+val kind_mask : t -> int
+
+exception Unknown_function of string
+
+(** Resolve a function name against a program.
+    @raise Unknown_function when absent. *)
+val func_id : Wet_ir.Program.t -> string -> int
+
+type compiled = {
+  c_mask : int;  (** {!kind_mask} of the compiled filter *)
+  c_pred : int -> int -> int -> int -> int -> bool;
+      (** [c_pred kind_bit func block value addr]; only meaningful for
+          kinds in [c_mask] *)
+}
+
+(** Resolve every name and compile the filter to a closure tree — the
+    hot path is integer comparisons only.
+    @raise Unknown_function on an unresolvable [Fn]. *)
+val compile : Wet_ir.Program.t -> t -> compiled
+
+(** Cold-side convenience: evaluate a compiled filter on a materialised
+    event (fast-reject included). *)
+val matches : compiled -> Event.t -> bool

@@ -1,0 +1,52 @@
+(* Fixed-capacity flight recorder. Events are stored flattened in one
+   int array (8 slots per event), so recording writes plain unboxed
+   integers — no allocation, nothing for the GC to scan. *)
+
+let slots = 8
+
+type t = {
+  cap : int;
+  cells : int array;
+  mutable total : int;
+}
+
+let create cap =
+  if cap <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { cap; cells = Array.make (cap * slots) 0; total = 0 }
+
+let capacity t = t.cap
+
+let total t = t.total
+
+let length t = min t.total t.cap
+
+let record t ~kind ~func ~block ~pos ~value ~addr ~ts ~wall_ns =
+  let base = t.total mod t.cap * slots in
+  t.cells.(base) <- kind;
+  t.cells.(base + 1) <- func;
+  t.cells.(base + 2) <- block;
+  t.cells.(base + 3) <- pos;
+  t.cells.(base + 4) <- value;
+  t.cells.(base + 5) <- addr;
+  t.cells.(base + 6) <- ts;
+  t.cells.(base + 7) <- wall_ns;
+  t.total <- t.total + 1
+
+(* [i]-th oldest retained event, [0 <= i < length]. *)
+let get t i =
+  let len = length t in
+  if i < 0 || i >= len then invalid_arg "Ring.get: index out of bounds";
+  let oldest = t.total - len in
+  let base = (oldest + i) mod t.cap * slots in
+  ( {
+      Event.e_kind = Event.kind_of_index t.cells.(base);
+      e_func = t.cells.(base + 1);
+      e_block = t.cells.(base + 2);
+      e_pos = t.cells.(base + 3);
+      e_value = t.cells.(base + 4);
+      e_addr = t.cells.(base + 5);
+      e_ts = t.cells.(base + 6);
+    },
+    t.cells.(base + 7) )
+
+let to_list t = List.init (length t) (get t)

@@ -1,0 +1,39 @@
+(** Bounded flight recorder: the last [capacity] matching events.
+
+    Storage is one flat [int] array (8 words per event), so {!record}
+    allocates nothing and the retained window is GC-free — safe to leave
+    armed across multi-million-statement runs. *)
+
+type t
+
+(** @raise Invalid_argument when the capacity is not positive. *)
+val create : int -> t
+
+val capacity : t -> int
+
+(** Events recorded over the ring's lifetime (retained or not). *)
+val total : t -> int
+
+(** Events currently retained: [min total capacity]. *)
+val length : t -> int
+
+(** Append one event, overwriting the oldest when full. [wall_ns] is a
+    monotonic wall-clock stamp taken by the caller. *)
+val record :
+  t ->
+  kind:int ->
+  func:int ->
+  block:int ->
+  pos:int ->
+  value:int ->
+  addr:int ->
+  ts:int ->
+  wall_ns:int ->
+  unit
+
+(** [get t i] is the [i]-th oldest retained event with its wall stamp.
+    @raise Invalid_argument unless [0 <= i < length t]. *)
+val get : t -> int -> Event.t * int
+
+(** Oldest to newest. *)
+val to_list : t -> (Event.t * int) list

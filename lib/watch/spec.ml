@@ -1,0 +1,208 @@
+(* Concrete syntax for filters:
+
+     expr  := and ( '|' and )*
+     and   := unary ( '&' unary )*
+     unary := '!' unary | atom
+     atom  := '(' expr ')' | 'any'
+            | 'entry' | 'def' | 'use' | 'load' | 'store' | 'call'
+            | 'fn' '=' IDENT
+            | 'block' '=' INT
+            | 'val'  '=' INT | 'val'  'in' '[' INT ',' INT ']'
+            | 'addr' '=' INT | 'addr' 'in' '[' INT ',' INT ']'
+
+   Integers are decimal or 0x-hex. [val=N] / [addr=N] abbreviate the
+   degenerate range [N,N]. *)
+
+type token =
+  | Amp
+  | Bar
+  | Bang
+  | Lpar
+  | Rpar
+  | Lbrack
+  | Rbrack
+  | Comma
+  | Eq
+  | Int of int
+  | Word of string
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let is_word_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> true
+  | _ -> false
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+     | ' ' | '\t' | '\n' | '\r' -> incr i
+     | '&' -> toks := Amp :: !toks; incr i
+     | '|' -> toks := Bar :: !toks; incr i
+     | '!' -> toks := Bang :: !toks; incr i
+     | '(' -> toks := Lpar :: !toks; incr i
+     | ')' -> toks := Rpar :: !toks; incr i
+     | '[' -> toks := Lbrack :: !toks; incr i
+     | ']' -> toks := Rbrack :: !toks; incr i
+     | ',' -> toks := Comma :: !toks; incr i
+     | '=' -> toks := Eq :: !toks; incr i
+     | '0' .. '9' | '-' ->
+       let start = !i in
+       if s.[!i] = '-' then incr i;
+       if !i + 1 < n && s.[!i] = '0' && (s.[!i + 1] = 'x' || s.[!i + 1] = 'X')
+       then i := !i + 2;
+       while !i < n && is_word_char s.[!i] do incr i done;
+       let lit = String.sub s start (!i - start) in
+       (match int_of_string_opt lit with
+        | Some v -> toks := Int v :: !toks
+        | None -> fail "bad integer literal %S" lit)
+     | c when is_word_char c ->
+       let start = !i in
+       while !i < n && is_word_char s.[!i] do incr i done;
+       toks := Word (String.sub s start (!i - start)) :: !toks
+     | c -> fail "unexpected character %C" c);
+  done;
+  List.rev !toks
+
+let parse s =
+  match tokenize s with
+  | exception Error m -> Result.Error m
+  | toks ->
+    let toks = ref toks in
+    let peek () = match !toks with t :: _ -> Some t | [] -> None in
+    let next () =
+      match !toks with
+      | t :: rest ->
+        toks := rest;
+        t
+      | [] -> fail "unexpected end of filter"
+    in
+    let expect t what =
+      if next () <> t then fail "expected %s" what
+    in
+    let int_lit what =
+      match next () with Int v -> v | _ -> fail "expected %s" what
+    in
+    let range field =
+      match next () with
+      | Eq ->
+        let v = int_lit "an integer" in
+        (v, v)
+      | Word "in" ->
+        expect Lbrack "'['";
+        let lo = int_lit "a lower bound" in
+        expect Comma "','";
+        let hi = int_lit "an upper bound" in
+        expect Rbrack "']'";
+        if lo > hi then fail "empty %s range [%d,%d]" field lo hi;
+        (lo, hi)
+      | _ -> fail "expected '=' or 'in' after '%s'" field
+    in
+    let rec expr () =
+      let first = and_ () in
+      let rec more acc =
+        match peek () with
+        | Some Bar ->
+          ignore (next ());
+          more (and_ () :: acc)
+        | _ -> List.rev acc
+      in
+      match more [ first ] with [ f ] -> f | fs -> Filter.Any fs
+    and and_ () =
+      let first = unary () in
+      let rec more acc =
+        match peek () with
+        | Some Amp ->
+          ignore (next ());
+          more (unary () :: acc)
+        | _ -> List.rev acc
+      in
+      match more [ first ] with [ f ] -> f | fs -> Filter.All fs
+    and unary () =
+      match peek () with
+      | Some Bang ->
+        ignore (next ());
+        Filter.Not (unary ())
+      | _ -> atom ()
+    and atom () =
+      match next () with
+      | Lpar ->
+        let f = expr () in
+        expect Rpar "')'";
+        f
+      | Word "any" -> Filter.True
+      | Word "fn" ->
+        expect Eq "'=' after 'fn'";
+        (match next () with
+         | Word name -> Filter.Fn name
+         | _ -> fail "expected a function name after 'fn='")
+      | Word "block" ->
+        expect Eq "'=' after 'block'";
+        Filter.Block (int_lit "a block id")
+      | Word "val" ->
+        let lo, hi = range "val" in
+        Filter.Value (lo, hi)
+      | Word "addr" ->
+        let lo, hi = range "addr" in
+        Filter.Addr (lo, hi)
+      | Word w -> (
+        match Event.kind_of_name w with
+        | Some k -> Filter.Kind k
+        | None -> fail "unknown keyword %S" w)
+      | _ -> fail "expected a filter atom"
+    in
+    (match expr () with
+     | f ->
+       if !toks <> [] then Result.Error "trailing input after filter"
+       else Result.Ok f
+     | exception Error m -> Result.Error m)
+
+(* Canonical printing. Precedence: Any (0) < All (1) < Not (2) < atoms
+   (3); a child is parenthesised when its level is below what its
+   context requires, so [parse (print f) = f] up to the normalisation of
+   empty/singleton combinator lists. *)
+let print f =
+  let b = Buffer.create 64 in
+  let level = function
+    | Filter.Any _ -> 0
+    | Filter.All _ -> 1
+    | Filter.Not _ -> 2
+    | _ -> 3
+  in
+  let range field lo hi =
+    if lo = hi then Printf.sprintf "%s=%d" field lo
+    else Printf.sprintf "%s in [%d,%d]" field lo hi
+  in
+  let rec go need f =
+    let parens = level f < need in
+    if parens then Buffer.add_char b '(';
+    (match f with
+     | Filter.True -> Buffer.add_string b "any"
+     | Filter.Kind k -> Buffer.add_string b (Event.kind_name k)
+     | Filter.Fn name -> Buffer.add_string b ("fn=" ^ name)
+     | Filter.Block blk -> Buffer.add_string b (Printf.sprintf "block=%d" blk)
+     | Filter.Value (lo, hi) -> Buffer.add_string b (range "val" lo hi)
+     | Filter.Addr (lo, hi) -> Buffer.add_string b (range "addr" lo hi)
+     | Filter.Not g ->
+       Buffer.add_char b '!';
+       go 2 g
+     | Filter.All gs -> sep " & " 2 gs
+     | Filter.Any gs -> sep " | " 1 gs);
+    if parens then Buffer.add_char b ')'
+  and sep s need = function
+    | [] -> Buffer.add_string b "any"
+    | [ g ] -> go need g
+    | g :: gs ->
+      go need g;
+      List.iter
+        (fun g ->
+          Buffer.add_string b s;
+          go need g)
+        gs
+  in
+  go 0 f;
+  Buffer.contents b

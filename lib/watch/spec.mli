@@ -1,0 +1,23 @@
+(** Textual filter specifications.
+
+    Grammar (whitespace-insensitive; integers decimal or [0x]-hex):
+    {v
+    expr  := and ( '|' and )*
+    and   := unary ( '&' unary )*
+    unary := '!' unary | atom
+    atom  := '(' expr ')' | 'any'
+           | 'entry' | 'def' | 'use' | 'load' | 'store' | 'call'
+           | 'fn' '=' IDENT
+           | 'block' '=' INT
+           | 'val'  '=' INT | 'val'  'in' '[' INT ',' INT ']'
+           | 'addr' '=' INT | 'addr' 'in' '[' INT ',' INT ']'
+    v}
+    e.g. ["store & fn=main & addr in [0x100,0x1ff]"]. *)
+
+(** Parse a filter spec. [Error] carries a human-readable message. *)
+val parse : string -> (Filter.t, string) result
+
+(** Canonical rendering with minimal parentheses;
+    [parse (print f) = Ok f] up to the normalisation of empty and
+    singleton [All]/[Any] lists (which print as their meaning). *)
+val print : Filter.t -> string

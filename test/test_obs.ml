@@ -293,8 +293,16 @@ let test_span_on_raise () =
       (try Span.with_ "raising" (fun () -> failwith "boom")
        with Failure _ -> ());
       Alcotest.(check int) "stack unwound after raise" 0 (Span.depth ());
-      Alcotest.(check int) "span still recorded" 1
-        (List.length (Sink.events ())))
+      match Sink.events () with
+      | [ e ] ->
+        Alcotest.(check bool) "duration recorded" true
+          (e.Sink.ev_dur_ns <> None);
+        Alcotest.(check bool) "aborted span carries the raised attribute"
+          true
+          (List.assoc_opt "raised" e.Sink.ev_attrs = Some (Sink.Bool true))
+      | evs ->
+        Alcotest.fail
+          (Printf.sprintf "expected 1 event, got %d" (List.length evs)))
 
 let test_span_disabled () =
   Sink.disable ();
@@ -374,6 +382,31 @@ let test_metrics_jsonl_valid () =
       | _ -> Alcotest.fail "histogram line lacks buckets")
 
 (* ------------------------------------------------------------------ *)
+(* Interpreter heartbeat                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The heartbeat fires after every N-th completed statement, so a run of
+   S statements beats exactly floor(S/N) times. *)
+let test_heartbeat_count () =
+  with_sink (fun () ->
+      let n = 1000 in
+      Sink.heartbeat_every := n;
+      Fun.protect
+        ~finally:(fun () -> Sink.heartbeat_every := 0)
+        (fun () ->
+          let w = Spec.find "parser" in
+          let res = Spec.run ~scale:1 w in
+          let beats =
+            List.length
+              (List.filter
+                 (fun e -> e.Sink.ev_name = "interp.heartbeat")
+                 (Sink.events ()))
+          in
+          Alcotest.(check int) "floor(statements/N) heartbeats"
+            (res.Interp.stmts_executed / n)
+            beats))
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: tier-2 method accounting on a real workload             *)
 (* ------------------------------------------------------------------ *)
 
@@ -438,6 +471,7 @@ let () =
         ] );
       ( "end-to-end",
         [
+          Alcotest.test_case "heartbeat count" `Quick test_heartbeat_count;
           Alcotest.test_case "tier-2 method accounting" `Quick
             test_pack_method_accounting;
         ] );
