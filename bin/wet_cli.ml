@@ -7,6 +7,8 @@ open Cmdliner
 
 module Spec = Wet_workloads.Spec
 module Store = Wet_core.Store
+module Container = Wet_core.Container
+module Faultsim = Wet_faultsim.Faultsim
 module Interp = Wet_interp.Interp
 module W = Wet_core.Wet
 module Builder = Wet_core.Builder
@@ -48,6 +50,12 @@ let with_program ?(optimize = 0) name scale input f =
      | () -> `Ok ()
      | exception Interp.Runtime_error m -> `Error (false, "runtime error: " ^ m))
 
+(* Exit codes: 0 success, 2 usage, 3 corrupt or salvage-degraded input
+   (1 is left to analysis mismatches, e.g. [verify]). *)
+let corrupt_exit path fault =
+  Printf.eprintf "error: %s\n" (Store.corrupt_message ~path fault);
+  exit 3
+
 (* Commands operating on a WET accept either a saved [.wet] container or
    anything [load_program] accepts (built on the fly). *)
 let with_wet ?(optimize = 0) ?(tier2 = false) name scale input f =
@@ -57,7 +65,14 @@ let with_wet ?(optimize = 0) ?(tier2 = false) name scale input f =
       match f wet (Filename.basename name) with
       | () -> `Ok ()
       | exception Interp.Runtime_error m ->
-        `Error (false, "runtime error: " ^ m))
+        `Error (false, "runtime error: " ^ m)
+      | exception W.Missing_stream sec ->
+        Printf.eprintf
+          "error: %s: section '%s' was lost to a salvage load; this query \
+           needs it\n"
+          name sec;
+        exit 3)
+    | exception Store.Corrupt { path; fault } -> corrupt_exit path fault
     | exception (Invalid_argument m | Sys_error m) -> `Error (false, m)
   end
   else
@@ -847,6 +862,168 @@ let watch_cmd =
            $ optimize_arg $ filter_arg $ ring_arg $ sample_arg $ stop_arg
            $ count_arg $ jsonl_arg))
 
+(* ---------------- fsck ---------------- *)
+
+(* Container integrity checking. Prints a per-section health table, then
+   (on a clean file) a strict decode plus the structural validator, or
+   (with --salvage, on a damaged file) a salvage report. Exit 0 only
+   when the container is fully intact and structurally sound. *)
+
+let fsck_cmd =
+  let file_arg =
+    let doc = "The WET container to check." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let salvage_arg =
+    let doc =
+      "On a damaged file, attempt a salvage load: report which sections \
+       survive and run the structural validator on the result."
+    in
+    Arg.(value & flag & info [ "salvage" ] ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Corrupt the container bytes in memory before checking (repeatable, \
+       applied in order; the file on disk is untouched). $(docv) is \
+       flip:OFF:BIT, zero:OFF:LEN, or trunc:LEN."
+    in
+    Arg.(value & opt_all string [] & info [ "inject" ] ~docv:"SPEC" ~doc)
+  in
+  let status_cell = function
+    | None -> "ok"
+    | Some (Container.Bad_section _) -> "CORRUPT (crc mismatch)"
+    | Some (Container.Truncated _) -> "CORRUPT (truncated)"
+    | Some f -> "CORRUPT (" ^ Container.fault_message f ^ ")"
+  in
+  let health_table path (h : Container.health) =
+    let rows =
+      List.map
+        (fun (s : Container.section_status) ->
+          [
+            s.Container.sec_name;
+            (if Container.required s.Container.sec_name then "yes" else "no");
+            string_of_int s.Container.sec_offset;
+            string_of_int s.Container.sec_length;
+            Printf.sprintf "0x%08x" s.Container.sec_crc;
+            status_cell s.Container.sec_fault;
+          ])
+        h.Container.hl_sections
+      @ [
+          [
+            "(footer)"; "yes"; "-"; "-"; "-";
+            (match h.Container.hl_footer with
+             | None -> "ok"
+             | Some (Container.Bad_footer _) -> "CORRUPT (crc mismatch)"
+             | Some f -> status_cell (Some f));
+          ];
+        ]
+    in
+    Table.print
+      ~title:
+        (Printf.sprintf "%s: container v%d, %s, %d bytes." path
+           h.Container.hl_version
+           (match h.Container.hl_tier with
+            | `Tier1 -> "tier-1"
+            | `Tier2 -> "tier-2")
+           h.Container.hl_file_bytes)
+      ~align:Table.[ Left; Left; Right; Right; Right; Left ]
+      ~header:[ "Section"; "Required"; "Offset"; "Bytes"; "CRC-32"; "Status" ]
+      rows
+  in
+  let first_fault (h : Container.health) =
+    match
+      List.find_opt
+        (fun (s : Container.section_status) -> s.Container.sec_fault <> None)
+        h.Container.hl_sections
+    with
+    | Some { Container.sec_fault = Some f; _ } -> Some f
+    | _ -> h.Container.hl_footer
+  in
+  let validate_report w =
+    match W.validate w with
+    | [] ->
+      print_endline "structure: ok";
+      true
+    | errs ->
+      Printf.printf "structure: %d violation(s)\n" (List.length errs);
+      List.iter (fun e -> Printf.printf "  %s\n" e) errs;
+      false
+  in
+  let action obs file salvage injects =
+    with_obs obs @@ fun () ->
+    let faults =
+      List.map
+        (fun s ->
+          match Faultsim.of_spec s with
+          | Ok f -> Ok f
+          | Error m -> Error m)
+        injects
+    in
+    match
+      List.find_map (function Error m -> Some m | Ok _ -> None) faults
+    with
+    | Some m -> `Error (true, "--inject " ^ m)
+    | None -> (
+      let faults = List.filter_map Result.to_option faults in
+      match
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception Sys_error m -> `Error (false, m)
+      | data -> (
+        let data = List.fold_left (fun d f -> Faultsim.apply f d) data faults in
+        List.iter
+          (fun f -> Printf.printf "injected: %s\n" (Faultsim.describe f))
+          faults;
+        match Container.examine data with
+        | Error fault -> corrupt_exit file fault
+        | Ok health -> (
+          health_table file health;
+          match first_fault health with
+          | None -> (
+            (* checksums pass; decode strictly and validate structure *)
+            match Container.decode data with
+            | Error fault -> corrupt_exit file fault
+            | Ok (w, _) ->
+              if w.W.damage <> [] then
+                Printf.printf "note: sections %s were salvaged away by an \
+                               earlier load and are absent\n"
+                  (String.concat ", "
+                     (List.map (Printf.sprintf "'%s'") w.W.damage));
+              if validate_report w then begin
+                Printf.printf "%s: clean\n" file;
+                `Ok ()
+              end
+              else exit 3)
+          | Some fault ->
+            if salvage then begin
+              match Container.decode ~salvage:true data with
+              | Error f -> corrupt_exit file f
+              | Ok (w, _) ->
+                (match w.W.damage with
+                 | [] ->
+                   print_endline
+                     "salvage: nothing lost (damaged sections were \
+                      reconstructible)"
+                 | damage ->
+                   Printf.printf
+                     "salvage: lost %s; all other sections recovered\n"
+                     (String.concat ", "
+                        (List.map (Printf.sprintf "'%s'") damage)));
+                ignore (validate_report w);
+                corrupt_exit file fault
+            end
+            else corrupt_exit file fault)))
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Check a WET container: per-section checksums, footer, and \
+          structural invariants. Exits 3 on any damage.")
+    Term.(ret (const action $ obs_term $ file_arg $ salvage_arg $ inject_arg))
+
 (* ---------------- benchmarks ---------------- *)
 
 let benchmarks_cmd =
@@ -873,11 +1050,15 @@ let benchmarks_cmd =
 let () =
   let doc = "whole execution traces: build, compress and query WETs" in
   let info = Cmd.info "wet" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            run_cmd; stats_cmd; trace_cmd; slice_cmd; paths_cmd; at_cmd;
-            watch_cmd; build_cmd; verify_cmd; dot_cmd; profile_cmd;
-            benchmarks_cmd;
-          ]))
+  let code =
+    Cmd.eval ~term_err:2
+      (Cmd.group info
+         [
+           run_cmd; stats_cmd; trace_cmd; slice_cmd; paths_cmd; at_cmd;
+           watch_cmd; build_cmd; verify_cmd; fsck_cmd; dot_cmd; profile_cmd;
+           benchmarks_cmd;
+         ])
+  in
+  (* usage errors — unknown flags, missing arguments, bad --inject specs —
+     uniformly exit 2; 3 is reserved for corrupt input *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

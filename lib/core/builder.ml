@@ -732,6 +732,7 @@ let build_tier1 (trace : T.t) : Wet.t =
     last_node = (if !last_node < 0 then 0 else !last_node);
     stats;
     tier = `Tier1;
+    damage = [];
   }
 
 let build trace = Wet_obs.Span.with_ "build.tier1" (fun () -> build_tier1 trace)

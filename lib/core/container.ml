@@ -1,0 +1,461 @@
+module Stream = Wet_bistream.Stream
+module Crc32 = Wet_util.Crc32
+
+let format_version = 2
+
+let magic = "WETOCaml"
+
+let footer_magic = "WETF"
+
+(* Header = magic + version + tier + flags + section count. *)
+let header_size = 8 + 4 + 1 + 1 + 4
+
+let footer_size = String.length footer_magic + 4
+
+type fault =
+  | Not_wet
+  | Bad_version of int
+  | Truncated of { what : string; offset : int }
+  | Bad_section of {
+      name : string;
+      offset : int;
+      length : int;
+      expected_crc : int;
+      actual_crc : int;
+    }
+  | Bad_footer of { expected_crc : int; actual_crc : int }
+  | Malformed of string
+
+let fault_message = function
+  | Not_wet -> "not a WET container (bad magic)"
+  | Bad_version v ->
+    Printf.sprintf "container version %d, expected %d%s" v format_version
+      (if v = 1 then " (legacy v1 monolithic format; rebuild with `wet build`)"
+       else "")
+  | Truncated { what; offset } ->
+    Printf.sprintf "truncated inside %s (file ends at byte %d)" what offset
+  | Bad_section { name; offset; length; expected_crc; actual_crc } ->
+    Printf.sprintf
+      "section '%s' corrupt (crc mismatch at offset %d, %d bytes: expected \
+       0x%08x, got 0x%08x)"
+      name offset length expected_crc actual_crc
+  | Bad_footer { expected_crc; actual_crc } ->
+    Printf.sprintf
+      "footer checksum mismatch (expected 0x%08x, got 0x%08x; header or \
+       section table corrupt)"
+      expected_crc actual_crc
+  | Malformed m -> "malformed container: " ^ m
+
+type section_status = {
+  sec_name : string;
+  sec_offset : int;
+  sec_length : int;
+  sec_crc : int;
+  sec_fault : fault option;
+}
+
+type health = {
+  hl_version : int;
+  hl_tier : [ `Tier1 | `Tier2 ];
+  hl_file_bytes : int;
+  hl_sections : section_status list;
+  hl_footer : fault option;
+}
+
+exception Fail of fault
+
+let fail f = raise (Fail f)
+
+let required = function
+  | "meta" | "program" | "analysis" | "graph.nodes" | "copy.map" -> true
+  | _ -> false
+
+(* The [meta] section: everything needed to size placeholder arrays for
+   salvage, plus the damage a previous salvage already recorded. *)
+type meta = {
+  m_tier : [ `Tier1 | `Tier2 ];
+  m_first : int;
+  m_last : int;
+  m_stats : Wet.stats;
+  m_nnodes : int;
+  m_ncopies : int;
+  m_nstmts : int;
+  m_damage : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let empty_seq () = Stream.compress_with `Raw [||]
+
+let sections_of (w : Wet.t) =
+  let mar v = Marshal.to_string v [] in
+  let meta =
+    {
+      m_tier = w.Wet.tier;
+      m_first = w.Wet.first_node;
+      m_last = w.Wet.last_node;
+      m_stats = w.Wet.stats;
+      m_nnodes = Array.length w.Wet.nodes;
+      m_ncopies = Array.length w.Wet.copy_node;
+      m_nstmts = Array.length w.Wet.stmt_copies;
+      m_damage = w.Wet.damage;
+    }
+  in
+  (* Timestamps live in their own section: the graph is stored with
+     empty placeholder streams and re-spliced on load. *)
+  let stripped =
+    Array.map (fun n -> { n with Wet.n_ts = empty_seq () }) w.Wet.nodes
+  in
+  let all =
+    [
+      ("meta", mar meta);
+      ("program", mar w.Wet.program);
+      ("analysis", mar w.Wet.analysis);
+      ("graph.nodes", mar stripped);
+      ("copy.map", mar (w.Wet.copy_node, w.Wet.copy_stmt, w.Wet.copy_group));
+      ("labels.ts", mar (Array.map (fun n -> n.Wet.n_ts) w.Wet.nodes));
+      ("labels.values", mar w.Wet.copy_uvals);
+      ("labels.deps", mar w.Wet.copy_deps);
+      ("index.out", mar (w.Wet.copy_local_out, w.Wet.copy_remote_out));
+      ("index.stmts", mar w.Wet.stmt_copies);
+    ]
+  in
+  List.filter (fun (n, _) -> not (List.mem n w.Wet.damage)) all
+
+let add_u32 b v =
+  for i = 3 downto 0 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let add_u64 b v =
+  for i = 7 downto 0 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let encode (w : Wet.t) =
+  let secs = sections_of w in
+  let table_size =
+    List.fold_left (fun a (n, _) -> a + 1 + String.length n + 20) 0 secs
+  in
+  let b = Buffer.create (64 * 1024) in
+  Buffer.add_string b magic;
+  add_u32 b format_version;
+  Buffer.add_char b (match w.Wet.tier with `Tier1 -> '\001' | `Tier2 -> '\002');
+  Buffer.add_char b '\000';
+  add_u32 b (List.length secs);
+  let off = ref (header_size + table_size) in
+  List.iter
+    (fun (name, payload) ->
+      Buffer.add_char b (Char.chr (String.length name));
+      Buffer.add_string b name;
+      add_u64 b !off;
+      add_u64 b (String.length payload);
+      add_u32 b (Crc32.string payload);
+      off := !off + String.length payload)
+    secs;
+  List.iter (fun (_, payload) -> Buffer.add_string b payload) secs;
+  let body = Buffer.contents b in
+  let f = Buffer.create footer_size in
+  Buffer.add_string f footer_magic;
+  add_u32 f (Crc32.string body);
+  body ^ Buffer.contents f
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and verification                                           *)
+(* ------------------------------------------------------------------ *)
+
+let get_u8 s off what =
+  if off >= String.length s then
+    fail (Truncated { what; offset = String.length s })
+  else Char.code s.[off]
+
+let get_u32 s off what =
+  if off + 4 > String.length s then
+    fail (Truncated { what; offset = String.length s });
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let get_u64 s off what =
+  if off + 8 > String.length s then
+    fail (Truncated { what; offset = String.length s });
+  if Char.code s.[off] <> 0 then
+    fail (Malformed (Printf.sprintf "%s: 64-bit field out of range" what));
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+(* Header and section table; raises [Fail] — nothing can be salvaged
+   when the table itself is unreadable. *)
+let parse_header s =
+  let len = String.length s in
+  if len < String.length magic then begin
+    if String.sub magic 0 len = s then
+      fail (Truncated { what = "magic"; offset = len })
+    else fail Not_wet
+  end;
+  if String.sub s 0 (String.length magic) <> magic then fail Not_wet;
+  let v = get_u32 s 8 "version field" in
+  if v <> format_version then fail (Bad_version v);
+  let tier =
+    match get_u8 s 12 "tier byte" with
+    | 1 -> `Tier1
+    | 2 -> `Tier2
+    | t -> fail (Malformed (Printf.sprintf "unknown tier %d" t))
+  in
+  ignore (get_u8 s 13 "flags byte");
+  let count = get_u32 s 14 "section count" in
+  if count < 1 || count > 64 then
+    fail (Malformed (Printf.sprintf "unreasonable section count %d" count));
+  let pos = ref header_size in
+  let entry () =
+    let nl = get_u8 s !pos "section table" in
+    if nl < 1 || nl > 64 then
+      fail (Malformed "section name length outside [1,64]");
+    if !pos + 1 + nl > len then
+      fail (Truncated { what = "section table"; offset = len });
+    let name = String.sub s (!pos + 1) nl in
+    let off = get_u64 s (!pos + 1 + nl) "section table" in
+    let slen = get_u64 s (!pos + 1 + nl + 8) "section table" in
+    let crc = get_u32 s (!pos + 1 + nl + 16) "section table" in
+    pos := !pos + 1 + nl + 20;
+    (name, off, slen, crc)
+  in
+  let entries = ref [] in
+  for _ = 1 to count do
+    entries := entry () :: !entries
+  done;
+  (tier, List.rev !entries, !pos)
+
+let section_status s ~table_end (name, off, slen, crc) =
+  let len = String.length s in
+  let fault =
+    if off < table_end || slen < 0 then
+      Some
+        (Malformed
+           (Printf.sprintf "section '%s' extent [%d,+%d) overlaps the header"
+              name off slen))
+    else if off + slen > len then
+      Some
+        (Truncated
+           { what = Printf.sprintf "section '%s'" name; offset = len })
+    else
+      let actual = Crc32.sub s ~pos:off ~len:slen in
+      if actual <> crc then
+        Some
+          (Bad_section
+             { name; offset = off; length = slen; expected_crc = crc;
+               actual_crc = actual })
+      else None
+  in
+  { sec_name = name; sec_offset = off; sec_length = slen; sec_crc = crc;
+    sec_fault = fault }
+
+let footer_status s =
+  let len = String.length s in
+  if len < header_size + footer_size then
+    Some (Truncated { what = "footer"; offset = len })
+  else if
+    String.sub s (len - footer_size) (String.length footer_magic)
+    <> footer_magic
+  then Some (Truncated { what = "footer"; offset = len })
+  else begin
+    let stored =
+      try get_u32 s (len - 4) "footer" with Fail f -> raise (Fail f)
+    in
+    let actual = Crc32.sub s ~pos:0 ~len:(len - footer_size) in
+    if stored <> actual then
+      Some (Bad_footer { expected_crc = stored; actual_crc = actual })
+    else None
+  end
+
+let examine_exn s =
+  let tier, entries, table_end = parse_header s in
+  let sections = List.map (section_status s ~table_end) entries in
+  {
+    hl_version = format_version;
+    hl_tier = tier;
+    hl_file_bytes = String.length s;
+    hl_sections = sections;
+    hl_footer = footer_status s;
+  }
+
+let examine s = try Ok (examine_exn s) with Fail f -> Error f
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-intern label sharing lost by per-section marshalling: edges that
+   shared one [labels] record before the save (across [copy_deps],
+   [copy_remote_out] and the nodes' control-dependence slots) share one
+   again after it, keyed by [l_id]. *)
+let reshare (nodes : Wet.node array) copy_deps copy_remote_out =
+  let memo = Hashtbl.create 256 in
+  let labels (l : Wet.labels) =
+    match Hashtbl.find_opt memo l.Wet.l_id with
+    | Some l' -> l'
+    | None ->
+      Hashtbl.add memo l.Wet.l_id l;
+      l
+  in
+  let edge (e : Wet.edge) = { e with Wet.e_labels = labels e.Wet.e_labels } in
+  let source = function
+    | Wet.Remote es -> Wet.Remote (List.map edge es)
+    | s -> s
+  in
+  Array.iter
+    (fun (n : Wet.node) ->
+      Array.iteri (fun i s -> n.Wet.n_cd.(i) <- source s) n.Wet.n_cd)
+    nodes;
+  Array.iter (fun slots -> Array.iteri (fun i s -> slots.(i) <- source s) slots)
+    copy_deps;
+  Array.iteri (fun c es -> copy_remote_out.(c) <- List.map edge es)
+    copy_remote_out
+
+let decode_exn ~salvage s =
+  let health = examine_exn s in
+  if not salvage then begin
+    List.iter
+      (fun st -> match st.sec_fault with Some f -> fail f | None -> ())
+      health.hl_sections;
+    match health.hl_footer with Some f -> fail f | None -> ()
+  end;
+  let find name =
+    List.find_opt (fun st -> st.sec_name = name) health.hl_sections
+  in
+  let unmarshal name st =
+    try Marshal.from_string (String.sub s st.sec_offset st.sec_length) 0
+    with _ ->
+      fail
+        (Malformed
+           (Printf.sprintf "section '%s' does not unmarshal (version skew?)"
+              name))
+  in
+  let req name =
+    match find name with
+    | Some ({ sec_fault = None; _ } as st) -> unmarshal name st
+    | Some { sec_fault = Some f; _ } -> fail f
+    | None ->
+      fail (Malformed (Printf.sprintf "required section '%s' missing" name))
+  in
+  let damage = ref [] in
+  let mark name = if not (List.mem name !damage) then damage := name :: !damage in
+  (* A salvageable section: absent (omitted by an earlier salvage save)
+     or damaged means placeholder + damage mark; damage in strict mode
+     was already raised above. *)
+  let opt name ~default ~use =
+    match find name with
+    | Some ({ sec_fault = None; _ } as st) -> (
+      try use (unmarshal name st)
+      with Fail f -> if salvage then (mark name; default ()) else fail f)
+    | Some { sec_fault = Some f; _ } ->
+      if salvage then (mark name; default ()) else fail f
+    | None ->
+      mark name;
+      default ()
+  in
+  let meta : meta = req "meta" in
+  let program : Wet_ir.Program.t = req "program" in
+  let analysis : Wet_cfg.Program_analysis.t = req "analysis" in
+  let nodes : Wet.node array = req "graph.nodes" in
+  let copy_node, copy_stmt, copy_group =
+    (req "copy.map" : int array * int array * int array)
+  in
+  let ncopies = meta.m_ncopies in
+  if Array.length nodes <> meta.m_nnodes then
+    fail (Malformed "graph.nodes disagrees with meta node count");
+  if
+    Array.length copy_node <> ncopies
+    || Array.length copy_stmt <> ncopies
+    || Array.length copy_group <> ncopies
+  then fail (Malformed "copy.map disagrees with meta copy count");
+  Array.iter
+    (fun nid ->
+      if nid < 0 || nid >= meta.m_nnodes then
+        fail (Malformed "copy.map references a node out of range"))
+    copy_node;
+  let nodes =
+    opt "labels.ts"
+      ~default:(fun () -> nodes)
+      ~use:(fun (ts : Wet.seq array) ->
+        if Array.length ts <> Array.length nodes then
+          fail (Malformed "labels.ts disagrees with the node count");
+        Array.mapi (fun i n -> { n with Wet.n_ts = ts.(i) }) nodes)
+  in
+  let copy_uvals =
+    opt "labels.values"
+      ~default:(fun () -> Array.make ncopies None)
+      ~use:(fun (u : Wet.seq option array) ->
+        if Array.length u <> ncopies then
+          fail (Malformed "labels.values disagrees with the copy count");
+        u)
+  in
+  let copy_deps =
+    opt "labels.deps"
+      ~default:(fun () -> Array.make ncopies [||])
+      ~use:(fun (d : Wet.dep_source array array) ->
+        if Array.length d <> ncopies then
+          fail (Malformed "labels.deps disagrees with the copy count");
+        d)
+  in
+  let copy_local_out, copy_remote_out =
+    opt "index.out"
+      ~default:(fun () -> (Array.make ncopies [], Array.make ncopies []))
+      ~use:(fun ((l, r) : Wet.copy_id list array * Wet.edge list array) ->
+        if Array.length l <> ncopies || Array.length r <> ncopies then
+          fail (Malformed "index.out disagrees with the copy count");
+        (l, r))
+  in
+  (* [index.stmts] is fully reconstructible from the copy map, so its
+     loss costs nothing and is not recorded as damage. *)
+  let rebuild_stmt_index () =
+    (* same order the builder produces: descending copy ids *)
+    let a = Array.make meta.m_nstmts [] in
+    for c = 0 to ncopies - 1 do
+      let st = copy_stmt.(c) in
+      if st >= 0 && st < meta.m_nstmts then a.(st) <- c :: a.(st)
+    done;
+    a
+  in
+  let stmt_copies =
+    match find "index.stmts" with
+    | Some ({ sec_fault = None; _ } as st) -> (
+      match (unmarshal "index.stmts" st : Wet.copy_id list array) with
+      | a when Array.length a = meta.m_nstmts -> a
+      | _ -> rebuild_stmt_index ()
+      | exception Fail f -> if salvage then rebuild_stmt_index () else fail f)
+    | Some { sec_fault = Some _; _ } | None -> rebuild_stmt_index ()
+  in
+  reshare nodes copy_deps copy_remote_out;
+  let damage = List.sort_uniq compare (meta.m_damage @ !damage) in
+  let w =
+    {
+      Wet.program;
+      analysis;
+      nodes;
+      copy_node;
+      copy_stmt;
+      copy_uvals;
+      copy_group;
+      copy_deps;
+      copy_local_out;
+      copy_remote_out;
+      stmt_copies;
+      first_node = meta.m_first;
+      last_node = meta.m_last;
+      stats = meta.m_stats;
+      tier = meta.m_tier;
+      damage;
+    }
+  in
+  (w, health)
+
+let decode ?(salvage = false) s =
+  try Ok (decode_exn ~salvage s) with Fail f -> Error f

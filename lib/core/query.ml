@@ -34,7 +34,14 @@ let ex_find (n : Wet.node) v =
 
 type direction = Forward | Backward
 
+(* Control-flow reconstruction walks the per-node timestamp streams; on
+   a salvage load that lost [labels.ts] those are empty placeholders,
+   so fail cleanly up front instead of deep inside a cursor step. *)
+let need (t : Wet.t) sec =
+  if Wet.damaged t sec then raise (Wet.Missing_stream sec)
+
 let park (t : Wet.t) dir =
+  need t "labels.ts";
   Array.iter
     (fun (n : Wet.node) ->
       match dir with
@@ -56,6 +63,7 @@ let emit_blocks_rev f (n : Wet.node) =
 
 let control_flow (t : Wet.t) dir ~f =
   Wet_obs.Metrics.time h_control_flow @@ fun () ->
+  need t "labels.ts";
   Ex.query "query.control_flow";
   let total = t.Wet.stats.Wet.path_execs in
   let blocks = ref 0 in
@@ -136,6 +144,7 @@ let copies_matching (t : Wet.t) pred =
   !acc
 
 let locate_time (t : Wet.t) ts =
+  need t "labels.ts";
   if ts < 1 || ts > t.Wet.stats.Wet.path_execs then None
   else begin
     Ex.query "query.locate_time";

@@ -9,6 +9,12 @@ let h_forward = Wet_obs.Metrics.histogram "slice.forward_ns"
 
 let h_chop = Wet_obs.Metrics.histogram "slice.chop_ns"
 
+(* Placeholders for salvaged-away sections are empty ([[||]] dep slots,
+   empty out-edge lists), which a walk would silently treat as "no
+   dependences" — a wrong slice, not an error. Check damage up front. *)
+let need (t : Wet.t) sec =
+  if Wet.damaged t sec then raise (Wet.Missing_stream sec)
+
 type result = {
   instances : int;
   copies : int;
@@ -55,6 +61,7 @@ let walk ~max_instances ~f (t : Wet.t) c0 i0 ~expand =
 
 let backward ?max_instances ?f (t : Wet.t) c0 i0 =
   Wet_obs.Metrics.time h_backward @@ fun () ->
+  need t "labels.deps";
   Ex.query "slice.backward";
   let expand c i push =
     let nslots = Array.length t.Wet.copy_deps.(c) in
@@ -71,6 +78,7 @@ let backward ?max_instances ?f (t : Wet.t) c0 i0 =
 
 let forward ?max_instances ?f (t : Wet.t) c0 i0 =
   Wet_obs.Metrics.time h_forward @@ fun () ->
+  need t "index.out";
   Ex.query "slice.forward";
   let expand c i push =
     List.iter (fun cc -> push cc i) t.Wet.copy_local_out.(c);

@@ -1,53 +1,111 @@
-(* Versioned container around the runtime representation. Everything in
-   a [Wet.t] is plain data (arrays, bytes, records), so the OCaml
-   marshaller round-trips it exactly; [Closures] is not passed, keeping
-   the format closed under data. Cursor positions are part of the state
-   and therefore of the file; [Query.park] resets them after load if a
-   caller wants a canonical starting point. *)
+(* Persistence via the sectioned {!Container} format. Two properties
+   are load-bearing for the robustness story:
 
-let magic = "WETOCaml"
+   - Atomicity: the container bytes are staged in a temp file next to
+     the destination, fsynced, then renamed over it. A crash mid-save
+     (simulated by [crash_after]) leaves the previous file intact.
 
-let version = 1
+   - Determinism: cursors are part of stream state, so [save] first
+     {!Wet.rewind}s the WET; tier-2 bidirectional streams restore their
+     exact construction-time tables when parked at the left end, making
+     the written bytes independent of prior query activity. [load]
+     rewinds too, so a loaded WET is always canonical. *)
+
+exception Corrupt of { path : string; fault : Container.fault }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt { path; fault } ->
+      Some
+        (Printf.sprintf "Store.Corrupt (%s: %s)" path
+           (Container.fault_message fault))
+    | _ -> None)
+
+let corrupt_message ~path fault =
+  Printf.sprintf "%s: %s" path (Container.fault_message fault)
 
 let c_bytes_written = Wet_obs.Metrics.counter "store.bytes_written"
 
 let c_bytes_read = Wet_obs.Metrics.counter "store.bytes_read"
 
+let c_sections_ok = Wet_obs.Metrics.counter "store.sections_ok"
+
+let c_sections_corrupt = Wet_obs.Metrics.counter "store.sections_corrupt"
+
+let c_salvaged_loads = Wet_obs.Metrics.counter "store.salvaged_loads"
+
+exception Crash_injected
+
+let crash_after : int option ref = ref None
+
+(* Write [data] to [fd], raising {!Crash_injected} after [!crash_after]
+   bytes when the hook is armed. The partial prefix really reaches the
+   file first, so the temp file left behind looks like a torn write. *)
+let write_all fd data =
+  let len = String.length data in
+  let bytes = Bytes.unsafe_of_string data in
+  let limit =
+    match !crash_after with
+    | Some n when n < len ->
+      crash_after := None;
+      Some n
+    | _ -> None
+  in
+  let upto = match limit with Some n -> n | None -> len in
+  let pos = ref 0 in
+  while !pos < upto do
+    pos := !pos + Unix.write fd bytes !pos (upto - !pos)
+  done;
+  if limit <> None then raise Crash_injected
+
 let save (w : Wet.t) path =
   Wet_obs.Span.with_ "store.save"
     ~attrs:[ ("path", Wet_obs.Span.Str path) ]
     (fun () ->
-      let oc = open_out_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
-          output_string oc magic;
-          output_binary_int oc version;
-          Marshal.to_channel oc w [];
-          let bytes = pos_out oc in
-          Wet_obs.Metrics.add c_bytes_written bytes;
-          Wet_obs.Span.set_attr "bytes" (Wet_obs.Span.Int bytes)))
+      Wet.rewind w;
+      let data = Container.encode w in
+      let dir = Filename.dirname path in
+      let tmp =
+        Filename.temp_file ~temp_dir:dir
+          ("." ^ Filename.basename path ^ ".")
+          ".tmp"
+      in
+      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+      (try
+         write_all fd data;
+         Unix.fsync fd;
+         Unix.close fd
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      Unix.rename tmp path;
+      let bytes = String.length data in
+      Wet_obs.Metrics.add c_bytes_written bytes;
+      Wet_obs.Span.set_attr "bytes" (Wet_obs.Span.Int bytes))
 
-let load path =
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ?(salvage = false) path =
   Wet_obs.Span.with_ "store.load"
     ~attrs:[ ("path", Wet_obs.Span.Str path) ]
     (fun () ->
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          let bytes = in_channel_length ic in
-          Wet_obs.Metrics.add c_bytes_read bytes;
-          Wet_obs.Span.set_attr "bytes" (Wet_obs.Span.Int bytes);
-          let tag =
-            try really_input_string ic (String.length magic)
-            with End_of_file -> ""
-          in
-          if not (String.equal tag magic) then
-            invalid_arg (path ^ ": not a WET container");
-          let v = input_binary_int ic in
-          if v <> version then
-            invalid_arg
-              (Printf.sprintf "%s: WET container version %d, expected %d" path
-                 v version);
-          (Marshal.from_channel ic : Wet.t)))
+      let data = read_file path in
+      Wet_obs.Metrics.add c_bytes_read (String.length data);
+      Wet_obs.Span.set_attr "bytes"
+        (Wet_obs.Span.Int (String.length data));
+      match Container.decode ~salvage data with
+      | Error fault -> raise (Corrupt { path; fault })
+      | Ok (w, health) ->
+        List.iter
+          (fun (s : Container.section_status) ->
+            Wet_obs.Metrics.incr
+              (if s.Container.sec_fault = None then c_sections_ok
+               else c_sections_corrupt))
+          health.Container.hl_sections;
+        if w.Wet.damage <> [] then Wet_obs.Metrics.incr c_salvaged_loads;
+        Wet.rewind w;
+        w)

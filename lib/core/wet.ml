@@ -1,4 +1,5 @@
 module Stream = Wet_bistream.Stream
+module Instr = Wet_ir.Instr
 
 type seq = Stream.t
 
@@ -75,7 +76,14 @@ type t = {
   last_node : node_id;
   stats : stats;
   tier : [ `Tier1 | `Tier2 ];
+  damage : string list;
 }
+
+exception Missing_stream of string
+
+let damaged t sec = List.mem sec t.damage
+
+let need t sec = if damaged t sec then raise (Missing_stream sec)
 
 let num_copies t = Array.length t.copy_node
 
@@ -113,6 +121,7 @@ let ex_find_ascending sid s v =
 let find_in_ascending = Stream.find_ascending
 
 let value_of_copy t c i =
+  need t "labels.values";
   match t.copy_uvals.(c) with
   | None -> invalid_arg "Wet.value_of_copy: copy has no def port"
   | Some uvals -> (
@@ -141,6 +150,7 @@ let search_edges edges i =
   search edges
 
 let resolve_dep t c i slot =
+  need t "labels.deps";
   match t.copy_deps.(c).(slot) with
   | No_dep -> None
   | Local p -> Some (p, i)
@@ -164,5 +174,254 @@ let resolve_cd t c i =
 let copies_of_stmt t s = t.stmt_copies.(s)
 
 let timestamp t c i =
+  need t "labels.ts";
   let node = node_of_copy t c in
   ex_read_at (Ex.Ts node.n_id) node.n_ts i
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Park every stream cursor at the left end. [Store] calls this on both
+   save and load so the on-disk form and a freshly loaded WET are
+   canonical regardless of prior query activity (bidirectional streams
+   restore their construction-time tables exactly when walked back, so
+   rewinding also makes saves byte-deterministic). *)
+let rewind t =
+  let seq s = Stream.seek s 0 in
+  let labels (l : labels) =
+    seq l.l_dst;
+    seq l.l_src
+  in
+  let source = function
+    | No_dep | Local _ -> ()
+    | Remote es -> List.iter (fun e -> labels e.e_labels) es
+  in
+  Array.iter
+    (fun n ->
+      seq n.n_ts;
+      Array.iter (fun g -> Option.iter seq g.g_pattern) n.n_groups;
+      Array.iter source n.n_cd)
+    t.nodes;
+  Array.iter (Option.iter seq) t.copy_uvals;
+  Array.iter (Array.iter source) t.copy_deps;
+  Array.iter (List.iter (fun (e : edge) -> labels e.e_labels)) t.copy_remote_out
+
+(* ------------------------------------------------------------------ *)
+(* Structural validation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Invariant checker used after salvage loads and by [wet_cli fsck].
+   Returns human-readable violations; [[]] means the structure is
+   internally consistent. Checks touching a damaged (salvaged-away)
+   section are skipped — placeholders are not violations. *)
+let validate t =
+  let errs = ref [] in
+  let nerrs = ref 0 in
+  let err fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr nerrs;
+        if !nerrs <= 100 then errs := s :: !errs)
+      fmt
+  in
+  let ncopies = Array.length t.copy_node in
+  let nnodes = Array.length t.nodes in
+  let check_len name l =
+    if l <> ncopies then
+      err "%s has %d entries, expected %d (one per copy)" name l ncopies
+  in
+  check_len "copy_stmt" (Array.length t.copy_stmt);
+  check_len "copy_uvals" (Array.length t.copy_uvals);
+  check_len "copy_group" (Array.length t.copy_group);
+  check_len "copy_deps" (Array.length t.copy_deps);
+  check_len "copy_local_out" (Array.length t.copy_local_out);
+  check_len "copy_remote_out" (Array.length t.copy_remote_out);
+  let total_execs = t.stats.path_execs in
+  (* Read a stream without disturbing its cursor. *)
+  let snapshot s =
+    let c0 = Stream.cursor s in
+    let a = Stream.to_array s in
+    Stream.seek s c0;
+    a
+  in
+  let check_labels ctx (l : labels) =
+    if Stream.length l.l_dst <> l.l_len || Stream.length l.l_src <> l.l_len
+    then err "%s: label %d stream lengths differ from l_len=%d" ctx l.l_id l.l_len
+    else begin
+      let dst = snapshot l.l_dst in
+      for j = 1 to l.l_len - 1 do
+        if dst.(j) <= dst.(j - 1) then
+          err "%s: label %d consumer instances not strictly ascending at %d"
+            ctx l.l_id j
+      done
+    end
+  in
+  let check_edge ctx (e : edge) =
+    if e.e_src < 0 || e.e_src >= ncopies || e.e_dst < 0 || e.e_dst >= ncopies
+    then err "%s: edge endpoints (%d,%d) out of copy range" ctx e.e_src e.e_dst
+    else begin
+      check_labels ctx e.e_labels;
+      (* dependence edges must reference live execution instances *)
+      let src_nexec = t.nodes.(t.copy_node.(e.e_src)).n_nexec in
+      let dst_nexec = t.nodes.(t.copy_node.(e.e_dst)).n_nexec in
+      let dst = snapshot e.e_labels.l_dst and src = snapshot e.e_labels.l_src in
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= dst_nexec then
+            err "%s: label %d consumer instance %d outside [0,%d)" ctx
+              e.e_labels.l_id i dst_nexec)
+        dst;
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= src_nexec then
+            err "%s: label %d producer instance %d outside [0,%d)" ctx
+              e.e_labels.l_id i src_nexec)
+        src
+    end
+  in
+  let check_source ctx = function
+    | No_dep -> ()
+    | Local p ->
+      if p < 0 || p >= ncopies then err "%s: local producer %d out of range" ctx p
+    | Remote es -> List.iter (check_edge ctx) es
+  in
+  (* global timestamp coverage: each of [1..path_execs] exactly once *)
+  let seen =
+    if total_execs >= 0 && not (damaged t "labels.ts") then
+      Some (Bytes.make (total_execs + 1) '\000')
+    else None
+  in
+  Array.iteri
+    (fun id n ->
+      let ctx = Printf.sprintf "node %d" id in
+      if n.n_id <> id then err "%s: n_id is %d" ctx n.n_id;
+      let nstmts = Array.length n.n_stmts in
+      let nblocks = Array.length n.n_blocks in
+      if Array.length n.n_block_start <> nblocks then
+        err "%s: block_start/blocks length mismatch" ctx;
+      Array.iteri
+        (fun bp s ->
+          if s < 0 || s > nstmts || (bp > 0 && s <= n.n_block_start.(bp - 1))
+          then err "%s: block_start not ascending at %d" ctx bp)
+        n.n_block_start;
+      if nblocks > 0 && n.n_block_start.(0) <> 0 then
+        err "%s: first block does not start at statement 0" ctx;
+      if n.n_copy_base < 0 || n.n_copy_base + nstmts > ncopies then
+        err "%s: copies [%d,%d) outside copy range" ctx n.n_copy_base
+          (n.n_copy_base + nstmts)
+      else
+        for o = 0 to nstmts - 1 do
+          let c = n.n_copy_base + o in
+          if t.copy_node.(c) <> id then
+            err "%s: copy %d maps to node %d" ctx c t.copy_node.(c);
+          if Array.length t.copy_stmt = ncopies && t.copy_stmt.(c) <> n.n_stmts.(o)
+          then err "%s: copy %d statement mismatch" ctx c
+        done;
+      Array.iter
+        (fun s ->
+          if s < 0 || s >= nnodes then err "%s: successor %d out of range" ctx s
+          else if not (Array.exists (fun p -> p = id) t.nodes.(s).n_preds) then
+            err "%s: successor %d lacks the symmetric predecessor" ctx s)
+        n.n_succs;
+      (if not (damaged t "labels.ts") then begin
+         if Stream.length n.n_ts <> n.n_nexec then
+           err "%s: %d timestamps for %d executions" ctx
+             (Stream.length n.n_ts) n.n_nexec
+         else begin
+           let ts = snapshot n.n_ts in
+           Array.iteri
+             (fun i v ->
+               if i > 0 && v <= ts.(i - 1) then
+                 err "%s: timestamps not strictly increasing at %d" ctx i;
+               if v < 1 || v > total_execs then
+                 err "%s: timestamp %d outside [1,%d]" ctx v total_execs
+               else
+                 Option.iter
+                   (fun b ->
+                     if Bytes.get b v <> '\000' then
+                       err "%s: timestamp %d already used" ctx v
+                     else Bytes.set b v '\001')
+                   seen)
+             ts
+         end
+       end);
+      Array.iter
+        (fun g ->
+          Array.iter
+            (fun m ->
+              if m < n.n_copy_base || m >= n.n_copy_base + nstmts then
+                err "%s: group member %d outside the node" ctx m)
+            g.g_members;
+          match g.g_pattern with
+          | None -> ()
+          | Some p ->
+            if Stream.length p <> n.n_nexec then
+              err "%s: group pattern length %d <> nexec %d" ctx
+                (Stream.length p) n.n_nexec
+            else if not (damaged t "labels.values") then
+              Array.iter
+                (fun v ->
+                  if v < 0 || v >= g.g_nuniq then
+                    err "%s: pattern index %d outside [0,%d)" ctx v g.g_nuniq)
+                (snapshot p))
+        n.n_groups;
+      Array.iteri
+        (fun bp src -> check_source (Printf.sprintf "%s cd[%d]" ctx bp) src)
+        n.n_cd)
+    t.nodes;
+  Option.iter
+    (fun b ->
+      for v = 1 to total_execs do
+        if Bytes.get b v = '\000' then err "timestamp %d never assigned" v
+      done)
+    seen;
+  (if not (damaged t "labels.values") && Array.length t.copy_uvals = ncopies
+   then
+     Array.iteri
+       (fun c u ->
+         match u with
+         | None -> ()
+         | Some _ when t.copy_group.(c) < 0 ->
+           err "copy %d has values but no group" c
+         | Some _ -> ())
+       t.copy_uvals);
+  (if not (damaged t "labels.deps") && Array.length t.copy_deps = ncopies then
+     Array.iteri
+       (fun c slots ->
+         let k = Instr.dyn_use_count (instr_of_copy t c) in
+         if Array.length slots <> k then
+           err "copy %d: %d dependence slots, expected %d" c
+             (Array.length slots) k
+         else
+           Array.iteri
+             (fun s src ->
+               check_source (Printf.sprintf "copy %d slot %d" c s) src)
+             slots)
+       t.copy_deps);
+  (if not (damaged t "index.out") && Array.length t.copy_remote_out = ncopies
+   then
+     Array.iteri
+       (fun c es ->
+         List.iter
+           (fun (e : edge) ->
+             if e.e_src <> c then
+               err "copy %d: out-edge claims source %d" c e.e_src)
+           es)
+       t.copy_remote_out);
+  (let total = Array.fold_left (fun a l -> a + List.length l) 0 t.stmt_copies in
+   if total <> ncopies then
+     err "stmt_copies indexes %d copies, expected %d" total ncopies;
+   Array.iteri
+     (fun s cs ->
+       List.iter
+         (fun c ->
+           if c < 0 || c >= ncopies then
+             err "stmt %d: copy %d out of range" s c
+           else if Array.length t.copy_stmt = ncopies && t.copy_stmt.(c) <> s
+           then err "stmt %d: copy %d belongs to stmt %d" s c t.copy_stmt.(c))
+         cs)
+     t.stmt_copies);
+  if !nerrs > 100 then
+    errs := Printf.sprintf "... and %d more violations" (!nerrs - 100) :: !errs;
+  List.rev !errs

@@ -119,7 +119,19 @@ type t = {
   last_node : node_id;
   stats : stats;
   tier : [ `Tier1 | `Tier2 ];
+  damage : string list;
+      (** container sections that were corrupt and replaced by
+          placeholders during a salvage load ({!Store.load}
+          [~salvage:true]); [[]] for a built or cleanly loaded WET.
+          Queries touching a damaged section raise {!Missing_stream}. *)
 }
+
+(** Raised (with the container section name, e.g. ["labels.values"])
+    when a query touches data lost to a salvage load. *)
+exception Missing_stream of string
+
+(** [damaged t sec] is [true] if section [sec] was salvaged away. *)
+val damaged : t -> string -> bool
 
 (** Number of statement copies. *)
 val num_copies : t -> int
@@ -159,3 +171,19 @@ val timestamp : t -> copy_id -> int -> int
     stepping from the current position; [None] if absent. Exposed for
     query implementations and tests. *)
 val find_in_ascending : seq -> int -> int option
+
+(** Park every stream cursor (timestamps, values, patterns, edge
+    labels) at the left end — the canonical state of a freshly built
+    WET. {!Store} rewinds on save and load so persistence is
+    deterministic regardless of prior query activity. *)
+val rewind : t -> unit
+
+(** Structural invariant checker: stream lengths consistent with node
+    execution counts, timestamps strictly increasing per path and
+    covering [1..path_execs] exactly once, dependence edges referencing
+    live instances, copy maps and indexes mutually consistent. Returns
+    human-readable violations ([[]] = sound). Checks that would touch a
+    {!damage}d section are skipped, so a salvaged WET validates clean
+    when its surviving sections are sound. Reads (and restores) stream
+    cursors, decompressing each stream once on tier-2. *)
+val validate : t -> string list

@@ -1,0 +1,95 @@
+module Prng = Wet_util.Prng
+
+type fault =
+  | Bit_flip of { offset : int; bit : int }
+  | Zero_range of { offset : int; len : int }
+  | Truncate_at of int
+
+let describe = function
+  | Bit_flip { offset; bit } ->
+    Printf.sprintf "bit %d of byte %d flipped" bit offset
+  | Zero_range { offset; len } ->
+    Printf.sprintf "%d bytes zeroed at offset %d" len offset
+  | Truncate_at n -> Printf.sprintf "truncated to %d bytes" n
+
+let to_spec = function
+  | Bit_flip { offset; bit } -> Printf.sprintf "flip:%d:%d" offset bit
+  | Zero_range { offset; len } -> Printf.sprintf "zero:%d:%d" offset len
+  | Truncate_at n -> Printf.sprintf "trunc:%d" n
+
+let of_spec s =
+  let nat what v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Printf.sprintf "%s: %s must be a non-negative integer" s what)
+  in
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' s with
+  | [ "flip"; off; bit ] ->
+    let* off = nat "offset" off in
+    let* bit = nat "bit" bit in
+    if bit > 7 then Error (Printf.sprintf "%s: bit must be in 0..7" s)
+    else Ok (Bit_flip { offset = off; bit })
+  | [ "zero"; off; len ] ->
+    let* off = nat "offset" off in
+    let* len = nat "length" len in
+    Ok (Zero_range { offset = off; len })
+  | [ "trunc"; n ] ->
+    let* n = nat "length" n in
+    Ok (Truncate_at n)
+  | _ ->
+    Error
+      (Printf.sprintf
+         "%s: expected flip:OFF:BIT, zero:OFF:LEN, or trunc:LEN" s)
+
+let apply fault data =
+  let n = String.length data in
+  if n = 0 then data
+  else
+    match fault with
+    | Bit_flip { offset; bit } ->
+      let offset = min offset (n - 1) in
+      let b = Bytes.of_string data in
+      Bytes.set b offset
+        (Char.chr (Char.code (Bytes.get b offset) lxor (1 lsl (bit land 7))));
+      Bytes.unsafe_to_string b
+    | Zero_range { offset; len } ->
+      let offset = min offset (n - 1) in
+      let len = min len (n - offset) in
+      let b = Bytes.of_string data in
+      Bytes.fill b offset len '\000';
+      Bytes.unsafe_to_string b
+    | Truncate_at k -> String.sub data 0 (min k n)
+
+let apply_file faults path =
+  let data =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let data = List.fold_left (fun d f -> apply f d) data faults in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc data)
+
+let random_fault rng ~len =
+  let len = max len 1 in
+  match Prng.int rng 100 with
+  | r when r < 60 ->
+    Bit_flip { offset = Prng.int rng len; bit = Prng.int rng 8 }
+  | r when r < 85 ->
+    Zero_range
+      { offset = Prng.int rng len; len = 1 + Prng.int rng 64 }
+  | _ -> Truncate_at (Prng.int rng len)
+
+let campaign ~seed ~count ~len =
+  let rng = Prng.create seed in
+  (* explicit loop: [List.init]'s evaluation order is unspecified and
+     the generator is stateful *)
+  let acc = ref [] in
+  for _ = 1 to count do
+    acc := random_fault rng ~len :: !acc
+  done;
+  List.rev !acc

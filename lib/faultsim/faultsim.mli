@@ -1,0 +1,40 @@
+(** Deterministic fault injection for container bytes.
+
+    The robustness claim of the sectioned {!Container} format — every
+    fault is detected, attributed, and survivable — is only worth
+    anything if it is exercised. This library produces the faults:
+    seeded single-bit flips, byte-range zeroing, and truncation, as pure
+    functions on strings so tests and [wet_cli fsck --inject] share one
+    implementation and every campaign replays from its seed. *)
+
+type fault =
+  | Bit_flip of { offset : int; bit : int }  (** xor bit [bit] (0–7) *)
+  | Zero_range of { offset : int; len : int }
+  | Truncate_at of int  (** keep the first [n] bytes *)
+
+(** Human-readable one-liner, e.g. ["bit 3 of byte 812 flipped"]. *)
+val describe : fault -> string
+
+(** Compact spec syntax, ["flip:OFF:BIT"] | ["zero:OFF:LEN"] |
+    ["trunc:LEN"] — what [wet_cli fsck --inject] accepts. *)
+val to_spec : fault -> string
+
+(** Inverse of {!to_spec}. [Error] explains the malformed spec. *)
+val of_spec : string -> (fault, string) result
+
+(** Apply a fault to container bytes. Out-of-range offsets clamp to the
+    data (an empty input is returned unchanged), so campaign faults are
+    always applicable. *)
+val apply : fault -> string -> string
+
+(** Read [path], apply the faults in order, write the result back. *)
+val apply_file : fault list -> string -> unit
+
+(** One random fault for data of length [len], drawn from the
+    generator: 60% bit flips, 25% zeroed ranges (up to 64 bytes), 15%
+    truncations. *)
+val random_fault : Wet_util.Prng.t -> len:int -> fault
+
+(** [campaign ~seed ~count ~len] is [count] reproducible faults for
+    data of length [len]. *)
+val campaign : seed:int -> count:int -> len:int -> fault list

@@ -471,47 +471,8 @@ let base_suites =
         ] );
     ]
 
-(* ------------------------------------------------------------------ *)
-(* Persistence                                                        *)
-(* ------------------------------------------------------------------ *)
-
-let test_store_round_trip () =
-  List.iter
-    (fun (name, tr, _, w2) ->
-      let path = Filename.temp_file "wet_test" ".wet" in
-      Fun.protect
-        ~finally:(fun () -> Sys.remove path)
-        (fun () ->
-          Wet_core.Store.save w2 path;
-          let loaded = Wet_core.Store.load path in
-          (* the loaded WET answers exactly like the original *)
-          Query.park loaded Query.Forward;
-          let out = ref [] in
-          ignore
-            (Query.control_flow loaded Query.Forward ~f:(fun f b ->
-                 out := T.encode_block f b :: !out));
-          if Array.of_list (List.rev !out) <> tr.T.blocks then
-            Alcotest.failf "%s: loaded WET control flow differs" name;
-          let r = replay loaded tr in
-          iter_instances r (fun c i pos ->
-              if loaded.W.copy_uvals.(c) <> None then
-                if W.value_of_copy loaded c i <> tr.T.values.(pos) then
-                  Alcotest.failf "%s: loaded value mismatch" name)))
-    (Lazy.force built)
-
-let test_store_rejects_garbage () =
-  let path = Filename.temp_file "wet_test" ".not_wet" in
-  Fun.protect
-    ~finally:(fun () -> Sys.remove path)
-    (fun () ->
-      let oc = open_out path in
-      output_string oc "not a wet file at all";
-      close_out oc;
-      match Wet_core.Store.load path with
-      | _ -> Alcotest.fail "expected rejection"
-      | exception Invalid_argument m ->
-        Alcotest.(check bool) ("message: " ^ m) true
-          (String.length m > 0))
+(* Persistence (round trips, corruption, salvage, atomicity) is
+   exercised exhaustively in test_store.ml. *)
 
 (* ------------------------------------------------------------------ *)
 (* Partial traversal from arbitrary execution points                  *)
@@ -730,11 +691,6 @@ let prop_pipeline_fuzz =
 
 let more_suites =
   [
-    ( "store",
-      [
-        Alcotest.test_case "round trip" `Quick test_store_round_trip;
-        Alcotest.test_case "rejects garbage" `Quick test_store_rejects_garbage;
-      ] );
     ("fuzz", [ QCheck_alcotest.to_alcotest prop_pipeline_fuzz ]);
     ("chop", [ Alcotest.test_case "source-sink chop" `Quick test_chop ]);
     ( "interprocedural-cd",

@@ -1,0 +1,461 @@
+(* Persistence robustness: the sectioned container must detect every
+   fault, attribute it to the right section, salvage what survives, and
+   never crash or return garbage — exercised here with an exhaustive
+   per-section corruption matrix and a seeded random-fault campaign. *)
+
+module W = Wet_core.Wet
+module Builder = Wet_core.Builder
+module Query = Wet_core.Query
+module Store = Wet_core.Store
+module Container = Wet_core.Container
+module Faultsim = Wet_faultsim.Faultsim
+module Stream = Wet_bistream.Stream
+module T = Wet_interp.Trace
+module Interp = Wet_interp.Interp
+
+(* ------------------------------------------------------------------ *)
+(* Workloads: two programs with different shapes (recursion + arrays  *)
+(* vs input-driven branching), both tiers each.                       *)
+(* ------------------------------------------------------------------ *)
+
+let programs =
+  [
+    ( "fib-array",
+      {|
+global arr[10];
+fn fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+fn main() {
+  var i = 0;
+  while (i < 10) { arr[i] = fib(i); i = i + 1; }
+  var j = 0;
+  while (j < 10) { print(arr[j]); j = j + 1; }
+}
+|},
+      [||] );
+    ( "input-driven",
+      {|
+global buf[16];
+fn weigh(x, w) { return x * w + 1; }
+fn main() {
+  var i = 0;
+  while (i < 16) {
+    buf[i] = weigh(input(), i % 4);
+    i = i + 1;
+  }
+  var best = -1000000;
+  for (var j = 0; j < 16; j = j + 1) {
+    if (buf[j] > best) { best = buf[j]; }
+  }
+  print(best);
+}
+|},
+      Array.init 16 (fun i -> (i * 13) mod 29) );
+  ]
+
+let built =
+  lazy
+    (List.map
+       (fun (name, src, input) ->
+         let prog = Wet_minic.Frontend.compile_exn src in
+         let res = Interp.run prog ~input in
+         let tr = res.Interp.trace in
+         let w1 = Builder.build tr in
+         let w2 = Builder.pack w1 in
+         (name, tr, w1, w2))
+       programs)
+
+let each_tier f =
+  List.iter
+    (fun (name, tr, w1, w2) ->
+      f (name ^ "/tier1") tr w1;
+      f (name ^ "/tier2") tr w2)
+    (Lazy.force built)
+
+(* Canonical container bytes for a WET. *)
+let bytes_of w =
+  W.rewind w;
+  Container.encode w
+
+let sections_of_bytes data =
+  match Container.examine data with
+  | Ok h -> h.Container.hl_sections
+  | Error f -> Alcotest.failf "examine failed: %s" (Container.fault_message f)
+
+let with_temp_file suffix f =
+  let path = Filename.temp_file "wet_test" suffix in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc data)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Control-flow fingerprint of a WET (parks cursors first). *)
+let cf_blocks wet =
+  Query.park wet Query.Forward;
+  let out = ref [] in
+  ignore
+    (Query.control_flow wet Query.Forward ~f:(fun f b ->
+         out := T.encode_block f b :: !out));
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Round trip and determinism                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_round_trip () =
+  each_tier (fun name tr wet ->
+      with_temp_file ".wet" (fun path ->
+          Store.save wet path;
+          let loaded = Store.load path in
+          if cf_blocks loaded <> tr.T.blocks then
+            Alcotest.failf "%s: loaded WET control flow differs" name;
+          let vals w =
+            let acc = ref [] in
+            ignore (Query.load_values w ~f:(fun c v -> acc := (c, v) :: !acc));
+            List.rev !acc
+          in
+          if vals loaded <> vals wet then
+            Alcotest.failf "%s: loaded WET load values differ" name;
+          Alcotest.(check (list string))
+            (name ^ ": no damage") [] loaded.W.damage;
+          Alcotest.(check (list string))
+            (name ^ ": validates") [] (W.validate loaded)))
+
+(* Cursors are part of stream state; save/load must be independent of
+   query activity (cursors parked at the left end = canonical). *)
+let test_deterministic_and_canonical () =
+  each_tier (fun name _ wet ->
+      with_temp_file ".wet" (fun path ->
+          Store.save wet path;
+          let first = read_file path in
+          (* stir every cursor kind: control flow, values, deps *)
+          ignore (cf_blocks wet);
+          ignore (Query.load_values wet ~f:(fun _ _ -> ()));
+          ignore (Query.addresses wet ~f:(fun _ _ -> ()));
+          Store.save wet path;
+          if read_file path <> first then
+            Alcotest.failf "%s: save not deterministic after queries" name;
+          let loaded = Store.load path in
+          Array.iter
+            (fun (n : W.node) ->
+              if Stream.cursor n.W.n_ts <> 0 then
+                Alcotest.failf "%s: node %d ts cursor not parked on load" name
+                  n.W.n_id)
+            loaded.W.nodes;
+          ignore (cf_blocks loaded);
+          Store.save loaded path;
+          if read_file path <> first then
+            Alcotest.failf "%s: save of loaded WET differs from original" name))
+
+(* ------------------------------------------------------------------ *)
+(* Structured rejection: garbage, legacy version, truncation          *)
+(* ------------------------------------------------------------------ *)
+
+let expect_corrupt name thunk check =
+  match thunk () with
+  | _ -> Alcotest.failf "%s: expected Store.Corrupt" name
+  | exception Store.Corrupt { fault; _ } -> check fault
+  | exception e ->
+    Alcotest.failf "%s: raw exception escaped: %s" name (Printexc.to_string e)
+
+let test_rejects_garbage () =
+  with_temp_file ".not_wet" (fun path ->
+      write_file path "not a wet file at all";
+      expect_corrupt "garbage"
+        (fun () -> Store.load path)
+        (function
+          | Container.Not_wet -> ()
+          | f -> Alcotest.failf "garbage: wrong fault %s"
+                   (Container.fault_message f)))
+
+let test_rejects_legacy_v1 () =
+  with_temp_file ".wet" (fun path ->
+      (* the old monolithic format: magic, big-endian version 1, blob *)
+      write_file path "WETOCaml\x00\x00\x00\x01leftover marshal bytes";
+      expect_corrupt "legacy"
+        (fun () -> Store.load path)
+        (function
+          | Container.Bad_version 1 -> ()
+          | f -> Alcotest.failf "legacy: wrong fault %s"
+                   (Container.fault_message f)))
+
+(* Truncate at every section boundary, at every header field edge, and
+   inside the footer: always a structured error (or a clean salvage),
+   never End_of_file or a Marshal failure. *)
+let test_truncation_everywhere () =
+  each_tier (fun name _ wet ->
+      let data = bytes_of wet in
+      let secs = sections_of_bytes data in
+      let cuts =
+        [ 0; 3; 8; 10; 12; 14; 17 ]
+        @ List.concat_map
+            (fun (s : Container.section_status) ->
+              [ s.Container.sec_offset;
+                s.Container.sec_offset + s.Container.sec_length;
+                s.Container.sec_offset + (s.Container.sec_length / 2) ])
+            secs
+        @ [ String.length data - 4; String.length data - 1 ]
+      in
+      List.iter
+        (fun cut ->
+          let cut = min cut (String.length data - 1) in
+          let mutilated = Faultsim.apply (Faultsim.Truncate_at cut) data in
+          (match Container.decode mutilated with
+           | Ok _ -> Alcotest.failf "%s: truncation at %d undetected" name cut
+           | Error _ -> ()
+           | exception e ->
+             Alcotest.failf "%s: trunc at %d leaked %s" name cut
+               (Printexc.to_string e));
+          match Container.decode ~salvage:true mutilated with
+          | Ok (w, _) ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "%s: salvage after trunc at %d validates" name cut)
+              [] (W.validate w)
+          | Error _ -> ()
+          | exception e ->
+            Alcotest.failf "%s: salvage trunc at %d leaked %s" name cut
+              (Printexc.to_string e))
+        cuts)
+
+(* ------------------------------------------------------------------ *)
+(* Per-section corruption matrix                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Flip one payload byte of each section in turn: strict load must name
+   exactly that section; salvage must recover every other section. *)
+let test_section_matrix () =
+  each_tier (fun name tr wet ->
+      let data = bytes_of wet in
+      let secs = sections_of_bytes data in
+      List.iter
+        (fun (s : Container.section_status) ->
+          let sec = s.Container.sec_name in
+          let off = s.Container.sec_offset + (s.Container.sec_length / 2) in
+          let mutilated =
+            Faultsim.apply (Faultsim.Bit_flip { offset = off; bit = 5 }) data
+          in
+          (* strict: the right section is named *)
+          (match Container.decode mutilated with
+           | Ok _ -> Alcotest.failf "%s/%s: flip undetected" name sec
+           | Error (Container.Bad_section { name = hit; _ }) ->
+             Alcotest.(check string)
+               (Printf.sprintf "%s: strict names the flipped section" name)
+               sec hit
+           | Error f ->
+             Alcotest.failf "%s/%s: wrong fault %s" name sec
+               (Container.fault_message f));
+          (* salvage: required sections are fatal, the rest recover *)
+          match Container.decode ~salvage:true mutilated with
+          | Error f ->
+            if not (Container.required sec) then
+              Alcotest.failf "%s/%s: salvage refused: %s" name sec
+                (Container.fault_message f)
+          | Ok (w, _) ->
+            if Container.required sec then
+              Alcotest.failf "%s/%s: salvage loaded a required fault" name sec;
+            (* index.stmts is rebuilt from copy.map: no damage at all *)
+            if sec = "index.stmts" then begin
+              Alcotest.(check (list string))
+                (name ^ ": index.stmts rebuilt silently") [] w.W.damage;
+              Array.iteri
+                (fun st copies ->
+                  if copies <> W.copies_of_stmt w st then
+                    Alcotest.failf "%s: rebuilt stmt index differs" name)
+                wet.W.stmt_copies
+            end
+            else begin
+              Alcotest.(check (list string))
+                (Printf.sprintf "%s/%s: damage recorded" name sec)
+                [ sec ] w.W.damage;
+              (* surviving sections still answer queries *)
+              if sec <> "labels.ts" then begin
+                if cf_blocks w <> tr.T.blocks then
+                  Alcotest.failf "%s/%s: salvaged control flow differs" name sec
+              end
+              else begin
+                (match cf_blocks w with
+                 | _ -> Alcotest.failf "%s: lost ts must raise" name
+                 | exception W.Missing_stream m ->
+                   Alcotest.(check string) "missing stream" "labels.ts" m)
+              end;
+              if sec <> "labels.values" then
+                ignore (Query.load_values w ~f:(fun _ _ -> ()))
+              else begin
+                match Query.load_values w ~f:(fun _ _ -> ()) with
+                | _ -> Alcotest.failf "%s: lost values must raise" name
+                | exception W.Missing_stream m ->
+                  Alcotest.(check string) "missing stream" "labels.values" m
+              end
+            end;
+            (* the validator must accept what survived *)
+            Alcotest.(check (list string))
+              (Printf.sprintf "%s/%s: salvage validates" name sec)
+              [] (W.validate w))
+        secs)
+
+(* A salvaged WET saved and re-loaded (strictly) keeps its damage
+   record and still validates: honesty survives round trips. *)
+let test_salvage_round_trip () =
+  let _, _, _, w2 =
+    List.find (fun (n, _, _, _) -> n = "fib-array") (Lazy.force built)
+  in
+  let data = bytes_of w2 in
+  let secs = sections_of_bytes data in
+  let s =
+    List.find
+      (fun (s : Container.section_status) ->
+        s.Container.sec_name = "labels.values")
+      secs
+  in
+  let mutilated =
+    Faultsim.apply
+      (Faultsim.Bit_flip { offset = s.Container.sec_offset + 1; bit = 0 })
+      data
+  in
+  match Container.decode ~salvage:true mutilated with
+  | Error f -> Alcotest.failf "salvage failed: %s" (Container.fault_message f)
+  | Ok (w, _) ->
+    with_temp_file ".wet" (fun path ->
+        Store.save w path;
+        let reloaded = Store.load path in
+        Alcotest.(check (list string))
+          "damage survives a save/load round trip" [ "labels.values" ]
+          reloaded.W.damage;
+        Alcotest.(check (list string)) "still validates" []
+          (W.validate reloaded);
+        match W.value_of_copy reloaded 0 0 with
+        | _ -> Alcotest.fail "expected Missing_stream"
+        | exception W.Missing_stream _ -> ()
+        | exception Invalid_argument _ ->
+          Alcotest.fail "expected Missing_stream")
+
+(* ------------------------------------------------------------------ *)
+(* Atomic save                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_atomic_save () =
+  let _, tr, w1, w2 =
+    List.find (fun (n, _, _, _) -> n = "fib-array") (Lazy.force built)
+  in
+  with_temp_file ".wet" (fun path ->
+      Store.save w1 path;
+      let before = read_file path in
+      let total = String.length (bytes_of w2) in
+      List.iter
+        (fun k ->
+          Store.crash_after := Some k;
+          (match Store.save w2 path with
+           | () -> Alcotest.failf "crash at %d not injected" k
+           | exception Store.Crash_injected -> ());
+          Alcotest.(check bool)
+            (Printf.sprintf "file intact after crash at byte %d" k)
+            true
+            (read_file path = before))
+        [ 0; 1; 17; total / 2; total - 1 ];
+      (* hook disarmed after firing: the next save completes *)
+      Store.save w2 path;
+      let loaded = Store.load path in
+      if cf_blocks loaded <> tr.T.blocks then
+        Alcotest.fail "post-crash save loads wrong");
+  (* sweep the leftover temp staging files out of the temp dir *)
+  let dir = Filename.get_temp_dir_name () in
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".tmp"
+         && String.length f > 9
+         && String.sub f 0 9 = ".wet_test"
+      then Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded random-fault campaign                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* >= 500 faults across both tiers and both workloads: every fault is
+   either a byte-identical no-op, detected with a structured fault, or
+   salvaged into a WET the validator accepts. Nothing else. *)
+let test_campaign () =
+  let per_wet = 150 in
+  let total = ref 0 in
+  each_tier (fun name _ wet ->
+      let data = bytes_of wet in
+      let faults =
+        Faultsim.campaign
+          ~seed:(Hashtbl.hash name)
+          ~count:per_wet ~len:(String.length data)
+      in
+      List.iter
+        (fun fault ->
+          incr total;
+          let mutilated = Faultsim.apply fault data in
+          let ctx = Printf.sprintf "%s [%s]" name (Faultsim.describe fault) in
+          (match Container.decode mutilated with
+           | Ok _ ->
+             if mutilated <> data then
+               Alcotest.failf "%s: strict accepted corrupted bytes" ctx
+           | Error _ -> ()
+           | exception e ->
+             Alcotest.failf "%s: strict leaked %s" ctx (Printexc.to_string e));
+          match Container.decode ~salvage:true mutilated with
+          | Ok (w, _) ->
+            let errs = W.validate w in
+            if errs <> [] then
+              Alcotest.failf "%s: salvage produced invalid WET: %s" ctx
+                (String.concat "; " errs)
+          | Error _ -> ()
+          | exception e ->
+            Alcotest.failf "%s: salvage leaked %s" ctx (Printexc.to_string e))
+        faults);
+  if !total < 500 then Alcotest.failf "campaign too small: %d faults" !total
+
+(* Fault specs round-trip, for `wet fsck --inject`. *)
+let test_fault_specs () =
+  List.iter
+    (fun f ->
+      match Faultsim.of_spec (Faultsim.to_spec f) with
+      | Ok f' -> Alcotest.(check bool) (Faultsim.to_spec f) true (f = f')
+      | Error m -> Alcotest.failf "spec round trip: %s" m)
+    [
+      Faultsim.Bit_flip { offset = 12; bit = 7 };
+      Faultsim.Zero_range { offset = 0; len = 64 };
+      Faultsim.Truncate_at 9;
+    ];
+  List.iter
+    (fun s ->
+      match Faultsim.of_spec s with
+      | Ok _ -> Alcotest.failf "accepted bad spec %s" s
+      | Error _ -> ())
+    [ "flip:1"; "flip:1:9"; "zero:-1:2"; "trunc:x"; "smash:3" ]
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "container",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "deterministic + canonical cursors" `Quick
+            test_deterministic_and_canonical;
+          Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+          Alcotest.test_case "rejects legacy v1" `Quick test_rejects_legacy_v1;
+          Alcotest.test_case "truncation everywhere" `Quick
+            test_truncation_everywhere;
+          Alcotest.test_case "per-section corruption matrix" `Quick
+            test_section_matrix;
+          Alcotest.test_case "salvage round trip" `Quick
+            test_salvage_round_trip;
+          Alcotest.test_case "atomic save" `Quick test_atomic_save;
+          Alcotest.test_case "fault campaign (600 seeded faults)" `Slow
+            test_campaign;
+          Alcotest.test_case "fault specs" `Quick test_fault_specs;
+        ] );
+    ]
