@@ -739,6 +739,119 @@ let micro () =
     (List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
+(* Persisted bench observatory (BENCH_PR*.json + `wet bench-check`)    *)
+(* ------------------------------------------------------------------ *)
+
+let repeat = ref 3
+
+let warmup = ref 1
+
+let out_file = ref "BENCH_PR4.json"
+
+module Bench = Wet_insight.Bench
+module Explain = Wet_watch.Explain
+
+(* The fixed query sweep every observatory sample times: both directions
+   of control flow, load values and addresses, all on the tier-2 WET —
+   the shape of Tables 6–8 in one deterministic unit of work. *)
+let query_sweep w2 =
+  Query.park w2 Query.Forward;
+  ignore (Query.control_flow w2 Query.Forward ~f:(fun _ _ -> ()));
+  ignore (Query.control_flow w2 Query.Backward ~f:(fun _ _ -> ()));
+  ignore (Query.load_values w2 ~f:(fun _ _ -> ()));
+  ignore (Query.addresses w2 ~f:(fun _ _ -> ()))
+
+let timed_ms f =
+  let t0 = Wet_obs.Clock.now_ns () in
+  let x = f () in
+  (x, float_of_int (Wet_obs.Clock.now_ns () - t0) /. 1e6)
+
+(* [warmup] discarded runs, then [repeat] timed ones (ms). *)
+let sampled f =
+  for _ = 1 to !warmup do
+    ignore (f ())
+  done;
+  List.init !repeat (fun _ -> snd (timed_ms f))
+
+let observatory () =
+  let samples =
+    List.map
+      (fun w ->
+        let scale =
+          let s = w.Spec.timing_scale in
+          if !quick then max 1 (s / 4) else s
+        in
+        progress "observatory %s (scale %d)" w.Spec.name scale;
+        let res = Spec.run ~scale w in
+        let stmts = res.Interp.stmts_executed in
+        let build_ms = sampled (fun () -> Builder.build res.Interp.trace) in
+        let w1 = Builder.build res.Interp.trace in
+        let orig = Sizes.original w1 in
+        let t1 = Sizes.current w1 in
+        let w2 = Builder.pack w1 in
+        let t2 = Sizes.current w2 in
+        let query_ms = sampled (fun () -> query_sweep w2) in
+        (* the sweep's deterministic cost profile, via query-explain *)
+        Explain.arm ();
+        query_sweep w2;
+        let er = Fun.protect ~finally:Explain.disarm Explain.publish in
+        let switches =
+          List.fold_left
+            (fun a (s : Explain.stream_stats) -> a + s.Explain.e_switches)
+            0 er.Explain.r_streams
+        in
+        let build_p50 = Bench.percentile 0.5 build_ms in
+        let per_label b = b.Sizes.total_bytes /. float_of_int stmts in
+        {
+          Bench.workload = w.Spec.name;
+          scale;
+          stmts;
+          stmts_per_sec = float_of_int stmts /. (build_p50 /. 1e3);
+          bytes_per_label_t1 = per_label t1;
+          bytes_per_label_t2 = per_label t2;
+          ratio_t1 = orig.Sizes.total_bytes /. t1.Sizes.total_bytes;
+          ratio_t2 = orig.Sizes.total_bytes /. t2.Sizes.total_bytes;
+          build_p50_ms = build_p50;
+          build_p95_ms = Bench.percentile 0.95 build_ms;
+          query_p50_ms = Bench.percentile 0.5 query_ms;
+          query_p95_ms = Bench.percentile 0.95 query_ms;
+          query_steps = Explain.total_steps er;
+          query_switches = switches;
+        })
+      Spec.all
+  in
+  let run =
+    {
+      Bench.label = "observatory";
+      quick = !quick;
+      repeat = !repeat;
+      warmup = !warmup;
+      samples;
+    }
+  in
+  Bench.save run !out_file;
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Bench observatory (%s scale, %d warmup + %d timed) -> %s."
+         (if !quick then "quick" else "timing")
+         !warmup !repeat !out_file)
+    ~header:
+      [ "Workload"; "Stmts"; "Stmts/s"; "B/label T2"; "Ratio T2";
+        "Build p50 (ms)"; "Query p50 (ms)"; "Steps" ]
+    (List.map
+       (fun (s : Bench.sample) ->
+         [
+           s.Bench.workload;
+           Table.millions s.Bench.stmts;
+           Printf.sprintf "%.3g" s.Bench.stmts_per_sec;
+           Table.f2 s.Bench.bytes_per_label_t2;
+           Table.f2 s.Bench.ratio_t2;
+           Table.f2 s.Bench.build_p50_ms;
+           Table.f2 s.Bench.query_p50_ms;
+           Table.i s.Bench.query_steps;
+         ])
+       samples)
 
 let all_targets =
   [
@@ -747,19 +860,38 @@ let all_targets =
     ("table7", table7); ("table8", table8); ("table9", table9);
     ("fig8", fig8); ("fig9", fig9); ("ablation", ablation);
     ("optablation", opt_ablation); ("ctxablation", ctx_ablation);
-    ("micro", micro);
+    ("micro", micro); ("observatory", observatory);
   ]
 
 let () =
-  let args =
-    Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a ->
-           if a = "--quick" then begin
-             quick := true;
-             false
-           end
-           else a <> "--")
+  (* Hand-rolled flag parsing: positional target names plus --quick,
+     --quiet, --repeat N, --warmup N and --out FILE. *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--" :: rest -> parse acc rest
+    | "--quick" :: rest ->
+      quick := true;
+      parse acc rest
+    | "--quiet" :: rest ->
+      Wet_obs.Log.quiet := true;
+      parse acc rest
+    | (("--repeat" | "--warmup") as flag) :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= (if flag = "--repeat" then 1 else 0) ->
+        (if flag = "--repeat" then repeat else warmup) := n;
+        parse acc rest
+      | _ ->
+        Printf.eprintf "%s needs a non-negative integer, got %s\n" flag v;
+        exit 1)
+    | "--out" :: path :: rest ->
+      out_file := path;
+      parse acc rest
+    | (("--repeat" | "--warmup" | "--out") as flag) :: [] ->
+      Printf.eprintf "%s needs an argument\n" flag;
+      exit 1
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let targets =
     match args with
     | [] -> all_targets

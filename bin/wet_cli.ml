@@ -16,6 +16,10 @@ module Query = Wet_core.Query
 module Slice = Wet_core.Slice
 module Sizes = Wet_core.Sizes
 module Table = Wet_report.Table
+module Insight_report = Wet_insight.Report
+module Insight_json = Wet_insight.Json
+module Bench_obs = Wet_insight.Bench
+module Metric_docs = Wet_insight.Metric_docs
 
 let is_wet_file name =
   Filename.check_suffix name ".wet"
@@ -58,9 +62,10 @@ let corrupt_exit path fault =
 
 (* Commands operating on a WET accept either a saved [.wet] container or
    anything [load_program] accepts (built on the fly). *)
-let with_wet ?(optimize = 0) ?(tier2 = false) name scale input f =
+let with_wet ?(optimize = 0) ?(tier2 = false) ?(salvage = false) name scale
+    input f =
   if is_wet_file name then begin
-    match Store.load name with
+    match Store.load ~salvage name with
     | wet -> (
       match f wet (Filename.basename name) with
       | () -> `Ok ()
@@ -128,8 +133,7 @@ let explain_arg =
   in
   Arg.(value & flag & info [ "explain" ] ~doc)
 
-let print_explain () =
-  let r = Explain.report () in
+let print_explain (r : Explain.report) =
   if r.Explain.r_streams = [] then
     print_endline "explain: no compressed streams touched"
   else begin
@@ -186,7 +190,9 @@ let with_explain explain f =
   else begin
     Explain.arm ();
     let r = Fun.protect ~finally:Explain.disarm f in
-    print_explain ();
+    (* [publish] also folds the tallies into the wet_obs instruments, so
+       --explain combined with --metrics-out exports them. *)
+    print_explain (Explain.publish ());
     r
   end
 
@@ -230,40 +236,63 @@ let run_cmd =
 (* ---------------- stats ---------------- *)
 
 let stats_cmd =
-  let action obs prog scale input tier2 =
+  let json_arg =
+    let doc = "Emit the full report as one JSON document instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let salvage_arg =
+    let doc =
+      "When PROGRAM is a damaged .wet container, salvage the intact \
+       sections and report on what survives (exit 3)."
+    in
+    Arg.(value & flag & info [ "salvage" ] ~doc)
+  in
+  let action obs prog scale input tier2 json salvage =
     with_obs obs @@ fun () ->
-    with_wet ~tier2 prog scale input (fun wet label ->
-        let s = wet.W.stats in
-        Printf.printf "program: %s\n" label;
-        Printf.printf "statements executed: %d\n" s.W.stmts_executed;
-        Printf.printf "basic block executions: %d\n" s.W.block_execs;
-        Printf.printf "Ball-Larus path executions: %d\n" s.W.path_execs;
-        Printf.printf "distinct executed paths (WET nodes): %d\n"
-          (Array.length wet.W.nodes);
-        Printf.printf "statement copies: %d\n" (W.num_copies wet);
-        Printf.printf "dependence instances: %d (data) + %d (control)\n"
-          s.W.dep_instances s.W.cd_instances;
-        Printf.printf "  inferable from node labels (no edge stored): %d\n"
-          s.W.local_dep_instances;
-        Printf.printf "  label values shared across identical edges: %d\n"
-          s.W.shared_label_values;
-        let o = Sizes.original wet and c = Sizes.current wet in
-        Printf.printf "original WET: %.2f MB (ts %.2f, vals %.2f, edges %.2f)\n"
-          (Sizes.mb o.Sizes.total_bytes) (Sizes.mb o.Sizes.ts_bytes)
-          (Sizes.mb o.Sizes.vals_bytes) (Sizes.mb o.Sizes.edge_bytes);
-        Printf.printf "%s WET: %.2f MB (ts %.2f, vals %.2f, edges %.2f)\n"
-          (match wet.W.tier with `Tier2 -> "tier-2" | `Tier1 -> "tier-1")
-          (Sizes.mb c.Sizes.total_bytes) (Sizes.mb c.Sizes.ts_bytes)
-          (Sizes.mb c.Sizes.vals_bytes) (Sizes.mb c.Sizes.edge_bytes);
-        Printf.printf "compression ratio: %.2f\n"
-          (o.Sizes.total_bytes /. c.Sizes.total_bytes))
+    with_wet ~tier2 ~salvage prog scale input (fun wet label ->
+        let report = Insight_report.of_wet ~label wet in
+        if json then
+          print_endline (Insight_json.to_string (Insight_report.to_json report))
+        else begin
+          let s = wet.W.stats in
+          Printf.printf "program: %s\n" label;
+          Printf.printf "statements executed: %d\n" s.W.stmts_executed;
+          Printf.printf "basic block executions: %d\n" s.W.block_execs;
+          Printf.printf "Ball-Larus path executions: %d\n" s.W.path_execs;
+          Printf.printf "distinct executed paths (WET nodes): %d\n"
+            (Array.length wet.W.nodes);
+          Printf.printf "statement copies: %d\n" (W.num_copies wet);
+          Printf.printf "dependence instances: %d (data) + %d (control)\n"
+            s.W.dep_instances s.W.cd_instances;
+          Printf.printf "  inferable from node labels (no edge stored): %d\n"
+            s.W.local_dep_instances;
+          Printf.printf "  label values shared across identical edges: %d\n"
+            s.W.shared_label_values;
+          let o = Sizes.original wet and c = Sizes.current wet in
+          Printf.printf
+            "original WET: %.2f MB (ts %.2f, vals %.2f, edges %.2f)\n"
+            (Sizes.mb o.Sizes.total_bytes) (Sizes.mb o.Sizes.ts_bytes)
+            (Sizes.mb o.Sizes.vals_bytes) (Sizes.mb o.Sizes.edge_bytes);
+          Printf.printf "%s WET: %.2f MB (ts %.2f, vals %.2f, edges %.2f)\n"
+            (match wet.W.tier with `Tier2 -> "tier-2" | `Tier1 -> "tier-1")
+            (Sizes.mb c.Sizes.total_bytes) (Sizes.mb c.Sizes.ts_bytes)
+            (Sizes.mb c.Sizes.vals_bytes) (Sizes.mb c.Sizes.edge_bytes);
+          Printf.printf "compression ratio: %.2f\n"
+            (o.Sizes.total_bytes /. c.Sizes.total_bytes);
+          Insight_report.print report
+        end;
+        (* the paper-style report on a salvaged WET is still degraded
+           input: keep the exit-code contract (3 = corrupt/salvaged) *)
+        if wet.W.damage <> [] then exit 3)
   in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Build the WET and report sizes and compression statistics.")
+       ~doc:
+         "Report sizes, per-stream compression and telemetry for a WET \
+          (built on the fly or loaded from a .wet container).")
     Term.(
       ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
-           $ tier2_arg))
+           $ tier2_arg $ json_arg $ salvage_arg))
 
 (* ---------------- trace ---------------- *)
 
@@ -600,8 +629,67 @@ let profile_cmd =
       in
       Some [ name; Printf.sprintf "%.2f" dur_ms; Printf.sprintf "%.2f" alloc_mw ]
   in
-  let action obs prog scale input optimize heartbeat =
+  let opt_program_arg =
+    let doc =
+      "MiniC source file or bundled benchmark name (not needed with \
+       --list-metrics)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+  in
+  let list_metrics_arg =
+    let doc =
+      "List every instrument the pipeline registers with the \
+       observability sink, with one-line descriptions, and exit."
+    in
+    Arg.(value & flag & info [ "list-metrics" ] ~doc)
+  in
+  (* All library modules are linked into this binary, so their top-level
+     instrument registrations have already run: the live registry is
+     complete without executing anything. *)
+  let list_metrics () =
+    let kind_of = function
+      | Wet_obs.Metrics.Counter _ -> "counter"
+      | Wet_obs.Metrics.Gauge _ -> "gauge"
+      | Wet_obs.Metrics.Histogram _ -> "histogram"
+    in
+    let rows =
+      List.map
+        (fun (name, reading) ->
+          [
+            name;
+            kind_of reading;
+            Option.value (Metric_docs.lookup name)
+              ~default:"UNDOCUMENTED (add to Metric_docs.docs)";
+          ])
+        (Wet_obs.Metrics.snapshot ())
+    in
+    Table.print ~title:"Registered instruments."
+      ~align:Table.[ Left; Left; Left ]
+      ~header:[ "Name"; "Kind"; "Description" ]
+      rows;
+    let families =
+      List.filter_map
+        (fun (name, kind, desc) ->
+          if String.contains name '<' then
+            Some [ name; Metric_docs.kind_name kind; desc ]
+          else None)
+        Metric_docs.docs
+    in
+    Table.print
+      ~title:"Dynamically registered families (appear once instantiated)."
+      ~align:Table.[ Left; Left; Left ]
+      ~header:[ "Pattern"; "Kind"; "Description" ]
+      families;
+    `Ok ()
+  in
+  let action obs prog scale input optimize heartbeat list_metrics_flag =
     with_obs obs @@ fun () ->
+    if list_metrics_flag then list_metrics ()
+    else
+    match prog with
+    | None ->
+      `Error (true, "required argument PROGRAM is missing (or --list-metrics)")
+    | Some prog ->
     Wet_obs.Sink.enable ();
     Wet_obs.Metrics.reset ();
     Wet_obs.Sink.heartbeat_every := heartbeat;
@@ -693,10 +781,11 @@ let profile_cmd =
     (Cmd.info "profile"
        ~doc:
          "Run the full pipeline under the observability sink and report \
-          per-phase wall/allocation numbers and pipeline metrics.")
+          per-phase wall/allocation numbers and pipeline metrics, or list \
+          the registered instruments with --list-metrics.")
     Term.(
-      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
-           $ optimize_arg $ heartbeat_arg))
+      ret (const action $ obs_term $ opt_program_arg $ scale_arg $ input_arg
+           $ optimize_arg $ heartbeat_arg $ list_metrics_arg))
 
 (* ---------------- watch ---------------- *)
 
@@ -1024,6 +1113,138 @@ let fsck_cmd =
           structural invariants. Exits 3 on any damage.")
     Term.(ret (const action $ obs_term $ file_arg $ salvage_arg $ inject_arg))
 
+(* ---------------- bench-check ---------------- *)
+
+(* The CI regression gate: diff a BENCH_PR*.json produced by
+   `bench/main.exe observatory` against a committed baseline. Exit 3 on
+   regression, mirroring fsck's "the input is bad" convention. *)
+
+let bench_check_cmd =
+  let current_arg =
+    let doc = "The freshly produced bench observatory file." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CURRENT" ~doc)
+  in
+  let against_arg =
+    let doc = "Baseline bench file to compare against." in
+    Arg.(
+      required & opt (some string) None & info [ "against" ] ~docv:"FILE" ~doc)
+  in
+  let wall_arg =
+    let doc =
+      "Allowed relative worsening for wall-clock metrics (stmts/s, build \
+       and query p50) before flagging a regression."
+    in
+    Arg.(
+      value
+      & opt float Bench_obs.default_thresholds.Bench_obs.wall_frac
+      & info [ "wall-threshold" ] ~docv:"FRAC" ~doc)
+  in
+  let size_arg =
+    let doc =
+      "Allowed relative worsening for deterministic size/step metrics \
+       (bytes/label, compression ratios, query steps)."
+    in
+    Arg.(
+      value
+      & opt float Bench_obs.default_thresholds.Bench_obs.size_frac
+      & info [ "size-threshold" ] ~docv:"FRAC" ~doc)
+  in
+  let warn_only_arg =
+    let doc = "Report regressions but exit 0 (first-run CI bootstrap)." in
+    Arg.(value & flag & info [ "warn-only" ] ~doc)
+  in
+  let allow_missing_arg =
+    let doc =
+      "Exit 0 with a note when the baseline file does not exist (instead \
+       of a usage error)."
+    in
+    Arg.(value & flag & info [ "allow-missing-baseline" ] ~doc)
+  in
+  let action current against wall_frac size_frac warn_only allow_missing =
+    if not (Sys.file_exists against) then begin
+      if allow_missing then begin
+        Printf.printf
+          "bench-check: no baseline at %s; nothing to compare (record %s as \
+           the new baseline)\n"
+          against current;
+        `Ok ()
+      end
+      else `Error (false, Printf.sprintf "baseline %s does not exist" against)
+    end
+    else
+      match (Bench_obs.load current, Bench_obs.load against) with
+      | Error m, _ | _, Error m -> `Error (false, m)
+      | Ok cur, Ok prev ->
+        if cur.Bench_obs.quick <> prev.Bench_obs.quick then
+          Printf.printf
+            "note: comparing a %s run against a %s baseline; wall numbers \
+             are not comparable\n"
+            (if cur.Bench_obs.quick then "quick" else "full")
+            (if prev.Bench_obs.quick then "quick" else "full");
+        let verdicts =
+          Bench_obs.check
+            { Bench_obs.wall_frac; size_frac }
+            ~prev ~cur
+        in
+        if verdicts = [] then begin
+          Printf.printf
+            "bench-check: no overlapping workloads between %s and %s\n"
+            current against;
+          `Ok ()
+        end
+        else begin
+          let rows =
+            List.map
+              (fun (v : Bench_obs.verdict) ->
+                [
+                  v.Bench_obs.v_workload;
+                  v.Bench_obs.v_metric;
+                  Printf.sprintf "%.4g" v.Bench_obs.v_prev;
+                  Printf.sprintf "%.4g" v.Bench_obs.v_cur;
+                  Printf.sprintf "%+.1f%%" (100. *. v.Bench_obs.v_worse_frac);
+                  Printf.sprintf "%.0f%%" (100. *. v.Bench_obs.v_threshold);
+                  (if v.Bench_obs.v_regressed then "REGRESSED" else "ok");
+                ])
+              verdicts
+          in
+          Table.print
+            ~title:
+              (Printf.sprintf "bench-check: %s vs baseline %s." current against)
+            ~align:Table.[ Left; Left; Right; Right; Right; Right; Left ]
+            ~header:
+              [ "Workload"; "Metric"; "Baseline"; "Current"; "Worse by";
+                "Allowed"; "Status" ]
+            rows;
+          let bad =
+            List.filter (fun v -> v.Bench_obs.v_regressed) verdicts
+          in
+          if bad = [] then begin
+            Printf.printf "bench-check: ok (%d comparisons)\n"
+              (List.length verdicts);
+            `Ok ()
+          end
+          else begin
+            Printf.printf "bench-check: %d regression(s) of %d comparisons\n"
+              (List.length bad) (List.length verdicts);
+            if warn_only then begin
+              print_endline "bench-check: --warn-only set, not failing";
+              `Ok ()
+            end
+            else exit 3
+          end
+        end
+  in
+  Cmd.v
+    (Cmd.info "bench-check"
+       ~doc:
+         "Compare a bench observatory file (BENCH_PR*.json) against a \
+          baseline and fail (exit 3) on metric regressions beyond the \
+          noise thresholds.")
+    Term.(
+      ret
+        (const action $ current_arg $ against_arg $ wall_arg $ size_arg
+         $ warn_only_arg $ allow_missing_arg))
+
 (* ---------------- benchmarks ---------------- *)
 
 let benchmarks_cmd =
@@ -1056,7 +1277,7 @@ let () =
          [
            run_cmd; stats_cmd; trace_cmd; slice_cmd; paths_cmd; at_cmd;
            watch_cmd; build_cmd; verify_cmd; fsck_cmd; dot_cmd; profile_cmd;
-           benchmarks_cmd;
+           bench_check_cmd; benchmarks_cmd;
          ])
   in
   (* usage errors — unknown flags, missing arguments, bad --inject specs —

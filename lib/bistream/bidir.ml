@@ -21,6 +21,23 @@ type t = {
   bltb : int array;
   table_bits : int;
   mutable w : int;  (* window start: FR = [0,w), window = [w,w+ctx), BL after *)
+  (* Traversal telemetry. Counted in the internal steps so seeks pay
+     too; zeroed at the end of [compress] (the construction walk is not
+     traversal) and by [reset_telemetry] ([Wet.rewind] calls it, keeping
+     saved containers byte-deterministic). *)
+  mutable tfwd : int;
+  mutable tbwd : int;
+  mutable tswitch : int;
+  mutable tlast : int;  (* 0 none, 1 forward, 2 backward *)
+}
+
+type telemetry = {
+  tl_lookups : int;
+  tl_hits : int;
+  tl_misses : int;
+  tl_fwd_steps : int;
+  tl_bwd_steps : int;
+  tl_dir_switches : int;
 }
 
 let ceil_log2 n =
@@ -192,6 +209,9 @@ let internal_step_forward t =
   t.p.(reveal) <- x;
   push_fr t t.w leaving;
   t.w <- t.w + 1;
+  t.tfwd <- t.tfwd + 1;
+  if t.tlast = 2 then t.tswitch <- t.tswitch + 1;
+  t.tlast <- 1;
   x
 
 (* A backward step reveals the value at index [w-1], which is already the
@@ -206,6 +226,9 @@ let internal_step_backward t =
   t.p.(refill) <- x;
   push_bl t (t.w + t.ctx - 1) leaving;
   t.w <- t.w - 1;
+  t.tbwd <- t.tbwd + 1;
+  if t.tlast = 1 then t.tswitch <- t.tswitch + 1;
+  t.tlast <- 2;
   leaving
 
 let compress meth ~ctx values =
@@ -232,6 +255,7 @@ let compress meth ~ctx values =
       hit = Bitvec.create (m + (2 * ctx));
       frtb = tb (); bltb = tb (); table_bits;
       w = m + ctx;
+      tfwd = 0; tbwd = 0; tswitch = 0; tlast = 0;
     }
   in
   (* Build the all-FR state left to right (each value compressed with
@@ -243,6 +267,10 @@ let compress meth ~ctx values =
   for _ = 1 to m + ctx do
     ignore (internal_step_backward t)
   done;
+  t.tfwd <- 0;
+  t.tbwd <- 0;
+  t.tswitch <- 0;
+  t.tlast <- 0;
   t
 
 let length t = t.m
@@ -257,14 +285,26 @@ let step_backward t =
   if t.w <= 0 then invalid_arg "Bidir.step_backward: at left end";
   internal_step_backward t
 
+(* Peeks are a step and its exact inverse: they reveal a value without
+   moving the cursor, so they must not show up as traversal either. *)
 let peek_forward t =
+  let f, b, s, l = (t.tfwd, t.tbwd, t.tswitch, t.tlast) in
   let x = step_forward t in
   ignore (internal_step_backward t);
+  t.tfwd <- f;
+  t.tbwd <- b;
+  t.tswitch <- s;
+  t.tlast <- l;
   x
 
 let peek_backward t =
+  let f, b, s, l = (t.tfwd, t.tbwd, t.tswitch, t.tlast) in
   let x = step_backward t in
   ignore (internal_step_forward t);
+  t.tfwd <- f;
+  t.tbwd <- b;
+  t.tswitch <- s;
+  t.tlast <- l;
   x
 
 let seek t k =
@@ -305,3 +345,32 @@ let to_array t =
 let meth t = t.meth
 
 let ctx t = t.ctx
+
+(* Dictionary telemetry is derived from the persistent hit bitvec rather
+   than counted in the hot push path: every padded value outside the
+   window carries exactly one classified entry, so lookups = m + ctx and
+   the flag says whether the predictor hit. Cursor-position independent
+   after a rewind, and free when nobody asks. *)
+let telemetry t =
+  let hits = ref 0 in
+  for pos = 0 to t.w - 1 do
+    if Bitvec.get t.hit pos then incr hits
+  done;
+  for pos = t.w + t.ctx to t.m + (2 * t.ctx) - 1 do
+    if Bitvec.get t.hit pos then incr hits
+  done;
+  let lookups = t.m + t.ctx in
+  {
+    tl_lookups = lookups;
+    tl_hits = !hits;
+    tl_misses = lookups - !hits;
+    tl_fwd_steps = t.tfwd;
+    tl_bwd_steps = t.tbwd;
+    tl_dir_switches = t.tswitch;
+  }
+
+let reset_telemetry t =
+  t.tfwd <- 0;
+  t.tbwd <- 0;
+  t.tswitch <- 0;
+  t.tlast <- 0

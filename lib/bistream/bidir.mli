@@ -73,3 +73,28 @@ val meth : t -> meth
 
 (** Context size the stream was compressed with. *)
 val ctx : t -> int
+
+(** Always-on stream telemetry, cheap enough to never gate.
+
+    Dictionary figures are derived from the persisted hit bitvec (one
+    classified entry per padded value outside the window), so they are
+    cursor-independent and cost nothing on the push path:
+    [tl_lookups = length + ctx] and [tl_hits + tl_misses = tl_lookups]
+    always. Step counters track cursor traversal only — construction,
+    peeks (a step plus its inverse) and [compress] itself do not count —
+    and are zeroed by [reset_telemetry]. *)
+type telemetry = {
+  tl_lookups : int;  (** predictor lookups = entries classified *)
+  tl_hits : int;  (** entries the predictor got right (flag-bit only) *)
+  tl_misses : int;  (** entries stored verbatim (32-bit payload) *)
+  tl_fwd_steps : int;  (** forward cursor steps since last reset *)
+  tl_bwd_steps : int;  (** backward cursor steps since last reset *)
+  tl_dir_switches : int;  (** traversal direction reversals *)
+}
+
+val telemetry : t -> telemetry
+
+(** Zero the traversal counters ([tl_fwd_steps], [tl_bwd_steps],
+    [tl_dir_switches]). [Wet.rewind] calls this so saved containers stay
+    byte-deterministic regardless of query history. *)
+val reset_telemetry : t -> unit

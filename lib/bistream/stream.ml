@@ -1,6 +1,27 @@
-type repr = Raw of { data : int array; mutable pos : int } | Packed of Bidir.t
+type repr =
+  | Raw of {
+      data : int array;
+      mutable pos : int;
+      (* Traversal telemetry, mirroring Bidir's counters: steps only —
+         seeks and random reads are O(1) on a raw array so they are not
+         traversal work here. rlast: 0 none, 1 forward, 2 backward. *)
+      mutable rfwd : int;
+      mutable rbwd : int;
+      mutable rswitch : int;
+      mutable rlast : int;
+    }
+  | Packed of Bidir.t
 
 type t = repr
+
+type telemetry = Bidir.telemetry = {
+  tl_lookups : int;
+  tl_hits : int;
+  tl_misses : int;
+  tl_fwd_steps : int;
+  tl_bwd_steps : int;
+  tl_dir_switches : int;
+}
 
 let candidates =
   List.concat_map
@@ -15,7 +36,16 @@ let trial_len = 4096
 
 let compress_with spec values =
   match spec with
-  | `Raw -> Raw { data = Array.copy values; pos = 0 }
+  | `Raw ->
+    Raw
+      {
+        data = Array.copy values;
+        pos = 0;
+        rfwd = 0;
+        rbwd = 0;
+        rswitch = 0;
+        rlast = 0;
+      }
   | `Bidir (meth, ctx) -> Packed (Bidir.compress meth ~ctx values)
 
 let compress values =
@@ -46,6 +76,9 @@ let step_forward = function
       invalid_arg "Stream.step_forward: at right end";
     let x = r.data.(r.pos) in
     r.pos <- r.pos + 1;
+    r.rfwd <- r.rfwd + 1;
+    if r.rlast = 2 then r.rswitch <- r.rswitch + 1;
+    r.rlast <- 1;
     x
   | Packed b -> Bidir.step_forward b
 
@@ -53,6 +86,9 @@ let step_backward = function
   | Raw r ->
     if r.pos <= 0 then invalid_arg "Stream.step_backward: at left end";
     r.pos <- r.pos - 1;
+    r.rbwd <- r.rbwd + 1;
+    if r.rlast = 1 then r.rswitch <- r.rswitch + 1;
+    r.rlast <- 2;
     r.data.(r.pos)
   | Packed b -> Bidir.step_backward b
 
@@ -87,6 +123,28 @@ let read_at t k =
 let bits = function
   | Raw { data; _ } -> 32 * Array.length data
   | Packed b -> Bidir.compressed_bits b
+
+let telemetry = function
+  | Raw r ->
+    (* Raw streams do no prediction: every value is stored verbatim and
+       there is no dictionary to hit. *)
+    {
+      tl_lookups = 0;
+      tl_hits = 0;
+      tl_misses = 0;
+      tl_fwd_steps = r.rfwd;
+      tl_bwd_steps = r.rbwd;
+      tl_dir_switches = r.rswitch;
+    }
+  | Packed b -> Bidir.telemetry b
+
+let reset_telemetry = function
+  | Raw r ->
+    r.rfwd <- 0;
+    r.rbwd <- 0;
+    r.rswitch <- 0;
+    r.rlast <- 0
+  | Packed b -> Bidir.reset_telemetry b
 
 let method_name = function
   | Raw _ -> "raw"

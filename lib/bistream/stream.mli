@@ -39,6 +39,25 @@ val bits : t -> int
 (** Human-readable method name, e.g. ["dfcm/4"] or ["raw"]. *)
 val method_name : t -> string
 
+(** Per-stream telemetry (see {!Bidir.telemetry}). For raw streams the
+    dictionary figures are all zero — there is no predictor — and the
+    step counters track cursor steps only (seeks and [read_at] are O(1)
+    random access on raw data, so they are not traversal work). *)
+type telemetry = Bidir.telemetry = {
+  tl_lookups : int;
+  tl_hits : int;
+  tl_misses : int;
+  tl_fwd_steps : int;
+  tl_bwd_steps : int;
+  tl_dir_switches : int;
+}
+
+val telemetry : t -> telemetry
+
+(** Zero the traversal counters; called by [Wet.rewind] to keep saved
+    containers byte-deterministic. *)
+val reset_telemetry : t -> unit
+
 (** Decompress everything (moves the cursor). *)
 val to_array : t -> int array
 

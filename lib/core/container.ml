@@ -1,7 +1,10 @@
 module Stream = Wet_bistream.Stream
 module Crc32 = Wet_util.Crc32
 
-let format_version = 2
+(* v3 keeps the v2 section layout but the marshalled stream payloads
+   gained telemetry fields; loading a v2 payload into the new record
+   layout would not fail the CRC, so the version must fence it off. *)
+let format_version = 3
 
 let magic = "WETOCaml"
 
@@ -31,6 +34,8 @@ let fault_message = function
   | Bad_version v ->
     Printf.sprintf "container version %d, expected %d%s" v format_version
       (if v = 1 then " (legacy v1 monolithic format; rebuild with `wet build`)"
+       else if v > 1 && v < format_version then
+         " (older sectioned format; rebuild with `wet build`)"
        else "")
   | Truncated { what; offset } ->
     Printf.sprintf "truncated inside %s (file ends at byte %d)" what offset

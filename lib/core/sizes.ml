@@ -22,30 +22,95 @@ let original (t : Wet.t) =
     (4. *. float_of_int s.Wet.def_execs)
     (8. *. float_of_int (s.Wet.dep_instances + s.Wet.cd_instances))
 
-let current (t : Wet.t) =
-  let bits_to_bytes b = float_of_int b /. 8. in
-  let ts = ref 0 in
-  let vals = ref 0 in
+type stream_class = {
+  sc_kind : string;
+  sc_streams : int;
+  sc_values : int;
+  sc_bits : int;
+  sc_raw_bits : int;
+  sc_lookups : int;
+  sc_hits : int;
+  sc_methods : (string * int) list;
+}
+
+type detail = { d_classes : stream_class list; d_total_bits : int }
+
+(* One accumulator per stream class; [detail] walks every stream in the
+   WET exactly once, with shared dependence-label sequences deduplicated
+   by [l_id] — the same dedup rule [current] has always used. *)
+type acc = {
+  kind : string;
+  mutable streams : int;
+  mutable values : int;
+  mutable a_bits : int;
+  mutable lookups : int;
+  mutable hits : int;
+  methods : (string, int ref) Hashtbl.t;
+}
+
+let new_acc kind =
+  {
+    kind;
+    streams = 0;
+    values = 0;
+    a_bits = 0;
+    lookups = 0;
+    hits = 0;
+    methods = Hashtbl.create 8;
+  }
+
+let acc_stream a s =
+  a.streams <- a.streams + 1;
+  a.values <- a.values + Stream.length s;
+  a.a_bits <- a.a_bits + Stream.bits s;
+  let tl = Stream.telemetry s in
+  a.lookups <- a.lookups + tl.Stream.tl_lookups;
+  a.hits <- a.hits + tl.Stream.tl_hits;
+  let m = Stream.method_name s in
+  match Hashtbl.find_opt a.methods m with
+  | Some r -> incr r
+  | None -> Hashtbl.replace a.methods m (ref 1)
+
+let close_acc a =
+  {
+    sc_kind = a.kind;
+    sc_streams = a.streams;
+    sc_values = a.values;
+    sc_bits = a.a_bits;
+    sc_raw_bits = 32 * a.values;
+    sc_lookups = a.lookups;
+    sc_hits = a.hits;
+    sc_methods =
+      Hashtbl.fold (fun m r l -> (m, !r) :: l) a.methods []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+  }
+
+let detail (t : Wet.t) =
+  let ts = new_acc "ts" in
+  let uvals = new_acc "uvals" in
+  let pattern = new_acc "pattern" in
+  let lsrc = new_acc "label.src" in
+  let ldst = new_acc "label.dst" in
   Array.iter
     (fun (n : Wet.node) ->
-      ts := !ts + Stream.bits n.Wet.n_ts;
+      acc_stream ts n.Wet.n_ts;
       Array.iter
         (fun (g : Wet.group) ->
           match g.Wet.g_pattern with
-          | Some p -> vals := !vals + Stream.bits p
+          | Some p -> acc_stream pattern p
           | None -> ())
         n.Wet.n_groups)
     t.Wet.nodes;
   Array.iter
-    (fun uv -> match uv with Some s -> vals := !vals + Stream.bits s | None -> ())
+    (fun uv -> match uv with Some s -> acc_stream uvals s | None -> ())
     t.Wet.copy_uvals;
   (* Dependence labels, shared sequences counted once. *)
   let seen = Hashtbl.create 1024 in
-  let edges = ref 0 in
   let add_labels (l : Wet.labels) =
     if not (Hashtbl.mem seen l.Wet.l_id) then begin
       Hashtbl.replace seen l.Wet.l_id ();
-      edges := !edges + Stream.bits l.Wet.l_dst + Stream.bits l.Wet.l_src
+      acc_stream lsrc l.Wet.l_src;
+      acc_stream ldst l.Wet.l_dst
     end
   in
   let add_source = function
@@ -54,6 +119,26 @@ let current (t : Wet.t) =
   in
   Array.iter (Array.iter add_source) t.Wet.copy_deps;
   Array.iter (fun (n : Wet.node) -> Array.iter add_source n.Wet.n_cd) t.Wet.nodes;
-  make (bits_to_bytes !ts) (bits_to_bytes !vals) (bits_to_bytes !edges)
+  let classes = List.map close_acc [ ts; uvals; pattern; lsrc; ldst ] in
+  {
+    d_classes = classes;
+    d_total_bits = List.fold_left (fun s c -> s + c.sc_bits) 0 classes;
+  }
+
+(* Derived from [detail] so the coarse and per-stream views agree to the
+   bit by construction. Bit counts stay exact through the float division:
+   they are far below 2^53. *)
+let current (t : Wet.t) =
+  let d = detail t in
+  let bits_of kind =
+    List.fold_left
+      (fun s c -> if c.sc_kind = kind then s + c.sc_bits else s)
+      0 d.d_classes
+  in
+  let bits_to_bytes b = float_of_int b /. 8. in
+  make
+    (bits_to_bytes (bits_of "ts"))
+    (bits_to_bytes (bits_of "uvals" + bits_of "pattern"))
+    (bits_to_bytes (bits_of "label.src" + bits_of "label.dst"))
 
 let mb bytes = bytes /. (1024. *. 1024.)

@@ -21,8 +21,31 @@ type breakdown = {
 (** Uncompressed WET size (paper's "Orig."). *)
 val original : Wet.t -> breakdown
 
-(** Size of the representation as currently stored. *)
+(** Size of the representation as currently stored. Derived from
+    {!detail}, so the two always agree to the bit. *)
 val current : Wet.t -> breakdown
+
+(** Per-stream-class accounting behind {!current} — the paper-style
+    per-stream view that `wet stats` prints. *)
+type stream_class = {
+  sc_kind : string;
+      (** ["ts"], ["uvals"], ["pattern"], ["label.src"] or ["label.dst"] *)
+  sc_streams : int;  (** streams of this class (labels deduped by id) *)
+  sc_values : int;  (** values across those streams *)
+  sc_bits : int;  (** analytic stored bits ({!Wet_bistream.Stream.bits}) *)
+  sc_raw_bits : int;  (** 32 bits per value, the tier-1 cost *)
+  sc_lookups : int;  (** predictor lookups (0 for raw streams) *)
+  sc_hits : int;  (** predictor hits *)
+  sc_methods : (string * int) list;
+      (** method name -> stream count, sorted by name *)
+}
+
+type detail = {
+  d_classes : stream_class list;  (** fixed order: the five kinds above *)
+  d_total_bits : int;  (** sum of [sc_bits]; [= 8 * current.total_bytes] *)
+}
+
+val detail : Wet.t -> detail
 
 (** [mb b] converts bytes to the paper's megabyte unit. *)
 val mb : float -> float

@@ -188,7 +188,12 @@ let timestamp t c i =
    restore their construction-time tables exactly when walked back, so
    rewinding also makes saves byte-deterministic). *)
 let rewind t =
-  let seq s = Stream.seek s 0 in
+  let seq s =
+    Stream.seek s 0;
+    (* Traversal counters are query history, not representation: zero
+       them so the marshalled bytes stay canonical too. *)
+    Stream.reset_telemetry s
+  in
   let labels (l : labels) =
     seq l.l_dst;
     seq l.l_src

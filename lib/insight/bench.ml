@@ -1,0 +1,217 @@
+type sample = {
+  workload : string;
+  scale : int;
+  stmts : int;
+  stmts_per_sec : float;
+  bytes_per_label_t1 : float;
+  bytes_per_label_t2 : float;
+  ratio_t1 : float;
+  ratio_t2 : float;
+  build_p50_ms : float;
+  build_p95_ms : float;
+  query_p50_ms : float;
+  query_p95_ms : float;
+  query_steps : int;
+  query_switches : int;
+}
+
+type run = {
+  label : string;
+  quick : bool;
+  repeat : int;
+  warmup : int;
+  samples : sample list;
+}
+
+(* Nearest-rank on a sorted copy; [p] in [0,1]. *)
+let percentile p xs =
+  match xs with
+  | [] -> invalid_arg "Bench.percentile: empty"
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
+(* ---------------- JSON round trip ---------------- *)
+
+let sample_json s =
+  Json.Obj
+    [
+      ("workload", Json.Str s.workload);
+      ("scale", Json.Num (float_of_int s.scale));
+      ("stmts", Json.Num (float_of_int s.stmts));
+      ("stmts_per_sec", Json.Num s.stmts_per_sec);
+      ("bytes_per_label_t1", Json.Num s.bytes_per_label_t1);
+      ("bytes_per_label_t2", Json.Num s.bytes_per_label_t2);
+      ("ratio_t1", Json.Num s.ratio_t1);
+      ("ratio_t2", Json.Num s.ratio_t2);
+      ("build_p50_ms", Json.Num s.build_p50_ms);
+      ("build_p95_ms", Json.Num s.build_p95_ms);
+      ("query_p50_ms", Json.Num s.query_p50_ms);
+      ("query_p95_ms", Json.Num s.query_p95_ms);
+      ("query_steps", Json.Num (float_of_int s.query_steps));
+      ("query_switches", Json.Num (float_of_int s.query_switches));
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.Str "wet-bench/1");
+      ("label", Json.Str r.label);
+      ("quick", Json.Bool r.quick);
+      ("repeat", Json.Num (float_of_int r.repeat));
+      ("warmup", Json.Num (float_of_int r.warmup));
+      ("samples", Json.Arr (List.map sample_json r.samples));
+    ]
+
+let ( let* ) o f = match o with Some x -> f x | None -> Error "missing field"
+
+let sample_of_json j =
+  let num k = Option.bind (Json.member k j) Json.to_num in
+  let int k = Option.bind (Json.member k j) Json.to_int in
+  let* workload = Option.bind (Json.member "workload" j) Json.to_str in
+  let* scale = int "scale" in
+  let* stmts = int "stmts" in
+  let* stmts_per_sec = num "stmts_per_sec" in
+  let* bytes_per_label_t1 = num "bytes_per_label_t1" in
+  let* bytes_per_label_t2 = num "bytes_per_label_t2" in
+  let* ratio_t1 = num "ratio_t1" in
+  let* ratio_t2 = num "ratio_t2" in
+  let* build_p50_ms = num "build_p50_ms" in
+  let* build_p95_ms = num "build_p95_ms" in
+  let* query_p50_ms = num "query_p50_ms" in
+  let* query_p95_ms = num "query_p95_ms" in
+  let* query_steps = int "query_steps" in
+  let* query_switches = int "query_switches" in
+  Ok
+    {
+      workload;
+      scale;
+      stmts;
+      stmts_per_sec;
+      bytes_per_label_t1;
+      bytes_per_label_t2;
+      ratio_t1;
+      ratio_t2;
+      build_p50_ms;
+      build_p95_ms;
+      query_p50_ms;
+      query_p95_ms;
+      query_steps;
+      query_switches;
+    }
+
+let of_json j =
+  match Json.member "schema" j with
+  | Some (Json.Str "wet-bench/1") ->
+    let* label = Option.bind (Json.member "label" j) Json.to_str in
+    let* quick =
+      match Json.member "quick" j with Some (Json.Bool b) -> Some b | _ -> None
+    in
+    let* repeat = Option.bind (Json.member "repeat" j) Json.to_int in
+    let* warmup = Option.bind (Json.member "warmup" j) Json.to_int in
+    let* samples = Option.bind (Json.member "samples" j) Json.to_list in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest -> (
+        match sample_of_json s with
+        | Ok s -> go (s :: acc) rest
+        | Error e -> Error e)
+    in
+    (match go [] samples with
+     | Ok samples -> Ok { label; quick; repeat; warmup; samples }
+     | Error e -> Error e)
+  | _ -> Error "not a wet-bench/1 document"
+
+let save r path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json r));
+      output_char oc '\n')
+
+let load path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.parse s with
+  | Error e -> Error (Printf.sprintf "%s: bad JSON: %s" path e)
+  | Ok j -> (
+    match of_json j with
+    | Ok r -> Ok r
+    | Error e -> Error (Printf.sprintf "%s: %s" path e))
+
+(* ---------------- regression gate ---------------- *)
+
+type thresholds = { wall_frac : float; size_frac : float }
+
+let default_thresholds = { wall_frac = 0.25; size_frac = 0.02 }
+
+type verdict = {
+  v_workload : string;
+  v_metric : string;
+  v_prev : float;
+  v_cur : float;
+  v_worse_frac : float;
+  v_threshold : float;
+  v_regressed : bool;
+}
+
+(* Signed "how much worse" fraction. Positive = regressed. A zero or
+   negative previous value cannot anchor a relative comparison, so it
+   never regresses (fresh metrics slide in silently). *)
+let worse_frac ~higher_is_better ~prev ~cur =
+  if prev <= 0. then 0.
+  else if higher_is_better then (prev -. cur) /. prev
+  else (cur -. prev) /. prev
+
+(* Metric table: name, extractor, direction, which threshold gates it.
+   Wall-clock numbers are noisy (hence the loose default and p50s only);
+   size and step metrics are deterministic, so they gate tightly. *)
+let metrics =
+  [
+    ("stmts_per_sec", (fun s -> s.stmts_per_sec), true, `Wall);
+    ("build_p50_ms", (fun s -> s.build_p50_ms), false, `Wall);
+    ("query_p50_ms", (fun s -> s.query_p50_ms), false, `Wall);
+    ("bytes_per_label_t1", (fun s -> s.bytes_per_label_t1), false, `Size);
+    ("bytes_per_label_t2", (fun s -> s.bytes_per_label_t2), false, `Size);
+    ("ratio_t1", (fun s -> s.ratio_t1), true, `Size);
+    ("ratio_t2", (fun s -> s.ratio_t2), true, `Size);
+    ("query_steps", (fun s -> float_of_int s.query_steps), false, `Size);
+  ]
+
+let check th ~prev ~cur =
+  List.concat_map
+    (fun (c : sample) ->
+      match
+        List.find_opt (fun (p : sample) -> p.workload = c.workload) prev.samples
+      with
+      | None -> []  (* new workload: nothing to compare against *)
+      | Some p ->
+        List.map
+          (fun (name, get, higher_is_better, kind) ->
+            let threshold =
+              match kind with `Wall -> th.wall_frac | `Size -> th.size_frac
+            in
+            let wf = worse_frac ~higher_is_better ~prev:(get p) ~cur:(get c) in
+            {
+              v_workload = c.workload;
+              v_metric = name;
+              v_prev = get p;
+              v_cur = get c;
+              v_worse_frac = wf;
+              v_threshold = threshold;
+              (* Strictly greater: landing exactly on the threshold is
+                 within tolerance. *)
+              v_regressed = wf > threshold;
+            })
+          metrics)
+    cur.samples
+
+let regressed verdicts = List.exists (fun v -> v.v_regressed) verdicts

@@ -1,0 +1,74 @@
+(** The persisted bench observatory: machine-readable bench runs
+    ([BENCH_PR*.json]) and the regression gate behind
+    `wet bench-check`.
+
+    A {!run} is one invocation of `bench observatory`: per workload, the
+    throughput, compression and query-cost figures of the paper's
+    Tables 2–9, with wall-clock percentiles over [repeat] timed
+    iterations after [warmup] discarded ones. {!check} diffs two runs
+    metric by metric with direction-aware relative thresholds; wall
+    metrics share a loose noise threshold, deterministic size/step
+    metrics a tight one. *)
+
+type sample = {
+  workload : string;
+  scale : int;
+  stmts : int;  (** statements executed *)
+  stmts_per_sec : float;  (** build throughput, p50 wall *)
+  bytes_per_label_t1 : float;  (** stored bytes / stmt, tier-1 *)
+  bytes_per_label_t2 : float;  (** stored bytes / stmt, tier-2 *)
+  ratio_t1 : float;  (** orig bytes / tier-1 bytes *)
+  ratio_t2 : float;  (** orig bytes / tier-2 bytes *)
+  build_p50_ms : float;
+  build_p95_ms : float;
+  query_p50_ms : float;  (** fixed query sweep, see bench/main.ml *)
+  query_p95_ms : float;
+  query_steps : int;  (** stream steps the sweep costs (deterministic) *)
+  query_switches : int;  (** direction reversals in the sweep *)
+}
+
+type run = {
+  label : string;
+  quick : bool;
+  repeat : int;
+  warmup : int;
+  samples : sample list;
+}
+
+(** [percentile p xs] is the nearest-rank [p]-quantile ([p] in [[0,1]]).
+    @raise Invalid_argument on an empty list. *)
+val percentile : float -> float list -> float
+
+val to_json : run -> Json.t
+
+val of_json : Json.t -> (run, string) result
+
+val save : run -> string -> unit
+
+val load : string -> (run, string) result
+
+type thresholds = {
+  wall_frac : float;  (** relative tolerance for wall-clock metrics *)
+  size_frac : float;  (** for deterministic size/step metrics *)
+}
+
+(** [{ wall_frac = 0.25; size_frac = 0.02 }]. *)
+val default_thresholds : thresholds
+
+type verdict = {
+  v_workload : string;
+  v_metric : string;
+  v_prev : float;
+  v_cur : float;
+  v_worse_frac : float;
+      (** signed, direction-normalised: positive = worse *)
+  v_threshold : float;
+  v_regressed : bool;  (** [v_worse_frac > v_threshold], strictly *)
+}
+
+(** One verdict per (workload present in both runs) × metric. Workloads
+    only in [cur] produce no verdicts; a non-positive previous value
+    never regresses. Exactly-at-threshold is a pass. *)
+val check : thresholds -> prev:run -> cur:run -> verdict list
+
+val regressed : verdict list -> bool

@@ -1,0 +1,34 @@
+(** A tiny self-contained JSON tree: recursive-descent parser plus a
+    printer, used by `wet stats --json` and the bench observatory's
+    [BENCH_PR*.json] files. No external dependency, by design — the
+    repo's other JSON producers ({!Wet_obs.Export}) emit strings
+    directly; this module adds the read side so round-trip tests and
+    [bench-check] can consume what we write. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Compact one-line rendering. Integral numbers print without a decimal
+    point; non-finite floats print as [null]. *)
+val to_string : t -> string
+
+(** Parse a complete JSON document. [Error] carries a message with a
+    byte offset. Accepts exactly what {!to_string} emits (and standard
+    JSON generally; surrogate pairs are not recombined). *)
+val parse : string -> (t, string) result
+
+(** Object member lookup ([None] on non-objects too). *)
+val member : string -> t -> t option
+
+val to_num : t -> float option
+
+(** [Some] only for integral numbers. *)
+val to_int : t -> int option
+
+val to_str : t -> string option
+val to_list : t -> t list option

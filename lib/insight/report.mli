@@ -1,0 +1,27 @@
+(** The paper-style per-stream compression report behind `wet stats`
+    (paper §5, Table 3): per stream class — timestamps, used values,
+    patterns, dependence label endpoints — the stored bits, the method
+    mix the per-stream selector picked, compression vs the 32-bit raw
+    encoding, and the predictor hit rate, plus the coarse original
+    vs stored summary of {!Wet_core.Sizes}. Works on salvaged WETs: the
+    damaged sections are listed in the title and their streams simply
+    don't appear. *)
+
+type t = {
+  rp_label : string;  (** file path or workload name *)
+  rp_tier : string;  (** ["tier1"] or ["tier2"] *)
+  rp_damage : string list;  (** salvaged-away sections *)
+  rp_stmts : int;
+  rp_orig : Wet_core.Sizes.breakdown;
+  rp_current : Wet_core.Sizes.breakdown;
+  rp_detail : Wet_core.Sizes.detail;
+}
+
+val of_wet : label:string -> Wet_core.Wet.t -> t
+
+(** Print the per-stream table and a summary table to stdout. *)
+val print : t -> unit
+
+(** The machine-readable form behind `wet stats --json`. [total_bits]
+    equals the sum of the per-class [bits] fields by construction. *)
+val to_json : t -> Json.t

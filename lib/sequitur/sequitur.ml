@@ -22,6 +22,13 @@ type t = {
   mutable rules : rule list;  (* all ever created; dead ones flagged *)
   index : (int * int * int * int, sym) Hashtbl.t;
   mutable next_id : int;
+  (* Always-on inference telemetry (never marshalled; grammars are
+     serialised through [rule_stats]/[expand], not [t]). *)
+  mutable n_input : int;  (* terminals appended *)
+  mutable n_digram_hits : int;  (* digram seen before -> match_digram *)
+  mutable n_digram_misses : int;  (* fresh digram indexed *)
+  mutable n_rules_created : int;  (* via new_rule (start excluded) *)
+  mutable n_rules_inlined : int;  (* rule-utility expansions *)
 }
 
 let rec dummy =
@@ -35,6 +42,7 @@ let new_rule t =
   g.next <- g;
   t.next_id <- t.next_id + 1;
   t.rules <- r :: t.rules;
+  t.n_rules_created <- t.n_rules_created + 1;
   r
 
 let is_guard s = s.guard <> None
@@ -110,9 +118,11 @@ let rec check t s =
     match Hashtbl.find_opt t.index key with
     | None ->
       Hashtbl.replace t.index key s;
+      t.n_digram_misses <- t.n_digram_misses + 1;
       false
     | Some m when m == s || m.next == s || m == s.next -> false
     | Some m ->
+      t.n_digram_hits <- t.n_digram_hits + 1;
       match_digram t s m;
       true
   end
@@ -160,12 +170,14 @@ and expand_rule t s =
     join t left first;
     join t last right;
     r.dead <- true;
+    t.n_rules_inlined <- t.n_rules_inlined + 1;
     Hashtbl.replace t.index (key_of last right) last;
     ignore (check t left)
 
 let append t v =
   let last = t.start.g.prev in
   insert_after t last (mk_term v);
+  t.n_input <- t.n_input + 1;
   ignore (check t last)
 
 let build values =
@@ -174,7 +186,19 @@ let build values =
   g.guard <- Some start;
   g.prev <- g;
   g.next <- g;
-  let t = { start; rules = [ start ]; index = Hashtbl.create 1024; next_id = 1 } in
+  let t =
+    {
+      start;
+      rules = [ start ];
+      index = Hashtbl.create 1024;
+      next_id = 1;
+      n_input = 0;
+      n_digram_hits = 0;
+      n_digram_misses = 0;
+      n_rules_created = 0;
+      n_rules_inlined = 0;
+    }
+  in
   Array.iter (append t) values;
   t
 
@@ -192,6 +216,27 @@ let grammar_symbols t =
   !n
 
 let bits t = 32 * (grammar_symbols t + num_rules t)
+
+type telemetry = {
+  tl_input : int;
+  tl_rules : int;
+  tl_symbols : int;
+  tl_rules_created : int;
+  tl_rules_inlined : int;
+  tl_digram_hits : int;
+  tl_digram_misses : int;
+}
+
+let telemetry t =
+  {
+    tl_input = t.n_input;
+    tl_rules = num_rules t;
+    tl_symbols = grammar_symbols t;
+    tl_rules_created = t.n_rules_created;
+    tl_rules_inlined = t.n_rules_inlined;
+    tl_digram_hits = t.n_digram_hits;
+    tl_digram_misses = t.n_digram_misses;
+  }
 
 let expand t =
   let out = ref [] in

@@ -32,6 +32,24 @@ val bits : t -> int
     other than the start rule is referenced at least twice. *)
 val check_invariants : t -> (unit, string) result
 
+(** Always-on inference telemetry. Invariants, checked in tests:
+    [tl_rules = 1 + tl_rules_created - tl_rules_inlined] (the start rule
+    plus surviving created rules) and [tl_input = Array.length input].
+    [tl_digram_hits] counts appearances of an already-indexed digram
+    (each triggers a rule reuse or creation); [tl_digram_misses] counts
+    fresh digrams entering the index. *)
+type telemetry = {
+  tl_input : int;  (** terminals appended *)
+  tl_rules : int;  (** live rules, start included *)
+  tl_symbols : int;  (** symbols across all live right-hand sides *)
+  tl_rules_created : int;  (** rules ever created (start excluded) *)
+  tl_rules_inlined : int;  (** rules removed by the utility invariant *)
+  tl_digram_hits : int;  (** repeated-digram detections *)
+  tl_digram_misses : int;  (** first-seen digrams indexed *)
+}
+
+val telemetry : t -> telemetry
+
 (** The non-start rules as [(expansion, static uses)] pairs: the terminal
     sequence each rule derives and how many times it is referenced in the
     grammar. The repeated substrings a grammar discovers — on an address

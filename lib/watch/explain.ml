@@ -124,6 +124,43 @@ let steps s = s.e_fwd + s.e_bwd + s.e_seek_dist
 
 let total_steps r = List.fold_left (fun a s -> a + steps s) 0 r.r_streams
 
+(* ------------------------------------------------------------------ *)
+(* Feeding the observatory                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Registered up front (interning is idempotent) so --list-metrics sees
+   them even before the first explained query. *)
+let c_streams = Wet_obs.Metrics.counter "explain.streams"
+
+let c_fwd = Wet_obs.Metrics.counter "explain.fwd_steps"
+
+let c_bwd = Wet_obs.Metrics.counter "explain.bwd_steps"
+
+let c_seeks = Wet_obs.Metrics.counter "explain.seeks"
+
+let c_seek_dist = Wet_obs.Metrics.counter "explain.seek_distance"
+
+let c_switches = Wet_obs.Metrics.counter "explain.dir_switches"
+
+let h_stream_steps = Wet_obs.Metrics.histogram "explain.stream_steps"
+
+(* Take the report and fold its tallies into the wet_obs instruments,
+   one histogram observation per touched stream — this is what links
+   per-query cost profiles to the bench observatory's aggregates. *)
+let publish () =
+  let r = report () in
+  Wet_obs.Metrics.add c_streams (List.length r.r_streams);
+  List.iter
+    (fun s ->
+      Wet_obs.Metrics.add c_fwd s.e_fwd;
+      Wet_obs.Metrics.add c_bwd s.e_bwd;
+      Wet_obs.Metrics.add c_seeks s.e_seeks;
+      Wet_obs.Metrics.add c_seek_dist s.e_seek_dist;
+      Wet_obs.Metrics.add c_switches s.e_switches;
+      Wet_obs.Metrics.observe h_stream_steps (steps s))
+    r.r_streams;
+  r
+
 (* Aggregate per stream category — the shape CLI tables want. *)
 let by_kind r =
   let tbl = Hashtbl.create 8 in

@@ -52,6 +52,15 @@ type report = { r_queries : string list; r_streams : stream_stats list }
 (** Snapshot of everything recorded since {!arm} (streams sorted). *)
 val report : unit -> report
 
+(** {!report}, with the tallies also folded into the [wet_obs]
+    instruments ([explain.streams], [explain.fwd_steps],
+    [explain.bwd_steps], [explain.seeks], [explain.seek_distance],
+    [explain.dir_switches]) and one [explain.stream_steps] histogram
+    observation per touched stream — no-ops while the sink is disabled.
+    This is the bridge between per-query explain profiles and the bench
+    observatory's metric exports. *)
+val publish : unit -> report
+
 val stream_kind : stream -> string
 val stream_name : stream -> string
 

@@ -1,0 +1,545 @@
+(* wet_insight: telemetry invariants, the Sizes.detail <-> Sizes.current
+   bit agreement, stats JSON round trips, and the bench-check gate
+   (including the exactly-at-threshold edge). *)
+
+module Bidir = Wet_bistream.Bidir
+module Stream = Wet_bistream.Stream
+module Sequitur = Wet_sequitur.Sequitur
+module Spec = Wet_workloads.Spec
+module Interp = Wet_interp.Interp
+module W = Wet_core.Wet
+module Builder = Wet_core.Builder
+module Sizes = Wet_core.Sizes
+module Json = Wet_insight.Json
+module Report = Wet_insight.Report
+module Bench = Wet_insight.Bench
+module Metric_docs = Wet_insight.Metric_docs
+
+let all_variants =
+  List.concat_map (fun m -> [ (m, 1); (m, 2); (m, 4) ]) Bidir.all_meths
+
+let variant_name (m, c) = Printf.sprintf "%s/%d" (Bidir.meth_name m) c
+
+let fixtures =
+  [
+    ("stride", Array.init 1200 (fun i -> (3 * i) - 100));
+    ("periodic", Array.init 1200 (fun i -> [| 3; 1; 4; 1; 5; 9 |].(i mod 6)));
+    ( "noisy",
+      let rng = Wet_util.Prng.create 7 in
+      Array.init 1200 (fun _ -> Wet_util.Prng.int rng 10_000) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bidir / Stream telemetry                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_bidir_dictionary () =
+  List.iter
+    (fun (name, arr) ->
+      List.iter
+        (fun (m, c) ->
+          let tag = Printf.sprintf "%s %s" name (variant_name (m, c)) in
+          let b = Bidir.compress m ~ctx:c arr in
+          let tl = Bidir.telemetry b in
+          Alcotest.(check int)
+            (tag ^ " lookups = length + ctx")
+            (Array.length arr + c) tl.Bidir.tl_lookups;
+          Alcotest.(check int)
+            (tag ^ " hits + misses = lookups")
+            tl.Bidir.tl_lookups
+            (tl.Bidir.tl_hits + tl.Bidir.tl_misses);
+          (* construction is not traversal *)
+          Alcotest.(check int) (tag ^ " fwd 0") 0 tl.Bidir.tl_fwd_steps;
+          Alcotest.(check int) (tag ^ " bwd 0") 0 tl.Bidir.tl_bwd_steps;
+          Alcotest.(check int) (tag ^ " switches 0") 0 tl.Bidir.tl_dir_switches;
+          (* sliding the window re-classifies entries, but the pops undo
+             the pushes: rewinding to the origin restores the figures *)
+          ignore (Bidir.to_array b);
+          Bidir.seek b 0;
+          let tl' = Bidir.telemetry b in
+          Alcotest.(check int)
+            (tag ^ " hits restored after rewind")
+            tl.Bidir.tl_hits tl'.Bidir.tl_hits)
+        all_variants)
+    fixtures
+
+let test_bidir_steps () =
+  let arr = Array.init 600 (fun i -> i * 7 mod 323) in
+  List.iter
+    (fun (m, c) ->
+      let tag = variant_name (m, c) in
+      let b = Bidir.compress m ~ctx:c arr in
+      ignore (Bidir.to_array b);
+      let tl = Bidir.telemetry b in
+      Alcotest.(check int) (tag ^ " to_array = m fwd steps") 600
+        tl.Bidir.tl_fwd_steps;
+      Alcotest.(check int) (tag ^ " no bwd yet") 0 tl.Bidir.tl_bwd_steps;
+      Alcotest.(check int) (tag ^ " no switch yet") 0 tl.Bidir.tl_dir_switches;
+      ignore (Bidir.step_backward b);
+      let tl = Bidir.telemetry b in
+      Alcotest.(check int) (tag ^ " one bwd") 1 tl.Bidir.tl_bwd_steps;
+      Alcotest.(check int) (tag ^ " one switch") 1 tl.Bidir.tl_dir_switches;
+      (* peeks are invisible: a step plus its inverse, counters restored *)
+      let before = Bidir.telemetry b in
+      ignore (Bidir.peek_forward b);
+      ignore (Bidir.peek_backward b);
+      let after = Bidir.telemetry b in
+      Alcotest.(check int) (tag ^ " peek fwd invisible")
+        before.Bidir.tl_fwd_steps after.Bidir.tl_fwd_steps;
+      Alcotest.(check int) (tag ^ " peek bwd invisible")
+        before.Bidir.tl_bwd_steps after.Bidir.tl_bwd_steps;
+      Alcotest.(check int) (tag ^ " peek switch invisible")
+        before.Bidir.tl_dir_switches after.Bidir.tl_dir_switches;
+      Bidir.reset_telemetry b;
+      let tl = Bidir.telemetry b in
+      Alcotest.(check int) (tag ^ " reset fwd") 0 tl.Bidir.tl_fwd_steps;
+      Alcotest.(check int) (tag ^ " reset bwd") 0 tl.Bidir.tl_bwd_steps;
+      Alcotest.(check int) (tag ^ " reset switches") 0
+        tl.Bidir.tl_dir_switches;
+      (* dictionary figures survive the reset: they are representation,
+         not history *)
+      Alcotest.(check int) (tag ^ " lookups survive reset") (600 + c)
+        tl.Bidir.tl_lookups)
+    all_variants
+
+(* compressed_bits must equal the analytic formula reconstructed from
+   telemetry alone: per classified entry one flag bit, 32 payload bits
+   per miss, hit-payload bits per hit, the 32-bit window, and for the
+   FCM family the two tables (sized exactly as [compress] sizes them). *)
+let test_bits_accounting () =
+  let ceil_log2 n =
+    let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+    go 0 1
+  in
+  List.iter
+    (fun (name, arr) ->
+      List.iter
+        (fun (m, c) ->
+          let tag = Printf.sprintf "%s %s" name (variant_name (m, c)) in
+          let b = Bidir.compress m ~ctx:c arr in
+          let tl = Bidir.telemetry b in
+          let hit_payload =
+            match m with
+            | Bidir.Fcm | Bidir.Dfcm -> 0
+            | Bidir.Last_n | Bidir.Last_stride -> ceil_log2 c
+          in
+          let table_bits =
+            match m with
+            | Bidir.Fcm | Bidir.Dfcm ->
+              let mlen = Array.length arr in
+              2 * (1 lsl min 12 (max 2 (ceil_log2 (max 2 mlen) - 5))) * 32
+            | Bidir.Last_n | Bidir.Last_stride -> 0
+          in
+          let expected =
+            (32 * c) + tl.Bidir.tl_lookups
+            + (32 * tl.Bidir.tl_misses)
+            + (hit_payload * tl.Bidir.tl_hits)
+            + table_bits
+          in
+          Alcotest.(check int)
+            (tag ^ " compressed_bits = telemetry accounting")
+            expected (Bidir.compressed_bits b))
+        all_variants)
+    fixtures
+
+let test_raw_stream_telemetry () =
+  let arr = Array.init 100 (fun i -> i) in
+  let s = Stream.compress_with `Raw arr in
+  let tl = Stream.telemetry s in
+  Alcotest.(check int) "raw: no lookups" 0 tl.Stream.tl_lookups;
+  Alcotest.(check int) "raw: no hits" 0 tl.Stream.tl_hits;
+  Alcotest.(check int) "raw: no misses" 0 tl.Stream.tl_misses;
+  ignore (Stream.step_forward s);
+  ignore (Stream.step_forward s);
+  ignore (Stream.step_backward s);
+  let tl = Stream.telemetry s in
+  Alcotest.(check int) "raw: fwd counted" 2 tl.Stream.tl_fwd_steps;
+  Alcotest.(check int) "raw: bwd counted" 1 tl.Stream.tl_bwd_steps;
+  Alcotest.(check int) "raw: switch counted" 1 tl.Stream.tl_dir_switches;
+  (* seeks and random reads are O(1) on raw data: not traversal *)
+  Stream.seek s 50;
+  ignore (Stream.read_at s 10);
+  let tl' = Stream.telemetry s in
+  Alcotest.(check int) "raw: seek not counted" tl.Stream.tl_fwd_steps
+    tl'.Stream.tl_fwd_steps;
+  Stream.reset_telemetry s;
+  let tl = Stream.telemetry s in
+  Alcotest.(check int) "raw: reset" 0 tl.Stream.tl_fwd_steps
+
+(* ------------------------------------------------------------------ *)
+(* Sequitur telemetry                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_sequitur_telemetry () =
+  List.iter
+    (fun (name, arr) ->
+      let g = Sequitur.build arr in
+      let tl = Sequitur.telemetry g in
+      Alcotest.(check int) (name ^ " input counted") (Array.length arr)
+        tl.Sequitur.tl_input;
+      Alcotest.(check int)
+        (name ^ " rules = 1 + created - inlined")
+        (1 + tl.Sequitur.tl_rules_created - tl.Sequitur.tl_rules_inlined)
+        tl.Sequitur.tl_rules;
+      Alcotest.(check int) (name ^ " rules agrees") (Sequitur.num_rules g)
+        tl.Sequitur.tl_rules;
+      Alcotest.(check int) (name ^ " symbols agree")
+        (Sequitur.grammar_symbols g) tl.Sequitur.tl_symbols;
+      Alcotest.(check (array int)) (name ^ " expand unaffected") arr
+        (Sequitur.expand g))
+    fixtures;
+  let g = Sequitur.build (Array.init 200 (fun i -> i mod 4)) in
+  let tl = Sequitur.telemetry g in
+  Alcotest.(check bool) "repetitive input produces digram hits" true
+    (tl.Sequitur.tl_digram_hits > 0);
+  Alcotest.(check bool) "fresh digrams were indexed" true
+    (tl.Sequitur.tl_digram_misses > 0);
+  Alcotest.(check bool) "hits imply rules were created" true
+    (tl.Sequitur.tl_rules_created > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Sizes.detail agreement, both tiers x two workloads                  *)
+(* ------------------------------------------------------------------ *)
+
+let wet_fixtures =
+  lazy
+    (List.concat_map
+       (fun (name, scale) ->
+         let w = Spec.find name in
+         let res = Spec.run ~scale w in
+         let w1 = Builder.build res.Interp.trace in
+         let w2 = Builder.pack w1 in
+         [ (name ^ " tier1", w1); (name ^ " tier2", w2) ])
+       [ ("197.parser", 8); ("164.gzip", 2) ])
+
+let test_detail_agrees () =
+  List.iter
+    (fun (tag, wet) ->
+      let d = Sizes.detail wet in
+      let c = Sizes.current wet in
+      let sum = List.fold_left (fun a k -> a + k.Sizes.sc_bits) 0 d.Sizes.d_classes in
+      Alcotest.(check int) (tag ^ " total = sum of classes") sum
+        d.Sizes.d_total_bits;
+      (* the coarse view is the same bits, to the bit: 8 * bytes *)
+      Alcotest.(check (float 0.)) (tag ^ " detail = current to the bit")
+        (float_of_int d.Sizes.d_total_bits)
+        (8. *. c.Sizes.total_bytes);
+      let bits_of kind =
+        List.fold_left
+          (fun a k -> if k.Sizes.sc_kind = kind then a + k.Sizes.sc_bits else a)
+          0 d.Sizes.d_classes
+      in
+      Alcotest.(check (float 0.)) (tag ^ " ts class = ts bytes")
+        (float_of_int (bits_of "ts"))
+        (8. *. c.Sizes.ts_bytes);
+      Alcotest.(check (float 0.)) (tag ^ " value classes = vals bytes")
+        (float_of_int (bits_of "uvals" + bits_of "pattern"))
+        (8. *. c.Sizes.vals_bytes);
+      Alcotest.(check (float 0.)) (tag ^ " label classes = edge bytes")
+        (float_of_int (bits_of "label.src" + bits_of "label.dst"))
+        (8. *. c.Sizes.edge_bytes);
+      List.iter
+        (fun k ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s %s: hits <= lookups" tag k.Sizes.sc_kind)
+            k.Sizes.sc_hits
+            (min k.Sizes.sc_hits k.Sizes.sc_lookups);
+          Alcotest.(check int)
+            (Printf.sprintf "%s %s: raw bits = 32/value" tag k.Sizes.sc_kind)
+            (32 * k.Sizes.sc_values) k.Sizes.sc_raw_bits;
+          let method_total =
+            List.fold_left (fun a (_, n) -> a + n) 0 k.Sizes.sc_methods
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s %s: method mix covers streams" tag
+               k.Sizes.sc_kind)
+            k.Sizes.sc_streams method_total)
+        d.Sizes.d_classes)
+    (Lazy.force wet_fixtures)
+
+(* ------------------------------------------------------------------ *)
+(* JSON parser + stats report round trip                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_units () =
+  let roundtrips v =
+    match Json.parse (Json.to_string v) with
+    | Ok v' -> Alcotest.(check string) "round trip" (Json.to_string v) (Json.to_string v')
+    | Error e -> Alcotest.fail e
+  in
+  List.iter roundtrips
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Num 0.;
+      Json.Num (-17.);
+      Json.Num 3.25;
+      Json.Num 1e-9;
+      Json.Str "plain";
+      Json.Str "esc \"quotes\" \\ \n \t and \x01 control";
+      Json.Arr [];
+      Json.Obj [];
+      Json.Arr [ Json.Num 1.; Json.Str "two"; Json.Null ];
+      Json.Obj
+        [
+          ("a", Json.Arr [ Json.Obj [ ("nested", Json.Bool false) ] ]);
+          ("b", Json.Num 42.);
+        ];
+    ];
+  (match Json.parse "  { \"k\" : [ 1 , 2.5 , true ] }  " with
+   | Ok (Json.Obj [ ("k", Json.Arr [ Json.Num a; Json.Num b; Json.Bool true ]) ]) ->
+     Alcotest.(check (float 0.)) "int" 1. a;
+     Alcotest.(check (float 0.)) "float" 2.5 b
+   | Ok j -> Alcotest.failf "unexpected parse: %s" (Json.to_string j)
+   | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "parsed garbage: %s" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+let test_report_roundtrip () =
+  List.iter
+    (fun (tag, wet) ->
+      let r = Report.of_wet ~label:tag wet in
+      let j = Report.to_json r in
+      match Json.parse (Json.to_string j) with
+      | Error e -> Alcotest.fail e
+      | Ok j' ->
+        Alcotest.(check string) (tag ^ " identical after reparse")
+          (Json.to_string j) (Json.to_string j');
+        let total =
+          Option.bind (Json.member "total_bits" j') Json.to_int
+          |> Option.get
+        in
+        let stream_sum =
+          Option.bind (Json.member "streams" j') Json.to_list
+          |> Option.get
+          |> List.fold_left
+               (fun a s ->
+                 a + Option.get (Option.bind (Json.member "bits" s) Json.to_int))
+               0
+        in
+        Alcotest.(check int) (tag ^ " parsed stream bits sum to total")
+          total stream_sum;
+        let d = Sizes.detail wet in
+        Alcotest.(check int) (tag ^ " parsed total = Sizes.detail")
+          d.Sizes.d_total_bits total)
+    (Lazy.force wet_fixtures)
+
+(* ------------------------------------------------------------------ *)
+(* bench-check                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sample ?(workload = "w") ?(build = 100.) ?(sps = 1000.) ?(bpl1 = 4.)
+    ?(bpl2 = 1.) ?(r1 = 4.) ?(r2 = 16.) ?(query = 10.) ?(steps = 1000) () =
+  {
+    Bench.workload;
+    scale = 5;
+    stmts = 100_000;
+    stmts_per_sec = sps;
+    bytes_per_label_t1 = bpl1;
+    bytes_per_label_t2 = bpl2;
+    ratio_t1 = r1;
+    ratio_t2 = r2;
+    build_p50_ms = build;
+    build_p95_ms = build *. 1.2;
+    query_p50_ms = query;
+    query_p95_ms = query *. 1.2;
+    query_steps = steps;
+    query_switches = 40;
+  }
+
+let run_of samples =
+  { Bench.label = "test"; quick = true; repeat = 3; warmup = 1; samples }
+
+let th = Bench.{ wall_frac = 0.25; size_frac = 0.02 }
+
+let find_verdict metric verdicts =
+  List.find (fun v -> v.Bench.v_metric = metric) verdicts
+
+let test_threshold_edges () =
+  (* lower-is-better, exactly at threshold: 100 -> 125 at 25% passes *)
+  let v =
+    Bench.check th
+      ~prev:(run_of [ sample ~build:100. () ])
+      ~cur:(run_of [ sample ~build:125. () ])
+    |> find_verdict "build_p50_ms"
+  in
+  Alcotest.(check bool) "exactly at wall threshold passes" false
+    v.Bench.v_regressed;
+  Alcotest.(check (float 1e-12)) "worse_frac = 0.25" 0.25 v.Bench.v_worse_frac;
+  (* just over fails *)
+  let v =
+    Bench.check th
+      ~prev:(run_of [ sample ~build:100. () ])
+      ~cur:(run_of [ sample ~build:125.2 () ])
+    |> find_verdict "build_p50_ms"
+  in
+  Alcotest.(check bool) "just over wall threshold fails" true
+    v.Bench.v_regressed;
+  (* higher-is-better: stmts/s 1000 -> 750 is exactly -25% *)
+  let v =
+    Bench.check th
+      ~prev:(run_of [ sample ~sps:1000. () ])
+      ~cur:(run_of [ sample ~sps:750. () ])
+    |> find_verdict "stmts_per_sec"
+  in
+  Alcotest.(check bool) "exactly at threshold (higher-better) passes" false
+    v.Bench.v_regressed;
+  let v =
+    Bench.check th
+      ~prev:(run_of [ sample ~sps:1000. () ])
+      ~cur:(run_of [ sample ~sps:749. () ])
+    |> find_verdict "stmts_per_sec"
+  in
+  Alcotest.(check bool) "below threshold (higher-better) fails" true
+    v.Bench.v_regressed;
+  (* size metrics gate tightly: ratio 16 -> 15.6 is -2.5% > 2% *)
+  let v =
+    Bench.check th
+      ~prev:(run_of [ sample ~r2:16. () ])
+      ~cur:(run_of [ sample ~r2:15.6 () ])
+    |> find_verdict "ratio_t2"
+  in
+  Alcotest.(check bool) "ratio regression caught" true v.Bench.v_regressed;
+  (* improvements never regress *)
+  let vs =
+    Bench.check th
+      ~prev:(run_of [ sample () ])
+      ~cur:(run_of [ sample ~build:50. ~sps:2000. ~bpl2:0.5 ~r2:32. () ])
+  in
+  Alcotest.(check bool) "improvement passes" false (Bench.regressed vs);
+  (* zero baseline never anchors a regression *)
+  let v =
+    Bench.check th
+      ~prev:(run_of [ sample ~build:0. () ])
+      ~cur:(run_of [ sample ~build:999. () ])
+    |> find_verdict "build_p50_ms"
+  in
+  Alcotest.(check bool) "zero baseline guard" false v.Bench.v_regressed;
+  (* workloads only in cur are skipped *)
+  let vs =
+    Bench.check th
+      ~prev:(run_of [ sample ~workload:"old" () ])
+      ~cur:(run_of [ sample ~workload:"new" () ])
+  in
+  Alcotest.(check int) "disjoint workloads: no verdicts" 0 (List.length vs)
+
+let test_bench_roundtrip () =
+  let r =
+    run_of
+      [
+        sample ~workload:"a" ~build:12.345 ();
+        sample ~workload:"b" ~sps:9.75e6 ~steps:123456 ();
+      ]
+  in
+  let path = Filename.temp_file "wet_bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Bench.save r path;
+      match Bench.load path with
+      | Error e -> Alcotest.fail e
+      | Ok r' ->
+        Alcotest.(check string) "label" r.Bench.label r'.Bench.label;
+        Alcotest.(check bool) "quick" r.Bench.quick r'.Bench.quick;
+        Alcotest.(check int) "repeat" r.Bench.repeat r'.Bench.repeat;
+        Alcotest.(check int) "samples" 2 (List.length r'.Bench.samples);
+        List.iter2
+          (fun (a : Bench.sample) (b : Bench.sample) ->
+            Alcotest.(check string) "workload" a.Bench.workload b.Bench.workload;
+            Alcotest.(check int) "steps" a.Bench.query_steps b.Bench.query_steps;
+            Alcotest.(check (float 1e-9)) "build" a.Bench.build_p50_ms
+              b.Bench.build_p50_ms;
+            Alcotest.(check (float 1e-3)) "sps" a.Bench.stmts_per_sec
+              b.Bench.stmts_per_sec)
+          r.Bench.samples r'.Bench.samples;
+        (* a round-tripped run never regresses against itself *)
+        Alcotest.(check bool) "self-compare clean" false
+          (Bench.regressed (Bench.check th ~prev:r ~cur:r')))
+
+let test_percentile () =
+  let xs = [ 5.; 1.; 4.; 2.; 3. ] in
+  Alcotest.(check (float 0.)) "p50 of 1..5" 3. (Bench.percentile 0.5 xs);
+  Alcotest.(check (float 0.)) "p95 of 1..5" 5. (Bench.percentile 0.95 xs);
+  Alcotest.(check (float 0.)) "p0 clamps" 1. (Bench.percentile 0. xs);
+  Alcotest.(check (float 0.)) "p100" 5. (Bench.percentile 1. xs);
+  Alcotest.(check (float 0.)) "singleton" 7. (Bench.percentile 0.5 [ 7. ])
+
+(* ------------------------------------------------------------------ *)
+(* Metric docs cover the live registry                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_metric_docs_cover_registry () =
+  Wet_obs.Sink.enable ();
+  Wet_obs.Metrics.reset ();
+  (* run a pipeline that instantiates the dynamic families too *)
+  let w = Spec.find "197.parser" in
+  let res = Spec.run ~scale:6 w in
+  let w1 = Builder.build res.Interp.trace in
+  let w2 = Builder.pack w1 in
+  Wet_watch.Explain.arm ();
+  Wet_core.Query.park w2 Wet_core.Query.Forward;
+  ignore (Wet_core.Query.control_flow w2 Wet_core.Query.Forward ~f:(fun _ _ -> ()));
+  ignore (Wet_watch.Explain.publish ());
+  Wet_watch.Explain.disarm ();
+  let undocumented =
+    List.filter_map
+      (fun (name, _) ->
+        match Metric_docs.lookup name with Some _ -> None | None -> Some name)
+      (Wet_obs.Metrics.snapshot ())
+  in
+  Wet_obs.Sink.disable ();
+  Alcotest.(check (list string)) "every registered instrument is documented"
+    [] undocumented;
+  (* the pattern resolver really is resolving patterns *)
+  Alcotest.(check bool) "pack.method pattern resolves" true
+    (Metric_docs.lookup "pack.method.dfcm/4.streams" <> None);
+  Alcotest.(check bool) "watch pattern resolves" true
+    (Metric_docs.lookup "watch.myprobe.matches" <> None);
+  Alcotest.(check bool) "unknown name is unknown" true
+    (Metric_docs.lookup "no.such.metric" = None)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "insight"
+    [
+      ( "telemetry",
+        [
+          Alcotest.test_case "bidir dictionary invariants" `Quick
+            test_bidir_dictionary;
+          Alcotest.test_case "bidir step counters" `Quick test_bidir_steps;
+          Alcotest.test_case "compressed_bits accounting" `Quick
+            test_bits_accounting;
+          Alcotest.test_case "raw stream telemetry" `Quick
+            test_raw_stream_telemetry;
+          Alcotest.test_case "sequitur telemetry" `Quick
+            test_sequitur_telemetry;
+        ] );
+      ( "sizes",
+        [
+          Alcotest.test_case "detail agrees with current (both tiers)" `Quick
+            test_detail_agrees;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parser units" `Quick test_json_units;
+          Alcotest.test_case "stats report round trip" `Quick
+            test_report_roundtrip;
+        ] );
+      ( "bench-check",
+        [
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "threshold edges" `Quick test_threshold_edges;
+          Alcotest.test_case "save/load round trip" `Quick
+            test_bench_roundtrip;
+        ] );
+      ( "metric-docs",
+        [
+          Alcotest.test_case "registry coverage" `Quick
+            test_metric_docs_cover_registry;
+        ] );
+    ]
