@@ -746,7 +746,7 @@ let repeat = ref 3
 
 let warmup = ref 1
 
-let out_file = ref "BENCH_PR4.json"
+let out_file = ref "BENCH_PR5.json"
 
 module Bench = Wet_insight.Bench
 module Explain = Wet_watch.Explain
@@ -773,6 +773,24 @@ let sampled f =
   done;
   List.init !repeat (fun _ -> snd (timed_ms f))
 
+(* One streaming build with peak tracking, against a live-word baseline
+   taken after a compaction so earlier garbage doesn't inflate the
+   peak. Returns (wet, peak delta in words, shard flushes). *)
+let streaming_peak w ~scale =
+  let prog = Spec.compile w in
+  let input = Spec.input w ~scale in
+  let analysis = Wet_cfg.Program_analysis.of_program prog in
+  Gc.compact ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  let sink = Builder.Sink.create ~track_peak:true analysis in
+  let _ =
+    Interp.run_with_sink ~analysis ~sink:(Builder.Sink.events sink) prog
+      ~input
+  in
+  let wet = Builder.Sink.finish sink in
+  let peak = max 0 (Builder.Sink.peak_live_words sink - live0) in
+  (wet, peak, Builder.Sink.shard_count sink)
+
 let observatory () =
   let samples =
     List.map
@@ -782,6 +800,9 @@ let observatory () =
           if !quick then max 1 (s / 4) else s
         in
         progress "observatory %s (scale %d)" w.Spec.name scale;
+        (* streaming build first, before any trace is materialised, so
+           the live-word peak reflects the sink alone *)
+        let _wet, peak_words, shards = streaming_peak w ~scale in
         let res = Spec.run ~scale w in
         let stmts = res.Interp.stmts_executed in
         let build_ms = sampled (fun () -> Builder.build res.Interp.trace) in
@@ -817,6 +838,9 @@ let observatory () =
           query_p95_ms = Bench.percentile 0.95 query_ms;
           query_steps = Explain.total_steps er;
           query_switches = switches;
+          build_peak_words = peak_words;
+          wet_words = Obj.reachable_words (Obj.repr w1);
+          shards;
         })
       Spec.all
   in
@@ -838,7 +862,7 @@ let observatory () =
          !warmup !repeat !out_file)
     ~header:
       [ "Workload"; "Stmts"; "Stmts/s"; "B/label T2"; "Ratio T2";
-        "Build p50 (ms)"; "Query p50 (ms)"; "Steps" ]
+        "Build p50 (ms)"; "Query p50 (ms)"; "Steps"; "Peak (Mw)"; "Shards" ]
     (List.map
        (fun (s : Bench.sample) ->
          [
@@ -850,8 +874,53 @@ let observatory () =
            Table.f2 s.Bench.build_p50_ms;
            Table.f2 s.Bench.query_p50_ms;
            Table.i s.Bench.query_steps;
+           Table.f2 (float_of_int s.Bench.build_peak_words /. 1e6);
+           Table.i s.Bench.shards;
          ])
        samples)
+
+(* Memory smoke for CI: a streaming build's peak live-word delta must
+   stay within a fixed multiple of the finished WET plus a constant
+   floor covering one shard's buffers and interpreter state — the
+   O(shard size + final WET) bound the sink advertises. Runs at quick
+   scales; exit 3 on any violation, mirroring bench-check. *)
+let memsmoke () =
+  let mw n = float_of_int n /. 1e6 in
+  let failures = ref 0 in
+  let rows =
+    List.map
+      (fun w ->
+        let scale = max 1 (w.Spec.timing_scale / 4) in
+        progress "memsmoke %s (scale %d)" w.Spec.name scale;
+        let wet, peak, shards = streaming_peak w ~scale in
+        let wet_words = Obj.reachable_words (Obj.repr wet) in
+        let budget = (4 * wet_words) + 4_000_000 in
+        if peak > budget then incr failures;
+        [
+          w.Spec.name;
+          Table.f2 (mw peak);
+          Table.f2 (mw wet_words);
+          Table.i shards;
+          Table.f2 (mw budget);
+          (if peak > budget then "EXCEEDED" else "ok");
+        ])
+      Spec.all
+  in
+  Table.print
+    ~title:
+      "Memory smoke: streaming peak vs budget (4 x WET + 4 Mwords), quick \
+       scales."
+    ~header:
+      [ "Workload"; "Peak (Mw)"; "WET (Mw)"; "Shards"; "Budget (Mw)";
+        "Status" ]
+    rows;
+  if !failures > 0 then begin
+    Printf.printf
+      "memsmoke: %d workload(s) exceeded the streaming memory budget\n"
+      !failures;
+    exit 3
+  end
+  else print_endline "memsmoke: all streaming peaks within budget"
 
 let all_targets =
   [
@@ -861,6 +930,7 @@ let all_targets =
     ("fig8", fig8); ("fig9", fig9); ("ablation", ablation);
     ("optablation", opt_ablation); ("ctxablation", ctx_ablation);
     ("micro", micro); ("observatory", observatory);
+    ("memsmoke", memsmoke);
   ]
 
 let () =

@@ -52,7 +52,7 @@ let with_program ?(optimize = 0) name scale input f =
     let input = if input = [] then winput else Array.of_list input in
     (match f prog input label with
      | () -> `Ok ()
-     | exception Interp.Runtime_error m -> `Error (false, "runtime error: " ^ m))
+     | exception Wet_error.Error e -> `Error (false, Wet_error.message e))
 
 (* Exit codes: 0 success, 2 usage, 3 corrupt or salvage-degraded input
    (1 is left to analysis mismatches, e.g. [verify]). *)
@@ -61,16 +61,18 @@ let corrupt_exit path fault =
   exit 3
 
 (* Commands operating on a WET accept either a saved [.wet] container or
-   anything [load_program] accepts (built on the fly). *)
-let with_wet ?(optimize = 0) ?(tier2 = false) ?(salvage = false) name scale
-    input f =
+   anything [load_program] accepts (built on the fly). On-the-fly builds
+   stream interpreter events through the sharded sink by default, so no
+   whole-execution trace is ever materialised; [--batch] restores the
+   old materialise-then-build pipeline. *)
+let with_wet ?(optimize = 0) ?(tier2 = false) ?(salvage = false)
+    ?(batch = false) ?shard_events name scale input f =
   if is_wet_file name then begin
     match Store.load ~salvage name with
     | wet -> (
       match f wet (Filename.basename name) with
       | () -> `Ok ()
-      | exception Interp.Runtime_error m ->
-        `Error (false, "runtime error: " ^ m)
+      | exception Wet_error.Error e -> `Error (false, Wet_error.message e)
       | exception W.Missing_stream sec ->
         Printf.eprintf
           "error: %s: section '%s' was lost to a salvage load; this query \
@@ -82,8 +84,12 @@ let with_wet ?(optimize = 0) ?(tier2 = false) ?(salvage = false) name scale
   end
   else
     with_program ~optimize name scale input (fun p input label ->
-        let res = Interp.run p ~input in
-        let wet = Builder.build res.Interp.trace in
+        let wet =
+          if batch then
+            let res = Interp.run p ~input in
+            Builder.build res.Interp.trace
+          else Builder.run_streaming ?shard_events ~program:p ~input ()
+        in
         let wet = if tier2 then Builder.pack wet else wet in
         f wet label)
 
@@ -218,6 +224,27 @@ let optimize_arg =
   let doc = "Optimisation level applied before running (0 or 1)." in
   Arg.(value & opt int 0 & info [ "O"; "optimize" ] ~docv:"LEVEL" ~doc)
 
+(* On-the-fly builds default to the streaming sink; these two flags tune
+   or disable it. *)
+let shard_events_arg =
+  let doc =
+    "Streaming build only: buffer at most $(docv) raw interpreter events \
+     before compressing a shard (default 65536). Smaller shards lower \
+     peak memory; the resulting WET is identical either way."
+  in
+  Arg.(value & opt (some int) None & info [ "shard-events" ] ~docv:"N" ~doc)
+
+let batch_arg =
+  let doc =
+    "Materialise the whole execution trace in memory before building the \
+     WET, instead of streaming interpreter events through the sharded \
+     sink (the default). Produces a byte-identical WET."
+  in
+  Arg.(value & flag & info [ "batch" ] ~doc)
+
+let stream_term =
+  Term.(const (fun batch shard -> (batch, shard)) $ batch_arg $ shard_events_arg)
+
 (* ---------------- run ---------------- *)
 
 let run_cmd =
@@ -247,9 +274,10 @@ let stats_cmd =
     in
     Arg.(value & flag & info [ "salvage" ] ~doc)
   in
-  let action obs prog scale input tier2 json salvage =
+  let action obs (batch, shard_events) prog scale input tier2 json salvage =
     with_obs obs @@ fun () ->
-    with_wet ~tier2 ~salvage prog scale input (fun wet label ->
+    with_wet ~tier2 ~salvage ~batch ?shard_events prog scale input
+      (fun wet label ->
         let report = Insight_report.of_wet ~label wet in
         if json then
           print_endline (Insight_json.to_string (Insight_report.to_json report))
@@ -291,8 +319,8 @@ let stats_cmd =
          "Report sizes, per-stream compression and telemetry for a WET \
           (built on the fly or loaded from a .wet container).")
     Term.(
-      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
-           $ tier2_arg $ json_arg $ salvage_arg))
+      ret (const action $ obs_term $ stream_term $ program_arg $ scale_arg
+           $ input_arg $ tier2_arg $ json_arg $ salvage_arg))
 
 (* ---------------- trace ---------------- *)
 
@@ -308,10 +336,10 @@ let limit_arg =
   Arg.(value & opt int 50 & info [ "limit" ] ~docv:"N" ~doc)
 
 let trace_cmd =
-  let action obs explain prog scale input kind limit =
+  let action obs (batch, shard_events) explain prog scale input kind limit =
     with_obs obs @@ fun () ->
     with_explain explain @@ fun () ->
-    with_wet prog scale input (fun wet _ ->
+    with_wet ~batch ?shard_events prog scale input (fun wet _ ->
         let printed = ref 0 in
         let emit fmt =
           Printf.ksprintf
@@ -340,8 +368,8 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"Extract a control-flow, load-value or address trace from the WET.")
     Term.(
-      ret (const action $ obs_term $ explain_arg $ program_arg $ scale_arg
-           $ input_arg $ trace_kind $ limit_arg))
+      ret (const action $ obs_term $ stream_term $ explain_arg $ program_arg
+           $ scale_arg $ input_arg $ trace_kind $ limit_arg))
 
 (* ---------------- slice ---------------- *)
 
@@ -353,10 +381,10 @@ let slice_cmd =
     in
     Arg.(value & opt (some int) None & info [ "output" ] ~docv:"K" ~doc)
   in
-  let action obs explain prog scale input k =
+  let action obs (batch, shard_events) explain prog scale input k =
     with_obs obs @@ fun () ->
     with_explain explain @@ fun () ->
-    with_wet prog scale input (fun wet _ ->
+    with_wet ~batch ?shard_events prog scale input (fun wet _ ->
         (* enumerate output instances in execution order *)
         let outs =
           Query.copies_matching wet (function
@@ -400,8 +428,8 @@ let slice_cmd =
   Cmd.v
     (Cmd.info "slice" ~doc:"Compute a backward WET slice of an output value.")
     Term.(
-      ret (const action $ obs_term $ explain_arg $ program_arg $ scale_arg
-           $ input_arg $ output_arg))
+      ret (const action $ obs_term $ stream_term $ explain_arg $ program_arg
+           $ scale_arg $ input_arg $ output_arg))
 
 (* ---------------- paths ---------------- *)
 
@@ -410,9 +438,9 @@ let paths_cmd =
     let doc = "Show the N hottest paths." in
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
   in
-  let action obs prog scale input top =
+  let action obs (batch, shard_events) prog scale input top =
     with_obs obs @@ fun () ->
-    with_wet prog scale input (fun wet _ ->
+    with_wet ~batch ?shard_events prog scale input (fun wet _ ->
         let nodes = Array.copy wet.W.nodes in
         Array.sort (fun a b -> compare b.W.n_nexec a.W.n_nexec) nodes;
         let rows = ref [] in
@@ -437,8 +465,8 @@ let paths_cmd =
   Cmd.v
     (Cmd.info "paths" ~doc:"Profile Ball-Larus paths (hot path mining).")
     Term.(
-      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
-           $ top_arg))
+      ret (const action $ obs_term $ stream_term $ program_arg $ scale_arg
+           $ input_arg $ top_arg))
 
 (* ---------------- build (persist a WET) ---------------- *)
 
@@ -447,24 +475,30 @@ let build_cmd =
     let doc = "Output path for the WET container." in
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let action obs prog scale input tier2 optimize out =
+  let action obs (batch, shard_events) prog scale input tier2 optimize out =
     with_obs obs @@ fun () ->
     with_program ~optimize prog scale input (fun p input label ->
-        let res = Interp.run p ~input in
-        let wet = Builder.build res.Interp.trace in
+        let wet =
+          if batch then
+            let res = Interp.run p ~input in
+            Builder.build res.Interp.trace
+          else Builder.run_streaming ?shard_events ~program:p ~input ()
+        in
         let wet = if tier2 then Builder.pack wet else wet in
         Store.save wet out;
         Printf.printf "%s: %d statements -> %s (%s, %.2f MB on disk)\n" label
-          res.Interp.stmts_executed out
+          wet.W.stats.W.stmts_executed out
           (match wet.W.tier with `Tier2 -> "tier-2" | `Tier1 -> "tier-1")
           (float_of_int (Unix.stat out).Unix.st_size /. 1024. /. 1024.))
   in
   Cmd.v
     (Cmd.info "build"
-       ~doc:"Build a WET and save it to disk for later queries.")
+       ~doc:
+         "Build a WET (streaming by default; see --batch) and save it to \
+          disk for later queries.")
     Term.(
-      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
-           $ tier2_arg $ optimize_arg $ out_arg))
+      ret (const action $ obs_term $ stream_term $ program_arg $ scale_arg
+           $ input_arg $ tier2_arg $ optimize_arg $ out_arg))
 
 (* ---------------- verify ---------------- *)
 
@@ -515,10 +549,10 @@ let at_cmd =
     let doc = "Global timestamp to inspect (default: the midpoint)." in
     Arg.(value & opt (some int) None & info [ "ts" ] ~docv:"T" ~doc)
   in
-  let action obs explain prog scale input ts =
+  let action obs (batch, shard_events) explain prog scale input ts =
     with_obs obs @@ fun () ->
     with_explain explain @@ fun () ->
-    with_wet prog scale input (fun wet _ ->
+    with_wet ~batch ?shard_events prog scale input (fun wet _ ->
         let total = wet.W.stats.W.path_execs in
         let ts = Option.value ts ~default:(max 1 (total / 2)) in
         match Query.locate_time wet ts with
@@ -559,8 +593,8 @@ let at_cmd =
        ~doc:"Inspect an arbitrary execution point: location, control flow \
              and reconstructed global state.")
     Term.(
-      ret (const action $ obs_term $ explain_arg $ program_arg $ scale_arg
-           $ input_arg $ ts_arg))
+      ret (const action $ obs_term $ stream_term $ explain_arg $ program_arg
+           $ scale_arg $ input_arg $ ts_arg))
 
 (* ---------------- dot ---------------- *)
 
@@ -571,9 +605,9 @@ let dot_cmd =
     Arg.(value & opt (enum [ ("nodes", `Nodes); ("slice", `Slice) ]) `Nodes
          & info [ "what" ] ~docv:"KIND" ~doc)
   in
-  let action obs prog scale input what =
+  let action obs (batch, shard_events) prog scale input what =
     with_obs obs @@ fun () ->
-    with_wet prog scale input (fun wet _ ->
+    with_wet ~batch ?shard_events prog scale input (fun wet _ ->
         match what with
         | `Nodes -> print_string (Wet_analyses.Dot_export.nodes wet)
         | `Slice -> (
@@ -589,8 +623,8 @@ let dot_cmd =
   Cmd.v
     (Cmd.info "dot" ~doc:"Export WET structure as Graphviz.")
     Term.(
-      ret (const action $ obs_term $ program_arg $ scale_arg $ input_arg
-           $ what_arg))
+      ret (const action $ obs_term $ stream_term $ program_arg $ scale_arg
+           $ input_arg $ what_arg))
 
 (* ---------------- profile ---------------- *)
 

@@ -73,6 +73,12 @@ let c_group_uniq = Obs.counter "build.groups.unique_tuples"
 
 let c_group_pattern = Obs.counter "build.groups.pattern_entries"
 
+let c_shards = Obs.counter "build.shards"
+
+let g_peak_live = Obs.gauge "build.peak_live_words"
+
+let h_shard_events = Obs.histogram "build.shard_events"
+
 let c_pack_streams = Obs.counter "pack.streams"
 
 let c_pack_bits_raw = Obs.counter "pack.bits_raw"
@@ -342,407 +348,774 @@ let slot_event st gid ~inst ~pcopy ~pinst ~local =
     if pcopy >= 0 then add_edge_event st gid pcopy inst pinst
   end
 
-(* ------------------------------------------------------------------ *)
-(* The main replay.                                                   *)
-(* ------------------------------------------------------------------ *)
-
 let raw arr = Stream.compress_with `Raw arr
 
-let build_tier1 (trace : T.t) : Wet.t =
-  let analysis = trace.T.analysis in
-  let prog = analysis.PA.program in
-  let proto_list = ref [] in
-  let nprotos = ref 0 in
-  let proto_of = Hashtbl.create 256 in
-  let next_slot = ref 0 in
-  let next_copy = ref 0 in
-  let get_proto key =
-    match Hashtbl.find_opt proto_of key with
+(* ------------------------------------------------------------------ *)
+(* Windowed event buffers.                                            *)
+(*                                                                    *)
+(* A [Win.t] is an int buffer addressed by a global, ever-growing     *)
+(* index whose prefix can be dropped: the sink keeps only the window  *)
+(* between the eviction boundary and the feed cursor, so buffering    *)
+(* stays O(shard) while indices remain the dynamic positions the      *)
+(* dependence events speak in.                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Win = struct
+  type t = {
+    mutable base : int;  (* global index of arr.(0) *)
+    mutable arr : int array;
+    mutable len : int;
+  }
+
+  let create () = { base = 0; arr = Array.make 1024 0; len = 0 }
+
+  (* one past the last pushed global index — i.e. the total fed count *)
+  let end_ w = w.base + w.len
+
+  let push w v =
+    if w.len = Array.length w.arr then begin
+      let arr = Array.make (2 * w.len) 0 in
+      Array.blit w.arr 0 arr 0 w.len;
+      w.arr <- arr
+    end;
+    w.arr.(w.len) <- v;
+    w.len <- w.len + 1
+
+  let mem w i = i >= w.base && i < w.base + w.len
+
+  let get w i = w.arr.(i - w.base)
+
+  let set w i v = w.arr.(i - w.base) <- v
+
+  (* Drop the prefix [base, upto); keeps absolute indexing intact and
+     returns the backing store to a small size when mostly empty. *)
+  let drop_to w upto =
+    if upto > w.base then begin
+      let k = upto - w.base in
+      let rem = w.len - k in
+      Array.blit w.arr k w.arr 0 rem;
+      w.len <- rem;
+      w.base <- upto;
+      if Array.length w.arr > 4096 && w.len * 4 < Array.length w.arr then begin
+        let arr = Array.make (max 1024 (2 * w.len)) 0 in
+        Array.blit w.arr 0 arr 0 w.len;
+        w.arr <- arr
+      end
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* The streaming sink: replay + eager per-shard compression.          *)
+(* ------------------------------------------------------------------ *)
+
+module Sink = struct
+  let default_shard_events = 65536
+
+  type t = {
+    analysis : PA.t;
+    shard_events : int;
+    track_peak : bool;
+    values_from : (int -> int) option;
+    (* path interning *)
+    proto_of : (int, proto) Hashtbl.t;
+    mutable proto_list : proto list;
+    mutable nprotos : int;
+    next_slot : int ref;
+    next_copy : int ref;
+    st : slot_tables;
+    (* buffered event windows (global FIFO indices) *)
+    w_paths : Win.t;
+    w_cd : Win.t;
+    w_deps : Win.t;
+    w_vals : Win.t;  (* unused when values_from is set *)
+    (* processed position -> (copy, instance); same eviction boundary *)
+    w_copy : Win.t;
+    w_inst : Win.t;
+    (* positions below the eviction boundary that are still referencable *)
+    mutable retained : (int, int * int * int) Hashtbl.t;
+        (* pos -> (value, copy, inst) *)
+    (* cursors *)
+    mutable vals_fed : int;  (* statements fed (= positions) *)
+    mutable paths_done : int;  (* path executions processed *)
+    mutable cd_done : int;
+    mutable deps_done : int;
+    (* pending call patches, LIFO (calls nest) *)
+    pending_vpos : Dyn.t;
+    pending_slot : Dyn.t;
+    (* forward references, resolved at finish (as in the batch path) *)
+    pend_gid : Dyn.t;
+    pend_inst : Dyn.t;
+    pend_prod : Dyn.t;
+    (* stats accumulators *)
+    mutable def_execs : int;
+    mutable dep_instances : int;
+    mutable cd_instances : int;
+    mutable first_node : int;
+    mutable last_node : int;
+    mutable prev_proto : proto option;
+    (* streaming machinery *)
+    mutable live_iter : ((int -> unit) -> unit) option;
+    mutable events_since_flush : int;
+    mutable shards : int;
+    mutable peak_live : int;
+    mutable finished : bool;
+  }
+
+  let create ?(shard_events = default_shard_events) ?(track_peak = false)
+      ?values_from analysis =
+    {
+      analysis;
+      shard_events = max 1 shard_events;
+      track_peak;
+      values_from;
+      proto_of = Hashtbl.create 256;
+      proto_list = [];
+      nprotos = 0;
+      next_slot = ref 0;
+      next_copy = ref 0;
+      st =
+        {
+          st_kind = Bytes.make 1024 '\000';
+          st_prod = Array.make 1024 (-1);
+          st_count = Array.make 1024 0;
+          edges = Hashtbl.create 4096;
+          slot_producers = Hashtbl.create 4096;
+        };
+      w_paths = Win.create ();
+      w_cd = Win.create ();
+      w_deps = Win.create ();
+      w_vals = Win.create ();
+      w_copy = Win.create ();
+      w_inst = Win.create ();
+      retained = Hashtbl.create 1024;
+      vals_fed = 0;
+      paths_done = 0;
+      cd_done = 0;
+      deps_done = 0;
+      pending_vpos = Dyn.create ();
+      pending_slot = Dyn.create ();
+      pend_gid = Dyn.create ();
+      pend_inst = Dyn.create ();
+      pend_prod = Dyn.create ();
+      def_execs = 0;
+      dep_instances = 0;
+      cd_instances = 0;
+      first_node = -1;
+      last_node = -1;
+      prev_proto = None;
+      live_iter = None;
+      events_since_flush = 0;
+      shards = 0;
+      peak_live = 0;
+      finished = false;
+    }
+
+  let check_open t what =
+    if t.finished then Wet_error.fail Wet_error.Build "%s after finish" what
+
+  let get_proto t key =
+    match Hashtbl.find_opt t.proto_of key with
     | Some p -> p
     | None ->
       let func, path = T.decode_path key in
       let p =
-        make_proto ~next_slot ~analysis ~id:!nprotos ~copy_base:!next_copy
-          func path
+        make_proto ~next_slot:t.next_slot ~analysis:t.analysis ~id:t.nprotos
+          ~copy_base:!(t.next_copy) func path
       in
-      next_copy := !next_copy + Array.length p.p_stmts;
-      Hashtbl.replace proto_of key p;
-      proto_list := p :: !proto_list;
-      incr nprotos;
+      t.next_copy := !(t.next_copy) + Array.length p.p_stmts;
+      Hashtbl.replace t.proto_of key p;
+      t.proto_list <- p :: t.proto_list;
+      t.nprotos <- t.nprotos + 1;
       p
-  in
-  let st =
+
+  (* (copy, instance) of an already-replayed position: in the window,
+     or retained across an eviction. A miss is a sink invariant
+     violation, never silent divergence. *)
+  let copy_of t pos =
+    if Win.mem t.w_copy pos then (Win.get t.w_copy pos, Win.get t.w_inst pos)
+    else
+      match Hashtbl.find_opt t.retained pos with
+      | Some (_, c, i) -> (c, i)
+      | None ->
+        Wet_error.fail Wet_error.Build
+          "internal: position %d referenced after eviction" pos
+
+  let value_at t pos =
+    match t.values_from with
+    | Some f -> f pos
+    | None ->
+      if Win.mem t.w_vals pos then Win.get t.w_vals pos
+      else (
+        match Hashtbl.find_opt t.retained pos with
+        | Some (v, _, _) -> v
+        | None ->
+          Wet_error.fail Wet_error.Build
+            "internal: value at %d referenced after eviction" pos)
+
+  (* Replay one path execution through the slot state machine — the
+     per-shard compression step. Identical event-for-event to the old
+     whole-trace replay loop, reading the windows where that read the
+     materialized trace arrays. *)
+  let process_exec t (p : proto) =
+    ensure_slots t.st !(t.next_slot);
+    if t.first_node < 0 then t.first_node <- p.p_id;
+    t.last_node <- p.p_id;
+    (* dynamic control-flow edges between consecutive nodes *)
+    (match t.prev_proto with
+     | Some q ->
+       Hashtbl.replace q.p_succs p.p_id ();
+       Hashtbl.replace p.p_preds q.p_id ()
+     | None -> ());
+    t.prev_proto <- Some p;
+    Dyn.push p.p_ts (t.paths_done + 1);
+    let inst = p.p_nexec in
+    let n = Array.length p.p_instrs in
+    let bp = ref 0 in
+    for o = 0 to n - 1 do
+      (* advance block position *)
+      if !bp + 1 < Array.length p.p_block_start
+         && p.p_block_start.(!bp + 1) = o
+      then incr bp;
+      if p.p_block_start.(!bp) = o then begin
+        (* block entry: consume the control-dependence event *)
+        let cd_pos = Win.get t.w_cd t.cd_done in
+        t.cd_done <- t.cd_done + 1;
+        let gid = p.p_cd_slot.(!bp) in
+        let nstmts_in_block =
+          (if !bp + 1 < Array.length p.p_block_start then
+             p.p_block_start.(!bp + 1)
+           else n)
+          - p.p_block_start.(!bp)
+        in
+        if cd_pos >= 0 then begin
+          t.cd_instances <- t.cd_instances + nstmts_in_block;
+          let pc, pi = copy_of t cd_pos in
+          let local =
+            pc >= p.p_copy_base && pc < p.p_copy_base + n && pi = inst
+          in
+          slot_event t.st gid ~inst ~pcopy:pc ~pinst:pi ~local
+        end
+        else slot_event t.st gid ~inst ~pcopy:(-1) ~pinst:(-1) ~local:false
+      end;
+      let pos = Win.end_ t.w_copy in
+      Win.push t.w_copy (p.p_copy_base + o);
+      Win.push t.w_inst inst;
+      p.p_exec_pos.(o) <- pos;
+      let nslots = p.p_slot_count.(o) in
+      for s = 0 to nslots - 1 do
+        let producer = Win.get t.w_deps t.deps_done in
+        t.deps_done <- t.deps_done + 1;
+        p.p_exec_prod.(o).(s) <- producer;
+        let gid = p.p_slot_base.(o) + s in
+        if producer >= 0 then begin
+          t.dep_instances <- t.dep_instances + 1;
+          if producer >= Win.end_ t.w_copy then begin
+            (* forward reference: the producer has not been replayed *)
+            Dyn.push t.pend_gid gid;
+            Dyn.push t.pend_inst inst;
+            Dyn.push t.pend_prod producer
+          end
+          else begin
+            let pc, pi = copy_of t producer in
+            let local =
+              pc >= p.p_copy_base && pc < p.p_copy_base + n && pi = inst
+            in
+            slot_event t.st gid ~inst ~pcopy:pc ~pinst:pi ~local
+          end
+        end
+        else slot_event t.st gid ~inst ~pcopy:(-1) ~pinst:(-1) ~local:false
+      done;
+      if Instr.has_def p.p_instrs.(o) then t.def_execs <- t.def_execs + 1
+    done;
+    (* value groups: one tuple per group for this execution *)
+    Array.iter
+      (fun g ->
+        let tuple =
+          Array.fold_right
+            (fun src acc ->
+              match src with
+              | Src_slot (o, s) ->
+                let producer = p.p_exec_prod.(o).(s) in
+                (if producer >= 0 then value_at t producer else 0) :: acc
+              | Src_input o -> value_at t p.p_exec_pos.(o) :: acc)
+            g.pg_sources []
+        in
+        if Array.length g.pg_sources = 0 then begin
+          (* constant group: record unique values once *)
+          if p.p_nexec = 0 then
+            Array.iter
+              (fun o -> Dyn.push p.p_uvals.(o) (value_at t p.p_exec_pos.(o)))
+              g.pg_members
+        end
+        else begin
+          match Hashtbl.find_opt g.pg_tuples tuple with
+          | Some ix -> Dyn.push g.pg_pattern ix
+          | None ->
+            let ix = Hashtbl.length g.pg_tuples in
+            Hashtbl.replace g.pg_tuples tuple ix;
+            Dyn.push g.pg_pattern ix;
+            Array.iter
+              (fun o -> Dyn.push p.p_uvals.(o) (value_at t p.p_exec_pos.(o)))
+              g.pg_members
+        end)
+      p.p_groups;
+    p.p_nexec <- p.p_nexec + 1;
+    t.paths_done <- t.paths_done + 1
+
+  (* Replay every complete, patch-free path execution in the buffer.
+     An execution is held back while (a) its trailing statements have
+     not been fed yet, or (b) it contains a call whose return value has
+     not been patched in — the patch targets buffered slots, so the
+     whole range from the oldest pending call onward must stay
+     unreplayed. Calls nest, so the oldest pending call (stack bottom)
+     is the gate. *)
+  let process_available t =
+    let min_pending =
+      if Dyn.length t.pending_vpos = 0 then max_int
+      else Dyn.get t.pending_vpos 0
+    in
+    let continue = ref true in
+    while !continue && t.paths_done < Win.end_ t.w_paths do
+      let key = Win.get t.w_paths t.paths_done in
+      let p = get_proto t key in
+      let n = Array.length p.p_instrs in
+      let start = Win.end_ t.w_copy in
+      if start + n > t.vals_fed || start + n > min_pending then
+        continue := false
+      else process_exec t p
+    done
+
+  let sample_live t =
+    if t.track_peak then begin
+      let live = (Gc.stat ()).Gc.live_words in
+      if live > t.peak_live then begin
+        t.peak_live <- live;
+        Obs.set g_peak_live live
+      end
+    end
+
+  (* Process what the buffer allows, then evict everything a future
+     event can no longer reference. The keep-set is exact: positions
+     the interpreter still holds live (register/memory shadows, branch
+     histories, calling contexts), producers named by still-buffered
+     dependence events, and unresolved forward references. Without a
+     live iterator (trace replay) nothing is evicted. *)
+  let flush_shard t =
+    check_open t "flush_shard";
+    process_available t;
+    (match t.live_iter with
+     | None -> ()
+     | Some live ->
+       let boundary = Win.end_ t.w_copy in
+       let fresh = Hashtbl.create 1024 in
+       let keep pos =
+         if pos >= 0 && pos < boundary && not (Hashtbl.mem fresh pos) then begin
+           let entry =
+             if Win.mem t.w_copy pos then
+               let v =
+                 match t.values_from with
+                 | Some _ -> 0
+                 | None -> Win.get t.w_vals pos
+               in
+               (v, Win.get t.w_copy pos, Win.get t.w_inst pos)
+             else
+               match Hashtbl.find_opt t.retained pos with
+               | Some e -> e
+               | None ->
+                 Wet_error.fail Wet_error.Build
+                   "internal: live position %d already evicted" pos
+           in
+           Hashtbl.replace fresh pos entry
+         end
+       in
+       live keep;
+       for i = t.deps_done to Win.end_ t.w_deps - 1 do
+         keep (Win.get t.w_deps i)
+       done;
+       for i = t.cd_done to Win.end_ t.w_cd - 1 do
+         keep (Win.get t.w_cd i)
+       done;
+       Dyn.iter (fun p -> keep p) t.pend_prod;
+       t.retained <- fresh;
+       Win.drop_to t.w_copy boundary;
+       Win.drop_to t.w_inst boundary;
+       (match t.values_from with
+        | None -> Win.drop_to t.w_vals boundary
+        | Some _ -> ()));
+    Win.drop_to t.w_paths t.paths_done;
+    Win.drop_to t.w_cd t.cd_done;
+    Win.drop_to t.w_deps t.deps_done;
+    t.shards <- t.shards + 1;
+    Obs.incr c_shards;
+    if Obs.enabled () then Obs.observe h_shard_events t.events_since_flush;
+    t.events_since_flush <- 0;
+    sample_live t
+
+  let bump t =
+    t.events_since_flush <- t.events_since_flush + 1
+
+  let feed_block t cd =
+    check_open t "feed";
+    Win.push t.w_cd cd;
+    bump t
+
+  let feed_dep t producer =
+    check_open t "feed";
+    Win.push t.w_deps producer;
+    bump t
+
+  let feed_value t v =
+    check_open t "feed";
+    (match t.values_from with
+     | None -> Win.push t.w_vals v
+     | Some _ -> ());
+    t.vals_fed <- t.vals_fed + 1;
+    bump t
+
+  (* Shard boundaries land on path ends so the replay cursor can make
+     progress on every flush. *)
+  let feed_path t key =
+    check_open t "feed";
+    Win.push t.w_paths key;
+    bump t;
+    if t.events_since_flush >= t.shard_events then flush_shard t
+
+  let feed_call t =
+    check_open t "feed";
+    Dyn.push t.pending_vpos t.vals_fed;
+    Dyn.push t.pending_slot (Win.end_ t.w_deps - 1)
+
+  let feed_ret t v producer =
+    check_open t "feed";
+    if Dyn.length t.pending_vpos = 0 then
+      Wet_error.fail Wet_error.Build "return patch with no pending call";
+    let vpos = Dyn.pop t.pending_vpos in
+    let slot = Dyn.pop t.pending_slot in
+    (match t.values_from with
+     | None -> Win.set t.w_vals vpos v
+     | Some _ -> ());
+    Win.set t.w_deps slot producer
+
+  let events t =
     {
-      st_kind = Bytes.make 1024 '\000';
-      st_prod = Array.make 1024 (-1);
-      st_count = Array.make 1024 0;
-      edges = Hashtbl.create 4096;
-      slot_producers = Hashtbl.create 4096;
+      Wet_interp.Interp.es_block = (fun cd -> feed_block t cd);
+      es_dep = (fun p -> feed_dep t p);
+      es_stmt = (fun v -> feed_value t v);
+      es_path = (fun key -> feed_path t key);
+      es_call = (fun () -> feed_call t);
+      es_ret = (fun v p -> feed_ret t v p);
+      es_live = (fun iter -> t.live_iter <- Some iter);
     }
-  in
-  (* Dynamic position -> (copy, instance). *)
-  let pos_copy = Array.make (max 1 trace.T.nstmts) (-1) in
-  let pos_inst = Array.make (max 1 trace.T.nstmts) (-1) in
-  let def_execs = ref 0 in
-  let dep_instances = ref 0 in
-  let cd_instances = ref 0 in
-  let pos = ref 0 in
+
+  let shard_count t = t.shards
+
+  let peak_live_words t = t.peak_live
+
+  (* ---------------- splicing the shard streams ---------------- *)
+
+  let finalize t : Wet.t =
+    let analysis = t.analysis in
+    let prog = analysis.PA.program in
+    let st = t.st in
+    let npath_execs = Win.end_ t.w_paths in
+    let protos =
+      let arr = Array.of_list (List.rev t.proto_list) in
+      Array.sort (fun a b -> compare a.p_id b.p_id) arr;
+      arr
+    in
+    let ncopies = !(t.next_copy) in
+    let copy_node = Array.make ncopies 0 in
+    let copy_stmt = Array.make ncopies 0 in
+    let copy_uvals = Array.make ncopies None in
+    let copy_group = Array.make ncopies (-1) in
+    let copy_deps = Array.make ncopies [||] in
+    let copy_local_out = Array.make ncopies [] in
+    let copy_remote_out = Array.make ncopies [] in
+    let stmt_copies = Array.make (Program.num_stmts prog) [] in
+    (* shared label records *)
+    let next_label = ref 0 in
+    (* Sharing identical label sequences between the same node pair
+       (paper §3.3). Keyed by a strong content hash; the candidate list
+       resolves collisions by structural comparison. *)
+    let label_cache = Hashtbl.create 1024 in
+    let shared_label_values = ref 0 in
+    let local_dep_instances = ref 0 in
+    let mk_labels src_node dst_node (lb : label_builder) =
+      let dst = Dyn.to_array lb.lb_dst and src = Dyn.to_array lb.lb_src in
+      let module H = Wet_util.Hashing in
+      let h = H.hash_window dst 0 (Array.length dst) in
+      let h = H.fnv_fold (H.hash_window src 0 (Array.length src)) h in
+      let key = (src_node, dst_node, Array.length dst, h) in
+      let candidates =
+        Option.value (Hashtbl.find_opt label_cache key) ~default:[]
+      in
+      match
+        List.find_opt (fun (d, s, _) -> d = dst && s = src) candidates
+      with
+      | Some (_, _, labels) ->
+        shared_label_values := !shared_label_values + Array.length dst;
+        Obs.incr c_label_dedup_hits;
+        labels
+      | None ->
+        let labels =
+          {
+            Wet.l_id = !next_label;
+            l_dst = raw dst;
+            l_src = raw src;
+            l_len = Array.length dst;
+          }
+        in
+        incr next_label;
+        Hashtbl.replace label_cache key ((dst, src, labels) :: candidates);
+        labels
+    in
+    let finalize_slot p gid ~dst_copy ~slot =
+      if Bytes.get st.st_kind gid = '\001' then begin
+        let producers =
+          match Hashtbl.find_opt st.slot_producers gid with
+          | Some l -> List.rev !l
+          | None -> []
+        in
+        match producers with
+        | [] -> Wet.No_dep
+        | _ ->
+          let edges =
+            List.map
+              (fun pc ->
+                let lb = Hashtbl.find st.edges (gid, pc) in
+                let labels = mk_labels copy_node.(pc) p.p_id lb in
+                { Wet.e_src = pc; e_dst = dst_copy; e_slot = slot;
+                  e_labels = labels })
+              producers
+          in
+          List.iter
+            (fun e ->
+              copy_remote_out.(e.Wet.e_src) <-
+                e :: copy_remote_out.(e.Wet.e_src))
+            edges;
+          Wet.Remote edges
+      end
+      else if st.st_count.(gid) = 0 then Wet.No_dep
+      else begin
+        let producer = st.st_prod.(gid) in
+        local_dep_instances := !local_dep_instances + st.st_count.(gid);
+        copy_local_out.(producer) <- dst_copy :: copy_local_out.(producer);
+        Wet.Local producer
+      end
+    in
+    (* copy-level tables must exist before finalize_slot reads
+       [copy_node] for producers, so fill them first *)
+    Array.iter
+      (fun p ->
+        Array.iteri
+          (fun o stmt ->
+            let c = p.p_copy_base + o in
+            copy_node.(c) <- p.p_id;
+            copy_stmt.(c) <- stmt;
+            copy_group.(c) <- p.p_offset_group.(o);
+            stmt_copies.(stmt) <- c :: stmt_copies.(stmt);
+            if Instr.has_def p.p_instrs.(o) then
+              copy_uvals.(c) <- Some (raw (Dyn.to_array p.p_uvals.(o))))
+          p.p_stmts)
+      protos;
+    let nodes =
+      Array.map
+        (fun p ->
+          let groups =
+            Array.map
+              (fun g ->
+                {
+                  Wet.g_members =
+                    Array.map (fun o -> p.p_copy_base + o) g.pg_members;
+                  g_nsources = Array.length g.pg_sources;
+                  g_pattern =
+                    (if Array.length g.pg_sources = 0 then None
+                     else Some (raw (Dyn.to_array g.pg_pattern)));
+                  g_nuniq =
+                    (if Array.length g.pg_sources = 0 then 1
+                     else Hashtbl.length g.pg_tuples);
+                })
+              p.p_groups
+          in
+          let cd =
+            Array.mapi
+              (fun bp _ ->
+                finalize_slot p p.p_cd_slot.(bp)
+                  ~dst_copy:(p.p_copy_base + p.p_block_start.(bp))
+                  ~slot:(-1))
+              p.p_blocks
+          in
+          {
+            Wet.n_id = p.p_id;
+            n_func = p.p_func;
+            n_path = p.p_path;
+            n_blocks = p.p_blocks;
+            n_stmts = p.p_stmts;
+            n_block_start = p.p_block_start;
+            n_copy_base = p.p_copy_base;
+            n_nexec = p.p_nexec;
+            n_ts = raw (Dyn.to_array p.p_ts);
+            n_succs =
+              Array.of_list
+                (List.sort compare
+                   (Hashtbl.fold (fun k () acc -> k :: acc) p.p_succs []));
+            n_preds =
+              Array.of_list
+                (List.sort compare
+                   (Hashtbl.fold (fun k () acc -> k :: acc) p.p_preds []));
+            n_groups = groups;
+            n_cd = cd;
+          })
+        protos
+    in
+    Array.iter
+      (fun p ->
+        Array.iteri
+          (fun o _ ->
+            let c = p.p_copy_base + o in
+            copy_deps.(c) <-
+              Array.init p.p_slot_count.(o) (fun s ->
+                  finalize_slot p (p.p_slot_base.(o) + s) ~dst_copy:c ~slot:s))
+          p.p_stmts)
+      protos;
+    if Obs.enabled () then begin
+      Obs.add c_intern_misses t.nprotos;
+      Obs.add c_intern_hits (npath_execs - t.nprotos);
+      Obs.add c_label_records !next_label;
+      Obs.add c_label_shared_values !shared_label_values;
+      Array.iter
+        (fun p ->
+          Array.iter
+            (fun g ->
+              Obs.incr c_groups;
+              Obs.add c_group_members (Array.length g.pg_members);
+              Obs.add c_group_uniq
+                (if Array.length g.pg_sources = 0 then 1
+                 else Hashtbl.length g.pg_tuples);
+              Obs.add c_group_pattern (Dyn.length g.pg_pattern))
+            p.p_groups)
+        protos;
+      Wet_obs.Span.set_attr "stmts" (Wet_obs.Span.Int t.vals_fed);
+      Wet_obs.Span.set_attr "nodes" (Wet_obs.Span.Int t.nprotos)
+    end;
+    let stats =
+      {
+        Wet.stmts_executed = t.vals_fed;
+        block_execs = Win.end_ t.w_cd;
+        path_execs = npath_execs;
+        def_execs = t.def_execs;
+        dep_instances = t.dep_instances;
+        cd_instances = t.cd_instances;
+        local_dep_instances = !local_dep_instances;
+        shared_label_values = !shared_label_values;
+      }
+    in
+    {
+      Wet.program = prog;
+      analysis;
+      nodes;
+      copy_node;
+      copy_stmt;
+      copy_uvals;
+      copy_group;
+      copy_deps;
+      copy_local_out;
+      copy_remote_out;
+      stmt_copies;
+      first_node = (if t.first_node < 0 then 0 else t.first_node);
+      last_node = (if t.last_node < 0 then 0 else t.last_node);
+      stats;
+      tier = `Tier1;
+      damage = [];
+    }
+
+  let finish t =
+    check_open t "finish";
+    t.finished <- true;
+    (* Calls the run abandoned (a Halt below them) are never patched:
+       their slots legitimately stay holes, exactly as the batch path
+       leaves them, so they no longer gate the replay. *)
+    Dyn.clear t.pending_vpos;
+    Dyn.clear t.pending_slot;
+    process_available t;
+    if t.paths_done < Win.end_ t.w_paths then
+      Wet_error.fail Wet_error.Build
+        "event stream truncated: %d path executions lack their statements"
+        (Win.end_ t.w_paths - t.paths_done);
+    if
+      t.deps_done < Win.end_ t.w_deps
+      || t.cd_done < Win.end_ t.w_cd
+      || Win.end_ t.w_copy < t.vals_fed
+    then
+      Wet_error.fail Wet_error.Build
+        "trailing events not covered by a path execution";
+    (* Return-value links point forward in the dynamic stream (the
+       callee's Ret executes after the Call), so their events were
+       deferred until the position maps are complete. A deferred
+       producer is never in the consumer's node (callee paths are
+       distinct from the caller's call path), so these events are never
+       Local. *)
+    for i = 0 to Dyn.length t.pend_gid - 1 do
+      let producer = Dyn.get t.pend_prod i in
+      let pc, pi = copy_of t producer in
+      slot_event t.st (Dyn.get t.pend_gid i)
+        ~inst:(Dyn.get t.pend_inst i) ~pcopy:pc ~pinst:pi ~local:false
+    done;
+    let wet = finalize t in
+    sample_live t;
+    wet
+end
+
+(* ------------------------------------------------------------------ *)
+(* Batch entry points: feed a materialized trace through the sink.    *)
+(* ------------------------------------------------------------------ *)
+
+(* The trace arrays already carry the call-return patches applied, so
+   the replay needs no pending-call bookkeeping; values resolve out of
+   the trace instead of being buffered a second time. *)
+let feed_trace sink (trace : T.t) =
   let dep_cursor = ref 0 in
   let block_cursor = ref 0 in
-  let prev_proto = ref (-1) in
-  (* Return-value links point forward in the dynamic stream (the callee's
-     Ret executes after the Call), so their events are deferred until the
-     position maps are complete. A deferred producer is never in the
-     consumer's node (callee paths are distinct from the caller's call
-     path), so these events are never Local. *)
-  let pend_gid = Dyn.create () in
-  let pend_inst = Dyn.create () in
-  let pend_prod = Dyn.create () in
-  let first_node = ref (-1) in
-  let last_node = ref (-1) in
-  Array.iteri
-    (fun path_index pkey ->
-      let p = get_proto pkey in
-      ensure_slots st !next_slot;
-      if !first_node < 0 then first_node := p.p_id;
-      last_node := p.p_id;
-      ignore !prev_proto;
-      Dyn.push p.p_ts (path_index + 1);
-      let inst = p.p_nexec in
+  let pos = ref 0 in
+  Array.iter
+    (fun key ->
+      let p = Sink.get_proto sink key in
       let n = Array.length p.p_instrs in
       let bp = ref 0 in
       for o = 0 to n - 1 do
-        (* advance block position *)
         if !bp + 1 < Array.length p.p_block_start
            && p.p_block_start.(!bp + 1) = o
         then incr bp;
         if p.p_block_start.(!bp) = o then begin
-          (* block entry: consume the control-dependence event *)
-          let cd_pos = trace.T.cd_producer.(!block_cursor) in
-          incr block_cursor;
-          let gid = p.p_cd_slot.(!bp) in
-          let nstmts_in_block =
-            (if !bp + 1 < Array.length p.p_block_start then
-               p.p_block_start.(!bp + 1)
-             else n)
-            - p.p_block_start.(!bp)
-          in
-          if cd_pos >= 0 then begin
-            cd_instances := !cd_instances + nstmts_in_block;
-            let pc = pos_copy.(cd_pos) and pi = pos_inst.(cd_pos) in
-            let local =
-              pc >= p.p_copy_base
-              && pc < p.p_copy_base + n
-              && pi = inst
-            in
-            slot_event st gid ~inst ~pcopy:pc ~pinst:pi ~local
-          end
-          else slot_event st gid ~inst ~pcopy:(-1) ~pinst:(-1) ~local:false
+          Sink.feed_block sink trace.T.cd_producer.(!block_cursor);
+          incr block_cursor
         end;
-        let copy = p.p_copy_base + o in
-        pos_copy.(!pos) <- copy;
-        pos_inst.(!pos) <- inst;
-        p.p_exec_pos.(o) <- !pos;
-        let nslots = p.p_slot_count.(o) in
-        for s = 0 to nslots - 1 do
-          let producer = trace.T.deps.(!dep_cursor) in
-          incr dep_cursor;
-          p.p_exec_prod.(o).(s) <- producer;
-          let gid = p.p_slot_base.(o) + s in
-          if producer >= 0 then begin
-            incr dep_instances;
-            if pos_copy.(producer) = -1 then begin
-              (* forward reference: the producer has not been replayed *)
-              Dyn.push pend_gid gid;
-              Dyn.push pend_inst inst;
-              Dyn.push pend_prod producer
-            end
-            else begin
-              let pc = pos_copy.(producer) and pi = pos_inst.(producer) in
-              let local =
-                pc >= p.p_copy_base && pc < p.p_copy_base + n && pi = inst
-              in
-              slot_event st gid ~inst ~pcopy:pc ~pinst:pi ~local
-            end
-          end
-          else slot_event st gid ~inst ~pcopy:(-1) ~pinst:(-1) ~local:false
+        for _s = 1 to p.p_slot_count.(o) do
+          Sink.feed_dep sink trace.T.deps.(!dep_cursor);
+          incr dep_cursor
         done;
-        if Instr.has_def p.p_instrs.(o) then incr def_execs;
+        Sink.feed_value sink trace.T.values.(!pos);
         incr pos
       done;
-      (* value groups: one tuple per group for this execution *)
-      Array.iter
-        (fun g ->
-          let tuple =
-            Array.fold_right
-              (fun src acc ->
-                match src with
-                | Src_slot (o, s) ->
-                  let producer = p.p_exec_prod.(o).(s) in
-                  (if producer >= 0 then trace.T.values.(producer) else 0)
-                  :: acc
-                | Src_input o -> trace.T.values.(p.p_exec_pos.(o)) :: acc)
-              g.pg_sources []
-          in
-          if Array.length g.pg_sources = 0 then begin
-            (* constant group: record unique values once *)
-            if p.p_nexec = 0 then
-              Array.iter
-                (fun o ->
-                  Dyn.push p.p_uvals.(o) trace.T.values.(p.p_exec_pos.(o)))
-                g.pg_members
-          end
-          else begin
-            match Hashtbl.find_opt g.pg_tuples tuple with
-            | Some ix -> Dyn.push g.pg_pattern ix
-            | None ->
-              let ix = Hashtbl.length g.pg_tuples in
-              Hashtbl.replace g.pg_tuples tuple ix;
-              Dyn.push g.pg_pattern ix;
-              Array.iter
-                (fun o ->
-                  Dyn.push p.p_uvals.(o) trace.T.values.(p.p_exec_pos.(o)))
-                g.pg_members
-          end)
-        p.p_groups;
-      prev_proto := p.p_id;
-      p.p_nexec <- p.p_nexec + 1)
-    trace.T.paths;
-  for i = 0 to Dyn.length pend_gid - 1 do
-    let producer = Dyn.get pend_prod i in
-    slot_event st (Dyn.get pend_gid i) ~inst:(Dyn.get pend_inst i)
-      ~pcopy:pos_copy.(producer) ~pinst:pos_inst.(producer) ~local:false
-  done;
-  (* ---------------- finalisation ---------------- *)
-  let protos =
-    let arr = Array.of_list (List.rev !proto_list) in
-    Array.sort (fun a b -> compare a.p_id b.p_id) arr;
-    arr
-  in
-  (* dynamic control-flow edges between nodes (consecutive timestamps) *)
-  let prev = ref (-1) in
-  Array.iter
-    (fun pkey ->
-      let p = Hashtbl.find proto_of pkey in
-      if !prev >= 0 then begin
-        Hashtbl.replace protos.(!prev).p_succs p.p_id ();
-        Hashtbl.replace p.p_preds !prev ()
-      end;
-      prev := p.p_id)
-    trace.T.paths;
-  let ncopies = !next_copy in
-  let copy_node = Array.make ncopies 0 in
-  let copy_stmt = Array.make ncopies 0 in
-  let copy_uvals = Array.make ncopies None in
-  let copy_group = Array.make ncopies (-1) in
-  let copy_deps = Array.make ncopies [||] in
-  let copy_local_out = Array.make ncopies [] in
-  let copy_remote_out = Array.make ncopies [] in
-  let stmt_copies = Array.make (Program.num_stmts prog) [] in
-  (* shared label records *)
-  let next_label = ref 0 in
-  (* Sharing identical label sequences between the same node pair
-     (paper Â§3.3). Keyed by a strong content hash; the candidate list
-     resolves collisions by structural comparison. *)
-  let label_cache = Hashtbl.create 1024 in
-  let shared_label_values = ref 0 in
-  let local_dep_instances = ref 0 in
-  let mk_labels src_node dst_node (lb : label_builder) =
-    let dst = Dyn.to_array lb.lb_dst and src = Dyn.to_array lb.lb_src in
-    let module H = Wet_util.Hashing in
-    let h = H.hash_window dst 0 (Array.length dst) in
-    let h = H.fnv_fold (H.hash_window src 0 (Array.length src)) h in
-    let key = (src_node, dst_node, Array.length dst, h) in
-    let candidates =
-      Option.value (Hashtbl.find_opt label_cache key) ~default:[]
-    in
-    match
-      List.find_opt (fun (d, s, _) -> d = dst && s = src) candidates
-    with
-    | Some (_, _, labels) ->
-      shared_label_values := !shared_label_values + Array.length dst;
-      Obs.incr c_label_dedup_hits;
-      labels
-    | None ->
-      let labels =
-        {
-          Wet.l_id = !next_label;
-          l_dst = raw dst;
-          l_src = raw src;
-          l_len = Array.length dst;
-        }
-      in
-      incr next_label;
-      Hashtbl.replace label_cache key ((dst, src, labels) :: candidates);
-      labels
-  in
-  let finalize_slot p gid ~dst_copy ~slot =
-    if Bytes.get st.st_kind gid = '\001' then begin
-      let producers =
-        match Hashtbl.find_opt st.slot_producers gid with
-        | Some l -> List.rev !l
-        | None -> []
-      in
-      match producers with
-      | [] -> Wet.No_dep
-      | _ ->
-        let edges =
-          List.map
-            (fun pc ->
-              let lb = Hashtbl.find st.edges (gid, pc) in
-              let labels = mk_labels copy_node.(pc) p.p_id lb in
-              { Wet.e_src = pc; e_dst = dst_copy; e_slot = slot;
-                e_labels = labels })
-            producers
-        in
-        List.iter
-          (fun e ->
-            copy_remote_out.(e.Wet.e_src) <- e :: copy_remote_out.(e.Wet.e_src))
-          edges;
-        Wet.Remote edges
-    end
-    else if st.st_count.(gid) = 0 then Wet.No_dep
-    else begin
-      let producer = st.st_prod.(gid) in
-      local_dep_instances := !local_dep_instances + st.st_count.(gid);
-      copy_local_out.(producer) <- dst_copy :: copy_local_out.(producer);
-      Wet.Local producer
-    end
-  in
-  (* copy-level tables must exist before finalize_slot reads
-     [copy_node] for producers, so fill them first *)
-  Array.iter
-    (fun p ->
-      Array.iteri
-        (fun o stmt ->
-          let c = p.p_copy_base + o in
-          copy_node.(c) <- p.p_id;
-          copy_stmt.(c) <- stmt;
-          copy_group.(c) <- p.p_offset_group.(o);
-          stmt_copies.(stmt) <- c :: stmt_copies.(stmt);
-          if Instr.has_def p.p_instrs.(o) then
-            copy_uvals.(c) <- Some (raw (Dyn.to_array p.p_uvals.(o))))
-        p.p_stmts)
-    protos;
-  let nodes =
-    Array.map
-      (fun p ->
-        let groups =
-          Array.map
-            (fun g ->
-              {
-                Wet.g_members =
-                  Array.map (fun o -> p.p_copy_base + o) g.pg_members;
-                g_nsources = Array.length g.pg_sources;
-                g_pattern =
-                  (if Array.length g.pg_sources = 0 then None
-                   else Some (raw (Dyn.to_array g.pg_pattern)));
-                g_nuniq =
-                  (if Array.length g.pg_sources = 0 then 1
-                   else Hashtbl.length g.pg_tuples);
-              })
-            p.p_groups
-        in
-        let cd =
-          Array.mapi
-            (fun bp _ ->
-              finalize_slot p p.p_cd_slot.(bp)
-                ~dst_copy:(p.p_copy_base + p.p_block_start.(bp))
-                ~slot:(-1))
-            p.p_blocks
-        in
-        {
-          Wet.n_id = p.p_id;
-          n_func = p.p_func;
-          n_path = p.p_path;
-          n_blocks = p.p_blocks;
-          n_stmts = p.p_stmts;
-          n_block_start = p.p_block_start;
-          n_copy_base = p.p_copy_base;
-          n_nexec = p.p_nexec;
-          n_ts = raw (Dyn.to_array p.p_ts);
-          n_succs =
-            Array.of_list
-              (List.sort compare
-                 (Hashtbl.fold (fun k () acc -> k :: acc) p.p_succs []));
-          n_preds =
-            Array.of_list
-              (List.sort compare
-                 (Hashtbl.fold (fun k () acc -> k :: acc) p.p_preds []));
-          n_groups = groups;
-          n_cd = cd;
-        })
-      protos
-  in
-  Array.iter
-    (fun p ->
-      Array.iteri
-        (fun o _ ->
-          let c = p.p_copy_base + o in
-          copy_deps.(c) <-
-            Array.init p.p_slot_count.(o) (fun s ->
-                finalize_slot p (p.p_slot_base.(o) + s) ~dst_copy:c ~slot:s))
-        p.p_stmts)
-    protos;
-  if Obs.enabled () then begin
-    Obs.add c_intern_misses !nprotos;
-    Obs.add c_intern_hits (Array.length trace.T.paths - !nprotos);
-    Obs.add c_label_records !next_label;
-    Obs.add c_label_shared_values !shared_label_values;
-    Array.iter
-      (fun p ->
-        Array.iter
-          (fun g ->
-            Obs.incr c_groups;
-            Obs.add c_group_members (Array.length g.pg_members);
-            Obs.add c_group_uniq
-              (if Array.length g.pg_sources = 0 then 1
-               else Hashtbl.length g.pg_tuples);
-            Obs.add c_group_pattern (Dyn.length g.pg_pattern))
-          p.p_groups)
-      protos;
-    Wet_obs.Span.set_attr "stmts" (Wet_obs.Span.Int trace.T.nstmts);
-    Wet_obs.Span.set_attr "nodes" (Wet_obs.Span.Int !nprotos)
-  end;
-  let stats =
-    {
-      Wet.stmts_executed = trace.T.nstmts;
-      block_execs = Array.length trace.T.blocks;
-      path_execs = Array.length trace.T.paths;
-      def_execs = !def_execs;
-      dep_instances = !dep_instances;
-      cd_instances = !cd_instances;
-      local_dep_instances = !local_dep_instances;
-      shared_label_values = !shared_label_values;
-    }
-  in
-  {
-    Wet.program = prog;
-    analysis;
-    nodes;
-    copy_node;
-    copy_stmt;
-    copy_uvals;
-    copy_group;
-    copy_deps;
-    copy_local_out;
-    copy_remote_out;
-    stmt_copies;
-    first_node = (if !first_node < 0 then 0 else !first_node);
-    last_node = (if !last_node < 0 then 0 else !last_node);
-    stats;
-    tier = `Tier1;
-    damage = [];
-  }
+      Sink.feed_path sink key)
+    trace.T.paths
 
-let build trace = Wet_obs.Span.with_ "build.tier1" (fun () -> build_tier1 trace)
+let build trace =
+  Wet_obs.Span.with_ "build.tier1" (fun () ->
+      let sink =
+        Sink.create ~values_from:(fun p -> trace.T.values.(p))
+          trace.T.analysis
+      in
+      feed_trace sink trace;
+      Sink.finish sink)
 
 (* ------------------------------------------------------------------ *)
 (* Tier 2                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let pack_tier2 (w : Wet.t) : Wet.t =
-  if w.Wet.tier = `Tier2 then invalid_arg "Builder.pack: already packed";
+  if w.Wet.tier = `Tier2 then
+    Wet_error.fail Wet_error.Pack "already packed";
   let pack_seq s =
     let arr = Stream.to_array s in
     let s' = Stream.compress arr in
@@ -806,6 +1179,21 @@ let pack_tier2 (w : Wet.t) : Wet.t =
 
 let pack w = Wet_obs.Span.with_ "build.tier2" (fun () -> pack_tier2 w)
 
-let of_program prog ~input =
-  let res = Wet_interp.Interp.run prog ~input in
-  build res.Wet_interp.Interp.trace
+(* ------------------------------------------------------------------ *)
+(* Streaming entry point: interpret straight into a sink.             *)
+(* ------------------------------------------------------------------ *)
+
+let run_streaming ?shard_events ?(track_peak = false) ?max_stmts
+    ?interprocedural_cd ?analysis ~program ~input () =
+  let analysis =
+    match analysis with Some a -> a | None -> PA.of_program program
+  in
+  Wet_obs.Span.with_ "build.stream" (fun () ->
+      let sink = Sink.create ?shard_events ~track_peak analysis in
+      let _outputs, _stmts =
+        Wet_interp.Interp.run_with_sink ?max_stmts ?interprocedural_cd
+          ~analysis ~sink:(Sink.events sink) program ~input
+      in
+      Sink.finish sink)
+
+let of_program prog ~input = run_streaming ~program:prog ~input ()

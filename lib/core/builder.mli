@@ -1,7 +1,7 @@
 (** WET construction (tier-1) and stream packing (tier-2).
 
-    {!build} performs the paper's tier-1 customized compression while
-    replaying a raw trace:
+    Tier-1 customized compression runs while replaying the event
+    stream:
     {ul
     {- nodes are interned per executed Ball–Larus path, so one timestamp
        is recorded per path execution rather than per block (§3.1);}
@@ -12,17 +12,120 @@
        between the same node pair with identical sequences share one
        label record (§3.3).}}
 
-    All label sequences are raw after {!build}; {!pack} rewrites each of
-    them as a bidirectionally compressed stream with per-stream method
-    selection (§4), leaving the graph structure untouched. *)
+    The replay is streaming: a {!Sink} consumes interpreter events
+    incrementally, buffers at most about one shard of raw events, runs
+    the compression eagerly per shard, and splices the shard streams
+    into the final {!Wet.t} at {!Sink.finish}. The batch {!build} is a
+    thin wrapper that feeds a materialized trace through the same sink,
+    so the two paths produce byte-identical containers.
 
-(** Build a tier-1 WET from a recorded trace. *)
+    All label sequences are raw after tier-1; {!pack} rewrites each of
+    them as a bidirectionally compressed stream with per-stream method
+    selection (§4), leaving the graph structure untouched.
+
+    Failures raise [Wet_error.Error] (stage [Build] or [Pack]). *)
+
+(** A bounded-memory consumer of {!Wet_interp.Interp.event_sink}
+    events. Feed it either by passing {!Sink.events} to
+    {!Wet_interp.Interp.run_with_sink} (no trace is ever materialized)
+    or through the individual feed functions; then {!Sink.finish}.
+
+    Buffering is bounded by [shard_events] plus whatever an unreturned
+    call pins: a call's return-value link is patched only when the
+    callee returns, so the replay holds back the caller's path
+    execution (and everything after it) until then — deep recursion
+    temporarily widens the window. Eviction of replayed positions
+    needs the interpreter's live-position iterator and therefore only
+    happens in sink-fed runs, not when replaying a materialized
+    trace. *)
+module Sink : sig
+  type t
+
+  (** 65536 — the default shard size, in raw trace events. *)
+  val default_shard_events : int
+
+  (** [create analysis] makes an empty sink.
+
+      @param shard_events flush automatically after about this many
+        buffered events (clamped to at least 1; default
+        {!default_shard_events}).
+      @param track_peak sample [Gc.stat] live words at shard
+        boundaries and expose the maximum via {!peak_live_words};
+        off by default because [Gc.stat] walks the heap.
+      @param values_from resolve statement values through this function
+        (indexed by dynamic position) instead of buffering them — used
+        by the batch path, where the trace already holds them. *)
+  val create :
+    ?shard_events:int ->
+    ?track_peak:bool ->
+    ?values_from:(int -> int) ->
+    Wet_cfg.Program_analysis.t ->
+    t
+
+  (** The sink's feed functions bundled as an interpreter event sink. *)
+  val events : t -> Wet_interp.Interp.event_sink
+
+  (** One element of [Trace.cd_producer]: a block was entered. *)
+  val feed_block : t -> int -> unit
+
+  (** One element of [Trace.deps]: the next dependence slot. *)
+  val feed_dep : t -> int -> unit
+
+  (** One element of [Trace.values]: a statement completed. *)
+  val feed_value : t -> int -> unit
+
+  (** One element of [Trace.paths]: a path execution ended. May flush. *)
+  val feed_path : t -> int -> unit
+
+  (** The value/dep just fed belong to a call awaiting its return. *)
+  val feed_call : t -> unit
+
+  (** [feed_ret t v producer] patches the innermost pending call. *)
+  val feed_ret : t -> int -> int -> unit
+
+  (** Replay and compress everything the buffer allows, then evict
+      positions no future event can reference. Called automatically
+      every [shard_events] fed events; callable explicitly. *)
+  val flush_shard : t -> unit
+
+  (** Drain the buffer, resolve deferred forward references and splice
+      the shard streams into the final tier-1 WET. The sink cannot be
+      used afterwards. *)
+  val finish : t -> Wet.t
+
+  (** Number of shard flushes so far (auto and explicit). *)
+  val shard_count : t -> int
+
+  (** Maximum [Gc.stat] live words observed at shard boundaries, 0
+      unless [track_peak] was set. *)
+  val peak_live_words : t -> int
+end
+
+(** Build a tier-1 WET from a recorded trace by feeding it through a
+    {!Sink} — byte-identical to the streaming path. *)
 val build : Wet_interp.Trace.t -> Wet.t
 
 (** Tier-2: compress every label stream of a tier-1 WET. The input WET
-    remains usable. @raise Invalid_argument if already packed. *)
+    remains usable. @raise Wet_error.Error if already packed. *)
 val pack : Wet.t -> Wet.t
 
-(** [of_program p ~input] is the full pipeline: run the interpreter and
-    build the tier-1 WET. *)
+(** [run_streaming ~program ~input ()] is the full streaming pipeline:
+    interpret [program] directly into a {!Sink} — no [Trace.t] is ever
+    allocated, so peak memory is bounded by the shard size plus the
+    final WET, not by execution length — and return the tier-1 WET.
+    [shard_events] and [track_peak] are passed to {!Sink.create}; the
+    remaining optional arguments match {!Wet_interp.Interp.run}. *)
+val run_streaming :
+  ?shard_events:int ->
+  ?track_peak:bool ->
+  ?max_stmts:int ->
+  ?interprocedural_cd:bool ->
+  ?analysis:Wet_cfg.Program_analysis.t ->
+  program:Wet_ir.Program.t ->
+  input:int array ->
+  unit ->
+  Wet.t
+
+(** [of_program p ~input] is [run_streaming ~program:p ~input ()]. *)
 val of_program : Wet_ir.Program.t -> input:int array -> Wet.t
+[@@deprecated "use run_streaming"]

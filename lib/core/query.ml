@@ -233,3 +233,22 @@ let addresses (t : Wet.t) ~f =
       done)
     mems;
   !count
+
+(* ------------------------------------------------------------------ *)
+(* Fold wrappers over the callback extractions.                       *)
+(* ------------------------------------------------------------------ *)
+
+let fold_control_flow t dir ~init ~f =
+  let acc = ref init in
+  ignore (control_flow t dir ~f:(fun func block -> acc := f !acc func block));
+  !acc
+
+let fold_loads t ~init ~f =
+  let acc = ref init in
+  ignore (load_values t ~f:(fun c v -> acc := f !acc c v));
+  !acc
+
+let fold_addresses t ~init ~f =
+  let acc = ref init in
+  ignore (addresses t ~f:(fun c a -> acc := f !acc c a));
+  !acc

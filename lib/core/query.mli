@@ -4,7 +4,15 @@
     stream wholesale. On a tier-1 WET the streams are raw arrays, on a
     tier-2 WET they are bidirectional compressed streams — the query code
     is identical, which is exactly the property the paper's two-tier
-    design is after. *)
+    design is after.
+
+    The API has two layers. The callback extractions ({!control_flow},
+    {!load_values}, {!addresses}, …) are the low-level layer: they push
+    every instance into an effectful [f] and return only a count, which
+    keeps the extraction loops allocation-free. The fold wrappers
+    ({!fold_control_flow}, {!fold_loads}, {!fold_addresses}) thread an
+    accumulator through the same traversals — use them when the result
+    is a value rather than a side effect. *)
 
 type direction = Forward | Backward
 
@@ -12,6 +20,8 @@ type direction = Forward | Backward
     control-flow extraction) or at the end (before a backward one). A
     freshly built or packed WET is already parked at the start. *)
 val park : Wet.t -> direction -> unit
+
+(** {1 Low-level callback extractions} *)
 
 (** [control_flow t dir ~f] regenerates the complete dynamic control-flow
     trace by following dynamic node successors and timestamp sequences
@@ -38,6 +48,26 @@ val load_values : Wet.t -> f:(Wet.copy_id -> int -> unit) -> int
     reconstructs its value for each instance. Returns the total number
     of addresses extracted. *)
 val addresses : Wet.t -> f:(Wet.copy_id -> int -> unit) -> int
+
+(** {1 Fold wrappers} *)
+
+(** [fold_control_flow t dir ~init ~f] is {!control_flow} threading an
+    accumulator: [f acc func block] per block execution. Same parking
+    contract as {!control_flow}. *)
+val fold_control_flow :
+  Wet.t -> direction -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+
+(** [fold_loads t ~init ~f] is {!load_values} threading an accumulator:
+    [f acc copy value] per load instance. *)
+val fold_loads :
+  Wet.t -> init:'a -> f:('a -> Wet.copy_id -> int -> 'a) -> 'a
+
+(** [fold_addresses t ~init ~f] is {!addresses} threading an
+    accumulator: [f acc copy address] per memory-access instance. *)
+val fold_addresses :
+  Wet.t -> init:'a -> f:('a -> Wet.copy_id -> int -> 'a) -> 'a
+
+(** {1 Structure lookups} *)
 
 (** All copies whose statement satisfies the predicate. *)
 val copies_matching : Wet.t -> (Wet_ir.Instr.t -> bool) -> Wet.copy_id list

@@ -1,0 +1,20 @@
+type stage = Interp | Build | Pack
+
+type t = { stage : stage; msg : string }
+
+exception Error of t
+
+let stage_name = function
+  | Interp -> "runtime error"
+  | Build -> "build error"
+  | Pack -> "pack error"
+
+let message e = Printf.sprintf "%s: %s" (stage_name e.stage) e.msg
+
+let fail stage fmt =
+  Printf.ksprintf (fun msg -> raise (Error { stage; msg })) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Wet_error.Error (%s)" (message e))
+    | _ -> None)

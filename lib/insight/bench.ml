@@ -13,6 +13,9 @@ type sample = {
   query_p95_ms : float;
   query_steps : int;
   query_switches : int;
+  build_peak_words : int;
+  wet_words : int;
+  shards : int;
 }
 
 type run = {
@@ -53,6 +56,9 @@ let sample_json s =
       ("query_p95_ms", Json.Num s.query_p95_ms);
       ("query_steps", Json.Num (float_of_int s.query_steps));
       ("query_switches", Json.Num (float_of_int s.query_switches));
+      ("build_peak_words", Json.Num (float_of_int s.build_peak_words));
+      ("wet_words", Json.Num (float_of_int s.wet_words));
+      ("shards", Json.Num (float_of_int s.shards));
     ]
 
 let to_json r =
@@ -85,6 +91,12 @@ let sample_of_json j =
   let* query_p95_ms = num "query_p95_ms" in
   let* query_steps = int "query_steps" in
   let* query_switches = int "query_switches" in
+  (* Memory fields arrived with the streaming build; default 0 so files
+     from before them still load (0 never anchors a regression). *)
+  let opt_int k = Option.value (int k) ~default:0 in
+  let build_peak_words = opt_int "build_peak_words" in
+  let wet_words = opt_int "wet_words" in
+  let shards = opt_int "shards" in
   Ok
     {
       workload;
@@ -101,6 +113,9 @@ let sample_of_json j =
       query_p95_ms;
       query_steps;
       query_switches;
+      build_peak_words;
+      wet_words;
+      shards;
     }
 
 let of_json j =
@@ -184,6 +199,11 @@ let metrics =
     ("ratio_t1", (fun s -> s.ratio_t1), true, `Size);
     ("ratio_t2", (fun s -> s.ratio_t2), true, `Size);
     ("query_steps", (fun s -> float_of_int s.query_steps), false, `Size);
+    (* GC live-word peaks jitter with collector scheduling, so they gate
+       at the loose wall threshold; a zero (pre-streaming baseline or
+       untracked run) never regresses. *)
+    ("build_peak_words", (fun s -> float_of_int s.build_peak_words), false,
+     `Wall);
   ]
 
 let check th ~prev ~cur =

@@ -25,6 +25,11 @@ type sample = {
   query_p95_ms : float;
   query_steps : int;  (** stream steps the sweep costs (deterministic) *)
   query_switches : int;  (** direction reversals in the sweep *)
+  build_peak_words : int;
+      (** peak GC live-word delta of a streaming build (0 = untracked or
+          a pre-streaming file) *)
+  wet_words : int;  (** reachable words of the finished tier-1 WET *)
+  shards : int;  (** shard flushes the streaming build performed *)
 }
 
 type run = {

@@ -29,6 +29,10 @@ let docs =
     ("build.groups.members", Counter, "group member statements");
     ("build.groups.unique_tuples", Counter, "distinct value tuples per group");
     ("build.groups.pattern_entries", Counter, "pattern stream entries");
+    ("build.shards", Counter, "streaming-build shard flushes");
+    ("build.shard_events", Histogram, "raw events buffered per shard flush");
+    ("build.peak_live_words", Gauge,
+     "peak GC live words sampled at shard boundaries");
     (* tier-2 packing *)
     ("pack.streams", Counter, "streams compressed by Builder.pack");
     ("pack.bits_raw", Counter, "analytic bits before packing");

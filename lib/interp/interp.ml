@@ -3,9 +3,17 @@ module Dyn = Wet_util.Dynarray_int
 module PA = Wet_cfg.Program_analysis
 module BL = Wet_cfg.Ball_larus
 
-exception Runtime_error of string
-
 exception Halted
+
+type event_sink = {
+  es_block : int -> unit;
+  es_dep : int -> unit;
+  es_stmt : int -> unit;
+  es_path : int -> unit;
+  es_call : unit -> unit;
+  es_ret : int -> int -> unit;
+  es_live : ((int -> unit) -> unit) -> unit;
+}
 
 (* Observability: whole-run counters (filled once per run from the
    recorded streams, so the hot loop pays nothing) and an optional
@@ -48,7 +56,7 @@ type result = {
   stmts_executed : int;
 }
 
-let fail fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+let fail fmt = Wet_error.fail Wet_error.Interp fmt
 
 let eval_binop op a b =
   match Wet_ir.Eval.binop op a b with
@@ -60,10 +68,26 @@ let eval_cmp = Wet_ir.Eval.cmp
 
 let eval_unop = Wet_ir.Eval.unop
 
-(* One shared implementation; [record] selects whether trace streams are
-   accumulated. The recording branches are statically dead in the
-   outputs-only path after inlining the flag test. *)
-let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
+(* What execute hands back: the trace exists only in [`Trace] mode; the
+   event counts are maintained in every recording mode so both entry
+   points fill the same obs counters. *)
+type raw = {
+  r_trace : Trace.t option;
+  r_outputs : int array;
+  r_stmts : int;
+  r_paths : int;
+  r_blocks : int;
+  r_deps : int;
+}
+
+(* One shared implementation; [mode] selects where trace events go:
+   [`Off] discards them (outputs-only fast path), [`Trace] accumulates
+   the materialized {!Trace.t} streams, [`Sink k] hands each event to
+   the caller's callbacks as it happens so nothing is retained here.
+   The recording branches are statically dead in the outputs-only path
+   after inlining the flag test. *)
+let execute ~mode ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
+  let record = match mode with `Off -> false | `Trace | `Sink _ -> true in
   let memory = Array.make prog.mem_words 0 in
   let mem_shadow = if record then Array.make prog.mem_words (-1) else [||] in
   let paths = Dyn.create () in
@@ -74,6 +98,57 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
   let mem_ops = Dyn.create () in
   let outputs = Dyn.create () in
   let pos = ref 0 in
+  let npaths = ref 0 in
+  let nblocks = ref 0 in
+  let ndeps = ref 0 in
+  (* Event emitters: one branch on the immutable [mode] per event. The
+     path count is tracked on this side in every mode because watch
+     timestamps are path-exec ordinals. *)
+  let push_dep s =
+    incr ndeps;
+    match mode with
+    | `Trace -> Dyn.push deps s
+    | `Sink k -> k.es_dep s
+    | `Off -> ()
+  in
+  let push_value v =
+    match mode with
+    | `Trace -> Dyn.push values v
+    | `Sink k -> k.es_stmt v
+    | `Off -> ()
+  in
+  let push_path key =
+    incr npaths;
+    match mode with
+    | `Trace -> Dyn.push paths key
+    | `Sink k -> k.es_path key
+    | `Off -> ()
+  in
+  (* Live-position registry for [`Sink] mode: the shadows of every
+     active activation (plus its branch history and calling position)
+     and the memory shadow are exactly the positions future dependence
+     events can still reference, so the sink can evict everything
+     else at a shard boundary. *)
+  let frames = ref [] in
+  (* A call's position becomes the callee's [ctx_pos], but the callee's
+     frame only enters the registry inside [exec_func] — after the
+     caller's [finish_path] has run, which may flush a shard. Without a
+     destination register no pending-call gate holds the position back
+     either, so this slot keeps it live across that window. *)
+  let pending_ctx = ref (-1) in
+  let in_sink = match mode with `Sink _ -> true | _ -> false in
+  (match mode with
+   | `Sink k ->
+     k.es_live (fun f ->
+         if !pending_ctx >= 0 then f !pending_ctx;
+         List.iter
+           (fun (sh, lb, cp) ->
+             Array.iter f sh;
+             Array.iter f lb;
+             f cp)
+           !frames;
+         Array.iter f mem_shadow)
+   | _ -> ());
   (* Statement budget and heartbeat share one per-statement comparison:
      [limit] is whichever threshold comes first, and the slow path
      disentangles budget exhaustion from a due heartbeat. A heartbeat
@@ -128,10 +203,14 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
       if record then Array.make info.PA.graph.Wet_cfg.Graph.nblocks (-1)
       else [||]
     in
+    if in_sink then begin
+      frames := (shadow, last_branch, ctx_pos) :: !frames;
+      pending_ctx := -1
+    end;
     let pathsum = ref 0 in
     let finish_path b =
       if record then
-        Dyn.push paths (Trace.encode_path f (!pathsum + BL.finish_value bl ~src:b))
+        push_path (Trace.encode_path f (!pathsum + BL.finish_value bl ~src:b))
     in
     (* [begin_stmt]/[end_stmt] take the block as an argument so the
        closures are built once per function activation, not once per
@@ -139,9 +218,9 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
     let begin_stmt b ins =
       if !pos >= !limit then past_limit ();
       if record then
-        List.iter (fun r -> Dyn.push deps shadow.(r)) (Instr.uses ins);
+        List.iter (fun r -> push_dep shadow.(r)) (Instr.uses ins);
       if watching then begin
-        let ts = Dyn.length paths + 1 in
+        let ts = !npaths + 1 in
         List.iter
           (fun r -> Wet_watch.Watch.emit k_use f b !pos regs.(r) (-1) ts)
           (Instr.uses ins)
@@ -154,23 +233,29 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
          && not (Instr.is_memory ins)
          && not (Instr.is_terminator ins)
       then
-        Wet_watch.Watch.emit k_def f b !pos value (-1) (Dyn.length paths + 1);
-      if record then Dyn.push values value;
+        Wet_watch.Watch.emit k_def f b !pos value (-1) (!npaths + 1);
+      if record then push_value value;
       incr pos
     in
     let rec block_loop b =
       if record then begin
-        Dyn.push blocks (Trace.encode_block f b);
+        incr nblocks;
+        (match mode with
+         | `Trace -> Dyn.push blocks (Trace.encode_block f b)
+         | _ -> ());
         let cd =
           List.fold_left
             (fun acc p -> max acc last_branch.(p))
             (-1) info.PA.cd_parents.(b)
         in
         let cd = if cd = -1 && inter_cd then ctx_pos else cd in
-        Dyn.push cd_producer cd
+        match mode with
+        | `Trace -> Dyn.push cd_producer cd
+        | `Sink k -> k.es_block cd
+        | `Off -> ()
       end;
       if watching then
-        Wet_watch.Watch.emit k_entry f b !pos 0 (-1) (Dyn.length paths + 1);
+        Wet_watch.Watch.emit k_entry f b !pos 0 (-1) (!npaths + 1);
       let instrs = fn.Func.blocks.(b).Func.instrs in
       let n = Array.length instrs in
       for i = 0 to n - 2 do
@@ -207,12 +292,14 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
           let v = memory.(addr) in
           regs.(r) <- v;
           if record then begin
-            Dyn.push deps mem_shadow.(addr);
-            Dyn.push mem_ops (addr lsl 1);
+            push_dep mem_shadow.(addr);
+            (match mode with
+             | `Trace -> Dyn.push mem_ops (addr lsl 1)
+             | _ -> ());
             shadow.(r) <- !pos
           end;
           if watching then
-            Wet_watch.Watch.emit k_load f b !pos v addr (Dyn.length paths + 1);
+            Wet_watch.Watch.emit k_load f b !pos v addr (!npaths + 1);
           end_stmt b ins v
         | Instr.Store (a, vr) ->
           let addr = regs.(a) in
@@ -220,11 +307,13 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
           let v = regs.(vr) in
           memory.(addr) <- v;
           if record then begin
-            Dyn.push mem_ops ((addr lsl 1) lor 1);
+            (match mode with
+             | `Trace -> Dyn.push mem_ops ((addr lsl 1) lor 1)
+             | _ -> ());
             mem_shadow.(addr) <- !pos
           end;
           if watching then
-            Wet_watch.Watch.emit k_store f b !pos v addr (Dyn.length paths + 1);
+            Wet_watch.Watch.emit k_store f b !pos v addr (!npaths + 1);
           (* A store has no def port, but its position must resolve to
              the stored value so that loads can recover their operand. *)
           end_stmt b ins v
@@ -260,18 +349,28 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
             (fun r -> (regs.(r), if record then shadow.(r) else -1))
             arg_regs
         in
+        (* The return-value link is a dep slot that cannot be filled
+           until the callee returns: the trace mode patches the slot (and
+           the call's value) in place, the sink mode is told a patchable
+           call was just emitted and receives the patch via [es_ret]. *)
         let ret_slot =
           if record && dst <> None then begin
-            Dyn.push deps (-1);
-            Dyn.length deps - 1
+            push_dep (-1);
+            match mode with
+            | `Trace -> Dyn.length deps - 1
+            | `Sink k ->
+              k.es_call ();
+              -1
+            | `Off -> -1
           end
           else -1
         in
         if watching then
           Wet_watch.Watch.emit k_call callee
             prog.funcs.(callee).Func.entry term_pos 0 (-1)
-            (Dyn.length paths + 1);
+            (!npaths + 1);
         end_stmt b term 0;
+        if in_sink then pending_ctx := term_pos;
         finish_path b;
         let ret = exec_func callee ~ctx_pos:term_pos args in
         (match (dst, ret) with
@@ -279,8 +378,12 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
            regs.(r) <- v;
            if record then begin
              shadow.(r) <- term_pos;
-             Dyn.set values term_pos v;
-             Dyn.set deps ret_slot s
+             match mode with
+             | `Trace ->
+               Dyn.set values term_pos v;
+               Dyn.set deps ret_slot s
+             | `Sink k -> k.es_ret v s
+             | `Off -> ()
            end
          | Some _, None ->
            fail "function %s returned no value but one was expected"
@@ -320,7 +423,11 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
       else pathsum := !pathsum + BL.edge_value bl ~src ~succ_ix;
       block_loop target
     in
-    block_loop fn.Func.entry
+    let ret = block_loop fn.Func.entry in
+    (* Not reached on Halted — the whole run is over then, so the frame
+       registry's staleness is unobservable. *)
+    if in_sink then frames := List.tl !frames;
+    ret
   in
   (try ignore (exec_func prog.main ~ctx_pos:(-1) []) with Halted -> ());
   (* a heartbeat due exactly at the last statement has no next statement
@@ -328,19 +435,40 @@ let execute ~record ~inter_cd ~max_stmts ~analysis (prog : Program.t) ~input =
   if !pos >= !hb_next then heartbeat !pos;
   let out = Dyn.to_array outputs in
   let trace =
-    {
-      Trace.analysis;
-      paths = Dyn.to_array paths;
-      blocks = Dyn.to_array blocks;
-      cd_producer = Dyn.to_array cd_producer;
-      values = Dyn.to_array values;
-      deps = Dyn.to_array deps;
-      mem_ops = Dyn.to_array mem_ops;
-      outputs = out;
-      nstmts = !pos;
-    }
+    match mode with
+    | `Trace ->
+      Some
+        {
+          Trace.analysis;
+          paths = Dyn.to_array paths;
+          blocks = Dyn.to_array blocks;
+          cd_producer = Dyn.to_array cd_producer;
+          values = Dyn.to_array values;
+          deps = Dyn.to_array deps;
+          mem_ops = Dyn.to_array mem_ops;
+          outputs = out;
+          nstmts = !pos;
+        }
+    | `Sink _ | `Off -> None
   in
-  (trace, out, !pos)
+  {
+    r_trace = trace;
+    r_outputs = out;
+    r_stmts = !pos;
+    r_paths = !npaths;
+    r_blocks = !nblocks;
+    r_deps = !ndeps;
+  }
+
+let note_counters raw =
+  let open Wet_obs.Metrics in
+  add c_stmts raw.r_stmts;
+  add c_blocks raw.r_blocks;
+  add c_paths raw.r_paths;
+  add c_deps raw.r_deps;
+  add c_outputs (Array.length raw.r_outputs);
+  Wet_obs.Span.set_attr "stmts" (Wet_obs.Span.Int raw.r_stmts);
+  Wet_obs.Span.set_attr "paths" (Wet_obs.Span.Int raw.r_paths)
 
 let run ?(max_stmts = 2_000_000_000) ?(interprocedural_cd = false) ?analysis
     prog ~input =
@@ -348,24 +476,30 @@ let run ?(max_stmts = 2_000_000_000) ?(interprocedural_cd = false) ?analysis
     match analysis with Some a -> a | None -> PA.of_program prog
   in
   Wet_obs.Span.with_ "interp.run" (fun () ->
-      let trace, outputs, stmts_executed =
-        execute ~record:true ~inter_cd:interprocedural_cd ~max_stmts ~analysis
+      let raw =
+        execute ~mode:`Trace ~inter_cd:interprocedural_cd ~max_stmts ~analysis
           prog ~input
       in
-      let open Wet_obs.Metrics in
-      add c_stmts stmts_executed;
-      add c_blocks (Array.length trace.Trace.blocks);
-      add c_paths (Array.length trace.Trace.paths);
-      add c_deps (Array.length trace.Trace.deps);
-      add c_outputs (Array.length outputs);
-      Wet_obs.Span.set_attr "stmts" (Wet_obs.Span.Int stmts_executed);
-      Wet_obs.Span.set_attr "paths"
-        (Wet_obs.Span.Int (Array.length trace.Trace.paths));
-      { trace; outputs; stmts_executed })
+      note_counters raw;
+      let trace =
+        match raw.r_trace with Some t -> t | None -> assert false
+      in
+      { trace; outputs = raw.r_outputs; stmts_executed = raw.r_stmts })
+
+let run_with_sink ?(max_stmts = 2_000_000_000) ?(interprocedural_cd = false)
+    ?analysis ~sink prog ~input =
+  let analysis =
+    match analysis with Some a -> a | None -> PA.of_program prog
+  in
+  Wet_obs.Span.with_ "interp.run" (fun () ->
+      let raw =
+        execute ~mode:(`Sink sink) ~inter_cd:interprocedural_cd ~max_stmts
+          ~analysis prog ~input
+      in
+      note_counters raw;
+      (raw.r_outputs, raw.r_stmts))
 
 let outputs_only ?(max_stmts = 2_000_000_000) prog ~input =
   let analysis = PA.of_program prog in
-  let _, outputs, _ =
-    execute ~record:false ~inter_cd:false ~max_stmts ~analysis prog ~input
-  in
-  outputs
+  let raw = execute ~mode:`Off ~inter_cd:false ~max_stmts ~analysis prog ~input in
+  raw.r_outputs

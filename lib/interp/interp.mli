@@ -1,17 +1,55 @@
 (** The IR interpreter — the repository's stand-in for the paper's
     simulator-based profiler. It executes a program on a given input
     stream and records the raw whole-execution trace the WET builder
-    consumes ({!Trace.t}): block/path events, produced values, dynamic
-    data/control dependences and memory accesses, with no instrumentation
-    of the program itself.
+    consumes: either materialized as a {!Trace.t} ({!run}) or delivered
+    incrementally to an {!event_sink} as it happens ({!run_with_sink}),
+    so a streaming builder can compress on the fly without the full
+    event list ever existing. No instrumentation of the program itself.
 
     Semantics notes: registers and memory words start at 0; arithmetic is
     63-bit OCaml [int] arithmetic; shift amounts are masked to 6 bits (63 saturates);
     [Shr] is arithmetic; division or remainder by zero, out-of-bounds
     memory accesses, exhausted input and exceeded statement budgets all
-    raise {!Runtime_error}. *)
+    raise [Wet_error.Error] with stage [Interp]. *)
 
-exception Runtime_error of string
+(** Callbacks receiving trace events in execution order. The streams are
+    the positional streams of {!Trace.t}, delivered element by element:
+
+    - [es_block cd] — a basic block was entered; [cd] is the position of
+      its control-dependence producer (-1 for none), one call per
+      element of [Trace.cd_producer].
+    - [es_dep p] — the next dependence slot links to producer position
+      [p] (-1 for none), one call per element of [Trace.deps].
+    - [es_stmt v] — a statement completed with value [v], one call per
+      element of [Trace.values].
+    - [es_path key] — a path execution ended with encoded key [key], one
+      call per element of [Trace.paths].
+    - [es_call ()] — the value and dependence slot just emitted belong
+      to a call with a return destination: both are placeholders that
+      will be patched by exactly one later [es_ret] (calls nest, so
+      patches arrive in LIFO order).
+    - [es_ret v p] — the innermost pending call returned: its statement
+      value becomes [v] and its return-link dependence slot resolves to
+      producer position [p].
+    - [es_live iter] — called once before execution starts, handing the
+      sink an iterator over every position a future event may still
+      reference (live register/memory shadows, branch histories and
+      calling contexts). A bounded-memory consumer calls it at flush
+      time to decide what survives eviction; [iter f] may call [f] with
+      -1 and with duplicate positions.
+
+    Memory operations ([Trace.mem_ops]) are not delivered: they are a
+    replay aid for trace verification and are not consumed by the
+    builder. *)
+type event_sink = {
+  es_block : int -> unit;
+  es_dep : int -> unit;
+  es_stmt : int -> unit;
+  es_path : int -> unit;
+  es_call : unit -> unit;
+  es_ret : int -> int -> unit;
+  es_live : ((int -> unit) -> unit) -> unit;
+}
 
 type result = {
   trace : Trace.t;
@@ -19,7 +57,8 @@ type result = {
   stmts_executed : int;
 }
 
-(** [run program ~input] executes [program] from [main].
+(** [run program ~input] executes [program] from [main] and materializes
+    the full trace.
 
     @param max_stmts statement budget (default [2_000_000_000]).
     @param interprocedural_cd record the calling statement's instance as
@@ -30,7 +69,7 @@ type result = {
       calling context.
     @param analysis reuse a precomputed {!Wet_cfg.Program_analysis.t}
       instead of analysing [program] again.
-    @raise Runtime_error on any dynamic error. *)
+    @raise Wet_error.Error on any dynamic error. *)
 val run :
   ?max_stmts:int ->
   ?interprocedural_cd:bool ->
@@ -39,8 +78,22 @@ val run :
   input:int array ->
   result
 
+(** [run_with_sink ~sink program ~input] executes like {!run} but hands
+    every trace event to [sink] instead of materializing a {!Trace.t} —
+    peak memory stays bounded by the consumer's buffering policy, not by
+    execution length. Returns (outputs, statements executed).
+    @raise Wet_error.Error as {!run}. *)
+val run_with_sink :
+  ?max_stmts:int ->
+  ?interprocedural_cd:bool ->
+  ?analysis:Wet_cfg.Program_analysis.t ->
+  sink:event_sink ->
+  Wet_ir.Program.t ->
+  input:int array ->
+  int array * int
+
 (** [outputs_only program ~input] runs without recording a trace — a
     fast path for program-correctness tests and native-speed baselines.
-    @raise Runtime_error as {!run}. *)
+    @raise Wet_error.Error as {!run}. *)
 val outputs_only :
   ?max_stmts:int -> Wet_ir.Program.t -> input:int array -> int array

@@ -438,8 +438,36 @@ let test_cf_successors_cover () =
 let test_pack_rejects_packed () =
   let _, _, _, w2 = List.hd (Lazy.force built) in
   Alcotest.check_raises "double pack"
-    (Invalid_argument "Builder.pack: already packed") (fun () ->
-      ignore (Builder.pack w2))
+    (Wet_error.Error { Wet_error.stage = Wet_error.Pack; msg = "already packed" })
+    (fun () -> ignore (Builder.pack w2))
+
+(* Fold wrappers must agree exactly with their callback counterparts:
+   same visit counts, same values threaded through the accumulator. *)
+let test_fold_wrappers () =
+  each_tier (fun name _tr wet ->
+      Query.park wet Query.Forward;
+      let cb = Query.control_flow wet Query.Forward ~f:(fun _ _ -> ()) in
+      (* cursors now at the end: fold backward without re-parking *)
+      let folded =
+        Query.fold_control_flow wet Query.Backward ~init:0 ~f:(fun n _ _ ->
+            n + 1)
+      in
+      Alcotest.(check int) (name ^ " fold cf count") cb folded;
+      let sum = ref 0 in
+      let n = Query.load_values wet ~f:(fun _ v -> sum := !sum + v) in
+      let fn, fsum =
+        Query.fold_loads wet ~init:(0, 0) ~f:(fun (n, s) _ v -> (n + 1, s + v))
+      in
+      Alcotest.(check int) (name ^ " fold load count") n fn;
+      Alcotest.(check int) (name ^ " fold load sum") !sum fsum;
+      let asum = ref 0 in
+      let na = Query.addresses wet ~f:(fun _ a -> asum := !asum + a) in
+      let fan, fasum =
+        Query.fold_addresses wet ~init:(0, 0) ~f:(fun (n, s) _ a ->
+            (n + 1, s + a))
+      in
+      Alcotest.(check int) (name ^ " fold addr count") na fan;
+      Alcotest.(check int) (name ^ " fold addr sum") !asum fasum)
 
 let base_suites =
     [
@@ -468,6 +496,7 @@ let base_suites =
         [
           Alcotest.test_case "cf successor symmetry" `Quick test_cf_successors_cover;
           Alcotest.test_case "pack guard" `Quick test_pack_rejects_packed;
+          Alcotest.test_case "fold wrappers" `Quick test_fold_wrappers;
         ] );
     ]
 
@@ -649,7 +678,7 @@ let fuzz_one seed =
   let prog = Wet_minic.Frontend.compile_exn src in
   let input = Array.init 64 (fun i -> (i * 17) mod 23) in
   match Interp.run prog ~input with
-  | exception Interp.Runtime_error _ -> true (* e.g. input exhausted: fine *)
+  | exception Wet_error.Error _ -> true (* e.g. input exhausted: fine *)
   | res ->
     let tr = res.Interp.trace in
     let check wet =

@@ -333,7 +333,8 @@ let test_report_roundtrip () =
 (* ------------------------------------------------------------------ *)
 
 let sample ?(workload = "w") ?(build = 100.) ?(sps = 1000.) ?(bpl1 = 4.)
-    ?(bpl2 = 1.) ?(r1 = 4.) ?(r2 = 16.) ?(query = 10.) ?(steps = 1000) () =
+    ?(bpl2 = 1.) ?(r1 = 4.) ?(r2 = 16.) ?(query = 10.) ?(steps = 1000)
+    ?(peak = 0) () =
   {
     Bench.workload;
     scale = 5;
@@ -349,6 +350,9 @@ let sample ?(workload = "w") ?(build = 100.) ?(sps = 1000.) ?(bpl1 = 4.)
     query_p95_ms = query *. 1.2;
     query_steps = steps;
     query_switches = 40;
+    build_peak_words = peak;
+    wet_words = 0;
+    shards = 0;
   }
 
 let run_of samples =

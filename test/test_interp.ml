@@ -11,7 +11,7 @@ let run ?(input = [||]) src = Interp.run (compile src) ~input
 let expect_runtime_error name ?input src fragment =
   match run ?input src with
   | _ -> Alcotest.failf "%s: expected a runtime error" name
-  | exception Interp.Runtime_error m ->
+  | exception Wet_error.Error { Wet_error.stage = Wet_error.Interp; msg = m } ->
     let contains =
       let nh = String.length m and nn = String.length fragment in
       let rec go i = i + nn <= nh && (String.sub m i nn = fragment || go (i + 1)) in
@@ -37,7 +37,7 @@ let test_runtime_errors () =
        ~input:[||] ~max_stmts:10_000
    with
    | _ -> Alcotest.fail "expected budget error"
-   | exception Interp.Runtime_error m ->
+   | exception Wet_error.Error { Wet_error.stage = Wet_error.Interp; msg = m } ->
      Alcotest.(check bool) "budget" true
        (String.length m > 0))
 

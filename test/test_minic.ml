@@ -295,7 +295,7 @@ let prop_expression_semantics =
         | Ok prog -> (
           match Interp.outputs_only prog ~input:[||] with
           | _ -> false
-          | exception Interp.Runtime_error _ -> true)))
+          | exception Wet_error.Error _ -> true)))
 
 let () =
   Alcotest.run "minic"

@@ -81,7 +81,7 @@ let test_traps_preserved () =
   let trap prog =
     match Interp.outputs_only prog ~input:[||] with
     | _ -> false
-    | exception Interp.Runtime_error _ -> true
+    | exception Wet_error.Error _ -> true
   in
   Alcotest.(check bool) "original traps" true (trap p);
   Alcotest.(check bool) "optimised still traps" true (trap o)

@@ -1,0 +1,260 @@
+(* Streaming-vs-batch equivalence: the sink must produce byte-identical
+   saved containers to the materialize-then-build path, at every shard
+   size, on both tiers — the whole point of the streaming redesign is
+   that flush points are unobservable in the output. *)
+
+module W = Wet_core.Wet
+module Builder = Wet_core.Builder
+module Store = Wet_core.Store
+module Interp = Wet_interp.Interp
+module T = Wet_interp.Trace
+module Spec = Wet_workloads.Spec
+
+let programs =
+  [
+    (* recursive calls exercise the pending-call gating and the
+       deferred return-value links *)
+    ( "fib-array",
+      {|
+global arr[10];
+fn fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+fn main() {
+  var i = 0;
+  while (i < 10) { arr[i] = fib(i); i = i + 1; }
+  var j = 0;
+  while (j < 10) { print(arr[j]); j = j + 1; }
+}
+|},
+      [||] );
+    ( "input-driven",
+      {|
+global buf[16];
+fn weigh(x, w) { return x * w + 1; }
+fn main() {
+  var i = 0;
+  while (i < 16) {
+    buf[i] = weigh(input(), i % 4);
+    i = i + 1;
+  }
+  var j = 0;
+  while (j < 16) { print(buf[j]); j = j + 1; }
+}
+|},
+      Array.init 16 (fun i -> (i * 13) mod 31) );
+  ]
+
+let workloads =
+  List.map
+    (fun (name, src, input) ->
+      (name, Wet_minic.Frontend.compile_exn src, input))
+    programs
+  @ (* a bundled benchmark for breadth: deep recursion at small scale *)
+  (let spec = Spec.find "130.li" in
+   [ ("130.li", Spec.compile spec, Spec.input spec ~scale:1) ])
+
+let file_bytes path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Save both, compare bytes, clean up. *)
+let saved_bytes wet =
+  let path = Filename.temp_file "wet_streaming" ".wet" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Store.save wet path;
+      file_bytes path)
+
+let check_identical label batch streamed =
+  let b = saved_bytes batch and s = saved_bytes streamed in
+  Alcotest.(check bool) (label ^ ": containers byte-identical") true (b = s)
+
+let batch_build prog input =
+  let res = Interp.run prog ~input in
+  (Builder.build res.Interp.trace, res.Interp.trace)
+
+let test_equivalence () =
+  List.iter
+    (fun (name, prog, input) ->
+      let w1, _ = batch_build prog input in
+      let w2 = Builder.pack w1 in
+      List.iter
+        (fun shard_events ->
+          let label = Printf.sprintf "%s shard=%d" name shard_events in
+          let s1 = Builder.run_streaming ~shard_events ~program:prog ~input () in
+          check_identical (label ^ " tier1") w1 s1;
+          check_identical (label ^ " tier2") w2 (Builder.pack s1))
+        [ 1; 7; 65536 ])
+    workloads
+
+(* Regression: a call whose result is discarded lowers to a dst-less
+   [Instr.Call], which emits no [es_call], so no pending-call gate holds
+   its position across the flush that [finish_path] can trigger at the
+   call site — yet the callee's activation needs that position live as
+   its calling context. A dense sweep of shard sizes lands boundaries on
+   such calls; before the [pending_ctx] fix the build died with
+   "live position already evicted". *)
+let test_discarded_call_at_boundary () =
+  let src =
+    {|
+global acc[4];
+fn bump(i) { acc[i % 4] = acc[i % 4] + i; return i; }
+fn main() {
+  var i = 0;
+  while (i < 40) { bump(i); i = i + 1; }
+  var j = 0;
+  while (j < 4) { print(acc[j]); j = j + 1; }
+}
+|}
+  in
+  let prog = Wet_minic.Frontend.compile_exn src in
+  let w1, _ = batch_build prog [||] in
+  for shard_events = 1 to 64 do
+    let s1 = Builder.run_streaming ~shard_events ~program:prog ~input:[||] () in
+    check_identical
+      (Printf.sprintf "discarded-call shard=%d" shard_events)
+      w1 s1
+  done;
+  (* the original field failure: 197.parser at scale 5, shard 100 *)
+  let spec = Spec.find "197.parser" in
+  let prog = Spec.compile spec and input = Spec.input spec ~scale:5 in
+  let w1, _ = batch_build prog input in
+  List.iter
+    (fun shard_events ->
+      let s1 = Builder.run_streaming ~shard_events ~program:prog ~input () in
+      check_identical
+        (Printf.sprintf "197.parser shard=%d" shard_events)
+        w1 s1)
+    [ 100; 101; 137 ]
+
+(* Shard size far larger than the whole event stream: a single flush at
+   finish, still identical. *)
+let test_shard_larger_than_trace () =
+  List.iter
+    (fun (name, prog, input) ->
+      let w1, _ = batch_build prog input in
+      let s1 =
+        Builder.run_streaming ~shard_events:max_int ~program:prog ~input ()
+      in
+      check_identical (name ^ " oversized shard") w1 s1)
+    workloads
+
+(* A shard boundary landing exactly on the final event: the finishing
+   drain sees an empty buffer. Driven through the explicit sink API so
+   the flush point is under test control. *)
+let test_empty_last_shard () =
+  let name, prog, input = List.hd workloads in
+  let w1, trace = batch_build prog input in
+  let total_events =
+    trace.T.nstmts + Array.length trace.T.deps
+    + Array.length trace.T.cd_producer
+    + Array.length trace.T.paths
+  in
+  let analysis = trace.T.analysis in
+  let sink = Builder.Sink.create ~shard_events:total_events analysis in
+  let _outputs, _stmts =
+    Interp.run_with_sink ~analysis ~sink:(Builder.Sink.events sink) prog ~input
+  in
+  let s1 = Builder.Sink.finish sink in
+  check_identical (name ^ " empty last shard") w1 s1
+
+(* Explicit flush_shard calls sprinkled between events must also be
+   unobservable: flush after every path execution. *)
+let test_explicit_flush () =
+  let name, prog, input = List.nth workloads 1 in
+  let w1, _ = batch_build prog input in
+  let sink = Builder.Sink.create ~shard_events:max_int (Wet_cfg.Program_analysis.of_program prog) in
+  let es = Builder.Sink.events sink in
+  let es' =
+    {
+      es with
+      Interp.es_path =
+        (fun key ->
+          es.Interp.es_path key;
+          Builder.Sink.flush_shard sink);
+    }
+  in
+  let _ = Interp.run_with_sink ~sink:es' prog ~input in
+  let s1 = Builder.Sink.finish sink in
+  check_identical (name ^ " explicit flush") w1 s1;
+  Alcotest.(check bool) "many shards" true (Builder.Sink.shard_count sink > 2)
+
+let test_shard_count_and_peak () =
+  let _, prog, input = List.hd workloads in
+  let analysis = Wet_cfg.Program_analysis.of_program prog in
+  let sink =
+    Builder.Sink.create ~shard_events:64 ~track_peak:true analysis
+  in
+  let _ =
+    Interp.run_with_sink ~analysis ~sink:(Builder.Sink.events sink) prog ~input
+  in
+  let _wet = Builder.Sink.finish sink in
+  Alcotest.(check bool) "shards counted" true
+    (Builder.Sink.shard_count sink >= 2);
+  Alcotest.(check bool) "peak sampled" true
+    (Builder.Sink.peak_live_words sink > 0);
+  (* untracked sink reports 0 *)
+  let sink2 = Builder.Sink.create analysis in
+  let _ =
+    Interp.run_with_sink ~analysis ~sink:(Builder.Sink.events sink2) prog
+      ~input
+  in
+  let _ = Builder.Sink.finish sink2 in
+  Alcotest.(check int) "peak off by default" 0
+    (Builder.Sink.peak_live_words sink2)
+
+let test_feed_after_finish () =
+  let _, prog, input = List.hd workloads in
+  let analysis = Wet_cfg.Program_analysis.of_program prog in
+  let sink = Builder.Sink.create analysis in
+  let _ =
+    Interp.run_with_sink ~analysis ~sink:(Builder.Sink.events sink) prog ~input
+  in
+  let _ = Builder.Sink.finish sink in
+  Alcotest.check_raises "feed after finish"
+    (Wet_error.Error { Wet_error.stage = Wet_error.Build; msg = "feed after finish" })
+    (fun () -> Builder.Sink.feed_value sink 0);
+  Alcotest.check_raises "double finish"
+    (Wet_error.Error
+       { Wet_error.stage = Wet_error.Build; msg = "finish after finish" })
+    (fun () -> ignore (Builder.Sink.finish sink))
+
+(* The deprecated alias and the batch wrapper agree with each other via
+   the streaming path (of_program now streams). *)
+let test_of_program_alias () =
+  let name, prog, input = List.nth workloads 1 in
+  let w1, _ = batch_build prog input in
+  let s1 = (Builder.of_program [@alert "-deprecated"]) prog ~input in
+  check_identical (name ^ " of_program") w1 s1
+  [@@warning "-3"]
+
+let () =
+  Alcotest.run "streaming"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "byte-identical across shard sizes" `Quick
+            test_equivalence;
+          Alcotest.test_case "discarded call at shard boundary" `Quick
+            test_discarded_call_at_boundary;
+          Alcotest.test_case "shard larger than trace" `Quick
+            test_shard_larger_than_trace;
+          Alcotest.test_case "empty last shard" `Quick test_empty_last_shard;
+          Alcotest.test_case "explicit flush per path" `Quick
+            test_explicit_flush;
+          Alcotest.test_case "of_program alias" `Quick test_of_program_alias;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "shard count and peak tracking" `Quick
+            test_shard_count_and_peak;
+          Alcotest.test_case "misuse raises Wet_error" `Quick
+            test_feed_after_finish;
+        ] );
+    ]
