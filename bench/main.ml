@@ -746,7 +746,7 @@ let repeat = ref 3
 
 let warmup = ref 1
 
-let out_file = ref "BENCH_PR5.json"
+let out_file = ref "BENCH_PR6.json"
 
 module Bench = Wet_insight.Bench
 module Explain = Wet_watch.Explain
@@ -791,6 +791,43 @@ let streaming_peak w ~scale =
   let peak = max 0 (Builder.Sink.peak_live_words sink - live0) in
   (wet, peak, Builder.Sink.shard_count sink)
 
+(* One fused interp+build, the `wet build` hot path. With [progress] the
+   whole live-observability stack a user gets from `--progress` is
+   armed — sink enabled, heartbeats on, a reporter emitting JSONL to
+   /dev/null — so stream_progress_p50_ms minus stream_p50_ms is what
+   watching a build live actually costs. *)
+let streaming_build ?(progress = false) w ~scale =
+  let prog = Spec.compile w in
+  let input = Spec.input w ~scale in
+  let analysis = Wet_cfg.Program_analysis.of_program prog in
+  let run () =
+    let sink = Builder.Sink.create analysis in
+    let _ =
+      Interp.run_with_sink ~analysis ~sink:(Builder.Sink.events sink) prog
+        ~input
+    in
+    ignore (Builder.Sink.finish sink)
+  in
+  if not progress then run ()
+  else begin
+    let was_enabled = !Wet_obs.Sink.enabled in
+    let hb = !Wet_obs.Sink.heartbeat_every in
+    let oc = open_out "/dev/null" in
+    let reporter =
+      Wet_pulse.Reporter.create ~interval_ms:0 (Wet_pulse.Reporter.Jsonl oc)
+    in
+    Wet_obs.Sink.enable ();
+    Wet_obs.Sink.heartbeat_every := 50_000;
+    Wet_pulse.Reporter.install reporter;
+    Fun.protect
+      ~finally:(fun () ->
+        Wet_pulse.Reporter.uninstall ();
+        Wet_obs.Sink.heartbeat_every := hb;
+        if not was_enabled then Wet_obs.Sink.disable ();
+        close_out oc)
+      run
+  end
+
 let observatory () =
   let samples =
     List.map
@@ -812,6 +849,10 @@ let observatory () =
         let w2 = Builder.pack w1 in
         let t2 = Sizes.current w2 in
         let query_ms = sampled (fun () -> query_sweep w2) in
+        let stream_ms = sampled (fun () -> streaming_build w ~scale) in
+        let stream_progress_ms =
+          sampled (fun () -> streaming_build ~progress:true w ~scale)
+        in
         (* the sweep's deterministic cost profile, via query-explain *)
         Explain.arm ();
         query_sweep w2;
@@ -841,6 +882,8 @@ let observatory () =
           build_peak_words = peak_words;
           wet_words = Obj.reachable_words (Obj.repr w1);
           shards;
+          stream_p50_ms = Bench.percentile 0.5 stream_ms;
+          stream_progress_p50_ms = Bench.percentile 0.5 stream_progress_ms;
         })
       Spec.all
   in
@@ -862,9 +905,16 @@ let observatory () =
          !warmup !repeat !out_file)
     ~header:
       [ "Workload"; "Stmts"; "Stmts/s"; "B/label T2"; "Ratio T2";
-        "Build p50 (ms)"; "Query p50 (ms)"; "Steps"; "Peak (Mw)"; "Shards" ]
+        "Build p50 (ms)"; "Query p50 (ms)"; "Steps"; "Peak (Mw)"; "Shards";
+        "Stream p50 (ms)"; "Reporter +%" ]
     (List.map
        (fun (s : Bench.sample) ->
+         let overhead_pct =
+           if s.Bench.stream_p50_ms <= 0. then 0.
+           else
+             (s.Bench.stream_progress_p50_ms -. s.Bench.stream_p50_ms)
+             /. s.Bench.stream_p50_ms *. 100.
+         in
          [
            s.Bench.workload;
            Table.millions s.Bench.stmts;
@@ -876,6 +926,8 @@ let observatory () =
            Table.i s.Bench.query_steps;
            Table.f2 (float_of_int s.Bench.build_peak_words /. 1e6);
            Table.i s.Bench.shards;
+           Table.f2 s.Bench.stream_p50_ms;
+           Printf.sprintf "%+.1f" overhead_pct;
          ])
        samples)
 

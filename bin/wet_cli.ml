@@ -20,6 +20,8 @@ module Insight_report = Wet_insight.Report
 module Insight_json = Wet_insight.Json
 module Bench_obs = Wet_insight.Bench
 module Metric_docs = Wet_insight.Metric_docs
+module Pulse_ring = Wet_pulse.Ring
+module Pulse_reporter = Wet_pulse.Reporter
 
 let is_wet_file name =
   Filename.check_suffix name ".wet"
@@ -95,9 +97,11 @@ let with_wet ?(optimize = 0) ?(tier2 = false) ?(salvage = false)
 
 (* ---------------- observability flags ---------------- *)
 
-(* Every pipeline subcommand accepts [--metrics-out] and [--trace-out];
-   giving either arms the observation sink for the whole command, and
-   the files are written when the action finishes (even on error). *)
+(* Every pipeline subcommand accepts [--metrics-out], [--trace-out],
+   [--progress] and [--progress-out]; giving any arms the observation
+   sink for the whole command. The files are written when the action
+   finishes (even on error); progress renders live, driven by interp
+   heartbeats and builder shard boundaries. *)
 
 let metrics_out_arg =
   let doc = "Write a JSONL dump of all pipeline metrics to $(docv)." in
@@ -111,18 +115,86 @@ let trace_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
-let obs_term = Term.(const (fun m t -> (m, t)) $ metrics_out_arg $ trace_out_arg)
+let progress_arg =
+  let doc =
+    "Render a live status line on stderr while the pipeline runs \
+     (statement rate, shard count, peak live words, ring drops)."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
 
-let with_obs (metrics_out, trace_out) f =
-  if metrics_out <> None || trace_out <> None then begin
+let progress_out_arg =
+  let doc =
+    "Stream machine-readable JSONL heartbeats to $(docv) while the \
+     pipeline runs (schema wet-obs/2)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "progress-out" ] ~docv:"FILE" ~doc)
+
+type obs_opts = {
+  o_metrics : string option;
+  o_trace : string option;
+  o_progress : bool;
+  o_progress_out : string option;
+}
+
+let obs_term =
+  Term.(
+    const (fun m t p po ->
+        { o_metrics = m; o_trace = t; o_progress = p; o_progress_out = po })
+    $ metrics_out_arg $ trace_out_arg $ progress_arg $ progress_out_arg)
+
+(* Default heartbeat period when progress is requested but the caller
+   did not pick one: frequent enough for a responsive status line, rare
+   enough (every 50k statements) to stay off the profile. *)
+let progress_heartbeat_default = 50_000
+
+let with_obs o f =
+  let progress = o.o_progress || o.o_progress_out <> None in
+  if o.o_metrics <> None || o.o_trace <> None || progress then begin
     Wet_obs.Sink.enable ();
     Wet_obs.Metrics.reset ()
   end;
-  let r = f () in
+  let run_reported () =
+    if not progress then f ()
+    else begin
+      match Option.map open_out o.o_progress_out with
+      | exception Sys_error m ->
+        `Error (false, "cannot write progress output: " ^ m)
+      | oc ->
+        let ring = Pulse_ring.create () in
+        Pulse_ring.install ring;
+        let out =
+          match oc with
+          | Some oc -> Pulse_reporter.Jsonl oc
+          | None -> Pulse_reporter.Tty
+        in
+        let reporter = Pulse_reporter.create ~ring out in
+        Pulse_reporter.install reporter;
+        let hb0 = !Wet_obs.Sink.heartbeat_every in
+        if hb0 = 0 then
+          Wet_obs.Sink.heartbeat_every := progress_heartbeat_default;
+        (* the reporter owns the status line; keep heartbeat log lines
+           from interleaving with it *)
+        let quiet0 = !Wet_obs.Log.quiet in
+        Wet_obs.Log.quiet := true;
+        Fun.protect
+          ~finally:(fun () ->
+            Pulse_reporter.finish reporter;
+            Pulse_reporter.uninstall ();
+            Pulse_ring.uninstall ();
+            Wet_obs.Sink.heartbeat_every := hb0;
+            Wet_obs.Log.quiet := quiet0;
+            Option.iter close_out oc)
+          f
+    end
+  in
+  let r = run_reported () in
   (* An unwritable output path is a user error, not a crash. *)
   try
-    Option.iter Wet_obs.Export.write_metrics_jsonl metrics_out;
-    Option.iter Wet_obs.Export.write_chrome_trace trace_out;
+    Option.iter Wet_obs.Export.write_metrics_jsonl o.o_metrics;
+    Option.iter Wet_obs.Export.write_chrome_trace o.o_trace;
     r
   with Sys_error m ->
     `Error (false, "cannot write observability output: " ^ m)
@@ -1279,6 +1351,307 @@ let bench_check_cmd =
         (const action $ current_arg $ against_arg $ wall_arg $ size_arg
          $ warn_only_arg $ allow_missing_arg))
 
+(* ---------------- obs (offline report / diff) ---------------- *)
+
+(* Readers for the wet-obs exports: a metrics JSONL dump ([--metrics-out])
+   and a Chrome trace file ([--trace-out]). Both formats carry a
+   "schema":"wet-obs/2" version since PR 6; v1 files (no schema field)
+   are still read, with a note. *)
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let jstr k j =
+  match Insight_json.member k j with
+  | Some v -> Option.value (Insight_json.to_str v) ~default:""
+  | None -> ""
+
+let jint k j =
+  match Insight_json.member k j with
+  | Some v -> Option.value (Insight_json.to_int v) ~default:0
+  | None -> 0
+
+let jnum k j =
+  match Insight_json.member k j with
+  | Some v -> Option.value (Insight_json.to_num v) ~default:0.
+  | None -> 0.
+
+type metrics_file = {
+  mf_schema : string option;  (* None: v1, predates the schema field *)
+  mf_instruments : (string * Insight_json.t) list;
+}
+
+let load_metrics_file path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s does not exist" path)
+  else begin
+    let lines =
+      String.split_on_char '\n' (read_whole_file path)
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let rec go schema insts = function
+      | [] -> Ok { mf_schema = schema; mf_instruments = List.rev insts }
+      | l :: rest -> (
+        match Insight_json.parse l with
+        | Error m -> Error (Printf.sprintf "%s: %s" path m)
+        | Ok j -> (
+          match Insight_json.member "name" j with
+          | Some n -> (
+            match Insight_json.to_str n with
+            | Some name -> go schema ((name, j) :: insts) rest
+            | None ->
+              Error (Printf.sprintf "%s: non-string instrument name" path))
+          | None -> (
+            match Insight_json.member "schema" j with
+            | Some s -> go (Insight_json.to_str s) insts rest
+            | None -> go schema insts rest)))
+    in
+    go None [] lines
+  end
+
+let note_schema path = function
+  | Some s when s = Wet_obs.Export.schema -> ()
+  | Some s ->
+    Printf.printf "note: %s carries schema %s (this build writes %s)\n" path
+      s Wet_obs.Export.schema
+  | None ->
+    Printf.printf "note: %s has no schema field (wet-obs/1, pre-versioning)\n"
+      path
+
+(* Sort key for "hottest": event volume — counter/gauge value,
+   histogram observation count. *)
+let hotness j =
+  match jstr "type" j with
+  | "histogram" -> jint "count" j
+  | _ -> jint "value" j
+
+let print_hottest path mf top =
+  let insts =
+    List.sort
+      (fun (a_n, a) (b_n, b) ->
+        compare (hotness b, a_n) (hotness a, b_n))
+      mf.mf_instruments
+  in
+  let rows =
+    List.filteri (fun i _ -> i < top) insts
+    |> List.map (fun (name, j) ->
+         let kind = jstr "type" j in
+         let v =
+           match kind with
+           | "histogram" ->
+             Printf.sprintf "%d obs, sum %d" (jint "count" j) (jint "sum" j)
+           | _ -> string_of_int (hotness j)
+         in
+         [ name; kind; v ])
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf "Hottest instruments (%s, %d of %d)." path
+         (List.length rows)
+         (List.length mf.mf_instruments))
+    ~align:Table.[ Left; Left; Right ]
+    ~header:[ "Instrument"; "Kind"; "Value" ]
+    rows
+
+let print_ring_accounting mf =
+  match List.assoc_opt "pulse.ring.pushed" mf.mf_instruments with
+  | None -> print_endline "ring: no pulse ring was armed for this run"
+  | Some pushed_j ->
+    let pushed = jint "value" pushed_j in
+    let dropped =
+      match List.assoc_opt "pulse.ring.dropped" mf.mf_instruments with
+      | Some j -> jint "value" j
+      | None -> 0
+    in
+    Printf.printf "ring: %d events pushed, %d dropped (%.1f%%), %d retained\n"
+      pushed dropped
+      (if pushed > 0 then 100. *. float_of_int dropped /. float_of_int pushed
+       else 0.)
+      (pushed - dropped)
+
+(* The trace's complete events ([ph = "X"]) sorted by start time, with
+   the recorded span-stack depth as indentation, read as the phase
+   tree. GC deltas ride along as span attributes. *)
+let print_span_tree path =
+  match Insight_json.parse (read_whole_file path) with
+  | Error m -> Error (Printf.sprintf "%s: %s" path m)
+  | Ok j ->
+    (match Insight_json.member "schema" j with
+     | Some s -> note_schema path (Insight_json.to_str s)
+     | None -> note_schema path None);
+    let events =
+      match Insight_json.member "traceEvents" j with
+      | Some a -> Option.value (Insight_json.to_list a) ~default:[]
+      | None -> []
+    in
+    let spans =
+      List.filter_map
+        (fun e ->
+          if jstr "ph" e <> "X" then None
+          else
+            let args =
+              Option.value (Insight_json.member "args" e) ~default:Insight_json.Null
+            in
+            Some
+              ( jnum "ts" e,
+                jnum "dur" e,
+                jint "depth" args,
+                jstr "name" e,
+                jnum "alloc_minor_words" args,
+                jnum "alloc_major_words" args,
+                Insight_json.member "raised" args <> None ))
+        events
+      |> List.sort compare
+    in
+    let rows =
+      List.map
+        (fun (_, dur, depth, name, minor, major, raised) ->
+          [
+            String.make (2 * depth) ' ' ^ name
+            ^ (if raised then " [raised]" else "");
+            Printf.sprintf "%.2f" (dur /. 1e3);
+            Printf.sprintf "%.2f" (minor /. 1e6);
+            Printf.sprintf "%.2f" (major /. 1e6);
+          ])
+        spans
+    in
+    if rows = [] then Printf.printf "%s: no spans recorded\n" path
+    else
+      Table.print
+        ~title:(Printf.sprintf "Phase spans (%s)." path)
+        ~align:Table.[ Left; Right; Right; Right ]
+        ~header:[ "Span"; "ms"; "minor Mw"; "major Mw" ]
+        rows;
+    Ok ()
+
+let obs_top_arg =
+  let doc = "Show the N hottest / most-changed instruments." in
+  Arg.(value & opt int 15 & info [ "top" ] ~docv:"N" ~doc)
+
+let obs_report_cmd =
+  let metrics_arg =
+    let doc = "A metrics JSONL export written by --metrics-out." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"METRICS" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Also render the per-phase span tree (with GC deltas) from this \
+       Chrome trace file written by --trace-out."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let action metrics trace top =
+    match load_metrics_file metrics with
+    | Error m -> `Error (false, m)
+    | Ok mf ->
+      note_schema metrics mf.mf_schema;
+      (match trace with
+       | None -> ()
+       | Some t -> (
+         match print_span_tree t with
+         | Ok () -> ()
+         | Error m ->
+           Printf.printf "note: cannot read trace: %s\n" m));
+      print_hottest metrics mf top;
+      print_ring_accounting mf;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Pretty-print an end-of-run observability report from a metrics \
+          export (and optionally a trace export): per-phase span tree \
+          with GC deltas, hottest instruments, ring-drop accounting.")
+    Term.(ret (const action $ metrics_arg $ trace_arg $ obs_top_arg))
+
+let obs_diff_cmd =
+  let a_arg =
+    let doc = "Baseline metrics JSONL export (run A)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"A" ~doc)
+  in
+  let b_arg =
+    let doc = "Comparison metrics JSONL export (run B)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"B" ~doc)
+  in
+  let action a b top =
+    match (load_metrics_file a, load_metrics_file b) with
+    | Error m, _ | _, Error m -> `Error (false, m)
+    | Ok fa, Ok fb ->
+      note_schema a fa.mf_schema;
+      note_schema b fb.mf_schema;
+      let changed =
+        List.filter_map
+          (fun (name, ja) ->
+            match List.assoc_opt name fb.mf_instruments with
+            | None -> None
+            | Some jb ->
+              let va = hotness ja and vb = hotness jb in
+              if va = vb then None
+              else
+                let rel =
+                  float_of_int (vb - va)
+                  /. float_of_int (max 1 (abs va))
+                in
+                Some (abs_float rel, rel, name, jstr "type" ja, va, vb))
+          fa.mf_instruments
+        |> List.sort (fun x y -> compare y x)
+      in
+      let only_in tag f g =
+        let extra =
+          List.filter
+            (fun (n, _) -> not (List.mem_assoc n g.mf_instruments))
+            f.mf_instruments
+        in
+        if extra <> [] then
+          Printf.printf "only in %s: %s\n" tag
+            (String.concat ", " (List.map fst extra))
+      in
+      if changed = [] then
+        Printf.printf "obs diff: no instrument changed between %s and %s\n" a
+          b
+      else begin
+        let rows =
+          List.filteri (fun i _ -> i < top) changed
+          |> List.map (fun (_, rel, name, kind, va, vb) ->
+               [
+                 name;
+                 kind;
+                 string_of_int va;
+                 string_of_int vb;
+                 Printf.sprintf "%+.1f%%" (100. *. rel);
+               ])
+        in
+        Table.print
+          ~title:
+            (Printf.sprintf "obs diff: %s vs %s (%d of %d changed)." a b
+               (List.length rows) (List.length changed))
+          ~align:Table.[ Left; Left; Right; Right; Right ]
+          ~header:[ "Instrument"; "Kind"; "A"; "B"; "Delta" ]
+          rows
+      end;
+      only_in a fa fb;
+      only_in b fb fa;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Diff two metrics JSONL exports (A/B runs): per-instrument \
+          deltas sorted by relative change. Accepts v1 exports (no \
+          schema field) with a note.")
+    Term.(ret (const action $ a_arg $ b_arg $ obs_top_arg))
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:
+         "Inspect observability exports: end-of-run reports and A/B \
+          diffs of metrics dumps.")
+    [ obs_report_cmd; obs_diff_cmd ]
+
 (* ---------------- benchmarks ---------------- *)
 
 let benchmarks_cmd =
@@ -1311,7 +1684,7 @@ let () =
          [
            run_cmd; stats_cmd; trace_cmd; slice_cmd; paths_cmd; at_cmd;
            watch_cmd; build_cmd; verify_cmd; fsck_cmd; dot_cmd; profile_cmd;
-           bench_check_cmd; benchmarks_cmd;
+           obs_cmd; bench_check_cmd; benchmarks_cmd;
          ])
   in
   (* usage errors — unknown flags, missing arguments, bad --inject specs —

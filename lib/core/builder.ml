@@ -749,7 +749,9 @@ module Sink = struct
     Obs.incr c_shards;
     if Obs.enabled () then Obs.observe h_shard_events t.events_since_flush;
     t.events_since_flush <- 0;
-    sample_live t
+    sample_live t;
+    (* shard boundaries are the builder's progress pulse *)
+    Wet_obs.Sink.tick ()
 
   let bump t =
     t.events_since_flush <- t.events_since_flush + 1

@@ -1,4 +1,4 @@
-type stage = Interp | Build | Pack
+type stage = Interp | Build | Pack | Obs
 
 type t = { stage : stage; msg : string }
 
@@ -8,6 +8,7 @@ let stage_name = function
   | Interp -> "runtime error"
   | Build -> "build error"
   | Pack -> "pack error"
+  | Obs -> "obs error"
 
 let message e = Printf.sprintf "%s: %s" (stage_name e.stage) e.msg
 

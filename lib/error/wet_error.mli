@@ -11,6 +11,7 @@ type stage =
   | Interp  (** dynamic execution error (bad input, budget, memory) *)
   | Build  (** tier-1 sink/splicer misuse or internal inconsistency *)
   | Pack  (** tier-2 packing misuse *)
+  | Obs  (** observability-layer misuse (registry, merge, export) *)
 
 type t = { stage : stage; msg : string }
 
@@ -18,7 +19,7 @@ exception Error of t
 
 (** [stage_name Interp] is ["runtime error"] — the historical prefix the
     CLI printed for interpreter failures — and ["build error"] /
-    ["pack error"] for the other stages. *)
+    ["pack error"] / ["obs error"] for the other stages. *)
 val stage_name : stage -> string
 
 (** ["<stage_name>: <msg>"]. Also what [Printexc.to_string] shows; the

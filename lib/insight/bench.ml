@@ -16,6 +16,8 @@ type sample = {
   build_peak_words : int;
   wet_words : int;
   shards : int;
+  stream_p50_ms : float;
+  stream_progress_p50_ms : float;
 }
 
 type run = {
@@ -59,6 +61,8 @@ let sample_json s =
       ("build_peak_words", Json.Num (float_of_int s.build_peak_words));
       ("wet_words", Json.Num (float_of_int s.wet_words));
       ("shards", Json.Num (float_of_int s.shards));
+      ("stream_p50_ms", Json.Num s.stream_p50_ms);
+      ("stream_progress_p50_ms", Json.Num s.stream_progress_p50_ms);
     ]
 
 let to_json r =
@@ -97,6 +101,10 @@ let sample_of_json j =
   let build_peak_words = opt_int "build_peak_words" in
   let wet_words = opt_int "wet_words" in
   let shards = opt_int "shards" in
+  (* Reporter-overhead pair arrived with the live pulse; same rule. *)
+  let opt_num k = Option.value (num k) ~default:0. in
+  let stream_p50_ms = opt_num "stream_p50_ms" in
+  let stream_progress_p50_ms = opt_num "stream_progress_p50_ms" in
   Ok
     {
       workload;
@@ -116,6 +124,8 @@ let sample_of_json j =
       build_peak_words;
       wet_words;
       shards;
+      stream_p50_ms;
+      stream_progress_p50_ms;
     }
 
 let of_json j =
@@ -203,6 +213,11 @@ let metrics =
        at the loose wall threshold; a zero (pre-streaming baseline or
        untracked run) never regresses. *)
     ("build_peak_words", (fun s -> float_of_int s.build_peak_words), false,
+     `Wall);
+    (* The fused streaming build, observability off and with a live
+       reporter armed. Both wall-noisy; both zero in pre-pulse files. *)
+    ("stream_p50_ms", (fun s -> s.stream_p50_ms), false, `Wall);
+    ("stream_progress_p50_ms", (fun s -> s.stream_progress_p50_ms), false,
      `Wall);
   ]
 

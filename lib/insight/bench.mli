@@ -30,6 +30,13 @@ type sample = {
           a pre-streaming file) *)
   wet_words : int;  (** reachable words of the finished tier-1 WET *)
   shards : int;  (** shard flushes the streaming build performed *)
+  stream_p50_ms : float;
+      (** fused interp+build wall, observability off (0 = pre-pulse
+          file) *)
+  stream_progress_p50_ms : float;
+      (** same fused build with a live progress reporter armed; the
+          difference against {!stream_p50_ms} is the reporter's
+          overhead *)
 }
 
 type run = {

@@ -35,6 +35,7 @@ let heartbeat pos =
   Wet_obs.Metrics.set g_heartbeat pos;
   Wet_obs.Span.instant "interp.heartbeat"
     ~attrs:[ ("stmts", Wet_obs.Span.Int pos) ];
+  Wet_obs.Sink.tick ();
   Wet_obs.Log.progress "interp: %d statements" pos
 
 (* Tracer-driver event kinds (dense indices, fixed at module init). *)

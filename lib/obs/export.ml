@@ -37,8 +37,11 @@ let add_attrs b attrs =
 
 (* ---------------- metrics dump ---------------- *)
 
+let schema = "wet-obs/2"
+
 let metrics_jsonl () =
   let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf "{\"schema\":%S}\n" schema);
   List.iter
     (fun (name, reading) ->
       (match reading with
@@ -79,7 +82,9 @@ let metrics_jsonl () =
 let chrome_trace () =
   let b = Buffer.create 4096 in
   let t0 = Sink.epoch_ns () in
-  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":%S,\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+       schema);
   List.iteri
     (fun i (e : Sink.event) ->
       if i > 0 then Buffer.add_char b ',';

@@ -7,14 +7,21 @@
     Perfetto. Timestamps are microseconds relative to the last
     {!Sink.enable}. *)
 
-(** One JSON object per registered instrument, one per line, sorted by
-    name: [{"type":"counter","name":...,"value":...}],
+(** The format version stamped on both exports: ["wet-obs/2"]. v1
+    files (no [schema] field) predate the versioning; [wet obs diff]
+    still reads them but flags the downgrade. *)
+val schema : string
+
+(** A [{"schema":"wet-obs/2"}] header line, then one JSON object per
+    registered instrument, one per line, sorted by name:
+    [{"type":"counter","name":...,"value":...}],
     [{"type":"gauge",...}] and [{"type":"histogram","name":...,"count":
     ...,"sum":...,"min":...,"max":...,"buckets":[{"lo":..,"hi":..,
     "count":..},...]}]. *)
 val metrics_jsonl : unit -> string
 
-(** The full trace-event JSON document for {!Sink.events}. *)
+(** The full trace-event JSON document for {!Sink.events}, with a
+    top-level ["schema"] field (ignored by trace viewers). *)
 val chrome_trace : unit -> string
 
 val write_metrics_jsonl : string -> unit

@@ -1,6 +1,9 @@
 type counter = { mutable c_value : int }
 
-type gauge = { mutable g_value : int }
+(* [g_seq] is a logical write timestamp drawn from [write_seq]: merge
+   resolves concurrent gauge writes by last-write-wins on it. 0 means
+   "never written". *)
+type gauge = { mutable g_value : int; mutable g_seq : int }
 
 type histogram = {
   buckets : int array;  (* 64 log2 buckets *)
@@ -12,8 +15,6 @@ type histogram = {
 
 type instrument = C of counter | G of gauge | H of histogram
 
-let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
-
 let enabled () = !Sink.enabled
 
 let kind_name = function
@@ -21,26 +22,163 @@ let kind_name = function
   | G _ -> "gauge"
   | H _ -> "histogram"
 
-let intern name make check =
-  match Hashtbl.find_opt registry name with
-  | Some i -> (
-    match check i with
-    | Some x -> x
-    | None ->
-      invalid_arg
-        (Printf.sprintf "Wet_obs.Metrics: %s already registered as a %s" name
-           (kind_name i)))
-  | None ->
-    let x, i = make () in
-    Hashtbl.replace registry name i;
-    x
+(* Shared by every registry: gauge writes on any domain take distinct
+   stamps, so merging local registries has a well-defined "last" write. *)
+let write_seq = Atomic.make 1
 
-let counter name =
-  intern name
-    (fun () ->
-      let c = { c_value = 0 } in
-      (c, C c))
-    (function C c -> Some c | _ -> None)
+let fresh_hist () =
+  {
+    buckets = Array.make 64 0;
+    count = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = min_int;
+  }
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;
+  h_max : int;
+  h_buckets : (int * int) list;
+}
+
+type reading =
+  | Counter of int
+  | Gauge of int
+  | Histogram of hist_snapshot
+
+module Local = struct
+  type t = { tbl : (string, instrument) Hashtbl.t }
+
+  let create () = { tbl = Hashtbl.create 64 }
+
+  let intern t name make check =
+    match Hashtbl.find_opt t.tbl name with
+    | Some i -> (
+      match check i with
+      | Some x -> x
+      | None ->
+        Wet_error.fail Obs "Wet_obs.Metrics: %s already registered as a %s"
+          name (kind_name i))
+    | None ->
+      let x, i = make () in
+      Hashtbl.replace t.tbl name i;
+      x
+
+  let counter t name =
+    intern t name
+      (fun () ->
+        let c = { c_value = 0 } in
+        (c, C c))
+      (function C c -> Some c | _ -> None)
+
+  let gauge t name =
+    intern t name
+      (fun () ->
+        let g = { g_value = 0; g_seq = 0 } in
+        (g, G g))
+      (function G g -> Some g | _ -> None)
+
+  let histogram t name =
+    intern t name
+      (fun () ->
+        let h = fresh_hist () in
+        (h, H h))
+      (function H h -> Some h | _ -> None)
+
+  let snapshot t =
+    Hashtbl.fold
+      (fun name i acc ->
+        let reading =
+          match i with
+          | C c -> Counter c.c_value
+          | G g -> Gauge g.g_value
+          | H h ->
+            let bs = ref [] in
+            for b = 63 downto 0 do
+              if h.buckets.(b) > 0 then bs := (b, h.buckets.(b)) :: !bs
+            done;
+            Histogram
+              {
+                h_count = h.count;
+                h_sum = h.sum;
+                h_min = h.min_v;
+                h_max = h.max_v;
+                h_buckets = !bs;
+              }
+        in
+        (name, reading) :: acc)
+      t.tbl []
+    |> List.sort compare
+
+  let reset t =
+    Hashtbl.iter
+      (fun _ i ->
+        match i with
+        | C c -> c.c_value <- 0
+        | G g ->
+          g.g_value <- 0;
+          g.g_seq <- 0
+        | H h ->
+          Array.fill h.buckets 0 64 0;
+          h.count <- 0;
+          h.sum <- 0;
+          h.min_v <- max_int;
+          h.max_v <- min_int)
+      t.tbl
+end
+
+(* The process view: the implicit registry behind the single-domain
+   facade below. *)
+let default = Local.create ()
+
+(* ---------------- merge ---------------- *)
+
+let zero_like = function
+  | C _ -> C { c_value = 0 }
+  | G _ -> G { g_value = 0; g_seq = 0 }
+  | H _ -> H (fresh_hist ())
+
+let combine name dst src =
+  match (dst, src) with
+  | C d, C s -> d.c_value <- d.c_value + s.c_value
+  | G d, G s ->
+    if (s.g_seq, s.g_value) > (d.g_seq, d.g_value) then begin
+      d.g_value <- s.g_value;
+      d.g_seq <- s.g_seq
+    end
+  | H d, H s ->
+    for b = 0 to 63 do
+      d.buckets.(b) <- d.buckets.(b) + s.buckets.(b)
+    done;
+    d.count <- d.count + s.count;
+    d.sum <- d.sum + s.sum;
+    if s.min_v < d.min_v then d.min_v <- s.min_v;
+    if s.max_v > d.max_v then d.max_v <- s.max_v
+  | _ ->
+    Wet_error.fail Obs
+      "Wet_obs.Metrics.merge: %s is a %s in one registry and a %s in the \
+       other"
+      name (kind_name dst) (kind_name src)
+
+let merge ?(into = default) (src : Local.t) =
+  Hashtbl.iter
+    (fun name s ->
+      let d =
+        match Hashtbl.find_opt into.Local.tbl name with
+        | Some d -> d
+        | None ->
+          let d = zero_like s in
+          Hashtbl.replace into.Local.tbl name d;
+          d
+      in
+      combine name d s)
+    src.Local.tbl
+
+(* ---------------- single-domain facade ---------------- *)
+
+let counter name = Local.counter default name
 
 let add c n = if !Sink.enabled then c.c_value <- c.c_value + n
 
@@ -48,31 +186,17 @@ let incr c = add c 1
 
 let value c = c.c_value
 
-let gauge name =
-  intern name
-    (fun () ->
-      let g = { g_value = 0 } in
-      (g, G g))
-    (function G g -> Some g | _ -> None)
+let gauge name = Local.gauge default name
 
-let set g v = if !Sink.enabled then g.g_value <- v
+let set g v =
+  if !Sink.enabled then begin
+    g.g_value <- v;
+    g.g_seq <- Atomic.fetch_and_add write_seq 1
+  end
 
 let gauge_value g = g.g_value
 
-let histogram name =
-  intern name
-    (fun () ->
-      let h =
-        {
-          buckets = Array.make 64 0;
-          count = 0;
-          sum = 0;
-          min_v = max_int;
-          max_v = min_int;
-        }
-      in
-      (h, H h))
-    (function H h -> Some h | _ -> None)
+let histogram name = Local.histogram default name
 
 (* Bucket 0: v <= 0; bucket b >= 1: 2^(b-1) <= v < 2^b. *)
 let bucket_of v =
@@ -108,54 +232,6 @@ let time h f =
   end
   else f ()
 
-type hist_snapshot = {
-  h_count : int;
-  h_sum : int;
-  h_min : int;
-  h_max : int;
-  h_buckets : (int * int) list;
-}
+let snapshot () = Local.snapshot default
 
-type reading =
-  | Counter of int
-  | Gauge of int
-  | Histogram of hist_snapshot
-
-let snapshot () =
-  Hashtbl.fold
-    (fun name i acc ->
-      let reading =
-        match i with
-        | C c -> Counter c.c_value
-        | G g -> Gauge g.g_value
-        | H h ->
-          let bs = ref [] in
-          for b = 63 downto 0 do
-            if h.buckets.(b) > 0 then bs := (b, h.buckets.(b)) :: !bs
-          done;
-          Histogram
-            {
-              h_count = h.count;
-              h_sum = h.sum;
-              h_min = h.min_v;
-              h_max = h.max_v;
-              h_buckets = !bs;
-            }
-      in
-      (name, reading) :: acc)
-    registry []
-  |> List.sort compare
-
-let reset () =
-  Hashtbl.iter
-    (fun _ i ->
-      match i with
-      | C c -> c.c_value <- 0
-      | G g -> g.g_value <- 0
-      | H h ->
-        Array.fill h.buckets 0 64 0;
-        h.count <- 0;
-        h.sum <- 0;
-        h.min_v <- max_int;
-        h.max_v <- min_int)
-    registry
+let reset () = Local.reset default

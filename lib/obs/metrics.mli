@@ -1,5 +1,19 @@
-(** A process-wide registry of named counters, gauges and log-scale
-    histograms.
+(** Registries of named counters, gauges and log-scale histograms.
+
+    Metric state lives in {e registries} ({!Local.t}). A worker —
+    today the single main domain, tomorrow one OCaml 5 domain per
+    shard-compression worker — records into a registry it owns
+    exclusively, and registries are folded together downstream with the
+    commutative {!merge}: counters sum, gauges resolve by
+    last-write-wins on a process-wide write stamp, histograms add
+    bucket-wise. No instrument cell is ever shared between domains, so
+    recording needs no locks.
+
+    The original single-domain API ([counter] / [add] / [snapshot] / …)
+    is kept as a zero-cost facade over one implicit registry, the
+    {!default} {e process view} — existing call sites compile and
+    behave unchanged, and merges land worker results where the exporters
+    already look.
 
     Instruments are interned by name: the first [counter "x"] creates
     it, later calls return the same cell, so call sites can register at
@@ -15,7 +29,59 @@ type counter
 type gauge
 type histogram
 
-(** Intern a counter. @raise Invalid_argument if the name is already
+type hist_snapshot = {
+  h_count : int;
+  h_sum : int;
+  h_min : int;  (** [max_int] when empty *)
+  h_max : int;  (** [min_int] when empty *)
+  h_buckets : (int * int) list;  (** non-empty (bucket index, count) *)
+}
+
+type reading =
+  | Counter of int
+  | Gauge of int
+  | Histogram of hist_snapshot
+
+(** A metric registry owned by one worker. Create one per domain, record
+    into it without synchronisation, then {!merge} it into the process
+    view (or any other registry) when the worker finishes. *)
+module Local : sig
+  type t
+
+  val create : unit -> t
+
+  (** Intern an instrument in this registry.
+      @raise Wet_error.Error ([Obs] stage) if the name is already
+      registered here as a different instrument kind. *)
+  val counter : t -> string -> counter
+
+  val gauge : t -> string -> gauge
+  val histogram : t -> string -> histogram
+
+  (** Every instrument registered here, with its current value, sorted
+      by name. *)
+  val snapshot : t -> (string * reading) list
+
+  (** Zero every instrument (registrations survive). *)
+  val reset : t -> unit
+end
+
+(** The process view — the implicit registry behind the facade below,
+    and the default [?into] target of {!merge}. *)
+val default : Local.t
+
+(** [merge ?into src] folds [src] into [into] (default: the process
+    view): counters sum, gauges keep the write with the highest
+    process-wide stamp, histograms add bucket-wise (count, sum, min,
+    max and every bucket). Commutative and associative, so any merge
+    order over any partition of recorded work yields the same result;
+    [src] is left unchanged. Works whether or not the sink is enabled.
+    @raise Wet_error.Error ([Obs] stage) when a name is registered with
+    different instrument kinds in the two registries. *)
+val merge : ?into:Local.t -> Local.t -> unit
+
+(** Intern a counter in the process view.
+    @raise Wet_error.Error ([Obs] stage) if the name is already
     registered as a different instrument kind. *)
 val counter : string -> counter
 
@@ -43,24 +109,10 @@ val time : histogram -> (unit -> 'a) -> 'a
 (** [bucket_of v] is the index [observe] files [v] under. *)
 val bucket_of : int -> int
 
-type hist_snapshot = {
-  h_count : int;
-  h_sum : int;
-  h_min : int;  (** [max_int] when empty *)
-  h_max : int;  (** [min_int] when empty *)
-  h_buckets : (int * int) list;  (** non-empty (bucket index, count) *)
-}
-
-type reading =
-  | Counter of int
-  | Gauge of int
-  | Histogram of hist_snapshot
-
-(** Every registered instrument with its current value, sorted by
-    name. *)
+(** [Local.snapshot] of the process view. *)
 val snapshot : unit -> (string * reading) list
 
-(** Zero every instrument (registrations survive). *)
+(** [Local.reset] of the process view. *)
 val reset : unit -> unit
 
 (** [Sink.enabled], re-exported for guards in instrumented code. *)

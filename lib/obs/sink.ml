@@ -23,8 +23,25 @@ let disable () = enabled := false
 
 let epoch_ns () = !epoch
 
-let record ev = buffer := ev :: !buffer
+let tap : (event -> unit) option ref = ref None
+
+let set_tap f = tap := Some f
+
+let clear_tap () = tap := None
+
+let record ev =
+  (match !tap with Some f -> f ev | None -> ());
+  buffer := ev :: !buffer
 
 let events () = List.rev !buffer
 
 let heartbeat_every = ref 0
+
+let on_tick : (unit -> unit) option ref = ref None
+
+let set_on_tick f = on_tick := Some f
+
+let clear_on_tick () = on_tick := None
+
+let tick () =
+  if !enabled then match !on_tick with Some f -> f () | None -> ()

@@ -33,14 +33,34 @@ val disable : unit -> unit
     timestamps are made relative to. *)
 val epoch_ns : unit -> int
 
-(** Append an event (no-op when disabled; the hooks check first). *)
+(** Append an event (no-op when disabled; the hooks check first). The
+    event is also offered to the installed {!set_tap} observer before
+    it reaches the buffer. *)
 val record : event -> unit
 
 (** All events recorded since {!enable}, in emission order. Spans are
     emitted when they close, so a parent appears after its children. *)
 val events : unit -> event list
 
+(** Install an observer called with every {!record}ed event — how
+    [Wet_pulse.Ring] sees span and instant events without the sink
+    growing a dependency on it. At most one tap is installed; a new
+    {!set_tap} replaces the previous one. *)
+val set_tap : (event -> unit) -> unit
+
+val clear_tap : unit -> unit
+
 (** Emit a heartbeat every N statement executions inside
     {!Wet_interp.Interp.run} (0, the default, turns the heartbeat off).
     Read once per run, so set it before calling the interpreter. *)
 val heartbeat_every : int ref
+
+(** [tick ()] invokes the {!set_on_tick} callback when the sink is
+    enabled — the pipeline's progress pulse. The interpreter calls it
+    at every heartbeat and [Builder.Sink] at every shard boundary;
+    [Wet_pulse.Reporter] rate-limits and renders. Costs one flag read
+    when disabled, one option match when no callback is installed. *)
+val tick : unit -> unit
+
+val set_on_tick : (unit -> unit) -> unit
+val clear_on_tick : unit -> unit

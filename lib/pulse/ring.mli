@@ -1,0 +1,55 @@
+(** The bounded process flight recorder.
+
+    Unlike {!Wet_obs.Sink}'s event buffer — which grows without bound
+    for end-of-run export — this ring keeps the last [capacity] events
+    and {e counts} what falls out of the window, so a long-lived
+    process (the future [wet_cli serve] daemon) can stay armed forever
+    in bounded memory and still account for every event it saw.
+
+    Two producers feed it through taps installed by {!install}: the
+    span sink (every span close and instant, via
+    {!Wet_obs.Sink.set_tap}) and the tracer driver (every
+    flight-recorded watch match, via {!Wet_watch.Watch.set_tap}).
+    {!push} is protected by a [Mutex.t], so producers on different
+    domains can share one ring.
+
+    Pushes and drops also mirror into the process metric view as the
+    counters ["pulse.ring.pushed"] / ["pulse.ring.dropped"]. *)
+
+type entry =
+  | Span of Wet_obs.Sink.event  (** a span close or instant event *)
+  | Watch of Wet_watch.Event.t * int
+      (** a flight-recorded watch match with its monotonic wall stamp *)
+
+type stats = {
+  total : int;  (** events pushed over the ring's lifetime *)
+  dropped : int;  (** events that fell out of the bounded window *)
+  retained : int;  (** events currently held: [min total capacity] *)
+  capacity : int;
+}
+
+type t
+
+(** [create ?capacity ()] — default capacity 4096 entries.
+    @raise Wet_error.Error ([Obs] stage) when the capacity is not
+    positive. *)
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** Append one entry, overwriting (and counting as dropped) the oldest
+    when full. Thread-safe. *)
+val push : t -> entry -> unit
+
+val stats : t -> stats
+
+(** The retained window, oldest to newest, with the stats at the same
+    instant. Thread-safe. *)
+val snapshot : t -> entry list * stats
+
+(** Install this ring as the tap of both the span sink and the watch
+    dispatcher. Replaces any previously installed taps. *)
+val install : t -> unit
+
+(** Remove both taps (whichever ring installed them). *)
+val uninstall : unit -> unit

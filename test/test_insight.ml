@@ -353,6 +353,8 @@ let sample ?(workload = "w") ?(build = 100.) ?(sps = 1000.) ?(bpl1 = 4.)
     build_peak_words = peak;
     wet_words = 0;
     shards = 0;
+    stream_p50_ms = 0.;
+    stream_progress_p50_ms = 0.;
   }
 
 let run_of samples =

@@ -214,8 +214,11 @@ let test_counter_gauge () =
 let test_kind_mismatch () =
   let _ = Obs.counter "t.kind" in
   Alcotest.check_raises "re-interning as gauge rejected"
-    (Invalid_argument
-       "Wet_obs.Metrics: t.kind already registered as a counter")
+    (Wet_error.Error
+       {
+         Wet_error.stage = Wet_error.Obs;
+         msg = "Wet_obs.Metrics: t.kind already registered as a counter";
+       })
     (fun () -> ignore (Obs.gauge "t.kind"))
 
 let test_bucket_of () =
@@ -325,6 +328,8 @@ let test_chrome_trace_valid () =
           Span.with_ "phase.b" ~attrs:[ ("s", Span.Str "x\"y\\z") ]
             (fun () -> ()));
       let doc = parse_json (Export.chrome_trace ()) in
+      Alcotest.(check (option string)) "schema version" (Some Export.schema)
+        (str_mem "schema" doc);
       Alcotest.(check (option string)) "displayTimeUnit" (Some "ms")
         (str_mem "displayTimeUnit" doc);
       match mem "traceEvents" doc with
@@ -358,9 +363,17 @@ let test_metrics_jsonl_valid () =
         String.split_on_char '\n' (Export.metrics_jsonl ())
         |> List.filter (fun l -> l <> "")
       in
+      let header, rest =
+        match lines with
+        | h :: rest -> (h, rest)
+        | [] -> Alcotest.fail "empty export"
+      in
+      Alcotest.(check (option string)) "schema header line"
+        (Some Export.schema)
+        (str_mem "schema" (parse_json header));
       Alcotest.(check bool) "one line per instrument" true
-        (List.length lines >= 3);
-      let parsed = List.map parse_json lines in
+        (List.length rest >= 3);
+      let parsed = List.map parse_json rest in
       List.iter
         (fun j ->
           Alcotest.(check bool) "typed and named" true
