@@ -746,10 +746,16 @@ let repeat = ref 3
 
 let warmup = ref 1
 
-let out_file = ref "BENCH_PR6.json"
+let out_file = ref "BENCH_PR7.json"
 
 module Bench = Wet_insight.Bench
 module Explain = Wet_watch.Explain
+module Qprof = Wet_qprof.Qprof
+module Qlog = Wet_qprof.Qlog
+
+(* The sweep is 4 queries (cf fwd, cf bwd, load values, addresses); the
+   per-query table columns divide by this. *)
+let sweep_queries = 4
 
 (* The fixed query sweep every observatory sample times: both directions
    of control flow, load values and addresses, all on the tier-2 WET —
@@ -862,6 +868,28 @@ let observatory () =
             (fun a (s : Explain.stream_stats) -> a + s.Explain.e_switches)
             0 er.Explain.r_streams
         in
+        (* exact decode cost of one sweep, attributed by wet_qprof. By
+           this point the sweep has run several times, so the cursor
+           start state is the sweep's own fixed point and the figures
+           are deterministic run to run. *)
+        let _, prof =
+          Qprof.profiled
+            ~params:[ ("workload", w.Spec.name) ]
+            "bench/sweep"
+            (fun () -> query_sweep w2)
+        in
+        (* qlog overhead: the same sweep inside a profiling context with
+           a qlog line appended, vs the plain walls already sampled *)
+        let qlog_ms =
+          sampled (fun () ->
+              let _, p = Qprof.profiled "bench/sweep" (fun () -> query_sweep w2) in
+              Qlog.append "/dev/null" p)
+        in
+        let query_p50 = Bench.percentile 0.5 query_ms in
+        let qlog_overhead_frac =
+          if query_p50 <= 0. then 0.
+          else (Bench.percentile 0.5 qlog_ms -. query_p50) /. query_p50
+        in
         let build_p50 = Bench.percentile 0.5 build_ms in
         let per_label b = b.Sizes.total_bytes /. float_of_int stmts in
         {
@@ -884,6 +912,9 @@ let observatory () =
           shards;
           stream_p50_ms = Bench.percentile 0.5 stream_ms;
           stream_progress_p50_ms = Bench.percentile 0.5 stream_progress_ms;
+          query_decode_steps = Qprof.decode_steps prof.Qprof.p_total;
+          query_bits_touched = prof.Qprof.p_total.Qprof.c_bits;
+          qlog_overhead_frac;
         })
       Spec.all
   in
@@ -906,7 +937,7 @@ let observatory () =
     ~header:
       [ "Workload"; "Stmts"; "Stmts/s"; "B/label T2"; "Ratio T2";
         "Build p50 (ms)"; "Query p50 (ms)"; "Steps"; "Peak (Mw)"; "Shards";
-        "Stream p50 (ms)"; "Reporter +%" ]
+        "Stream p50 (ms)"; "Reporter +%"; "Decode/q"; "Bits/q"; "Qlog +%" ]
     (List.map
        (fun (s : Bench.sample) ->
          let overhead_pct =
@@ -928,6 +959,9 @@ let observatory () =
            Table.i s.Bench.shards;
            Table.f2 s.Bench.stream_p50_ms;
            Printf.sprintf "%+.1f" overhead_pct;
+           Table.i (s.Bench.query_decode_steps / sweep_queries);
+           Table.i (s.Bench.query_bits_touched / sweep_queries);
+           Printf.sprintf "%+.1f" (100. *. s.Bench.qlog_overhead_frac);
          ])
        samples)
 

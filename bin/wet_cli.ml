@@ -20,6 +20,7 @@ module Insight_report = Wet_insight.Report
 module Insight_json = Wet_insight.Json
 module Bench_obs = Wet_insight.Bench
 module Metric_docs = Wet_insight.Metric_docs
+module Obs_diff = Wet_insight.Obs_diff
 module Pulse_ring = Wet_pulse.Ring
 module Pulse_reporter = Wet_pulse.Reporter
 
@@ -274,6 +275,172 @@ let with_explain explain f =
     r
   end
 
+(* ---------------- query profiling (--analyze / --qlog-out) ------- *)
+
+module Qprof = Wet_qprof.Qprof
+module Qlog = Wet_qprof.Qlog
+
+let analyze_arg =
+  let doc =
+    "Profile the command's query: report estimated vs. actual cursor \
+     steps per stream class, the exact cost vector (wall, decode steps, \
+     direction switches, dictionary hit rate, stored bits touched, \
+     allocation) and advisory hints."
+  in
+  Arg.(value & flag & info [ "analyze" ] ~doc)
+
+let qlog_out_arg =
+  let doc =
+    "Append the profiled query to $(docv) as one wet-qlog/1 JSONL line \
+     (aggregate with `wet qlog report`)."
+  in
+  Arg.(value & opt (some string) None & info [ "qlog-out" ] ~docv:"FILE" ~doc)
+
+type qprof_opts = { q_analyze : bool; q_qlog : string option }
+
+let qprof_term =
+  Term.(
+    const (fun a q -> { q_analyze = a; q_qlog = q })
+    $ analyze_arg $ qlog_out_arg)
+
+let ns_ms ns = float_of_int ns /. 1e6
+
+let print_analyze wet (p : Qprof.profile) =
+  let c = p.Qprof.p_total in
+  (* Estimated vs actual steps, per stream class. [Query.estimate] is
+     the planner's prediction from WET structure alone; "actual" is the
+     armed Explain recording's fwd + bwd + seek distance, the same unit
+     the estimate is stated in. *)
+  let ests = Query.estimate wet p.Qprof.p_shape in
+  let actual kind =
+    List.fold_left
+      (fun acc (s : Explain.stream_stats) ->
+        if Explain.stream_kind s.Explain.e_stream = kind then
+          acc + Explain.steps s
+        else acc)
+      0 p.Qprof.p_streams
+  in
+  let kinds =
+    let touched =
+      List.map
+        (fun (s : Explain.stream_stats) -> Explain.stream_kind s.Explain.e_stream)
+        p.Qprof.p_streams
+    in
+    List.fold_left
+      (fun acc k -> if List.mem k acc then acc else acc @ [ k ])
+      (List.map (fun e -> e.Query.est_kind) ests)
+      touched
+  in
+  if kinds = [] then
+    print_endline
+      "analyze: no label streams touched (answered from in-memory arrays)"
+  else begin
+    let rows =
+      List.map
+        (fun k ->
+          let est = List.find_opt (fun e -> e.Query.est_kind = k) ests in
+          [
+            k;
+            (match est with
+             | Some e -> string_of_int e.Query.est_steps
+             | None -> "-");
+            string_of_int (actual k);
+            (match est with
+             | Some e when e.Query.est_exact -> "exact"
+             | Some _ -> "bound"
+             | None -> "unplanned");
+          ])
+        kinds
+    in
+    Table.print
+      ~title:
+        (Printf.sprintf "Estimated vs actual cursor steps (%s)."
+           p.Qprof.p_shape)
+      ~align:Table.[ Left; Right; Right; Left ]
+      ~header:[ "Stream class"; "Estimated"; "Actual"; "Model" ]
+      rows
+  end;
+  let lookups = c.Qprof.c_hits + c.Qprof.c_misses in
+  let cost_rows =
+    [
+      [ "wall"; Printf.sprintf "%.3f ms" (ns_ms c.Qprof.c_wall_ns) ];
+      [
+        "decode steps";
+        Printf.sprintf "%d (fwd %d, bwd %d)" (Qprof.decode_steps c)
+          c.Qprof.c_fwd c.Qprof.c_bwd;
+      ];
+      [ "direction switches"; string_of_int c.Qprof.c_switches ];
+      [
+        "dictionary";
+        (if lookups = 0 then "no packed entries decoded"
+         else
+           Printf.sprintf "%d hits / %d misses (%.1f%% hit rate)"
+             c.Qprof.c_hits c.Qprof.c_misses
+             (100. *. float_of_int c.Qprof.c_hits /. float_of_int lookups));
+      ];
+      [
+        "stored bits touched";
+        Printf.sprintf "%d (%.1f KB)" c.Qprof.c_bits
+          (float_of_int c.Qprof.c_bits /. 8. /. 1024.);
+      ];
+      [
+        "allocation";
+        Printf.sprintf "%.2f Mwords"
+          (float_of_int c.Qprof.c_alloc_words /. 1e6);
+      ];
+    ]
+    @ (if c.Qprof.c_seq_input = 0 then []
+       else
+         [
+           [
+             "sequitur (build inside query)";
+             Printf.sprintf "%d appends, %d digram hits, %d rules"
+               c.Qprof.c_seq_input c.Qprof.c_seq_digram_hits
+               c.Qprof.c_seq_rules_created;
+           ];
+         ])
+    @ [
+        [
+          "streams touched";
+          (let entry_points =
+             List.fold_left
+               (fun acc q -> if List.mem q acc then acc else acc @ [ q ])
+               [] p.Qprof.p_queries
+           in
+           Printf.sprintf "%d (%s)"
+             (List.length p.Qprof.p_streams)
+             (if entry_points = [] then "no entry points recorded"
+              else String.concat ", " entry_points));
+        ];
+      ]
+  in
+  Table.print
+    ~title:(Printf.sprintf "Query cost (%s)." p.Qprof.p_outcome)
+    ~align:Table.[ Left; Left ]
+    ~header:[ "Cost"; "Value" ]
+    cost_rows;
+  List.iter (fun h -> Printf.printf "hint: %s\n" h) (Qprof.hints p)
+
+(* Wrap the query part of a command (not the build: [with_wet] has
+   already produced the WET when this runs) in a profiling context. The
+   sink is enabled so the per-query [qprof.*] instruments land in the
+   process registry and export via --metrics-out. *)
+let with_qprof q ~shape ?(params = []) wet f =
+  if (not q.q_analyze) && q.q_qlog = None then f ()
+  else begin
+    Wet_obs.Sink.enable ();
+    let res, prof = Qprof.run ~params shape f in
+    (match q.q_qlog with
+     | None -> ()
+     | Some path -> (
+       try Qlog.append path prof
+       with Sys_error m ->
+         Printf.eprintf "error: cannot write qlog: %s\n" m;
+         exit 2));
+    if q.q_analyze then print_analyze wet prof;
+    match res with Ok v -> v | Error e -> raise e
+  end
+
 (* ---------------- arguments ---------------- *)
 
 let program_arg =
@@ -408,10 +575,20 @@ let limit_arg =
   Arg.(value & opt int 50 & info [ "limit" ] ~docv:"N" ~doc)
 
 let trace_cmd =
-  let action obs (batch, shard_events) explain prog scale input kind limit =
+  let action obs (batch, shard_events) explain qp prog scale input kind limit =
     with_obs obs @@ fun () ->
     with_explain explain @@ fun () ->
     with_wet ~batch ?shard_events prog scale input (fun wet _ ->
+        let shape =
+          match kind with
+          | `Cf -> "trace/cf"
+          | `Values -> "trace/values"
+          | `Addresses -> "trace/addresses"
+        in
+        with_qprof qp ~shape
+          ~params:[ ("limit", string_of_int limit) ]
+          wet
+        @@ fun () ->
         let printed = ref 0 in
         let emit fmt =
           Printf.ksprintf
@@ -440,8 +617,8 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"Extract a control-flow, load-value or address trace from the WET.")
     Term.(
-      ret (const action $ obs_term $ stream_term $ explain_arg $ program_arg
-           $ scale_arg $ input_arg $ trace_kind $ limit_arg))
+      ret (const action $ obs_term $ stream_term $ explain_arg $ qprof_term
+           $ program_arg $ scale_arg $ input_arg $ trace_kind $ limit_arg))
 
 (* ---------------- slice ---------------- *)
 
@@ -453,10 +630,18 @@ let slice_cmd =
     in
     Arg.(value & opt (some int) None & info [ "output" ] ~docv:"K" ~doc)
   in
-  let action obs (batch, shard_events) explain prog scale input k =
+  let action obs (batch, shard_events) explain qp prog scale input k =
     with_obs obs @@ fun () ->
     with_explain explain @@ fun () ->
     with_wet ~batch ?shard_events prog scale input (fun wet _ ->
+        with_qprof qp ~shape:"slice/backward"
+          ~params:
+            [
+              ( "output",
+                match k with Some k -> string_of_int k | None -> "last" );
+            ]
+          wet
+        @@ fun () ->
         (* enumerate output instances in execution order *)
         let outs =
           Query.copies_matching wet (function
@@ -500,8 +685,8 @@ let slice_cmd =
   Cmd.v
     (Cmd.info "slice" ~doc:"Compute a backward WET slice of an output value.")
     Term.(
-      ret (const action $ obs_term $ stream_term $ explain_arg $ program_arg
-           $ scale_arg $ input_arg $ output_arg))
+      ret (const action $ obs_term $ stream_term $ explain_arg $ qprof_term
+           $ program_arg $ scale_arg $ input_arg $ output_arg))
 
 (* ---------------- paths ---------------- *)
 
@@ -510,9 +695,13 @@ let paths_cmd =
     let doc = "Show the N hottest paths." in
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
   in
-  let action obs (batch, shard_events) prog scale input top =
+  let action obs (batch, shard_events) qp prog scale input top =
     with_obs obs @@ fun () ->
     with_wet ~batch ?shard_events prog scale input (fun wet _ ->
+        with_qprof qp ~shape:"paths"
+          ~params:[ ("top", string_of_int top) ]
+          wet
+        @@ fun () ->
         let nodes = Array.copy wet.W.nodes in
         Array.sort (fun a b -> compare b.W.n_nexec a.W.n_nexec) nodes;
         let rows = ref [] in
@@ -537,8 +726,8 @@ let paths_cmd =
   Cmd.v
     (Cmd.info "paths" ~doc:"Profile Ball-Larus paths (hot path mining).")
     Term.(
-      ret (const action $ obs_term $ stream_term $ program_arg $ scale_arg
-           $ input_arg $ top_arg))
+      ret (const action $ obs_term $ stream_term $ qprof_term $ program_arg
+           $ scale_arg $ input_arg $ top_arg))
 
 (* ---------------- build (persist a WET) ---------------- *)
 
@@ -621,12 +810,16 @@ let at_cmd =
     let doc = "Global timestamp to inspect (default: the midpoint)." in
     Arg.(value & opt (some int) None & info [ "ts" ] ~docv:"T" ~doc)
   in
-  let action obs (batch, shard_events) explain prog scale input ts =
+  let action obs (batch, shard_events) explain qp prog scale input ts =
     with_obs obs @@ fun () ->
     with_explain explain @@ fun () ->
     with_wet ~batch ?shard_events prog scale input (fun wet _ ->
         let total = wet.W.stats.W.path_execs in
         let ts = Option.value ts ~default:(max 1 (total / 2)) in
+        with_qprof qp ~shape:"at"
+          ~params:[ ("ts", string_of_int ts) ]
+          wet
+        @@ fun () ->
         match Query.locate_time wet ts with
         | None ->
           Printf.printf "timestamp %d out of range [1,%d]\n" ts total
@@ -665,8 +858,8 @@ let at_cmd =
        ~doc:"Inspect an arbitrary execution point: location, control flow \
              and reconstructed global state.")
     Term.(
-      ret (const action $ obs_term $ stream_term $ explain_arg $ program_arg
-           $ scale_arg $ input_arg $ ts_arg))
+      ret (const action $ obs_term $ stream_term $ explain_arg $ qprof_term
+           $ program_arg $ scale_arg $ input_arg $ ts_arg))
 
 (* ---------------- dot ---------------- *)
 
@@ -737,60 +930,77 @@ let profile_cmd =
   in
   let opt_program_arg =
     let doc =
-      "MiniC source file or bundled benchmark name (not needed with \
-       --list-metrics)."
+      "MiniC source file or bundled benchmark name. With --list-metrics, \
+       an optional instrument-name prefix instead (e.g. `wet profile \
+       --list-metrics qprof`)."
     in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
   in
   let list_metrics_arg =
     let doc =
       "List every instrument the pipeline registers with the \
-       observability sink, with one-line descriptions, and exit."
+       observability sink, with one-line descriptions, and exit. A \
+       positional argument filters by name prefix."
     in
     Arg.(value & flag & info [ "list-metrics" ] ~doc)
   in
   (* All library modules are linked into this binary, so their top-level
      instrument registrations have already run: the live registry is
      complete without executing anything. *)
-  let list_metrics () =
+  let list_metrics prefix =
+    let keep name =
+      match prefix with
+      | None -> true
+      | Some p -> String.starts_with ~prefix:p name
+    in
     let kind_of = function
       | Wet_obs.Metrics.Counter _ -> "counter"
       | Wet_obs.Metrics.Gauge _ -> "gauge"
       | Wet_obs.Metrics.Histogram _ -> "histogram"
     in
     let rows =
-      List.map
+      List.filter_map
         (fun (name, reading) ->
-          [
-            name;
-            kind_of reading;
-            Option.value (Metric_docs.lookup name)
-              ~default:"UNDOCUMENTED (add to Metric_docs.docs)";
-          ])
+          if not (keep name) then None
+          else
+            Some
+              [
+                name;
+                kind_of reading;
+                Option.value (Metric_docs.lookup name)
+                  ~default:"UNDOCUMENTED (add to Metric_docs.docs)";
+              ])
         (Wet_obs.Metrics.snapshot ())
     in
-    Table.print ~title:"Registered instruments."
-      ~align:Table.[ Left; Left; Left ]
-      ~header:[ "Name"; "Kind"; "Description" ]
-      rows;
     let families =
       List.filter_map
         (fun (name, kind, desc) ->
-          if String.contains name '<' then
+          if String.contains name '<' && keep name then
             Some [ name; Metric_docs.kind_name kind; desc ]
           else None)
         Metric_docs.docs
     in
-    Table.print
-      ~title:"Dynamically registered families (appear once instantiated)."
-      ~align:Table.[ Left; Left; Left ]
-      ~header:[ "Pattern"; "Kind"; "Description" ]
-      families;
+    if rows = [] && families = [] then
+      Printf.printf "no registered instrument matches prefix '%s'\n"
+        (Option.value prefix ~default:"")
+    else begin
+      if rows <> [] then
+        Table.print ~title:"Registered instruments."
+          ~align:Table.[ Left; Left; Left ]
+          ~header:[ "Name"; "Kind"; "Description" ]
+          rows;
+      if families <> [] then
+        Table.print
+          ~title:"Dynamically registered families (appear once instantiated)."
+          ~align:Table.[ Left; Left; Left ]
+          ~header:[ "Pattern"; "Kind"; "Description" ]
+          families
+    end;
     `Ok ()
   in
   let action obs prog scale input optimize heartbeat list_metrics_flag =
     with_obs obs @@ fun () ->
-    if list_metrics_flag then list_metrics ()
+    if list_metrics_flag then list_metrics prog
     else
     match prog with
     | None ->
@@ -1582,58 +1792,56 @@ let obs_diff_cmd =
     | Ok fa, Ok fb ->
       note_schema a fa.mf_schema;
       note_schema b fb.mf_schema;
-      let changed =
-        List.filter_map
-          (fun (name, ja) ->
-            match List.assoc_opt name fb.mf_instruments with
-            | None -> None
-            | Some jb ->
-              let va = hotness ja and vb = hotness jb in
-              if va = vb then None
-              else
-                let rel =
-                  float_of_int (vb - va)
-                  /. float_of_int (max 1 (abs va))
-                in
-                Some (abs_float rel, rel, name, jstr "type" ja, va, vb))
-          fa.mf_instruments
-        |> List.sort (fun x y -> compare y x)
+      let insts mf =
+        List.map
+          (fun (name, j) ->
+            {
+              Obs_diff.i_name = name;
+              Obs_diff.i_kind = jstr "type" j;
+              Obs_diff.i_value = hotness j;
+            })
+          mf.mf_instruments
       in
-      let only_in tag f g =
-        let extra =
-          List.filter
-            (fun (n, _) -> not (List.mem_assoc n g.mf_instruments))
-            f.mf_instruments
-        in
-        if extra <> [] then
-          Printf.printf "only in %s: %s\n" tag
-            (String.concat ", " (List.map fst extra))
+      let d = Obs_diff.diff (insts fa) (insts fb) in
+      let only_in tag = function
+        | [] -> ()
+        | names ->
+          Printf.printf "only in %s: %s\n" tag (String.concat ", " names)
       in
-      if changed = [] then
-        Printf.printf "obs diff: no instrument changed between %s and %s\n" a
-          b
+      (* Zero overlap is its own verdict: the exports describe disjoint
+         instrument sets (different pipelines, different schema eras), so
+         "nothing changed" would be actively misleading. Still exit 0 —
+         an empty comparison is an answer, not an error. *)
+      if d.Obs_diff.d_overlap = 0 then
+        Printf.printf
+          "obs diff: %s and %s share no instrument — nothing to compare\n" a b
+      else if d.Obs_diff.d_changed = [] then
+        Printf.printf
+          "obs diff: no instrument changed between %s and %s (%d compared)\n"
+          a b d.Obs_diff.d_overlap
       else begin
         let rows =
-          List.filteri (fun i _ -> i < top) changed
-          |> List.map (fun (_, rel, name, kind, va, vb) ->
+          List.filteri (fun i _ -> i < top) d.Obs_diff.d_changed
+          |> List.map (fun (r : Obs_diff.row) ->
                [
-                 name;
-                 kind;
-                 string_of_int va;
-                 string_of_int vb;
-                 Printf.sprintf "%+.1f%%" (100. *. rel);
+                 r.Obs_diff.d_name;
+                 r.Obs_diff.d_kind;
+                 string_of_int r.Obs_diff.d_a;
+                 string_of_int r.Obs_diff.d_b;
+                 Printf.sprintf "%+.1f%%" (100. *. r.Obs_diff.d_rel);
                ])
         in
         Table.print
           ~title:
             (Printf.sprintf "obs diff: %s vs %s (%d of %d changed)." a b
-               (List.length rows) (List.length changed))
+               (List.length rows)
+               (List.length d.Obs_diff.d_changed))
           ~align:Table.[ Left; Left; Right; Right; Right ]
           ~header:[ "Instrument"; "Kind"; "A"; "B"; "Delta" ]
           rows
       end;
-      only_in a fa fb;
-      only_in b fb fa;
+      only_in a d.Obs_diff.d_only_a;
+      only_in b d.Obs_diff.d_only_b;
       `Ok ()
   in
   Cmd.v
@@ -1651,6 +1859,130 @@ let obs_cmd =
          "Inspect observability exports: end-of-run reports and A/B \
           diffs of metrics dumps.")
     [ obs_report_cmd; obs_diff_cmd ]
+
+(* ---------------- qlog (structured query log) ---------------- *)
+
+let qlog_file_pos p =
+  let doc = "A wet-qlog/1 JSONL file written by --qlog-out." in
+  Arg.(required & pos p (some string) None & info [] ~docv:"QLOG" ~doc)
+
+let qlog_report_cmd =
+  let top_arg =
+    let doc = "Show the N hottest shapes." in
+    Arg.(value & opt int 15 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let action file top =
+    match Qlog.load file with
+    | Error m -> `Error (false, m)
+    | Ok [] ->
+      Printf.printf "%s: empty query log\n" file;
+      `Ok ()
+    | Ok entries ->
+      let sums = Qlog.summarize entries in
+      let wall_total =
+        List.fold_left
+          (fun acc (s : Qlog.shape_summary) -> acc + s.Qlog.s_wall_total_ns)
+          0 sums
+      in
+      let rows =
+        List.filteri (fun i _ -> i < top) sums
+        |> List.map (fun (s : Qlog.shape_summary) ->
+             let c = s.Qlog.s_cost in
+             [
+               s.Qlog.s_shape;
+               string_of_int s.Qlog.s_count;
+               string_of_int s.Qlog.s_errors;
+               Printf.sprintf "%.2f" (ns_ms s.Qlog.s_wall_total_ns);
+               Printf.sprintf "%.1f%%"
+                 (if wall_total = 0 then 0.
+                  else
+                    100.
+                    *. float_of_int s.Qlog.s_wall_total_ns
+                    /. float_of_int wall_total);
+               Printf.sprintf "%.3f" (s.Qlog.s_wall_p50_ns /. 1e6);
+               Printf.sprintf "%.3f" (s.Qlog.s_wall_p95_ns /. 1e6);
+               string_of_int (Qprof.decode_steps c);
+               string_of_int c.Qprof.c_bits;
+               string_of_int c.Qprof.c_switches;
+             ])
+      in
+      Table.print
+        ~title:
+          (Printf.sprintf "Hottest query shapes (%s: %d queries, %d shapes)."
+             file (List.length entries) (List.length sums))
+        ~align:
+          Table.[
+            Left; Right; Right; Right; Right; Right; Right; Right; Right;
+            Right;
+          ]
+        ~header:
+          [
+            "Shape"; "Queries"; "Err"; "Wall ms"; "Share"; "p50 ms";
+            "p95 ms"; "Decode"; "Bits"; "Switches";
+          ]
+        rows;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate a query log: hottest shapes first with query counts, \
+          p50/p95 latency and summed cost attribution (decode steps, \
+          stored bits, direction switches).")
+    Term.(ret (const action $ qlog_file_pos 0 $ top_arg))
+
+let qlog_top_cmd =
+  let n_arg =
+    let doc = "How many queries to show." in
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc)
+  in
+  let action n file =
+    match Qlog.load file with
+    | Error m -> `Error (false, m)
+    | Ok entries ->
+      let slowest =
+        List.sort
+          (fun (a : Qlog.entry) (b : Qlog.entry) ->
+            compare b.Qlog.e_cost.Qprof.c_wall_ns a.Qlog.e_cost.Qprof.c_wall_ns)
+          entries
+      in
+      let rows =
+        List.filteri (fun i _ -> i < n) slowest
+        |> List.map (fun (e : Qlog.entry) ->
+             [
+               e.Qlog.e_shape;
+               String.concat " "
+                 (List.map (fun (k, v) -> k ^ "=" ^ v) e.Qlog.e_params);
+               Printf.sprintf "%.3f" (ns_ms e.Qlog.e_cost.Qprof.c_wall_ns);
+               string_of_int (Qprof.decode_steps e.Qlog.e_cost);
+               string_of_int e.Qlog.e_cost.Qprof.c_bits;
+               e.Qlog.e_outcome;
+             ])
+      in
+      if rows = [] then Printf.printf "%s: empty query log\n" file
+      else
+        Table.print
+          ~title:
+            (Printf.sprintf "Slowest queries (%s, %d of %d)." file
+               (List.length rows) (List.length entries))
+          ~align:Table.[ Left; Left; Right; Right; Right; Left ]
+          ~header:[ "Shape"; "Params"; "Wall ms"; "Decode"; "Bits"; "Outcome" ]
+          rows;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Show the N slowest individual queries in a query log.")
+    Term.(ret (const action $ n_arg $ qlog_file_pos 1))
+
+let qlog_cmd =
+  Cmd.group
+    (Cmd.info "qlog"
+       ~doc:
+         "Inspect structured query logs (wet-qlog/1 JSONL written by \
+          --qlog-out): per-shape latency/cost reports and slowest-query \
+          listings.")
+    [ qlog_report_cmd; qlog_top_cmd ]
 
 (* ---------------- benchmarks ---------------- *)
 
@@ -1684,7 +2016,7 @@ let () =
          [
            run_cmd; stats_cmd; trace_cmd; slice_cmd; paths_cmd; at_cmd;
            watch_cmd; build_cmd; verify_cmd; fsck_cmd; dot_cmd; profile_cmd;
-           obs_cmd; bench_check_cmd; benchmarks_cmd;
+           obs_cmd; qlog_cmd; bench_check_cmd; benchmarks_cmd;
          ])
   in
   (* usage errors — unknown flags, missing arguments, bad --inject specs —

@@ -204,14 +204,20 @@ let push_fr t pos x =
 
 let internal_step_forward t =
   let reveal = t.w + t.ctx in
+  (* The hit flag of the entry being decoded, read before [pop_bl]
+     (the pop rewrites the slot's payload; [push_fr] reclassifies it). *)
+  let hit = Bitvec.get t.hit reveal in
   let x = pop_bl t reveal in
   let leaving = t.p.(t.w) in
   t.p.(reveal) <- x;
   push_fr t t.w leaving;
   t.w <- t.w + 1;
   t.tfwd <- t.tfwd + 1;
-  if t.tlast = 2 then t.tswitch <- t.tswitch + 1;
+  let switched = t.tlast = 2 in
+  if switched then t.tswitch <- t.tswitch + 1;
   t.tlast <- 1;
+  Telemetry.note_packed ~fwd:true ~switched ~hit
+    ~payload_bits:(if hit then hit_bits t else 32);
   x
 
 (* A backward step reveals the value at index [w-1], which is already the
@@ -219,6 +225,7 @@ let internal_step_forward t =
    at [w-1] is popped to refill the window from the left. *)
 let internal_step_backward t =
   let refill = t.w - 1 in
+  let hit = Bitvec.get t.hit refill in
   let x = pop_fr t refill in
   let leaving = t.p.(t.w + t.ctx - 1) in
   (* The refill value must be in place before [push_bl] reads the new
@@ -227,8 +234,11 @@ let internal_step_backward t =
   push_bl t (t.w + t.ctx - 1) leaving;
   t.w <- t.w - 1;
   t.tbwd <- t.tbwd + 1;
-  if t.tlast = 1 then t.tswitch <- t.tswitch + 1;
+  let switched = t.tlast = 1 in
+  if switched then t.tswitch <- t.tswitch + 1;
   t.tlast <- 2;
+  Telemetry.note_packed ~fwd:false ~switched ~hit
+    ~payload_bits:(if hit then hit_bits t else 32);
   leaving
 
 let compress meth ~ctx values =
@@ -260,7 +270,10 @@ let compress meth ~ctx values =
   in
   (* Build the all-FR state left to right (each value compressed with
      its still-raw right context), then walk the cursor back to the left
-     end, which moves everything into BL with consistent tables. *)
+     end, which moves everything into BL with consistent tables. The
+     walk is construction, not traversal: both the per-stream counters
+     and the process globals are restored afterwards. *)
+  let g = Telemetry.snapshot () in
   for j = 0 to m + ctx - 1 do
     push_fr t j t.p.(j)
   done;
@@ -271,6 +284,7 @@ let compress meth ~ctx values =
   t.tbwd <- 0;
   t.tswitch <- 0;
   t.tlast <- 0;
+  Telemetry.restore g;
   t
 
 let length t = t.m
@@ -289,22 +303,26 @@ let step_backward t =
    moving the cursor, so they must not show up as traversal either. *)
 let peek_forward t =
   let f, b, s, l = (t.tfwd, t.tbwd, t.tswitch, t.tlast) in
+  let g = Telemetry.snapshot () in
   let x = step_forward t in
   ignore (internal_step_backward t);
   t.tfwd <- f;
   t.tbwd <- b;
   t.tswitch <- s;
   t.tlast <- l;
+  Telemetry.restore g;
   x
 
 let peek_backward t =
   let f, b, s, l = (t.tfwd, t.tbwd, t.tswitch, t.tlast) in
+  let g = Telemetry.snapshot () in
   let x = step_backward t in
   ignore (internal_step_forward t);
   t.tfwd <- f;
   t.tbwd <- b;
   t.tswitch <- s;
   t.tlast <- l;
+  Telemetry.restore g;
   x
 
 let seek t k =

@@ -77,8 +77,10 @@ let step_forward = function
     let x = r.data.(r.pos) in
     r.pos <- r.pos + 1;
     r.rfwd <- r.rfwd + 1;
-    if r.rlast = 2 then r.rswitch <- r.rswitch + 1;
+    let switched = r.rlast = 2 in
+    if switched then r.rswitch <- r.rswitch + 1;
     r.rlast <- 1;
+    Telemetry.note_raw ~fwd:true ~switched;
     x
   | Packed b -> Bidir.step_forward b
 
@@ -87,8 +89,10 @@ let step_backward = function
     if r.pos <= 0 then invalid_arg "Stream.step_backward: at left end";
     r.pos <- r.pos - 1;
     r.rbwd <- r.rbwd + 1;
-    if r.rlast = 1 then r.rswitch <- r.rswitch + 1;
+    let switched = r.rlast = 1 in
+    if switched then r.rswitch <- r.rswitch + 1;
     r.rlast <- 2;
+    Telemetry.note_raw ~fwd:false ~switched;
     r.data.(r.pos)
   | Packed b -> Bidir.step_backward b
 

@@ -1,0 +1,85 @@
+(* Process-global decode counters, bumped by the same internal steps that
+   feed the per-stream counters in Bidir/Stream. Everything here is
+   monotone module state — never marshalled, never reset by
+   [reset_telemetry] — so a [before]/[after] snapshot pair brackets
+   exactly the decode work performed in between, no matter which streams
+   it landed on. Peeks and [Bidir.compress]'s construction walk restore
+   the globals just as they restore the per-stream counters. *)
+
+type snapshot = {
+  g_fwd : int;  (* forward cursor steps *)
+  g_bwd : int;  (* backward cursor steps *)
+  g_switches : int;  (* per-stream traversal direction reversals *)
+  g_hits : int;  (* dictionary hits decoded (packed streams only) *)
+  g_misses : int;  (* verbatim entries decoded (packed streams only) *)
+  g_bits : int;  (* stored bits touched: flag + payload, 32/raw value *)
+}
+
+let zero =
+  { g_fwd = 0; g_bwd = 0; g_switches = 0; g_hits = 0; g_misses = 0; g_bits = 0 }
+
+let c_fwd = ref 0
+let c_bwd = ref 0
+let c_switches = ref 0
+let c_hits = ref 0
+let c_misses = ref 0
+let c_bits = ref 0
+
+let snapshot () =
+  {
+    g_fwd = !c_fwd;
+    g_bwd = !c_bwd;
+    g_switches = !c_switches;
+    g_hits = !c_hits;
+    g_misses = !c_misses;
+    g_bits = !c_bits;
+  }
+
+let restore s =
+  c_fwd := s.g_fwd;
+  c_bwd := s.g_bwd;
+  c_switches := s.g_switches;
+  c_hits := s.g_hits;
+  c_misses := s.g_misses;
+  c_bits := s.g_bits
+
+let delta ~before ~after =
+  {
+    g_fwd = after.g_fwd - before.g_fwd;
+    g_bwd = after.g_bwd - before.g_bwd;
+    g_switches = after.g_switches - before.g_switches;
+    g_hits = after.g_hits - before.g_hits;
+    g_misses = after.g_misses - before.g_misses;
+    g_bits = after.g_bits - before.g_bits;
+  }
+
+let add a b =
+  {
+    g_fwd = a.g_fwd + b.g_fwd;
+    g_bwd = a.g_bwd + b.g_bwd;
+    g_switches = a.g_switches + b.g_switches;
+    g_hits = a.g_hits + b.g_hits;
+    g_misses = a.g_misses + b.g_misses;
+    g_bits = a.g_bits + b.g_bits;
+  }
+
+let steps s = s.g_fwd + s.g_bwd
+
+let nonneg s =
+  s.g_fwd >= 0 && s.g_bwd >= 0 && s.g_switches >= 0 && s.g_hits >= 0
+  && s.g_misses >= 0 && s.g_bits >= 0
+
+(* One packed-stream step: the revealed entry's flag bit plus its
+   payload. Hit/miss classification comes from the persisted hit bitvec
+   of the entry being decoded. *)
+let note_packed ~fwd ~switched ~hit ~payload_bits =
+  (if fwd then incr c_fwd else incr c_bwd);
+  if switched then incr c_switches;
+  (if hit then incr c_hits else incr c_misses);
+  c_bits := !c_bits + 1 + payload_bits
+
+(* One raw-stream step: a verbatim 32-bit value, no predictor. *)
+let note_raw ~fwd ~switched =
+  (if fwd then incr c_fwd else incr c_bwd);
+  if switched then incr c_switches;
+  c_bits := !c_bits + 32

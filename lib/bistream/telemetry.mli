@@ -1,0 +1,62 @@
+(** Process-global decode telemetry: the snapshot/delta substrate of
+    per-query cost attribution ([Wet_qprof]).
+
+    The per-stream counters in {!Stream.telemetry} answer "what happened
+    to this stream since its last reset"; a query profiler needs the
+    dual — "how much decode work happened in this window of time,
+    across every stream". These module-global counters are bumped by
+    the very same internal steps that feed the per-stream ones, so the
+    two views stay in lockstep: peeks (a step and its exact inverse) and
+    the construction walk inside [Bidir.compress] save and restore the
+    globals exactly as they do the per-stream counters, and raw-stream
+    seeks/random reads stay free in both.
+
+    Unlike per-stream counters the globals are monotone for the life of
+    the process: [Wet.rewind]'s [reset_telemetry] does not touch them
+    (they are never marshalled, so byte-determinism of saved containers
+    is unaffected). Consumers only ever look at the difference between
+    two {!snapshot}s, which makes deltas of disjoint windows sum exactly
+    to the delta of their union — the reconciliation property
+    [test_qprof] checks. *)
+
+type snapshot = {
+  g_fwd : int;  (** forward cursor steps *)
+  g_bwd : int;  (** backward cursor steps *)
+  g_switches : int;  (** traversal direction reversals (per stream) *)
+  g_hits : int;  (** dictionary-hit entries decoded (packed only) *)
+  g_misses : int;  (** verbatim entries decoded (packed only) *)
+  g_bits : int;
+      (** stored bits touched: flag + payload per packed entry, 32 per
+          raw value *)
+}
+
+val zero : snapshot
+
+(** Current value of the global counters. O(1), allocates one record. *)
+val snapshot : unit -> snapshot
+
+(** Field-wise [after - before]: the decode work between two moments. *)
+val delta : before:snapshot -> after:snapshot -> snapshot
+
+(** Field-wise sum (for aggregating deltas). *)
+val add : snapshot -> snapshot -> snapshot
+
+(** [g_fwd + g_bwd]. *)
+val steps : snapshot -> int
+
+(** All fields non-negative (true for any well-formed delta). *)
+val nonneg : snapshot -> bool
+
+(** Set the counters back to a snapshot. Used by [Bidir]'s peeks and
+    construction walk to keep the globals in lockstep with the
+    per-stream counters; not for general use. *)
+val restore : snapshot -> unit
+
+(**/**)
+
+(* Recording entry points for Bidir/Stream internal steps. *)
+
+val note_packed :
+  fwd:bool -> switched:bool -> hit:bool -> payload_bits:int -> unit
+
+val note_raw : fwd:bool -> switched:bool -> unit

@@ -235,6 +235,62 @@ let addresses (t : Wet.t) ~f =
   !count
 
 (* ------------------------------------------------------------------ *)
+(* Cost estimation (EXPLAIN side of EXPLAIN ANALYZE).                 *)
+(* ------------------------------------------------------------------ *)
+
+type class_estimate = {
+  est_kind : string;  (* Explain stream class: ts/uvals/pattern/label.* *)
+  est_steps : int;  (* predicted cursor steps (fwd + bwd + seek dist) *)
+  est_exact : bool;  (* model is exact, not a bound *)
+}
+
+let instances_matching t pred =
+  List.fold_left
+    (fun acc c -> acc + (Wet.node_of_copy t c).Wet.n_nexec)
+    0
+    (copies_matching t pred)
+
+(* Plan-time step predictions per query shape (the fingerprints the CLI
+   stamps on profiled queries). The control-flow walk is exact by
+   construction — each path execution reveals exactly one timestamp, and
+   peeks are free — so estimated and actual agree to the step on both
+   tiers. The value/address extractions depend on pattern-group layout
+   and cursor locality, so those are stated as per-instance lower
+   bounds; [at] and the slices depend on where the data lands and are
+   the loosest. Unknown shapes estimate nothing. *)
+let estimate (t : Wet.t) shape =
+  let execs = t.Wet.stats.Wet.path_execs in
+  match shape with
+  | "trace/cf" -> [ { est_kind = "ts"; est_steps = execs; est_exact = true } ]
+  | "trace/values" ->
+    let insts =
+      instances_matching t (function Instr.Load _ -> true | _ -> false)
+    in
+    [
+      { est_kind = "pattern"; est_steps = insts; est_exact = false };
+      { est_kind = "uvals"; est_steps = insts; est_exact = false };
+    ]
+  | "trace/addresses" ->
+    let insts = instances_matching t Instr.is_memory in
+    [
+      { est_kind = "label.dst"; est_steps = insts; est_exact = false };
+      { est_kind = "label.src"; est_steps = insts; est_exact = false };
+      { est_kind = "pattern"; est_steps = insts; est_exact = false };
+      { est_kind = "uvals"; est_steps = insts; est_exact = false };
+    ]
+  | "at" ->
+    (* locate_time probes node ts streams until the timestamp is found;
+       the reconstruct then walks forward from there. *)
+    [ { est_kind = "ts"; est_steps = execs; est_exact = false } ]
+  | "slice/backward" | "slice/forward" | "slice/chop" ->
+    let deps = t.Wet.stats.Wet.dep_instances in
+    [
+      { est_kind = "label.dst"; est_steps = deps; est_exact = false };
+      { est_kind = "label.src"; est_steps = deps; est_exact = false };
+    ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
 (* Fold wrappers over the callback extractions.                       *)
 (* ------------------------------------------------------------------ *)
 

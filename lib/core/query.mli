@@ -67,6 +67,26 @@ val fold_loads :
 val fold_addresses :
   Wet.t -> init:'a -> f:('a -> Wet.copy_id -> int -> 'a) -> 'a
 
+(** {1 Cost estimation} *)
+
+(** Plan-time step prediction for one Explain stream class. *)
+type class_estimate = {
+  est_kind : string;
+      (** Explain stream class: ["ts"], ["uvals"], ["pattern"],
+          ["label.src"], ["label.dst"] *)
+  est_steps : int;  (** predicted cursor steps (fwd + bwd + seek dist) *)
+  est_exact : bool;  (** the model is exact, not a bound *)
+}
+
+(** [estimate t shape] predicts, per stream class, how many cursor steps
+    the query shape [shape] (a [Wet_qprof] fingerprint such as
+    ["trace/cf"] or ["slice/backward"]) will pay on [t] — the estimated
+    side of the CLI's [--analyze] table. ["trace/cf"] is exact (one
+    timestamp revealed per path execution, peeks free); the value,
+    address, [at] and slice shapes are per-instance approximations.
+    Unknown shapes return [[]]. *)
+val estimate : Wet.t -> string -> class_estimate list
+
 (** {1 Structure lookups} *)
 
 (** All copies whose statement satisfies the predicate. *)

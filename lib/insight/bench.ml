@@ -18,6 +18,9 @@ type sample = {
   shards : int;
   stream_p50_ms : float;
   stream_progress_p50_ms : float;
+  query_decode_steps : int;
+  query_bits_touched : int;
+  qlog_overhead_frac : float;
 }
 
 type run = {
@@ -63,6 +66,9 @@ let sample_json s =
       ("shards", Json.Num (float_of_int s.shards));
       ("stream_p50_ms", Json.Num s.stream_p50_ms);
       ("stream_progress_p50_ms", Json.Num s.stream_progress_p50_ms);
+      ("query_decode_steps", Json.Num (float_of_int s.query_decode_steps));
+      ("query_bits_touched", Json.Num (float_of_int s.query_bits_touched));
+      ("qlog_overhead_frac", Json.Num s.qlog_overhead_frac);
     ]
 
 let to_json r =
@@ -105,6 +111,10 @@ let sample_of_json j =
   let opt_num k = Option.value (num k) ~default:0. in
   let stream_p50_ms = opt_num "stream_p50_ms" in
   let stream_progress_p50_ms = opt_num "stream_progress_p50_ms" in
+  (* Per-query cost columns arrived with wet_qprof; same rule. *)
+  let query_decode_steps = opt_int "query_decode_steps" in
+  let query_bits_touched = opt_int "query_bits_touched" in
+  let qlog_overhead_frac = opt_num "qlog_overhead_frac" in
   Ok
     {
       workload;
@@ -126,6 +136,9 @@ let sample_of_json j =
       shards;
       stream_p50_ms;
       stream_progress_p50_ms;
+      query_decode_steps;
+      query_bits_touched;
+      qlog_overhead_frac;
     }
 
 let of_json j =
@@ -219,6 +232,14 @@ let metrics =
     ("stream_p50_ms", (fun s -> s.stream_p50_ms), false, `Wall);
     ("stream_progress_p50_ms", (fun s -> s.stream_progress_p50_ms), false,
      `Wall);
+    (* Per-query decode work is deterministic (same sweep, same cursor
+       history every run), so it gates tightly; the qlog overhead
+       fraction is a ratio of two small walls — far too noisy to gate,
+       it is recorded for the table only. *)
+    ("query_decode_steps", (fun s -> float_of_int s.query_decode_steps),
+     false, `Size);
+    ("query_bits_touched", (fun s -> float_of_int s.query_bits_touched),
+     false, `Size);
   ]
 
 let check th ~prev ~cur =

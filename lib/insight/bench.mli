@@ -37,6 +37,14 @@ type sample = {
       (** same fused build with a live progress reporter armed; the
           difference against {!stream_p50_ms} is the reporter's
           overhead *)
+  query_decode_steps : int;
+      (** tier-2 decode steps the profiled query sweep pays
+          (deterministic; 0 = pre-qprof file) *)
+  query_bits_touched : int;
+      (** stored bits the profiled sweep touches (deterministic) *)
+  qlog_overhead_frac : float;
+      (** relative wall overhead of running the sweep under profiling
+          contexts with a qlog sink vs. plain — recorded, not gated *)
 }
 
 type run = {

@@ -71,6 +71,26 @@ let docs =
     ("explain.seek_distance", Counter, "total seek distance (explained)");
     ("explain.dir_switches", Counter, "direction reversals (explained)");
     ("explain.stream_steps", Histogram, "per-stream step cost (explained)");
+    (* per-query profiling (wet_qprof) *)
+    ("qprof.queries", Counter, "queries run under a profiling context");
+    ("qprof.fwd_steps", Counter, "forward decode steps (profiled, self)");
+    ("qprof.bwd_steps", Counter, "backward decode steps (profiled, self)");
+    ("qprof.dir_switches", Counter,
+     "traversal direction reversals (profiled, self)");
+    ("qprof.dict_hits", Counter,
+     "dictionary-hit entries decoded (profiled, self)");
+    ("qprof.dict_misses", Counter,
+     "verbatim entries decoded (profiled, self)");
+    ("qprof.bits_touched", Counter, "stored bits touched (profiled, self)");
+    ("qprof.seq_digram_hits", Counter,
+     "sequitur digram hits inside profiled contexts (self)");
+    ("qprof.seq_digram_misses", Counter,
+     "sequitur digram misses inside profiled contexts (self)");
+    ("qprof.alloc_words", Counter,
+     "words allocated by profiled queries (self)");
+    ("qprof.wall_ns", Histogram, "profiled query latency (ns)");
+    ("qprof.latency.<shape>", Histogram,
+     "latency by query-shape fingerprint (ns), e.g. trace/cf");
   ]
 
 (* Match a live name against a doc name, where a <placeholder> segment

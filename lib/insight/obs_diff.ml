@@ -1,0 +1,63 @@
+(* A/B comparison of two instrument snapshots, the logic behind
+   `wet obs diff`. Kept in the library so the zero-overlap case — two
+   exports with no instrument in common must be reported as such, not
+   as "nothing changed" — is pinned by a unit test. *)
+
+type inst = { i_name : string; i_kind : string; i_value : int }
+
+type row = {
+  d_name : string;
+  d_kind : string;
+  d_a : int;
+  d_b : int;
+  d_rel : float;  (* signed relative change, vs max 1 |a| *)
+}
+
+type t = {
+  d_overlap : int;
+  d_changed : row list;  (* sorted by |d_rel| descending, then name *)
+  d_only_a : string list;
+  d_only_b : string list;
+}
+
+let diff a b =
+  let in_b = Hashtbl.create 64 in
+  List.iter (fun i -> Hashtbl.replace in_b i.i_name i) b;
+  let overlap = ref 0 in
+  let changed =
+    List.filter_map
+      (fun ia ->
+        match Hashtbl.find_opt in_b ia.i_name with
+        | None -> None
+        | Some ib ->
+          incr overlap;
+          if ia.i_value = ib.i_value then None
+          else
+            let rel =
+              float_of_int (ib.i_value - ia.i_value)
+              /. float_of_int (max 1 (abs ia.i_value))
+            in
+            Some
+              {
+                d_name = ia.i_name;
+                d_kind = ia.i_kind;
+                d_a = ia.i_value;
+                d_b = ib.i_value;
+                d_rel = rel;
+              })
+      a
+    |> List.sort (fun x y ->
+           compare (abs_float y.d_rel, x.d_name) (abs_float x.d_rel, y.d_name))
+  in
+  let names l = List.map (fun i -> i.i_name) l in
+  let only xs ys =
+    let have = Hashtbl.create 64 in
+    List.iter (fun i -> Hashtbl.replace have i.i_name ()) ys;
+    List.filter (fun n -> not (Hashtbl.mem have n)) (names xs)
+  in
+  {
+    d_overlap = !overlap;
+    d_changed = changed;
+    d_only_a = only a b;
+    d_only_b = only b a;
+  }

@@ -1,0 +1,23 @@
+(** A/B comparison of two instrument snapshots — the logic behind
+    `wet obs diff`, in the library so its edge cases (notably two
+    exports with {e no} instrument in common, which must read as "no
+    overlap", never as "nothing changed") are unit-testable. *)
+
+type inst = { i_name : string; i_kind : string; i_value : int }
+
+type row = {
+  d_name : string;
+  d_kind : string;  (** kind as recorded in the A export *)
+  d_a : int;
+  d_b : int;
+  d_rel : float;  (** signed [(b - a) / max 1 |a|] *)
+}
+
+type t = {
+  d_overlap : int;  (** instruments present in both exports *)
+  d_changed : row list;  (** sorted by [|d_rel|] descending, then name *)
+  d_only_a : string list;
+  d_only_b : string list;
+}
+
+val diff : inst list -> inst list -> t

@@ -1,0 +1,282 @@
+module Telemetry = Wet_bistream.Telemetry
+module Sequitur = Wet_sequitur.Sequitur
+module Metrics = Wet_obs.Metrics
+module Ex = Wet_watch.Explain
+
+(* ------------------------------------------------------------------ *)
+(* Cost vectors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type cost = {
+  c_fwd : int;
+  c_bwd : int;
+  c_switches : int;
+  c_hits : int;
+  c_misses : int;
+  c_bits : int;
+  c_seq_input : int;
+  c_seq_digram_hits : int;
+  c_seq_digram_misses : int;
+  c_seq_rules_created : int;
+  c_seq_rules_inlined : int;
+  c_wall_ns : int;
+  c_alloc_words : int;
+}
+
+let zero_cost =
+  {
+    c_fwd = 0;
+    c_bwd = 0;
+    c_switches = 0;
+    c_hits = 0;
+    c_misses = 0;
+    c_bits = 0;
+    c_seq_input = 0;
+    c_seq_digram_hits = 0;
+    c_seq_digram_misses = 0;
+    c_seq_rules_created = 0;
+    c_seq_rules_inlined = 0;
+    c_wall_ns = 0;
+    c_alloc_words = 0;
+  }
+
+let add_cost a b =
+  {
+    c_fwd = a.c_fwd + b.c_fwd;
+    c_bwd = a.c_bwd + b.c_bwd;
+    c_switches = a.c_switches + b.c_switches;
+    c_hits = a.c_hits + b.c_hits;
+    c_misses = a.c_misses + b.c_misses;
+    c_bits = a.c_bits + b.c_bits;
+    c_seq_input = a.c_seq_input + b.c_seq_input;
+    c_seq_digram_hits = a.c_seq_digram_hits + b.c_seq_digram_hits;
+    c_seq_digram_misses = a.c_seq_digram_misses + b.c_seq_digram_misses;
+    c_seq_rules_created = a.c_seq_rules_created + b.c_seq_rules_created;
+    c_seq_rules_inlined = a.c_seq_rules_inlined + b.c_seq_rules_inlined;
+    c_wall_ns = a.c_wall_ns + b.c_wall_ns;
+    c_alloc_words = a.c_alloc_words + b.c_alloc_words;
+  }
+
+let sub_cost a b =
+  {
+    c_fwd = a.c_fwd - b.c_fwd;
+    c_bwd = a.c_bwd - b.c_bwd;
+    c_switches = a.c_switches - b.c_switches;
+    c_hits = a.c_hits - b.c_hits;
+    c_misses = a.c_misses - b.c_misses;
+    c_bits = a.c_bits - b.c_bits;
+    c_seq_input = a.c_seq_input - b.c_seq_input;
+    c_seq_digram_hits = a.c_seq_digram_hits - b.c_seq_digram_hits;
+    c_seq_digram_misses = a.c_seq_digram_misses - b.c_seq_digram_misses;
+    c_seq_rules_created = a.c_seq_rules_created - b.c_seq_rules_created;
+    c_seq_rules_inlined = a.c_seq_rules_inlined - b.c_seq_rules_inlined;
+    c_wall_ns = a.c_wall_ns - b.c_wall_ns;
+    c_alloc_words = a.c_alloc_words - b.c_alloc_words;
+  }
+
+let decode_steps c = c.c_fwd + c.c_bwd
+
+let nonneg_cost c =
+  c.c_fwd >= 0 && c.c_bwd >= 0 && c.c_switches >= 0 && c.c_hits >= 0
+  && c.c_misses >= 0 && c.c_bits >= 0 && c.c_seq_input >= 0
+  && c.c_seq_digram_hits >= 0 && c.c_seq_digram_misses >= 0
+  && c.c_seq_rules_created >= 0 && c.c_seq_rules_inlined >= 0
+  && c.c_wall_ns >= 0 && c.c_alloc_words >= 0
+
+(* ------------------------------------------------------------------ *)
+(* Profiling contexts                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type profile = {
+  p_shape : string;
+  p_params : (string * string) list;
+  p_total : cost;  (* inclusive: everything inside the context *)
+  p_self : cost;  (* exclusive: total minus completed child contexts *)
+  p_streams : Ex.stream_stats list;
+  p_queries : string list;
+  p_outcome : string;
+}
+
+type ctx = {
+  k_shape : string;
+  k_params : (string * string) list;
+  k_bi0 : Telemetry.snapshot;
+  k_seq0 : Sequitur.global;
+  k_ex0 : Ex.report;
+  k_armed_here : bool;  (* this context armed Explain and must disarm *)
+  k_local : Metrics.Local.t;
+  mutable k_children : cost;  (* summed totals of completed children *)
+  k_alloc0 : float;
+  k_t0 : int;  (* taken last in [start]: setup is not the query's wall *)
+}
+
+let stack : ctx list ref = ref []
+
+let active () = !stack <> []
+
+let depth () = List.length !stack
+
+let allocated_words (st : Gc.stat) =
+  st.Gc.minor_words +. st.Gc.major_words -. st.Gc.promoted_words
+
+let start ?(params = []) shape =
+  let armed_here = not !Ex.armed in
+  if armed_here then Ex.arm ();
+  let ctx =
+    {
+      k_shape = shape;
+      k_params = params;
+      k_bi0 = Telemetry.snapshot ();
+      k_seq0 = Sequitur.global_telemetry ();
+      k_ex0 = Ex.report ();
+      k_armed_here = armed_here;
+      k_local = Metrics.Local.create ();
+      k_children = zero_cost;
+      k_alloc0 = allocated_words (Gc.quick_stat ());
+      k_t0 = Wet_obs.Clock.now_ns ();
+    }
+  in
+  stack := ctx :: !stack
+
+(* Registered up front in the process view (interning is idempotent) so
+   `wet profile --list-metrics` sees the qprof family before the first
+   profiled query; contexts record into private registries that merge
+   onto these names. The per-shape latency histograms are dynamic. *)
+let () =
+  List.iter
+    (fun n -> ignore (Metrics.counter n))
+    [
+      "qprof.queries"; "qprof.fwd_steps"; "qprof.bwd_steps";
+      "qprof.dir_switches"; "qprof.dict_hits"; "qprof.dict_misses";
+      "qprof.bits_touched"; "qprof.seq_digram_hits";
+      "qprof.seq_digram_misses"; "qprof.alloc_words";
+    ];
+  ignore (Metrics.histogram "qprof.wall_ns")
+
+(* The per-context instruments are recorded with the context's *self*
+   cost (total minus completed children), so merging every context's
+   registry up the stack and finally into the process view counts each
+   decode step exactly once — the same telescoping that makes snapshot
+   deltas of disjoint windows sum to the delta of their union. Only the
+   wall histograms use the inclusive total: a span's latency is its
+   latency. *)
+let record reg p =
+  let c name v = Metrics.add (Metrics.Local.counter reg name) v in
+  c "qprof.queries" 1;
+  c "qprof.fwd_steps" p.p_self.c_fwd;
+  c "qprof.bwd_steps" p.p_self.c_bwd;
+  c "qprof.dir_switches" p.p_self.c_switches;
+  c "qprof.dict_hits" p.p_self.c_hits;
+  c "qprof.dict_misses" p.p_self.c_misses;
+  c "qprof.bits_touched" p.p_self.c_bits;
+  c "qprof.seq_digram_hits" p.p_self.c_seq_digram_hits;
+  c "qprof.seq_digram_misses" p.p_self.c_seq_digram_misses;
+  c "qprof.alloc_words" p.p_self.c_alloc_words;
+  Metrics.observe (Metrics.Local.histogram reg "qprof.wall_ns")
+    p.p_total.c_wall_ns;
+  Metrics.observe
+    (Metrics.Local.histogram reg ("qprof.latency." ^ p.p_shape))
+    p.p_total.c_wall_ns
+
+let finish outcome =
+  match !stack with
+  | [] -> invalid_arg "Qprof.finish: no active context"
+  | ctx :: rest ->
+    stack := rest;
+    let wall = Wet_obs.Clock.now_ns () - ctx.k_t0 in
+    let alloc = allocated_words (Gc.quick_stat ()) -. ctx.k_alloc0 in
+    let bi = Telemetry.delta ~before:ctx.k_bi0 ~after:(Telemetry.snapshot ()) in
+    let sq =
+      Sequitur.global_delta ~before:ctx.k_seq0
+        ~after:(Sequitur.global_telemetry ())
+    in
+    let ex = Ex.diff ~before:ctx.k_ex0 ~after:(Ex.report ()) in
+    if ctx.k_armed_here then Ex.disarm ();
+    let total =
+      {
+        c_fwd = bi.Telemetry.g_fwd;
+        c_bwd = bi.Telemetry.g_bwd;
+        c_switches = bi.Telemetry.g_switches;
+        c_hits = bi.Telemetry.g_hits;
+        c_misses = bi.Telemetry.g_misses;
+        c_bits = bi.Telemetry.g_bits;
+        c_seq_input = sq.Sequitur.gs_input;
+        c_seq_digram_hits = sq.Sequitur.gs_digram_hits;
+        c_seq_digram_misses = sq.Sequitur.gs_digram_misses;
+        c_seq_rules_created = sq.Sequitur.gs_rules_created;
+        c_seq_rules_inlined = sq.Sequitur.gs_rules_inlined;
+        c_wall_ns = max 0 wall;
+        c_alloc_words = max 0 (int_of_float alloc);
+      }
+    in
+    let p =
+      {
+        p_shape = ctx.k_shape;
+        p_params = ctx.k_params;
+        p_total = total;
+        p_self = sub_cost total ctx.k_children;
+        p_streams = ex.Ex.r_streams;
+        p_queries = ex.Ex.r_queries;
+        p_outcome = outcome;
+      }
+    in
+    record ctx.k_local p;
+    (match rest with
+     | parent :: _ ->
+       parent.k_children <- add_cost parent.k_children total;
+       Metrics.merge ~into:parent.k_local ctx.k_local
+     | [] -> Metrics.merge ctx.k_local);
+    p
+
+let run ?params shape f =
+  start ?params shape;
+  match f () with
+  | x -> (Ok x, finish "ok")
+  | exception e ->
+    let p = finish ("error: " ^ Printexc.to_string e) in
+    (Error e, p)
+
+let profiled ?params shape f =
+  match run ?params shape f with
+  | Ok x, p -> (x, p)
+  | Error e, _ -> raise e
+
+(* ------------------------------------------------------------------ *)
+(* Advisory hints                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pct num den = 100. *. float_of_int num /. float_of_int (max 1 den)
+
+let hints p =
+  let t = p.p_total in
+  let decode = decode_steps t in
+  let ex_fwd, ex_bwd, ex_seek =
+    List.fold_left
+      (fun (f, b, s) st ->
+        (f + st.Ex.e_fwd, b + st.Ex.e_bwd, s + st.Ex.e_seek_dist))
+      (0, 0, 0) p.p_streams
+  in
+  let out = ref [] in
+  let hint fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  if decode > 0 && 4 * t.c_switches >= decode then
+    hint
+      "%.0f%% of decode steps were direction switches -- a cursor cache \
+       (one parked cursor per direction) would save ~%d steps"
+      (pct t.c_switches decode) t.c_switches;
+  if ex_seek > ex_fwd + ex_bwd && ex_seek > 0 then
+    hint
+      "seek distance (%d) exceeds sequential steps (%d) -- batch queries \
+       in stream order or park cursors near the hot region"
+      ex_seek (ex_fwd + ex_bwd);
+  let lookups = t.c_hits + t.c_misses in
+  if lookups > 0 && 2 * t.c_misses > lookups then
+    hint
+      "%.0f%% of decoded entries were dictionary misses (verbatim 32-bit \
+       payloads) -- these streams predict poorly; tier-1 may be faster \
+       for this workload"
+      (pct t.c_misses lookups);
+  if decode = 0 && ex_fwd + ex_bwd + ex_seek > 0 then
+    hint
+      "all touched streams are raw (tier-1): cursor movement is O(1) \
+       array access, decode cost is zero";
+  List.rev !out

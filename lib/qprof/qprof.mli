@@ -1,0 +1,113 @@
+(** Request-scoped query profiling: exact per-query cost attribution.
+
+    A profiling context brackets one query (or any unit of work) with
+    snapshots of the process-global decode telemetry
+    ({!Wet_bistream.Telemetry}), the global Sequitur inference counters,
+    the wall clock, the GC allocation counters and the armed
+    {!Wet_watch.Explain} recording. The difference between the two
+    snapshots is, by construction, exactly the work done inside the
+    context — whichever streams it landed on — so per-query costs
+    reconcile with the global counters to the step.
+
+    Contexts nest: an inner context's total is also part of its parent's
+    window, so each context additionally tracks the summed totals of its
+    completed children and reports a {e self} cost (total minus
+    children). Self costs telescope — summing them over any tree of
+    contexts reproduces the flat delta of the outermost window — and the
+    per-context [qprof.*] instruments are recorded into a private
+    {!Wet_obs.Metrics.Local} registry with self costs, then merged into
+    the parent context (or the process view at the root), so the merged
+    metrics count every step exactly once no matter how contexts nest.
+
+    When no context is active nothing here runs at all: the only
+    always-on cost is the global counter bumps inside the stream steps
+    themselves, which are unconditional in the same way the per-stream
+    PR4 telemetry is. *)
+
+(** Work attributed to one context, in physical units. The bistream
+    fields cover tier-2 decode work (raw tier-1 steps count in
+    [c_fwd]/[c_bwd]/[c_bits] but have no dictionary); the [c_seq_*]
+    fields cover Sequitur grammar inference (zero for pure queries,
+    non-zero when a build runs inside the context). *)
+type cost = {
+  c_fwd : int;  (** forward cursor steps, all streams *)
+  c_bwd : int;  (** backward cursor steps *)
+  c_switches : int;  (** per-stream traversal direction reversals *)
+  c_hits : int;  (** dictionary-hit entries decoded (packed streams) *)
+  c_misses : int;  (** verbatim entries decoded (packed streams) *)
+  c_bits : int;  (** stored bits touched *)
+  c_seq_input : int;
+  c_seq_digram_hits : int;
+  c_seq_digram_misses : int;
+  c_seq_rules_created : int;
+  c_seq_rules_inlined : int;
+  c_wall_ns : int;
+  c_alloc_words : int;  (** words allocated (minor + major - promoted) *)
+}
+
+val zero_cost : cost
+val add_cost : cost -> cost -> cost
+val sub_cost : cost -> cost -> cost
+
+(** [c_fwd + c_bwd]. *)
+val decode_steps : cost -> int
+
+(** Every field non-negative (holds for any single context's total). *)
+val nonneg_cost : cost -> bool
+
+type profile = {
+  p_shape : string;  (** query-shape fingerprint, e.g. ["trace/cf"] *)
+  p_params : (string * string) list;  (** caller-supplied parameters *)
+  p_total : cost;  (** inclusive cost of the whole context *)
+  p_self : cost;  (** total minus completed child contexts *)
+  p_streams : Wet_watch.Explain.stream_stats list;
+      (** per-stream cursor work recorded while the context was open *)
+  p_queries : string list;  (** Explain entry points hit *)
+  p_outcome : string;  (** ["ok"] or ["error: ..."] *)
+}
+
+(** {1 Context lifecycle} *)
+
+(** Open a context. The outermost context arms {!Wet_watch.Explain} if
+    nobody else has (and its matching {!finish} disarms); nested
+    contexts share the one armed recording and slice it with
+    [Explain.diff]. The wall clock is read last, so context setup is
+    not charged to the query. *)
+val start : ?params:(string * string) list -> string -> unit
+
+(** Close the innermost context and return its profile. The context's
+    [qprof.*] instruments are recorded into its private registry and
+    merged into the parent context, or into the process view when this
+    was the outermost context.
+    @raise Invalid_argument if no context is open. *)
+val finish : string -> profile
+
+(** A context is open. *)
+val active : unit -> bool
+
+(** Number of open contexts. *)
+val depth : unit -> int
+
+(** {1 Wrappers} *)
+
+(** [run ?params shape f] profiles [f ()]: the result (or the exception,
+    captured) together with the profile; an exception is recorded as an
+    ["error: ..."] outcome. *)
+val run :
+  ?params:(string * string) list ->
+  string ->
+  (unit -> 'a) ->
+  ('a, exn) result * profile
+
+(** [run], re-raising the exception after the profile is recorded. *)
+val profiled :
+  ?params:(string * string) list -> string -> (unit -> 'a) -> 'a * profile
+
+(** {1 Advice} *)
+
+(** Human-readable advisory hints derived from the cost vector: heavy
+    direction switching (a cursor cache would help), seek-dominated
+    access (batch in stream order), poor dictionary hit rates (tier-1
+    may win), raw-only traversal (steps are O(1)). Empty when nothing
+    stands out. *)
+val hints : profile -> string list

@@ -124,6 +124,45 @@ let steps s = s.e_fwd + s.e_bwd + s.e_seek_dist
 
 let total_steps r = List.fold_left (fun a s -> a + steps s) 0 r.r_streams
 
+(* [diff ~before ~after] is the work recorded between two report
+   snapshots of one armed window: per-stream field-wise subtraction
+   (streams absent from [before] count from zero; all-zero rows are
+   dropped) and the query names appended after [before] was taken. This
+   is what lets nested profiling contexts each claim their own slice of
+   one continuously armed recording. *)
+let diff ~before ~after =
+  let prior = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace prior s.e_stream s) before.r_streams;
+  let streams =
+    List.filter_map
+      (fun a ->
+        let z =
+          match Hashtbl.find_opt prior a.e_stream with
+          | Some b ->
+            {
+              e_stream = a.e_stream;
+              e_fwd = a.e_fwd - b.e_fwd;
+              e_bwd = a.e_bwd - b.e_bwd;
+              e_seeks = a.e_seeks - b.e_seeks;
+              e_seek_dist = a.e_seek_dist - b.e_seek_dist;
+              e_switches = a.e_switches - b.e_switches;
+            }
+          | None -> a
+        in
+        if z.e_fwd = 0 && z.e_bwd = 0 && z.e_seeks = 0 && z.e_switches = 0
+        then None
+        else Some z)
+      after.r_streams
+  in
+  let rec drop n l = if n <= 0 then l else match l with
+    | [] -> []
+    | _ :: tl -> drop (n - 1) tl
+  in
+  {
+    r_queries = drop (List.length before.r_queries) after.r_queries;
+    r_streams = streams;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Feeding the observatory                                            *)
 (* ------------------------------------------------------------------ *)

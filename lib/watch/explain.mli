@@ -69,6 +69,14 @@ val steps : stream_stats -> int
 
 val total_steps : report -> int
 
+(** [diff ~before ~after] is the work recorded between two {!report}
+    snapshots of one continuously armed window: per-stream field-wise
+    subtraction (streams absent from [before] count from zero, all-zero
+    rows dropped) and the query names appended after [before] was taken.
+    [Wet_qprof] uses this so nested profiling contexts each claim their
+    own slice of a single armed recording. *)
+val diff : before:report -> after:report -> report
+
 (** Aggregated per {!stream_kind}:
     [(kind, (streams, fwd, bwd, seeks, switches))], sorted. *)
 val by_kind : report -> (string * (int * int * int * int * int)) list

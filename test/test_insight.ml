@@ -14,6 +14,7 @@ module Json = Wet_insight.Json
 module Report = Wet_insight.Report
 module Bench = Wet_insight.Bench
 module Metric_docs = Wet_insight.Metric_docs
+module Obs_diff = Wet_insight.Obs_diff
 
 let all_variants =
   List.concat_map (fun m -> [ (m, 1); (m, 2); (m, 4) ]) Bidir.all_meths
@@ -355,6 +356,9 @@ let sample ?(workload = "w") ?(build = 100.) ?(sps = 1000.) ?(bpl1 = 4.)
     shards = 0;
     stream_p50_ms = 0.;
     stream_progress_p50_ms = 0.;
+    query_decode_steps = 0;
+    query_bits_touched = 0;
+    qlog_overhead_frac = 0.;
   }
 
 let run_of samples =
@@ -510,6 +514,41 @@ let test_metric_docs_cover_registry () =
 
 (* ------------------------------------------------------------------ *)
 
+(* `wet obs diff` semantics. The load-bearing edge case: two exports
+   with no instrument in common must read as zero overlap, never as
+   "nothing changed". *)
+
+let inst name value = { Obs_diff.i_name = name; i_kind = "counter"; i_value = value }
+
+let test_obs_diff_zero_overlap () =
+  let d = Obs_diff.diff [ inst "a.x" 3; inst "a.y" 1 ] [ inst "b.z" 5 ] in
+  Alcotest.(check int) "no overlap" 0 d.Obs_diff.d_overlap;
+  Alcotest.(check bool) "nothing compared, so nothing changed" true
+    (d.Obs_diff.d_changed = []);
+  Alcotest.(check (list string)) "only in A" [ "a.x"; "a.y" ] d.Obs_diff.d_only_a;
+  Alcotest.(check (list string)) "only in B" [ "b.z" ] d.Obs_diff.d_only_b;
+  (* and the empty-input corner *)
+  let e = Obs_diff.diff [] [] in
+  Alcotest.(check int) "empty inputs overlap nothing" 0 e.Obs_diff.d_overlap
+
+let test_obs_diff_changes () =
+  let a = [ inst "p" 10; inst "q" 100; inst "r" 7; inst "s" 0 ] in
+  let b = [ inst "p" 11; inst "q" 300; inst "r" 7; inst "s" 4 ] in
+  let d = Obs_diff.diff a b in
+  Alcotest.(check int) "all four overlap" 4 d.Obs_diff.d_overlap;
+  Alcotest.(check (list string)) "unchanged rows dropped, |rel| order"
+    [ "s"; "q"; "p" ]
+    (List.map (fun (r : Obs_diff.row) -> r.Obs_diff.d_name) d.Obs_diff.d_changed);
+  (match d.Obs_diff.d_changed with
+   | s :: q :: p :: _ ->
+     (* zero baseline: rel = (b - a) / max 1 |a| stays finite *)
+     Alcotest.(check (float 1e-9)) "rel with zero baseline" 4.0 s.Obs_diff.d_rel;
+     Alcotest.(check (float 1e-9)) "rel doubles count" 2.0 q.Obs_diff.d_rel;
+     Alcotest.(check (float 1e-9)) "small rel last" 0.1 p.Obs_diff.d_rel
+   | _ -> Alcotest.fail "expected three changed rows");
+  Alcotest.(check bool) "no exclusives" true
+    (d.Obs_diff.d_only_a = [] && d.Obs_diff.d_only_b = [])
+
 let () =
   Alcotest.run "insight"
     [
@@ -547,5 +586,12 @@ let () =
         [
           Alcotest.test_case "registry coverage" `Quick
             test_metric_docs_cover_registry;
+        ] );
+      ( "obs-diff",
+        [
+          Alcotest.test_case "zero overlap is not 'no change'" `Quick
+            test_obs_diff_zero_overlap;
+          Alcotest.test_case "relative deltas and ordering" `Quick
+            test_obs_diff_changes;
         ] );
     ]

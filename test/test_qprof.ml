@@ -1,0 +1,411 @@
+(* The wet_qprof attribution invariants: per-query cost totals are
+   non-negative and sum exactly to the process-global telemetry delta
+   across random query interleavings on both tiers (the snapshot-delta
+   telescoping the subsystem is built on); nested contexts count each
+   step exactly once in the merged [qprof.*] metrics; qlog entries
+   round-trip through their JSONL encoding; the planner's exact
+   [Query.estimate] agrees with the armed recording; and with no
+   context open the profiler arms nothing and records nothing. *)
+
+module Qprof = Wet_qprof.Qprof
+module Qlog = Wet_qprof.Qlog
+module Telemetry = Wet_bistream.Telemetry
+module Sequitur = Wet_sequitur.Sequitur
+module Ex = Wet_watch.Explain
+module Metrics = Wet_obs.Metrics
+module Json = Wet_insight.Json
+module Wl = Wet_workloads.Spec
+module Builder = Wet_core.Builder
+module W = Wet_core.Wet
+module Query = Wet_core.Query
+module Slice = Wet_core.Slice
+
+(* One real workload, both tiers, built once. *)
+let w1 =
+  lazy
+    (let res = Wl.run ~scale:1 (Wl.find "parser") in
+     Builder.build res.Wet_interp.Interp.trace)
+
+let w2 = lazy (Builder.pack (Lazy.force w1))
+
+let wet_of_tier tier2 = if tier2 then Lazy.force w2 else Lazy.force w1
+
+let has_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* A query-op language for random interleavings                        *)
+(* ------------------------------------------------------------------ *)
+
+type op = Cf | Vals | Addrs | At of int | Sl | Pack
+
+let shape_of = function
+  | Cf -> "trace/cf"
+  | Vals -> "trace/values"
+  | Addrs -> "trace/addresses"
+  | At _ -> "at"
+  | Sl -> "slice/backward"
+  | Pack -> "pack"
+
+let run_op wet = function
+  | Cf ->
+    Query.park wet Query.Forward;
+    ignore (Query.control_flow wet Query.Forward ~f:(fun _ _ -> ()))
+  | Vals -> ignore (Query.load_values wet ~f:(fun _ _ -> ()))
+  | Addrs -> ignore (Query.addresses wet ~f:(fun _ _ -> ()))
+  | At seed ->
+    let total = wet.W.stats.W.path_execs in
+    let ts = 1 + (seed mod max 1 total) in
+    ignore (Query.locate_time wet ts);
+    ignore (Query.control_flow_from wet ~start_ts:ts ~steps:3 ~f:(fun _ _ -> ()))
+  | Sl -> (
+    match Query.copies_matching wet (fun i -> Wet_ir.Instr.has_def i) with
+    | c :: _ ->
+      ignore (Slice.backward wet c ((W.node_of_copy wet c).W.n_nexec - 1))
+    | [] -> ())
+  (* A build inside a profiled region: exercises the Sequitur global
+     counters, and [compress]'s own telemetry save/restore. *)
+  | Pack -> ignore (Builder.pack (Lazy.force w1))
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Cf);
+        (3, return Vals);
+        (3, return Addrs);
+        (3, map (fun s -> At s) (int_range 0 10_000));
+        (2, return Sl);
+        (1, return Pack);
+      ])
+
+let gen_plan = QCheck.Gen.(pair bool (list_size (int_range 1 6) gen_op))
+
+let print_plan (tier2, ops) =
+  Printf.sprintf "tier2=%b [%s]" tier2
+    (String.concat "; " (List.map shape_of ops))
+
+let arb_plan = QCheck.make ~print:print_plan gen_plan
+
+let bi_fields (c : Qprof.cost) =
+  ( c.Qprof.c_fwd, c.Qprof.c_bwd, c.Qprof.c_switches, c.Qprof.c_hits,
+    c.Qprof.c_misses, c.Qprof.c_bits )
+
+let seq_fields (c : Qprof.cost) =
+  ( c.Qprof.c_seq_input, c.Qprof.c_seq_digram_hits,
+    c.Qprof.c_seq_digram_misses, c.Qprof.c_seq_rules_created,
+    c.Qprof.c_seq_rules_inlined )
+
+let sum_totals profs =
+  List.fold_left
+    (fun acc (p : Qprof.profile) -> Qprof.add_cost acc p.Qprof.p_total)
+    Qprof.zero_cost profs
+
+(* Disjoint sequential windows telescope: the per-query totals sum to
+   exactly the global telemetry delta of the whole batch, whatever the
+   interleaving and tier. This is the PR's acceptance invariant. *)
+let prop_sum_consistency =
+  QCheck.Test.make ~name:"query costs sum to the global telemetry delta"
+    ~count:30 arb_plan (fun (tier2, ops) ->
+      let wet = wet_of_tier tier2 in
+      let g0 = Telemetry.snapshot () in
+      let s0 = Sequitur.global_telemetry () in
+      let profs =
+        List.map
+          (fun op ->
+            let _, p = Qprof.run (shape_of op) (fun () -> run_op wet op) in
+            p)
+          ops
+      in
+      let d = Telemetry.delta ~before:g0 ~after:(Telemetry.snapshot ()) in
+      let sd =
+        Sequitur.global_delta ~before:s0 ~after:(Sequitur.global_telemetry ())
+      in
+      let sum = sum_totals profs in
+      bi_fields sum
+      = ( d.Telemetry.g_fwd, d.Telemetry.g_bwd, d.Telemetry.g_switches,
+          d.Telemetry.g_hits, d.Telemetry.g_misses, d.Telemetry.g_bits )
+      && seq_fields sum
+         = ( sd.Sequitur.gs_input, sd.Sequitur.gs_digram_hits,
+             sd.Sequitur.gs_digram_misses, sd.Sequitur.gs_rules_created,
+             sd.Sequitur.gs_rules_inlined )
+      && List.for_all
+           (fun (p : Qprof.profile) ->
+             (* flat contexts: self = total, and both are physical *)
+             Qprof.nonneg_cost p.Qprof.p_total
+             && p.Qprof.p_self = p.Qprof.p_total
+             && p.Qprof.p_outcome = "ok")
+           profs)
+
+(* Nested contexts: the inner window is part of the outer one, self
+   costs telescope, and the merged process-view counters count every
+   step exactly once (outer self + inner total = outer total = what the
+   default registry receives). *)
+let prop_nesting =
+  QCheck.Test.make ~name:"nested contexts telescope and merge once"
+    ~count:20 arb_plan (fun (tier2, ops) ->
+      let wet = wet_of_tier tier2 in
+      let evens, odds =
+        List.partition (fun i -> i mod 2 = 0) (List.mapi (fun i _ -> i) ops)
+        |> fun (e, o) ->
+        ( List.map (List.nth ops) e,
+          List.map (List.nth ops) o )
+      in
+      Wet_obs.Sink.enable ();
+      Fun.protect ~finally:Wet_obs.Sink.disable @@ fun () ->
+      Metrics.reset ();
+      let g0 = Telemetry.snapshot () in
+      let inner = ref None in
+      let _, outer =
+        Qprof.run "outer" (fun () ->
+            List.iter (run_op wet) evens;
+            let _, pi =
+              Qprof.run "inner" (fun () -> List.iter (run_op wet) odds)
+            in
+            inner := Some pi)
+      in
+      let pi : Qprof.profile = Option.get !inner in
+      let d = Telemetry.delta ~before:g0 ~after:(Telemetry.snapshot ()) in
+      let nonneg6 (a, b, c, d', e, f) =
+        a >= 0 && b >= 0 && c >= 0 && d' >= 0 && e >= 0 && f >= 0
+      in
+      bi_fields outer.Qprof.p_total
+      = ( d.Telemetry.g_fwd, d.Telemetry.g_bwd, d.Telemetry.g_switches,
+          d.Telemetry.g_hits, d.Telemetry.g_misses, d.Telemetry.g_bits )
+      (* inner ⊆ outer, field-wise *)
+      && nonneg6 (bi_fields outer.Qprof.p_self)
+      (* self + child = total, exactly *)
+      && bi_fields
+           (Qprof.add_cost outer.Qprof.p_self pi.Qprof.p_total)
+         = bi_fields outer.Qprof.p_total
+      (* the merged registry counted each step exactly once *)
+      && Metrics.value (Metrics.counter "qprof.fwd_steps")
+         = outer.Qprof.p_total.Qprof.c_fwd
+      && Metrics.value (Metrics.counter "qprof.bits_touched")
+         = outer.Qprof.p_total.Qprof.c_bits
+      && Metrics.value (Metrics.counter "qprof.queries") = 2
+      && Qprof.depth () = 0)
+
+(* ------------------------------------------------------------------ *)
+(* qlog round trip                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cost =
+  QCheck.Gen.(
+    map
+      (fun l ->
+        match l with
+        | [ a; b; c; d; e; f; g; h; i; j; k; l'; m ] ->
+          {
+            Qprof.c_fwd = a;
+            c_bwd = b;
+            c_switches = c;
+            c_hits = d;
+            c_misses = e;
+            c_bits = f;
+            c_seq_input = g;
+            c_seq_digram_hits = h;
+            c_seq_digram_misses = i;
+            c_seq_rules_created = j;
+            c_seq_rules_inlined = k;
+            c_wall_ns = l';
+            c_alloc_words = m;
+          }
+        | _ -> assert false)
+      (list_repeat 13 (int_range 0 1_000_000_000)))
+
+let gen_entry =
+  QCheck.Gen.(
+    let word = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+    map
+      (fun (((shape, params), cost), ((streams, queries), outcome)) ->
+        {
+          Qlog.e_shape = shape;
+          e_params = params;
+          e_cost = cost;
+          e_streams = streams;
+          e_queries = queries;
+          e_outcome = outcome;
+        })
+      (pair
+         (pair
+            (pair
+               (oneofl
+                  [
+                    "trace/cf"; "trace/values"; "slice/backward"; "at";
+                    "paths"; "bench/sweep";
+                  ])
+               (list_size (int_range 0 3) (pair word word)))
+            gen_cost)
+         (pair
+            (pair (int_range 0 500) (list_size (int_range 0 3) word))
+            (oneofl [ "ok"; "error: Not_found" ]))))
+
+let arb_entry =
+  QCheck.make
+    ~print:(fun e -> Json.to_string (Qlog.to_json e))
+    gen_entry
+
+let prop_qlog_roundtrip =
+  QCheck.Test.make ~name:"qlog entries round-trip through JSONL" ~count:300
+    arb_entry (fun e ->
+      Qlog.parse_line (Json.to_string (Qlog.to_json e)) = Ok e)
+
+let test_qlog_file () =
+  let path = Filename.temp_file "wet_qlog" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let wet = Lazy.force w2 in
+  let _, p1 =
+    Qprof.run ~params:[ ("kind", "cf") ] "trace/cf" (fun () -> run_op wet Cf)
+  in
+  let _, p2 = Qprof.run "trace/values" (fun () -> run_op wet Vals) in
+  Qlog.append path p1;
+  Qlog.append path p2;
+  (match Qlog.load path with
+   | Error m -> Alcotest.fail m
+   | Ok entries ->
+     Alcotest.(check int) "two lines" 2 (List.length entries);
+     Alcotest.(check bool) "first entry matches its profile" true
+       (List.nth entries 0 = Qlog.entry_of_profile p1);
+     let sums = Qlog.summarize entries in
+     Alcotest.(check int) "two shapes" 2 (List.length sums);
+     let hottest = List.nth sums 0 and other = List.nth sums 1 in
+     Alcotest.(check bool) "hottest shape first" true
+       (hottest.Qlog.s_wall_total_ns >= other.Qlog.s_wall_total_ns));
+  (* the first malformed line poisons the load, with its line number *)
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  output_string oc "{\"schema\":\"wet-qlog/9\"}\n";
+  close_out oc;
+  match Qlog.load path with
+  | Ok _ -> Alcotest.fail "expected malformed-line error"
+  | Error m ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error cites line 3: %s" m)
+      true
+      (has_sub m ":3:")
+
+(* ------------------------------------------------------------------ *)
+(* Estimated vs actual                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The control-flow planner model is exact on both tiers: one forward
+   timestamp step per path execution, no seeks from a parked start. *)
+let test_estimate_cf () =
+  List.iter
+    (fun tier2 ->
+      let wet = wet_of_tier tier2 in
+      Query.park wet Query.Forward;
+      let _, p =
+        Qprof.run "trace/cf" (fun () ->
+            ignore (Query.control_flow wet Query.Forward ~f:(fun _ _ -> ())))
+      in
+      match Query.estimate wet "trace/cf" with
+      | [ e ] ->
+        Alcotest.(check string) "class" "ts" e.Query.est_kind;
+        Alcotest.(check bool) "exact" true e.Query.est_exact;
+        let actual =
+          List.fold_left
+            (fun acc (s : Ex.stream_stats) ->
+              if Ex.stream_kind s.Ex.e_stream = "ts" then acc + Ex.steps s
+              else acc)
+            0 p.Qprof.p_streams
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "estimate = recording (tier2=%b)" tier2)
+          e.Query.est_steps actual
+      | ests ->
+        Alcotest.fail
+          (Printf.sprintf "expected one ts estimate, got %d"
+             (List.length ests)))
+    [ false; true ]
+
+(* Inexact estimates still name the classes the query actually lands
+   on. *)
+let test_estimate_classes () =
+  let wet = Lazy.force w2 in
+  let check_shape shape op =
+    let _, p = Qprof.run shape (fun () -> run_op wet op) in
+    let touched =
+      List.map (fun (s : Ex.stream_stats) -> Ex.stream_kind s.Ex.e_stream)
+        p.Qprof.p_streams
+    in
+    List.iter
+      (fun (e : Query.class_estimate) ->
+        if e.Query.est_steps > 0 then
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: estimated class %s was touched" shape
+               e.Query.est_kind)
+            true
+            (List.mem e.Query.est_kind touched))
+      (Query.estimate wet shape)
+  in
+  check_shape "trace/values" Vals;
+  (* slice estimates are bounds over *possible* walks (a given slice may
+     follow only label-free local dependences), so only the full-sweep
+     shape pins estimated classes to touched classes *)
+  let slice_ests = Query.estimate wet "slice/backward" in
+  Alcotest.(check bool) "slice has a plan" true (slice_ests <> []);
+  List.iter
+    (fun (e : Query.class_estimate) ->
+      Alcotest.(check bool) "slice estimates are bounds" false
+        e.Query.est_exact)
+    slice_ests
+
+(* ------------------------------------------------------------------ *)
+(* Off = free                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled () =
+  Alcotest.(check bool) "no context" false (Qprof.active ());
+  Alcotest.(check bool) "explain disarmed" false !Ex.armed;
+  let v0 = Metrics.value (Metrics.counter "qprof.queries") in
+  let wet = Lazy.force w2 in
+  run_op wet Cf;
+  run_op wet Vals;
+  Alcotest.(check bool) "still disarmed" false !Ex.armed;
+  Alcotest.(check int) "nothing recorded" v0
+    (Metrics.value (Metrics.counter "qprof.queries"))
+
+let test_error_outcome () =
+  let res, p =
+    Qprof.run "boom" (fun () ->
+        ignore (run_op (Lazy.force w1) Cf);
+        raise Exit)
+  in
+  Alcotest.(check bool) "Error result" true (res = Error Exit);
+  Alcotest.(check bool) "error outcome" true
+    (has_sub p.Qprof.p_outcome "error:");
+  Alcotest.(check int) "stack unwound" 0 (Qprof.depth ());
+  Alcotest.(check bool) "disarmed after unwind" false !Ex.armed;
+  Alcotest.(check bool) "cost still physical" true
+    (Qprof.nonneg_cost p.Qprof.p_total)
+
+let () =
+  Alcotest.run "wet_qprof"
+    [
+      ( "attribution",
+        [
+          QCheck_alcotest.to_alcotest prop_sum_consistency;
+          QCheck_alcotest.to_alcotest prop_nesting;
+        ] );
+      ( "qlog",
+        [
+          QCheck_alcotest.to_alcotest prop_qlog_roundtrip;
+          Alcotest.test_case "append/load/summarize" `Quick test_qlog_file;
+        ] );
+      ( "estimate",
+        [
+          Alcotest.test_case "trace/cf is exact on both tiers" `Quick
+            test_estimate_cf;
+          Alcotest.test_case "estimated classes are touched" `Quick
+            test_estimate_classes;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "off means off" `Quick test_disabled;
+          Alcotest.test_case "exceptions unwind cleanly" `Quick
+            test_error_outcome;
+        ] );
+    ]
