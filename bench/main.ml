@@ -746,7 +746,7 @@ let repeat = ref 3
 
 let warmup = ref 1
 
-let out_file = ref "BENCH_PR7.json"
+let out_file = ref "BENCH_PR8.json"
 
 module Bench = Wet_insight.Bench
 module Explain = Wet_watch.Explain
@@ -834,6 +834,44 @@ let streaming_build ?(progress = false) w ~scale =
       run
   end
 
+module Journal = Wet_journal.Journal
+
+(* The same fused build with a checkpoint journal armed: one sink
+   snapshot + fsync'd append per shard flush into [journal]
+   (truncated each run). stream_checkpoint_p50_ms minus stream_p50_ms
+   is what durability costs. Mirrors [streaming_build]'s shape —
+   compile, input and analysis inside the timed region — so the two
+   walls are directly comparable. *)
+let streaming_checkpoint w ~scale ~journal =
+  let prog = Spec.compile w in
+  let input = Spec.input w ~scale in
+  ignore
+    (Builder.Checkpoint.build ~label:w.Spec.name ~journal ~program:prog
+       ~input ())
+
+(* One crash recovery, timed by the recovery path itself: kill a
+   checkpointed build at its midpoint shard, then [Checkpoint.resume]
+   reads the journal, restores the latest snapshot and re-executes up
+   to the watermark. One-shot — a kill is not repeatable inside the
+   warmup/repeat loop — so the number is recorded but never gated. *)
+let resume_once w ~scale ~shards ~journal =
+  let prog = Spec.compile w in
+  let input = Spec.input w ~scale in
+  let kill_at = max 1 (shards / 2) in
+  (match
+     Fun.protect
+       ~finally:(fun () -> Journal.kill_after_records := None)
+       (fun () ->
+         Builder.Checkpoint.build ~label:w.Spec.name
+           ~on_header_written:(fun () ->
+             Journal.kill_after_records := Some kill_at)
+           ~journal ~program:prog ~input ())
+   with
+   | _wet -> ()  (* tiny scales can finish before the kill fires *)
+   | exception Journal.Kill_injected -> ());
+  let r = Builder.Checkpoint.resume ~journal () in
+  r.Builder.Checkpoint.r_resume_ms
+
 let observatory () =
   let samples =
     List.map
@@ -885,6 +923,25 @@ let observatory () =
               let _, p = Qprof.profiled "bench/sweep" (fun () -> query_sweep w2) in
               Qlog.append "/dev/null" p)
         in
+        (* durable-build costs: the checkpointed fused build, then one
+           kill-at-midpoint recovery, into a throwaway journal *)
+        let journal = Filename.temp_file "wet_bench" ".jrnl" in
+        let stream_ckpt_ms, resume_ms =
+          Fun.protect
+            ~finally:(fun () ->
+              try Sys.remove journal with Sys_error _ -> ())
+            (fun () ->
+              let ckpt =
+                sampled (fun () -> streaming_checkpoint w ~scale ~journal)
+              in
+              (ckpt, resume_once w ~scale ~shards ~journal))
+        in
+        let stream_p50 = Bench.percentile 0.5 stream_ms in
+        let stream_ckpt_p50 = Bench.percentile 0.5 stream_ckpt_ms in
+        let checkpoint_overhead_frac =
+          if stream_p50 <= 0. then 0.
+          else (stream_ckpt_p50 -. stream_p50) /. stream_p50
+        in
         let query_p50 = Bench.percentile 0.5 query_ms in
         let qlog_overhead_frac =
           if query_p50 <= 0. then 0.
@@ -910,11 +967,14 @@ let observatory () =
           build_peak_words = peak_words;
           wet_words = Obj.reachable_words (Obj.repr w1);
           shards;
-          stream_p50_ms = Bench.percentile 0.5 stream_ms;
+          stream_p50_ms = stream_p50;
           stream_progress_p50_ms = Bench.percentile 0.5 stream_progress_ms;
           query_decode_steps = Qprof.decode_steps prof.Qprof.p_total;
           query_bits_touched = prof.Qprof.p_total.Qprof.c_bits;
           qlog_overhead_frac;
+          stream_checkpoint_p50_ms = stream_ckpt_p50;
+          checkpoint_overhead_frac;
+          resume_ms;
         })
       Spec.all
   in
@@ -937,7 +997,8 @@ let observatory () =
     ~header:
       [ "Workload"; "Stmts"; "Stmts/s"; "B/label T2"; "Ratio T2";
         "Build p50 (ms)"; "Query p50 (ms)"; "Steps"; "Peak (Mw)"; "Shards";
-        "Stream p50 (ms)"; "Reporter +%"; "Decode/q"; "Bits/q"; "Qlog +%" ]
+        "Stream p50 (ms)"; "Reporter +%"; "Ckpt +%"; "Resume (ms)";
+        "Decode/q"; "Bits/q"; "Qlog +%" ]
     (List.map
        (fun (s : Bench.sample) ->
          let overhead_pct =
@@ -959,6 +1020,8 @@ let observatory () =
            Table.i s.Bench.shards;
            Table.f2 s.Bench.stream_p50_ms;
            Printf.sprintf "%+.1f" overhead_pct;
+           Printf.sprintf "%+.1f" (100. *. s.Bench.checkpoint_overhead_frac);
+           Table.f2 s.Bench.resume_ms;
            Table.i (s.Bench.query_decode_steps / sweep_queries);
            Table.i (s.Bench.query_bits_touched / sweep_queries);
            Printf.sprintf "%+.1f" (100. *. s.Bench.qlog_overhead_frac);

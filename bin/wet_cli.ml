@@ -23,6 +23,8 @@ module Metric_docs = Wet_insight.Metric_docs
 module Obs_diff = Wet_insight.Obs_diff
 module Pulse_ring = Wet_pulse.Ring
 module Pulse_reporter = Wet_pulse.Reporter
+module Journal = Wet_journal.Journal
+module Checkpoint = Wet_core.Builder.Checkpoint
 
 let is_wet_file name =
   Filename.check_suffix name ".wet"
@@ -736,30 +738,158 @@ let build_cmd =
     let doc = "Output path for the WET container." in
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let action obs (batch, shard_events) prog scale input tier2 optimize out =
-    with_obs obs @@ fun () ->
+  (* PROGRAM is positional-required everywhere else, but [--resume]
+     carries the program inside the journal header, so here it is
+     optional and validated by hand. *)
+  let prog_opt_arg =
+    let doc =
+      "MiniC source file or bundled benchmark name. Omitted when resuming \
+       from a checkpoint journal."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+  in
+  let checkpoint_arg =
+    let doc =
+      "Make the build durable: journal a CRC'd, fsync'd checkpoint to \
+       $(docv) at every shard boundary, so a build killed at any point \
+       is resumable with $(b,--resume) and finishes byte-identical to an \
+       uninterrupted one. Streaming builds only."
+    in
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"JOURNAL" ~doc)
+  in
+  let checkpoint_every_arg =
+    let doc =
+      "Checkpoint every $(docv)-th shard flush instead of every one — \
+       cheaper journaling, more re-execution after a crash."
+    in
+    Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let kill_arg =
+    let doc =
+      "Kill-campaign hook: die deterministically at the seeded point \
+       ($(b,kill:shard:N) after the N-th shard checkpoint is durable, \
+       $(b,kill:byte:N) N bytes into the checkpoint stream, mid-record). \
+       Exits 70. Requires $(b,--checkpoint)."
+    in
+    Arg.(value & opt (some string) None & info [ "kill" ] ~docv:"SPEC" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Recover an interrupted checkpointed build from $(docv): restore \
+       the last intact checkpoint (a torn tail is truncated, never \
+       trusted), re-execute deterministically up to its watermark and \
+       finish the build. The program, input and build configuration come \
+       from the journal header."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "resume" ] ~docv:"JOURNAL" ~doc)
+  in
+  let print_saved label (wet : W.t) out =
+    Printf.printf "%s: %d statements -> %s (%s, %.2f MB on disk)\n" label
+      wet.W.stats.W.stmts_executed out
+      (match wet.W.tier with `Tier2 -> "tier-2" | `Tier1 -> "tier-1")
+      (float_of_int (Unix.stat out).Unix.st_size /. 1024. /. 1024.)
+  in
+  let checkpointed_build ~journal ~checkpoint_every ~kill ~shard_events
+      ~tier2 ~optimize prog scale input out =
     with_program ~optimize prog scale input (fun p input label ->
+        let on_header_written () =
+          match kill with
+          | Some (Faultsim.Kill_at_shard n) ->
+            Journal.kill_after_records := Some n
+          | Some (Faultsim.Kill_at_byte b) ->
+            Journal.kill_after_bytes := Some b
+          | None -> ()
+        in
         let wet =
-          if batch then
-            let res = Interp.run p ~input in
-            Builder.build res.Interp.trace
-          else Builder.run_streaming ?shard_events ~program:p ~input ()
+          Checkpoint.build ?shard_events ~checkpoint_every ~tier2 ~label
+            ~on_header_written ~journal ~program:p ~input ()
         in
         let wet = if tier2 then Builder.pack wet else wet in
         Store.save wet out;
-        Printf.printf "%s: %d statements -> %s (%s, %.2f MB on disk)\n" label
-          wet.W.stats.W.stmts_executed out
-          (match wet.W.tier with `Tier2 -> "tier-2" | `Tier1 -> "tier-1")
-          (float_of_int (Unix.stat out).Unix.st_size /. 1024. /. 1024.))
+        print_saved label wet out;
+        Printf.printf "checkpoint journal: %s\n" journal)
+  in
+  let action obs (batch, shard_events) prog scale input tier2 optimize out
+      checkpoint checkpoint_every kill resume =
+    with_obs obs @@ fun () ->
+    match (resume, prog) with
+    | Some _, Some _ ->
+      `Error (true, "--resume reads the program from the journal; drop the \
+                     PROGRAM argument")
+    | Some journal, None -> (
+      match Checkpoint.resume ~journal () with
+      | r ->
+        let header = r.Checkpoint.r_header in
+        let wet =
+          if header.Checkpoint.h_tier2 then Builder.pack r.Checkpoint.r_wet
+          else r.Checkpoint.r_wet
+        in
+        Store.save wet out;
+        Printf.printf
+          "resumed %s: fast-forwarded %d checkpointed shard%s in %.1f ms%s\n"
+          journal r.Checkpoint.r_replayed_shards
+          (if r.Checkpoint.r_replayed_shards = 1 then "" else "s")
+          r.Checkpoint.r_resume_ms
+          (if r.Checkpoint.r_torn_tail then " (torn tail truncated)" else "");
+        print_saved header.Checkpoint.h_label wet out;
+        `Ok ()
+      | exception Wet_error.Error e -> `Error (false, Wet_error.message e))
+    | None, None ->
+      `Error (true, "a PROGRAM argument (or --resume JOURNAL) is required")
+    | None, Some prog -> (
+      match checkpoint with
+      | None ->
+        if kill <> None then `Error (true, "--kill requires --checkpoint")
+        else
+          with_program ~optimize prog scale input (fun p input label ->
+              let wet =
+                if batch then
+                  let res = Interp.run p ~input in
+                  Builder.build res.Interp.trace
+                else Builder.run_streaming ?shard_events ~program:p ~input ()
+              in
+              let wet = if tier2 then Builder.pack wet else wet in
+              Store.save wet out;
+              print_saved label wet out)
+      | Some journal ->
+        if batch then
+          `Error
+            (true, "--checkpoint journals the streaming build; drop --batch")
+        else (
+          match
+            match kill with
+            | None -> Ok None
+            | Some s -> Result.map Option.some (Faultsim.kill_of_spec s)
+          with
+          | Error m -> `Error (true, m)
+          | Ok kill -> (
+            try
+              checkpointed_build ~journal
+                ~checkpoint_every:(max 1 checkpoint_every) ~kill
+                ~shard_events ~tier2 ~optimize prog scale input out
+            with Journal.Kill_injected ->
+              (* the campaign's stand-in for [kill -9]: no cleanup, no
+                 output container — only the journal survives *)
+              Printf.eprintf
+                "wet: build killed by injected fault (%s); journal %s \
+                 retained for --resume\n"
+                (Option.fold ~none:"-" ~some:Faultsim.kill_to_spec kill)
+                journal;
+              exit 70)))
   in
   Cmd.v
     (Cmd.info "build"
        ~doc:
          "Build a WET (streaming by default; see --batch) and save it to \
-          disk for later queries.")
+          disk for later queries. With --checkpoint/--resume the build \
+          survives being killed at any point.")
     Term.(
-      ret (const action $ obs_term $ stream_term $ program_arg $ scale_arg
-           $ input_arg $ tier2_arg $ optimize_arg $ out_arg))
+      ret (const action $ obs_term $ stream_term $ prog_opt_arg $ scale_arg
+           $ input_arg $ tier2_arg $ optimize_arg $ out_arg $ checkpoint_arg
+           $ checkpoint_every_arg $ kill_arg $ resume_arg))
 
 (* ---------------- verify ---------------- *)
 
@@ -1294,6 +1424,13 @@ let fsck_cmd =
     in
     Arg.(value & opt_all string [] & info [ "inject" ] ~docv:"SPEC" ~doc)
   in
+  let gc_arg =
+    let doc =
+      "Remove the orphaned save temps reported by the sweep (staging \
+       files a crashed save stranded next to $(i,FILE))."
+    in
+    Arg.(value & flag & info [ "gc" ] ~doc)
+  in
   let status_cell = function
     | None -> "ok"
     | Some (Container.Bad_section _) -> "CORRUPT (crc mismatch)"
@@ -1354,8 +1491,23 @@ let fsck_cmd =
       List.iter (fun e -> Printf.printf "  %s\n" e) errs;
       false
   in
-  let action obs file salvage injects =
+  let action obs file salvage injects gc =
     with_obs obs @@ fun () ->
+    (* Sweep for staging files a crashed atomic save left behind. They
+       never affect the container's health (loads ignore them), so they
+       are reported — and with --gc removed — without touching the exit
+       code. *)
+    (match Store.orphan_temps file with
+     | [] -> ()
+     | orphans ->
+       Printf.printf "orphaned save temps (%d):\n" (List.length orphans);
+       List.iter (fun p -> Printf.printf "  %s\n" p) orphans;
+       if gc then begin
+         ignore (Store.remove_orphans file);
+         Printf.printf "removed %d orphaned temp file(s)\n"
+           (List.length orphans)
+       end
+       else print_endline "(re-run with --gc to remove them)");
     let faults =
       List.map
         (fun s ->
@@ -1426,8 +1578,11 @@ let fsck_cmd =
     (Cmd.info "fsck"
        ~doc:
          "Check a WET container: per-section checksums, footer, and \
-          structural invariants. Exits 3 on any damage.")
-    Term.(ret (const action $ obs_term $ file_arg $ salvage_arg $ inject_arg))
+          structural invariants (plus a sweep for orphaned save temps; \
+          see --gc). Exits 3 on any damage.")
+    Term.(
+      ret (const action $ obs_term $ file_arg $ salvage_arg $ inject_arg
+           $ gc_arg))
 
 (* ---------------- bench-check ---------------- *)
 

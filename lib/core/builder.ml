@@ -411,11 +411,13 @@ end
 module Sink = struct
   let default_shard_events = 65536
 
-  type t = {
-    analysis : PA.t;
-    shard_events : int;
-    track_peak : bool;
-    values_from : (int -> int) option;
+  (* Everything replay has accumulated, segregated from the runtime
+     plumbing so a checkpoint is one [Marshal] of this record: no
+     closures, no [PA.t] (re-derivable from the program), nothing
+     process-specific. Within-snapshot sharing (protos reached from
+     [proto_of], [proto_list] and [prev_proto] are the same blocks)
+     survives the round trip because it is a single Marshal call. *)
+  type state = {
     (* path interning *)
     proto_of : (int, proto) Hashtbl.t;
     mutable proto_list : proto list;
@@ -453,59 +455,117 @@ module Sink = struct
     mutable first_node : int;
     mutable last_node : int;
     mutable prev_proto : proto option;
-    (* streaming machinery *)
-    mutable live_iter : ((int -> unit) -> unit) option;
+    (* fed-event counters for the resume watermark (the window ends
+       cover blocks/deps/paths; calls and returns need their own) *)
+    mutable calls_fed : int;
+    mutable rets_fed : int;
     mutable events_since_flush : int;
     mutable shards : int;
+  }
+
+  type t = {
+    analysis : PA.t;
+    shard_events : int;
+    track_peak : bool;
+    values_from : (int -> int) option;
+    s : state;
+    (* durability hook: runs at the end of every [flush_shard], with the
+       sink quiescent — the point to snapshot and journal *)
+    mutable on_shard_flushed : (t -> unit) option;
+    (* streaming machinery (rebuilt on resume, never marshalled) *)
+    mutable live_iter : ((int -> unit) -> unit) option;
     mutable peak_live : int;
     mutable finished : bool;
   }
 
   let create ?(shard_events = default_shard_events) ?(track_peak = false)
-      ?values_from analysis =
+      ?values_from ?on_shard_flushed analysis =
     {
       analysis;
       shard_events = max 1 shard_events;
       track_peak;
       values_from;
-      proto_of = Hashtbl.create 256;
-      proto_list = [];
-      nprotos = 0;
-      next_slot = ref 0;
-      next_copy = ref 0;
-      st =
+      s =
         {
-          st_kind = Bytes.make 1024 '\000';
-          st_prod = Array.make 1024 (-1);
-          st_count = Array.make 1024 0;
-          edges = Hashtbl.create 4096;
-          slot_producers = Hashtbl.create 4096;
+          proto_of = Hashtbl.create 256;
+          proto_list = [];
+          nprotos = 0;
+          next_slot = ref 0;
+          next_copy = ref 0;
+          st =
+            {
+              st_kind = Bytes.make 1024 '\000';
+              st_prod = Array.make 1024 (-1);
+              st_count = Array.make 1024 0;
+              edges = Hashtbl.create 4096;
+              slot_producers = Hashtbl.create 4096;
+            };
+          w_paths = Win.create ();
+          w_cd = Win.create ();
+          w_deps = Win.create ();
+          w_vals = Win.create ();
+          w_copy = Win.create ();
+          w_inst = Win.create ();
+          retained = Hashtbl.create 1024;
+          vals_fed = 0;
+          paths_done = 0;
+          cd_done = 0;
+          deps_done = 0;
+          pending_vpos = Dyn.create ();
+          pending_slot = Dyn.create ();
+          pend_gid = Dyn.create ();
+          pend_inst = Dyn.create ();
+          pend_prod = Dyn.create ();
+          def_execs = 0;
+          dep_instances = 0;
+          cd_instances = 0;
+          first_node = -1;
+          last_node = -1;
+          prev_proto = None;
+          calls_fed = 0;
+          rets_fed = 0;
+          events_since_flush = 0;
+          shards = 0;
         };
-      w_paths = Win.create ();
-      w_cd = Win.create ();
-      w_deps = Win.create ();
-      w_vals = Win.create ();
-      w_copy = Win.create ();
-      w_inst = Win.create ();
-      retained = Hashtbl.create 1024;
-      vals_fed = 0;
-      paths_done = 0;
-      cd_done = 0;
-      deps_done = 0;
-      pending_vpos = Dyn.create ();
-      pending_slot = Dyn.create ();
-      pend_gid = Dyn.create ();
-      pend_inst = Dyn.create ();
-      pend_prod = Dyn.create ();
-      def_execs = 0;
-      dep_instances = 0;
-      cd_instances = 0;
-      first_node = -1;
-      last_node = -1;
-      prev_proto = None;
+      on_shard_flushed;
       live_iter = None;
-      events_since_flush = 0;
-      shards = 0;
+      peak_live = 0;
+      finished = false;
+    }
+
+  (* ---------------- checkpointing ---------------- *)
+
+  let snapshot t =
+    if t.values_from <> None then
+      Wet_error.fail Wet_error.Build
+        "snapshot of a batch sink (values_from is not restorable)";
+    Marshal.to_string t.s []
+
+  let watermark t : Wet_interp.Interp.watermark =
+    {
+      Wet_interp.Interp.wm_stmts = t.s.vals_fed;
+      wm_blocks = Win.end_ t.s.w_cd;
+      wm_deps = Win.end_ t.s.w_deps;
+      wm_paths = Win.end_ t.s.w_paths;
+      wm_calls = t.s.calls_fed;
+      wm_rets = t.s.rets_fed;
+    }
+
+  let resume_from ?(shard_events = default_shard_events)
+      ?(track_peak = false) ?on_shard_flushed ~snapshot analysis =
+    let s : state =
+      try Marshal.from_string snapshot 0
+      with Failure _ ->
+        Wet_error.fail Wet_error.Build "corrupt sink snapshot"
+    in
+    {
+      analysis;
+      shard_events = max 1 shard_events;
+      track_peak;
+      values_from = None;
+      s;
+      on_shard_flushed;
+      live_iter = None;
       peak_live = 0;
       finished = false;
     }
@@ -514,27 +574,29 @@ module Sink = struct
     if t.finished then Wet_error.fail Wet_error.Build "%s after finish" what
 
   let get_proto t key =
-    match Hashtbl.find_opt t.proto_of key with
+    let s = t.s in
+    match Hashtbl.find_opt s.proto_of key with
     | Some p -> p
     | None ->
       let func, path = T.decode_path key in
       let p =
-        make_proto ~next_slot:t.next_slot ~analysis:t.analysis ~id:t.nprotos
-          ~copy_base:!(t.next_copy) func path
+        make_proto ~next_slot:s.next_slot ~analysis:t.analysis ~id:s.nprotos
+          ~copy_base:!(s.next_copy) func path
       in
-      t.next_copy := !(t.next_copy) + Array.length p.p_stmts;
-      Hashtbl.replace t.proto_of key p;
-      t.proto_list <- p :: t.proto_list;
-      t.nprotos <- t.nprotos + 1;
+      s.next_copy := !(s.next_copy) + Array.length p.p_stmts;
+      Hashtbl.replace s.proto_of key p;
+      s.proto_list <- p :: s.proto_list;
+      s.nprotos <- s.nprotos + 1;
       p
 
   (* (copy, instance) of an already-replayed position: in the window,
      or retained across an eviction. A miss is a sink invariant
      violation, never silent divergence. *)
   let copy_of t pos =
-    if Win.mem t.w_copy pos then (Win.get t.w_copy pos, Win.get t.w_inst pos)
+    let s = t.s in
+    if Win.mem s.w_copy pos then (Win.get s.w_copy pos, Win.get s.w_inst pos)
     else
-      match Hashtbl.find_opt t.retained pos with
+      match Hashtbl.find_opt s.retained pos with
       | Some (_, c, i) -> (c, i)
       | None ->
         Wet_error.fail Wet_error.Build
@@ -544,9 +606,9 @@ module Sink = struct
     match t.values_from with
     | Some f -> f pos
     | None ->
-      if Win.mem t.w_vals pos then Win.get t.w_vals pos
+      if Win.mem t.s.w_vals pos then Win.get t.s.w_vals pos
       else (
-        match Hashtbl.find_opt t.retained pos with
+        match Hashtbl.find_opt t.s.retained pos with
         | Some (v, _, _) -> v
         | None ->
           Wet_error.fail Wet_error.Build
@@ -557,17 +619,18 @@ module Sink = struct
      whole-trace replay loop, reading the windows where that read the
      materialized trace arrays. *)
   let process_exec t (p : proto) =
-    ensure_slots t.st !(t.next_slot);
-    if t.first_node < 0 then t.first_node <- p.p_id;
-    t.last_node <- p.p_id;
+    let s = t.s in
+    ensure_slots s.st !(s.next_slot);
+    if s.first_node < 0 then s.first_node <- p.p_id;
+    s.last_node <- p.p_id;
     (* dynamic control-flow edges between consecutive nodes *)
-    (match t.prev_proto with
+    (match s.prev_proto with
      | Some q ->
        Hashtbl.replace q.p_succs p.p_id ();
        Hashtbl.replace p.p_preds q.p_id ()
      | None -> ());
-    t.prev_proto <- Some p;
-    Dyn.push p.p_ts (t.paths_done + 1);
+    s.prev_proto <- Some p;
+    Dyn.push p.p_ts (s.paths_done + 1);
     let inst = p.p_nexec in
     let n = Array.length p.p_instrs in
     let bp = ref 0 in
@@ -578,8 +641,8 @@ module Sink = struct
       then incr bp;
       if p.p_block_start.(!bp) = o then begin
         (* block entry: consume the control-dependence event *)
-        let cd_pos = Win.get t.w_cd t.cd_done in
-        t.cd_done <- t.cd_done + 1;
+        let cd_pos = Win.get s.w_cd s.cd_done in
+        s.cd_done <- s.cd_done + 1;
         let gid = p.p_cd_slot.(!bp) in
         let nstmts_in_block =
           (if !bp + 1 < Array.length p.p_block_start then
@@ -588,44 +651,44 @@ module Sink = struct
           - p.p_block_start.(!bp)
         in
         if cd_pos >= 0 then begin
-          t.cd_instances <- t.cd_instances + nstmts_in_block;
+          s.cd_instances <- s.cd_instances + nstmts_in_block;
           let pc, pi = copy_of t cd_pos in
           let local =
             pc >= p.p_copy_base && pc < p.p_copy_base + n && pi = inst
           in
-          slot_event t.st gid ~inst ~pcopy:pc ~pinst:pi ~local
+          slot_event s.st gid ~inst ~pcopy:pc ~pinst:pi ~local
         end
-        else slot_event t.st gid ~inst ~pcopy:(-1) ~pinst:(-1) ~local:false
+        else slot_event s.st gid ~inst ~pcopy:(-1) ~pinst:(-1) ~local:false
       end;
-      let pos = Win.end_ t.w_copy in
-      Win.push t.w_copy (p.p_copy_base + o);
-      Win.push t.w_inst inst;
+      let pos = Win.end_ s.w_copy in
+      Win.push s.w_copy (p.p_copy_base + o);
+      Win.push s.w_inst inst;
       p.p_exec_pos.(o) <- pos;
       let nslots = p.p_slot_count.(o) in
-      for s = 0 to nslots - 1 do
-        let producer = Win.get t.w_deps t.deps_done in
-        t.deps_done <- t.deps_done + 1;
-        p.p_exec_prod.(o).(s) <- producer;
-        let gid = p.p_slot_base.(o) + s in
+      for sl = 0 to nslots - 1 do
+        let producer = Win.get s.w_deps s.deps_done in
+        s.deps_done <- s.deps_done + 1;
+        p.p_exec_prod.(o).(sl) <- producer;
+        let gid = p.p_slot_base.(o) + sl in
         if producer >= 0 then begin
-          t.dep_instances <- t.dep_instances + 1;
-          if producer >= Win.end_ t.w_copy then begin
+          s.dep_instances <- s.dep_instances + 1;
+          if producer >= Win.end_ s.w_copy then begin
             (* forward reference: the producer has not been replayed *)
-            Dyn.push t.pend_gid gid;
-            Dyn.push t.pend_inst inst;
-            Dyn.push t.pend_prod producer
+            Dyn.push s.pend_gid gid;
+            Dyn.push s.pend_inst inst;
+            Dyn.push s.pend_prod producer
           end
           else begin
             let pc, pi = copy_of t producer in
             let local =
               pc >= p.p_copy_base && pc < p.p_copy_base + n && pi = inst
             in
-            slot_event t.st gid ~inst ~pcopy:pc ~pinst:pi ~local
+            slot_event s.st gid ~inst ~pcopy:pc ~pinst:pi ~local
           end
         end
-        else slot_event t.st gid ~inst ~pcopy:(-1) ~pinst:(-1) ~local:false
+        else slot_event s.st gid ~inst ~pcopy:(-1) ~pinst:(-1) ~local:false
       done;
-      if Instr.has_def p.p_instrs.(o) then t.def_execs <- t.def_execs + 1
+      if Instr.has_def p.p_instrs.(o) then s.def_execs <- s.def_execs + 1
     done;
     (* value groups: one tuple per group for this execution *)
     Array.iter
@@ -660,7 +723,7 @@ module Sink = struct
         end)
       p.p_groups;
     p.p_nexec <- p.p_nexec + 1;
-    t.paths_done <- t.paths_done + 1
+    t.s.paths_done <- t.s.paths_done + 1
 
   (* Replay every complete, patch-free path execution in the buffer.
      An execution is held back while (a) its trailing statements have
@@ -670,17 +733,18 @@ module Sink = struct
      unreplayed. Calls nest, so the oldest pending call (stack bottom)
      is the gate. *)
   let process_available t =
+    let s = t.s in
     let min_pending =
-      if Dyn.length t.pending_vpos = 0 then max_int
-      else Dyn.get t.pending_vpos 0
+      if Dyn.length s.pending_vpos = 0 then max_int
+      else Dyn.get s.pending_vpos 0
     in
     let continue = ref true in
-    while !continue && t.paths_done < Win.end_ t.w_paths do
-      let key = Win.get t.w_paths t.paths_done in
+    while !continue && s.paths_done < Win.end_ s.w_paths do
+      let key = Win.get s.w_paths s.paths_done in
       let p = get_proto t key in
       let n = Array.length p.p_instrs in
-      let start = Win.end_ t.w_copy in
-      if start + n > t.vals_fed || start + n > min_pending then
+      let start = Win.end_ s.w_copy in
+      if start + n > s.vals_fed || start + n > min_pending then
         continue := false
       else process_exec t p
     done
@@ -702,24 +766,25 @@ module Sink = struct
      live iterator (trace replay) nothing is evicted. *)
   let flush_shard t =
     check_open t "flush_shard";
+    let s = t.s in
     process_available t;
     (match t.live_iter with
      | None -> ()
      | Some live ->
-       let boundary = Win.end_ t.w_copy in
+       let boundary = Win.end_ s.w_copy in
        let fresh = Hashtbl.create 1024 in
        let keep pos =
          if pos >= 0 && pos < boundary && not (Hashtbl.mem fresh pos) then begin
            let entry =
-             if Win.mem t.w_copy pos then
+             if Win.mem s.w_copy pos then
                let v =
                  match t.values_from with
                  | Some _ -> 0
-                 | None -> Win.get t.w_vals pos
+                 | None -> Win.get s.w_vals pos
                in
-               (v, Win.get t.w_copy pos, Win.get t.w_inst pos)
+               (v, Win.get s.w_copy pos, Win.get s.w_inst pos)
              else
-               match Hashtbl.find_opt t.retained pos with
+               match Hashtbl.find_opt s.retained pos with
                | Some e -> e
                | None ->
                  Wet_error.fail Wet_error.Build
@@ -729,74 +794,79 @@ module Sink = struct
          end
        in
        live keep;
-       for i = t.deps_done to Win.end_ t.w_deps - 1 do
-         keep (Win.get t.w_deps i)
+       for i = s.deps_done to Win.end_ s.w_deps - 1 do
+         keep (Win.get s.w_deps i)
        done;
-       for i = t.cd_done to Win.end_ t.w_cd - 1 do
-         keep (Win.get t.w_cd i)
+       for i = s.cd_done to Win.end_ s.w_cd - 1 do
+         keep (Win.get s.w_cd i)
        done;
-       Dyn.iter (fun p -> keep p) t.pend_prod;
-       t.retained <- fresh;
-       Win.drop_to t.w_copy boundary;
-       Win.drop_to t.w_inst boundary;
+       Dyn.iter (fun p -> keep p) s.pend_prod;
+       s.retained <- fresh;
+       Win.drop_to s.w_copy boundary;
+       Win.drop_to s.w_inst boundary;
        (match t.values_from with
-        | None -> Win.drop_to t.w_vals boundary
+        | None -> Win.drop_to s.w_vals boundary
         | Some _ -> ()));
-    Win.drop_to t.w_paths t.paths_done;
-    Win.drop_to t.w_cd t.cd_done;
-    Win.drop_to t.w_deps t.deps_done;
-    t.shards <- t.shards + 1;
+    Win.drop_to s.w_paths s.paths_done;
+    Win.drop_to s.w_cd s.cd_done;
+    Win.drop_to s.w_deps s.deps_done;
+    s.shards <- s.shards + 1;
     Obs.incr c_shards;
-    if Obs.enabled () then Obs.observe h_shard_events t.events_since_flush;
-    t.events_since_flush <- 0;
+    if Obs.enabled () then Obs.observe h_shard_events s.events_since_flush;
+    s.events_since_flush <- 0;
     sample_live t;
     (* shard boundaries are the builder's progress pulse *)
-    Wet_obs.Sink.tick ()
+    Wet_obs.Sink.tick ();
+    (* quiescent point: windows trimmed, replay caught up — where a
+       durable build snapshots itself *)
+    match t.on_shard_flushed with Some f -> f t | None -> ()
 
   let bump t =
-    t.events_since_flush <- t.events_since_flush + 1
+    t.s.events_since_flush <- t.s.events_since_flush + 1
 
   let feed_block t cd =
     check_open t "feed";
-    Win.push t.w_cd cd;
+    Win.push t.s.w_cd cd;
     bump t
 
   let feed_dep t producer =
     check_open t "feed";
-    Win.push t.w_deps producer;
+    Win.push t.s.w_deps producer;
     bump t
 
   let feed_value t v =
     check_open t "feed";
     (match t.values_from with
-     | None -> Win.push t.w_vals v
+     | None -> Win.push t.s.w_vals v
      | Some _ -> ());
-    t.vals_fed <- t.vals_fed + 1;
+    t.s.vals_fed <- t.s.vals_fed + 1;
     bump t
 
   (* Shard boundaries land on path ends so the replay cursor can make
      progress on every flush. *)
   let feed_path t key =
     check_open t "feed";
-    Win.push t.w_paths key;
+    Win.push t.s.w_paths key;
     bump t;
-    if t.events_since_flush >= t.shard_events then flush_shard t
+    if t.s.events_since_flush >= t.shard_events then flush_shard t
 
   let feed_call t =
     check_open t "feed";
-    Dyn.push t.pending_vpos t.vals_fed;
-    Dyn.push t.pending_slot (Win.end_ t.w_deps - 1)
+    Dyn.push t.s.pending_vpos t.s.vals_fed;
+    Dyn.push t.s.pending_slot (Win.end_ t.s.w_deps - 1);
+    t.s.calls_fed <- t.s.calls_fed + 1
 
   let feed_ret t v producer =
     check_open t "feed";
-    if Dyn.length t.pending_vpos = 0 then
+    if Dyn.length t.s.pending_vpos = 0 then
       Wet_error.fail Wet_error.Build "return patch with no pending call";
-    let vpos = Dyn.pop t.pending_vpos in
-    let slot = Dyn.pop t.pending_slot in
+    let vpos = Dyn.pop t.s.pending_vpos in
+    let slot = Dyn.pop t.s.pending_slot in
     (match t.values_from with
-     | None -> Win.set t.w_vals vpos v
+     | None -> Win.set t.s.w_vals vpos v
      | Some _ -> ());
-    Win.set t.w_deps slot producer
+    Win.set t.s.w_deps slot producer;
+    t.s.rets_fed <- t.s.rets_fed + 1
 
   let events t =
     {
@@ -809,23 +879,28 @@ module Sink = struct
       es_live = (fun iter -> t.live_iter <- Some iter);
     }
 
-  let shard_count t = t.shards
+  let shard_count t = t.s.shards
 
   let peak_live_words t = t.peak_live
+
+  (* checkpoint-record summaries, reported alongside the watermark *)
+  let pending_calls t = Dyn.length t.s.pending_vpos
+
+  let retained_positions t = Hashtbl.length t.s.retained
 
   (* ---------------- splicing the shard streams ---------------- *)
 
   let finalize t : Wet.t =
     let analysis = t.analysis in
     let prog = analysis.PA.program in
-    let st = t.st in
-    let npath_execs = Win.end_ t.w_paths in
+    let st = t.s.st in
+    let npath_execs = Win.end_ t.s.w_paths in
     let protos =
-      let arr = Array.of_list (List.rev t.proto_list) in
+      let arr = Array.of_list (List.rev t.s.proto_list) in
       Array.sort (fun a b -> compare a.p_id b.p_id) arr;
       arr
     in
-    let ncopies = !(t.next_copy) in
+    let ncopies = !(t.s.next_copy) in
     let copy_node = Array.make ncopies 0 in
     let copy_stmt = Array.make ncopies 0 in
     let copy_uvals = Array.make ncopies None in
@@ -981,8 +1056,8 @@ module Sink = struct
           p.p_stmts)
       protos;
     if Obs.enabled () then begin
-      Obs.add c_intern_misses t.nprotos;
-      Obs.add c_intern_hits (npath_execs - t.nprotos);
+      Obs.add c_intern_misses t.s.nprotos;
+      Obs.add c_intern_hits (npath_execs - t.s.nprotos);
       Obs.add c_label_records !next_label;
       Obs.add c_label_shared_values !shared_label_values;
       Array.iter
@@ -997,17 +1072,17 @@ module Sink = struct
               Obs.add c_group_pattern (Dyn.length g.pg_pattern))
             p.p_groups)
         protos;
-      Wet_obs.Span.set_attr "stmts" (Wet_obs.Span.Int t.vals_fed);
-      Wet_obs.Span.set_attr "nodes" (Wet_obs.Span.Int t.nprotos)
+      Wet_obs.Span.set_attr "stmts" (Wet_obs.Span.Int t.s.vals_fed);
+      Wet_obs.Span.set_attr "nodes" (Wet_obs.Span.Int t.s.nprotos)
     end;
     let stats =
       {
-        Wet.stmts_executed = t.vals_fed;
-        block_execs = Win.end_ t.w_cd;
+        Wet.stmts_executed = t.s.vals_fed;
+        block_execs = Win.end_ t.s.w_cd;
         path_execs = npath_execs;
-        def_execs = t.def_execs;
-        dep_instances = t.dep_instances;
-        cd_instances = t.cd_instances;
+        def_execs = t.s.def_execs;
+        dep_instances = t.s.dep_instances;
+        cd_instances = t.s.cd_instances;
         local_dep_instances = !local_dep_instances;
         shared_label_values = !shared_label_values;
       }
@@ -1024,8 +1099,8 @@ module Sink = struct
       copy_local_out;
       copy_remote_out;
       stmt_copies;
-      first_node = (if t.first_node < 0 then 0 else t.first_node);
-      last_node = (if t.last_node < 0 then 0 else t.last_node);
+      first_node = (if t.s.first_node < 0 then 0 else t.s.first_node);
+      last_node = (if t.s.last_node < 0 then 0 else t.s.last_node);
       stats;
       tier = `Tier1;
       damage = [];
@@ -1034,20 +1109,21 @@ module Sink = struct
   let finish t =
     check_open t "finish";
     t.finished <- true;
+    let s = t.s in
     (* Calls the run abandoned (a Halt below them) are never patched:
        their slots legitimately stay holes, exactly as the batch path
        leaves them, so they no longer gate the replay. *)
-    Dyn.clear t.pending_vpos;
-    Dyn.clear t.pending_slot;
+    Dyn.clear s.pending_vpos;
+    Dyn.clear s.pending_slot;
     process_available t;
-    if t.paths_done < Win.end_ t.w_paths then
+    if s.paths_done < Win.end_ s.w_paths then
       Wet_error.fail Wet_error.Build
         "event stream truncated: %d path executions lack their statements"
-        (Win.end_ t.w_paths - t.paths_done);
+        (Win.end_ s.w_paths - s.paths_done);
     if
-      t.deps_done < Win.end_ t.w_deps
-      || t.cd_done < Win.end_ t.w_cd
-      || Win.end_ t.w_copy < t.vals_fed
+      s.deps_done < Win.end_ s.w_deps
+      || s.cd_done < Win.end_ s.w_cd
+      || Win.end_ s.w_copy < s.vals_fed
     then
       Wet_error.fail Wet_error.Build
         "trailing events not covered by a path execution";
@@ -1057,11 +1133,11 @@ module Sink = struct
        producer is never in the consumer's node (callee paths are
        distinct from the caller's call path), so these events are never
        Local. *)
-    for i = 0 to Dyn.length t.pend_gid - 1 do
-      let producer = Dyn.get t.pend_prod i in
+    for i = 0 to Dyn.length s.pend_gid - 1 do
+      let producer = Dyn.get s.pend_prod i in
       let pc, pi = copy_of t producer in
-      slot_event t.st (Dyn.get t.pend_gid i)
-        ~inst:(Dyn.get t.pend_inst i) ~pcopy:pc ~pinst:pi ~local:false
+      slot_event s.st (Dyn.get s.pend_gid i)
+        ~inst:(Dyn.get s.pend_inst i) ~pcopy:pc ~pinst:pi ~local:false
     done;
     let wet = finalize t in
     sample_live t;
@@ -1199,3 +1275,205 @@ let run_streaming ?shard_events ?(track_peak = false) ?max_stmts
       Sink.finish sink)
 
 let of_program prog ~input = run_streaming ~program:prog ~input ()
+
+(* ------------------------------------------------------------------ *)
+(* Durable builds: checkpointed construction and crash recovery.      *)
+(* ------------------------------------------------------------------ *)
+
+module Checkpoint = struct
+  module J = Wet_journal.Journal
+
+  let tag_header = 0
+
+  let tag_checkpoint = 1
+
+  let fail fmt = Wet_error.fail Wet_error.Journal fmt
+
+  type header = {
+    h_program : Program.t;  (* post-optimization: resume never re-optimizes *)
+    h_input : int array;
+    h_shard_events : int;
+    h_checkpoint_every : int;
+    h_max_stmts : int option;
+    h_interprocedural_cd : bool;
+    h_tier2 : bool;
+    h_label : string;
+  }
+
+  (* One durable point of the build. The snapshot carries the full sink
+     state (pending-call LIFO and live keep-set included); the watermark
+     and the summary counts ride alongside so tooling can report on a
+     journal without unmarshalling snapshots. *)
+  type ckpt = {
+    c_snapshot : string;
+    c_watermark : Wet_interp.Interp.watermark;
+    c_shards : int;
+    c_pending_calls : int;
+    c_retained : int;
+  }
+
+  type resumed = {
+    r_wet : Wet.t;
+    r_header : header;
+    r_replayed_shards : int;
+    r_torn_tail : bool;
+    r_resume_ms : float;
+  }
+
+  let append_checkpoint w ~checkpoint_every sink =
+    if Sink.shard_count sink mod checkpoint_every = 0 then
+      let c =
+        {
+          c_snapshot = Sink.snapshot sink;
+          c_watermark = Sink.watermark sink;
+          c_shards = Sink.shard_count sink;
+          c_pending_calls = Sink.pending_calls sink;
+          c_retained = Sink.retained_positions sink;
+        }
+      in
+      J.append w ~tag:tag_checkpoint (Marshal.to_string c [])
+
+  (* Run the interpretation with [sink], journaling a checkpoint per
+     flushed shard, and close the writer even when an injected kill (or
+     any other exception) unwinds — exactly what process death would do,
+     since every append is already durable. *)
+  let drive w ~header ?resume_at ?on_caught_up sink =
+    let checkpoint_every = header.h_checkpoint_every in
+    Sink.(
+      sink.on_shard_flushed <-
+        Some (fun s -> append_checkpoint w ~checkpoint_every s));
+    let analysis = Sink.(sink.analysis) in
+    Fun.protect
+      ~finally:(fun () -> J.close w)
+      (fun () ->
+        let _outputs, _stmts =
+          Wet_interp.Interp.run_with_sink ?max_stmts:header.h_max_stmts
+            ~interprocedural_cd:header.h_interprocedural_cd ~analysis
+            ?resume_at ?on_caught_up ~sink:(Sink.events sink)
+            header.h_program ~input:header.h_input
+        in
+        Sink.finish sink)
+
+  let build ?(shard_events = Sink.default_shard_events)
+      ?(checkpoint_every = 1) ?(track_peak = false) ?max_stmts
+      ?(interprocedural_cd = false) ?analysis ?(tier2 = false)
+      ?(label = "") ?on_header_written ~journal ~program ~input () =
+    let analysis =
+      match analysis with Some a -> a | None -> PA.of_program program
+    in
+    let header =
+      {
+        h_program = program;
+        h_input = input;
+        h_shard_events = max 1 shard_events;
+        h_checkpoint_every = max 1 checkpoint_every;
+        h_max_stmts = max_stmts;
+        h_interprocedural_cd = interprocedural_cd;
+        h_tier2 = tier2;
+        h_label = label;
+      }
+    in
+    let w = J.create journal in
+    (match
+       J.append w ~tag:tag_header (Marshal.to_string header [])
+     with
+    | () -> ()
+    | exception e ->
+      J.close w;
+      raise e);
+    (* the header is durable: only now may the campaign arm its kills,
+       so recovery always finds at least a replayable configuration *)
+    (match on_header_written with Some f -> f () | None -> ());
+    Wet_obs.Span.with_ "build.checkpointed" (fun () ->
+        let sink = Sink.create ~shard_events ~track_peak analysis in
+        drive w ~header sink)
+
+  let header_of scan =
+    match scan.J.records with
+    | [] -> None
+    | hd :: _ when hd.J.tag <> tag_header -> None
+    | hd :: rest -> (
+      match (Marshal.from_string hd.J.payload 0 : header) with
+      | header -> Some (header, rest)
+      | exception Failure _ -> None)
+
+  let last_checkpoint rest =
+    List.fold_left
+      (fun _acc (r : J.record) ->
+        if r.J.tag <> tag_checkpoint then
+          fail "unknown journal record tag %d" r.J.tag
+        else
+          match (Marshal.from_string r.J.payload 0 : ckpt) with
+          | c -> Some c
+          | exception Failure _ -> fail "undecodable checkpoint record")
+      None rest
+
+  (* Inspection without recovery: header + latest checkpoint summary,
+     for [wet fsck]-style reporting. *)
+  let describe journal =
+    match J.read journal with
+    | Error m -> Error m
+    | Ok scan -> (
+      match header_of scan with
+      | None -> Error (journal ^ ": no intact header record")
+      | Some (header, rest) -> Ok (header, last_checkpoint rest, scan.J.torn))
+
+  let resume ?(track_peak = false) ~journal () =
+    let scan =
+      match J.read journal with Ok s -> s | Error m -> fail "%s" m
+    in
+    let header, rest =
+      match header_of scan with
+      | Some hr -> hr
+      | None ->
+        fail
+          "%s: no intact header record — the build died before its \
+           configuration was durable; restart it from scratch"
+          journal
+    in
+    let ckpt = last_checkpoint rest in
+    (* drop any torn tail, then keep journaling subsequent shards so a
+       second death during recovery is itself recoverable *)
+    let w = J.reopen journal ~at:scan.J.intact_bytes in
+    let analysis =
+      match
+        PA.of_program header.h_program
+      with
+      | a -> a
+      | exception e ->
+        J.close w;
+        raise e
+    in
+    let t0 = Wet_obs.Clock.now_ns () in
+    let caught_ms = ref 0. in
+    let on_caught_up () =
+      caught_ms := float_of_int (Wet_obs.Clock.now_ns () - t0) /. 1e6
+    in
+    let sink, resume_at, replayed =
+      match ckpt with
+      | None ->
+        (* header only: nothing checkpointed, rebuild from the start *)
+        ( Sink.create ~shard_events:header.h_shard_events ~track_peak
+            analysis,
+          None,
+          0 )
+      | Some c ->
+        ( Sink.resume_from ~shard_events:header.h_shard_events ~track_peak
+            ~snapshot:c.c_snapshot analysis,
+          Some c.c_watermark,
+          c.c_shards )
+    in
+    let wet =
+      Wet_obs.Span.with_ "build.resume" (fun () ->
+          drive w ~header ?resume_at ~on_caught_up sink)
+    in
+    J.note_replayed_shards replayed;
+    J.note_resume_ms !caught_ms;
+    {
+      r_wet = wet;
+      r_header = header;
+      r_replayed_shards = replayed;
+      r_torn_tail = scan.J.torn;
+      r_resume_ms = !caught_ms;
+    }
+end

@@ -54,11 +54,41 @@ module Sink : sig
         off by default because [Gc.stat] walks the heap.
       @param values_from resolve statement values through this function
         (indexed by dynamic position) instead of buffering them — used
-        by the batch path, where the trace already holds them. *)
+        by the batch path, where the trace already holds them.
+      @param on_shard_flushed called at the end of every shard flush,
+        with the sink quiescent (replay caught up, windows trimmed) —
+        the point where {!Checkpoint} snapshots the sink. *)
   val create :
     ?shard_events:int ->
     ?track_peak:bool ->
     ?values_from:(int -> int) ->
+    ?on_shard_flushed:(t -> unit) ->
+    Wet_cfg.Program_analysis.t ->
+    t
+
+  (** [snapshot t] marshals the sink's accumulated state — everything
+      replay has learned, none of the runtime plumbing — into a string
+      a later process can {!resume_from}. Meaningful at any quiescent
+      point; {!Checkpoint} takes it from [on_shard_flushed]. Batch
+      sinks (with [values_from]) cannot be snapshotted. *)
+  val snapshot : t -> string
+
+  (** The per-kind counts of events this sink has already consumed —
+      the point a fast-forwarded re-execution must reach before
+      delivering events again ({!Wet_interp.Interp.fast_forward}). *)
+  val watermark : t -> Wet_interp.Interp.watermark
+
+  (** [resume_from ~snapshot analysis] reconstructs a sink from a
+      {!snapshot}. [analysis] must be derived from the same program the
+      snapshot was built from. Runtime options are the caller's again:
+      they are configuration, not state.
+      @raise Wet_error.Error (stage [Build]) on an undecodable
+        snapshot. *)
+  val resume_from :
+    ?shard_events:int ->
+    ?track_peak:bool ->
+    ?on_shard_flushed:(t -> unit) ->
+    snapshot:string ->
     Wet_cfg.Program_analysis.t ->
     t
 
@@ -99,6 +129,12 @@ module Sink : sig
   (** Maximum [Gc.stat] live words observed at shard boundaries, 0
       unless [track_peak] was set. *)
   val peak_live_words : t -> int
+
+  (** Depth of the pending-call LIFO (calls fed, not yet returned). *)
+  val pending_calls : t -> int
+
+  (** Size of the retained keep-set (positions surviving eviction). *)
+  val retained_positions : t -> int
 end
 
 (** Build a tier-1 WET from a recorded trace by feeding it through a
@@ -129,3 +165,98 @@ val run_streaming :
 (** [of_program p ~input] is [run_streaming ~program:p ~input ()]. *)
 val of_program : Wet_ir.Program.t -> input:int array -> Wet.t
 [@@deprecated "use run_streaming"]
+
+(** Durable builds: {!run_streaming} with a {!Wet_journal.Journal}
+    recording enough at every shard boundary to survive [kill -9].
+
+    {!Checkpoint.build} writes one header record (the post-optimization
+    program, the input, and the build configuration — a resumed build
+    needs nothing else) and then, via the sink's [on_shard_flushed]
+    hook, one checkpoint record per flushed shard: a {!Sink.snapshot}
+    plus its {!Sink.watermark}. Every record is CRC'd and fsync'd
+    before the build proceeds, so a crash at any byte loses at most the
+    work since the last flushed shard.
+
+    {!Checkpoint.resume} reads the longest intact journal prefix,
+    truncates any torn tail (never trusting it), restores the last
+    checkpoint's snapshot, and re-executes the program deterministically
+    with events below the watermark suppressed
+    ({!Wet_interp.Interp.fast_forward}). The result is byte-identical
+    to an uninterrupted build — the invariant the kill-campaign tests
+    enforce. Recovery keeps checkpointing into the same journal, so a
+    second death during recovery is itself recoverable.
+
+    Failures raise [Wet_error.Error] with stage [Journal]. *)
+module Checkpoint : sig
+  (** Decoded header record. *)
+  type header = {
+    h_program : Wet_ir.Program.t;
+        (** post-optimization: resume never re-optimizes *)
+    h_input : int array;
+    h_shard_events : int;
+    h_checkpoint_every : int;  (** journal every n-th shard flush *)
+    h_max_stmts : int option;
+    h_interprocedural_cd : bool;
+    h_tier2 : bool;
+        (** the build was asked for tier-2 packing; recorded so
+            [wet build --resume] repacks without being retold *)
+    h_label : string;  (** free-form provenance, e.g. the source path *)
+  }
+
+  (** Decoded checkpoint record summary (snapshot omitted). *)
+  type ckpt = {
+    c_snapshot : string;
+    c_watermark : Wet_interp.Interp.watermark;
+    c_shards : int;
+    c_pending_calls : int;
+    c_retained : int;
+  }
+
+  type resumed = {
+    r_wet : Wet.t;  (** tier-1; pack per [r_header.h_tier2] *)
+    r_header : header;
+    r_replayed_shards : int;
+        (** shards fast-forwarded through instead of rebuilt *)
+    r_torn_tail : bool;
+        (** the journal ended in a torn record that was truncated *)
+    r_resume_ms : float;
+        (** wall time to re-execute up to the watermark *)
+  }
+
+  (** [build ~journal ~program ~input ()] is {!run_streaming} with
+      checkpoints journaled to [journal] (created or truncated). The
+      returned WET is tier-1; [tier2] is only recorded in the header.
+      [on_header_written] runs once the header record is durable — the
+      kill campaign arms {!Wet_journal.Journal.kill_after_records} /
+      [kill_after_bytes] there, so seeded kill offsets are relative to
+      the checkpoint stream and recovery always finds a header. *)
+  val build :
+    ?shard_events:int ->
+    ?checkpoint_every:int ->
+    ?track_peak:bool ->
+    ?max_stmts:int ->
+    ?interprocedural_cd:bool ->
+    ?analysis:Wet_cfg.Program_analysis.t ->
+    ?tier2:bool ->
+    ?label:string ->
+    ?on_header_written:(unit -> unit) ->
+    journal:string ->
+    program:Wet_ir.Program.t ->
+    input:int array ->
+    unit ->
+    Wet.t
+
+  (** [resume ~journal ()] recovers an interrupted {!build} (see the
+      module doc) and finishes it, continuing to checkpoint into
+      [journal]. Records the [journal.replayed_shards] and
+      [journal.resume_ms] metrics.
+      @raise Wet_error.Error (stage [Journal]) if the journal is
+        unreadable or holds no intact header. *)
+  val resume : ?track_peak:bool -> journal:string -> unit -> resumed
+
+  (** [describe journal] reports the header, the latest checkpoint (if
+      any) and whether the file ends torn — inspection for [wet fsck]
+      and tests, no recovery performed. *)
+  val describe :
+    string -> (header * ckpt option * bool, string) result
+end

@@ -89,6 +89,31 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* A crash between temp-file creation and the rename strands a
+   [.<basename>.<rand>.tmp] next to the destination. They are inert —
+   [load] never looks at them — but they accumulate, so [fsck] sweeps
+   for them. Matching is deliberately exact about the frame
+   ("." prefix, basename, "." separator, ".tmp" suffix) to avoid
+   claiming unrelated dotfiles. *)
+let orphan_temps path =
+  let dir = Filename.dirname path in
+  let prefix = "." ^ Filename.basename path ^ "." in
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.to_list entries
+  |> List.filter (fun name ->
+         String.length name > String.length prefix + 4
+         && String.sub name 0 (String.length prefix) = prefix
+         && Filename.check_suffix name ".tmp")
+  |> List.sort compare
+  |> List.map (fun name -> Filename.concat dir name)
+
+let remove_orphans path =
+  let orphans = orphan_temps path in
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    orphans;
+  orphans
+
 let load ?(salvage = false) path =
   Wet_obs.Span.with_ "store.load"
     ~attrs:[ ("path", Wet_obs.Span.Str path) ]

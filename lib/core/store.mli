@@ -45,3 +45,14 @@ val load : ?salvage:bool -> string -> Wet.t
 val crash_after : int option ref
 
 exception Crash_injected
+
+(** [orphan_temps path] lists the [.<basename>.*.tmp] staging files a
+    crashed {!save} of [path] may have stranded in [path]'s directory,
+    sorted, as full paths. They are harmless to {!load} but worth
+    sweeping ([wet fsck] reports them; [--gc] removes them). An
+    unreadable directory yields []. *)
+val orphan_temps : string -> string list
+
+(** [remove_orphans path] deletes {!orphan_temps}[ path] (ignoring
+    files that vanish concurrently) and returns what it targeted. *)
+val remove_orphans : string -> string list

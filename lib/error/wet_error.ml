@@ -1,4 +1,4 @@
-type stage = Interp | Build | Pack | Obs
+type stage = Interp | Build | Pack | Obs | Journal
 
 type t = { stage : stage; msg : string }
 
@@ -9,6 +9,7 @@ let stage_name = function
   | Build -> "build error"
   | Pack -> "pack error"
   | Obs -> "obs error"
+  | Journal -> "journal error"
 
 let message e = Printf.sprintf "%s: %s" (stage_name e.stage) e.msg
 

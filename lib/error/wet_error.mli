@@ -12,6 +12,7 @@ type stage =
   | Build  (** tier-1 sink/splicer misuse or internal inconsistency *)
   | Pack  (** tier-2 packing misuse *)
   | Obs  (** observability-layer misuse (registry, merge, export) *)
+  | Journal  (** checkpoint-journal format or recovery failure *)
 
 type t = { stage : stage; msg : string }
 

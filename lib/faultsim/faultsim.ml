@@ -93,3 +93,49 @@ let campaign ~seed ~count ~len =
     acc := random_fault rng ~len :: !acc
   done;
   List.rev !acc
+
+(* ---------------- process kills ---------------- *)
+
+type kill =
+  | Kill_at_shard of int
+  | Kill_at_byte of int
+
+let describe_kill = function
+  | Kill_at_shard 0 -> "killed before the first shard checkpoint"
+  | Kill_at_shard n ->
+    Printf.sprintf "killed after shard checkpoint %d was durable" n
+  | Kill_at_byte b ->
+    Printf.sprintf "killed %d bytes into the checkpoint stream" b
+
+let kill_to_spec = function
+  | Kill_at_shard n -> Printf.sprintf "kill:shard:%d" n
+  | Kill_at_byte b -> Printf.sprintf "kill:byte:%d" b
+
+let kill_of_spec s =
+  let nat what v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Printf.sprintf "%s: %s must be a non-negative integer" s what)
+  in
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' s with
+  | [ "kill"; "shard"; n ] ->
+    let* n = nat "shard count" n in
+    Ok (Kill_at_shard n)
+  | [ "kill"; "byte"; b ] ->
+    let* b = nat "byte offset" b in
+    Ok (Kill_at_byte b)
+  | _ ->
+    Error (Printf.sprintf "%s: expected kill:shard:N or kill:byte:N" s)
+
+let random_kill rng ~shards ~bytes =
+  if Prng.int rng 2 = 0 then Kill_at_shard (Prng.int rng (max shards 1))
+  else Kill_at_byte (Prng.int rng (max bytes 1))
+
+let kill_campaign ~seed ~count ~shards ~bytes =
+  let rng = Prng.create seed in
+  let acc = ref [] in
+  for _ = 1 to count do
+    acc := random_kill rng ~shards ~bytes :: !acc
+  done;
+  List.rev !acc

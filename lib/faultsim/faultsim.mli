@@ -38,3 +38,40 @@ val random_fault : Wet_util.Prng.t -> len:int -> fault
 (** [campaign ~seed ~count ~len] is [count] reproducible faults for
     data of length [len]. *)
 val campaign : seed:int -> count:int -> len:int -> fault list
+
+(** {1 Process kills}
+
+    Faults above damage bytes at rest; kills stop a checkpointed build
+    mid-flight ([wet build --checkpoint --kill SPEC]). They map onto
+    the {!Wet_journal.Journal} kill hooks — deterministic stand-ins for
+    [kill -9] at a seeded point, so a campaign replays exactly. Offsets
+    are relative to the checkpoint stream (the CLI arms the hook once
+    the journal header is durable). *)
+
+type kill =
+  | Kill_at_shard of int
+      (** die once [n] shard checkpoints are durable; [0] dies before
+          the first, leaving a header-only journal *)
+  | Kill_at_byte of int
+      (** die once [n] more journal bytes are written — lands inside a
+          record, leaving a genuinely torn tail on disk *)
+
+(** e.g. ["killed after shard checkpoint 3 was durable"]. *)
+val describe_kill : kill -> string
+
+(** Compact spec, ["kill:shard:N"] | ["kill:byte:N"] — what
+    [wet build --kill] accepts. *)
+val kill_to_spec : kill -> string
+
+(** Inverse of {!kill_to_spec}. [Error] explains the malformed spec. *)
+val kill_of_spec : string -> (kill, string) result
+
+(** One random kill: 50% [Kill_at_shard] (uniform in [0..shards-1]),
+    50% [Kill_at_byte] (uniform in [0..bytes-1]). *)
+val random_kill : Wet_util.Prng.t -> shards:int -> bytes:int -> kill
+
+(** [kill_campaign ~seed ~count ~shards ~bytes] is [count] reproducible
+    kill points for a build expected to checkpoint [shards] shards and
+    write about [bytes] journal bytes. *)
+val kill_campaign :
+  seed:int -> count:int -> shards:int -> bytes:int -> kill list

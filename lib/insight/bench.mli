@@ -45,6 +45,18 @@ type sample = {
   qlog_overhead_frac : float;
       (** relative wall overhead of running the sweep under profiling
           contexts with a qlog sink vs. plain — recorded, not gated *)
+  stream_checkpoint_p50_ms : float;
+      (** fused streaming build with a checkpoint journal armed (one
+          snapshot + fsync'd append per shard); gated at the wall
+          threshold — the "journal overhead stays bounded" guarantee
+          (0 = pre-journal file) *)
+  checkpoint_overhead_frac : float;
+      (** (stream_checkpoint_p50_ms - stream_p50_ms) / stream_p50_ms —
+          a ratio of two noisy walls, recorded but never gated *)
+  resume_ms : float;
+      (** wall time for a crash recovery killed at the midpoint shard:
+          read journal, restore snapshot, re-execute to the watermark —
+          recorded, not gated (one-shot, dominated by re-execution) *)
 }
 
 type run = {

@@ -47,6 +47,12 @@ let docs =
     ("store.sections_ok", Counter, "sections whose CRC verified");
     ("store.sections_corrupt", Counter, "sections failing CRC");
     ("store.salvaged_loads", Counter, "loads that recovered via salvage");
+    (* checkpoint journal (durable builds) *)
+    ("journal.records", Counter, "checkpoint-journal records appended");
+    ("journal.replayed_shards", Counter,
+     "shards fast-forwarded through on resume instead of rebuilt");
+    ("journal.resume_ms", Gauge,
+     "wall ms a resumed build spent re-executing up to its watermark");
     (* queries *)
     ("query.control_flow_ns", Histogram, "control-flow query latency (ns)");
     ("query.load_values_ns", Histogram, "load-value query latency (ns)");

@@ -1,0 +1,191 @@
+(* Append-only, per-record CRC'd, fsync'd journal. The framing is
+   deliberately dumb — one tag byte, LE32 length, LE32 CRC, payload —
+   so the reader can always classify a trailing partial write as torn
+   rather than silently mis-parsing it: every intact record announces
+   its own extent and checksums its own payload. *)
+
+let fail fmt = Wet_error.fail Wet_error.Journal fmt
+
+let magic = "WETJRNL1"
+
+let c_records = Wet_obs.Metrics.counter "journal.records"
+
+let c_replayed = Wet_obs.Metrics.counter "journal.replayed_shards"
+
+let g_resume_ms = Wet_obs.Metrics.gauge "journal.resume_ms"
+
+let note_replayed_shards n = Wet_obs.Metrics.add c_replayed n
+
+let note_resume_ms ms =
+  Wet_obs.Metrics.set g_resume_ms (int_of_float (Float.round ms))
+
+(* ---------------- kill injection ---------------- *)
+
+exception Kill_injected
+
+let () =
+  Printexc.register_printer (function
+    | Kill_injected -> Some "Wet_journal.Journal.Kill_injected"
+    | _ -> None)
+
+let kill_after_records : int option ref = ref None
+
+let kill_after_bytes : int option ref = ref None
+
+(* Write [data] fully, or — when the byte budget runs out inside it —
+   write exactly the budgeted prefix, fsync it so the torn bytes really
+   reach the file, and raise. Mirrors [Store.write_all]. *)
+let write_all fd data =
+  let len = String.length data in
+  let bytes = Bytes.unsafe_of_string data in
+  let limit =
+    match !kill_after_bytes with
+    | Some b when b < len ->
+      kill_after_bytes := None;
+      Some b
+    | Some b ->
+      kill_after_bytes := Some (b - len);
+      None
+    | None -> None
+  in
+  let upto = match limit with Some b -> b | None -> len in
+  let pos = ref 0 in
+  while !pos < upto do
+    pos := !pos + Unix.write fd bytes !pos (upto - !pos)
+  done;
+  if limit <> None then begin
+    Unix.fsync fd;
+    raise Kill_injected
+  end
+
+(* ---------------- framing ---------------- *)
+
+let le32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let read_le32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let frame ~tag payload =
+  if tag < 0 || tag > 0xff then fail "record tag %d out of range" tag;
+  let buf = Buffer.create (9 + String.length payload) in
+  Buffer.add_char buf (Char.chr tag);
+  le32 buf (String.length payload);
+  le32 buf (Wet_util.Crc32.string payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(* ---------------- writer ---------------- *)
+
+type writer = { w_path : string; w_fd : Unix.file_descr; mutable w_open : bool }
+
+let wrap_unix path f =
+  try f () with Unix.Unix_error (e, _, _) ->
+    fail "%s: %s" path (Unix.error_message e)
+
+let create path =
+  wrap_unix path @@ fun () ->
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  write_all fd magic;
+  Unix.fsync fd;
+  { w_path = path; w_fd = fd; w_open = true }
+
+let reopen path ~at =
+  if at < String.length magic then
+    fail "%s: cannot reopen at offset %d (inside the magic)" path at;
+  wrap_unix path @@ fun () ->
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd at;
+  ignore (Unix.lseek fd at Unix.SEEK_SET);
+  Unix.fsync fd;
+  { w_path = path; w_fd = fd; w_open = true }
+
+let check_open w =
+  if not w.w_open then fail "%s: journal writer is closed" w.w_path
+
+let append w ~tag payload =
+  check_open w;
+  (match !kill_after_records with
+   | Some 0 ->
+     kill_after_records := None;
+     raise Kill_injected
+   | _ -> ());
+  wrap_unix w.w_path (fun () ->
+      write_all w.w_fd (frame ~tag payload);
+      Unix.fsync w.w_fd);
+  Wet_obs.Metrics.incr c_records;
+  match !kill_after_records with
+  | Some n when n <= 1 ->
+    kill_after_records := None;
+    raise Kill_injected
+  | Some n ->
+    kill_after_records := Some (n - 1)
+  | None -> ()
+
+let close w =
+  if w.w_open then begin
+    w.w_open <- false;
+    wrap_unix w.w_path (fun () -> Unix.close w.w_fd)
+  end
+
+(* ---------------- reader ---------------- *)
+
+type record = { tag : int; payload : string }
+
+type scan = { records : record list; torn : bool; intact_bytes : int }
+
+let read path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error m
+  | data ->
+    let n = String.length data in
+    let mlen = String.length magic in
+    if n < mlen || String.sub data 0 mlen <> magic then
+      Error (Printf.sprintf "%s: not a WET journal (bad magic)" path)
+    else begin
+      let records = ref [] in
+      let pos = ref mlen in
+      let torn = ref false in
+      let stop = ref false in
+      while not !stop do
+        if !pos = n then stop := true
+        else if n - !pos < 9 then begin
+          (* partial frame header *)
+          torn := true;
+          stop := true
+        end
+        else begin
+          let tag = Char.code data.[!pos] in
+          let plen = read_le32 data (!pos + 1) in
+          let crc = read_le32 data (!pos + 5) in
+          if plen < 0 || !pos + 9 + plen > n then begin
+            torn := true;
+            stop := true
+          end
+          else if Wet_util.Crc32.sub data ~pos:(!pos + 9) ~len:plen <> crc
+          then begin
+            torn := true;
+            stop := true
+          end
+          else begin
+            records :=
+              { tag; payload = String.sub data (!pos + 9) plen } :: !records;
+            pos := !pos + 9 + plen
+          end
+        end
+      done;
+      Ok { records = List.rev !records; torn = !torn; intact_bytes = !pos }
+    end

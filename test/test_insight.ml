@@ -359,6 +359,9 @@ let sample ?(workload = "w") ?(build = 100.) ?(sps = 1000.) ?(bpl1 = 4.)
     query_decode_steps = 0;
     query_bits_touched = 0;
     qlog_overhead_frac = 0.;
+    stream_checkpoint_p50_ms = 0.;
+    checkpoint_overhead_frac = 0.;
+    resume_ms = 0.;
   }
 
 let run_of samples =
