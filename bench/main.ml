@@ -746,12 +746,16 @@ let repeat = ref 3
 
 let warmup = ref 1
 
-let out_file = ref "BENCH_PR8.json"
+let out_file = ref "BENCH_PR9.json"
 
 module Bench = Wet_insight.Bench
 module Explain = Wet_watch.Explain
 module Qprof = Wet_qprof.Qprof
 module Qlog = Wet_qprof.Qlog
+module Store = Wet_core.Store
+module Serve = Wet_serve.Server
+module Serve_client = Wet_serve.Client
+module SP = Wet_serve.Protocol
 
 (* The sweep is 4 queries (cf fwd, cf bwd, load values, addresses); the
    per-query table columns divide by this. *)
@@ -872,6 +876,72 @@ let resume_once w ~scale ~shards ~journal =
   let r = Builder.Checkpoint.resume ~journal () in
   r.Builder.Checkpoint.r_resume_ms
 
+(* Serve round trips: save the tier-2 WET to a temp container, stand up
+   an in-process daemon on a temp socket, and time [trace] requests end
+   to end — encode, socket write, dispatch under the engine lock,
+   response read. A discarded first request warms the daemon's cache so
+   the sampled walls measure serving, not loading. The daemon enables
+   the span sink for its own lifetime; the prior sink state is restored
+   so later stream walls stay comparable. *)
+let serve_roundtrips w2 ~name =
+  let dir = Filename.temp_file "wet_serve_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let wet_path = Filename.concat dir (name ^ ".wet") in
+  let socket = Filename.concat dir "bench.sock" in
+  let sink_was_enabled = !Wet_obs.Sink.enabled in
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ wet_path; socket ];
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+    if not sink_was_enabled then Wet_obs.Sink.disable ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      Store.save w2 wet_path;
+      let daemon =
+        Thread.create Serve.run
+          { (Serve.default_config ~socket) with Serve.cache_capacity = 2 }
+      in
+      let rec connect tries =
+        match Serve_client.connect socket with
+        | Ok c -> c
+        | Error e ->
+          if tries = 0 then failwith ("serve bench: " ^ e)
+          else begin
+            Thread.delay 0.02;
+            connect (tries - 1)
+          end
+      in
+      let client = connect 250 in
+      let trace_req id =
+        SP.request ~wet:wet_path
+          ~params:[ ("kind", "cf"); ("limit", "16") ]
+          ~id SP.Trace
+      in
+      let roundtrip id =
+        match Serve_client.request client (trace_req id) with
+        | Ok r when r.SP.rs_ok -> ()
+        | Ok r ->
+          failwith
+            ("serve bench: " ^ Option.value r.SP.rs_error ~default:"error")
+        | Error e -> failwith ("serve bench: " ^ e)
+      in
+      let walls =
+        Fun.protect
+          ~finally:(fun () ->
+            ignore (Serve_client.request client (SP.request ~id:0 SP.Shutdown));
+            Serve_client.close client;
+            Thread.join daemon)
+          (fun () ->
+            for i = 1 to !warmup + 1 do
+              roundtrip i
+            done;
+            List.init (max 5 (!repeat * 5)) (fun i ->
+                snd (timed_ms (fun () -> roundtrip (100 + i)))))
+      in
+      (Bench.percentile 0.5 walls, Bench.percentile 0.95 walls))
+
 let observatory () =
   let samples =
     List.map
@@ -947,6 +1017,10 @@ let observatory () =
           if query_p50 <= 0. then 0.
           else (Bench.percentile 0.5 qlog_ms -. query_p50) /. query_p50
         in
+        (* serve round trips against the same tier-2 WET *)
+        let serve_p50_ms, serve_p95_ms =
+          serve_roundtrips w2 ~name:w.Spec.name
+        in
         let build_p50 = Bench.percentile 0.5 build_ms in
         let per_label b = b.Sizes.total_bytes /. float_of_int stmts in
         {
@@ -975,6 +1049,8 @@ let observatory () =
           stream_checkpoint_p50_ms = stream_ckpt_p50;
           checkpoint_overhead_frac;
           resume_ms;
+          serve_p50_ms;
+          serve_p95_ms;
         })
       Spec.all
   in
@@ -998,7 +1074,7 @@ let observatory () =
       [ "Workload"; "Stmts"; "Stmts/s"; "B/label T2"; "Ratio T2";
         "Build p50 (ms)"; "Query p50 (ms)"; "Steps"; "Peak (Mw)"; "Shards";
         "Stream p50 (ms)"; "Reporter +%"; "Ckpt +%"; "Resume (ms)";
-        "Decode/q"; "Bits/q"; "Qlog +%" ]
+        "Decode/q"; "Bits/q"; "Qlog +%"; "Serve p50 (ms)"; "Serve p95 (ms)" ]
     (List.map
        (fun (s : Bench.sample) ->
          let overhead_pct =
@@ -1025,6 +1101,8 @@ let observatory () =
            Table.i (s.Bench.query_decode_steps / sweep_queries);
            Table.i (s.Bench.query_bits_touched / sweep_queries);
            Printf.sprintf "%+.1f" (100. *. s.Bench.qlog_overhead_frac);
+           Table.f2 s.Bench.serve_p50_ms;
+           Table.f2 s.Bench.serve_p95_ms;
          ])
        samples)
 

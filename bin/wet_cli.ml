@@ -25,6 +25,11 @@ module Pulse_ring = Wet_pulse.Ring
 module Pulse_reporter = Wet_pulse.Reporter
 module Journal = Wet_journal.Journal
 module Checkpoint = Wet_core.Builder.Checkpoint
+module Render = Wet_serve.Render
+module Serve_protocol = Wet_serve.Protocol
+module Serve_server = Wet_serve.Server
+module Serve_client = Wet_serve.Client
+module Serve_top = Wet_serve.Top
 
 let is_wet_file name =
   Filename.check_suffix name ".wet"
@@ -135,18 +140,43 @@ let progress_out_arg =
     & opt (some string) None
     & info [ "progress-out" ] ~docv:"FILE" ~doc)
 
+let log_level_arg =
+  let doc =
+    "Minimum log severity printed on stderr: debug, info, warn or error. \
+     Overrides the WET_LOG environment variable."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let log_out_arg =
+  let doc =
+    "Append every log line to $(docv) as JSONL objects with monotonic \
+     timestamps (in addition to stderr)."
+  in
+  Arg.(value & opt (some string) None & info [ "log-out" ] ~docv:"FILE" ~doc)
+
 type obs_opts = {
   o_metrics : string option;
   o_trace : string option;
   o_progress : bool;
   o_progress_out : string option;
+  o_log_level : string option;
+  o_log_out : string option;
 }
 
 let obs_term =
   Term.(
-    const (fun m t p po ->
-        { o_metrics = m; o_trace = t; o_progress = p; o_progress_out = po })
-    $ metrics_out_arg $ trace_out_arg $ progress_arg $ progress_out_arg)
+    const (fun m t p po ll lo ->
+        {
+          o_metrics = m;
+          o_trace = t;
+          o_progress = p;
+          o_progress_out = po;
+          o_log_level = ll;
+          o_log_out = lo;
+        })
+    $ metrics_out_arg $ trace_out_arg $ progress_arg $ progress_out_arg
+    $ log_level_arg $ log_out_arg)
 
 (* Default heartbeat period when progress is requested but the caller
    did not pick one: frequent enough for a responsive status line, rare
@@ -159,6 +189,31 @@ let with_obs o f =
     Wet_obs.Sink.enable ();
     Wet_obs.Metrics.reset ()
   end;
+  let bad_level = ref None in
+  (match o.o_log_level with
+   | None -> ()
+   | Some s ->
+     (match Wet_obs.Log.level_of_string s with
+      | Ok l -> Wet_obs.Log.threshold := l
+      | Error m -> bad_level := Some m));
+  let log_oc =
+    match Option.map open_out o.o_log_out with
+    | exception Sys_error m ->
+      bad_level := Some ("cannot write log output: " ^ m);
+      None
+    | oc ->
+      Wet_obs.Log.set_jsonl oc;
+      oc
+  in
+  let close_log () =
+    Wet_obs.Log.set_jsonl None;
+    Option.iter close_out log_oc
+  in
+  match !bad_level with
+  | Some m ->
+    close_log ();
+    `Error (false, m)
+  | None ->
   let run_reported () =
     if not progress then f ()
     else begin
@@ -178,22 +233,27 @@ let with_obs o f =
         let hb0 = !Wet_obs.Sink.heartbeat_every in
         if hb0 = 0 then
           Wet_obs.Sink.heartbeat_every := progress_heartbeat_default;
-        (* the reporter owns the status line; keep heartbeat log lines
-           from interleaving with it *)
-        let quiet0 = !Wet_obs.Log.quiet in
-        Wet_obs.Log.quiet := true;
+        (* the reporter owns the status line; raise the threshold so
+           heartbeat info lines don't interleave with it (the status
+           line itself is threshold-exempt, so it keeps rendering) *)
+        let threshold0 = !Wet_obs.Log.threshold in
+        if
+          Wet_obs.Log.severity threshold0
+          < Wet_obs.Log.severity Wet_obs.Log.Warn
+        then Wet_obs.Log.threshold := Wet_obs.Log.Warn;
         Fun.protect
           ~finally:(fun () ->
             Pulse_reporter.finish reporter;
             Pulse_reporter.uninstall ();
             Pulse_ring.uninstall ();
             Wet_obs.Sink.heartbeat_every := hb0;
-            Wet_obs.Log.quiet := quiet0;
+            Wet_obs.Log.threshold := threshold0;
             Option.iter close_out oc)
           f
     end
   in
   let r = run_reported () in
+  close_log ();
   (* An unwritable output path is a user error, not a crash. *)
   try
     Option.iter Wet_obs.Export.write_metrics_jsonl o.o_metrics;
@@ -307,121 +367,10 @@ let qprof_term =
 
 let ns_ms ns = float_of_int ns /. 1e6
 
+(* The table rendering lives in [Wet_serve.Render] so remote answers
+   from the daemon are byte-identical to local ones. *)
 let print_analyze wet (p : Qprof.profile) =
-  let c = p.Qprof.p_total in
-  (* Estimated vs actual steps, per stream class. [Query.estimate] is
-     the planner's prediction from WET structure alone; "actual" is the
-     armed Explain recording's fwd + bwd + seek distance, the same unit
-     the estimate is stated in. *)
-  let ests = Query.estimate wet p.Qprof.p_shape in
-  let actual kind =
-    List.fold_left
-      (fun acc (s : Explain.stream_stats) ->
-        if Explain.stream_kind s.Explain.e_stream = kind then
-          acc + Explain.steps s
-        else acc)
-      0 p.Qprof.p_streams
-  in
-  let kinds =
-    let touched =
-      List.map
-        (fun (s : Explain.stream_stats) -> Explain.stream_kind s.Explain.e_stream)
-        p.Qprof.p_streams
-    in
-    List.fold_left
-      (fun acc k -> if List.mem k acc then acc else acc @ [ k ])
-      (List.map (fun e -> e.Query.est_kind) ests)
-      touched
-  in
-  if kinds = [] then
-    print_endline
-      "analyze: no label streams touched (answered from in-memory arrays)"
-  else begin
-    let rows =
-      List.map
-        (fun k ->
-          let est = List.find_opt (fun e -> e.Query.est_kind = k) ests in
-          [
-            k;
-            (match est with
-             | Some e -> string_of_int e.Query.est_steps
-             | None -> "-");
-            string_of_int (actual k);
-            (match est with
-             | Some e when e.Query.est_exact -> "exact"
-             | Some _ -> "bound"
-             | None -> "unplanned");
-          ])
-        kinds
-    in
-    Table.print
-      ~title:
-        (Printf.sprintf "Estimated vs actual cursor steps (%s)."
-           p.Qprof.p_shape)
-      ~align:Table.[ Left; Right; Right; Left ]
-      ~header:[ "Stream class"; "Estimated"; "Actual"; "Model" ]
-      rows
-  end;
-  let lookups = c.Qprof.c_hits + c.Qprof.c_misses in
-  let cost_rows =
-    [
-      [ "wall"; Printf.sprintf "%.3f ms" (ns_ms c.Qprof.c_wall_ns) ];
-      [
-        "decode steps";
-        Printf.sprintf "%d (fwd %d, bwd %d)" (Qprof.decode_steps c)
-          c.Qprof.c_fwd c.Qprof.c_bwd;
-      ];
-      [ "direction switches"; string_of_int c.Qprof.c_switches ];
-      [
-        "dictionary";
-        (if lookups = 0 then "no packed entries decoded"
-         else
-           Printf.sprintf "%d hits / %d misses (%.1f%% hit rate)"
-             c.Qprof.c_hits c.Qprof.c_misses
-             (100. *. float_of_int c.Qprof.c_hits /. float_of_int lookups));
-      ];
-      [
-        "stored bits touched";
-        Printf.sprintf "%d (%.1f KB)" c.Qprof.c_bits
-          (float_of_int c.Qprof.c_bits /. 8. /. 1024.);
-      ];
-      [
-        "allocation";
-        Printf.sprintf "%.2f Mwords"
-          (float_of_int c.Qprof.c_alloc_words /. 1e6);
-      ];
-    ]
-    @ (if c.Qprof.c_seq_input = 0 then []
-       else
-         [
-           [
-             "sequitur (build inside query)";
-             Printf.sprintf "%d appends, %d digram hits, %d rules"
-               c.Qprof.c_seq_input c.Qprof.c_seq_digram_hits
-               c.Qprof.c_seq_rules_created;
-           ];
-         ])
-    @ [
-        [
-          "streams touched";
-          (let entry_points =
-             List.fold_left
-               (fun acc q -> if List.mem q acc then acc else acc @ [ q ])
-               [] p.Qprof.p_queries
-           in
-           Printf.sprintf "%d (%s)"
-             (List.length p.Qprof.p_streams)
-             (if entry_points = [] then "no entry points recorded"
-              else String.concat ", " entry_points));
-        ];
-      ]
-  in
-  Table.print
-    ~title:(Printf.sprintf "Query cost (%s)." p.Qprof.p_outcome)
-    ~align:Table.[ Left; Left ]
-    ~header:[ "Cost"; "Value" ]
-    cost_rows;
-  List.iter (fun h -> Printf.printf "hint: %s\n" h) (Qprof.hints p)
+  List.iter print_endline (Render.analyze wet p)
 
 (* Wrap the query part of a command (not the build: [with_wet] has
    already produced the WET when this runs) in a profiling context. The
@@ -442,6 +391,43 @@ let with_qprof q ~shape ?(params = []) wet f =
     if q.q_analyze then print_analyze wet prof;
     match res with Ok v -> v | Error e -> raise e
   end
+
+(* ---------------- remote queries (wet serve client) ---------------- *)
+
+let remote_arg =
+  let doc =
+    "Answer the query through a running `wet serve` daemon listening on \
+     Unix socket $(docv) instead of loading the container in this \
+     process. PROGRAM must then be a .wet container path (the daemon \
+     keeps it resident across requests)."
+  in
+  Arg.(value & opt (some string) None & info [ "remote" ] ~docv:"SOCKET" ~doc)
+
+(* One round-trip: the response's [lines] are exactly what the local
+   code path would have printed, so emitting them with [print_endline]
+   keeps remote and local output byte-identical. *)
+let remote_query ~socket ~qp ~prog verb params =
+  if qp.q_qlog <> None then
+    `Error
+      ( true,
+        "--qlog-out is local; the daemon appends its own access log \
+         (wet serve --qlog)" )
+  else if not (is_wet_file prog) then
+    `Error (true, "--remote queries name a saved .wet container path")
+  else
+    match
+      Serve_client.call ~socket
+        (Serve_protocol.request ~id:1 ~wet:prog ~params
+           ~analyze:qp.q_analyze verb)
+    with
+    | Error m -> `Error (false, m)
+    | Ok r when not r.Serve_protocol.rs_ok ->
+      `Error
+        ( false,
+          Option.value r.Serve_protocol.rs_error ~default:"request failed" )
+    | Ok r ->
+      List.iter print_endline r.Serve_protocol.rs_lines;
+      `Ok ()
 
 (* ---------------- arguments ---------------- *)
 
@@ -577,50 +563,36 @@ let limit_arg =
   Arg.(value & opt int 50 & info [ "limit" ] ~docv:"N" ~doc)
 
 let trace_cmd =
-  let action obs (batch, shard_events) explain qp prog scale input kind limit =
-    with_obs obs @@ fun () ->
-    with_explain explain @@ fun () ->
-    with_wet ~batch ?shard_events prog scale input (fun wet _ ->
-        let shape =
-          match kind with
-          | `Cf -> "trace/cf"
-          | `Values -> "trace/values"
-          | `Addresses -> "trace/addresses"
-        in
-        with_qprof qp ~shape
-          ~params:[ ("limit", string_of_int limit) ]
-          wet
-        @@ fun () ->
-        let printed = ref 0 in
-        let emit fmt =
-          Printf.ksprintf
-            (fun s -> if !printed < limit then begin print_endline s; incr printed end)
-            fmt
-        in
-        match kind with
-        | `Cf ->
-          Query.park wet Query.Forward;
-          let n = Query.control_flow wet Query.Forward ~f:(fun f b -> emit "f%d:B%d" f b) in
-          Printf.printf "... (%d block executions total)\n" n
-        | `Values ->
-          let n =
-            Query.load_values wet ~f:(fun c v ->
-                emit "load copy %d (stmt %d): %d" c wet.W.copy_stmt.(c) v)
-          in
-          Printf.printf "... (%d load values total)\n" n
-        | `Addresses ->
-          let n =
-            Query.addresses wet ~f:(fun c a ->
-                emit "mem copy %d (stmt %d): @%d" c wet.W.copy_stmt.(c) a)
-          in
-          Printf.printf "... (%d addresses total)\n" n)
+  let action obs (batch, shard_events) explain qp remote prog scale input
+      kind limit =
+    let kind_name, render_kind =
+      match kind with
+      | `Cf -> ("cf", Render.Cf)
+      | `Values -> ("values", Render.Values)
+      | `Addresses -> ("addresses", Render.Addresses)
+    in
+    match remote with
+    | Some socket ->
+      remote_query ~socket ~qp ~prog Serve_protocol.Trace
+        [ ("kind", kind_name); ("limit", string_of_int limit) ]
+    | None ->
+      with_obs obs @@ fun () ->
+      with_explain explain @@ fun () ->
+      with_wet ~batch ?shard_events prog scale input (fun wet _ ->
+          with_qprof qp ~shape:("trace/" ^ kind_name)
+            ~params:[ ("limit", string_of_int limit) ]
+            wet
+          @@ fun () ->
+          List.iter print_endline
+            (Render.trace wet ~kind:render_kind ~limit))
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Extract a control-flow, load-value or address trace from the WET.")
     Term.(
       ret (const action $ obs_term $ stream_term $ explain_arg $ qprof_term
-           $ program_arg $ scale_arg $ input_arg $ trace_kind $ limit_arg))
+           $ remote_arg $ program_arg $ scale_arg $ input_arg $ trace_kind
+           $ limit_arg))
 
 (* ---------------- slice ---------------- *)
 
@@ -632,63 +604,32 @@ let slice_cmd =
     in
     Arg.(value & opt (some int) None & info [ "output" ] ~docv:"K" ~doc)
   in
-  let action obs (batch, shard_events) explain qp prog scale input k =
-    with_obs obs @@ fun () ->
-    with_explain explain @@ fun () ->
-    with_wet ~batch ?shard_events prog scale input (fun wet _ ->
-        with_qprof qp ~shape:"slice/backward"
-          ~params:
-            [
-              ( "output",
-                match k with Some k -> string_of_int k | None -> "last" );
-            ]
-          wet
-        @@ fun () ->
-        (* enumerate output instances in execution order *)
-        let outs =
-          Query.copies_matching wet (function
-            | Wet_ir.Instr.Output _ -> true
-            | _ -> false)
-        in
-        let instances =
-          List.concat_map
-            (fun c ->
-              List.init (W.node_of_copy wet c).W.n_nexec (fun i ->
-                  (W.timestamp wet c i, c, i)))
-            outs
-          |> List.sort compare
-        in
-        if instances = [] then print_endline "program has no outputs to slice"
-        else begin
-          let total = List.length instances in
-          let k = Option.value k ~default:(total - 1) in
-          if k < 0 || k >= total then
-            Printf.printf "output index %d out of range [0,%d)\n" k total
-          else begin
-            let _, c, i = List.nth instances k in
-            Printf.printf
-              "backward WET slice of output #%d (copy %d, instance %d):\n" k c i;
-            let shown = ref 0 in
-            let r =
-              Slice.backward wet c i ~f:(fun c' i' ->
-                  if !shown < 40 then begin
-                    Printf.printf "  (%s) instance %d\n"
-                      (Fmt.str "%a" Wet_ir.Instr.pp (W.instr_of_copy wet c'))
-                      i';
-                    incr shown
-                  end)
-            in
-            Printf.printf
-              "slice: %d statement instances, %d copies, %d static statements\n"
-              r.Slice.instances r.Slice.copies r.Slice.stmts
-          end
-        end)
+  let action obs (batch, shard_events) explain qp remote prog scale input k =
+    match remote with
+    | Some socket ->
+      remote_query ~socket ~qp ~prog Serve_protocol.Slice
+        (match k with
+         | Some k -> [ ("output", string_of_int k) ]
+         | None -> [])
+    | None ->
+      with_obs obs @@ fun () ->
+      with_explain explain @@ fun () ->
+      with_wet ~batch ?shard_events prog scale input (fun wet _ ->
+          with_qprof qp ~shape:"slice/backward"
+            ~params:
+              [
+                ( "output",
+                  match k with Some k -> string_of_int k | None -> "last" );
+              ]
+            wet
+          @@ fun () ->
+          List.iter print_endline (Render.slice wet ~output:k))
   in
   Cmd.v
     (Cmd.info "slice" ~doc:"Compute a backward WET slice of an output value.")
     Term.(
       ret (const action $ obs_term $ stream_term $ explain_arg $ qprof_term
-           $ program_arg $ scale_arg $ input_arg $ output_arg))
+           $ remote_arg $ program_arg $ scale_arg $ input_arg $ output_arg))
 
 (* ---------------- paths ---------------- *)
 
@@ -697,39 +638,24 @@ let paths_cmd =
     let doc = "Show the N hottest paths." in
     Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
   in
-  let action obs (batch, shard_events) qp prog scale input top =
-    with_obs obs @@ fun () ->
-    with_wet ~batch ?shard_events prog scale input (fun wet _ ->
-        with_qprof qp ~shape:"paths"
-          ~params:[ ("top", string_of_int top) ]
-          wet
-        @@ fun () ->
-        let nodes = Array.copy wet.W.nodes in
-        Array.sort (fun a b -> compare b.W.n_nexec a.W.n_nexec) nodes;
-        let rows = ref [] in
-        Array.iteri
-          (fun i (n : W.node) ->
-            if i < top then
-              rows :=
-                [
-                  Printf.sprintf "f%d/path%d" n.W.n_func n.W.n_path;
-                  string_of_int n.W.n_nexec;
-                  string_of_int (Array.length n.W.n_stmts);
-                  String.concat " "
-                    (Array.to_list (Array.map (Printf.sprintf "B%d") n.W.n_blocks));
-                ]
-                :: !rows)
-          nodes;
-        Table.print ~title:"Hottest Ball-Larus paths."
-          ~align:Table.[ Left; Right; Right; Left ]
-          ~header:[ "Path"; "Executions"; "Stmts"; "Blocks" ]
-          (List.rev !rows))
+  let action obs (batch, shard_events) qp remote prog scale input top =
+    match remote with
+    | Some socket ->
+      remote_query ~socket ~qp ~prog Serve_protocol.Paths
+        [ ("top", string_of_int top) ]
+    | None ->
+      with_obs obs @@ fun () ->
+      with_wet ~batch ?shard_events prog scale input (fun wet _ ->
+          with_qprof qp ~shape:"paths"
+            ~params:[ ("top", string_of_int top) ]
+            wet
+          @@ fun () -> List.iter print_endline (Render.paths wet ~top))
   in
   Cmd.v
     (Cmd.info "paths" ~doc:"Profile Ball-Larus paths (hot path mining).")
     Term.(
-      ret (const action $ obs_term $ stream_term $ qprof_term $ program_arg
-           $ scale_arg $ input_arg $ top_arg))
+      ret (const action $ obs_term $ stream_term $ qprof_term $ remote_arg
+           $ program_arg $ scale_arg $ input_arg $ top_arg))
 
 (* ---------------- build (persist a WET) ---------------- *)
 
@@ -940,48 +866,24 @@ let at_cmd =
     let doc = "Global timestamp to inspect (default: the midpoint)." in
     Arg.(value & opt (some int) None & info [ "ts" ] ~docv:"T" ~doc)
   in
-  let action obs (batch, shard_events) explain qp prog scale input ts =
-    with_obs obs @@ fun () ->
-    with_explain explain @@ fun () ->
-    with_wet ~batch ?shard_events prog scale input (fun wet _ ->
-        let total = wet.W.stats.W.path_execs in
-        let ts = Option.value ts ~default:(max 1 (total / 2)) in
-        with_qprof qp ~shape:"at"
-          ~params:[ ("ts", string_of_int ts) ]
-          wet
-        @@ fun () ->
-        match Query.locate_time wet ts with
-        | None ->
-          Printf.printf "timestamp %d out of range [1,%d]\n" ts total
-        | Some (nid, i) ->
-          let n = wet.W.nodes.(nid) in
-          Printf.printf "t=%d of %d: execution %d of f%d/path%d (blocks %s)\n"
-            ts total i n.W.n_func n.W.n_path
-            (String.concat " "
-               (Array.to_list (Array.map (Printf.sprintf "B%d") n.W.n_blocks)));
-          (* a window of control flow around the point *)
-          let start_ts = max 1 (ts - 2) in
-          Printf.printf "control flow from t=%d:\n" start_ts;
-          let shown = ref 0 in
-          ignore
-            (Query.control_flow_from wet ~start_ts ~steps:4 ~f:(fun f b ->
-                 if !shown < 24 then begin
-                   Printf.printf "  f%d:B%d\n" f b;
-                   incr shown
-                 end));
-          (* global scalar state at that moment *)
-          let state = Wet_analyses.State_reconstruct.at wet ~ts in
-          let scalars =
-            List.filter (fun (_, _, size) -> size = 1) wet.W.program.Wet_ir.Program.globals
-          in
-          if scalars <> [] then begin
-            Printf.printf "global scalars at t=%d:\n" ts;
-            List.iter
-              (fun (name, base, _) ->
-                Printf.printf "  %s = %d\n" name
-                  (Wet_analyses.State_reconstruct.read state base))
-              scalars
-          end)
+  let action obs (batch, shard_events) explain qp remote prog scale input ts =
+    match remote with
+    | Some socket ->
+      remote_query ~socket ~qp ~prog Serve_protocol.At
+        (match ts with
+         | Some ts -> [ ("ts", string_of_int ts) ]
+         | None -> [])
+    | None ->
+      with_obs obs @@ fun () ->
+      with_explain explain @@ fun () ->
+      with_wet ~batch ?shard_events prog scale input (fun wet _ ->
+          let total = wet.W.stats.W.path_execs in
+          let ts = Option.value ts ~default:(max 1 (total / 2)) in
+          with_qprof qp ~shape:"at"
+            ~params:[ ("ts", string_of_int ts) ]
+            wet
+          @@ fun () ->
+          List.iter print_endline (Render.at wet ~ts:(Some ts)))
   in
   Cmd.v
     (Cmd.info "at"
@@ -989,7 +891,7 @@ let at_cmd =
              and reconstructed global state.")
     Term.(
       ret (const action $ obs_term $ stream_term $ explain_arg $ qprof_term
-           $ program_arg $ scale_arg $ input_arg $ ts_arg))
+           $ remote_arg $ program_arg $ scale_arg $ input_arg $ ts_arg))
 
 (* ---------------- dot ---------------- *)
 
@@ -2017,20 +1919,52 @@ let obs_cmd =
 
 (* ---------------- qlog (structured query log) ---------------- *)
 
-let qlog_file_pos p =
-  let doc = "A wet-qlog/1 JSONL file written by --qlog-out." in
-  Arg.(required & pos p (some string) None & info [] ~docv:"QLOG" ~doc)
+let qlog_files_pos p =
+  let doc =
+    "wet-qlog/1 JSONL files written by --qlog-out or the serve daemon; \
+     pass several to merge them, and $(b,-) reads from stdin."
+  in
+  Arg.(non_empty & pos_right (p - 1) string [] & info [] ~docv:"QLOG" ~doc)
+
+(* Rotated daemon access logs arrive as many files (or a pipe); merge
+   them into one entry list so report/top aggregate across the set. *)
+let qlog_load_stdin () =
+  let rec go n acc =
+    match In_channel.input_line stdin with
+    | None -> Ok (List.rev acc)
+    | Some l when String.trim l = "" -> go (n + 1) acc
+    | Some l ->
+      (match Qlog.parse_line l with
+       | Ok e -> go (n + 1) (e :: acc)
+       | Error m -> Error (Printf.sprintf "stdin:%d: %s" n m))
+  in
+  go 1 []
+
+let qlog_load_many files =
+  let rec go acc = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | f :: rest ->
+      (match if f = "-" then qlog_load_stdin () else Qlog.load f with
+       | Error m -> Error m
+       | Ok es -> go (es :: acc) rest)
+  in
+  go [] files
+
+let qlog_source_label = function
+  | [ f ] -> (if f = "-" then "stdin" else f)
+  | files -> Printf.sprintf "%d files" (List.length files)
 
 let qlog_report_cmd =
   let top_arg =
     let doc = "Show the N hottest shapes." in
     Arg.(value & opt int 15 & info [ "top" ] ~docv:"N" ~doc)
   in
-  let action file top =
-    match Qlog.load file with
+  let action files top =
+    let label = qlog_source_label files in
+    match qlog_load_many files with
     | Error m -> `Error (false, m)
     | Ok [] ->
-      Printf.printf "%s: empty query log\n" file;
+      Printf.printf "%s: empty query log\n" label;
       `Ok ()
     | Ok entries ->
       let sums = Qlog.summarize entries in
@@ -2064,7 +1998,7 @@ let qlog_report_cmd =
       Table.print
         ~title:
           (Printf.sprintf "Hottest query shapes (%s: %d queries, %d shapes)."
-             file (List.length entries) (List.length sums))
+             label (List.length entries) (List.length sums))
         ~align:
           Table.[
             Left; Right; Right; Right; Right; Right; Right; Right; Right;
@@ -2084,15 +2018,16 @@ let qlog_report_cmd =
          "Aggregate a query log: hottest shapes first with query counts, \
           p50/p95 latency and summed cost attribution (decode steps, \
           stored bits, direction switches).")
-    Term.(ret (const action $ qlog_file_pos 0 $ top_arg))
+    Term.(ret (const action $ qlog_files_pos 0 $ top_arg))
 
 let qlog_top_cmd =
   let n_arg =
     let doc = "How many queries to show." in
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc)
   in
-  let action n file =
-    match Qlog.load file with
+  let action n files =
+    let label = qlog_source_label files in
+    match qlog_load_many files with
     | Error m -> `Error (false, m)
     | Ok entries ->
       let slowest =
@@ -2114,11 +2049,11 @@ let qlog_top_cmd =
                e.Qlog.e_outcome;
              ])
       in
-      if rows = [] then Printf.printf "%s: empty query log\n" file
+      if rows = [] then Printf.printf "%s: empty query log\n" label
       else
         Table.print
           ~title:
-            (Printf.sprintf "Slowest queries (%s, %d of %d)." file
+            (Printf.sprintf "Slowest queries (%s, %d of %d)." label
                (List.length rows) (List.length entries))
           ~align:Table.[ Left; Left; Right; Right; Right; Left ]
           ~header:[ "Shape"; "Params"; "Wall ms"; "Decode"; "Bits"; "Outcome" ]
@@ -2128,7 +2063,7 @@ let qlog_top_cmd =
   Cmd.v
     (Cmd.info "top"
        ~doc:"Show the N slowest individual queries in a query log.")
-    Term.(ret (const action $ n_arg $ qlog_file_pos 1))
+    Term.(ret (const action $ n_arg $ qlog_files_pos 1))
 
 let qlog_cmd =
   Cmd.group
@@ -2162,6 +2097,95 @@ let benchmarks_cmd =
     (Cmd.info "benchmarks" ~doc:"List the bundled benchmark programs.")
     Term.(ret (const action $ obs_term))
 
+(* ---------------- serve (query daemon) ---------------- *)
+
+let socket_pos =
+  let doc = "Unix-domain socket path." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SOCKET" ~doc)
+
+let serve_cmd =
+  let cache_arg =
+    let doc = "Keep at most $(docv) WET containers resident (LRU)." in
+    Arg.(value & opt int 4 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let qlog_arg =
+    let doc =
+      "Append every request's profile to $(docv) as wet-qlog/1 JSONL (the \
+       daemon's access log; aggregate with `wet qlog report`)."
+    in
+    Arg.(value & opt (some string) None & info [ "qlog" ] ~docv:"FILE" ~doc)
+  in
+  let ring_arg =
+    let doc = "Flight-recorder ring capacity (entries)." in
+    Arg.(value & opt int 4096 & info [ "ring" ] ~docv:"N" ~doc)
+  in
+  let action obs socket cache qlog ring =
+    with_obs obs @@ fun () ->
+    match
+      Serve_server.run
+        {
+          Serve_server.socket;
+          cache_capacity = cache;
+          qlog;
+          ring_capacity = ring;
+        }
+    with
+    | () -> `Ok ()
+    | exception Wet_error.Error e -> `Error (false, Wet_error.message e)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve WET queries over a Unix socket: a long-lived daemon with \
+          an LRU container cache, per-request qprof attribution, a \
+          wet-qlog/1 access log and live serve.* metrics (watch with \
+          `wet top`).")
+    Term.(
+      ret (const action $ obs_term $ socket_pos $ cache_arg $ qlog_arg
+           $ ring_arg))
+
+let top_cmd =
+  let json_arg =
+    let doc = "Emit one JSONL snapshot object per tick instead of \
+               repainting the terminal." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let interval_arg =
+    let doc = "Milliseconds between polls (at least 100)." in
+    Arg.(value & opt int 1000 & info [ "interval-ms" ] ~docv:"MS" ~doc)
+  in
+  let count_arg =
+    let doc = "Stop after $(docv) snapshots (0 = run until interrupted)." in
+    Arg.(value & opt int 0 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let instruments_arg =
+    let doc = "Hottest-instrument rows on the terminal screen." in
+    Arg.(value & opt int 12 & info [ "instruments" ] ~docv:"N" ~doc)
+  in
+  let action socket json interval count instruments =
+    match
+      Serve_top.run
+        {
+          Serve_top.socket;
+          mode = (if json then Serve_top.Jsonl else Serve_top.Tty);
+          interval_ms = interval;
+          count;
+          instruments;
+        }
+    with
+    | Ok () -> `Ok ()
+    | Error m -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard for a `wet serve` daemon: request rates, latency \
+          p50/p95 from histogram buckets, cache and ring state, hottest \
+          instruments.")
+    Term.(
+      ret (const action $ socket_pos $ json_arg $ interval_arg $ count_arg
+           $ instruments_arg))
+
 let () =
   let doc = "whole execution traces: build, compress and query WETs" in
   let info = Cmd.info "wet" ~version:"1.0.0" ~doc in
@@ -2171,7 +2195,8 @@ let () =
          [
            run_cmd; stats_cmd; trace_cmd; slice_cmd; paths_cmd; at_cmd;
            watch_cmd; build_cmd; verify_cmd; fsck_cmd; dot_cmd; profile_cmd;
-           obs_cmd; qlog_cmd; bench_check_cmd; benchmarks_cmd;
+           obs_cmd; qlog_cmd; bench_check_cmd; benchmarks_cmd; serve_cmd;
+           top_cmd;
          ])
   in
   (* usage errors — unknown flags, missing arguments, bad --inject specs —

@@ -24,6 +24,8 @@ type sample = {
   stream_checkpoint_p50_ms : float;
   checkpoint_overhead_frac : float;
   resume_ms : float;
+  serve_p50_ms : float;
+  serve_p95_ms : float;
 }
 
 type run = {
@@ -75,6 +77,8 @@ let sample_json s =
       ("stream_checkpoint_p50_ms", Json.Num s.stream_checkpoint_p50_ms);
       ("checkpoint_overhead_frac", Json.Num s.checkpoint_overhead_frac);
       ("resume_ms", Json.Num s.resume_ms);
+      ("serve_p50_ms", Json.Num s.serve_p50_ms);
+      ("serve_p95_ms", Json.Num s.serve_p95_ms);
     ]
 
 let to_json r =
@@ -126,6 +130,9 @@ let sample_of_json j =
   let stream_checkpoint_p50_ms = opt_num "stream_checkpoint_p50_ms" in
   let checkpoint_overhead_frac = opt_num "checkpoint_overhead_frac" in
   let resume_ms = opt_num "resume_ms" in
+  (* Serve columns arrived with wet_serve; same rule. *)
+  let serve_p50_ms = opt_num "serve_p50_ms" in
+  let serve_p95_ms = opt_num "serve_p95_ms" in
   Ok
     {
       workload;
@@ -153,6 +160,8 @@ let sample_of_json j =
       stream_checkpoint_p50_ms;
       checkpoint_overhead_frac;
       resume_ms;
+      serve_p50_ms;
+      serve_p95_ms;
     }
 
 let of_json j =
@@ -261,6 +270,10 @@ let metrics =
        to gate, recorded for the table only. *)
     ("stream_checkpoint_p50_ms", (fun s -> s.stream_checkpoint_p50_ms),
      false, `Wall);
+    (* Serve round trips are socket I/O + dispatch over a hot cache —
+       wall-noisy, so the p50 gates loosely and the p95 is recorded for
+       the table only (0 = pre-serve file never regresses). *)
+    ("serve_p50_ms", (fun s -> s.serve_p50_ms), false, `Wall);
   ]
 
 let check th ~prev ~cur =

@@ -57,6 +57,12 @@ type sample = {
       (** wall time for a crash recovery killed at the midpoint shard:
           read journal, restore snapshot, re-execute to the watermark —
           recorded, not gated (one-shot, dominated by re-execution) *)
+  serve_p50_ms : float;
+      (** round-trip wall for a trace query through an in-process serve
+          daemon over a Unix socket, hot cache; gated at the wall
+          threshold (0 = pre-serve file) *)
+  serve_p95_ms : float;
+      (** tail of the same round trips — recorded, not gated *)
 }
 
 type run = {

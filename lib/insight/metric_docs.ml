@@ -97,6 +97,17 @@ let docs =
     ("qprof.wall_ns", Histogram, "profiled query latency (ns)");
     ("qprof.latency.<shape>", Histogram,
      "latency by query-shape fingerprint (ns), e.g. trace/cf");
+    (* query daemon (wet_serve) *)
+    ("serve.connections", Counter, "client connections accepted");
+    ("serve.requests.<verb>", Counter, "requests answered for verb <verb>");
+    ("serve.errors", Counter, "requests answered with an error");
+    ("serve.in_flight", Gauge, "requests currently being dispatched");
+    ("serve.bytes_in", Counter, "request bytes read from clients");
+    ("serve.bytes_out", Counter, "response bytes written to clients");
+    ("serve.cache.hits", Counter, "WET container cache hits");
+    ("serve.cache.misses", Counter, "WET container cache misses (loads)");
+    ("serve.cache.evictions", Counter, "resident WETs evicted by LRU");
+    ("serve.request_ns", Histogram, "request dispatch latency (ns)");
   ]
 
 (* Match a live name against a doc name, where a <placeholder> segment

@@ -20,6 +20,11 @@ val schema : string
     "count":..},...]}]. *)
 val metrics_jsonl : unit -> string
 
+(** {!metrics_jsonl} over an explicit reading list instead of the
+    process view — how the serve daemon renders a merge of
+    per-connection registries without disturbing its own. *)
+val metrics_jsonl_of : (string * Metrics.reading) list -> string
+
 (** The full trace-event JSON document for {!Sink.events}, with a
     top-level ["schema"] field (ignored by trace viewers). *)
 val chrome_trace : unit -> string

@@ -86,8 +86,10 @@ let emit t now =
         (Clock.to_s (now - t.t0) *. 1e3)
         stmts rate shards peak pushed dropped
     | Tty ->
-      Printf.eprintf
-        "\r[wet] %6s stmts  %6s/s  shards %-4d  peak %6sw  ring drops %-6d%!"
+      (* Through the Log layer, not a raw eprintf: --quiet suppresses
+         the line and a JSONL log sink receives it as a status object. *)
+      Wet_obs.Log.status
+        "[wet] %6s stmts  %6s/s  shards %-4d  peak %6sw  ring drops %-6d"
         (human stmts) (human (int_of_float rate)) shards (human peak) dropped)
 
 let tick t =
@@ -100,7 +102,7 @@ let force t = emit t (Clock.now_ns ())
 let finish t =
   force t;
   match t.out with
-  | Tty -> Printf.eprintf "\n%!"
+  | Tty -> Wet_obs.Log.finish_status ()
   | Jsonl oc -> flush oc
 
 let install t = Wet_obs.Sink.set_on_tick (fun () -> tick t)

@@ -1,0 +1,59 @@
+module P = Protocol
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () ->
+    Ok
+      {
+        fd;
+        ic = Unix.in_channel_of_descr fd;
+        oc = Unix.out_channel_of_descr fd;
+      }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s" socket
+         (Unix.error_message e))
+
+let request t req =
+  match
+    output_string t.oc (P.encode_request req);
+    output_char t.oc '\n';
+    flush t.oc;
+    In_channel.input_line t.ic
+  with
+  | None -> Error "server closed the connection"
+  | Some line ->
+    (match P.decode_response line with
+     | Error _ as e -> e
+     (* an undecodable request earns an error reply with id 0 — the
+        server never learned our id, so only match ids on successes *)
+     | Ok resp when resp.P.rs_ok && resp.P.rs_id <> req.P.rq_id ->
+       Error
+         (Printf.sprintf "response id %d does not match request id %d"
+            resp.P.rs_id req.P.rq_id)
+     | Ok resp -> Ok resp)
+  | exception Sys_error m -> Error m
+
+(* Send the line as-is — not necessarily valid wet-serve/1 — and decode
+   whatever comes back: the hostile-client probe. *)
+let raw_request t line =
+  match
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    In_channel.input_line t.ic
+  with
+  | None -> Error "server closed the connection"
+  | Some l -> P.decode_response l
+  | exception Sys_error m -> Error m
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let call ~socket req =
+  match connect socket with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> request t req)

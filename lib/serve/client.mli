@@ -1,0 +1,21 @@
+(** A blocking wet-serve/1 client: one connection, synchronous
+    request/response, used by [wet query --remote], [wet top] and the
+    test suite. *)
+
+type t
+
+val connect : string -> (t, string) result
+
+(** Send one request and wait for its response line. Ids are checked:
+    a response for a different id is an [Error]. *)
+val request : t -> Protocol.request -> (Protocol.response, string) result
+
+(** Send [line] verbatim — valid wet-serve/1 or not — and decode the
+    reply. Exercises the daemon's total decoding from the outside. *)
+val raw_request : t -> string -> (Protocol.response, string) result
+
+val close : t -> unit
+
+(** [connect] + [request] + [close] for one-shot callers. *)
+val call : socket:string -> Protocol.request ->
+  (Protocol.response, string) result

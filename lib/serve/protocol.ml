@@ -1,0 +1,182 @@
+module Json = Wet_insight.Json
+
+let schema = "wet-serve/1"
+
+type verb =
+  | Open
+  | Stats
+  | Trace
+  | Slice
+  | At
+  | Paths
+  | Watch
+  | Health
+  | Metrics
+  | Shutdown
+
+let all_verbs =
+  [ Open; Stats; Trace; Slice; At; Paths; Watch; Health; Metrics; Shutdown ]
+
+let verb_name = function
+  | Open -> "open"
+  | Stats -> "stats"
+  | Trace -> "trace"
+  | Slice -> "slice"
+  | At -> "at"
+  | Paths -> "paths"
+  | Watch -> "watch"
+  | Health -> "health"
+  | Metrics -> "metrics"
+  | Shutdown -> "shutdown"
+
+let verb_of_string s =
+  match
+    List.find_opt (fun v -> verb_name v = String.lowercase_ascii s) all_verbs
+  with
+  | Some v -> Ok v
+  | None ->
+    Error
+      (Printf.sprintf "unknown verb %S (expected one of %s)" s
+         (String.concat ", " (List.map verb_name all_verbs)))
+
+type request = {
+  rq_id : int;
+  rq_verb : verb;
+  rq_wet : string option;
+  rq_params : (string * string) list;
+  rq_analyze : bool;
+}
+
+type response = {
+  rs_id : int;
+  rs_ok : bool;
+  rs_error : string option;
+  rs_lines : string list;
+  rs_data : Json.t;
+}
+
+let request ?wet ?(params = []) ?(analyze = false) ~id verb =
+  { rq_id = id; rq_verb = verb; rq_wet = wet; rq_params = params;
+    rq_analyze = analyze }
+
+(* ---------------- encoding ---------------- *)
+
+let encode_request r =
+  let fields =
+    [ ("schema", Json.Str schema); ("id", Json.Num (float_of_int r.rq_id));
+      ("verb", Json.Str (verb_name r.rq_verb)) ]
+    @ (match r.rq_wet with
+       | None -> []
+       | Some w -> [ ("wet", Json.Str w) ])
+    @ (if r.rq_params = [] then []
+       else
+         [ ("params",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) r.rq_params))
+         ])
+    @ if r.rq_analyze then [ ("analyze", Json.Bool true) ] else []
+  in
+  Json.to_string (Json.Obj fields)
+
+let encode_response r =
+  let fields =
+    [ ("id", Json.Num (float_of_int r.rs_id)); ("ok", Json.Bool r.rs_ok) ]
+    @ (match r.rs_error with
+       | None -> []
+       | Some e -> [ ("error", Json.Str e) ])
+    @ (if r.rs_lines = [] then []
+       else
+         [ ("lines", Json.Arr (List.map (fun l -> Json.Str l) r.rs_lines)) ])
+    @
+    match r.rs_data with Json.Obj [] -> [] | d -> [ ("data", d) ]
+  in
+  Json.to_string (Json.Obj fields)
+
+(* ---------------- decoding ---------------- *)
+
+(* Every accessor is total and names what it expected: the daemon's
+   answer to a malformed line is a structured error, never a parse
+   exception killing the connection. *)
+
+let parse_object what line =
+  match Json.parse line with
+  | Error m -> Error (Printf.sprintf "truncated or malformed %s: %s" what m)
+  | Ok (Json.Obj _ as o) -> Ok o
+  | Ok _ -> Error (Printf.sprintf "%s must be a JSON object" what)
+
+let int_field what name o =
+  match Json.member name o with
+  | None -> Error (Printf.sprintf "%s is missing field %S" what name)
+  | Some v ->
+    (match Json.to_int v with
+     | Some i -> Ok i
+     | None -> Error (Printf.sprintf "%s field %S must be an integer" what name))
+
+let opt_str_field what name o =
+  match Json.member name o with
+  | None -> Ok None
+  | Some v ->
+    (match Json.to_str v with
+     | Some s -> Ok (Some s)
+     | None -> Error (Printf.sprintf "%s field %S must be a string" what name))
+
+let bool_field what name o ~default =
+  match Json.member name o with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "%s field %S must be a boolean" what name)
+
+let ( let* ) = Result.bind
+
+let decode_request line =
+  let what = "request" in
+  let* o = parse_object what line in
+  let* id = int_field what "id" o in
+  let* verb_s = opt_str_field what "verb" o in
+  let* verb =
+    match verb_s with
+    | None -> Error "request is missing field \"verb\""
+    | Some s -> verb_of_string s
+  in
+  let* wet = opt_str_field what "wet" o in
+  let* params =
+    match Json.member "params" o with
+    | None -> Ok []
+    | Some (Json.Obj kvs) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (k, Json.Str v) :: rest -> go ((k, v) :: acc) rest
+        | (k, _) :: _ ->
+          Error (Printf.sprintf "request param %S must be a string" k)
+      in
+      go [] kvs
+    | Some _ -> Error "request field \"params\" must be an object"
+  in
+  let* analyze = bool_field what "analyze" o ~default:false in
+  Ok { rq_id = id; rq_verb = verb; rq_wet = wet; rq_params = params;
+       rq_analyze = analyze }
+
+let decode_response line =
+  let what = "response" in
+  let* o = parse_object what line in
+  let* id = int_field what "id" o in
+  let* ok = bool_field what "ok" o ~default:true in
+  let* err = opt_str_field what "error" o in
+  let* lines =
+    match Json.member "lines" o with
+    | None -> Ok []
+    | Some (Json.Arr vs) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.Str s :: rest -> go (s :: acc) rest
+        | _ -> Error "response field \"lines\" must hold strings"
+      in
+      go [] vs
+    | Some _ -> Error "response field \"lines\" must be an array"
+  in
+  let data = Option.value (Json.member "data" o) ~default:(Json.Obj []) in
+  Ok { rs_id = id; rs_ok = ok; rs_error = err; rs_lines = lines;
+       rs_data = data }
+
+let error_response ~id msg =
+  { rs_id = id; rs_ok = false; rs_error = Some msg; rs_lines = [];
+    rs_data = Json.Obj [] }

@@ -1,0 +1,69 @@
+(** The wet-serve/1 wire protocol: one JSON object per line in each
+    direction over a Unix-domain socket.
+
+    A request names a verb, optionally the [.wet] container it targets,
+    free-form string parameters (the same key=value vocabulary the
+    qprof contexts record) and an [analyze] flag asking the daemon to
+    append the --analyze cost tables to the response. A response echoes
+    the request id, carries the query's rendered output as a list of
+    lines (byte-identical to what the one-shot CLI prints) and a
+    structured [data] payload for machine consumers ([health],
+    [metrics], [watch]).
+
+    Decoding is total: unknown verbs, truncated lines and
+    wrongly-typed fields come back as [Error] with a message naming
+    the offence, never an exception — a daemon must survive any bytes
+    a client throws at it. *)
+
+module Json = Wet_insight.Json
+
+type verb =
+  | Open
+  | Stats
+  | Trace
+  | Slice
+  | At
+  | Paths
+  | Watch
+  | Health
+  | Metrics
+  | Shutdown
+
+val verb_name : verb -> string
+
+(** [Error] names the unknown verb. *)
+val verb_of_string : string -> (verb, string) result
+
+val all_verbs : verb list
+
+type request = {
+  rq_id : int;  (** echoed back in the response *)
+  rq_verb : verb;
+  rq_wet : string option;  (** target container path (query verbs) *)
+  rq_params : (string * string) list;
+  rq_analyze : bool;  (** append --analyze tables to the response *)
+}
+
+type response = {
+  rs_id : int;
+  rs_ok : bool;
+  rs_error : string option;
+  rs_lines : string list;  (** rendered output, one terminal line each *)
+  rs_data : Json.t;  (** structured payload; [Obj []] when none *)
+}
+
+val request : ?wet:string -> ?params:(string * string) list ->
+  ?analyze:bool -> id:int -> verb -> request
+
+(** One line, no trailing newline. *)
+val encode_request : request -> string
+
+val decode_request : string -> (request, string) result
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+(** The error reply for a line that failed to decode. *)
+val error_response : id:int -> string -> response
+
+val schema : string

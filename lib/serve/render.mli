@@ -1,0 +1,42 @@
+(** Query renderers shared by the one-shot CLI and the serve daemon.
+
+    Each renderer returns the answer as a list of terminal lines; the
+    CLI prints them with [print_endline] and the daemon ships them in a
+    response's [lines] field — so a remote query is byte-identical to a
+    local one by construction, not by parallel maintenance of two
+    printf vocabularies.
+
+    An element may be [""] (a blank output line, e.g. the one
+    {!Wet_report.Table.print} emits after a table). Renderers that move
+    stream cursors re-park them first where the query semantics require
+    it, so a long-lived daemon can interleave shapes freely. *)
+
+module Qprof = Wet_qprof.Qprof
+
+type trace_kind = Cf | Values | Addresses
+
+val trace_kind_of_string : string -> (trace_kind, string) result
+
+(** [wet trace --kind K --limit N]. *)
+val trace : Wet_core.Wet.t -> kind:trace_kind -> limit:int -> string list
+
+(** [wet slice --output K] ([None] = the last output). *)
+val slice : Wet_core.Wet.t -> output:int option -> string list
+
+(** [wet at --ts T] ([None] = the midpoint). *)
+val at : Wet_core.Wet.t -> ts:int option -> string list
+
+(** [wet paths --top N]. *)
+val paths : Wet_core.Wet.t -> top:int -> string list
+
+(** [wet stats --json]: the one-line insight report document. *)
+val stats_json : Wet_core.Wet.t -> label:string -> string list
+
+(** The [--analyze] tables and hints for a finished profile. *)
+val analyze : Wet_core.Wet.t -> Qprof.profile -> string list
+
+(** Split a {!Wet_report.Table.render} result into lines, with the
+    blank line [Table.print] appends. *)
+val table_lines :
+  ?align:Wet_report.Table.align list -> title:string ->
+  header:string list -> string list list -> string list

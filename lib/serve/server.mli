@@ -1,0 +1,31 @@
+(** The wet_serve daemon: a long-lived query service over a Unix-domain
+    socket, observable from birth.
+
+    One thread accepts, one thread per connection reads wet-serve/1
+    request lines; query execution itself is serialised under a single
+    engine lock (WET stream cursors, the qprof context stack and the
+    span sink are process-global). Every request runs inside a
+    {!Wet_qprof.Qprof.run} context, appends to the shared wet-qlog/1
+    access log when one is configured, and bumps [serve.*] instruments
+    in the connection's private {!Wet_obs.Metrics.Local} registry; the
+    [metrics] verb folds those registries over the process view with
+    {!Wet_obs.Metrics.merge} into one wet-obs/2 snapshot. A bounded
+    {!Wet_pulse.Ring} taps request spans as the flight recorder the
+    [watch] verb replays. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path *)
+  cache_capacity : int;  (** resident WET containers (LRU) *)
+  qlog : string option;  (** wet-qlog/1 access-log path *)
+  ring_capacity : int;  (** flight-recorder entries *)
+}
+
+val default_config : socket:string -> config
+
+(** Serve until a [shutdown] request arrives; returns cleanly after the
+    socket is closed and unlinked. A stale socket file (left by a
+    killed predecessor, connection refused) is removed and rebound; a
+    live one is an error.
+    @raise Wet_error.Error ([Obs] stage) when the socket cannot be
+    bound or is already being served. *)
+val run : config -> unit

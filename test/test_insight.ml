@@ -362,6 +362,8 @@ let sample ?(workload = "w") ?(build = 100.) ?(sps = 1000.) ?(bpl1 = 4.)
     stream_checkpoint_p50_ms = 0.;
     checkpoint_overhead_frac = 0.;
     resume_ms = 0.;
+    serve_p50_ms = 0.;
+    serve_p95_ms = 0.;
   }
 
 let run_of samples =
