@@ -313,9 +313,9 @@ let table5 () =
 
 (* Control-flow trace extraction, forward then backward (Table 6). The
    extracted trace is one 4-byte block id per block execution. *)
-let cf_extract wet dir =
+let cf_extract s dir =
   let count = ref 0 in
-  let _ = Query.control_flow wet dir ~f:(fun _ _ -> incr count) in
+  let _ = Query.Session.control_flow s dir ~f:(fun _ _ -> incr count) in
   !count
 
 let table6 () =
@@ -324,20 +324,21 @@ let table6 () =
     List.map
       (fun r ->
         progress "table6 %s" r.tw.Spec.name;
-        Query.park r.w1 Query.Forward;
-        Query.park r.w2 Query.Forward;
+        let s1 = W.open_session r.w1 and s2 = W.open_session r.w2 in
+        Query.Session.park s1 Query.Forward;
+        Query.Session.park s2 Query.Forward;
         let blocks = r.w1.W.stats.W.block_execs in
         let trace_mb = mb (4. *. float_of_int blocks) in
-        let measure wet dir =
-          let n, s = time "bench.query.cf" (fun () -> cf_extract wet dir) in
+        let measure sess dir =
+          let n, s = time "bench.query.cf" (fun () -> cf_extract sess dir) in
           assert (n = blocks);
           (Printf.sprintf "%.3f" s, trace_mb /. Float.max 1e-9 s)
         in
         (* forward passes leave cursors at the end, ready for backward *)
-        let f1s, f1r = measure r.w1 Query.Forward in
-        let b1s, b1r = measure r.w1 Query.Backward in
-        let f2s, f2r = measure r.w2 Query.Forward in
-        let b2s, b2r = measure r.w2 Query.Backward in
+        let f1s, f1r = measure s1 Query.Forward in
+        let b1s, b1r = measure s1 Query.Backward in
+        let f2s, f2r = measure s2 Query.Forward in
+        let b2s, b2r = measure s2 Query.Backward in
         [
           r.tw.Spec.name;
           Table.f2 trace_mb;
@@ -365,9 +366,10 @@ let table7 () =
       (fun r ->
         progress "table7 %s" r.tw.Spec.name;
         let measure wet =
+          let sess = W.open_session wet in
           let n, s =
             time "bench.query.load_values" (fun () ->
-                Query.load_values wet ~f:(fun _ _ -> ()))
+                Query.Session.load_values sess ~f:(fun _ _ -> ()))
           in
           (mb (4. *. float_of_int n), s)
         in
@@ -394,9 +396,10 @@ let table8 () =
       (fun r ->
         progress "table8 %s" r.tw.Spec.name;
         let measure wet =
+          let sess = W.open_session wet in
           let n, s =
             time "bench.query.addresses" (fun () ->
-                Query.addresses wet ~f:(fun _ _ -> ()))
+                Query.Session.addresses sess ~f:(fun _ _ -> ()))
           in
           (mb (4. *. float_of_int n), s)
         in
@@ -438,10 +441,11 @@ let table9 () =
         progress "table9 %s" r.tw.Spec.name;
         let criteria = slice_criteria r.w1 25 in
         let run wet =
+          let sess = W.open_session wet in
           let _, s =
             time "bench.slice.backward" (fun () ->
                 List.iter
-                  (fun (c, i) -> ignore (Slice.backward wet c i))
+                  (fun (c, i) -> ignore (Slice.Session.backward sess c i))
                   criteria)
           in
           s /. float_of_int (List.length criteria)
@@ -478,13 +482,13 @@ let ablation () =
     |> List.sort (fun a b -> compare b.W.n_nexec a.W.n_nexec)
     |> List.hd
   in
-  let ts_stream = W.Stream.to_array node.W.n_ts in
+  let ts_stream = W.Stream.contents node.W.n_ts in
   let pattern_stream =
     match
       Array.to_list node.W.n_groups
       |> List.filter_map (fun g -> g.W.g_pattern)
     with
-    | p :: _ -> W.Stream.to_array p
+    | p :: _ -> W.Stream.contents p
     | [] -> [||]
   in
   let uvals_stream =
@@ -493,7 +497,7 @@ let ablation () =
       (fun u ->
         match u with
         | Some s ->
-          let a = W.Stream.to_array s in
+          let a = W.Stream.contents s in
           if Array.length a > Array.length !best then best := a
         | None -> ())
       wet.W.copy_uvals;
@@ -580,14 +584,14 @@ let ctx_ablation () =
     Array.iter
       (function
         | Some s ->
-          let a = W.Stream.to_array s in
+          let a = W.Stream.contents s in
           if Array.length a > Array.length !best then best := a
         | None -> ())
       wet.W.copy_uvals;
     !best
   in
   let streams =
-    [ ("timestamps", W.Stream.to_array hottest.W.n_ts); ("uvals", uvals) ]
+    [ ("timestamps", W.Stream.contents hottest.W.n_ts); ("uvals", uvals) ]
   in
   List.iter
     (fun (sname, arr) ->
@@ -668,7 +672,7 @@ let micro () =
         if n.W.n_nexec > best.W.n_nexec then n else best)
       w1.W.nodes.(0) w1.W.nodes
   in
-  let ts = W.Stream.to_array hottest.W.n_ts in
+  let ts = W.Stream.contents hottest.W.n_ts in
   let packed = Wet_bistream.Stream.compress ts in
   let tests =
     [
@@ -683,32 +687,43 @@ let micro () =
         (Staged.stage (fun () -> ignore (AP.of_trace trace)));
       (* Table 6: control-flow extraction *)
       Test.make ~name:"table6: cf trace (tier-2)"
-        (Staged.stage (fun () ->
-             Query.park w2 Query.Forward;
-             ignore (Query.control_flow w2 Query.Forward ~f:(fun _ _ -> ()))));
+        (Staged.stage
+           (let s = W.open_session w2 in
+            fun () ->
+              Query.Session.park s Query.Forward;
+              ignore
+                (Query.Session.control_flow s Query.Forward
+                   ~f:(fun _ _ -> ()))));
       (* Table 7 *)
       Test.make ~name:"table7: load values (tier-2)"
-        (Staged.stage (fun () ->
-             ignore (Query.load_values w2 ~f:(fun _ _ -> ()))));
+        (Staged.stage
+           (let s = W.open_session w2 in
+            fun () ->
+              ignore (Query.Session.load_values s ~f:(fun _ _ -> ()))));
       (* Table 8 *)
       Test.make ~name:"table8: addresses (tier-2)"
-        (Staged.stage (fun () ->
-             ignore (Query.addresses w2 ~f:(fun _ _ -> ()))));
+        (Staged.stage
+           (let s = W.open_session w2 in
+            fun () ->
+              ignore (Query.Session.addresses s ~f:(fun _ _ -> ()))));
       (* Table 9 *)
       Test.make ~name:"table9: one backward slice (tier-2)"
         (Staged.stage
-           (let c, i = List.hd (slice_criteria w2 1) in
-            fun () -> ignore (Slice.backward w2 c i)));
+           (let s = W.open_session w2 in
+            let c, i = List.hd (slice_criteria w2 1) in
+            fun () -> ignore (Slice.Session.backward s c i)));
       (* Figures 8/9 reduce to stream compression *)
       Test.make ~name:"fig8+9: compress a ts stream"
         (Staged.stage (fun () ->
              ignore (Wet_bistream.Stream.compress ts)));
       Test.make ~name:"fig8+9: step a packed stream"
-        (Staged.stage (fun () ->
-             Wet_bistream.Stream.seek packed 0;
-             for _ = 1 to min 256 (Array.length ts) do
-               ignore (Wet_bistream.Stream.step_forward packed)
-             done));
+        (Staged.stage
+           (let cur = Wet_bistream.Stream.Cursor.make packed in
+            fun () ->
+              Wet_bistream.Stream.Cursor.seek cur 0;
+              for _ = 1 to min 256 (Array.length ts) do
+                ignore (Wet_bistream.Stream.Cursor.step_forward cur)
+              done));
     ]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
@@ -746,7 +761,7 @@ let repeat = ref 3
 
 let warmup = ref 1
 
-let out_file = ref "BENCH_PR9.json"
+let out_file = ref "BENCH_PR10.json"
 
 module Bench = Wet_insight.Bench
 module Explain = Wet_watch.Explain
@@ -764,12 +779,17 @@ let sweep_queries = 4
 (* The fixed query sweep every observatory sample times: both directions
    of control flow, load values and addresses, all on the tier-2 WET —
    the shape of Tables 6–8 in one deterministic unit of work. *)
+(* Deliberately the default session: Explain.arm () arms the default
+   recorder and Qprof.profiled uses the default scope, so the sweep's
+   work must land on the default cursors for the cost attribution
+   below to see it. *)
 let query_sweep w2 =
-  Query.park w2 Query.Forward;
-  ignore (Query.control_flow w2 Query.Forward ~f:(fun _ _ -> ()));
-  ignore (Query.control_flow w2 Query.Backward ~f:(fun _ _ -> ()));
-  ignore (Query.load_values w2 ~f:(fun _ _ -> ()));
-  ignore (Query.addresses w2 ~f:(fun _ _ -> ()))
+  let s = W.default_session w2 in
+  Query.Session.park s Query.Forward;
+  ignore (Query.Session.control_flow s Query.Forward ~f:(fun _ _ -> ()));
+  ignore (Query.Session.control_flow s Query.Backward ~f:(fun _ _ -> ()));
+  ignore (Query.Session.load_values s ~f:(fun _ _ -> ()));
+  ignore (Query.Session.addresses s ~f:(fun _ _ -> ()))
 
 let timed_ms f =
   let t0 = Wet_obs.Clock.now_ns () in
@@ -899,9 +919,17 @@ let serve_roundtrips w2 ~name =
   in
   Fun.protect ~finally:cleanup (fun () ->
       Store.save w2 wet_path;
+      (* the daemon gets its own domain so its compute overlaps the
+         clients' turnaround — in one runtime the two would serialise
+         on the master lock and the concurrent phase could never beat
+         the single-client rate *)
+      (* the adaptive domain default: the concurrent columns measure
+         what a client gets from this machine's daemon — parallel
+         dispatch where cores exist, thread time-sharing where not *)
       let daemon =
-        Thread.create Serve.run
-          { (Serve.default_config ~socket) with Serve.cache_capacity = 2 }
+        Domain.spawn (fun () ->
+            Serve.run
+              { (Serve.default_config ~socket) with Serve.cache_capacity = 2 })
       in
       let rec connect tries =
         match Serve_client.connect socket with
@@ -919,28 +947,68 @@ let serve_roundtrips w2 ~name =
           ~params:[ ("kind", "cf"); ("limit", "16") ]
           ~id SP.Trace
       in
-      let roundtrip id =
-        match Serve_client.request client (trace_req id) with
+      let roundtrip_on c id =
+        match Serve_client.request c (trace_req id) with
         | Ok r when r.SP.rs_ok -> ()
         | Ok r ->
           failwith
             ("serve bench: " ^ Option.value r.SP.rs_error ~default:"error")
         | Error e -> failwith ("serve bench: " ^ e)
       in
-      let walls =
+      let roundtrip id = roundtrip_on client id in
+      let walls, mt_walls, mt_wall_s =
         Fun.protect
           ~finally:(fun () ->
             ignore (Serve_client.request client (SP.request ~id:0 SP.Shutdown));
             Serve_client.close client;
-            Thread.join daemon)
+            Domain.join daemon)
           (fun () ->
             for i = 1 to !warmup + 1 do
               roundtrip i
             done;
-            List.init (max 5 (!repeat * 5)) (fun i ->
-                snd (timed_ms (fun () -> roundtrip (100 + i)))))
+            let walls =
+              List.init (max 5 (!repeat * 5)) (fun i ->
+                  snd (timed_ms (fun () -> roundtrip (100 + i))))
+            in
+            (* Concurrent phase: 4 clients, each its own connection (so
+               each gets its own server-side session over the shared
+               resident WET), hammering the same trace verb. Per-request
+               walls feed the MT p50; the burst's total wall feeds the
+               aggregate requests/sec. *)
+            let clients = 4 in
+            let per_client = max 5 (!repeat * 5) in
+            let results = Array.make clients [] in
+            let burst () =
+              let threads =
+                List.init clients (fun k ->
+                    Thread.create
+                      (fun k ->
+                        let c = connect 250 in
+                        Fun.protect
+                          ~finally:(fun () -> Serve_client.close c)
+                          (fun () ->
+                            results.(k) <-
+                              List.init per_client (fun i ->
+                                  snd
+                                    (timed_ms (fun () ->
+                                         roundtrip_on c
+                                           (1000 + (k * per_client) + i))))))
+                      k)
+              in
+              List.iter Thread.join threads
+            in
+            let (), mt_wall_ms = timed_ms burst in
+            let mt_walls = List.concat (Array.to_list results) in
+            (walls, mt_walls, mt_wall_ms /. 1e3))
       in
-      (Bench.percentile 0.5 walls, Bench.percentile 0.95 walls))
+      let mt_rps =
+        if mt_wall_s <= 0. then 0.
+        else float_of_int (List.length mt_walls) /. mt_wall_s
+      in
+      ( Bench.percentile 0.5 walls,
+        Bench.percentile 0.95 walls,
+        Bench.percentile 0.5 mt_walls,
+        mt_rps ))
 
 let observatory () =
   let samples =
@@ -1018,7 +1086,7 @@ let observatory () =
           else (Bench.percentile 0.5 qlog_ms -. query_p50) /. query_p50
         in
         (* serve round trips against the same tier-2 WET *)
-        let serve_p50_ms, serve_p95_ms =
+        let serve_p50_ms, serve_p95_ms, serve_mt_p50_ms, serve_mt_rps =
           serve_roundtrips w2 ~name:w.Spec.name
         in
         let build_p50 = Bench.percentile 0.5 build_ms in
@@ -1051,6 +1119,8 @@ let observatory () =
           resume_ms;
           serve_p50_ms;
           serve_p95_ms;
+          serve_mt_p50_ms;
+          serve_mt_rps;
         })
       Spec.all
   in
@@ -1074,7 +1144,8 @@ let observatory () =
       [ "Workload"; "Stmts"; "Stmts/s"; "B/label T2"; "Ratio T2";
         "Build p50 (ms)"; "Query p50 (ms)"; "Steps"; "Peak (Mw)"; "Shards";
         "Stream p50 (ms)"; "Reporter +%"; "Ckpt +%"; "Resume (ms)";
-        "Decode/q"; "Bits/q"; "Qlog +%"; "Serve p50 (ms)"; "Serve p95 (ms)" ]
+        "Decode/q"; "Bits/q"; "Qlog +%"; "Serve p50 (ms)"; "Serve p95 (ms)";
+        "MT p50 (ms)"; "MT req/s" ]
     (List.map
        (fun (s : Bench.sample) ->
          let overhead_pct =
@@ -1103,6 +1174,8 @@ let observatory () =
            Printf.sprintf "%+.1f" (100. *. s.Bench.qlog_overhead_frac);
            Table.f2 s.Bench.serve_p50_ms;
            Table.f2 s.Bench.serve_p95_ms;
+           Table.f2 s.Bench.serve_mt_p50_ms;
+           Printf.sprintf "%.3g" s.Bench.serve_mt_rps;
          ])
        samples)
 

@@ -584,7 +584,7 @@ let trace_cmd =
             wet
           @@ fun () ->
           List.iter print_endline
-            (Render.trace wet ~kind:render_kind ~limit))
+            (Render.trace (W.default_session wet) ~kind:render_kind ~limit))
   in
   Cmd.v
     (Cmd.info "trace"
@@ -623,7 +623,8 @@ let slice_cmd =
               ]
             wet
           @@ fun () ->
-          List.iter print_endline (Render.slice wet ~output:k))
+          List.iter print_endline
+            (Render.slice (W.default_session wet) ~output:k))
   in
   Cmd.v
     (Cmd.info "slice" ~doc:"Compute a backward WET slice of an output value.")
@@ -828,12 +829,13 @@ let verify_cmd =
         let wet = Builder.build tr in
         let wet = if tier2 then Builder.pack wet else wet in
         (* the WET must regenerate the exact control-flow trace *)
-        Query.park wet Query.Forward;
+        let s = W.open_session wet in
+        Query.Session.park s Query.Forward;
         let i = ref 0 in
         let ok = ref true in
         let blocks = tr.Wet_interp.Trace.blocks in
         let n =
-          Query.control_flow wet Query.Forward ~f:(fun f b ->
+          Query.Session.control_flow s Query.Forward ~f:(fun f b ->
               if !i < Array.length blocks
                  && blocks.(!i) <> Wet_interp.Trace.encode_block f b
               then ok := false;
@@ -843,7 +845,11 @@ let verify_cmd =
         (* and every load value *)
         let load_count = ref 0 in
         let sum = ref 0 in
-        let _ = Query.load_values wet ~f:(fun _ v -> incr load_count; sum := !sum + v) in
+        let _ =
+          Query.Session.load_values s ~f:(fun _ v ->
+              incr load_count;
+              sum := !sum + v)
+        in
         Printf.printf
           "%s: control-flow trace %s (%d block executions); %d load values            extracted\n"
           label
@@ -883,7 +889,8 @@ let at_cmd =
             ~params:[ ("ts", string_of_int ts) ]
             wet
           @@ fun () ->
-          List.iter print_endline (Render.at wet ~ts:(Some ts)))
+          List.iter print_endline
+            (Render.at (W.default_session wet) ~ts:(Some ts)))
   in
   Cmd.v
     (Cmd.info "at"
@@ -1055,16 +1062,20 @@ let profile_cmd =
                 Store.save w2 tmp;
                 ignore (Store.load tmp));
             Wet_obs.Span.with_ "profile.queries" (fun () ->
-                Query.park w2 Query.Forward;
-                ignore (Query.control_flow w2 Query.Forward ~f:(fun _ _ -> ()));
-                ignore (Query.load_values w2 ~f:(fun _ _ -> ()));
-                ignore (Query.addresses w2 ~f:(fun _ _ -> ()));
+                let s = W.default_session w2 in
+                Query.Session.park s Query.Forward;
+                ignore
+                  (Query.Session.control_flow s Query.Forward
+                     ~f:(fun _ _ -> ()));
+                ignore (Query.Session.load_values s ~f:(fun _ _ -> ()));
+                ignore (Query.Session.addresses s ~f:(fun _ _ -> ()));
                 match
                   Query.copies_matching w2 (fun i -> Wet_ir.Instr.has_def i)
                 with
                 | c :: _ ->
                   ignore
-                    (Slice.backward w2 c ((W.node_of_copy w2 c).W.n_nexec - 1))
+                    (Slice.Session.backward s c
+                       ((W.node_of_copy w2 c).W.n_nexec - 1))
                 | [] -> ()));
         (* phase summary, derived from the recorded spans *)
         let rows =
@@ -1267,7 +1278,9 @@ let watch_cmd =
                     k matched
                 | Some ts -> (
                   let wet = Builder.build res.Interp.trace in
-                  match Query.locate_time wet ts with
+                  match
+                    Query.Session.locate_time (W.default_session wet) ts
+                  with
                   | None -> Printf.printf "watchpoint t=%d: not locatable\n" ts
                   | Some (nid, i) ->
                     let n = wet.W.nodes.(nid) in
@@ -2119,8 +2132,18 @@ let serve_cmd =
     let doc = "Flight-recorder ring capacity (entries)." in
     Arg.(value & opt int 4096 & info [ "ring" ] ~docv:"N" ~doc)
   in
-  let action obs socket cache qlog ring =
+  let domains_arg =
+    let doc =
+      "Dispatch up to $(docv) connections on their own domains \
+       (parallel reads over shared containers); later connections \
+       share the accept domain's sys-threads. Defaults to the \
+       machine's recommended domain count minus two."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let action obs socket cache qlog ring domains =
     with_obs obs @@ fun () ->
+    let dft = Serve_server.default_config ~socket in
     match
       Serve_server.run
         {
@@ -2128,6 +2151,10 @@ let serve_cmd =
           cache_capacity = cache;
           qlog;
           ring_capacity = ring;
+          domains =
+            (match domains with
+             | Some d -> max 0 d
+             | None -> dft.Serve_server.domains);
         }
     with
     | () -> `Ok ()
@@ -2142,7 +2169,7 @@ let serve_cmd =
           `wet top`).")
     Term.(
       ret (const action $ obs_term $ socket_pos $ cache_arg $ qlog_arg
-           $ ring_arg))
+           $ ring_arg $ domains_arg))
 
 let top_cmd =
   let json_arg =

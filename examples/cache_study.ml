@@ -24,8 +24,9 @@ let () =
   (* Gather one address trace per memory instruction from the WET. *)
   let per_copy : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
   let order = ref [] in
+  let s = W.open_session wet in
   let _ =
-    Query.addresses wet ~f:(fun c a ->
+    Query.Session.addresses s ~f:(fun c a ->
         match Hashtbl.find_opt per_copy c with
         | Some l -> l := a :: !l
         | None ->

@@ -51,12 +51,17 @@ let () =
     (comp.Sizes.total_bytes /. 1024.)
     (orig.Sizes.total_bytes /. comp.Sizes.total_bytes);
 
-  (* 3. Query: regenerate the start of the control-flow trace. *)
-  Query.park wet Query.Forward;
+  (* 3. Open a session: the container is immutable, all cursor state
+     lives in the session handle. Independent sessions over the same
+     WET answer concurrently; here one is plenty. *)
+  let s = W.open_session wet in
+
+  (* Query: regenerate the start of the control-flow trace. *)
+  Query.Session.park s Query.Forward;
   let shown = ref 0 in
   print_endline "first 10 block executions (from the compressed WET):";
   let total =
-    Query.control_flow wet Query.Forward ~f:(fun f b ->
+    Query.Session.control_flow s Query.Forward ~f:(fun f b ->
         if !shown < 10 then begin
           Printf.printf "  f%d:B%d\n" f b;
           incr shown
@@ -72,7 +77,7 @@ let () =
    | load :: _ ->
      Printf.printf "values loaded by copy %d (statement %d):\n  " load
        wet.W.copy_stmt.(load);
-     Query.values_of_copy wet load ~f:(Printf.printf "%d ");
+     Query.Session.values_of_copy s load ~f:(Printf.printf "%d ");
      print_newline ();
      print_newline ());
 
@@ -81,7 +86,7 @@ let () =
     List.hd
       (Query.copies_matching wet (function Wet_ir.Instr.Output _ -> true | _ -> false))
   in
-  let slice = Slice.backward wet out 0 in
+  let slice = Slice.Session.backward s out 0 in
   Printf.printf
     "backward slice of the printed sum: %d statement instances across %d \
      static statements\n"

@@ -54,6 +54,7 @@ let () =
     out.(0) out.(1) out.(2) (out.(2) - 1);
 
   let wet = Wet_core.Builder.build res.Wet_interp.Interp.trace in
+  let sess = Wet_core.Wet.open_session wet in
 
   (* Output statements in source order. *)
   let outputs =
@@ -68,7 +69,7 @@ let () =
     (fun k out_copy ->
       let adds = Hashtbl.create 16 in
       let r =
-        Slice.backward wet out_copy 0 ~f:(fun c _ ->
+        Slice.Session.backward sess out_copy 0 ~f:(fun c _ ->
             match W.instr_of_copy wet c with
             | Instr.Binop (Instr.Add, _, _, _) | Instr.Binop (Instr.Rem, _, _, _)
             | Instr.Cmp _ ->

@@ -22,8 +22,9 @@ let () =
 
   (* Gather the value trace of every load with enough executions. *)
   let traces : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let s = W.open_session wet in
   let _ =
-    Query.load_values wet ~f:(fun c v ->
+    Query.Session.load_values s ~f:(fun c v ->
         match Hashtbl.find_opt traces c with
         | Some l -> l := v :: !l
         | None -> Hashtbl.replace traces c (ref [ v ]))

@@ -27,12 +27,15 @@ let nodes (t : W.t) =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let slice ?(max_instances = 64) (t : W.t) c0 i0 =
+let slice ?(max_instances = 64) ?session (t : W.t) c0 i0 =
+  let s =
+    match session with Some s -> s | None -> W.default_session t
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "digraph wet_slice {\n  node [shape=box];\n";
   let visited = Hashtbl.create 64 in
   ignore
-    (Slice_.backward ~max_instances t c0 i0 ~f:(fun c i ->
+    (Slice_.Session.backward ~max_instances s c0 i0 ~f:(fun c i ->
          Hashtbl.replace visited (c, i) ();
          Buffer.add_string buf
            (Printf.sprintf "  s%d_%d [label=\"%s\\ninstance %d\"%s];\n" c i
@@ -44,14 +47,14 @@ let slice ?(max_instances = 64) (t : W.t) c0 i0 =
   Hashtbl.iter
     (fun (c, i) () ->
       let nslots = Array.length t.W.copy_deps.(c) in
-      for s = 0 to nslots - 1 do
-        match W.resolve_dep t c i s with
+      for slot = 0 to nslots - 1 do
+        match W.Session.resolve_dep s c i slot with
         | Some (pc, pi) when Hashtbl.mem visited (pc, pi) ->
           Buffer.add_string buf
             (Printf.sprintf "  s%d_%d -> s%d_%d;\n" pc pi c i)
         | Some _ | None -> ()
       done;
-      match W.resolve_cd t c i with
+      match W.Session.resolve_cd s c i with
       | Some (pc, pi) when Hashtbl.mem visited (pc, pi) ->
         Buffer.add_string buf
           (Printf.sprintf "  s%d_%d -> s%d_%d [style=dashed];\n" pc pi c i)

@@ -14,6 +14,12 @@ val nodes : Wet_core.Wet.t -> string
 (** The dependence subgraph visited by a backward slice from
     [(copy, instance)]: statement instances as nodes, data dependences
     as solid edges, control dependences dashed. [max_instances] bounds
-    the drawn slice (default 64). *)
+    the drawn slice (default 64). [session] supplies the cursor state
+    to walk with (default: the WET's implicit default session). *)
 val slice :
-  ?max_instances:int -> Wet_core.Wet.t -> Wet_core.Wet.copy_id -> int -> string
+  ?max_instances:int ->
+  ?session:Wet_core.Wet.session ->
+  Wet_core.Wet.t ->
+  Wet_core.Wet.copy_id ->
+  int ->
+  string

@@ -22,7 +22,7 @@ let classes (t : W.t) =
                 match t.W.copy_uvals.(c) with
                 | None -> ()
                 | Some s ->
-                  let a = Stream.to_array s in
+                  let a = Stream.contents s in
                   let key = (Array.length a, H.hash_window a 0 (Array.length a)) in
                   let l =
                     match Hashtbl.find_opt buckets key with
@@ -36,7 +36,7 @@ let classes (t : W.t) =
                   (match !l with
                    | c0 :: _ ->
                      let a0 =
-                       Stream.to_array (Option.get t.W.copy_uvals.(c0))
+                       Stream.contents (Option.get t.W.copy_uvals.(c0))
                      in
                      if a0 = a then l := c :: !l
                    | [] -> l := c :: !l))

@@ -1,12 +1,14 @@
 module W = Wet_core.Wet
 module Query = Wet_core.Query
+module S = W.Session
 module Instr = Wet_ir.Instr
 
 type t = { cells : (int, int * int) Hashtbl.t (* addr -> (ts, value) *) }
 
-let at (wet : W.t) ~ts =
+let at_session (s : W.session) ~ts =
+  let wet = S.wet s in
   if ts < 1 || ts > wet.W.stats.W.path_execs then
-    invalid_arg "State_reconstruct.at: timestamp out of range";
+    Wet_error.fail Wet_error.Query "State_reconstruct.at: timestamp out of range";
   let cells = Hashtbl.create 1024 in
   let stores =
     Query.copies_matching wet (function Instr.Store _ -> true | _ -> false)
@@ -15,17 +17,17 @@ let at (wet : W.t) ~ts =
     (fun c ->
       let node = W.node_of_copy wet c in
       for i = 0 to node.W.n_nexec - 1 do
-        let when_ = W.timestamp wet c i in
+        let when_ = S.timestamp s c i in
         if when_ <= ts then begin
           (* slot 0 is the address operand, slot 1 the stored value *)
           let addr =
-            match W.resolve_dep wet c i 0 with
-            | Some (pc, pi) -> W.value_of_copy wet pc pi
+            match S.resolve_dep s c i 0 with
+            | Some (pc, pi) -> S.value_of_copy s pc pi
             | None -> 0
           in
           let value =
-            match W.resolve_dep wet c i 1 with
-            | Some (pc, pi) -> W.value_of_copy wet pc pi
+            match S.resolve_dep s c i 1 with
+            | Some (pc, pi) -> S.value_of_copy s pc pi
             | None -> 0
           in
           match Hashtbl.find_opt cells addr with
@@ -35,6 +37,8 @@ let at (wet : W.t) ~ts =
       done)
     stores;
   { cells }
+
+let at (wet : W.t) ~ts = at_session (W.default_session wet) ~ts
 
 let read t addr =
   match Hashtbl.find_opt t.cells addr with

@@ -12,9 +12,14 @@
 
 type t
 
-(** [at wet ~ts] reconstructs the memory image as of global timestamp
-    [ts] (inclusive: effects of the path execution stamped [ts] are
-    visible). @raise Invalid_argument if [ts] is out of range. *)
+(** [at_session s ~ts] reconstructs the memory image as of global
+    timestamp [ts] (inclusive: effects of the path execution stamped
+    [ts] are visible), moving only session [s]'s cursors. Raises a
+    [Wet_error] [Query] error if [ts] is out of range. *)
+val at_session : Wet_core.Wet.session -> ts:int -> t
+
+(** [at wet ~ts] is {!at_session} on [wet]'s implicit default session —
+    single-threaded use only. *)
 val at : Wet_core.Wet.t -> ts:int -> t
 
 (** Value of an address ([0] if never written by then). *)

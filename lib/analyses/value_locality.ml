@@ -1,9 +1,10 @@
+module W = Wet_core.Wet
 module Query = Wet_core.Query
 
 let histogram wet =
   let counts = Hashtbl.create 1024 in
   let total =
-    Query.load_values wet ~f:(fun _ v ->
+    Query.Session.load_values (W.default_session wet) ~f:(fun _ v ->
         Hashtbl.replace counts v
           (1 + Option.value (Hashtbl.find_opt counts v) ~default:0))
   in

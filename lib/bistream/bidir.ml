@@ -202,7 +202,7 @@ let push_fr t pos x =
       find 1
     end
 
-let internal_step_forward t =
+let internal_step_forward ~tally t =
   let reveal = t.w + t.ctx in
   (* The hit flag of the entry being decoded, read before [pop_bl]
      (the pop rewrites the slot's payload; [push_fr] reclassifies it). *)
@@ -216,14 +216,15 @@ let internal_step_forward t =
   let switched = t.tlast = 2 in
   if switched then t.tswitch <- t.tswitch + 1;
   t.tlast <- 1;
-  Telemetry.note_packed ~fwd:true ~switched ~hit
-    ~payload_bits:(if hit then hit_bits t else 32);
+  Telemetry.note_packed ~tally ~fwd:true ~switched ~hit
+    ~payload_bits:(if hit then hit_bits t else 32)
+    ();
   x
 
 (* A backward step reveals the value at index [w-1], which is already the
    rightmost window slot: it leaves the window into BL while the FR entry
    at [w-1] is popped to refill the window from the left. *)
-let internal_step_backward t =
+let internal_step_backward ~tally t =
   let refill = t.w - 1 in
   let hit = Bitvec.get t.hit refill in
   let x = pop_fr t refill in
@@ -237,8 +238,9 @@ let internal_step_backward t =
   let switched = t.tlast = 1 in
   if switched then t.tswitch <- t.tswitch + 1;
   t.tlast <- 2;
-  Telemetry.note_packed ~fwd:false ~switched ~hit
-    ~payload_bits:(if hit then hit_bits t else 32);
+  Telemetry.note_packed ~tally ~fwd:false ~switched ~hit
+    ~payload_bits:(if hit then hit_bits t else 32)
+    ();
   leaving
 
 let compress meth ~ctx values =
@@ -271,73 +273,91 @@ let compress meth ~ctx values =
   (* Build the all-FR state left to right (each value compressed with
      its still-raw right context), then walk the cursor back to the left
      end, which moves everything into BL with consistent tables. The
-     walk is construction, not traversal: both the per-stream counters
-     and the process globals are restored afterwards. *)
-  let g = Telemetry.snapshot () in
+     walk is construction, not traversal: it accounts against a scratch
+     tally, so no caller's decode accounting ever sees it. *)
+  let scratch = Telemetry.make () in
   for j = 0 to m + ctx - 1 do
     push_fr t j t.p.(j)
   done;
   for _ = 1 to m + ctx do
-    ignore (internal_step_backward t)
+    ignore (internal_step_backward ~tally:scratch t)
   done;
   t.tfwd <- 0;
   t.tbwd <- 0;
   t.tswitch <- 0;
   t.tlast <- 0;
-  Telemetry.restore g;
   t
 
 let length t = t.m
 
 let cursor t = t.w
 
-let step_forward t =
-  if t.w >= t.m then invalid_arg "Bidir.step_forward: at right end";
-  internal_step_forward t
+(* The table/window state is a pure function of the cursor position —
+   each pop exactly undoes the corresponding push — so deep-copying the
+   mutable arrays at any [w] yields a fully independent cursor over the
+   same logical values. Traversal counters start at zero: the clone has
+   not traversed anything yet. *)
+let clone t =
+  {
+    t with
+    p = Array.copy t.p;
+    hit = Bitvec.copy t.hit;
+    frtb = Array.copy t.frtb;
+    bltb = Array.copy t.bltb;
+    tfwd = 0;
+    tbwd = 0;
+    tswitch = 0;
+    tlast = 0;
+  }
 
-let step_backward t =
+let step_forward ?(tally = Telemetry.default) t =
+  if t.w >= t.m then invalid_arg "Bidir.step_forward: at right end";
+  internal_step_forward ~tally t
+
+let step_backward ?(tally = Telemetry.default) t =
   if t.w <= 0 then invalid_arg "Bidir.step_backward: at left end";
-  internal_step_backward t
+  internal_step_backward ~tally t
 
 (* Peeks are a step and its exact inverse: they reveal a value without
-   moving the cursor, so they must not show up as traversal either. *)
-let peek_forward t =
+   moving the cursor, so they must not show up as traversal either — the
+   round trip accounts against a scratch tally. *)
+let peek_forward ?tally:_ t =
+  if t.w >= t.m then invalid_arg "Bidir.step_forward: at right end";
   let f, b, s, l = (t.tfwd, t.tbwd, t.tswitch, t.tlast) in
-  let g = Telemetry.snapshot () in
-  let x = step_forward t in
-  ignore (internal_step_backward t);
+  let scratch = Telemetry.make () in
+  let x = internal_step_forward ~tally:scratch t in
+  ignore (internal_step_backward ~tally:scratch t);
   t.tfwd <- f;
   t.tbwd <- b;
   t.tswitch <- s;
   t.tlast <- l;
-  Telemetry.restore g;
   x
 
-let peek_backward t =
+let peek_backward ?tally:_ t =
+  if t.w <= 0 then invalid_arg "Bidir.step_backward: at left end";
   let f, b, s, l = (t.tfwd, t.tbwd, t.tswitch, t.tlast) in
-  let g = Telemetry.snapshot () in
-  let x = step_backward t in
-  ignore (internal_step_forward t);
+  let scratch = Telemetry.make () in
+  let x = internal_step_backward ~tally:scratch t in
+  ignore (internal_step_forward ~tally:scratch t);
   t.tfwd <- f;
   t.tbwd <- b;
   t.tswitch <- s;
   t.tlast <- l;
-  Telemetry.restore g;
   x
 
-let seek t k =
+let seek ?(tally = Telemetry.default) t k =
   if k < 0 || k > t.m then invalid_arg "Bidir.seek";
   while t.w < k do
-    ignore (internal_step_forward t)
+    ignore (internal_step_forward ~tally t)
   done;
   while t.w > k do
-    ignore (internal_step_backward t)
+    ignore (internal_step_backward ~tally t)
   done
 
-let read_at t k =
+let read_at ?(tally = Telemetry.default) t k =
   if k < 0 || k >= t.m then invalid_arg "Bidir.read_at";
-  seek t k;
-  step_forward t
+  seek ~tally t k;
+  step_forward ~tally t
 
 let compressed_bits t =
   let hb = hit_bits t in
@@ -356,9 +376,9 @@ let compressed_bits t =
    | Last_n | Last_stride -> ());
   !total
 
-let to_array t =
-  seek t 0;
-  Array.init t.m (fun _ -> step_forward t)
+let to_array ?(tally = Telemetry.default) t =
+  seek ~tally t 0;
+  Array.init t.m (fun _ -> step_forward ~tally t)
 
 let meth t = t.meth
 

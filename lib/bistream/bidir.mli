@@ -38,25 +38,39 @@ val length : t -> int
     revealed by forward steps. *)
 val cursor : t -> int
 
+(** [clone t] is an independent cursor over the same logical values,
+    positioned at the same [cursor], with zeroed traversal counters.
+    Safe at any position: the window/table state is a pure function of
+    the cursor (every pop exactly undoes the matching push), so the
+    deep copy evolves correctly no matter how the original moves.
+    O(length) time and space. *)
+val clone : t -> t
+
+(** Stepping, peeking and seeking optionally account their decode work
+    against an explicit {!Telemetry.tally} (default:
+    {!Telemetry.default}) — this is how per-session cost attribution
+    stays race-free when several cursors traverse concurrently. *)
+
 (** Reveal the value at index [cursor] and advance.
     @raise Invalid_argument at the right end. *)
-val step_forward : t -> int
+val step_forward : ?tally:Telemetry.tally -> t -> int
 
 (** Reveal the value at index [cursor - 1] and retreat.
     @raise Invalid_argument at the left end. *)
-val step_backward : t -> int
+val step_backward : ?tally:Telemetry.tally -> t -> int
 
 (** Value a forward step would reveal, leaving the stream state
-    untouched (implemented as a step and its inverse). *)
-val peek_forward : t -> int
+    untouched (implemented as a step and its inverse; free in every
+    tally). *)
+val peek_forward : ?tally:Telemetry.tally -> t -> int
 
-val peek_backward : t -> int
+val peek_backward : ?tally:Telemetry.tally -> t -> int
 
 (** Move the cursor to [k] by stepping. *)
-val seek : t -> int -> unit
+val seek : ?tally:Telemetry.tally -> t -> int -> unit
 
 (** [read_at t k] is the value at index [k]; the cursor ends at [k+1]. *)
-val read_at : t -> int -> int
+val read_at : ?tally:Telemetry.tally -> t -> int -> int
 
 (** Analytic size in bits of the compressed representation: one flag bit
     per entry, plus payload bits per miss (32) or per [Last_n]-family hit
@@ -67,7 +81,7 @@ val read_at : t -> int -> int
 val compressed_bits : t -> int
 
 (** Decompress the whole stream (for tests; moves the cursor). *)
-val to_array : t -> int array
+val to_array : ?tally:Telemetry.tally -> t -> int array
 
 val meth : t -> meth
 

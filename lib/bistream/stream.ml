@@ -1,6 +1,26 @@
-type repr =
-  | Raw of {
-      data : int array;
+(* A stream is split hard into two halves:
+
+   - [body]: the compressed payload, picked once at build time and
+     immutable afterwards. Packed bodies are *pristine templates*: their
+     Bidir state is parked at the left end (w = 0) with zeroed traversal
+     counters and is never stepped again, so marshalling a body is
+     byte-deterministic no matter what queries ran before.
+
+   - [cur]: a cursor — all traversal state (position, direction flag,
+     per-cursor step counters, and for packed bodies a deep clone of the
+     window/table state). Cursors are single-owner and cheap to mint
+     lazily: [Cursor.make] is O(1), the clone happens on first touch.
+
+   The historical module-level API (step/seek/peek on the stream itself)
+   survives as thin wrappers over one implicit default cursor stored on
+   the stream, so single-session code and tests compile unchanged;
+   concurrent readers each mint their own cursor via [Cursor]. *)
+
+type body = Braw of int array | Bpacked of Bidir.t
+
+type view =
+  | Vraw of {
+      data : int array;  (* physically shared with the body *)
       mutable pos : int;
       (* Traversal telemetry, mirroring Bidir's counters: steps only —
          seeks and random reads are O(1) on a raw array so they are not
@@ -10,9 +30,13 @@ type repr =
       mutable rswitch : int;
       mutable rlast : int;
     }
-  | Packed of Bidir.t
+  | Vpacked of Bidir.t  (* a deep clone of the pristine template *)
 
-type t = repr
+type cur = { c_body : body; mutable c_view : view option }
+
+type stream = { body : body; mutable dcur : cur option }
+
+type t = stream
 
 type telemetry = Bidir.telemetry = {
   tl_lookups : int;
@@ -36,17 +60,9 @@ let trial_len = 4096
 
 let compress_with spec values =
   match spec with
-  | `Raw ->
-    Raw
-      {
-        data = Array.copy values;
-        pos = 0;
-        rfwd = 0;
-        rbwd = 0;
-        rswitch = 0;
-        rlast = 0;
-      }
-  | `Bidir (meth, ctx) -> Packed (Bidir.compress meth ~ctx values)
+  | `Raw -> { body = Braw (Array.copy values); dcur = None }
+  | `Bidir (meth, ctx) ->
+    { body = Bpacked (Bidir.compress meth ~ctx values); dcur = None }
 
 let compress values =
   let m = Array.length values in
@@ -64,148 +80,271 @@ let compress values =
     compress_with (fst !best) values
   end
 
-let length = function
-  | Raw { data; _ } -> Array.length data
-  | Packed b -> Bidir.length b
+let body_length = function
+  | Braw data -> Array.length data
+  | Bpacked b -> Bidir.length b
 
-let cursor = function Raw { pos; _ } -> pos | Packed b -> Bidir.cursor b
+let length t = body_length t.body
 
-let step_forward = function
-  | Raw r ->
-    if r.pos >= Array.length r.data then
-      invalid_arg "Stream.step_forward: at right end";
-    let x = r.data.(r.pos) in
-    r.pos <- r.pos + 1;
-    r.rfwd <- r.rfwd + 1;
-    let switched = r.rlast = 2 in
-    if switched then r.rswitch <- r.rswitch + 1;
-    r.rlast <- 1;
-    Telemetry.note_raw ~fwd:true ~switched;
-    x
-  | Packed b -> Bidir.step_forward b
+let bits t =
+  match t.body with
+  | Braw data -> 32 * Array.length data
+  | Bpacked b -> Bidir.compressed_bits b
 
-let step_backward = function
-  | Raw r ->
-    if r.pos <= 0 then invalid_arg "Stream.step_backward: at left end";
-    r.pos <- r.pos - 1;
-    r.rbwd <- r.rbwd + 1;
-    let switched = r.rlast = 1 in
-    if switched then r.rswitch <- r.rswitch + 1;
-    r.rlast <- 2;
-    Telemetry.note_raw ~fwd:false ~switched;
-    r.data.(r.pos)
-  | Packed b -> Bidir.step_backward b
-
-let peek_forward = function
-  | Raw r ->
-    if r.pos >= Array.length r.data then
-      invalid_arg "Stream.peek_forward: at right end";
-    r.data.(r.pos)
-  | Packed b -> Bidir.peek_forward b
-
-let peek_backward = function
-  | Raw r ->
-    if r.pos <= 0 then invalid_arg "Stream.peek_backward: at left end";
-    r.data.(r.pos - 1)
-  | Packed b -> Bidir.peek_backward b
-
-let seek t k =
-  match t with
-  | Raw r ->
-    if k < 0 || k > Array.length r.data then invalid_arg "Stream.seek";
-    r.pos <- k
-  | Packed b -> Bidir.seek b k
-
-let read_at t k =
-  match t with
-  | Raw r ->
-    if k < 0 || k >= Array.length r.data then invalid_arg "Stream.read_at";
-    r.pos <- k + 1;
-    r.data.(k)
-  | Packed b -> Bidir.read_at b k
-
-let bits = function
-  | Raw { data; _ } -> 32 * Array.length data
-  | Packed b -> Bidir.compressed_bits b
-
-let telemetry = function
-  | Raw r ->
-    (* Raw streams do no prediction: every value is stored verbatim and
-       there is no dictionary to hit. *)
-    {
-      tl_lookups = 0;
-      tl_hits = 0;
-      tl_misses = 0;
-      tl_fwd_steps = r.rfwd;
-      tl_bwd_steps = r.rbwd;
-      tl_dir_switches = r.rswitch;
-    }
-  | Packed b -> Bidir.telemetry b
-
-let reset_telemetry = function
-  | Raw r ->
-    r.rfwd <- 0;
-    r.rbwd <- 0;
-    r.rswitch <- 0;
-    r.rlast <- 0
-  | Packed b -> Bidir.reset_telemetry b
-
-let method_name = function
-  | Raw _ -> "raw"
-  | Packed b ->
+let method_name t =
+  match t.body with
+  | Braw _ -> "raw"
+  | Bpacked b ->
     Printf.sprintf "%s/%d" (Bidir.meth_name (Bidir.meth b)) (Bidir.ctx b)
 
-let to_array = function
-  | Raw r ->
-    r.pos <- Array.length r.data;
-    Array.copy r.data
-  | Packed b -> Bidir.to_array b
+(* Pure decode of the body: packed templates are cloned first, so the
+   pristine state (and every live cursor) is untouched, and the decode
+   walk accounts to a scratch tally — reading the container's contents
+   is representation work, not query traversal. *)
+let contents t =
+  match t.body with
+  | Braw data -> Array.copy data
+  | Bpacked b ->
+    Bidir.to_array ~tally:(Telemetry.make ()) (Bidir.clone b)
 
-let lower_bound t v =
-  match t with
-  | Raw r ->
-    let lo = ref 0 and hi = ref (Array.length r.data) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if r.data.(mid) < v then lo := mid + 1 else hi := mid
-    done;
-    r.pos <- !lo;
-    !lo
-  | Packed b ->
-    let m = Bidir.length b in
-    while Bidir.cursor b > 0 && Bidir.peek_backward b >= v do
-      ignore (Bidir.step_backward b)
-    done;
-    while Bidir.cursor b < m && Bidir.peek_forward b < v do
-      ignore (Bidir.step_forward b)
-    done;
-    Bidir.cursor b
+(* ------------------------------------------------------------------ *)
+(* Cursors                                                            *)
+(* ------------------------------------------------------------------ *)
 
-let find_ascending t v =
-  match t with
-  | Raw r ->
-    let lo = ref 0 and hi = ref (Array.length r.data - 1) in
-    let found = ref None in
-    while !found = None && !lo <= !hi do
-      let mid = (!lo + !hi) / 2 in
-      let x = r.data.(mid) in
-      if x = v then found := Some mid
-      else if x < v then lo := mid + 1
-      else hi := mid - 1
-    done;
-    !found
-  | Packed b ->
-    let m = Bidir.length b in
-    if m = 0 then None
-    else begin
-      (* Walk until the value just right of the cursor is >= v. *)
+module Cursor = struct
+  type stream = t
+
+  type t = cur
+
+  let make (s : stream) = { c_body = s.body; c_view = None }
+
+  let view c =
+    match c.c_view with
+    | Some v -> v
+    | None ->
+      let v =
+        match c.c_body with
+        | Braw data ->
+          Vraw { data; pos = 0; rfwd = 0; rbwd = 0; rswitch = 0; rlast = 0 }
+        | Bpacked b -> Vpacked (Bidir.clone b)
+      in
+      c.c_view <- Some v;
+      v
+
+  let length c = body_length c.c_body
+
+  let pos c =
+    match c.c_view with
+    | None -> 0
+    | Some (Vraw r) -> r.pos
+    | Some (Vpacked b) -> Bidir.cursor b
+
+  let step_forward ?(tally = Telemetry.default) c =
+    match view c with
+    | Vraw r ->
+      if r.pos >= Array.length r.data then
+        invalid_arg "Stream.step_forward: at right end";
+      let x = r.data.(r.pos) in
+      r.pos <- r.pos + 1;
+      r.rfwd <- r.rfwd + 1;
+      let switched = r.rlast = 2 in
+      if switched then r.rswitch <- r.rswitch + 1;
+      r.rlast <- 1;
+      Telemetry.note_raw ~tally ~fwd:true ~switched ();
+      x
+    | Vpacked b -> Bidir.step_forward ~tally b
+
+  let step_backward ?(tally = Telemetry.default) c =
+    match view c with
+    | Vraw r ->
+      if r.pos <= 0 then invalid_arg "Stream.step_backward: at left end";
+      r.pos <- r.pos - 1;
+      r.rbwd <- r.rbwd + 1;
+      let switched = r.rlast = 1 in
+      if switched then r.rswitch <- r.rswitch + 1;
+      r.rlast <- 2;
+      Telemetry.note_raw ~tally ~fwd:false ~switched ();
+      r.data.(r.pos)
+    | Vpacked b -> Bidir.step_backward ~tally b
+
+  let peek_forward c =
+    match view c with
+    | Vraw r ->
+      if r.pos >= Array.length r.data then
+        invalid_arg "Stream.peek_forward: at right end";
+      r.data.(r.pos)
+    | Vpacked b -> Bidir.peek_forward b
+
+  let peek_backward c =
+    match view c with
+    | Vraw r ->
+      if r.pos <= 0 then invalid_arg "Stream.peek_backward: at left end";
+      r.data.(r.pos - 1)
+    | Vpacked b -> Bidir.peek_backward b
+
+  let seek ?(tally = Telemetry.default) c k =
+    match view c with
+    | Vraw r ->
+      if k < 0 || k > Array.length r.data then invalid_arg "Stream.seek";
+      r.pos <- k
+    | Vpacked b -> Bidir.seek ~tally b k
+
+  let read_at ?(tally = Telemetry.default) c k =
+    match view c with
+    | Vraw r ->
+      if k < 0 || k >= Array.length r.data then invalid_arg "Stream.read_at";
+      r.pos <- k + 1;
+      r.data.(k)
+    | Vpacked b -> Bidir.read_at ~tally b k
+
+  let to_array ?(tally = Telemetry.default) c =
+    match view c with
+    | Vraw r ->
+      r.pos <- Array.length r.data;
+      Array.copy r.data
+    | Vpacked b -> Bidir.to_array ~tally b
+
+  let lower_bound ?(tally = Telemetry.default) c v =
+    match view c with
+    | Vraw r ->
+      let lo = ref 0 and hi = ref (Array.length r.data) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if r.data.(mid) < v then lo := mid + 1 else hi := mid
+      done;
+      r.pos <- !lo;
+      !lo
+    | Vpacked b ->
+      let m = Bidir.length b in
       while Bidir.cursor b > 0 && Bidir.peek_backward b >= v do
-        ignore (Bidir.step_backward b)
+        ignore (Bidir.step_backward ~tally b)
       done;
       while Bidir.cursor b < m && Bidir.peek_forward b < v do
-        ignore (Bidir.step_forward b)
+        ignore (Bidir.step_forward ~tally b)
       done;
-      if Bidir.cursor b < m && Bidir.peek_forward b = v then
-        Some (Bidir.cursor b)
-      else None
-    end
+      Bidir.cursor b
+
+  let find_ascending ?(tally = Telemetry.default) c v =
+    match view c with
+    | Vraw r ->
+      let lo = ref 0 and hi = ref (Array.length r.data - 1) in
+      let found = ref None in
+      while !found = None && !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let x = r.data.(mid) in
+        if x = v then found := Some mid
+        else if x < v then lo := mid + 1
+        else hi := mid - 1
+      done;
+      !found
+    | Vpacked b ->
+      let m = Bidir.length b in
+      if m = 0 then None
+      else begin
+        (* Walk until the value just right of the cursor is >= v. *)
+        while Bidir.cursor b > 0 && Bidir.peek_backward b >= v do
+          ignore (Bidir.step_backward ~tally b)
+        done;
+        while Bidir.cursor b < m && Bidir.peek_forward b < v do
+          ignore (Bidir.step_forward ~tally b)
+        done;
+        if Bidir.cursor b < m && Bidir.peek_forward b = v then
+          Some (Bidir.cursor b)
+        else None
+      end
+
+  (* Traversal counters of this cursor (zero until first touch). *)
+  let fwd_steps c =
+    match c.c_view with
+    | None -> 0
+    | Some (Vraw r) -> r.rfwd
+    | Some (Vpacked b) -> (Bidir.telemetry b).tl_fwd_steps
+
+  let bwd_steps c =
+    match c.c_view with
+    | None -> 0
+    | Some (Vraw r) -> r.rbwd
+    | Some (Vpacked b) -> (Bidir.telemetry b).tl_bwd_steps
+
+  let dir_switches c =
+    match c.c_view with
+    | None -> 0
+    | Some (Vraw r) -> r.rswitch
+    | Some (Vpacked b) -> (Bidir.telemetry b).tl_dir_switches
+end
+
+(* ------------------------------------------------------------------ *)
+(* Implicit default cursor (deprecated single-session surface)        *)
+(* ------------------------------------------------------------------ *)
+
+let default_cursor t =
+  match t.dcur with
+  | Some c -> c
+  | None ->
+    let c = { c_body = t.body; c_view = None } in
+    t.dcur <- Some c;
+    c
+
+let drop_cursor t = t.dcur <- None
+
+let cursor t = match t.dcur with None -> 0 | Some c -> Cursor.pos c
+
+let step_forward t = Cursor.step_forward (default_cursor t)
+
+let step_backward t = Cursor.step_backward (default_cursor t)
+
+let peek_forward t = Cursor.peek_forward (default_cursor t)
+
+let peek_backward t = Cursor.peek_backward (default_cursor t)
+
+let seek t k = Cursor.seek (default_cursor t) k
+
+let read_at t k = Cursor.read_at (default_cursor t) k
+
+let to_array t = Cursor.to_array (default_cursor t)
+
+let lower_bound t v = Cursor.lower_bound (default_cursor t) v
+
+let find_ascending t v = Cursor.find_ascending (default_cursor t) v
+
+(* Dictionary figures come from the body (they are representation, not
+   history, and identical in every cursor); traversal counters come from
+   the default cursor — the single-session view the CLI reports. *)
+let telemetry t =
+  let base =
+    match t.body with
+    | Braw _ ->
+      (* Raw streams do no prediction: every value is stored verbatim and
+         there is no dictionary to hit. *)
+      {
+        tl_lookups = 0;
+        tl_hits = 0;
+        tl_misses = 0;
+        tl_fwd_steps = 0;
+        tl_bwd_steps = 0;
+        tl_dir_switches = 0;
+      }
+    | Bpacked b -> Bidir.telemetry b
+  in
+  match t.dcur with
+  | None -> base
+  | Some c ->
+    {
+      base with
+      tl_fwd_steps = Cursor.fwd_steps c;
+      tl_bwd_steps = Cursor.bwd_steps c;
+      tl_dir_switches = Cursor.dir_switches c;
+    }
+
+let reset_telemetry t =
+  match t.dcur with
+  | None -> ()
+  | Some c -> (
+    match c.c_view with
+    | None -> ()
+    | Some (Vraw r) ->
+      r.rfwd <- 0;
+      r.rbwd <- 0;
+      r.rswitch <- 0;
+      r.rlast <- 0
+    | Some (Vpacked b) -> Bidir.reset_telemetry b)

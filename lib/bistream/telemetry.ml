@@ -1,10 +1,16 @@
-(* Process-global decode counters, bumped by the same internal steps that
-   feed the per-stream counters in Bidir/Stream. Everything here is
-   monotone module state — never marshalled, never reset by
-   [reset_telemetry] — so a [before]/[after] snapshot pair brackets
-   exactly the decode work performed in between, no matter which streams
-   it landed on. Peeks and [Bidir.compress]'s construction walk restore
-   the globals just as they restore the per-stream counters. *)
+(* Decode counters, bumped by the same internal steps that feed the
+   per-stream counters in Bidir/Stream. A [tally] is a bundle of monotone
+   mutable counters — never marshalled, never reset by [Wet.rewind] — so
+   a [before]/[after] snapshot pair brackets exactly the decode work
+   performed against that tally in between, no matter which streams it
+   landed on. Peeks and [Bidir.compress]'s construction walk use scratch
+   tallies so they never perturb a caller's accounting.
+
+   [default] is the process tally behind the historical global API:
+   single-session callers (the CLI, the tests) never mention tallies and
+   see exactly the old behaviour. Concurrent sessions each carry their
+   own tally so their decode work attributes to the right qprof window
+   without any cross-domain races. *)
 
 type snapshot = {
   g_fwd : int;  (* forward cursor steps *)
@@ -18,30 +24,37 @@ type snapshot = {
 let zero =
   { g_fwd = 0; g_bwd = 0; g_switches = 0; g_hits = 0; g_misses = 0; g_bits = 0 }
 
-let c_fwd = ref 0
-let c_bwd = ref 0
-let c_switches = ref 0
-let c_hits = ref 0
-let c_misses = ref 0
-let c_bits = ref 0
+type tally = {
+  mutable a_fwd : int;
+  mutable a_bwd : int;
+  mutable a_switches : int;
+  mutable a_hits : int;
+  mutable a_misses : int;
+  mutable a_bits : int;
+}
 
-let snapshot () =
+let make () =
+  { a_fwd = 0; a_bwd = 0; a_switches = 0; a_hits = 0; a_misses = 0; a_bits = 0 }
+
+let default = make ()
+
+let snapshot ?(tally = default) () =
   {
-    g_fwd = !c_fwd;
-    g_bwd = !c_bwd;
-    g_switches = !c_switches;
-    g_hits = !c_hits;
-    g_misses = !c_misses;
-    g_bits = !c_bits;
+    g_fwd = tally.a_fwd;
+    g_bwd = tally.a_bwd;
+    g_switches = tally.a_switches;
+    g_hits = tally.a_hits;
+    g_misses = tally.a_misses;
+    g_bits = tally.a_bits;
   }
 
-let restore s =
-  c_fwd := s.g_fwd;
-  c_bwd := s.g_bwd;
-  c_switches := s.g_switches;
-  c_hits := s.g_hits;
-  c_misses := s.g_misses;
-  c_bits := s.g_bits
+let restore ?(tally = default) s =
+  tally.a_fwd <- s.g_fwd;
+  tally.a_bwd <- s.g_bwd;
+  tally.a_switches <- s.g_switches;
+  tally.a_hits <- s.g_hits;
+  tally.a_misses <- s.g_misses;
+  tally.a_bits <- s.g_bits
 
 let delta ~before ~after =
   {
@@ -72,14 +85,17 @@ let nonneg s =
 (* One packed-stream step: the revealed entry's flag bit plus its
    payload. Hit/miss classification comes from the persisted hit bitvec
    of the entry being decoded. *)
-let note_packed ~fwd ~switched ~hit ~payload_bits =
-  (if fwd then incr c_fwd else incr c_bwd);
-  if switched then incr c_switches;
-  (if hit then incr c_hits else incr c_misses);
-  c_bits := !c_bits + 1 + payload_bits
+let note_packed ?(tally = default) ~fwd ~switched ~hit ~payload_bits () =
+  (if fwd then tally.a_fwd <- tally.a_fwd + 1
+   else tally.a_bwd <- tally.a_bwd + 1);
+  if switched then tally.a_switches <- tally.a_switches + 1;
+  (if hit then tally.a_hits <- tally.a_hits + 1
+   else tally.a_misses <- tally.a_misses + 1);
+  tally.a_bits <- tally.a_bits + 1 + payload_bits
 
 (* One raw-stream step: a verbatim 32-bit value, no predictor. *)
-let note_raw ~fwd ~switched =
-  (if fwd then incr c_fwd else incr c_bwd);
-  if switched then incr c_switches;
-  c_bits := !c_bits + 32
+let note_raw ?(tally = default) ~fwd ~switched () =
+  (if fwd then tally.a_fwd <- tally.a_fwd + 1
+   else tally.a_bwd <- tally.a_bwd + 1);
+  if switched then tally.a_switches <- tally.a_switches + 1;
+  tally.a_bits <- tally.a_bits + 32

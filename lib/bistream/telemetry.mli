@@ -1,23 +1,28 @@
-(** Process-global decode telemetry: the snapshot/delta substrate of
-    per-query cost attribution ([Wet_qprof]).
+(** Decode telemetry tallies: the snapshot/delta substrate of per-query
+    cost attribution ([Wet_qprof]).
 
     The per-stream counters in {!Stream.telemetry} answer "what happened
     to this stream since its last reset"; a query profiler needs the
     dual — "how much decode work happened in this window of time,
-    across every stream". These module-global counters are bumped by
+    across every stream". A {!tally} is a bundle of counters bumped by
     the very same internal steps that feed the per-stream ones, so the
     two views stay in lockstep: peeks (a step and its exact inverse) and
-    the construction walk inside [Bidir.compress] save and restore the
-    globals exactly as they do the per-stream counters, and raw-stream
-    seeks/random reads stay free in both.
+    the construction walk inside [Bidir.compress] account against
+    scratch tallies, and raw-stream seeks/random reads stay free in
+    both.
 
-    Unlike per-stream counters the globals are monotone for the life of
-    the process: [Wet.rewind]'s [reset_telemetry] does not touch them
-    (they are never marshalled, so byte-determinism of saved containers
-    is unaffected). Consumers only ever look at the difference between
-    two {!snapshot}s, which makes deltas of disjoint windows sum exactly
-    to the delta of their union — the reconciliation property
-    [test_qprof] checks. *)
+    {!default} is the process tally behind the historical tally-less
+    API: single-session callers never name a tally and observe exactly
+    the old global-counter behaviour. Concurrent sessions
+    ([Wet.Session]) each own a private tally, so decode work attributes
+    to the session that performed it without cross-domain races.
+
+    Unlike per-stream counters a tally is monotone for the life of its
+    owner: [Wet.rewind] does not touch tallies (they are never
+    marshalled, so byte-determinism of saved containers is unaffected).
+    Consumers only ever look at the difference between two {!snapshot}s,
+    which makes deltas of disjoint windows sum exactly to the delta of
+    their union — the reconciliation property [test_qprof] checks. *)
 
 type snapshot = {
   g_fwd : int;  (** forward cursor steps *)
@@ -32,8 +37,22 @@ type snapshot = {
 
 val zero : snapshot
 
-(** Current value of the global counters. O(1), allocates one record. *)
-val snapshot : unit -> snapshot
+(** A mutable counter bundle. Single-owner: one session (or the
+    implicit default context) accounts against one tally; sharing a
+    tally across domains races benignly (lost increments) but never
+    corrupts memory. *)
+type tally
+
+(** A fresh tally, all counters zero. *)
+val make : unit -> tally
+
+(** The process-wide tally used whenever no explicit tally is passed —
+    the historical global counters. *)
+val default : tally
+
+(** Current value of a tally's counters ({!default} if omitted). O(1),
+    allocates one record. *)
+val snapshot : ?tally:tally -> unit -> snapshot
 
 (** Field-wise [after - before]: the decode work between two moments. *)
 val delta : before:snapshot -> after:snapshot -> snapshot
@@ -47,16 +66,15 @@ val steps : snapshot -> int
 (** All fields non-negative (true for any well-formed delta). *)
 val nonneg : snapshot -> bool
 
-(** Set the counters back to a snapshot. Used by [Bidir]'s peeks and
-    construction walk to keep the globals in lockstep with the
-    per-stream counters; not for general use. *)
-val restore : snapshot -> unit
+(** Set a tally's counters back to a snapshot. Not for general use. *)
+val restore : ?tally:tally -> snapshot -> unit
 
 (**/**)
 
 (* Recording entry points for Bidir/Stream internal steps. *)
 
 val note_packed :
-  fwd:bool -> switched:bool -> hit:bool -> payload_bits:int -> unit
+  ?tally:tally ->
+  fwd:bool -> switched:bool -> hit:bool -> payload_bits:int -> unit -> unit
 
-val note_raw : fwd:bool -> switched:bool -> unit
+val note_raw : ?tally:tally -> fwd:bool -> switched:bool -> unit -> unit

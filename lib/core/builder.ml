@@ -1104,6 +1104,7 @@ module Sink = struct
       stats;
       tier = `Tier1;
       damage = [];
+      session0 = None;
     }
 
   let finish t =
@@ -1195,7 +1196,7 @@ let pack_tier2 (w : Wet.t) : Wet.t =
   if w.Wet.tier = `Tier2 then
     Wet_error.fail Wet_error.Pack "already packed";
   let pack_seq s =
-    let arr = Stream.to_array s in
+    let arr = Stream.contents s in
     let s' = Stream.compress arr in
     note_packed_stream (Array.length arr) s';
     s'
@@ -1253,6 +1254,7 @@ let pack_tier2 (w : Wet.t) : Wet.t =
     copy_deps = Array.map (Array.map pack_source) w.Wet.copy_deps;
     copy_remote_out = Array.map (List.map pack_edge) w.Wet.copy_remote_out;
     tier = `Tier2;
+    session0 = None;
   }
 
 let pack w = Wet_obs.Span.with_ "build.tier2" (fun () -> pack_tier2 w)
@@ -1273,8 +1275,6 @@ let run_streaming ?shard_events ?(track_peak = false) ?max_stmts
           ~analysis ~sink:(Sink.events sink) program ~input
       in
       Sink.finish sink)
-
-let of_program prog ~input = run_streaming ~program:prog ~input ()
 
 (* ------------------------------------------------------------------ *)
 (* Durable builds: checkpointed construction and crash recovery.      *)

@@ -162,10 +162,6 @@ val run_streaming :
   unit ->
   Wet.t
 
-(** [of_program p ~input] is [run_streaming ~program:p ~input ()]. *)
-val of_program : Wet_ir.Program.t -> input:int array -> Wet.t
-[@@deprecated "use run_streaming"]
-
 (** Durable builds: {!run_streaming} with a {!Wet_journal.Journal}
     recording enough at every shard boundary to survive [kill -9].
 

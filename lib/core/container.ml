@@ -3,8 +3,11 @@ module Crc32 = Wet_util.Crc32
 
 (* v3 keeps the v2 section layout but the marshalled stream payloads
    gained telemetry fields; loading a v2 payload into the new record
-   layout would not fail the CRC, so the version must fence it off. *)
-let format_version = 3
+   layout would not fail the CRC, so the version must fence it off.
+   v4: the stream record split into an immutable body plus an optional
+   default cursor (the container/session redesign) — the marshalled
+   stream layout changed again. *)
+let format_version = 4
 
 let magic = "WETOCaml"
 
@@ -458,6 +461,7 @@ let decode_exn ~salvage s =
       stats = meta.m_stats;
       tier = meta.m_tier;
       damage;
+      session0 = None;
     }
   in
   (w, health)

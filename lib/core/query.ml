@@ -1,6 +1,6 @@
-module Stream = Wet_bistream.Stream
 module Instr = Wet_ir.Instr
 module Ex = Wet_watch.Explain
+module S = Wet.Session
 
 (* Query latency histograms (log-scale nanoseconds). *)
 let h_control_flow = Wet_obs.Metrics.histogram "query.control_flow_ns"
@@ -8,29 +8,6 @@ let h_control_flow = Wet_obs.Metrics.histogram "query.control_flow_ns"
 let h_load_values = Wet_obs.Metrics.histogram "query.load_values_ns"
 
 let h_addresses = Wet_obs.Metrics.histogram "query.addresses_ns"
-
-(* Query-explain hooks: one flag read when disarmed. Timestamp cursor
-   movements are attributed to the owning node's [Ts] stream; peeks
-   (which move no cursor) are not counted. *)
-let ex_step (n : Wet.node) dir =
-  if !Ex.armed then
-    Ex.touch (Ex.Ts n.Wet.n_id) (match dir with `F -> Ex.Fwd | `B -> Ex.Bwd) 1
-
-let ex_seek (n : Wet.node) k =
-  if !Ex.armed then
-    Ex.touch (Ex.Ts n.Wet.n_id) Ex.Seek (abs (k - Stream.cursor n.Wet.n_ts))
-
-let ex_find (n : Wet.node) v =
-  if !Ex.armed then begin
-    let st = n.Wet.n_ts in
-    let c0 = Stream.cursor st in
-    let r = Stream.find_ascending st v in
-    let d = Stream.cursor st - c0 in
-    if d >= 0 then Ex.touch (Ex.Ts n.Wet.n_id) Ex.Fwd d
-    else Ex.touch (Ex.Ts n.Wet.n_id) Ex.Bwd (-d);
-    r
-  end
-  else Stream.find_ascending n.Wet.n_ts v
 
 type direction = Forward | Backward
 
@@ -40,19 +17,6 @@ type direction = Forward | Backward
 let need (t : Wet.t) sec =
   if Wet.damaged t sec then raise (Wet.Missing_stream sec)
 
-let park (t : Wet.t) dir =
-  need t "labels.ts";
-  Array.iter
-    (fun (n : Wet.node) ->
-      match dir with
-      | Forward ->
-        ex_seek n 0;
-        Stream.seek n.Wet.n_ts 0
-      | Backward ->
-        ex_seek n n.Wet.n_nexec;
-        Stream.seek n.Wet.n_ts n.Wet.n_nexec)
-    t.Wet.nodes
-
 let emit_blocks f (n : Wet.node) =
   Array.iter (fun b -> f n.Wet.n_func b) n.Wet.n_blocks
 
@@ -61,80 +25,8 @@ let emit_blocks_rev f (n : Wet.node) =
     f n.Wet.n_func n.Wet.n_blocks.(i)
   done
 
-let control_flow (t : Wet.t) dir ~f =
-  Wet_obs.Metrics.time h_control_flow @@ fun () ->
-  need t "labels.ts";
-  Ex.query "query.control_flow";
-  let total = t.Wet.stats.Wet.path_execs in
-  let blocks = ref 0 in
-  if total > 0 then begin
-    match dir with
-    | Forward ->
-      let cur = ref t.Wet.nodes.(t.Wet.first_node) in
-      ex_step !cur `F;
-      ignore (Stream.step_forward !cur.Wet.n_ts);
-      emit_blocks f !cur;
-      blocks := Array.length !cur.Wet.n_blocks;
-      for ts = 2 to total do
-        (* exactly one successor holds the next timestamp *)
-        let next = ref None in
-        Array.iter
-          (fun s ->
-            if !next = None then begin
-              let n = t.Wet.nodes.(s) in
-              let st = n.Wet.n_ts in
-              if Stream.cursor st < n.Wet.n_nexec
-                 && Stream.peek_forward st = ts
-              then next := Some n
-            end)
-          !cur.Wet.n_succs;
-        match !next with
-        | None ->
-          invalid_arg
-            "Query.control_flow: timestamp chain broken (cursors parked?)"
-        | Some n ->
-          ex_step n `F;
-          ignore (Stream.step_forward n.Wet.n_ts);
-          emit_blocks f n;
-          blocks := !blocks + Array.length n.Wet.n_blocks;
-          cur := n
-      done
-    | Backward ->
-      let cur = ref t.Wet.nodes.(t.Wet.last_node) in
-      ex_step !cur `B;
-      ignore (Stream.step_backward !cur.Wet.n_ts);
-      emit_blocks_rev f !cur;
-      blocks := Array.length !cur.Wet.n_blocks;
-      for ts = total - 1 downto 1 do
-        let next = ref None in
-        Array.iter
-          (fun pr ->
-            if !next = None then begin
-              let n = t.Wet.nodes.(pr) in
-              let st = n.Wet.n_ts in
-              if Stream.cursor st > 0 && Stream.peek_backward st = ts then
-                next := Some n
-            end)
-          !cur.Wet.n_preds;
-        match !next with
-        | None ->
-          invalid_arg
-            "Query.control_flow: timestamp chain broken (cursors parked?)"
-        | Some n ->
-          ex_step n `B;
-          ignore (Stream.step_backward n.Wet.n_ts);
-          emit_blocks_rev f n;
-          blocks := !blocks + Array.length n.Wet.n_blocks;
-          cur := n
-      done
-  end;
-  !blocks
-
-let values_of_copy (t : Wet.t) c ~f =
-  let node = Wet.node_of_copy t c in
-  for i = 0 to node.Wet.n_nexec - 1 do
-    f (Wet.value_of_copy t c i)
-  done
+(* Structure lookups: read only the immutable container — no cursor
+   moves, so no session required. *)
 
 let copies_matching (t : Wet.t) pred =
   let acc = ref [] in
@@ -143,96 +35,206 @@ let copies_matching (t : Wet.t) pred =
   done;
   !acc
 
-let locate_time (t : Wet.t) ts =
-  need t "labels.ts";
-  if ts < 1 || ts > t.Wet.stats.Wet.path_execs then None
-  else begin
-    Ex.query "query.locate_time";
-    let found = ref None in
+let instances_matching t pred =
+  List.fold_left
+    (fun acc c -> acc + (Wet.node_of_copy t c).Wet.n_nexec)
+    0
+    (copies_matching t pred)
+
+(* ------------------------------------------------------------------ *)
+(* Session queries (the primary implementations)                      *)
+(* ------------------------------------------------------------------ *)
+
+module Session = struct
+  let park s dir =
+    let t = S.wet s in
+    need t "labels.ts";
     Array.iter
       (fun (n : Wet.node) ->
-        if !found = None then
-          match ex_find n ts with
-          | Some i -> found := Some (n.Wet.n_id, i)
-          | None -> ())
-      t.Wet.nodes;
-    !found
-  end
+        match dir with
+        | Forward -> S.ts_seek s n 0
+        | Backward -> S.ts_seek s n n.Wet.n_nexec)
+      t.Wet.nodes
 
-let control_flow_from (t : Wet.t) ~start_ts ~steps ~f =
-  match locate_time t start_ts with
-  | None -> invalid_arg "Query.control_flow_from: timestamp out of range"
-  | Some (nid, i) ->
-    Ex.query "query.control_flow_from";
+  let control_flow s dir ~f =
+    Wet_obs.Metrics.time h_control_flow @@ fun () ->
+    let t = S.wet s in
+    need t "labels.ts";
+    Ex.query ~recorder:(S.recorder s) "query.control_flow";
     let total = t.Wet.stats.Wet.path_execs in
     let blocks = ref 0 in
-    let cur = ref t.Wet.nodes.(nid) in
-    (* position the start node's cursor just past its matching ts *)
-    ex_seek !cur (i + 1);
-    Stream.seek !cur.Wet.n_ts (i + 1);
-    emit_blocks f !cur;
-    blocks := Array.length !cur.Wet.n_blocks;
-    let last = min total (start_ts + steps) in
-    for ts = start_ts + 1 to last do
-      let next = ref None in
-      Array.iter
-        (fun s ->
-          if !next = None then begin
-            let n = t.Wet.nodes.(s) in
-            let st = n.Wet.n_ts in
-            (* neighbours may be parked anywhere: locate ts directly *)
-            match ex_find n ts with
-            | Some j ->
-              ex_seek n (j + 1);
-              Stream.seek st (j + 1);
-              next := Some n
-            | None -> ()
-          end)
-        !cur.Wet.n_succs;
-      match !next with
-      | None -> invalid_arg "Query.control_flow_from: timestamp chain broken"
-      | Some n ->
-        emit_blocks f n;
-        blocks := !blocks + Array.length n.Wet.n_blocks;
-        cur := n
-    done;
+    if total > 0 then begin
+      match dir with
+      | Forward ->
+        let cur = ref t.Wet.nodes.(t.Wet.first_node) in
+        ignore (S.ts_step_forward s !cur);
+        emit_blocks f !cur;
+        blocks := Array.length !cur.Wet.n_blocks;
+        for ts = 2 to total do
+          (* exactly one successor holds the next timestamp *)
+          let next = ref None in
+          Array.iter
+            (fun sc ->
+              if !next = None then begin
+                let n = t.Wet.nodes.(sc) in
+                if S.ts_pos s n < n.Wet.n_nexec
+                   && S.ts_peek_forward s n = ts
+                then next := Some n
+              end)
+            !cur.Wet.n_succs;
+          match !next with
+          | None ->
+            Wet_error.fail Query
+              "control_flow: timestamp chain broken (cursors parked?)"
+          | Some n ->
+            ignore (S.ts_step_forward s n);
+            emit_blocks f n;
+            blocks := !blocks + Array.length n.Wet.n_blocks;
+            cur := n
+        done
+      | Backward ->
+        let cur = ref t.Wet.nodes.(t.Wet.last_node) in
+        ignore (S.ts_step_backward s !cur);
+        emit_blocks_rev f !cur;
+        blocks := Array.length !cur.Wet.n_blocks;
+        for ts = total - 1 downto 1 do
+          let next = ref None in
+          Array.iter
+            (fun pr ->
+              if !next = None then begin
+                let n = t.Wet.nodes.(pr) in
+                if S.ts_pos s n > 0 && S.ts_peek_backward s n = ts then
+                  next := Some n
+              end)
+            !cur.Wet.n_preds;
+          match !next with
+          | None ->
+            Wet_error.fail Query
+              "control_flow: timestamp chain broken (cursors parked?)"
+          | Some n ->
+            ignore (S.ts_step_backward s n);
+            emit_blocks_rev f n;
+            blocks := !blocks + Array.length n.Wet.n_blocks;
+            cur := n
+        done
+    end;
     !blocks
 
-let load_values (t : Wet.t) ~f =
-  Wet_obs.Metrics.time h_load_values @@ fun () ->
-  Ex.query "query.load_values";
-  let loads =
-    copies_matching t (function Instr.Load _ -> true | _ -> false)
-  in
-  let count = ref 0 in
-  List.iter
-    (fun c ->
-      let node = Wet.node_of_copy t c in
-      for i = 0 to node.Wet.n_nexec - 1 do
-        f c (Wet.value_of_copy t c i);
-        incr count
-      done)
-    loads;
-  !count
+  let values_of_copy s c ~f =
+    let node = Wet.node_of_copy (S.wet s) c in
+    for i = 0 to node.Wet.n_nexec - 1 do
+      f (S.value_of_copy s c i)
+    done
 
-let addresses (t : Wet.t) ~f =
-  Wet_obs.Metrics.time h_addresses @@ fun () ->
-  Ex.query "query.addresses";
-  let mems = copies_matching t Instr.is_memory in
-  let count = ref 0 in
-  List.iter
-    (fun c ->
-      let node = Wet.node_of_copy t c in
-      for i = 0 to node.Wet.n_nexec - 1 do
-        (* The address is the value of the producer of operand slot 0
-           (paper: "addresses are simply part of values"). *)
-        (match Wet.resolve_dep t c i 0 with
-         | Some (pc, pi) -> f c (Wet.value_of_copy t pc pi)
-         | None -> f c 0);
-        incr count
-      done)
-    mems;
-  !count
+  let locate_time s ts =
+    let t = S.wet s in
+    need t "labels.ts";
+    if ts < 1 || ts > t.Wet.stats.Wet.path_execs then None
+    else begin
+      Ex.query ~recorder:(S.recorder s) "query.locate_time";
+      let found = ref None in
+      Array.iter
+        (fun (n : Wet.node) ->
+          if !found = None then
+            match S.ts_find s n ts with
+            | Some i -> found := Some (n.Wet.n_id, i)
+            | None -> ())
+        t.Wet.nodes;
+      !found
+    end
+
+  let control_flow_from s ~start_ts ~steps ~f =
+    match locate_time s start_ts with
+    | None ->
+      Wet_error.fail Query "control_flow_from: timestamp out of range"
+    | Some (nid, i) ->
+      let t = S.wet s in
+      Ex.query ~recorder:(S.recorder s) "query.control_flow_from";
+      let total = t.Wet.stats.Wet.path_execs in
+      let blocks = ref 0 in
+      let cur = ref t.Wet.nodes.(nid) in
+      (* position the start node's cursor just past its matching ts *)
+      S.ts_seek s !cur (i + 1);
+      emit_blocks f !cur;
+      blocks := Array.length !cur.Wet.n_blocks;
+      let last = min total (start_ts + steps) in
+      for ts = start_ts + 1 to last do
+        let next = ref None in
+        Array.iter
+          (fun sc ->
+            if !next = None then begin
+              let n = t.Wet.nodes.(sc) in
+              (* neighbours may be parked anywhere: locate ts directly *)
+              match S.ts_find s n ts with
+              | Some j ->
+                S.ts_seek s n (j + 1);
+                next := Some n
+              | None -> ()
+            end)
+          !cur.Wet.n_succs;
+        match !next with
+        | None ->
+          Wet_error.fail Query "control_flow_from: timestamp chain broken"
+        | Some n ->
+          emit_blocks f n;
+          blocks := !blocks + Array.length n.Wet.n_blocks;
+          cur := n
+      done;
+      !blocks
+
+  let load_values s ~f =
+    Wet_obs.Metrics.time h_load_values @@ fun () ->
+    let t = S.wet s in
+    Ex.query ~recorder:(S.recorder s) "query.load_values";
+    let loads =
+      copies_matching t (function Instr.Load _ -> true | _ -> false)
+    in
+    let count = ref 0 in
+    List.iter
+      (fun c ->
+        let node = Wet.node_of_copy t c in
+        for i = 0 to node.Wet.n_nexec - 1 do
+          f c (S.value_of_copy s c i);
+          incr count
+        done)
+      loads;
+    !count
+
+  let addresses s ~f =
+    Wet_obs.Metrics.time h_addresses @@ fun () ->
+    let t = S.wet s in
+    Ex.query ~recorder:(S.recorder s) "query.addresses";
+    let mems = copies_matching t Instr.is_memory in
+    let count = ref 0 in
+    List.iter
+      (fun c ->
+        let node = Wet.node_of_copy t c in
+        for i = 0 to node.Wet.n_nexec - 1 do
+          (* The address is the value of the producer of operand slot 0
+             (paper: "addresses are simply part of values"). *)
+          (match S.resolve_dep s c i 0 with
+           | Some (pc, pi) -> f c (S.value_of_copy s pc pi)
+           | None -> f c 0);
+          incr count
+        done)
+      mems;
+    !count
+
+  let fold_control_flow s dir ~init ~f =
+    let acc = ref init in
+    ignore (control_flow s dir ~f:(fun func block -> acc := f !acc func block));
+    !acc
+
+  let fold_loads s ~init ~f =
+    let acc = ref init in
+    ignore (load_values s ~f:(fun c v -> acc := f !acc c v));
+    !acc
+
+  let fold_addresses s ~init ~f =
+    let acc = ref init in
+    ignore (addresses s ~f:(fun c a -> acc := f !acc c a));
+    !acc
+end
 
 (* ------------------------------------------------------------------ *)
 (* Cost estimation (EXPLAIN side of EXPLAIN ANALYZE).                 *)
@@ -243,12 +245,6 @@ type class_estimate = {
   est_steps : int;  (* predicted cursor steps (fwd + bwd + seek dist) *)
   est_exact : bool;  (* model is exact, not a bound *)
 }
-
-let instances_matching t pred =
-  List.fold_left
-    (fun acc c -> acc + (Wet.node_of_copy t c).Wet.n_nexec)
-    0
-    (copies_matching t pred)
 
 (* Plan-time step predictions per query shape (the fingerprints the CLI
    stamps on profiled queries). The control-flow walk is exact by
@@ -291,20 +287,28 @@ let estimate (t : Wet.t) shape =
   | _ -> []
 
 (* ------------------------------------------------------------------ *)
-(* Fold wrappers over the callback extractions.                       *)
+(* Deprecated implicit-session layer                                  *)
 (* ------------------------------------------------------------------ *)
 
-let fold_control_flow t dir ~init ~f =
-  let acc = ref init in
-  ignore (control_flow t dir ~f:(fun func block -> acc := f !acc func block));
-  !acc
+let park t dir = Session.park (Wet.default_session t) dir
 
-let fold_loads t ~init ~f =
-  let acc = ref init in
-  ignore (load_values t ~f:(fun c v -> acc := f !acc c v));
-  !acc
+let control_flow t dir ~f = Session.control_flow (Wet.default_session t) dir ~f
+
+let values_of_copy t c ~f = Session.values_of_copy (Wet.default_session t) c ~f
+
+let locate_time t ts = Session.locate_time (Wet.default_session t) ts
+
+let control_flow_from t ~start_ts ~steps ~f =
+  Session.control_flow_from (Wet.default_session t) ~start_ts ~steps ~f
+
+let load_values t ~f = Session.load_values (Wet.default_session t) ~f
+
+let addresses t ~f = Session.addresses (Wet.default_session t) ~f
+
+let fold_control_flow t dir ~init ~f =
+  Session.fold_control_flow (Wet.default_session t) dir ~init ~f
+
+let fold_loads t ~init ~f = Session.fold_loads (Wet.default_session t) ~init ~f
 
 let fold_addresses t ~init ~f =
-  let acc = ref init in
-  ignore (addresses t ~f:(fun c a -> acc := f !acc c a));
-  !acc
+  Session.fold_addresses (Wet.default_session t) ~init ~f

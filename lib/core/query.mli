@@ -6,68 +6,101 @@
     is identical, which is exactly the property the paper's two-tier
     design is after.
 
-    The API has two layers. The callback extractions ({!control_flow},
-    {!load_values}, {!addresses}, …) are the low-level layer: they push
-    every instance into an effectful [f] and return only a count, which
-    keeps the extraction loops allocation-free. The fold wrappers
-    ({!fold_control_flow}, {!fold_loads}, {!fold_addresses}) thread an
-    accumulator through the same traversals — use them when the result
-    is a value rather than a side effect. *)
+    The API has three layers:
+
+    - {!Session}: the primary implementations. Each takes a
+      {!Wet.Session.t} — one per concurrent reader over a shared
+      container — and moves only that session's cursors. Any
+      interleaving of N sessions is byte-identical to the serial path.
+    - Structure lookups and cost estimation ({!copies_matching},
+      {!estimate}): read only the immutable container, no session
+      needed.
+    - The deprecated wet-taking layer at the bottom: thin wrappers over
+      {!Wet.default_session}, kept so single-threaded callers compile
+      unchanged. Not safe for concurrent use.
+
+    Within a layer, the callback extractions ([control_flow],
+    [load_values], [addresses], …) push every instance into an effectful
+    [f] and return only a count, which keeps the extraction loops
+    allocation-free; the fold wrappers ([fold_control_flow], …) thread
+    an accumulator through the same traversals. *)
 
 type direction = Forward | Backward
 
-(** Park every node timestamp cursor at the start (before a forward
-    control-flow extraction) or at the end (before a backward one). A
-    freshly built or packed WET is already parked at the start. *)
-val park : Wet.t -> direction -> unit
+(** {1 Session queries} *)
 
-(** {1 Low-level callback extractions} *)
+module Session : sig
+  (** [park s dir] parks [s]'s node timestamp cursors at the start
+      (before a forward control-flow extraction) or at the end (before
+      a backward one). A fresh session is already parked at the
+      start. *)
+  val park : Wet.session -> direction -> unit
 
-(** [control_flow t dir ~f] regenerates the complete dynamic control-flow
-    trace by following dynamic node successors and timestamp sequences
-    (paper: "Control flow path"). Calls [f func block] for every block
-    execution, in execution order ([Forward]) or reverse ([Backward]).
-    Returns the number of block executions visited.
+  (** [control_flow s dir ~f] regenerates the complete dynamic
+      control-flow trace by following dynamic node successors and
+      timestamp sequences (paper: "Control flow path"). Calls
+      [f func block] for every block execution, in execution order
+      ([Forward]) or reverse ([Backward]). Returns the number of block
+      executions visited.
 
-    The timestamp cursors must be parked at the matching end; the
-    opposite end is where they finish, so a forward pass followed by a
-    backward pass needs no re-parking. *)
-val control_flow : Wet.t -> direction -> f:(int -> int -> unit) -> int
+      The session's timestamp cursors must be parked at the matching
+      end; the opposite end is where they finish, so a forward pass
+      followed by a backward pass needs no re-parking. Raises a
+      [Wet_error] [Query] error if the cursors are mispositioned. *)
+  val control_flow : Wet.session -> direction -> f:(int -> int -> unit) -> int
 
-(** [values_of_copy t c ~f] iterates the full value sequence of copy [c]
-    (instances in order). @raise Invalid_argument if [c] has no def. *)
-val values_of_copy : Wet.t -> Wet.copy_id -> f:(int -> unit) -> unit
+  (** [values_of_copy s c ~f] iterates the full value sequence of copy
+      [c] (instances in order). Raises a [Wet_error] [Query] error if
+      [c] has no def. *)
+  val values_of_copy : Wet.session -> Wet.copy_id -> f:(int -> unit) -> unit
 
-(** Per-instruction load value trace (paper Table 7): iterates every
-    [Load] copy's value sequence; [f copy value] per instance. Returns
-    the total number of values extracted. *)
-val load_values : Wet.t -> f:(Wet.copy_id -> int -> unit) -> int
+  (** Per-instruction load value trace (paper Table 7): iterates every
+      [Load] copy's value sequence; [f copy value] per instance.
+      Returns the total number of values extracted. *)
+  val load_values : Wet.session -> f:(Wet.copy_id -> int -> unit) -> int
 
-(** Per-instruction load/store address trace (paper Table 8): for every
-    memory-access copy, resolves the address operand's producer and
-    reconstructs its value for each instance. Returns the total number
-    of addresses extracted. *)
-val addresses : Wet.t -> f:(Wet.copy_id -> int -> unit) -> int
+  (** Per-instruction load/store address trace (paper Table 8): for
+      every memory-access copy, resolves the address operand's producer
+      and reconstructs its value for each instance. Returns the total
+      number of addresses extracted. *)
+  val addresses : Wet.session -> f:(Wet.copy_id -> int -> unit) -> int
 
-(** {1 Fold wrappers} *)
+  (** [locate_time s ts] finds the node execution holding global
+      timestamp [ts]: [(node id, execution index)]. [None] if [ts] is
+      outside [\[1, path_execs\]]. Timestamps are unique, so at most
+      one node matches. *)
+  val locate_time : Wet.session -> int -> (Wet.node_id * int) option
 
-(** [fold_control_flow t dir ~init ~f] is {!control_flow} threading an
-    accumulator: [f acc func block] per block execution. Same parking
-    contract as {!control_flow}. *)
-val fold_control_flow :
-  Wet.t -> direction -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+  (** [control_flow_from s ~start_ts ~steps ~f] regenerates the partial
+      control-flow trace beginning at the node execution with timestamp
+      [start_ts] and following [steps] further path executions (fewer
+      at the end of the trace) — the paper's "generate part of the
+      program path starting at any execution point". Returns the number
+      of block executions emitted. Uses and leaves the session's
+      timestamp cursors wherever the walk needs them. *)
+  val control_flow_from :
+    Wet.session -> start_ts:int -> steps:int -> f:(int -> int -> unit) -> int
 
-(** [fold_loads t ~init ~f] is {!load_values} threading an accumulator:
-    [f acc copy value] per load instance. *)
-val fold_loads :
-  Wet.t -> init:'a -> f:('a -> Wet.copy_id -> int -> 'a) -> 'a
+  (** Fold variants of the extractions above, threading an
+      accumulator. *)
 
-(** [fold_addresses t ~init ~f] is {!addresses} threading an
-    accumulator: [f acc copy address] per memory-access instance. *)
-val fold_addresses :
-  Wet.t -> init:'a -> f:('a -> Wet.copy_id -> int -> 'a) -> 'a
+  val fold_control_flow :
+    Wet.session -> direction -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
 
-(** {1 Cost estimation} *)
+  val fold_loads :
+    Wet.session -> init:'a -> f:('a -> Wet.copy_id -> int -> 'a) -> 'a
+
+  val fold_addresses :
+    Wet.session -> init:'a -> f:('a -> Wet.copy_id -> int -> 'a) -> 'a
+end
+
+(** {1 Structure lookups and cost estimation}
+
+    These read only the immutable container — safe from any thread,
+    no session involved. *)
+
+(** All copies whose statement satisfies the predicate. *)
+val copies_matching : Wet.t -> (Wet_ir.Instr.t -> bool) -> Wet.copy_id list
 
 (** Plan-time step prediction for one Explain stream class. *)
 type class_estimate = {
@@ -87,23 +120,39 @@ type class_estimate = {
     Unknown shapes return [[]]. *)
 val estimate : Wet.t -> string -> class_estimate list
 
-(** {1 Structure lookups} *)
+(** {1 Deprecated implicit-session layer}
 
-(** All copies whose statement satisfies the predicate. *)
-val copies_matching : Wet.t -> (Wet_ir.Instr.t -> bool) -> Wet.copy_id list
+    Wrappers over {!Wet.default_session} — single-threaded use only. *)
 
-(** [locate_time t ts] finds the node execution holding global timestamp
-    [ts]: [(node id, execution index)]. [None] if [ts] is outside
-    [\[1, path_execs\]]. Timestamps are unique, so at most one node
-    matches. *)
+val park : Wet.t -> direction -> unit
+[@@deprecated "use Query.Session.park"]
+
+val control_flow : Wet.t -> direction -> f:(int -> int -> unit) -> int
+[@@deprecated "use Query.Session.control_flow"]
+
+val values_of_copy : Wet.t -> Wet.copy_id -> f:(int -> unit) -> unit
+[@@deprecated "use Query.Session.values_of_copy"]
+
+val load_values : Wet.t -> f:(Wet.copy_id -> int -> unit) -> int
+[@@deprecated "use Query.Session.load_values"]
+
+val addresses : Wet.t -> f:(Wet.copy_id -> int -> unit) -> int
+[@@deprecated "use Query.Session.addresses"]
+
 val locate_time : Wet.t -> int -> (Wet.node_id * int) option
+[@@deprecated "use Query.Session.locate_time"]
 
-(** [control_flow_from t ~start_ts ~steps ~f] regenerates the partial
-    control-flow trace beginning at the node execution with timestamp
-    [start_ts] and following [steps] further path executions (fewer at
-    the end of the trace) — the paper's "generate part of the program
-    path starting at any execution point". Returns the number of block
-    executions emitted. Uses and leaves the timestamp cursors wherever
-    the walk needs them. *)
 val control_flow_from :
   Wet.t -> start_ts:int -> steps:int -> f:(int -> int -> unit) -> int
+[@@deprecated "use Query.Session.control_flow_from"]
+
+val fold_control_flow :
+  Wet.t -> direction -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+[@@deprecated "use Query.Session.fold_control_flow"]
+
+val fold_loads : Wet.t -> init:'a -> f:('a -> Wet.copy_id -> int -> 'a) -> 'a
+[@@deprecated "use Query.Session.fold_loads"]
+
+val fold_addresses :
+  Wet.t -> init:'a -> f:('a -> Wet.copy_id -> int -> 'a) -> 'a
+[@@deprecated "use Query.Session.fold_addresses"]

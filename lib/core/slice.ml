@@ -1,6 +1,6 @@
-module Stream = Wet_bistream.Stream
-module Instr = Wet_ir.Instr
+module Cursor = Wet_bistream.Stream.Cursor
 module Ex = Wet_watch.Explain
+module S = Wet.Session
 
 (* Slice latency histograms (log-scale nanoseconds). *)
 let h_backward = Wet_obs.Metrics.histogram "slice.backward_ns"
@@ -59,71 +59,91 @@ let walk ~max_instances ~f (t : Wet.t) c0 i0 ~expand =
     truncated = !truncated;
   }
 
-let backward ?max_instances ?f (t : Wet.t) c0 i0 =
-  Wet_obs.Metrics.time h_backward @@ fun () ->
-  need t "labels.deps";
-  Ex.query "slice.backward";
-  let expand c i push =
-    let nslots = Array.length t.Wet.copy_deps.(c) in
-    for s = 0 to nslots - 1 do
-      match Wet.resolve_dep t c i s with
+module Session = struct
+  let backward ?max_instances ?f s c0 i0 =
+    Wet_obs.Metrics.time h_backward @@ fun () ->
+    let t = S.wet s in
+    need t "labels.deps";
+    Ex.query ~recorder:(S.recorder s) "slice.backward";
+    let expand c i push =
+      let nslots = Array.length t.Wet.copy_deps.(c) in
+      for slot = 0 to nslots - 1 do
+        match S.resolve_dep s c i slot with
+        | Some (pc, pi) -> push pc pi
+        | None -> ()
+      done;
+      match S.resolve_cd s c i with
       | Some (pc, pi) -> push pc pi
       | None -> ()
-    done;
-    match Wet.resolve_cd t c i with
-    | Some (pc, pi) -> push pc pi
-    | None -> ()
-  in
-  walk ~max_instances ~f t c0 i0 ~expand
+    in
+    walk ~max_instances ~f t c0 i0 ~expand
 
-let forward ?max_instances ?f (t : Wet.t) c0 i0 =
-  Wet_obs.Metrics.time h_forward @@ fun () ->
-  need t "index.out";
-  Ex.query "slice.forward";
-  let expand c i push =
-    List.iter (fun cc -> push cc i) t.Wet.copy_local_out.(c);
-    List.iter
-      (fun (e : Wet.edge) ->
-        (* producer-instance streams are not sorted, so scan them *)
-        let l = e.Wet.e_labels.Wet.l_id in
-        let src = e.Wet.e_labels.Wet.l_src in
-        let dst = e.Wet.e_labels.Wet.l_dst in
-        if !Ex.armed then Ex.touch (Ex.Label_src l) Ex.Seek (Stream.cursor src);
-        Stream.seek src 0;
-        for j = 0 to e.Wet.e_labels.Wet.l_len - 1 do
-          if !Ex.armed then Ex.touch (Ex.Label_src l) Ex.Fwd 1;
-          if Stream.step_forward src = i then begin
-            if !Ex.armed then
-              Ex.touch (Ex.Label_dst l) Ex.Seek
-                (max 1 (abs (j - Stream.cursor dst)));
-            push e.Wet.e_dst (Stream.read_at dst j)
-          end
-        done)
-      t.Wet.copy_remote_out.(c)
-  in
-  walk ~max_instances ~f t c0 i0 ~expand
+  let forward ?max_instances ?f s c0 i0 =
+    Wet_obs.Metrics.time h_forward @@ fun () ->
+    let t = S.wet s in
+    need t "index.out";
+    let recorder = S.recorder s and tally = S.tally s in
+    Ex.query ~recorder "slice.forward";
+    let expand c i push =
+      List.iter (fun cc -> push cc i) t.Wet.copy_local_out.(c);
+      List.iter
+        (fun (e : Wet.edge) ->
+          (* producer-instance streams are not sorted, so scan them *)
+          let l = e.Wet.e_labels.Wet.l_id in
+          let dst, src = S.label_cursors s e.Wet.e_labels in
+          if Ex.recording recorder then
+            Ex.touch ~recorder (Ex.Label_src l) Ex.Seek (Cursor.pos src);
+          Cursor.seek ~tally src 0;
+          for j = 0 to e.Wet.e_labels.Wet.l_len - 1 do
+            if Ex.recording recorder then
+              Ex.touch ~recorder (Ex.Label_src l) Ex.Fwd 1;
+            if Cursor.step_forward ~tally src = i then begin
+              if Ex.recording recorder then
+                Ex.touch ~recorder (Ex.Label_dst l) Ex.Seek
+                  (max 1 (abs (j - Cursor.pos dst)));
+              push e.Wet.e_dst (Cursor.read_at ~tally dst j)
+            end
+          done)
+        t.Wet.copy_remote_out.(c)
+    in
+    walk ~max_instances ~f t c0 i0 ~expand
 
-let chop ?max_instances ?f (t : Wet.t) ~source ~sink =
-  Wet_obs.Metrics.time h_chop @@ fun () ->
-  Ex.query "slice.chop";
-  let sc, si = source and kc, ki = sink in
-  let fwd = Hashtbl.create 256 in
-  ignore (forward ?max_instances t sc si ~f:(fun c i -> Hashtbl.replace fwd (c, i) ()));
-  let count = ref 0 in
-  let copies = Hashtbl.create 64 in
-  let stmts = Hashtbl.create 64 in
-  let back =
-    backward ?max_instances t kc ki ~f:(fun c i ->
-        if Hashtbl.mem fwd (c, i) then begin
-          incr count;
-          (match f with Some f -> f c i | None -> ());
-          Hashtbl.replace copies c ();
-          Hashtbl.replace stmts t.Wet.copy_stmt.(c) ()
-        end)
-  in
-  {
-    instances = !count;
-    copies = Hashtbl.length copies;
-    stmts = Hashtbl.length stmts;
-    truncated = back.truncated;
-  }
+  let chop ?max_instances ?f s ~source ~sink =
+    Wet_obs.Metrics.time h_chop @@ fun () ->
+    let t = S.wet s in
+    Ex.query ~recorder:(S.recorder s) "slice.chop";
+    let sc, si = source and kc, ki = sink in
+    let fwd = Hashtbl.create 256 in
+    ignore
+      (forward ?max_instances s sc si ~f:(fun c i ->
+           Hashtbl.replace fwd (c, i) ()));
+    let count = ref 0 in
+    let copies = Hashtbl.create 64 in
+    let stmts = Hashtbl.create 64 in
+    let back =
+      backward ?max_instances s kc ki ~f:(fun c i ->
+          if Hashtbl.mem fwd (c, i) then begin
+            incr count;
+            (match f with Some f -> f c i | None -> ());
+            Hashtbl.replace copies c ();
+            Hashtbl.replace stmts t.Wet.copy_stmt.(c) ()
+          end)
+    in
+    {
+      instances = !count;
+      copies = Hashtbl.length copies;
+      stmts = Hashtbl.length stmts;
+      truncated = back.truncated;
+    }
+end
+
+(* Deprecated implicit-session layer. *)
+
+let backward ?max_instances ?f t c0 i0 =
+  Session.backward ?max_instances ?f (Wet.default_session t) c0 i0
+
+let forward ?max_instances ?f t c0 i0 =
+  Session.forward ?max_instances ?f (Wet.default_session t) c0 i0
+
+let chop ?max_instances ?f t ~source ~sink =
+  Session.chop ?max_instances ?f (Wet.default_session t) ~source ~sink

@@ -3,7 +3,12 @@
     A backward WET slice of a statement instance is the set of statement
     instances that directly or indirectly influenced it through data and
     control dependences — a superset of a traditional dynamic slice,
-    resolved entirely by traversing the compressed representation. *)
+    resolved entirely by traversing the compressed representation.
+
+    The {!Session} layer is primary: each function moves only the given
+    session's cursors, so concurrent slices over one shared container
+    need one session each. The wet-taking functions at the bottom are
+    deprecated wrappers over {!Wet.default_session}. *)
 
 type result = {
   instances : int;  (** statement instances in the slice *)
@@ -12,12 +17,50 @@ type result = {
   truncated : bool;  (** [true] if [max_instances] stopped the walk *)
 }
 
-(** [backward t c i] slices backward from instance [i] of copy [c],
-    following every dependence slot and the control-dependence edge of
-    each visited instance.
-    @param max_instances stop after this many instances (default: no
-      limit).
-    @param f called on every visited [(copy, instance)]. *)
+(** {1 Session slices} *)
+
+module Session : sig
+  (** [backward s c i] slices backward from instance [i] of copy [c],
+      following every dependence slot and the control-dependence edge
+      of each visited instance.
+      @param max_instances stop after this many instances (default: no
+        limit).
+      @param f called on every visited [(copy, instance)]. *)
+  val backward :
+    ?max_instances:int ->
+    ?f:(Wet.copy_id -> int -> unit) ->
+    Wet.session ->
+    Wet.copy_id ->
+    int ->
+    result
+
+  (** [forward s c i] is the forward WET slice: the instances whose
+      computation instance [i] of copy [c] influenced. Control
+      dependence is followed at block granularity (the block's first
+      statement copy stands for the block). *)
+  val forward :
+    ?max_instances:int ->
+    ?f:(Wet.copy_id -> int -> unit) ->
+    Wet.session ->
+    Wet.copy_id ->
+    int ->
+    result
+
+  (** [chop s ~source ~sink] is the {e chop}: the statement instances
+      lying on some dependence path from [source] to [sink] — the
+      intersection of [source]'s forward slice with [sink]'s backward
+      slice. Empty when [sink] does not depend on [source]. *)
+  val chop :
+    ?max_instances:int ->
+    ?f:(Wet.copy_id -> int -> unit) ->
+    Wet.session ->
+    source:Wet.copy_id * int ->
+    sink:Wet.copy_id * int ->
+    result
+end
+
+(** {1 Deprecated implicit-session layer} *)
+
 val backward :
   ?max_instances:int ->
   ?f:(Wet.copy_id -> int -> unit) ->
@@ -25,11 +68,8 @@ val backward :
   Wet.copy_id ->
   int ->
   result
+[@@deprecated "use Slice.Session.backward"]
 
-(** [forward t c i] is the forward WET slice: the instances whose
-    computation instance [i] of copy [c] influenced. Control dependence
-    is followed at block granularity (the block's first statement copy
-    stands for the block). *)
 val forward :
   ?max_instances:int ->
   ?f:(Wet.copy_id -> int -> unit) ->
@@ -37,11 +77,8 @@ val forward :
   Wet.copy_id ->
   int ->
   result
+[@@deprecated "use Slice.Session.forward"]
 
-(** [chop t ~source ~sink] is the {e chop}: the statement instances
-    lying on some dependence path from [source] to [sink] — the
-    intersection of [source]'s forward slice with [sink]'s backward
-    slice. Empty when [sink] does not depend on [source]. *)
 val chop :
   ?max_instances:int ->
   ?f:(Wet.copy_id -> int -> unit) ->
@@ -49,3 +86,4 @@ val chop :
   source:Wet.copy_id * int ->
   sink:Wet.copy_id * int ->
   result
+[@@deprecated "use Slice.Session.chop"]

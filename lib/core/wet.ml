@@ -1,5 +1,8 @@
 module Stream = Wet_bistream.Stream
+module Telemetry = Wet_bistream.Telemetry
+module Cursor = Stream.Cursor
 module Instr = Wet_ir.Instr
+module Ex = Wet_watch.Explain
 
 type seq = Stream.t
 
@@ -60,6 +63,13 @@ type stats = {
   shared_label_values : int;
 }
 
+(* The container ([t]) is immutable once built: every field but
+   [session0] is read-only, and the streams inside are pristine
+   compressed bodies. All traversal state — cursor positions, bidir
+   window clones, telemetry tallies, explain recordings — lives in
+   [session] values. [session0] memoizes the implicit default session
+   that backs the deprecated wet-taking query functions; it is the only
+   mutation and is dropped by [rewind]. *)
 type t = {
   program : Wet_ir.Program.t;
   analysis : Wet_cfg.Program_analysis.t;
@@ -77,6 +87,23 @@ type t = {
   stats : stats;
   tier : [ `Tier1 | `Tier2 ];
   damage : string list;
+  mutable session0 : session option;
+}
+
+(* One reader's traversal state over a shared container: a cursor per
+   stream (timestamp cursors eagerly — they drive every control-flow
+   walk — label cursors lazily by [l_id]), the telemetry tally decode
+   work accounts to, and the explain recorder cursor movements report
+   to. Single-owner; the container underneath may be shared freely. *)
+and session = {
+  s_wet : t;
+  s_tally : Telemetry.tally;
+  s_recorder : Ex.recorder;
+  s_mint : seq -> Cursor.t;
+  s_ts : Cursor.t array;  (* per node *)
+  s_uvals : Cursor.t option array;  (* per copy *)
+  s_patterns : Cursor.t option array array;  (* per node, per group *)
+  s_labels : (int, Cursor.t * Cursor.t) Hashtbl.t;  (* l_id -> dst, src *)
 }
 
 exception Missing_stream of string
@@ -93,107 +120,213 @@ let copy_offset t c = c - (node_of_copy t c).n_copy_base
 
 let instr_of_copy t c = Wet_ir.Program.instr t.program t.copy_stmt.(c)
 
-(* Query-explain instrumentation: every cursor movement through these
-   helpers reports to [Wet_watch.Explain] when it is armed; disarmed
-   cost is one flag read. A [read_at] is reported as a seek of the
-   cursor's travel distance — the stream's decompression cost proxy. *)
-module Ex = Wet_watch.Explain
+let find_in_ascending s v = Cursor.find_ascending (Stream.default_cursor s) v
 
-let ex_read_at sid s k =
-  if !Ex.armed then begin
-    let d = abs (k - Stream.cursor s) in
-    let v = Stream.read_at s k in
-    Ex.touch sid Ex.Seek (max 1 d);
-    v
-  end
-  else Stream.read_at s k
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
 
-let ex_find_ascending sid s v =
-  if !Ex.armed then begin
-    let c0 = Stream.cursor s in
-    let r = Stream.find_ascending s v in
-    let d = Stream.cursor s - c0 in
-    if d >= 0 then Ex.touch sid Ex.Fwd d else Ex.touch sid Ex.Bwd (-d);
-    r
-  end
-  else Stream.find_ascending s v
+let make_session ~mint ~tally ~recorder t =
+  {
+    s_wet = t;
+    s_tally = tally;
+    s_recorder = recorder;
+    s_mint = mint;
+    s_ts = Array.map (fun n -> mint n.n_ts) t.nodes;
+    s_uvals = Array.map (Option.map mint) t.copy_uvals;
+    s_patterns =
+      Array.map
+        (fun n -> Array.map (fun g -> Option.map mint g.g_pattern) n.n_groups)
+        t.nodes;
+    s_labels = Hashtbl.create 64;
+  }
 
-let find_in_ascending = Stream.find_ascending
+let open_session ?(strict = false) ?tally ?recorder t =
+  if strict && t.damage <> [] then
+    Wet_error.fail Query "open_session: container damaged (%s)"
+      (String.concat ", " t.damage);
+  let tally = match tally with Some x -> x | None -> Telemetry.make () in
+  let recorder =
+    match recorder with Some r -> r | None -> Ex.make_recorder ()
+  in
+  make_session ~mint:Cursor.make ~tally ~recorder t
 
-let value_of_copy t c i =
-  need t "labels.values";
-  match t.copy_uvals.(c) with
-  | None -> invalid_arg "Wet.value_of_copy: copy has no def port"
-  | Some uvals -> (
+(* The implicit session backing the deprecated wet-taking functions. It
+   reads through each stream's *default* cursor (not private clones), so
+   legacy code mixing module-level [Stream] calls with [Wet] queries
+   still observes one consistent set of positions, and it targets the
+   process-global tally and explain recording — exactly the historical
+   behaviour. *)
+let default_session t =
+  match t.session0 with
+  | Some s -> s
+  | None ->
+    let s =
+      make_session ~mint:Stream.default_cursor ~tally:Telemetry.default
+        ~recorder:Ex.default_recorder t
+    in
+    t.session0 <- Some s;
+    s
+
+module Session = struct
+  type nonrec t = session
+
+  let wet s = s.s_wet
+
+  let tally s = s.s_tally
+
+  let recorder s = s.s_recorder
+
+  let ts_cursor s (n : node) = s.s_ts.(n.n_id)
+
+  let label_cursors s (l : labels) =
+    match Hashtbl.find_opt s.s_labels l.l_id with
+    | Some p -> p
+    | None ->
+      let p = (s.s_mint l.l_dst, s.s_mint l.l_src) in
+      Hashtbl.add s.s_labels l.l_id p;
+      p
+
+  (* Query-explain instrumentation: cursor movements report to the
+     session's recorder when it is armed; disarmed cost is one flag
+     read. A [read_at] is reported as a seek of the cursor's travel
+     distance — the stream's decompression cost proxy. *)
+  let c_read_at s sid c k =
+    if Ex.recording s.s_recorder then begin
+      let d = abs (k - Cursor.pos c) in
+      let v = Cursor.read_at ~tally:s.s_tally c k in
+      Ex.touch ~recorder:s.s_recorder sid Ex.Seek (max 1 d);
+      v
+    end
+    else Cursor.read_at ~tally:s.s_tally c k
+
+  let c_find_ascending s sid c v =
+    if Ex.recording s.s_recorder then begin
+      let c0 = Cursor.pos c in
+      let r = Cursor.find_ascending ~tally:s.s_tally c v in
+      let d = Cursor.pos c - c0 in
+      if d >= 0 then Ex.touch ~recorder:s.s_recorder sid Ex.Fwd d
+      else Ex.touch ~recorder:s.s_recorder sid Ex.Bwd (-d);
+      r
+    end
+    else Cursor.find_ascending ~tally:s.s_tally c v
+
+  (* Timestamp-cursor primitives for the control-flow walks. *)
+
+  let ts_pos s n = Cursor.pos (ts_cursor s n)
+
+  let ts_seek s (n : node) k =
+    let c = ts_cursor s n in
+    if Ex.recording s.s_recorder then
+      Ex.touch ~recorder:s.s_recorder (Ex.Ts n.n_id) Ex.Seek
+        (abs (k - Cursor.pos c));
+    Cursor.seek ~tally:s.s_tally c k
+
+  let ts_step_forward s (n : node) =
+    if Ex.recording s.s_recorder then
+      Ex.touch ~recorder:s.s_recorder (Ex.Ts n.n_id) Ex.Fwd 1;
+    Cursor.step_forward ~tally:s.s_tally (ts_cursor s n)
+
+  let ts_step_backward s (n : node) =
+    if Ex.recording s.s_recorder then
+      Ex.touch ~recorder:s.s_recorder (Ex.Ts n.n_id) Ex.Bwd 1;
+    Cursor.step_backward ~tally:s.s_tally (ts_cursor s n)
+
+  let ts_peek_forward s n = Cursor.peek_forward (ts_cursor s n)
+
+  let ts_peek_backward s n = Cursor.peek_backward (ts_cursor s n)
+
+  let ts_find s (n : node) v =
+    c_find_ascending s (Ex.Ts n.n_id) (ts_cursor s n) v
+
+  (* Label queries. *)
+
+  let value_of_copy s c i =
+    let t = s.s_wet in
+    need t "labels.values";
+    match s.s_uvals.(c) with
+    | None -> Wet_error.fail Query "value_of_copy: copy %d has no def port" c
+    | Some uvals -> (
+      let node = node_of_copy t c in
+      let g = t.copy_group.(c) in
+      match s.s_patterns.(node.n_id).(g) with
+      | None -> c_read_at s (Ex.Uvals c) uvals 0
+      | Some pattern ->
+        c_read_at s (Ex.Uvals c) uvals
+          (c_read_at s (Ex.Pattern (node.n_id, g)) pattern i))
+
+  (* Shared by data and control slots: locate the consumer instance on
+     each candidate edge's dst label, then read the aligned producer
+     instance off the src label. *)
+  let search_edges s edges i =
+    let rec search = function
+      | [] -> None
+      | e :: rest -> (
+        let dst, src = label_cursors s e.e_labels in
+        match c_find_ascending s (Ex.Label_dst e.e_labels.l_id) dst i with
+        | Some j ->
+          Some (e.e_src, c_read_at s (Ex.Label_src e.e_labels.l_id) src j)
+        | None -> search rest)
+    in
+    search edges
+
+  let resolve_dep s c i slot =
+    let t = s.s_wet in
+    need t "labels.deps";
+    match t.copy_deps.(c).(slot) with
+    | No_dep -> None
+    | Local p -> Some (p, i)
+    | Remote edges -> search_edges s edges i
+
+  let resolve_cd s c i =
+    let t = s.s_wet in
     let node = node_of_copy t c in
-    let g = t.copy_group.(c) in
-    match node.n_groups.(g).g_pattern with
-    | None -> ex_read_at (Ex.Uvals c) uvals 0
-    | Some pattern ->
-      ex_read_at (Ex.Uvals c) uvals
-        (ex_read_at (Ex.Pattern (node.n_id, g)) pattern i))
+    let off = copy_offset t c in
+    (* Find the block position owning this statement offset. *)
+    let rec block_pos p =
+      if p + 1 < Array.length node.n_block_start
+         && node.n_block_start.(p + 1) <= off
+      then block_pos (p + 1)
+      else p
+    in
+    match node.n_cd.(block_pos 0) with
+    | No_dep -> None
+    | Local p -> Some (p, i)
+    | Remote edges -> search_edges s edges i
 
-(* Shared by data and control slots: locate the consumer instance on
-   each candidate edge's dst label, then read the aligned producer
-   instance off the src label. *)
-let search_edges edges i =
-  let rec search = function
-    | [] -> None
-    | e :: rest -> (
-      match
-        ex_find_ascending (Ex.Label_dst e.e_labels.l_id) e.e_labels.l_dst i
-      with
-      | Some j ->
-        Some (e.e_src, ex_read_at (Ex.Label_src e.e_labels.l_id) e.e_labels.l_src j)
-      | None -> search rest)
-  in
-  search edges
+  let timestamp s c i =
+    let t = s.s_wet in
+    need t "labels.ts";
+    let node = node_of_copy t c in
+    c_read_at s (Ex.Ts node.n_id) (ts_cursor s node) i
+end
 
-let resolve_dep t c i slot =
-  need t "labels.deps";
-  match t.copy_deps.(c).(slot) with
-  | No_dep -> None
-  | Local p -> Some (p, i)
-  | Remote edges -> search_edges edges i
+(* Deprecated implicit-session wrappers: each reads through the
+   container's memoized default session. *)
 
-let resolve_cd t c i =
-  let node = node_of_copy t c in
-  let off = copy_offset t c in
-  (* Find the block position owning this statement offset. *)
-  let rec block_pos p =
-    if p + 1 < Array.length node.n_block_start
-       && node.n_block_start.(p + 1) <= off
-    then block_pos (p + 1)
-    else p
-  in
-  match node.n_cd.(block_pos 0) with
-  | No_dep -> None
-  | Local p -> Some (p, i)
-  | Remote edges -> search_edges edges i
+let value_of_copy t c i = Session.value_of_copy (default_session t) c i
+
+let resolve_dep t c i slot = Session.resolve_dep (default_session t) c i slot
+
+let resolve_cd t c i = Session.resolve_cd (default_session t) c i
 
 let copies_of_stmt t s = t.stmt_copies.(s)
 
-let timestamp t c i =
-  need t "labels.ts";
-  let node = node_of_copy t c in
-  ex_read_at (Ex.Ts node.n_id) node.n_ts i
+let timestamp t c i = Session.timestamp (default_session t) c i
 
 (* ------------------------------------------------------------------ *)
 (* Canonicalization                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Park every stream cursor at the left end. [Store] calls this on both
-   save and load so the on-disk form and a freshly loaded WET are
-   canonical regardless of prior query activity (bidirectional streams
-   restore their construction-time tables exactly when walked back, so
-   rewinding also makes saves byte-deterministic). *)
+(* Drop all implicit traversal state: every stream's default cursor and
+   the memoized default session. The compressed bodies themselves are
+   pristine templates that never move, so after [rewind] the container
+   is byte-identical to its freshly built self — [Store] rewinds on both
+   save and load, which is what keeps persistence deterministic
+   regardless of prior query activity. Explicit sessions opened by the
+   caller hold private cursor clones and are unaffected. *)
 let rewind t =
-  let seq s =
-    Stream.seek s 0;
-    (* Traversal counters are query history, not representation: zero
-       them so the marshalled bytes stay canonical too. *)
-    Stream.reset_telemetry s
-  in
+  let seq = Stream.drop_cursor in
   let labels (l : labels) =
     seq l.l_dst;
     seq l.l_src
@@ -210,7 +343,8 @@ let rewind t =
     t.nodes;
   Array.iter (Option.iter seq) t.copy_uvals;
   Array.iter (Array.iter source) t.copy_deps;
-  Array.iter (List.iter (fun (e : edge) -> labels e.e_labels)) t.copy_remote_out
+  Array.iter (List.iter (fun (e : edge) -> labels e.e_labels)) t.copy_remote_out;
+  t.session0 <- None
 
 (* ------------------------------------------------------------------ *)
 (* Structural validation                                              *)
@@ -243,13 +377,8 @@ let validate t =
   check_len "copy_local_out" (Array.length t.copy_local_out);
   check_len "copy_remote_out" (Array.length t.copy_remote_out);
   let total_execs = t.stats.path_execs in
-  (* Read a stream without disturbing its cursor. *)
-  let snapshot s =
-    let c0 = Stream.cursor s in
-    let a = Stream.to_array s in
-    Stream.seek s c0;
-    a
-  in
+  (* Pure decode: reads the representation without touching any cursor. *)
+  let snapshot = Stream.contents in
   let check_labels ctx (l : labels) =
     if Stream.length l.l_dst <> l.l_len || Stream.length l.l_src <> l.l_len
     then err "%s: label %d stream lengths differ from l_len=%d" ctx l.l_id l.l_len

@@ -21,7 +21,15 @@
 
     Every label sequence is a {!Wet_bistream.Stream.t}: raw arrays after
     tier-1, bidirectionally compressed streams after tier-2
-    ({!Builder.pack}). Queries work identically on both. *)
+    ({!Builder.pack}). Queries work identically on both.
+
+    {b Concurrency contract.} A {!t} is an immutable container: share it
+    freely between threads and domains. All traversal state lives in
+    {!Session.t} handles, each of which is single-owner — one session
+    per concurrent reader ([wet serve] opens one per connection). The
+    deprecated wet-taking query functions at the bottom read through one
+    implicit {!default_session} and are therefore only safe
+    single-threaded. *)
 
 module Stream = Wet_bistream.Stream
 
@@ -98,6 +106,13 @@ type stats = {
       (** label-sequence values eliminated by cross-edge sharing *)
 }
 
+(** {1 The immutable container}
+
+    Every field but the memoized default session is read-only after
+    construction, and the streams inside are pristine compressed bodies
+    that queries never mutate — a [t] may be shared between any number
+    of concurrent sessions. *)
+
 type t = {
   program : Wet_ir.Program.t;
   analysis : Wet_cfg.Program_analysis.t;
@@ -124,7 +139,14 @@ type t = {
           placeholders during a salvage load ({!Store.load}
           [~salvage:true]); [[]] for a built or cleanly loaded WET.
           Queries touching a damaged section raise {!Missing_stream}. *)
+  mutable session0 : session option;
+      (** memoized implicit session behind the deprecated wet-taking
+          functions; managed by {!default_session} and {!rewind} *)
 }
+
+(** One reader's private traversal state over a shared container; see
+    {!Session}. *)
+and session
 
 (** Raised (with the container section name, e.g. ["labels.values"])
     when a query touches data lost to a salvage load. *)
@@ -145,37 +167,15 @@ val copy_offset : t -> copy_id -> int
 (** The static statement of a copy. *)
 val instr_of_copy : t -> copy_id -> Wet_ir.Instr.t
 
-(** [value_of_copy t c i] reconstructs the value produced by instance [i]
-    of copy [c] through the group pattern and unique values (moves the
-    underlying stream cursors). @raise Invalid_argument if [c] has no
-    def. *)
-val value_of_copy : t -> copy_id -> int -> int
-
-(** [resolve_dep t c i slot] is the producer instance [(copy, instance)]
-    feeding slot [slot] of instance [i] of copy [c], or [None] for
-    [No_dep] or an instance the slot has no event for. *)
-val resolve_dep : t -> copy_id -> int -> int -> (copy_id * int) option
-
-(** [resolve_cd t c i] is the branch instance instance [i] of copy [c] is
-    control dependent on, if any. *)
-val resolve_cd : t -> copy_id -> int -> (copy_id * int) option
-
 (** Copies of a given static statement, across all nodes. *)
 val copies_of_stmt : t -> int -> copy_id list
 
-(** [timestamp t c i] is the global timestamp of instance [i] of copy
-    [c]'s node execution (moves the node's timestamp cursor). *)
-val timestamp : t -> copy_id -> int -> int
-
-(** Find the position of [target] in an ascending stream by cursor
-    stepping from the current position; [None] if absent. Exposed for
-    query implementations and tests. *)
-val find_in_ascending : seq -> int -> int option
-
-(** Park every stream cursor (timestamps, values, patterns, edge
-    labels) at the left end — the canonical state of a freshly built
-    WET. {!Store} rewinds on save and load so persistence is
-    deterministic regardless of prior query activity. *)
+(** Drop all implicit traversal state — every stream's default cursor
+    and the memoized default session — returning the container to the
+    canonical state of a freshly built WET. {!Store} rewinds on save
+    and load so persistence is deterministic regardless of prior query
+    activity. Explicit {!open_session} handles hold private cursors and
+    are unaffected. *)
 val rewind : t -> unit
 
 (** Structural invariant checker: stream lengths consistent with node
@@ -184,6 +184,127 @@ val rewind : t -> unit
     live instances, copy maps and indexes mutually consistent. Returns
     human-readable violations ([[]] = sound). Checks that would touch a
     {!damage}d section are skipped, so a salvaged WET validates clean
-    when its surviving sections are sound. Reads (and restores) stream
-    cursors, decompressing each stream once on tier-2. *)
+    when its surviving sections are sound. Reads pure stream snapshots
+    ({!Wet_bistream.Stream.contents}), so it never moves any cursor —
+    safe to run concurrently with live sessions. *)
 val validate : t -> string list
+
+(** {1 Sessions}
+
+    A session owns one cursor per stream (timestamp cursors minted
+    eagerly, label cursors lazily), a {!Wet_bistream.Telemetry.tally}
+    its decode work accounts to, and a {!Wet_watch.Explain.recorder}
+    its cursor movements report to when armed. Opening one is
+    O(streams); no decompression happens until a query walks a cursor.
+
+    Sessions are single-owner: never share one between threads. Any
+    interleaving of queries on N sessions over one container produces
+    answers byte-identical to running them serially on one session —
+    this is what lets [wet serve] answer reads concurrently. *)
+
+(** [open_session t] mints a private session over [t] with a fresh
+    tally and a fresh (disarmed) recorder.
+    @param strict raise a [Wet_error] [Query] error immediately if [t]
+      carries salvage {!damage} (default [false]: the session opens and
+      queries on damaged sections raise {!Missing_stream} lazily, like
+      the wet-taking API).
+    @param tally account decode work to an existing tally instead.
+    @param recorder report explain touches to an existing recorder. *)
+val open_session :
+  ?strict:bool ->
+  ?tally:Wet_bistream.Telemetry.tally ->
+  ?recorder:Wet_watch.Explain.recorder ->
+  t ->
+  session
+
+(** The implicit session backing the deprecated wet-taking functions:
+    memoized on the container, reads through each stream's default
+    cursor, accounts to the process-global tally and explain recording.
+    Single-threaded use only. *)
+val default_session : t -> session
+
+module Session : sig
+  type wet := t
+
+  type t = session
+
+  (** The shared container this session reads. *)
+  val wet : t -> wet
+
+  (** The tally this session's decode work accounts to. *)
+  val tally : t -> Wet_bistream.Telemetry.tally
+
+  (** The recorder this session's cursor movements report to. *)
+  val recorder : t -> Wet_watch.Explain.recorder
+
+  (** {2 Timestamp-cursor primitives}
+
+      The per-node timestamp cursors driving control-flow walks.
+      Step/seek/find report to the session's recorder when armed; peeks
+      move no cursor and are free. *)
+
+  val ts_cursor : t -> node -> Stream.Cursor.t
+
+  val ts_pos : t -> node -> int
+
+  val ts_seek : t -> node -> int -> unit
+
+  val ts_step_forward : t -> node -> int
+
+  val ts_step_backward : t -> node -> int
+
+  val ts_peek_forward : t -> node -> int
+
+  val ts_peek_backward : t -> node -> int
+
+  (** [ts_find s n v] is the execution index of node [n] holding global
+      timestamp [v], walking from the cursor's current position. *)
+  val ts_find : t -> node -> int -> int option
+
+  (** This session's [(dst, src)] cursor pair over an edge label
+      (minted on first use, memoized by [l_id]). *)
+  val label_cursors : t -> labels -> Stream.Cursor.t * Stream.Cursor.t
+
+  (** {2 Label queries} *)
+
+  (** [value_of_copy s c i] reconstructs the value produced by instance
+      [i] of copy [c] through the group pattern and unique values.
+      Raises a [Wet_error] [Query] error if [c] has no def port. *)
+  val value_of_copy : t -> copy_id -> int -> int
+
+  (** [resolve_dep s c i slot] is the producer instance
+      [(copy, instance)] feeding slot [slot] of instance [i] of copy
+      [c], or [None] for [No_dep] or an instance the slot has no event
+      for. *)
+  val resolve_dep : t -> copy_id -> int -> int -> (copy_id * int) option
+
+  (** [resolve_cd s c i] is the branch instance instance [i] of copy
+      [c] is control dependent on, if any. *)
+  val resolve_cd : t -> copy_id -> int -> (copy_id * int) option
+
+  (** [timestamp s c i] is the global timestamp of instance [i] of copy
+      [c]'s node execution (moves the node's timestamp cursor). *)
+  val timestamp : t -> copy_id -> int -> int
+end
+
+(** {1 Deprecated implicit-session queries}
+
+    Thin wrappers over {!default_session} — single-threaded use only;
+    concurrent readers must open their own session. *)
+
+val value_of_copy : t -> copy_id -> int -> int
+[@@deprecated "use Wet.Session.value_of_copy"]
+
+val resolve_dep : t -> copy_id -> int -> int -> (copy_id * int) option
+[@@deprecated "use Wet.Session.resolve_dep"]
+
+val resolve_cd : t -> copy_id -> int -> (copy_id * int) option
+[@@deprecated "use Wet.Session.resolve_cd"]
+
+val timestamp : t -> copy_id -> int -> int
+[@@deprecated "use Wet.Session.timestamp"]
+
+(** Find the position of [target] in an ascending stream by cursor
+    stepping of the stream's default cursor; [None] if absent. *)
+val find_in_ascending : seq -> int -> int option
+[@@deprecated "use Stream.Cursor.find_ascending"]

@@ -1,4 +1,4 @@
-type stage = Interp | Build | Pack | Obs | Journal
+type stage = Interp | Build | Pack | Obs | Journal | Query
 
 type t = { stage : stage; msg : string }
 
@@ -10,6 +10,7 @@ let stage_name = function
   | Pack -> "pack error"
   | Obs -> "obs error"
   | Journal -> "journal error"
+  | Query -> "query error"
 
 let message e = Printf.sprintf "%s: %s" (stage_name e.stage) e.msg
 

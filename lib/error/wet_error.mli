@@ -13,6 +13,8 @@ type stage =
   | Pack  (** tier-2 packing misuse *)
   | Obs  (** observability-layer misuse (registry, merge, export) *)
   | Journal  (** checkpoint-journal format or recovery failure *)
+  | Query  (** read-side misuse: bad timestamps/ports, sessions on
+               damage (the [Wet.Session] / [Query] surface) *)
 
 type t = { stage : stage; msg : string }
 

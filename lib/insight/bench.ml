@@ -26,6 +26,8 @@ type sample = {
   resume_ms : float;
   serve_p50_ms : float;
   serve_p95_ms : float;
+  serve_mt_p50_ms : float;
+  serve_mt_rps : float;
 }
 
 type run = {
@@ -79,6 +81,8 @@ let sample_json s =
       ("resume_ms", Json.Num s.resume_ms);
       ("serve_p50_ms", Json.Num s.serve_p50_ms);
       ("serve_p95_ms", Json.Num s.serve_p95_ms);
+      ("serve_mt_p50_ms", Json.Num s.serve_mt_p50_ms);
+      ("serve_mt_rps", Json.Num s.serve_mt_rps);
     ]
 
 let to_json r =
@@ -133,6 +137,9 @@ let sample_of_json j =
   (* Serve columns arrived with wet_serve; same rule. *)
   let serve_p50_ms = opt_num "serve_p50_ms" in
   let serve_p95_ms = opt_num "serve_p95_ms" in
+  (* Concurrent-serve columns arrived with session cursors; same rule. *)
+  let serve_mt_p50_ms = opt_num "serve_mt_p50_ms" in
+  let serve_mt_rps = opt_num "serve_mt_rps" in
   Ok
     {
       workload;
@@ -162,6 +169,8 @@ let sample_of_json j =
       resume_ms;
       serve_p50_ms;
       serve_p95_ms;
+      serve_mt_p50_ms;
+      serve_mt_rps;
     }
 
 let of_json j =
@@ -274,6 +283,12 @@ let metrics =
        wall-noisy, so the p50 gates loosely and the p95 is recorded for
        the table only (0 = pre-serve file never regresses). *)
     ("serve_p50_ms", (fun s -> s.serve_p50_ms), false, `Wall);
+    (* Concurrent serve: per-request p50 across 4 client threads, and
+       the aggregate requests/sec of the whole burst (higher is
+       better). Both socket-and-scheduler noisy, so they gate at the
+       wall threshold; 0 = pre-session file never regresses. *)
+    ("serve_mt_p50_ms", (fun s -> s.serve_mt_p50_ms), false, `Wall);
+    ("serve_mt_rps", (fun s -> s.serve_mt_rps), true, `Wall);
   ]
 
 let check th ~prev ~cur =

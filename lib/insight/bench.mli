@@ -63,6 +63,14 @@ type sample = {
           threshold (0 = pre-serve file) *)
   serve_p95_ms : float;
       (** tail of the same round trips — recorded, not gated *)
+  serve_mt_p50_ms : float;
+      (** per-request round-trip p50 with 4 client threads hammering
+          the daemon concurrently (each connection on its own session);
+          gated at the wall threshold (0 = pre-session file) *)
+  serve_mt_rps : float;
+      (** aggregate requests/sec of the 4-client burst — the lock-free
+          read path's throughput headroom over the single client;
+          higher is better, gated at the wall threshold *)
 }
 
 type run = {

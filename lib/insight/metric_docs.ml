@@ -107,6 +107,10 @@ let docs =
     ("serve.cache.hits", Counter, "WET container cache hits");
     ("serve.cache.misses", Counter, "WET container cache misses (loads)");
     ("serve.cache.evictions", Counter, "resident WETs evicted by LRU");
+    ("serve.sessions.opened", Counter,
+     "per-connection sessions opened over resident WETs");
+    ("serve.sessions.reused", Counter,
+     "requests answered by a connection's existing session");
     ("serve.request_ns", Histogram, "request dispatch latency (ns)");
   ]
 

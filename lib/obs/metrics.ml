@@ -130,8 +130,18 @@ module Local = struct
 end
 
 (* The process view: the implicit registry behind the single-domain
-   facade below. *)
+   facade below. Interning, merging and snapshotting mutate its
+   hashtable, and a concurrent server does all three from many threads,
+   so those paths serialise on [default_lock]. Bumps on an
+   already-interned instrument stay lock-free: they are single-field
+   writes of immediates — racy increments can drop, never corrupt. *)
 let default = Local.create ()
+
+let default_lock = Mutex.create ()
+
+let with_default_lock f =
+  Mutex.lock default_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock default_lock) f
 
 (* ---------------- merge ---------------- *)
 
@@ -162,7 +172,7 @@ let combine name dst src =
        other"
       name (kind_name dst) (kind_name src)
 
-let merge ?(into = default) (src : Local.t) =
+let merge_unlocked ~into (src : Local.t) =
   Hashtbl.iter
     (fun name s ->
       let d =
@@ -176,9 +186,14 @@ let merge ?(into = default) (src : Local.t) =
       combine name d s)
     src.Local.tbl
 
+let merge ?(into = default) (src : Local.t) =
+  if into == default || src == default then
+    with_default_lock (fun () -> merge_unlocked ~into src)
+  else merge_unlocked ~into src
+
 (* ---------------- single-domain facade ---------------- *)
 
-let counter name = Local.counter default name
+let counter name = with_default_lock (fun () -> Local.counter default name)
 
 let add c n = if !Sink.enabled then c.c_value <- c.c_value + n
 
@@ -186,7 +201,7 @@ let incr c = add c 1
 
 let value c = c.c_value
 
-let gauge name = Local.gauge default name
+let gauge name = with_default_lock (fun () -> Local.gauge default name)
 
 let set g v =
   if !Sink.enabled then begin
@@ -196,7 +211,8 @@ let set g v =
 
 let gauge_value g = g.g_value
 
-let histogram name = Local.histogram default name
+let histogram name =
+  with_default_lock (fun () -> Local.histogram default name)
 
 (* Bucket 0: v <= 0; bucket b >= 1: 2^(b-1) <= v < 2^b. *)
 let bucket_of v =
@@ -232,6 +248,6 @@ let time h f =
   end
   else f ()
 
-let snapshot () = Local.snapshot default
+let snapshot () = with_default_lock (fun () -> Local.snapshot default)
 
-let reset () = Local.reset default
+let reset () = with_default_lock (fun () -> Local.reset default)

@@ -110,25 +110,51 @@ type ctx = {
   k_t0 : int;  (* taken last in [start]: setup is not the query's wall *)
 }
 
-let stack : ctx list ref = ref []
+(* A scope is one independent profiling surface: its own context stack,
+   and the tally/recorder its snapshots bracket. The default scope wraps
+   the process-global tally and recorder — the historical behaviour.
+   Concurrent sessions each profile into a private scope built from
+   their session's tally and recorder, so one connection's decode work
+   never bleeds into another's profile. *)
+type scope = {
+  sp_stack : ctx list ref;
+  sp_tally : Telemetry.tally;
+  sp_recorder : Ex.recorder;
+}
 
-let active () = !stack <> []
+let default_scope =
+  {
+    sp_stack = ref [];
+    sp_tally = Telemetry.default;
+    sp_recorder = Ex.default_recorder;
+  }
 
-let depth () = List.length !stack
+let make_scope ?tally ?recorder () =
+  {
+    sp_stack = ref [];
+    sp_tally = (match tally with Some t -> t | None -> Telemetry.make ());
+    sp_recorder =
+      (match recorder with Some r -> r | None -> Ex.make_recorder ());
+  }
+
+let active ?(scope = default_scope) () = !(scope.sp_stack) <> []
+
+let depth ?(scope = default_scope) () = List.length !(scope.sp_stack)
 
 let allocated_words (st : Gc.stat) =
   st.Gc.minor_words +. st.Gc.major_words -. st.Gc.promoted_words
 
-let start ?(params = []) shape =
-  let armed_here = not !Ex.armed in
-  if armed_here then Ex.arm ();
+let start ?(scope = default_scope) ?(params = []) shape =
+  let recorder = scope.sp_recorder in
+  let armed_here = not (Ex.recording recorder) in
+  if armed_here then Ex.arm ~recorder ();
   let ctx =
     {
       k_shape = shape;
       k_params = params;
-      k_bi0 = Telemetry.snapshot ();
+      k_bi0 = Telemetry.snapshot ~tally:scope.sp_tally ();
       k_seq0 = Sequitur.global_telemetry ();
-      k_ex0 = Ex.report ();
+      k_ex0 = Ex.report ~recorder ();
       k_armed_here = armed_here;
       k_local = Metrics.Local.create ();
       k_children = zero_cost;
@@ -136,7 +162,7 @@ let start ?(params = []) shape =
       k_t0 = Wet_obs.Clock.now_ns ();
     }
   in
-  stack := ctx :: !stack
+  scope.sp_stack := ctx :: !(scope.sp_stack)
 
 (* Registered up front in the process view (interning is idempotent) so
    `wet profile --list-metrics` sees the qprof family before the first
@@ -178,20 +204,24 @@ let record reg p =
     (Metrics.Local.histogram reg ("qprof.latency." ^ p.p_shape))
     p.p_total.c_wall_ns
 
-let finish outcome =
-  match !stack with
+let finish ?(scope = default_scope) outcome =
+  match !(scope.sp_stack) with
   | [] -> invalid_arg "Qprof.finish: no active context"
   | ctx :: rest ->
-    stack := rest;
+    scope.sp_stack := rest;
+    let recorder = scope.sp_recorder in
     let wall = Wet_obs.Clock.now_ns () - ctx.k_t0 in
     let alloc = allocated_words (Gc.quick_stat ()) -. ctx.k_alloc0 in
-    let bi = Telemetry.delta ~before:ctx.k_bi0 ~after:(Telemetry.snapshot ()) in
+    let bi =
+      Telemetry.delta ~before:ctx.k_bi0
+        ~after:(Telemetry.snapshot ~tally:scope.sp_tally ())
+    in
     let sq =
       Sequitur.global_delta ~before:ctx.k_seq0
         ~after:(Sequitur.global_telemetry ())
     in
-    let ex = Ex.diff ~before:ctx.k_ex0 ~after:(Ex.report ()) in
-    if ctx.k_armed_here then Ex.disarm ();
+    let ex = Ex.diff ~before:ctx.k_ex0 ~after:(Ex.report ~recorder ()) in
+    if ctx.k_armed_here then Ex.disarm ~recorder ();
     let total =
       {
         c_fwd = bi.Telemetry.g_fwd;
@@ -228,16 +258,16 @@ let finish outcome =
      | [] -> Metrics.merge ctx.k_local);
     p
 
-let run ?params shape f =
-  start ?params shape;
+let run ?scope ?params shape f =
+  start ?scope ?params shape;
   match f () with
-  | x -> (Ok x, finish "ok")
+  | x -> (Ok x, finish ?scope "ok")
   | exception e ->
-    let p = finish ("error: " ^ Printexc.to_string e) in
+    let p = finish ?scope ("error: " ^ Printexc.to_string e) in
     (Error e, p)
 
-let profiled ?params shape f =
-  match run ?params shape f with
+let profiled ?scope ?params shape f =
+  match run ?scope ?params shape f with
   | Ok x, p -> (x, p)
   | Error e, _ -> raise e
 

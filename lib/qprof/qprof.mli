@@ -66,34 +66,63 @@ type profile = {
   p_outcome : string;  (** ["ok"] or ["error: ..."] *)
 }
 
+(** {1 Scopes}
+
+    A scope is one independent profiling surface: a private context
+    stack plus the {!Wet_bistream.Telemetry.tally} and
+    {!Wet_watch.Explain.recorder} its snapshots bracket. All lifecycle
+    functions default to {!default_scope}, which wraps the
+    process-global tally, recorder and stack — exactly the historical
+    single-threaded behaviour. A server answering concurrent clients
+    builds one scope per session (from the session's own tally and
+    recorder), so each request's profile sees only its own session's
+    decode work. Scopes, like sessions, are single-owner: never share
+    one scope between two threads. *)
+
+type scope
+
+(** The process-global scope: {!Wet_bistream.Telemetry.default} and
+    {!Wet_watch.Explain.default_recorder}. *)
+val default_scope : scope
+
+(** A fresh scope. Omitted [tally]/[recorder] are created fresh; a
+    server passes its session's own ([Wet.Session.tally],
+    [Wet.Session.recorder]) so profiles attribute that session's work. *)
+val make_scope :
+  ?tally:Wet_bistream.Telemetry.tally ->
+  ?recorder:Wet_watch.Explain.recorder ->
+  unit ->
+  scope
+
 (** {1 Context lifecycle} *)
 
-(** Open a context. The outermost context arms {!Wet_watch.Explain} if
-    nobody else has (and its matching {!finish} disarms); nested
-    contexts share the one armed recording and slice it with
-    [Explain.diff]. The wall clock is read last, so context setup is
-    not charged to the query. *)
-val start : ?params:(string * string) list -> string -> unit
+(** Open a context on the scope. The outermost context arms the scope's
+    {!Wet_watch.Explain} recorder if nobody else has (and its matching
+    {!finish} disarms); nested contexts share the one armed recording
+    and slice it with [Explain.diff]. The wall clock is read last, so
+    context setup is not charged to the query. *)
+val start : ?scope:scope -> ?params:(string * string) list -> string -> unit
 
-(** Close the innermost context and return its profile. The context's
-    [qprof.*] instruments are recorded into its private registry and
-    merged into the parent context, or into the process view when this
-    was the outermost context.
-    @raise Invalid_argument if no context is open. *)
-val finish : string -> profile
+(** Close the scope's innermost context and return its profile. The
+    context's [qprof.*] instruments are recorded into its private
+    registry and merged into the parent context, or into the process
+    view when this was the scope's outermost context.
+    @raise Invalid_argument if no context is open on the scope. *)
+val finish : ?scope:scope -> string -> profile
 
-(** A context is open. *)
-val active : unit -> bool
+(** A context is open on the scope. *)
+val active : ?scope:scope -> unit -> bool
 
-(** Number of open contexts. *)
-val depth : unit -> int
+(** Number of open contexts on the scope. *)
+val depth : ?scope:scope -> unit -> int
 
 (** {1 Wrappers} *)
 
-(** [run ?params shape f] profiles [f ()]: the result (or the exception,
-    captured) together with the profile; an exception is recorded as an
-    ["error: ..."] outcome. *)
+(** [run ?scope ?params shape f] profiles [f ()]: the result (or the
+    exception, captured) together with the profile; an exception is
+    recorded as an ["error: ..."] outcome. *)
 val run :
+  ?scope:scope ->
   ?params:(string * string) list ->
   string ->
   (unit -> 'a) ->
@@ -101,7 +130,11 @@ val run :
 
 (** [run], re-raising the exception after the profile is recorded. *)
 val profiled :
-  ?params:(string * string) list -> string -> (unit -> 'a) -> 'a * profile
+  ?scope:scope ->
+  ?params:(string * string) list ->
+  string ->
+  (unit -> 'a) ->
+  'a * profile
 
 (** {1 Advice} *)
 

@@ -23,7 +23,8 @@ let trace_kind_of_string = function
     Error
       (Printf.sprintf "unknown trace kind %S (cf, values or addresses)" s)
 
-let trace wet ~kind ~limit =
+let trace s ~kind ~limit =
+  let wet = W.Session.wet s in
   let lines = ref [] in
   let printed = ref 0 in
   let emit fmt =
@@ -38,28 +39,30 @@ let trace wet ~kind ~limit =
   (match kind with
    | Cf ->
      (* [control_flow] replays the timestamp chain from parked cursors;
-        a previous request may have left them mid-stream. *)
-     Query.park wet Query.Forward;
+        a previous request on this session may have left them
+        mid-stream. Other sessions' cursors are unaffected. *)
+     Query.Session.park s Query.Forward;
      let n =
-       Query.control_flow wet Query.Forward ~f:(fun f b ->
+       Query.Session.control_flow s Query.Forward ~f:(fun f b ->
            emit "f%d:B%d" f b)
      in
      lines := Printf.sprintf "... (%d block executions total)" n :: !lines
    | Values ->
      let n =
-       Query.load_values wet ~f:(fun c v ->
+       Query.Session.load_values s ~f:(fun c v ->
            emit "load copy %d (stmt %d): %d" c wet.W.copy_stmt.(c) v)
      in
      lines := Printf.sprintf "... (%d load values total)" n :: !lines
    | Addresses ->
      let n =
-       Query.addresses wet ~f:(fun c a ->
+       Query.Session.addresses s ~f:(fun c a ->
            emit "mem copy %d (stmt %d): @%d" c wet.W.copy_stmt.(c) a)
      in
      lines := Printf.sprintf "... (%d addresses total)" n :: !lines);
   List.rev !lines
 
-let slice wet ~output =
+let slice s ~output =
+  let wet = W.Session.wet s in
   let outs =
     Query.copies_matching wet (function
       | Wet_ir.Instr.Output _ -> true
@@ -69,7 +72,7 @@ let slice wet ~output =
     List.concat_map
       (fun c ->
         List.init (W.node_of_copy wet c).W.n_nexec (fun i ->
-            (W.timestamp wet c i, c, i)))
+            (W.Session.timestamp s c i, c, i)))
       outs
     |> List.sort compare
   in
@@ -91,7 +94,7 @@ let slice wet ~output =
       in
       let shown = ref 0 in
       let r =
-        Slice.backward wet c i ~f:(fun c' i' ->
+        Slice.Session.backward s c i ~f:(fun c' i' ->
             if !shown < 40 then begin
               lines :=
                 Printf.sprintf "  (%s) instance %d"
@@ -110,10 +113,11 @@ let slice wet ~output =
     end
   end
 
-let at wet ~ts =
+let at s ~ts =
+  let wet = W.Session.wet s in
   let total = wet.W.stats.W.path_execs in
   let ts = Option.value ts ~default:(max 1 (total / 2)) in
-  match Query.locate_time wet ts with
+  match Query.Session.locate_time s ts with
   | None -> [ Printf.sprintf "timestamp %d out of range [1,%d]" ts total ]
   | Some (nid, i) ->
     let n = wet.W.nodes.(nid) in
@@ -131,12 +135,12 @@ let at wet ~ts =
     lines := Printf.sprintf "control flow from t=%d:" start_ts :: !lines;
     let shown = ref 0 in
     ignore
-      (Query.control_flow_from wet ~start_ts ~steps:4 ~f:(fun f b ->
+      (Query.Session.control_flow_from s ~start_ts ~steps:4 ~f:(fun f b ->
            if !shown < 24 then begin
              lines := Printf.sprintf "  f%d:B%d" f b :: !lines;
              incr shown
            end));
-    let state = State_reconstruct.at wet ~ts in
+    let state = State_reconstruct.at_session s ~ts in
     let scalars =
       List.filter
         (fun (_, _, size) -> size = 1)

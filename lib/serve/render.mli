@@ -8,8 +8,11 @@
 
     An element may be [""] (a blank output line, e.g. the one
     {!Wet_report.Table.print} emits after a table). Renderers that move
-    stream cursors re-park them first where the query semantics require
-    it, so a long-lived daemon can interleave shapes freely. *)
+    cursors take a {!Wet_core.Wet.session} and move only that session's
+    cursors (re-parking them first where the query semantics require
+    it), so a daemon can answer many clients over one resident container
+    concurrently — each connection brings its own session. Renderers
+    that only read container structure take the [Wet.t] itself. *)
 
 module Qprof = Wet_qprof.Qprof
 
@@ -17,14 +20,15 @@ type trace_kind = Cf | Values | Addresses
 
 val trace_kind_of_string : string -> (trace_kind, string) result
 
-(** [wet trace --kind K --limit N]. *)
-val trace : Wet_core.Wet.t -> kind:trace_kind -> limit:int -> string list
+(** [wet trace --kind K --limit N]. Moves only the session's cursors. *)
+val trace :
+  Wet_core.Wet.session -> kind:trace_kind -> limit:int -> string list
 
 (** [wet slice --output K] ([None] = the last output). *)
-val slice : Wet_core.Wet.t -> output:int option -> string list
+val slice : Wet_core.Wet.session -> output:int option -> string list
 
 (** [wet at --ts T] ([None] = the midpoint). *)
-val at : Wet_core.Wet.t -> ts:int option -> string list
+val at : Wet_core.Wet.session -> ts:int option -> string list
 
 (** [wet paths --top N]. *)
 val paths : Wet_core.Wet.t -> top:int -> string list

@@ -1,4 +1,6 @@
 module W = Wet_core.Wet
+module Telemetry = Wet_bistream.Telemetry
+module Ex = Wet_watch.Explain
 module Obs = Wet_obs.Metrics
 module Sink = Wet_obs.Sink
 module Export = Wet_obs.Export
@@ -15,10 +17,17 @@ type config = {
   cache_capacity : int;
   qlog : string option;
   ring_capacity : int;
+  domains : int;
 }
 
 let default_config ~socket =
-  { socket; cache_capacity = 4; qlog = None; ring_capacity = 4096 }
+  {
+    socket;
+    cache_capacity = 4;
+    qlog = None;
+    ring_capacity = 4096;
+    domains = max 0 (Domain.recommended_domain_count () - 2);
+  }
 
 (* ---------------- process-view instruments ---------------- *)
 
@@ -28,17 +37,38 @@ let c_connections = Obs.counter "serve.connections"
 
 let g_in_flight = Obs.gauge "serve.in_flight"
 
+(* Session lifecycle over the resident containers: one [Wet.session]
+   per (connection, path), minted lazily and kept until the container
+   under the path is reloaded. *)
+let c_sessions_opened = Obs.counter "serve.sessions.opened"
+
+let c_sessions_reused = Obs.counter "serve.sessions.reused"
+
 (* ---------------- per-connection state ---------------- *)
 
 (* Each connection owns a Local registry it records into without
    contention; [conn.lock] only guards the moment the metrics verb
-   merges a snapshot out while the owner might be recording. *)
+   merges a snapshot out while the owner might be recording.
+
+   The connection is also the ownership unit for read-side cursor
+   state: it carries a private decode tally, explain recorder and qprof
+   scope, and a table of [Wet.session]s (one per container path) minted
+   against them. Everything in it except [local] is touched only by the
+   connection's own thread. *)
 type conn = {
   id : int;
   fd : Unix.file_descr;
   mutable closed : bool;
   local : Obs.Local.t;
   lock : Mutex.t;
+  tally : Telemetry.tally;
+  recorder : Ex.recorder;
+  scope : Qprof.scope;
+  (* path -> (container it was opened on, session). The container is
+     kept to detect staleness: a path can be re-admitted after an
+     eviction, and a session on the old container must not answer for
+     the new one. *)
+  sessions : (string, W.t * W.session) Hashtbl.t;
   c_requests : P.verb -> Obs.counter;
   c_errors : Obs.counter;
   c_bytes_in : Obs.counter;
@@ -54,18 +84,42 @@ let make_conn id fd =
         (v, Obs.Local.counter local ("serve.requests." ^ P.verb_name v)))
       P.all_verbs
   in
+  let tally = Telemetry.make () in
+  let recorder = Ex.make_recorder () in
   {
     id;
     fd;
     closed = false;
     local;
     lock = Mutex.create ();
+    tally;
+    recorder;
+    scope = Qprof.make_scope ~tally ~recorder ();
+    sessions = Hashtbl.create 4;
     c_requests = (fun v -> List.assoc v by_verb);
     c_errors = Obs.Local.counter local "serve.errors";
     c_bytes_in = Obs.Local.counter local "serve.bytes_in";
     c_bytes_out = Obs.Local.counter local "serve.bytes_out";
     h_request_ns = Obs.Local.histogram local "serve.request_ns";
   }
+
+(* The connection's session over an admitted container, minting it on
+   first use. Runs on the connection's own thread with no lock:
+   [Wet.open_session] only reads the immutable container and builds
+   private cursors. *)
+let session_of conn (e : Cache.entry) =
+  match Hashtbl.find_opt conn.sessions e.Cache.e_path with
+  | Some (w, s) when w == e.Cache.e_wet ->
+    Obs.incr c_sessions_reused;
+    s
+  | _ ->
+    let s =
+      W.open_session ~tally:conn.tally ~recorder:conn.recorder
+        e.Cache.e_wet
+    in
+    Hashtbl.replace conn.sessions e.Cache.e_path (e.Cache.e_wet, s);
+    Obs.incr c_sessions_opened;
+    s
 
 (* ---------------- daemon state ---------------- *)
 
@@ -74,15 +128,30 @@ type state = {
   cache : Cache.t;
   ring : Ring.t;
   t0_ns : int;
-  (* the engine lock serialises everything that touches process-global
-     mutable state: WET cursors, the qprof stack, the sink, the cache *)
+  (* the engine lock now guards only cache admission and inspection —
+     [Cache.find]/[peek]/[stats]/[resident] mutate or walk the LRU
+     table. Read verbs run outside it: each connection's session owns
+     its cursors, and its decode work lands on its own tally. *)
   engine : Mutex.t;
+  (* serialises the instrumentation spine shared by every connection
+     thread: the flight-recorder ring (sink taps and snapshots) and
+     access-qlog appends. *)
+  instr : Mutex.t;
   conns_lock : Mutex.t;
   mutable conns : conn list;
   mutable in_flight : int;
-  mutable requests_total : int;
+  requests_total : int Atomic.t;
+  (* connection handlers claimed a domain slot; see [domain_budget] *)
+  dom_active : int Atomic.t;
   mutable shutdown : bool;
 }
+
+(* Connection handlers run on their own domains up to [cfg.domains] —
+   the session split makes concurrent reads safe, domains make them
+   parallel — and fall back to sys-threads of the accept domain once
+   the budget is spent (correct either way, threads just time-share).
+   The default reserves two slots: the accept loop's own domain and
+   one for whatever process hosts the daemon. *)
 
 let with_lock m f =
   Mutex.lock m;
@@ -115,7 +184,7 @@ let require_wet t req k =
       (Printf.sprintf "verb %S needs a \"wet\" container path"
          (P.verb_name req.P.rq_verb))
   | Some path ->
-    (match Cache.find t.cache path with
+    (match with_lock t.engine (fun () -> Cache.find t.cache path) with
      | Error m -> Error m
      | Ok entry -> k entry)
 
@@ -146,26 +215,30 @@ let ring_stats_json (s : Ring.stats) =
     ]
 
 let health_data t =
-  let hits, misses, evictions = Cache.stats t.cache in
+  let hits, misses, evictions, resident =
+    with_lock t.engine (fun () ->
+        let h, m, e = Cache.stats t.cache in
+        (h, m, e, Cache.resident t.cache))
+  in
   Json.Obj
     [
       ("schema", Json.Str P.schema);
       ("status", Json.Str "ok");
       ( "uptime_ms",
         Json.Num (Clock.to_s (Clock.now_ns () - t.t0_ns) *. 1e3) );
-      ("requests_total", json_int t.requests_total);
+      ("requests_total", json_int (Atomic.get t.requests_total));
       ("in_flight", json_int t.in_flight);
       ( "cache",
         Json.Obj
           [
             ("capacity", json_int (Cache.capacity t.cache));
-            ("resident", json_int (List.length (Cache.resident t.cache)));
+            ("resident", json_int (List.length resident));
             ("hits", json_int hits);
             ("misses", json_int misses);
             ("evictions", json_int evictions);
           ] );
-      ("ring", ring_stats_json (Ring.stats t.ring));
-      ("wets", Json.Arr (List.map entry_json (Cache.resident t.cache)));
+      ("ring", ring_stats_json (with_lock t.instr (fun () -> Ring.stats t.ring)));
+      ("wets", Json.Arr (List.map entry_json resident));
     ]
 
 (* The merged metric view: the process registry (interp/build/qprof/…
@@ -192,7 +265,9 @@ let watch_data t req =
   match int_param req "last" ~default:32 with
   | Error _ as e -> e
   | Ok last ->
-    let entries, stats = Ring.snapshot t.ring in
+    let entries, stats =
+      with_lock t.instr (fun () -> Ring.snapshot t.ring)
+    in
     let keep =
       let n = List.length entries in
       List.filteri (fun i _ -> i >= n - last) entries
@@ -224,8 +299,12 @@ let watch_data t req =
            ("entries", Json.Arr (List.map entry_json keep));
          ])
 
-(* Dispatch one request to (lines, data). Runs under the engine lock. *)
-let answer t req =
+(* Dispatch one request to (lines, data). Runs on the connection's own
+   thread, outside the engine lock: verbs that move cursors do so on
+   the connection's session, so concurrent connections interleave
+   freely over one resident container and still answer byte-identically
+   to the serial path. Only cache admission serialises. *)
+let answer t conn req =
   match req.P.rq_verb with
   | P.Open ->
     require_wet t req (fun e -> Ok ([], entry_json e))
@@ -246,18 +325,18 @@ let answer t req =
           (match int_param req "limit" ~default:50 with
            | Error _ as err -> err
            | Ok limit ->
-             Ok (Render.trace e.Cache.e_wet ~kind ~limit, Json.Obj [])))
+             Ok (Render.trace (session_of conn e) ~kind ~limit, Json.Obj [])))
   | P.Slice ->
     require_wet t req (fun e ->
         match opt_int_param req "output" with
         | Error _ as err -> err
         | Ok output ->
-          Ok (Render.slice e.Cache.e_wet ~output, Json.Obj []))
+          Ok (Render.slice (session_of conn e) ~output, Json.Obj []))
   | P.At ->
     require_wet t req (fun e ->
         match opt_int_param req "ts" with
         | Error _ as err -> err
-        | Ok ts -> Ok (Render.at e.Cache.e_wet ~ts, Json.Obj []))
+        | Ok ts -> Ok (Render.at (session_of conn e) ~ts, Json.Obj []))
   | P.Paths ->
     require_wet t req (fun e ->
         match int_param req "top" ~default:10 with
@@ -291,35 +370,40 @@ let analyze_lines t req profile =
   match req.P.rq_wet with
   | None -> []
   | Some path ->
-    (match Cache.peek t.cache path with
+    (match with_lock t.engine (fun () -> Cache.peek t.cache path) with
      | None -> []
      | Some e -> Render.analyze e.Cache.e_wet profile)
 
 let handle t conn req =
-  t.requests_total <- t.requests_total + 1;
+  Atomic.incr t.requests_total;
   let shape = shape_of req in
   let params =
     req.P.rq_params
     @ match req.P.rq_wet with None -> [] | Some w -> [ ("wet", w) ]
   in
   let start_ns = Clock.now_ns () in
-  let res, profile = Qprof.run ~params shape (fun () -> answer t req) in
+  let res, profile =
+    Qprof.run ~scope:conn.scope ~params shape (fun () -> answer t conn req)
+  in
   let dur_ns = Clock.now_ns () - start_ns in
-  (* the request span feeds the flight-recorder ring via the sink tap *)
-  Sink.record
-    {
-      Sink.ev_name = "serve." ^ P.verb_name req.P.rq_verb;
-      ev_ts_ns = start_ns;
-      ev_dur_ns = Some dur_ns;
-      ev_depth = 0;
-      ev_attrs =
-        [ ("conn", Sink.Int conn.id); ("id", Sink.Int req.P.rq_id) ];
-    };
-  (match t.cfg.qlog with
-   | None -> ()
-   | Some path -> (
-     try Qlog.append path profile
-     with Sys_error m -> Log.error "cannot append access qlog: %s" m));
+  (* the request span feeds the flight-recorder ring via the sink tap;
+     the ring and the qlog are shared by every connection thread, so
+     both sit under the instrumentation lock *)
+  with_lock t.instr (fun () ->
+      Sink.record
+        {
+          Sink.ev_name = "serve." ^ P.verb_name req.P.rq_verb;
+          ev_ts_ns = start_ns;
+          ev_dur_ns = Some dur_ns;
+          ev_depth = 0;
+          ev_attrs =
+            [ ("conn", Sink.Int conn.id); ("id", Sink.Int req.P.rq_id) ];
+        };
+      match t.cfg.qlog with
+      | None -> ()
+      | Some path -> (
+        try Qlog.append path profile
+        with Sys_error m -> Log.error "cannot append access qlog: %s" m));
   with_lock conn.lock (fun () ->
       Obs.incr (conn.c_requests req.P.rq_verb);
       Obs.observe conn.h_request_ns dur_ns);
@@ -376,7 +460,7 @@ let serve_connection t conn =
               with_lock conn.lock (fun () -> Obs.incr conn.c_errors);
               Log.debug "conn %d: bad request: %s" conn.id msg;
               P.error_response ~id:0 msg
-            | Ok req -> with_lock t.engine (fun () -> handle t conn req))
+            | Ok req -> handle t conn req)
       in
       let out = P.encode_response resp in
       output_string oc out;
@@ -454,10 +538,12 @@ let run cfg =
       ring;
       t0_ns = Clock.now_ns ();
       engine = Mutex.create ();
+      instr = Mutex.create ();
       conns_lock = Mutex.create ();
       conns = [];
       in_flight = 0;
-      requests_total = 0;
+      requests_total = Atomic.make 0;
+      dom_active = Atomic.make 0;
       shutdown = false;
     }
   in
@@ -466,7 +552,14 @@ let run cfg =
     cfg.cache_capacity cfg.ring_capacity
     (match cfg.qlog with None -> "" | Some q -> ", qlog " ^ q);
   let threads = ref [] in
+  let domains = ref [] in
   let next_id = ref 0 in
+  let rec claim_domain_slot () =
+    let n = Atomic.get t.dom_active in
+    if n >= cfg.domains then false
+    else if Atomic.compare_and_set t.dom_active n (n + 1) then true
+    else claim_domain_slot ()
+  in
   (let rec accept_loop () =
      match Unix.accept listen_fd with
      | fd, _ ->
@@ -480,8 +573,20 @@ let run cfg =
          Obs.incr c_connections;
          with_lock t.conns_lock (fun () -> t.conns <- conn :: t.conns);
          Log.info "connection %d accepted" conn.id;
-         let th = Thread.create (fun () -> serve_connection t conn) () in
-         threads := th :: !threads;
+         if claim_domain_slot () then begin
+           let d =
+             Domain.spawn (fun () ->
+                 Fun.protect
+                   ~finally:(fun () ->
+                     ignore (Atomic.fetch_and_add t.dom_active (-1)))
+                   (fun () -> serve_connection t conn))
+           in
+           domains := d :: !domains
+         end
+         else begin
+           let th = Thread.create (fun () -> serve_connection t conn) () in
+           threads := th :: !threads
+         end;
          accept_loop ()
        end
      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
@@ -498,6 +603,8 @@ let run cfg =
             with Unix.Unix_error _ -> ())
         t.conns);
   List.iter Thread.join !threads;
+  List.iter Domain.join !domains;
   (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
   Ring.uninstall ();
-  Log.info "serve: clean shutdown (%d requests)" t.requests_total
+  Log.info "serve: clean shutdown (%d requests)"
+    (Atomic.get t.requests_total)

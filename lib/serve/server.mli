@@ -1,23 +1,30 @@
 (** The wet_serve daemon: a long-lived query service over a Unix-domain
     socket, observable from birth.
 
-    One thread accepts, one thread per connection reads wet-serve/1
-    request lines; query execution itself is serialised under a single
-    engine lock (WET stream cursors, the qprof context stack and the
-    span sink are process-global). Every request runs inside a
-    {!Wet_qprof.Qprof.run} context, appends to the shared wet-qlog/1
-    access log when one is configured, and bumps [serve.*] instruments
-    in the connection's private {!Wet_obs.Metrics.Local} registry; the
-    [metrics] verb folds those registries over the process view with
-    {!Wet_obs.Metrics.merge} into one wet-obs/2 snapshot. A bounded
-    {!Wet_pulse.Ring} taps request spans as the flight recorder the
-    [watch] verb replays. *)
+    One thread accepts; each connection gets its own handler (a domain
+    while the [domains] budget lasts, then a sys-thread) reading
+    wet-serve/1 request lines. The resident {!Wet_core.Wet.t}
+    containers are immutable and shared; every connection opens its own
+    {!Wet_core.Wet.session} over them, so read verbs dispatch without
+    any global lock — the engine mutex guards cache admission only.
+    Every request runs inside a {!Wet_qprof.Qprof.run} context, appends
+    to the shared wet-qlog/1 access log when one is configured, and
+    bumps [serve.*] instruments in the connection's private
+    {!Wet_obs.Metrics.Local} registry; the [metrics] verb folds those
+    registries over the process view with {!Wet_obs.Metrics.merge} into
+    one wet-obs/2 snapshot. A bounded {!Wet_pulse.Ring} taps request
+    spans as the flight recorder the [watch] verb replays. *)
 
 type config = {
   socket : string;  (** Unix-domain socket path *)
   cache_capacity : int;  (** resident WET containers (LRU) *)
   qlog : string option;  (** wet-qlog/1 access-log path *)
   ring_capacity : int;  (** flight-recorder entries *)
+  domains : int;
+      (** connection handlers get their own domain up to this budget
+          (parallel reads over shared containers), then fall back to
+          sys-threads; default [recommended_domain_count - 2], clamped
+          at 0 *)
 }
 
 val default_config : socket:string -> config

@@ -6,6 +6,8 @@ let create n =
 
 let length v = v.n
 
+let copy v = { bits = Bytes.copy v.bits; n = v.n }
+
 let check v i =
   if i < 0 || i >= v.n then invalid_arg "Bitvec: index out of bounds"
 

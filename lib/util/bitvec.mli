@@ -11,6 +11,10 @@ val create : int -> t
 (** Number of bits. *)
 val length : t -> int
 
+(** [copy v] is an independent vector with the same bits: mutating
+    either afterwards never affects the other. *)
+val copy : t -> t
+
 (** [get v i] is bit [i]. @raise Invalid_argument if out of bounds. *)
 val get : t -> int -> bool
 

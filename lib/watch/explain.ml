@@ -17,26 +17,46 @@ type stats = {
   mutable st_last : int;  (* 0 none, 1 forward, 2 backward *)
 }
 
-let armed = ref false
+(* A recorder is one independent explain recording: an armed flag, the
+   per-stream tallies, and the query names seen while armed. The
+   process-global surface below ([armed], [arm], [touch], ...) operates
+   on [default_recorder]; each [Wet.Session] owns a private recorder so
+   concurrent sessions can explain queries without interleaving their
+   recordings. *)
+type recorder = {
+  rc_armed : bool ref;
+  rc_tbl : (stream, stats) Hashtbl.t;
+  mutable rc_queries : string list;
+}
 
-let tbl : (stream, stats) Hashtbl.t = Hashtbl.create 256
+let make_recorder () =
+  { rc_armed = ref false; rc_tbl = Hashtbl.create 256; rc_queries = [] }
 
-let queries : string list ref = ref []
+let default_recorder = make_recorder ()
 
-let reset () =
-  Hashtbl.reset tbl;
-  queries := []
+(* The historical guard flag IS the default recorder's armed flag, so
+   existing [if !Ex.armed then ...] sites keep meaning "is the default
+   recording armed". *)
+let armed = default_recorder.rc_armed
 
-let arm () =
-  reset ();
-  armed := true
+let recording r = !(r.rc_armed)
 
-let disarm () = armed := false
+let reset ?(recorder = default_recorder) () =
+  Hashtbl.reset recorder.rc_tbl;
+  recorder.rc_queries <- []
 
-let query name = if !armed then queries := name :: !queries
+let arm ?(recorder = default_recorder) () =
+  reset ~recorder ();
+  recorder.rc_armed := true
 
-let stats_of s =
-  match Hashtbl.find_opt tbl s with
+let disarm ?(recorder = default_recorder) () = recorder.rc_armed := false
+
+let query ?(recorder = default_recorder) name =
+  if !(recorder.rc_armed) then
+    recorder.rc_queries <- name :: recorder.rc_queries
+
+let stats_of recorder s =
+  match Hashtbl.find_opt recorder.rc_tbl s with
   | Some st -> st
   | None ->
     let st =
@@ -50,12 +70,12 @@ let stats_of s =
         st_last = 0;
       }
     in
-    Hashtbl.replace tbl s st;
+    Hashtbl.replace recorder.rc_tbl s st;
     st
 
-let touch s op n =
-  if !armed && n >= 0 then begin
-    let st = stats_of s in
+let touch ?(recorder = default_recorder) s op n =
+  if !(recorder.rc_armed) && n >= 0 then begin
+    let st = stats_of recorder s in
     match op with
     | Fwd ->
       st.st_fwd <- st.st_fwd + n;
@@ -102,7 +122,7 @@ let stream_name = function
   | Label_src l -> Printf.sprintf "label %d src" l
   | Label_dst l -> Printf.sprintf "label %d dst" l
 
-let report () =
+let report ?(recorder = default_recorder) () =
   let streams =
     Hashtbl.fold
       (fun _ st acc ->
@@ -115,10 +135,10 @@ let report () =
           e_switches = st.st_switches;
         }
         :: acc)
-      tbl []
+      recorder.rc_tbl []
     |> List.sort compare
   in
-  { r_queries = List.rev !queries; r_streams = streams }
+  { r_queries = List.rev recorder.rc_queries; r_streams = streams }
 
 let steps s = s.e_fwd + s.e_bwd + s.e_seek_dist
 
@@ -186,8 +206,8 @@ let h_stream_steps = Wet_obs.Metrics.histogram "explain.stream_steps"
 (* Take the report and fold its tallies into the wet_obs instruments,
    one histogram observation per touched stream — this is what links
    per-query cost profiles to the bench observatory's aggregates. *)
-let publish () =
-  let r = report () in
+let publish ?(recorder = default_recorder) () =
+  let r = report ~recorder () in
   Wet_obs.Metrics.add c_streams (List.length r.r_streams);
   List.iter
     (fun s ->

@@ -6,8 +6,11 @@
     observable cost model behind the paper's tier-1 vs tier-2 query
     timing tables. Disarmed cost is one flag read per cursor operation.
 
-    State is process-global like the [wet_obs] sink: arm, run queries,
-    take the {!report}. *)
+    Recordings live in {!recorder} values. The tally-less functions
+    below operate on {!default_recorder} — the historical process-global
+    recording, still what the CLI's [--explain] uses. Each [Wet.Session]
+    owns a private recorder (single-owner, like the session itself), so
+    concurrent sessions can explain queries without interleaving. *)
 
 (** Identity of a WET label stream. *)
 type stream =
@@ -22,21 +25,37 @@ type op =
   | Bwd  (** backward cursor steps *)
   | Seek  (** one repositioning; the count is the seek distance *)
 
-(** Guard for instrumentation sites: [if !armed then touch ...]. *)
+(** One independent explain recording: armed flag, per-stream tallies,
+    query names. Not thread-safe — single-owner. *)
+type recorder
+
+(** A fresh, disarmed recorder. *)
+val make_recorder : unit -> recorder
+
+(** The process-global recording all tally-less calls target. *)
+val default_recorder : recorder
+
+(** Is this recorder currently armed? The per-session guard for
+    instrumentation sites: [if Ex.recording r then touch ~recorder:r ...]. *)
+val recording : recorder -> bool
+
+(** Guard for default-recorder instrumentation sites:
+    [if !armed then touch ...]. This is physically
+    [default_recorder]'s armed flag. *)
 val armed : bool ref
 
 (** Clear recorded state and start recording. *)
-val arm : unit -> unit
+val arm : ?recorder:recorder -> unit -> unit
 
-val disarm : unit -> unit
-val reset : unit -> unit
+val disarm : ?recorder:recorder -> unit -> unit
+val reset : ?recorder:recorder -> unit -> unit
 
 (** Record [n] cursor steps (or one seek of distance [n]) on a stream.
-    No-op when disarmed or [n < 0]. *)
-val touch : stream -> op -> int -> unit
+    No-op when the recorder is disarmed or [n < 0]. *)
+val touch : ?recorder:recorder -> stream -> op -> int -> unit
 
 (** Note a query entry point (e.g. ["query.control_flow"]). *)
-val query : string -> unit
+val query : ?recorder:recorder -> string -> unit
 
 type stream_stats = {
   e_stream : stream;
@@ -50,7 +69,7 @@ type stream_stats = {
 type report = { r_queries : string list; r_streams : stream_stats list }
 
 (** Snapshot of everything recorded since {!arm} (streams sorted). *)
-val report : unit -> report
+val report : ?recorder:recorder -> unit -> report
 
 (** {!report}, with the tallies also folded into the [wet_obs]
     instruments ([explain.streams], [explain.fwd_steps],
@@ -59,7 +78,7 @@ val report : unit -> report
     observation per touched stream — no-ops while the sink is disabled.
     This is the bridge between per-query explain profiles and the bench
     observatory's metric exports. *)
-val publish : unit -> report
+val publish : ?recorder:recorder -> unit -> report
 
 val stream_kind : stream -> string
 val stream_name : stream -> string

@@ -1,3 +1,7 @@
+(* The deprecated module-level cursor API stays covered here until it
+   is removed; the Session equivalents are covered by test_session. *)
+[@@@alert "-deprecated"]
+
 module W = Wet_core.Wet
 module Builder = Wet_core.Builder
 module Iso = Wet_analyses.Isomorphism

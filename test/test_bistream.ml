@@ -1,3 +1,7 @@
+(* The deprecated module-level cursor API stays covered here until it
+   is removed; the Session equivalents are covered by test_session. *)
+[@@@alert "-deprecated"]
+
 module Bidir = Wet_bistream.Bidir
 module Stream = Wet_bistream.Stream
 

@@ -1,3 +1,7 @@
+(* The deprecated module-level cursor API stays covered here until it
+   is removed; the Session equivalents are covered by test_session. *)
+[@@@alert "-deprecated"]
+
 (* Ground-truth verification of the WET core: everything a WET stores
    must reconstruct the raw trace exactly, on tier-1 and on tier-2. *)
 

@@ -1,3 +1,7 @@
+(* Exercises the deprecated module-level cursor API alongside the new
+   Session surface; the alias stays until the legacy API is removed. *)
+[@@@alert "-deprecated"]
+
 (* wet_insight: telemetry invariants, the Sizes.detail <-> Sizes.current
    bit agreement, stats JSON round trips, and the bench-check gate
    (including the exactly-at-threshold edge). *)
@@ -364,6 +368,8 @@ let sample ?(workload = "w") ?(build = 100.) ?(sps = 1000.) ?(bpl1 = 4.)
     resume_ms = 0.;
     serve_p50_ms = 0.;
     serve_p95_ms = 0.;
+    serve_mt_p50_ms = 0.;
+    serve_mt_rps = 0.;
   }
 
 let run_of samples =

@@ -1,3 +1,7 @@
+(* Exercises the deprecated module-level cursor API alongside the new
+   Session surface; the alias stays until the legacy API is removed. *)
+[@@@alert "-deprecated"]
+
 module Frontend = Wet_minic.Frontend
 module Interp = Wet_interp.Interp
 module T = Wet_interp.Trace

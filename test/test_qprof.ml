@@ -1,3 +1,7 @@
+(* Exercises the deprecated module-level cursor API alongside the new
+   Session surface; the alias stays until the legacy API is removed. *)
+[@@@alert "-deprecated"]
+
 (* The wet_qprof attribution invariants: per-query cost totals are
    non-negative and sum exactly to the process-global telemetry delta
    across random query interleavings on both tiers (the snapshot-delta

@@ -265,6 +265,10 @@ let test_daemon_concurrent () =
         cache_capacity = 2;
         qlog = Some qlog;
         ring_capacity = 64;
+        (* force the domain-per-connection path even on small machines
+           so the parallel dispatch is covered, with one client left on
+           the thread fallback *)
+        domains = 3;
       }
   in
   let clients = 4 and per_client = 6 in
@@ -295,7 +299,11 @@ let test_daemon_concurrent () =
           ~id:1 P.Trace))
       .P.rs_lines
   in
-  let local = Render.trace (Store.load wet_path) ~kind:Render.Cf ~limit:8 in
+  let local =
+    Render.trace
+      (Wet_core.Wet.open_session (Store.load wet_path))
+      ~kind:Render.Cf ~limit:8
+  in
   Alcotest.(check (list string)) "remote trace = local render" local remote;
   (* every per-connection request count survives into the merged
      metrics snapshot, even for already-closed connections *)

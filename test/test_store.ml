@@ -1,3 +1,7 @@
+(* Exercises the deprecated module-level cursor API alongside the new
+   Session surface; the alias stays until the legacy API is removed. *)
+[@@@alert "-deprecated"]
+
 (* Persistence robustness: the sectioned container must detect every
    fault, attribute it to the right section, salvage what survives, and
    never crash or return garbage — exercised here with an exhaustive

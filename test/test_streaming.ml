@@ -225,15 +225,6 @@ let test_feed_after_finish () =
        { Wet_error.stage = Wet_error.Build; msg = "finish after finish" })
     (fun () -> ignore (Builder.Sink.finish sink))
 
-(* The deprecated alias and the batch wrapper agree with each other via
-   the streaming path (of_program now streams). *)
-let test_of_program_alias () =
-  let name, prog, input = List.nth workloads 1 in
-  let w1, _ = batch_build prog input in
-  let s1 = (Builder.of_program [@alert "-deprecated"]) prog ~input in
-  check_identical (name ^ " of_program") w1 s1
-  [@@warning "-3"]
-
 let () =
   Alcotest.run "streaming"
     [
@@ -248,7 +239,6 @@ let () =
           Alcotest.test_case "empty last shard" `Quick test_empty_last_shard;
           Alcotest.test_case "explicit flush per path" `Quick
             test_explicit_flush;
-          Alcotest.test_case "of_program alias" `Quick test_of_program_alias;
         ] );
       ( "sink",
         [

@@ -1,3 +1,7 @@
+(* Exercises the deprecated module-level cursor API alongside the new
+   Session surface; the alias stays until the legacy API is removed. *)
+[@@@alert "-deprecated"]
+
 (* Semantics of the wet_watch tracer driver: filter-spec parsing and
    printing round-trips, compiled predicates against an independent
    reference evaluator, flight-recorder wraparound, watchpoint
